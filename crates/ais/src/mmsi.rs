@@ -1,0 +1,81 @@
+//! Maritime Mobile Service Identity.
+
+use serde::{Deserialize, Serialize};
+
+/// A Maritime Mobile Service Identity: the nine-digit identifier every AIS
+/// message carries ("Each message specifies the MMSI of the reporting
+/// vessel", §2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Mmsi(pub u32);
+
+impl Mmsi {
+    /// Maximum representable MMSI (nine decimal digits).
+    pub const MAX: u32 = 999_999_999;
+
+    /// Creates an MMSI, validating the nine-digit bound. AIS payloads carry
+    /// the field in 30 bits, which can encode invalid values above
+    /// 999,999,999; those are rejected by the data scanner.
+    pub fn try_new(raw: u32) -> Result<Self, InvalidMmsi> {
+        if raw > Self::MAX {
+            Err(InvalidMmsi(raw))
+        } else {
+            Ok(Self(raw))
+        }
+    }
+
+    /// The Maritime Identification Digits (first three digits of a
+    /// full-length MMSI), identifying the flag state. Greece is 237–241.
+    #[must_use]
+    pub fn mid(self) -> u32 {
+        self.0 / 1_000_000
+    }
+}
+
+impl std::fmt::Display for Mmsi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:09}", self.0)
+    }
+}
+
+/// Error for MMSI values exceeding nine digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidMmsi(pub u32);
+
+impl std::fmt::Display for InvalidMmsi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MMSI {} exceeds nine digits", self.0)
+    }
+}
+
+impl std::error::Error for InvalidMmsi {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_mmsi_roundtrips() {
+        let m = Mmsi::try_new(237_001_234).unwrap();
+        assert_eq!(m.0, 237_001_234);
+        assert_eq!(m.mid(), 237);
+    }
+
+    #[test]
+    fn overlong_mmsi_rejected() {
+        assert_eq!(Mmsi::try_new(1_000_000_000), Err(InvalidMmsi(1_000_000_000)));
+        assert!(Mmsi::try_new(Mmsi::MAX).is_ok());
+    }
+
+    #[test]
+    fn display_pads_to_nine_digits() {
+        assert_eq!(Mmsi(1_234).to_string(), "000001234");
+        assert_eq!(Mmsi(237_001_234).to_string(), "237001234");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(Mmsi(5) < Mmsi(10));
+    }
+}

@@ -1,0 +1,147 @@
+//! Stream replay helpers.
+//!
+//! §5: "We simulated a streaming behavior by consuming this positional data
+//! little by little ... we replay this stream and the window keeps in pace
+//! with the reported timestamps and not the actual time of each simulation."
+//!
+//! Also provides NMEA round-tripping — rendering a generated fleet stream
+//! as `!AIVDM` sentences and feeding them through the [`DataScanner`] — so
+//! end-to-end runs exercise the real decode path, and fault injection that
+//! corrupts a fraction of sentences to exercise the cleaning path.
+
+use maritime_stream::{rate, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::nmea::encode_report;
+use crate::scanner::DataScanner;
+use crate::types::{PositionReport, PositionTuple};
+
+/// Converts decoded reports into the positional-tuple stream keyed by
+/// timestamp, ready for [`maritime_stream::SlideBatches`].
+#[must_use]
+pub fn to_tuple_stream(reports: &[PositionReport]) -> Vec<(Timestamp, PositionTuple)> {
+    reports
+        .iter()
+        .map(|r| (r.timestamp, PositionTuple::from(*r)))
+        .collect()
+}
+
+/// Rescales a tuple stream to a target mean arrival rate (positions/sec) —
+/// the stress-test input of Figure 7.
+#[must_use]
+pub fn at_rate(
+    stream: &[(Timestamp, PositionTuple)],
+    positions_per_sec: f64,
+) -> Vec<(Timestamp, PositionTuple)> {
+    rate::rescale_to_rate(stream, positions_per_sec)
+}
+
+/// Renders reports as NMEA sentences, optionally corrupting a fraction of
+/// them (bit errors in transit), and scans them back. Returns the clean
+/// tuples and the scanner with its discard statistics.
+#[must_use]
+pub fn roundtrip_nmea(
+    reports: &[PositionReport],
+    corrupt_fraction: f64,
+    seed: u64,
+) -> (Vec<PositionTuple>, DataScanner) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scanner = DataScanner::new();
+    let mut tuples = Vec::with_capacity(reports.len());
+    for report in reports {
+        let mut sentence = encode_report(report);
+        if rng.gen::<f64>() < corrupt_fraction {
+            corrupt(&mut sentence, &mut rng);
+        }
+        if let Some(t) = scanner.scan(&sentence, report.timestamp) {
+            tuples.push(t);
+        }
+    }
+    (tuples, scanner)
+}
+
+/// Flips one payload character to simulate a transmission error.
+#[allow(clippy::ptr_arg)] // in-place mutation of an owned sentence buffer
+fn corrupt(sentence: &mut String, rng: &mut SmallRng) {
+    // SAFETY: we only swap ASCII bytes for ASCII bytes, preserving UTF-8.
+    let bytes = unsafe { sentence.as_bytes_mut() };
+    // Payload sits between the 5th comma and the final '*'; corrupt there.
+    let commas: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| **b == b',')
+        .map(|(i, _)| i)
+        .collect();
+    let star = bytes.iter().rposition(|b| *b == b'*').unwrap_or(0);
+    if commas.len() >= 5 && star > commas[4] + 2 {
+        let idx = rng.gen_range(commas[4] + 1..star - 1);
+        bytes[idx] = if bytes[idx] == b'0' { b'1' } else { b'0' };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{FleetConfig, FleetSimulator};
+
+    fn small_fleet() -> Vec<PositionReport> {
+        FleetSimulator::new(FleetConfig::tiny(42)).generate()
+    }
+
+    #[test]
+    fn tuple_stream_preserves_order_and_length() {
+        let reports = small_fleet();
+        let stream = to_tuple_stream(&reports);
+        assert_eq!(stream.len(), reports.len());
+        for w in stream.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip_loses_nothing() {
+        let reports = small_fleet();
+        let (tuples, scanner) = roundtrip_nmea(&reports, 0.0, 1);
+        assert_eq!(tuples.len(), reports.len());
+        assert_eq!(scanner.stats().accepted as usize, reports.len());
+        assert_eq!(scanner.stats().bad_checksum, 0);
+        // Positions survive the wire round-trip within wire resolution.
+        for (t, r) in tuples.iter().zip(&reports) {
+            assert_eq!(t.mmsi, r.mmsi);
+            assert!((t.position.lon - r.position.lon).abs() < 1e-5);
+            assert!((t.position.lat - r.position.lat).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn corrupted_sentences_are_discarded_not_decoded_wrong() {
+        let reports = small_fleet();
+        let (tuples, scanner) = roundtrip_nmea(&reports, 0.3, 2);
+        let stats = scanner.stats();
+        assert!(stats.bad_checksum > 0, "expected checksum rejections");
+        assert_eq!(stats.accepted as usize, tuples.len());
+        assert!(tuples.len() < reports.len());
+        // Every accepted tuple matches its original exactly (no silent
+        // corruption slipped through the checksum).
+        let mut it = reports.iter();
+        for t in &tuples {
+            let orig = it
+                .by_ref()
+                .find(|r| r.timestamp == t.timestamp && r.mmsi == t.mmsi)
+                .expect("accepted tuple must correspond to an original");
+            assert!((t.position.lon - orig.position.lon).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn at_rate_rescales_stream() {
+        let reports = small_fleet();
+        let stream = to_tuple_stream(&reports);
+        let fast = at_rate(&stream, 1_000.0);
+        let r = maritime_stream::rate::mean_rate(&fast).unwrap();
+        // Integer-second timestamps quantize sub-second spacings, so allow
+        // a generous tolerance at high target rates.
+        assert!((r - 1_000.0).abs() / 1_000.0 < 0.2, "rate {r}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Six-bit ASCII payload armouring and bit-level field access.
+//!
+//! AIS payloads are bit strings packed six bits per character into a
+//! printable subset of ASCII (ITU-R M.1371 / IEC 61162-1). The armouring
+//! maps values 0–39 to `'0'..='W'` and 40–63 to `'`'..='w'`.
+
+use bytes::{BufMut, BytesMut};
+
+/// Encodes a six-bit value (0–63) into its ASCII armour character.
+#[must_use]
+pub fn armor(value: u8) -> u8 {
+    debug_assert!(value < 64);
+    if value < 40 {
+        value + 48
+    } else {
+        value + 56
+    }
+}
+
+/// Decodes an armour character back to its six-bit value.
+#[must_use]
+pub fn unarmor(ch: u8) -> Option<u8> {
+    match ch {
+        48..=87 => Some(ch - 48),  // '0'..='W' -> 0..=39
+        96..=119 => Some(ch - 56), // '`'..='w' -> 40..=63
+        _ => None,
+    }
+}
+
+/// Writes a bit string most-significant-bit first, producing an armoured
+/// payload plus the number of fill bits appended to complete the final
+/// six-bit group.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bits: Vec<bool>,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`, MSB first.
+    pub fn put_u32(&mut self, value: u32, width: usize) {
+        assert!(width <= 32);
+        for i in (0..width).rev() {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a signed value in two's complement over `width` bits.
+    pub fn put_i32(&mut self, value: i32, width: usize) {
+        self.put_u32(value as u32 & mask(width), width);
+    }
+
+    /// Total bits written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether no bits have been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Finalizes into `(armoured payload, fill_bits)`.
+    #[must_use]
+    pub fn finish(mut self) -> (String, u8) {
+        let rem = self.bits.len() % 6;
+        let fill = if rem == 0 { 0 } else { 6 - rem };
+        for _ in 0..fill {
+            self.bits.push(false);
+        }
+        let mut out = BytesMut::with_capacity(self.bits.len() / 6);
+        for chunk in self.bits.chunks(6) {
+            let mut v = 0u8;
+            for &b in chunk {
+                v = (v << 1) | u8::from(b);
+            }
+            out.put_u8(armor(v));
+        }
+        (
+            String::from_utf8(out.to_vec()).expect("armoured chars are ASCII"),
+            fill as u8,
+        )
+    }
+}
+
+fn mask(width: usize) -> u32 {
+    if width >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    }
+}
+
+/// Reads bit fields from an armoured payload.
+#[derive(Debug)]
+pub struct BitReader {
+    bits: Vec<bool>,
+    pos: usize,
+}
+
+impl BitReader {
+    /// Unarmours `payload`, discarding `fill_bits` trailing pad bits.
+    /// Fails on characters outside the armour alphabet.
+    pub fn from_payload(payload: &str, fill_bits: u8) -> Option<Self> {
+        let mut bits = Vec::with_capacity(payload.len() * 6);
+        for ch in payload.bytes() {
+            let v = unarmor(ch)?;
+            for i in (0..6).rev() {
+                bits.push((v >> i) & 1 == 1);
+            }
+        }
+        let fill = usize::from(fill_bits.min(5));
+        if fill > bits.len() {
+            return None;
+        }
+        bits.truncate(bits.len() - fill);
+        Some(Self { bits, pos: 0 })
+    }
+
+    /// Remaining unread bits.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Reads `width` bits as an unsigned value, MSB first.
+    pub fn get_u32(&mut self, width: usize) -> Option<u32> {
+        assert!(width <= 32);
+        if self.remaining() < width {
+            return None;
+        }
+        let mut v = 0u32;
+        for _ in 0..width {
+            v = (v << 1) | u32::from(self.bits[self.pos]);
+            self.pos += 1;
+        }
+        Some(v)
+    }
+
+    /// Reads `width` bits as a two's-complement signed value.
+    pub fn get_i32(&mut self, width: usize) -> Option<i32> {
+        let raw = self.get_u32(width)?;
+        let sign_bit = 1u32 << (width - 1);
+        Some(if raw & sign_bit != 0 {
+            (raw | !mask(width)) as i32
+        } else {
+            raw as i32
+        })
+    }
+
+    /// Skips `width` bits.
+    pub fn skip(&mut self, width: usize) -> Option<()> {
+        if self.remaining() < width {
+            return None;
+        }
+        self.pos += width;
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armor_alphabet_roundtrips() {
+        for v in 0..64u8 {
+            let ch = armor(v);
+            assert_eq!(unarmor(ch), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn invalid_armor_chars_rejected() {
+        for ch in [b' ', b'*', b'!', b'X', b'_', b'x', b'~', 0u8, 200u8] {
+            assert_eq!(unarmor(ch), None, "char {ch}");
+        }
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_unsigned() {
+        let mut w = BitWriter::new();
+        w.put_u32(6, 6); // message type
+        w.put_u32(237_001_234, 30);
+        w.put_u32(1023, 10);
+        let (payload, fill) = w.finish();
+        let mut r = BitReader::from_payload(&payload, fill).unwrap();
+        assert_eq!(r.get_u32(6), Some(6));
+        assert_eq!(r.get_u32(30), Some(237_001_234));
+        assert_eq!(r.get_u32(10), Some(1023));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_signed() {
+        let mut w = BitWriter::new();
+        w.put_i32(-123_456, 28);
+        w.put_i32(123_456, 28);
+        w.put_i32(-1, 27);
+        let (payload, fill) = w.finish();
+        let mut r = BitReader::from_payload(&payload, fill).unwrap();
+        assert_eq!(r.get_i32(28), Some(-123_456));
+        assert_eq!(r.get_i32(28), Some(123_456));
+        assert_eq!(r.get_i32(27), Some(-1));
+    }
+
+    #[test]
+    fn fill_bits_complete_final_group() {
+        let mut w = BitWriter::new();
+        w.put_u32(0b1010, 4); // 4 bits -> 2 fill bits
+        let (payload, fill) = w.finish();
+        assert_eq!(payload.len(), 1);
+        assert_eq!(fill, 2);
+        let mut r = BitReader::from_payload(&payload, fill).unwrap();
+        assert_eq!(r.remaining(), 4);
+        assert_eq!(r.get_u32(4), Some(0b1010));
+    }
+
+    #[test]
+    fn reading_past_end_returns_none() {
+        let mut w = BitWriter::new();
+        w.put_u32(5, 6);
+        let (payload, fill) = w.finish();
+        let mut r = BitReader::from_payload(&payload, fill).unwrap();
+        assert_eq!(r.get_u32(6), Some(5));
+        assert_eq!(r.get_u32(1), None);
+    }
+
+    #[test]
+    fn skip_advances_position() {
+        let mut w = BitWriter::new();
+        w.put_u32(0xFF, 8);
+        w.put_u32(0b101, 3);
+        w.put_u32(0, 1);
+        let (payload, fill) = w.finish();
+        let mut r = BitReader::from_payload(&payload, fill).unwrap();
+        r.skip(8).unwrap();
+        assert_eq!(r.get_u32(3), Some(0b101));
+    }
+
+    #[test]
+    fn bad_payload_char_fails_decode() {
+        assert!(BitReader::from_payload("1 2", 0).is_none());
+    }
+
+    #[test]
+    fn writer_len_counts_bits() {
+        let mut w = BitWriter::new();
+        assert!(w.is_empty());
+        w.put_u32(0, 6);
+        w.put_u32(0, 30);
+        assert_eq!(w.len(), 36);
+    }
+}

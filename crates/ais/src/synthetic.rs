@@ -1,0 +1,623 @@
+//! Deterministic synthetic AIS fleet simulator.
+//!
+//! Stands in for the proprietary IMIS Hellas dataset used in §5 (23 GB of
+//! raw AIS from 6,425 vessels in the Aegean, summer 2009). The simulator
+//! reproduces the *phenomena* the paper's pipeline is built around:
+//!
+//! * voyages between real Greek ports along multi-waypoint routes (smooth
+//!   and sharp turns, Figures 2(c)/3(b));
+//! * port calls with deceleration on approach (speed change, Figure 2(b))
+//!   and anchored periods whose GPS jitter produces instantaneous pauses
+//!   and long-term stops (Figures 2(a)/3(c));
+//! * fishing vessels loitering at trawling speed over fishing grounds
+//!   (slow motion, Figure 3(d));
+//! * communication gaps — some deliberate, by "rogue" vessels
+//!   (Figure 3(a), scenario 3 of §4.1);
+//! * off-course outliers from corrupted fixes (Figure 2(d));
+//! * speed-dependent reporting rates ("Vessels anchored or slowly moving
+//!   transmit less frequently than those cruising fast", §1).
+//!
+//! Everything is driven by a single seed: the same [`FleetConfig`] always
+//! produces the same stream.
+
+use maritime_geo::aegean::{ports, Port};
+use maritime_geo::{destination, haversine_distance_m, initial_bearing_deg, GeoPoint};
+use maritime_stream::{Duration, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::mmsi::Mmsi;
+use crate::types::{AisMessageType, PositionReport};
+
+/// Broad vessel categories with distinct motion and reporting behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VesselClass {
+    /// Cargo ship: long legs, moderate speed, long port calls.
+    Cargo,
+    /// Tanker: slow, deep draft.
+    Tanker,
+    /// Passenger ferry: fast, frequent short hops, brief port calls.
+    Ferry,
+    /// Fishing vessel: loiters at sea at trawling speed.
+    Fishing,
+    /// High-speed craft.
+    HighSpeed,
+}
+
+impl VesselClass {
+    /// Cruise speed range in knots.
+    fn speed_range(self) -> (f64, f64) {
+        match self {
+            Self::Cargo => (10.0, 16.0),
+            Self::Tanker => (8.0, 13.0),
+            Self::Ferry => (16.0, 26.0),
+            Self::Fishing => (7.0, 11.0),
+            Self::HighSpeed => (25.0, 38.0),
+        }
+    }
+
+    /// Draft range in meters (used by the `shallow` predicate of §4.1).
+    fn draft_range(self) -> (f64, f64) {
+        match self {
+            Self::Cargo => (7.0, 13.0),
+            Self::Tanker => (9.0, 18.0),
+            Self::Ferry => (4.0, 7.0),
+            Self::Fishing => (2.5, 5.0),
+            Self::HighSpeed => (2.0, 4.5),
+        }
+    }
+
+    /// AIS transponder class: big ships are class A, small craft class B.
+    fn message_type(self) -> AisMessageType {
+        match self {
+            Self::Cargo | Self::Tanker | Self::Ferry => AisMessageType::PositionReportClassA,
+            Self::Fishing => AisMessageType::StandardClassB,
+            Self::HighSpeed => AisMessageType::ExtendedClassB,
+        }
+    }
+}
+
+/// Static description of a simulated vessel — the per-vessel facts the CER
+/// knowledge base consumes (§5.2: "For each vessel we added information
+/// about its draft, while a number of vessels were designated as fishing
+/// vessels").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VesselProfile {
+    /// The vessel's identity.
+    pub mmsi: Mmsi,
+    /// Category.
+    pub class: VesselClass,
+    /// Draft in meters.
+    pub draft_m: f64,
+    /// Whether the vessel is designated a fishing vessel.
+    pub is_fishing: bool,
+    /// Cruise speed in knots.
+    pub cruise_knots: f64,
+    /// Whether the vessel deliberately switches its transmitter off mid-leg
+    /// (scenario 3, "illegal shipping").
+    pub rogue: bool,
+}
+
+/// Simulator configuration. All randomness flows from `seed`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Fleet size N.
+    pub vessels: usize,
+    /// Simulated period length.
+    pub duration: Duration,
+    /// Fraction of the fleet that are fishing vessels.
+    pub fishing_fraction: f64,
+    /// Fraction of vessels that behave "rogue" (deliberate gaps).
+    pub rogue_fraction: f64,
+    /// Mean reporting interval while cruising, seconds.
+    pub cruise_report_secs: f64,
+    /// Mean reporting interval while anchored, seconds.
+    pub anchored_report_secs: f64,
+    /// Probability that any single report is an off-course outlier.
+    pub outlier_probability: f64,
+    /// Standard deviation of per-report GPS jitter, meters.
+    pub gps_jitter_m: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xEDB7_2015,
+            vessels: 200,
+            duration: Duration::hours(48),
+            fishing_fraction: 0.18,
+            rogue_fraction: 0.05,
+            cruise_report_secs: 30.0,
+            anchored_report_secs: 180.0,
+            outlier_probability: 0.002,
+            gps_jitter_m: 12.0,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A small configuration for unit tests: 12 vessels, 6 hours.
+    #[must_use]
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            vessels: 12,
+            duration: Duration::hours(6),
+            ..Self::default()
+        }
+    }
+}
+
+/// What a vessel is currently doing.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Anchored in a port basin until the given time.
+    Docked { at: GeoPoint, until: Timestamp },
+    /// Under way along a route of waypoints. `dest_port` indexes the port
+    /// catalogue; `usize::MAX` marks a route to a fishing ground.
+    Sailing {
+        waypoints: Vec<GeoPoint>,
+        next: usize,
+        dest_port: usize,
+    },
+    /// Loitering (trawling) around an anchor point until the given time,
+    /// towing along a drift bearing (reversed at the ends of the tow line).
+    Loitering {
+        around: GeoPoint,
+        until: Timestamp,
+        drift_bearing: f64,
+    },
+}
+
+/// Per-vessel dynamic state.
+struct VesselState {
+    profile: VesselProfile,
+    position: GeoPoint,
+    phase: Phase,
+    /// Deliberate transmitter-off window `[start, end)`, if scheduled.
+    gap: Option<(Timestamp, Timestamp)>,
+    rng: SmallRng,
+}
+
+/// The fleet simulator: generates the complete, time-sorted position stream
+/// for a fleet. See the module docs for the phenomena covered.
+pub struct FleetSimulator {
+    config: FleetConfig,
+    ports: Vec<Port>,
+    profiles: Vec<VesselProfile>,
+}
+
+impl FleetSimulator {
+    /// Prepares a simulator for `config`.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let port_list = ports();
+        let profiles = (0..config.vessels)
+            .map(|i| Self::make_profile(&mut rng, &config, i))
+            .collect();
+        Self {
+            config,
+            ports: port_list,
+            profiles,
+        }
+    }
+
+    fn make_profile(rng: &mut SmallRng, config: &FleetConfig, index: usize) -> VesselProfile {
+        let class = if (index as f64) < config.fishing_fraction * config.vessels as f64 {
+            VesselClass::Fishing
+        } else {
+            match rng.gen_range(0..4) {
+                0 => VesselClass::Cargo,
+                1 => VesselClass::Tanker,
+                2 => VesselClass::Ferry,
+                _ => VesselClass::HighSpeed,
+            }
+        };
+        let (smin, smax) = class.speed_range();
+        let (dmin, dmax) = class.draft_range();
+        VesselProfile {
+            mmsi: Mmsi(237_000_000 + index as u32),
+            class,
+            draft_m: rng.gen_range(dmin..dmax),
+            is_fishing: class == VesselClass::Fishing,
+            cruise_knots: rng.gen_range(smin..smax),
+            rogue: rng.gen::<f64>() < config.rogue_fraction,
+        }
+    }
+
+    /// Static vessel facts, for the CER knowledge base.
+    #[must_use]
+    pub fn profiles(&self) -> &[VesselProfile] {
+        &self.profiles
+    }
+
+    /// The simulation's port catalogue (voyage endpoints).
+    #[must_use]
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Runs the simulation, returning the fleet's position reports sorted
+    /// by timestamp — the equivalent of the decoded, cleaned dataset.
+    #[must_use]
+    pub fn generate(&self) -> Vec<PositionReport> {
+        let mut reports = Vec::new();
+        for profile in &self.profiles {
+            self.simulate_vessel(*profile, &mut reports);
+        }
+        reports.sort_by_key(|r| (r.timestamp, r.mmsi));
+        reports
+    }
+
+    /// Simulates one vessel for the whole period, appending its reports.
+    fn simulate_vessel(&self, profile: VesselProfile, out: &mut Vec<PositionReport>) {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ u64::from(profile.mmsi.0));
+        let home = rng.gen_range(0..self.ports.len());
+        let start_pos = self.scatter(&mut rng, self.ports[home].location, 300.0);
+        let initial_dock = Duration::secs(rng.gen_range(600..7_200));
+        let mut state = VesselState {
+            profile,
+            position: start_pos,
+            phase: Phase::Docked {
+                at: start_pos,
+                until: Timestamp::ZERO + initial_dock,
+            },
+            gap: None,
+            rng,
+        };
+        let end = Timestamp::ZERO + self.config.duration;
+
+        // March from report to report; between reports the vessel moves
+        // deterministically according to its phase.
+        let mut prev = Timestamp::ZERO;
+        let mut now = Timestamp(state.rng.gen_range(0..120));
+        while now <= end {
+            let dt = (now - prev).as_secs().max(1) as f64;
+            self.advance(&mut state, now, dt);
+            let in_gap = state.gap.is_some_and(|(s, e)| now >= s && now < e);
+            if !in_gap {
+                if state.gap.is_some_and(|(_, e)| now >= e) {
+                    state.gap = None;
+                }
+                out.push(self.emit(&mut state, now));
+            }
+            prev = now;
+            now = now + Duration::secs(self.report_interval(&mut state));
+        }
+    }
+
+    /// Moves the vessel `dt` seconds forward and handles phase transitions.
+    fn advance(&self, state: &mut VesselState, now: Timestamp, dt: f64) {
+        match &mut state.phase {
+            Phase::Docked { at, until } => {
+                // Anchored: position wobbles within the basin (sea drift).
+                let anchor = *at;
+                let done = now >= *until;
+                state.position = self.scatter(&mut state.rng, anchor, 20.0);
+                if done {
+                    self.depart(state, now);
+                }
+            }
+            Phase::Loitering { around, until, drift_bearing } => {
+                let ground = *around;
+                let done = now >= *until;
+                // Trawling: tow at 1.5-3 knots along the drift bearing,
+                // coming about when the tow line strays ~1.5 km from the
+                // ground (a realistic back-and-forth sweep pattern).
+                let speed = maritime_geo::knots_to_mps(state.rng.gen_range(1.5..3.0));
+                let wobble = state.rng.gen_range(-3.0..3.0);
+                let moved = destination(state.position, *drift_bearing + wobble, speed * dt);
+                if haversine_distance_m(moved, ground) < 1_500.0 {
+                    state.position = moved;
+                } else {
+                    *drift_bearing = (*drift_bearing + 180.0) % 360.0;
+                    state.position =
+                        destination(state.position, *drift_bearing + wobble, speed * dt);
+                }
+                if done {
+                    let dest = state.rng.gen_range(0..self.ports.len());
+                    let waypoints =
+                        self.route(&mut state.rng, state.position, self.ports[dest].location);
+                    state.phase = Phase::Sailing {
+                        waypoints,
+                        next: 0,
+                        dest_port: dest,
+                    };
+                }
+            }
+            Phase::Sailing {
+                waypoints,
+                next,
+                dest_port,
+            } => {
+                let dest_port = *dest_port;
+                let cruise = maritime_geo::knots_to_mps(state.profile.cruise_knots);
+                let is_last = *next == waypoints.len() - 1;
+                let dist_to_target = haversine_distance_m(state.position, waypoints[*next]);
+                // Decelerate on final approach, keeping steerage way.
+                let speed = if is_last && dist_to_target < 3_000.0 {
+                    (cruise * dist_to_target / 3_000.0).max(maritime_geo::knots_to_mps(3.0))
+                } else {
+                    cruise * state.rng.gen_range(0.95..1.05)
+                };
+                let mut travel = speed * dt;
+                loop {
+                    let target = waypoints[*next];
+                    let d = haversine_distance_m(state.position, target);
+                    if travel < d {
+                        let bearing = initial_bearing_deg(state.position, target)
+                            + state.rng.gen_range(-0.4..0.4);
+                        state.position = destination(state.position, bearing, travel);
+                        break;
+                    }
+                    state.position = target;
+                    travel -= d;
+                    if *next + 1 < waypoints.len() {
+                        *next += 1;
+                    } else {
+                        self.arrive(state, now, dest_port);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transition: leave the dock for a new destination.
+    fn depart(&self, state: &mut VesselState, now: Timestamp) {
+        let rng = &mut state.rng;
+        if state.profile.is_fishing && rng.gen::<f64>() < 0.6 {
+            // Head to a fishing ground: an offshore point 10-60 km away.
+            let ground = destination(
+                state.position,
+                rng.gen_range(0.0..360.0),
+                rng.gen_range(10_000.0..60_000.0),
+            );
+            let waypoints = self.route(rng, state.position, ground);
+            state.phase = Phase::Sailing {
+                waypoints,
+                next: 0,
+                dest_port: usize::MAX,
+            };
+        } else {
+            let dest = rng.gen_range(0..self.ports.len());
+            let waypoints = self.route(rng, state.position, self.ports[dest].location);
+            state.phase = Phase::Sailing {
+                waypoints,
+                next: 0,
+                dest_port: dest,
+            };
+        }
+        // Rogue vessels may switch off the transmitter for part of the leg.
+        if state.profile.rogue && state.rng.gen::<f64>() < 0.5 {
+            let start = now + Duration::secs(state.rng.gen_range(600..3_600));
+            let len = Duration::secs(state.rng.gen_range(700..2_400));
+            state.gap = Some((start, start + len));
+        }
+    }
+
+    /// Transition: reach the destination (port call or fishing ground).
+    fn arrive(&self, state: &mut VesselState, now: Timestamp, dest_port: usize) {
+        let rng = &mut state.rng;
+        if dest_port == usize::MAX {
+            // Fishing ground reached: loiter at trawling speed.
+            let until = now + Duration::secs(rng.gen_range(1_800..7_200));
+            state.phase = Phase::Loitering {
+                around: state.position,
+                until,
+                drift_bearing: rng.gen_range(0.0..360.0),
+            };
+        } else {
+            let basin = self.ports[dest_port].location;
+            let spot = self.scatter(rng, basin, 400.0);
+            let until = now + Duration::secs(rng.gen_range(1_800..14_400));
+            state.position = spot;
+            state.phase = Phase::Docked { at: spot, until };
+        }
+    }
+
+    /// A multi-waypoint route between two points: 1–3 intermediate
+    /// waypoints offset laterally so the track includes genuine turns.
+    fn route(&self, rng: &mut SmallRng, from: GeoPoint, to: GeoPoint) -> Vec<GeoPoint> {
+        let n_mid = rng.gen_range(1..=3);
+        let leg = haversine_distance_m(from, to);
+        let mut waypoints = Vec::with_capacity(n_mid + 1);
+        for i in 1..=n_mid {
+            let t = i as f64 / (n_mid + 1) as f64;
+            let on_line = from.lerp(to, t);
+            // Lateral offset proportional to the leg so waypoint turns are
+            // pronounced (10°-30°) regardless of voyage length — vessels
+            // dog-leg around headlands and islands, they don't drift.
+            let frac = rng.gen_range(0.08..0.25);
+            let side = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let lateral = (leg * frac * side).clamp(-40_000.0, 40_000.0);
+            let bearing = initial_bearing_deg(from, to) + 90.0;
+            waypoints.push(destination(on_line, bearing, lateral));
+        }
+        waypoints.push(to);
+        waypoints
+    }
+
+    /// Report interval for the current phase, with jitter.
+    fn report_interval(&self, state: &mut VesselState) -> i64 {
+        let mean = match state.phase {
+            Phase::Docked { .. } => self.config.anchored_report_secs,
+            Phase::Loitering { .. } => self.config.cruise_report_secs * 2.0,
+            Phase::Sailing { .. } => self.config.cruise_report_secs,
+        };
+        let jittered = mean * state.rng.gen_range(0.6..1.6);
+        jittered.round().max(2.0) as i64
+    }
+
+    /// Builds the report at the current position (plus measurement noise).
+    fn emit(&self, state: &mut VesselState, now: Timestamp) -> PositionReport {
+        let noisy = if state.rng.gen::<f64>() < self.config.outlier_probability {
+            // Off-course outlier: a corrupted fix hundreds of meters away.
+            let dist = state.rng.gen_range(600.0..2_500.0);
+            let bearing = state.rng.gen_range(0.0..360.0);
+            destination(state.position, bearing, dist)
+        } else {
+            self.scatter(&mut state.rng, state.position, self.config.gps_jitter_m)
+        };
+        let speed = match state.phase {
+            Phase::Docked { .. } => 0.1,
+            Phase::Loitering { .. } => 2.0,
+            Phase::Sailing { .. } => state.profile.cruise_knots,
+        };
+        PositionReport {
+            mmsi: state.profile.mmsi,
+            msg_type: state.profile.class.message_type(),
+            position: noisy,
+            sog_knots: Some(speed),
+            cog_deg: None,
+            timestamp: now,
+        }
+    }
+
+    /// Random displacement with typical magnitude ~`sigma_m` meters
+    /// (sum-of-uniforms approximation to a half-normal radius).
+    fn scatter(&self, rng: &mut SmallRng, p: GeoPoint, sigma_m: f64) -> GeoPoint {
+        let r = (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5) * sigma_m;
+        let bearing = rng.gen_range(0.0..360.0);
+        destination(p, bearing, r.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_geo::aegean::aegean_extent;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(7));
+        let a = sim.generate();
+        let b = FleetSimulator::new(FleetConfig::tiny(7)).generate();
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mmsi, y.mmsi);
+            assert_eq!(x.timestamp, y.timestamp);
+            assert_eq!(x.position, y.position);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a = FleetSimulator::new(FleetConfig::tiny(1)).generate();
+        let b = FleetSimulator::new(FleetConfig::tiny(2)).generate();
+        assert_ne!(
+            a.iter().map(|r| r.timestamp).collect::<Vec<_>>(),
+            b.iter().map(|r| r.timestamp).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stream_is_time_sorted() {
+        let reports = FleetSimulator::new(FleetConfig::tiny(3)).generate();
+        for w in reports.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn every_vessel_reports() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(4));
+        let reports = sim.generate();
+        for profile in sim.profiles() {
+            assert!(
+                reports.iter().any(|r| r.mmsi == profile.mmsi),
+                "vessel {} never reported",
+                profile.mmsi
+            );
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_extended_aegean() {
+        let reports = FleetSimulator::new(FleetConfig::tiny(5)).generate();
+        let extent = aegean_extent().inflated(1.5);
+        for r in &reports {
+            assert!(extent.contains(r.position), "position {:?}", r.position);
+        }
+    }
+
+    #[test]
+    fn timestamps_within_duration() {
+        let cfg = FleetConfig::tiny(6);
+        let end = Timestamp::ZERO + cfg.duration;
+        let reports = FleetSimulator::new(cfg).generate();
+        for r in &reports {
+            assert!(r.timestamp >= Timestamp::ZERO && r.timestamp <= end);
+        }
+    }
+
+    #[test]
+    fn fishing_fraction_is_respected() {
+        let cfg = FleetConfig {
+            vessels: 100,
+            ..FleetConfig::tiny(8)
+        };
+        let sim = FleetSimulator::new(cfg);
+        let fishing = sim.profiles().iter().filter(|p| p.is_fishing).count();
+        assert_eq!(fishing, 18);
+    }
+
+    #[test]
+    fn vessels_actually_move() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(9));
+        let reports = sim.generate();
+        // At least one vessel covers > 5 km between its extreme positions.
+        let moved = sim.profiles().iter().any(|p| {
+            let own: Vec<_> = reports.iter().filter(|r| r.mmsi == p.mmsi).collect();
+            own.iter().any(|a| {
+                own.iter()
+                    .any(|b| haversine_distance_m(a.position, b.position) > 5_000.0)
+            })
+        });
+        assert!(moved);
+    }
+
+    #[test]
+    fn some_vessels_pause_reporting_for_gaps() {
+        // With rogue vessels forced on, at least one inter-report interval
+        // should exceed the gap threshold of 10 minutes.
+        let cfg = FleetConfig {
+            rogue_fraction: 1.0,
+            vessels: 20,
+            ..FleetConfig::tiny(10)
+        };
+        let sim = FleetSimulator::new(cfg);
+        let reports = sim.generate();
+        let mut found_gap = false;
+        for p in sim.profiles() {
+            let mut last: Option<Timestamp> = None;
+            for r in reports.iter().filter(|r| r.mmsi == p.mmsi) {
+                if let Some(prev) = last {
+                    if (r.timestamp - prev).as_secs() > 600 {
+                        found_gap = true;
+                    }
+                }
+                last = Some(r.timestamp);
+            }
+        }
+        assert!(found_gap, "no communication gap produced");
+    }
+
+    #[test]
+    fn mean_reporting_interval_is_order_of_minutes() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(11));
+        let reports = sim.generate();
+        let span = (reports.last().unwrap().timestamp - reports[0].timestamp).as_secs() as f64;
+        let per_vessel_rate = reports.len() as f64 / 12.0 / span;
+        // Between one report per 10 s and one per 5 min on average.
+        assert!(
+            (1.0 / 300.0..=1.0 / 10.0).contains(&per_vessel_rate),
+            "rate {per_vessel_rate}"
+        );
+    }
+}

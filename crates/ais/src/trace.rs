@@ -1,0 +1,261 @@
+//! Scripted single-vessel traces for scenarios, tests, and examples.
+//!
+//! The fleet simulator produces *organic* traffic; incident scripting needs
+//! precise control ("sail here, drift for an hour, go dark, reappear").
+//! [`TraceBuilder`] composes a vessel's trace from legs, drifts, pauses and
+//! gaps, producing the raw positional tuples the pipeline consumes.
+
+use maritime_geo::{destination, haversine_distance_m, initial_bearing_deg, knots_to_mps, GeoPoint};
+use maritime_stream::{Duration, Timestamp};
+
+use crate::mmsi::Mmsi;
+use crate::types::PositionTuple;
+
+/// Builds a scripted trace for one vessel.
+///
+/// ```
+/// use maritime_ais::{trace::TraceBuilder, Mmsi};
+/// use maritime_geo::GeoPoint;
+/// use maritime_stream::{Duration, Timestamp};
+///
+/// let trace = TraceBuilder::new(Mmsi(7), GeoPoint::new(24.0, 38.0), Timestamp(0))
+///     .report_every(Duration::secs(30))
+///     .cruise_to(GeoPoint::new(24.3, 38.0), 12.0) // knots
+///     .drift(Duration::minutes(45), 2.0)
+///     .gap(Duration::minutes(20))
+///     .cruise_to(GeoPoint::new(24.5, 38.2), 12.0)
+///     .build();
+/// assert!(trace.len() > 50);
+/// assert!(trace.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    mmsi: Mmsi,
+    position: GeoPoint,
+    now: Timestamp,
+    report_interval: Duration,
+    out: Vec<PositionTuple>,
+    drift_angle: f64,
+}
+
+impl TraceBuilder {
+    /// Starts a trace at `start` / `t0`; the first report is emitted there.
+    #[must_use]
+    pub fn new(mmsi: Mmsi, start: GeoPoint, t0: Timestamp) -> Self {
+        let mut b = Self {
+            mmsi,
+            position: start,
+            now: t0,
+            report_interval: Duration::secs(30),
+            out: Vec::new(),
+            drift_angle: 77.0,
+        };
+        b.emit();
+        b
+    }
+
+    /// Sets the reporting interval for subsequent segments.
+    #[must_use]
+    pub fn report_every(mut self, interval: Duration) -> Self {
+        assert!(interval.as_secs() > 0, "interval must be positive");
+        self.report_interval = interval;
+        self
+    }
+
+    /// Sails in a straight line to `target` at `knots`, reporting along
+    /// the way; the final report is at the target.
+    #[must_use]
+    pub fn cruise_to(mut self, target: GeoPoint, knots: f64) -> Self {
+        assert!(knots > 0.0, "cruise speed must be positive");
+        let step = knots_to_mps(knots) * self.report_interval.as_secs() as f64;
+        loop {
+            let remaining = haversine_distance_m(self.position, target);
+            self.now = self.now + self.report_interval;
+            if remaining <= step {
+                self.position = target;
+                self.emit();
+                break;
+            }
+            let bearing = initial_bearing_deg(self.position, target);
+            self.position = destination(self.position, bearing, step);
+            self.emit();
+        }
+        self
+    }
+
+    /// Holds position (within GPS-jitter distance) for `duration` —
+    /// produces the pause run behind a long-term stop.
+    #[must_use]
+    pub fn hold(mut self, duration: Duration) -> Self {
+        let anchor = self.position;
+        let end = self.now + duration;
+        while self.now + self.report_interval <= end {
+            self.now = self.now + self.report_interval;
+            self.drift_angle = (self.drift_angle * 7.3 + 31.0) % 360.0;
+            self.position = destination(anchor, self.drift_angle, 12.0);
+            self.emit();
+        }
+        self.position = anchor;
+        self
+    }
+
+    /// Drifts slowly (`knots`, typically 1.5–3) for `duration` along a
+    /// wandering tow-line — the slow-motion pattern of Figure 3(d).
+    #[must_use]
+    pub fn drift(mut self, duration: Duration, knots: f64) -> Self {
+        let end = self.now + duration;
+        let step = knots_to_mps(knots) * self.report_interval.as_secs() as f64;
+        while self.now + self.report_interval <= end {
+            self.now = self.now + self.report_interval;
+            self.drift_angle = (self.drift_angle + 9.0) % 360.0;
+            // Mostly forward, slight wander.
+            self.position = destination(self.position, self.drift_angle / 8.0, step);
+            self.emit();
+        }
+        self
+    }
+
+    /// Falls silent for `duration`: no reports, position unchanged. The
+    /// next segment resumes reporting from here (typically after a
+    /// [`TraceBuilder::jump`] to where the vessel reappears).
+    #[must_use]
+    pub fn gap(mut self, duration: Duration) -> Self {
+        self.now = self.now + duration;
+        self
+    }
+
+    /// Teleports the vessel (used with [`TraceBuilder::gap`]: the vessel
+    /// kept sailing while dark). Emits a report at the new position.
+    #[must_use]
+    pub fn jump(mut self, to: GeoPoint) -> Self {
+        self.position = to;
+        self.now = self.now + self.report_interval;
+        self.emit();
+        self
+    }
+
+    /// Current position (end of the scripted segments so far).
+    #[must_use]
+    pub fn position(&self) -> GeoPoint {
+        self.position
+    }
+
+    /// Current trace time.
+    #[must_use]
+    pub fn time(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Finishes the script, returning the time-ordered tuples.
+    #[must_use]
+    pub fn build(self) -> Vec<PositionTuple> {
+        self.out
+    }
+
+    fn emit(&mut self) {
+        self.out.push(PositionTuple {
+            mmsi: self.mmsi,
+            position: self.position,
+            timestamp: self.now,
+        });
+    }
+}
+
+/// Merges several vessel traces into one time-sorted stream.
+#[must_use]
+pub fn merge_traces(traces: Vec<Vec<PositionTuple>>) -> Vec<PositionTuple> {
+    let mut all: Vec<PositionTuple> = traces.into_iter().flatten().collect();
+    all.sort_by_key(|t| (t.timestamp, t.mmsi));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lon: f64, lat: f64) -> GeoPoint {
+        GeoPoint::new(lon, lat)
+    }
+
+    #[test]
+    fn cruise_reaches_target_at_requested_speed() {
+        let target = p(24.2, 38.0);
+        let trace = TraceBuilder::new(Mmsi(1), p(24.0, 38.0), Timestamp(0))
+            .report_every(Duration::secs(30))
+            .cruise_to(target, 10.0)
+            .build();
+        let last = trace.last().unwrap();
+        assert_eq!(last.position, target);
+        // ~17.5 km at 10 kn ≈ 3400 s.
+        let expected = haversine_distance_m(p(24.0, 38.0), target) / knots_to_mps(10.0);
+        assert!(
+            (last.timestamp.as_secs() as f64 - expected).abs() < 60.0,
+            "took {} s, expected ~{expected:.0} s",
+            last.timestamp.as_secs()
+        );
+        // Inter-report spacing is uniform.
+        for w in trace.windows(2) {
+            assert_eq!(w[1].timestamp - w[0].timestamp, Duration::secs(30));
+        }
+    }
+
+    #[test]
+    fn hold_stays_within_jitter_radius() {
+        let anchor = p(24.0, 38.0);
+        let trace = TraceBuilder::new(Mmsi(1), anchor, Timestamp(0))
+            .report_every(Duration::secs(60))
+            .hold(Duration::minutes(30))
+            .build();
+        assert!(trace.len() >= 30);
+        for t in &trace {
+            assert!(haversine_distance_m(t.position, anchor) < 50.0);
+        }
+    }
+
+    #[test]
+    fn gap_produces_silence() {
+        let trace = TraceBuilder::new(Mmsi(1), p(24.0, 38.0), Timestamp(0))
+            .report_every(Duration::secs(30))
+            .cruise_to(p(24.05, 38.0), 10.0)
+            .gap(Duration::minutes(30))
+            .jump(p(24.15, 38.0))
+            .cruise_to(p(24.2, 38.0), 10.0)
+            .build();
+        let max_silence = trace
+            .windows(2)
+            .map(|w| (w[1].timestamp - w[0].timestamp).as_secs())
+            .max()
+            .unwrap();
+        assert!(max_silence >= 1_800, "max silence {max_silence}");
+    }
+
+    #[test]
+    fn drift_moves_slowly() {
+        let start = p(24.0, 38.0);
+        let trace = TraceBuilder::new(Mmsi(1), start, Timestamp(0))
+            .report_every(Duration::secs(60))
+            .drift(Duration::hours(1), 2.0)
+            .build();
+        let end = trace.last().unwrap().position;
+        let dist = haversine_distance_m(start, end);
+        // 2 kn for an hour = ~3.7 km along a wandering path; net
+        // displacement below that but clearly non-zero.
+        assert!(dist > 500.0 && dist < 4_000.0, "net displacement {dist}");
+    }
+
+    #[test]
+    fn merge_is_globally_sorted() {
+        let a = TraceBuilder::new(Mmsi(1), p(24.0, 38.0), Timestamp(0))
+            .cruise_to(p(24.05, 38.0), 10.0)
+            .build();
+        let b = TraceBuilder::new(Mmsi(2), p(25.0, 38.0), Timestamp(10))
+            .cruise_to(p(25.05, 38.0), 10.0)
+            .build();
+        let merged = merge_traces(vec![a, b]);
+        for w in merged.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        assert!(merged.iter().any(|t| t.mmsi == Mmsi(1)));
+        assert!(merged.iter().any(|t| t.mmsi == Mmsi(2)));
+    }
+}

@@ -1,0 +1,127 @@
+//! AIS position-report data model.
+
+use maritime_geo::GeoPoint;
+use maritime_stream::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::mmsi::Mmsi;
+
+/// AIS message types carrying position reports that the system consumes:
+/// "As input, we consider AIS messages of certain types (1, 2, 3, 18, 19)
+/// and extract position reports" (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AisMessageType {
+    /// Class A position report, scheduled.
+    PositionReportClassA = 1,
+    /// Class A position report, assigned schedule.
+    PositionReportClassAAssigned = 2,
+    /// Class A position report, in response to interrogation.
+    PositionReportClassAResponse = 3,
+    /// Class B standard position report.
+    StandardClassB = 18,
+    /// Class B extended position report.
+    ExtendedClassB = 19,
+}
+
+impl AisMessageType {
+    /// Parses the numeric message-type field.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(Self::PositionReportClassA),
+            2 => Some(Self::PositionReportClassAAssigned),
+            3 => Some(Self::PositionReportClassAResponse),
+            18 => Some(Self::StandardClassB),
+            19 => Some(Self::ExtendedClassB),
+            _ => None,
+        }
+    }
+
+    /// The numeric wire value.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+}
+
+/// A decoded AIS position report, before reduction to the positional tuple.
+///
+/// Speed and course are optional because AIS uses sentinel values
+/// (SOG = 1023, COG = 3600) for "not available"; the surveillance pipeline
+/// recomputes both from consecutive positions anyway (§3.1), which also
+/// protects against the unreliability of crew-maintained fields.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionReport {
+    /// Reporting vessel.
+    pub mmsi: Mmsi,
+    /// Message type the report was extracted from.
+    pub msg_type: AisMessageType,
+    /// Reported position.
+    pub position: GeoPoint,
+    /// Speed over ground in knots, when available.
+    pub sog_knots: Option<f64>,
+    /// Course over ground in degrees, when available.
+    pub cog_deg: Option<f64>,
+    /// Receive timestamp τ, seconds granularity.
+    pub timestamp: Timestamp,
+}
+
+/// The reduced positional tuple `⟨MMSI, Lon, Lat, τ⟩` that constitutes the
+/// system's append-only input stream (§2): "A Data Scanner decodes each AIS
+/// message, identifies those four attributes (the rest are ignored in our
+/// analysis)".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionTuple {
+    /// Reporting vessel.
+    pub mmsi: Mmsi,
+    /// Position.
+    pub position: GeoPoint,
+    /// Timestamp τ.
+    pub timestamp: Timestamp,
+}
+
+impl From<PositionReport> for PositionTuple {
+    fn from(r: PositionReport) -> Self {
+        Self {
+            mmsi: r.mmsi,
+            position: r.position,
+            timestamp: r.timestamp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_type_roundtrip() {
+        for v in [1u8, 2, 3, 18, 19] {
+            let t = AisMessageType::from_u8(v).unwrap();
+            assert_eq!(t.as_u8(), v);
+        }
+    }
+
+    #[test]
+    fn non_position_types_rejected() {
+        for v in [0u8, 4, 5, 17, 20, 24, 27, 255] {
+            assert!(AisMessageType::from_u8(v).is_none(), "type {v}");
+        }
+    }
+
+    #[test]
+    fn tuple_from_report_keeps_four_attributes() {
+        let r = PositionReport {
+            mmsi: Mmsi(237_000_001),
+            msg_type: AisMessageType::PositionReportClassA,
+            position: GeoPoint::new(23.6, 37.9),
+            sog_knots: Some(12.0),
+            cog_deg: Some(270.0),
+            timestamp: Timestamp(42),
+        };
+        let t = PositionTuple::from(r);
+        assert_eq!(t.mmsi, r.mmsi);
+        assert_eq!(t.position, r.position);
+        assert_eq!(t.timestamp, r.timestamp);
+    }
+}

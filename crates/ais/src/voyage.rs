@@ -1,0 +1,459 @@
+//! AIS message type 5: static and voyage-related data.
+//!
+//! §3.2 of the paper: "AIS messages sometimes include information regarding
+//! the destination of sailing vessels. Unfortunately ... this
+//! voyage-related information is often missing or error-prone, mainly
+//! because it is updated manually by the crew." The paper therefore derives
+//! destinations from motion (trip reconstruction) instead of trusting the
+//! field — but the field still has to be *parsed* to make that comparison.
+//! This module implements the 424-bit type-5 payload (vessel name, call
+//! sign, ship type, draught, declared destination, ETA), the two-fragment
+//! `!AIVDM` transport it rides on, and a [`Defragmenter`] for reassembly.
+
+use std::collections::HashMap;
+
+use maritime_stream::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::mmsi::Mmsi;
+use crate::nmea::{checksum, AivdmSentence, NmeaError};
+use crate::sixbit::{BitReader, BitWriter};
+
+/// Decoded static & voyage data (message type 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticVoyageData {
+    /// Reporting vessel.
+    pub mmsi: Mmsi,
+    /// IMO ship identification number (0 when unavailable).
+    pub imo: u32,
+    /// Radio call sign, trimmed.
+    pub callsign: String,
+    /// Vessel name, trimmed.
+    pub name: String,
+    /// AIS ship-type code.
+    pub ship_type: u8,
+    /// Maximum present static draught, meters (0.1 m resolution).
+    pub draught_m: f64,
+    /// Crew-entered destination, trimmed (frequently stale or empty).
+    pub destination: String,
+}
+
+/// Encodes a six-bit-ASCII text field of exactly `chars` characters,
+/// padding with `@`.
+fn put_text(w: &mut BitWriter, text: &str, chars: usize) {
+    let mut written = 0;
+    for ch in text.chars().take(chars) {
+        let v = char_to_sixbit(ch);
+        w.put_u32(u32::from(v), 6);
+        written += 1;
+    }
+    for _ in written..chars {
+        w.put_u32(0, 6); // '@' padding
+    }
+}
+
+/// Reads a six-bit-ASCII text field of `chars` characters, trimming the
+/// `@` padding and trailing spaces.
+fn get_text(r: &mut BitReader, chars: usize) -> Option<String> {
+    let mut out = String::with_capacity(chars);
+    for _ in 0..chars {
+        let v = r.get_u32(6)? as u8;
+        out.push(sixbit_to_char(v));
+    }
+    Some(out.trim_end_matches(['@', ' ']).to_string())
+}
+
+/// The AIS six-bit text alphabet: 0–31 map to `@A–Z[\]^_`, 32–63 to
+/// space through `?`.
+fn sixbit_to_char(v: u8) -> char {
+    if v < 32 {
+        (v + 64) as char
+    } else {
+        v as char
+    }
+}
+
+fn char_to_sixbit(ch: char) -> u8 {
+    let up = ch.to_ascii_uppercase() as u8;
+    match up {
+        64..=95 => up - 64, // '@'..'_' -> 0..31
+        32..=63 => up,      // ' '..'?' -> 32..63
+        _ => 0,             // unrepresentable -> '@'
+    }
+}
+
+/// Encodes a [`StaticVoyageData`] as the standard two-fragment `!AIVDM`
+/// pair with sequential message id `seq_id`.
+#[must_use]
+pub fn encode_static_voyage(data: &StaticVoyageData, seq_id: u8) -> [String; 2] {
+    let mut w = BitWriter::new();
+    w.put_u32(5, 6); // message type
+    w.put_u32(0, 2); // repeat
+    w.put_u32(data.mmsi.0, 30);
+    w.put_u32(0, 2); // AIS version
+    w.put_u32(data.imo, 30);
+    put_text(&mut w, &data.callsign, 7);
+    put_text(&mut w, &data.name, 20);
+    w.put_u32(u32::from(data.ship_type), 8);
+    w.put_u32(0, 30); // dimensions
+    w.put_u32(0, 4); // fix type
+    w.put_u32(0, 20); // ETA (month/day/hour/minute; 0 = unavailable)
+    w.put_u32(((data.draught_m * 10.0).round() as u32).min(255), 8);
+    put_text(&mut w, &data.destination, 20);
+    w.put_u32(0, 1); // DTE
+    w.put_u32(0, 1); // spare
+    let (payload, fill) = w.finish();
+
+    // Split the armoured payload across two sentences (the standard split
+    // for the 424-bit type 5 is 60 + 11 characters).
+    let cut = payload.len().min(60);
+    let (p1, p2) = payload.split_at(cut);
+    let body1 = format!("AIVDM,2,1,{seq_id},A,{p1},0");
+    let body2 = format!("AIVDM,2,2,{seq_id},A,{p2},{fill}");
+    [
+        format!("!{body1}*{:02X}", checksum(&body1)),
+        format!("!{body2}*{:02X}", checksum(&body2)),
+    ]
+}
+
+/// Decodes a reassembled type-5 payload.
+pub fn decode_static_voyage(payload: &str, fill_bits: u8) -> Result<StaticVoyageData, NmeaError> {
+    let mut r = BitReader::from_payload(payload, fill_bits).ok_or(NmeaError::BadPayload)?;
+    let msg_type = r.get_u32(6).ok_or(NmeaError::BadPayload)?;
+    if msg_type != 5 {
+        return Err(NmeaError::UnsupportedType(msg_type as u8));
+    }
+    r.skip(2).ok_or(NmeaError::BadPayload)?;
+    let mmsi_raw = r.get_u32(30).ok_or(NmeaError::BadPayload)?;
+    let mmsi = Mmsi::try_new(mmsi_raw).map_err(|e| NmeaError::BadMmsi(e.0))?;
+    r.skip(2).ok_or(NmeaError::BadPayload)?;
+    let imo = r.get_u32(30).ok_or(NmeaError::BadPayload)?;
+    let callsign = get_text(&mut r, 7).ok_or(NmeaError::BadPayload)?;
+    let name = get_text(&mut r, 20).ok_or(NmeaError::BadPayload)?;
+    let ship_type = r.get_u32(8).ok_or(NmeaError::BadPayload)? as u8;
+    r.skip(30 + 4 + 20).ok_or(NmeaError::BadPayload)?;
+    let draught = r.get_u32(8).ok_or(NmeaError::BadPayload)?;
+    let destination = get_text(&mut r, 20).ok_or(NmeaError::BadPayload)?;
+    Ok(StaticVoyageData {
+        mmsi,
+        imo,
+        callsign,
+        name,
+        ship_type,
+        draught_m: f64::from(draught) / 10.0,
+        destination,
+    })
+}
+
+/// Reassembles multi-fragment AIVDM messages.
+///
+/// Fragments are keyed by `(sequence id, channel, total)`; a message is
+/// released once all its fragments have arrived. Stale partial messages
+/// are evicted after `max_pending` distinct keys accumulate (radio loss
+/// means some fragments never arrive).
+#[derive(Debug)]
+pub struct Defragmenter {
+    pending: HashMap<(u8, char, u8), PendingMessage>,
+    /// Arrival counter for LRU-ish eviction.
+    clock: u64,
+    max_pending: usize,
+}
+
+#[derive(Debug)]
+struct PendingMessage {
+    fragments: Vec<Option<(String, u8)>>,
+    arrived: usize,
+    last_touch: u64,
+}
+
+impl Default for Defragmenter {
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+impl Defragmenter {
+    /// Creates a defragmenter holding at most `max_pending` partial
+    /// messages.
+    #[must_use]
+    pub fn new(max_pending: usize) -> Self {
+        Self {
+            pending: HashMap::new(),
+            clock: 0,
+            max_pending: max_pending.max(1),
+        }
+    }
+
+    /// Feeds one parsed sentence. Single-fragment sentences pass through
+    /// immediately; fragments of multi-part messages are buffered until
+    /// complete, then the concatenated `(payload, fill_bits)` is returned.
+    pub fn push(&mut self, sentence: &AivdmSentence) -> Option<(String, u8)> {
+        self.clock += 1;
+        if sentence.total <= 1 {
+            return Some((sentence.payload.clone(), sentence.fill_bits));
+        }
+        if sentence.number == 0 || sentence.number > sentence.total {
+            return None; // malformed fragment index
+        }
+        let key = (
+            sentence.seq_id.unwrap_or(0),
+            sentence.channel,
+            sentence.total,
+        );
+        let clock = self.clock;
+        let total = usize::from(sentence.total);
+        let entry = self.pending.entry(key).or_insert_with(|| PendingMessage {
+            fragments: vec![None; total],
+            arrived: 0,
+            last_touch: clock,
+        });
+        let idx = usize::from(sentence.number) - 1;
+        if entry.fragments[idx].is_none() {
+            entry.arrived += 1;
+        }
+        entry.fragments[idx] = Some((sentence.payload.clone(), sentence.fill_bits));
+        entry.last_touch = clock;
+
+        if entry.arrived == total {
+            let entry = self.pending.remove(&key).expect("just touched");
+            let mut payload = String::new();
+            let mut fill = 0;
+            for frag in entry.fragments.into_iter().flatten() {
+                payload.push_str(&frag.0);
+                fill = frag.1; // fill bits of the final fragment apply
+            }
+            return Some((payload, fill));
+        }
+        self.evict_if_needed();
+        None
+    }
+
+    /// Partial messages currently buffered.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.pending.len() > self.max_pending {
+            let oldest = self
+                .pending
+                .iter()
+                .min_by_key(|(_, p)| p.last_touch)
+                .map(|(k, _)| *k)
+                .expect("non-empty");
+            self.pending.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nmea::parse_sentence;
+
+    fn sample() -> StaticVoyageData {
+        StaticVoyageData {
+            mmsi: Mmsi(237_004_321),
+            imo: 9_074_729,
+            callsign: "SV2BZ".into(),
+            name: "BLUE STAR PAROS".into(),
+            ship_type: 60, // passenger
+            draught_m: 5.6,
+            destination: "PIRAEUS".into(),
+        }
+    }
+
+    #[test]
+    fn type5_roundtrip_via_two_fragments() {
+        let data = sample();
+        let [s1, s2] = encode_static_voyage(&data, 3);
+        let f1 = parse_sentence(&s1).unwrap();
+        let f2 = parse_sentence(&s2).unwrap();
+        assert_eq!(f1.total, 2);
+        assert_eq!(f1.number, 1);
+        assert_eq!(f2.number, 2);
+        assert_eq!(f1.seq_id, Some(3));
+
+        let mut defrag = Defragmenter::default();
+        assert!(defrag.push(&f1).is_none());
+        let (payload, fill) = defrag.push(&f2).expect("complete after 2nd fragment");
+        let decoded = decode_static_voyage(&payload, fill).unwrap();
+        assert_eq!(decoded, data);
+        assert_eq!(defrag.pending(), 0);
+    }
+
+    #[test]
+    fn fragments_out_of_order_still_assemble() {
+        let [s1, s2] = encode_static_voyage(&sample(), 1);
+        let f1 = parse_sentence(&s1).unwrap();
+        let f2 = parse_sentence(&s2).unwrap();
+        let mut defrag = Defragmenter::default();
+        assert!(defrag.push(&f2).is_none());
+        let (payload, fill) = defrag.push(&f1).unwrap();
+        let decoded = decode_static_voyage(&payload, fill).unwrap();
+        assert_eq!(decoded.destination, "PIRAEUS");
+    }
+
+    #[test]
+    fn duplicate_fragment_is_harmless() {
+        let [s1, s2] = encode_static_voyage(&sample(), 1);
+        let f1 = parse_sentence(&s1).unwrap();
+        let f2 = parse_sentence(&s2).unwrap();
+        let mut defrag = Defragmenter::default();
+        assert!(defrag.push(&f1).is_none());
+        assert!(defrag.push(&f1).is_none());
+        assert!(defrag.push(&f2).is_some());
+    }
+
+    #[test]
+    fn interleaved_messages_by_seq_id() {
+        let a = sample();
+        let b = StaticVoyageData {
+            mmsi: Mmsi(237_009_999),
+            destination: "HERAKLION".into(),
+            ..sample()
+        };
+        let [a1, a2] = encode_static_voyage(&a, 1);
+        let [b1, b2] = encode_static_voyage(&b, 2);
+        let mut defrag = Defragmenter::default();
+        assert!(defrag.push(&parse_sentence(&a1).unwrap()).is_none());
+        assert!(defrag.push(&parse_sentence(&b1).unwrap()).is_none());
+        assert_eq!(defrag.pending(), 2);
+        let (pb, fb) = defrag.push(&parse_sentence(&b2).unwrap()).unwrap();
+        assert_eq!(decode_static_voyage(&pb, fb).unwrap().destination, "HERAKLION");
+        let (pa, fa) = defrag.push(&parse_sentence(&a2).unwrap()).unwrap();
+        assert_eq!(decode_static_voyage(&pa, fa).unwrap().destination, "PIRAEUS");
+    }
+
+    #[test]
+    fn eviction_bounds_memory() {
+        let mut defrag = Defragmenter::new(4);
+        for seq in 0..20u8 {
+            let [s1, _] = encode_static_voyage(&sample(), seq % 10);
+            // Vary the channel to create distinct keys beyond seq id reuse.
+            let mut f = parse_sentence(&s1).unwrap();
+            f.channel = if seq % 2 == 0 { 'A' } else { 'B' };
+            f.seq_id = Some(seq);
+            defrag.push(&f);
+        }
+        assert!(defrag.pending() <= 4);
+    }
+
+    #[test]
+    fn empty_fields_and_padding() {
+        let data = StaticVoyageData {
+            callsign: String::new(),
+            name: String::new(),
+            destination: String::new(),
+            draught_m: 0.0,
+            ..sample()
+        };
+        let [s1, s2] = encode_static_voyage(&data, 0);
+        let mut defrag = Defragmenter::default();
+        defrag.push(&parse_sentence(&s1).unwrap());
+        let (p, f) = defrag.push(&parse_sentence(&s2).unwrap()).unwrap();
+        let decoded = decode_static_voyage(&p, f).unwrap();
+        assert_eq!(decoded.name, "");
+        assert_eq!(decoded.destination, "");
+        assert_eq!(decoded.draught_m, 0.0);
+    }
+
+    #[test]
+    fn text_alphabet_covers_names() {
+        for ch in "ABCXYZ 0123456789-./?".chars() {
+            let v = char_to_sixbit(ch);
+            assert_eq!(sixbit_to_char(v), ch, "char {ch}");
+        }
+        // Lowercase is uppercased; exotic characters degrade to '@'.
+        assert_eq!(sixbit_to_char(char_to_sixbit('a')), 'A');
+        assert_eq!(sixbit_to_char(char_to_sixbit('ß')), '@');
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let mut w = BitWriter::new();
+        w.put_u32(1, 6);
+        for _ in 0..19 {
+            w.put_u32(0, 22); // 418 zero bits in word-sized chunks
+        }
+        let (p, f) = w.finish();
+        assert!(matches!(
+            decode_static_voyage(&p, f),
+            Err(NmeaError::UnsupportedType(1))
+        ));
+    }
+}
+
+/// A small registry of the latest voyage declarations per vessel, with the
+/// receive timestamp — consumed by the archive's declared-vs-derived
+/// destination comparison.
+#[derive(Debug, Default)]
+pub struct VoyageRegistry {
+    latest: HashMap<Mmsi, (Timestamp, StaticVoyageData)>,
+}
+
+impl VoyageRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a declaration (keeps the newest per vessel).
+    pub fn record(&mut self, at: Timestamp, data: StaticVoyageData) {
+        match self.latest.get(&data.mmsi) {
+            Some((prev, _)) if *prev > at => {}
+            _ => {
+                self.latest.insert(data.mmsi, (at, data));
+            }
+        }
+    }
+
+    /// The latest declaration for a vessel.
+    #[must_use]
+    pub fn latest(&self, mmsi: Mmsi) -> Option<&StaticVoyageData> {
+        self.latest.get(&mmsi).map(|(_, d)| d)
+    }
+
+    /// Number of vessels with declarations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    fn decl(mmsi: u32, dest: &str) -> StaticVoyageData {
+        StaticVoyageData {
+            mmsi: Mmsi(mmsi),
+            imo: 0,
+            callsign: String::new(),
+            name: String::new(),
+            ship_type: 70,
+            draught_m: 4.0,
+            destination: dest.into(),
+        }
+    }
+
+    #[test]
+    fn keeps_newest_declaration() {
+        let mut reg = VoyageRegistry::new();
+        reg.record(Timestamp(100), decl(1, "PIRAEUS"));
+        reg.record(Timestamp(200), decl(1, "RHODES"));
+        assert_eq!(reg.latest(Mmsi(1)).unwrap().destination, "RHODES");
+        // An older declaration arriving late does not overwrite.
+        reg.record(Timestamp(150), decl(1, "VOLOS"));
+        assert_eq!(reg.latest(Mmsi(1)).unwrap().destination, "RHODES");
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benches for the geospatial substrate, including the
+//! grid-index vs linear-scan ablation for the `close/3` predicate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use maritime::prelude::*;
+use maritime_geo::{destination, haversine_distance_m, GridIndex};
+
+fn probe_points(n: usize) -> Vec<GeoPoint> {
+    // Deterministic scatter across the Aegean extent.
+    (0..n)
+        .map(|i| {
+            let lon = 20.0 + (i * 7919 % 1_000) as f64 / 1_000.0 * 8.0;
+            let lat = 35.0 + (i * 104_729 % 1_000) as f64 / 1_000.0 * 5.5;
+            GeoPoint::new(lon, lat)
+        })
+        .collect()
+}
+
+fn bench_close_predicate(c: &mut Criterion) {
+    let areas = generate_areas(&AreaGenConfig::default());
+    let index = GridIndex::build(areas, 0.2, 2_000.0);
+    let probes = probe_points(10_000);
+
+    let mut group = c.benchmark_group("close_predicate");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("grid_index", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|p| index.close_area_ids(*p).len())
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|p| index.close_area_ids_linear(*p).len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let probes = probe_points(10_000);
+    let mut group = c.benchmark_group("geo_primitives");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("haversine", |b| {
+        b.iter(|| {
+            probes
+                .windows(2)
+                .map(|w| haversine_distance_m(w[0], w[1]))
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("destination", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| destination(*p, (i % 360) as f64, 1_000.0).lon)
+                .sum::<f64>()
+        });
+    });
+    let polygon = Polygon::circle(GeoPoint::new(24.0, 37.5), 10_000.0, 32);
+    group.bench_function("polygon_contains", |b| {
+        b.iter(|| probes.iter().filter(|p| polygon.contains(**p)).count());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_close_predicate, bench_primitives);
+criterion_main!(benches);

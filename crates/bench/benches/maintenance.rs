@@ -1,0 +1,70 @@
+//! Criterion bench for the full trajectory-maintenance pipeline
+//! (Figure 10): tracking + staging + reconstruction + loading.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maritime::prelude::*;
+use maritime_bench::{Scale, Workload};
+
+fn bench_pipeline_maintenance(c: &mut Criterion) {
+    let w = Workload::build(Scale::Small);
+    let mut group = c.benchmark_group("fig10_maintenance");
+    group.sample_size(10);
+    for (range_h, slide_min, label) in
+        [(1i64, 10i64, "w1h_b10m"), (6, 60, "w6h_b1h"), (24, 60, "w24h_b1h")]
+    {
+        let config = SurveillanceConfig {
+            tracking_window: WindowSpec::new(
+                Duration::hours(range_h),
+                Duration::minutes(slide_min),
+            )
+            .unwrap(),
+            recognition_window: WindowSpec::new(
+                Duration::hours(range_h.max(6)),
+                Duration::minutes(slide_min.max(60)),
+            )
+            .unwrap(),
+            ..SurveillanceConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| {
+                let mut pipeline =
+                    SurveillancePipeline::new(config, w.vessels.clone(), w.areas.clone())
+                        .unwrap();
+                let report = pipeline.run(w.tuples());
+                report.critical_points
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Archive loading and analytics in isolation.
+fn bench_archive_analytics(c: &mut Criterion) {
+    let w = Workload::build(Scale::Small);
+    let config = SurveillanceConfig::default();
+    let mut pipeline =
+        SurveillancePipeline::new(&config, w.vessels.clone(), w.areas.clone()).unwrap();
+    pipeline.run(w.tuples());
+    let trips: Vec<Trip> = pipeline.archive().trips().to_vec();
+
+    let mut group = c.benchmark_group("archive_analytics");
+    group.sample_size(10);
+    group.bench_function("load_trips", |b| {
+        b.iter(|| {
+            let mut store = TrajectoryStore::new();
+            store.load(trips.clone());
+            store.trip_count()
+        });
+    });
+    let store = pipeline.archive();
+    group.bench_function("od_matrix", |b| {
+        b.iter(|| store.od_matrix().len());
+    });
+    group.bench_function("cluster_trips", |b| {
+        b.iter(|| maritime_modstore::cluster::cluster_trips(store, 3_000.0, 8).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_maintenance, bench_archive_analytics);
+criterion_main!(benches);

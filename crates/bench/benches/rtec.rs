@@ -1,0 +1,109 @@
+//! Criterion benches for the RTEC engine: interval construction (maximal
+//! intervals vs naive per-timepoint evaluation) and windowed recognition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maritime_rtec::{
+    Duration, Engine, EventDescription, FluentDef, IntervalList, Timestamp, Trigger, WindowSpec,
+};
+
+fn alternating_points(n: usize) -> (Vec<Timestamp>, Vec<Timestamp>) {
+    let inits = (0..n).map(|i| Timestamp((i * 20) as i64)).collect();
+    let terms = (0..n).map(|i| Timestamp((i * 20 + 10) as i64)).collect();
+    (inits, terms)
+}
+
+/// Maximal-interval construction vs the naive alternative of answering
+/// every holdsAt probe by scanning the point lists.
+fn bench_interval_construction(c: &mut Criterion) {
+    let (inits, terms) = alternating_points(5_000);
+    let probes: Vec<Timestamp> = (0..10_000).map(|i| Timestamp(i * 10 + 5)).collect();
+
+    let mut group = c.benchmark_group("interval_representation");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+
+    group.bench_function("maximal_intervals_then_binary_search", |b| {
+        b.iter(|| {
+            let il = IntervalList::from_points(&inits, &terms, None);
+            probes.iter().filter(|t| il.holds_at(**t)).count()
+        });
+    });
+
+    group.bench_function("naive_per_timepoint_scan", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|t| {
+                    // holdsAt by definition: last initiation before t not
+                    // followed by a termination in (ts, t].
+                    let last_init = inits.iter().rev().find(|i| **i < **t);
+                    match last_init {
+                        None => false,
+                        Some(ts) => !terms.iter().any(|f| f > ts && *f <= **t),
+                    }
+                })
+                .count()
+        });
+    });
+    group.finish();
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    On(u32),
+    Off(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Active(u32);
+
+fn description() -> EventDescription<(), Ev, Active, ()> {
+    EventDescription::new().fluent(
+        FluentDef::new("active")
+            .initiated(|_, _, trig: Trigger<'_, Ev, Active>, _| match trig.input() {
+                Some(Ev::On(id)) => vec![Active(*id)],
+                _ => vec![],
+            })
+            .terminated(|_, _, trig: Trigger<'_, Ev, Active>, _| match trig.input() {
+                Some(Ev::Off(id)) => vec![Active(*id)],
+                _ => vec![],
+            }),
+    )
+}
+
+/// Engine recognition cost as a function of working-memory size.
+fn bench_engine_recognition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_recognition");
+    group.sample_size(20);
+    for n_events in [1_000usize, 10_000, 50_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_events}_events")),
+            &n_events,
+            |b, &n| {
+                let events: Vec<(Timestamp, Ev)> = (0..n)
+                    .map(|i| {
+                        let id = (i % 100) as u32;
+                        let t = Timestamp(i as i64);
+                        if (i / 100) % 2 == 0 {
+                            (t, Ev::On(id))
+                        } else {
+                            (t, Ev::Off(id))
+                        }
+                    })
+                    .collect();
+                b.iter(|| {
+                    let spec =
+                        WindowSpec::new(Duration::secs(n as i64 + 1), Duration::secs(100))
+                            .unwrap();
+                    let mut engine = Engine::new((), description(), spec);
+                    engine.add_events(events.iter().cloned());
+                    let r = engine.recognize_at(Timestamp(n as i64));
+                    r.fluents.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_construction, bench_engine_recognition);
+criterion_main!(benches);

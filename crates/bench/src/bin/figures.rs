@@ -1,0 +1,459 @@
+//! Regenerates every table and figure of the paper's evaluation (§5).
+//!
+//! ```text
+//! cargo run -p maritime-bench --release --bin figures            # all
+//! cargo run -p maritime-bench --release --bin figures -- fig6    # one
+//! cargo run -p maritime-bench --release --bin figures -- --scale small
+//! ```
+//!
+//! Experiments: `fig6` (tracking cost vs window), `fig7` (arrival-rate
+//! stress), `fig8` (trajectory RMSE), `fig9` (compression), `fig10`
+//! (maintenance cost split), `table4` (archive statistics), `fig11`
+//! (CE recognition, 1 vs 2 processors, with/without spatial facts).
+//!
+//! Absolute times will differ from the paper (different hardware, a
+//! simulated dataset at reduced scale); the *shapes* — linear growth in
+//! β and ω, who wins, crossovers — are the reproduction targets. Results
+//! are also written as JSON under `bench-results/`.
+
+use std::time::Instant;
+
+use maritime::prelude::*;
+use maritime_bench::{Scale, TextTable, Workload};
+use maritime_cer::{partition, spatial, Knowledge, MaritimeRecognizer, SpatialMode};
+use maritime_tracker::accuracy::evaluate_accuracy;
+use maritime_tracker::compression::measure_compression;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Medium;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            let v = it.next().expect("--scale needs a value");
+            scale = Scale::parse(v).unwrap_or_else(|| panic!("unknown scale {v}"));
+        } else {
+            selected.push(a.clone());
+        }
+    }
+    let all = [
+        "fig6", "fig7", "fig8", "fig9", "fig10", "table4", "fig11", "baselines",
+    ];
+    let run_list: Vec<&str> = if selected.is_empty() {
+        all.to_vec()
+    } else {
+        selected.iter().map(String::as_str).collect()
+    };
+
+    std::fs::create_dir_all("bench-results").ok();
+    println!("building workload at {scale:?} scale ...");
+    let t = Instant::now();
+    let workload = Workload::build(scale);
+    println!(
+        "  {} vessels, {} positions over {:.1} h (built in {:.1?})\n",
+        workload.vessels.len(),
+        workload.stream.len(),
+        workload.span().as_hours_f64(),
+        t.elapsed()
+    );
+
+    for exp in run_list {
+        match exp {
+            "fig6" => fig6(&workload),
+            "fig7" => fig7(&workload),
+            "fig8" => fig8(&workload),
+            "fig9" => fig9(&workload),
+            "fig10" => fig10(&workload),
+            "table4" => table4(&workload),
+            "fig11" => fig11(&workload),
+            "baselines" => baselines(&workload),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+fn save_json(name: &str, value: &serde_json::Value) {
+    let path = format!("bench-results/{name}.json");
+    if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()) {
+        eprintln!("  (could not write {path}: {e})");
+    }
+}
+
+/// Average per-slide tracking cost for one window geometry.
+fn tracking_cost_per_slide(
+    stream: &[(Timestamp, PositionTuple)],
+    spec: WindowSpec,
+) -> (f64, usize) {
+    let mut tracker = WindowedTracker::new(TrackerParams::default(), spec);
+    let mut slides = 0usize;
+    let t0 = Instant::now();
+    for batch in SlideBatches::new(stream.iter().cloned(), spec, Timestamp::ZERO) {
+        let tuples: Vec<PositionTuple> = batch.items.into_iter().map(|(_, t)| t).collect();
+        tracker.slide(batch.query_time, &tuples);
+        slides += 1;
+    }
+    let total = t0.elapsed().as_secs_f64();
+    (total / slides.max(1) as f64 * 1_000.0, slides)
+}
+
+/// Figure 6: online mobility tracking cost per window slide.
+fn fig6(w: &Workload) {
+    println!("== Figure 6: online tracking cost per window ==");
+    let mut json = Vec::new();
+
+    let mut small = TextTable::new(&["ω", "β (min)", "slides", "avg cost/slide (ms)"]);
+    for range_h in [1i64, 2] {
+        for slide_min in [5i64, 10, 15, 20, 30] {
+            let spec =
+                WindowSpec::new(Duration::hours(range_h), Duration::minutes(slide_min)).unwrap();
+            let (ms, slides) = tracking_cost_per_slide(&w.stream, spec);
+            small.row(vec![
+                format!("{range_h}h"),
+                slide_min.to_string(),
+                slides.to_string(),
+                format!("{ms:.3}"),
+            ]);
+            json.push(serde_json::json!({
+                "panel": "a", "range_h": range_h, "slide_min": slide_min,
+                "slides": slides, "avg_ms": ms
+            }));
+        }
+    }
+    println!("-- (a) small window ranges --\n{}", small.render());
+
+    let mut large = TextTable::new(&["ω", "β (h)", "slides", "avg cost/slide (ms)"]);
+    for range_h in [6i64, 24] {
+        for slide_min in [30i64, 60, 90, 120, 240] {
+            let spec =
+                WindowSpec::new(Duration::hours(range_h), Duration::minutes(slide_min)).unwrap();
+            let (ms, slides) = tracking_cost_per_slide(&w.stream, spec);
+            large.row(vec![
+                format!("{range_h}h"),
+                format!("{:.1}", slide_min as f64 / 60.0),
+                slides.to_string(),
+                format!("{ms:.3}"),
+            ]);
+            json.push(serde_json::json!({
+                "panel": "b", "range_h": range_h, "slide_min": slide_min,
+                "slides": slides, "avg_ms": ms
+            }));
+        }
+    }
+    println!("-- (b) large window ranges --\n{}", large.render());
+    println!("expected shape: cost grows ~linearly with β (more fresh positions per slide)\nand with ω; sub-second per slide at small ranges.\n");
+    save_json("fig6", &serde_json::Value::Array(json));
+}
+
+/// Figure 7: tracking latency at increased arrival rates.
+fn fig7(w: &Workload) {
+    use maritime_ais::replay::at_rate;
+    use maritime_bench::inflate_fleet;
+    println!("== Figure 7: varying arrival rates (ω = 10 min, β = 1 min) ==");
+    let spec = WindowSpec::new(Duration::minutes(10), Duration::minutes(1)).unwrap();
+    let mut table = TextTable::new(&["ρ (pos/s)", "positions", "slides", "avg cost/slide (ms)"]);
+    let mut json = Vec::new();
+    for rate in [1_000.0, 2_000.0, 5_000.0, 10_000.0] {
+        // Replicate the fleet so the rescaled stream still spans at least
+        // ~10 slides of 1 minute at this rate (the paper compresses a
+        // three-month stream; we compress a replicated multi-day one).
+        let needed = (rate * 600.0) as usize;
+        let factor = needed.div_ceil(w.stream.len()).max(1);
+        let inflated = inflate_fleet(&w.stream, factor);
+        let fast = at_rate(&inflated, rate);
+        let (ms, slides) = tracking_cost_per_slide(&fast, spec);
+        table.row(vec![
+            format!("{rate}"),
+            fast.len().to_string(),
+            slides.to_string(),
+            format!("{ms:.3}"),
+        ]);
+        json.push(serde_json::json!({
+            "rate": rate, "positions": fast.len(), "slides": slides, "avg_ms": ms
+        }));
+    }
+    println!("{}", table.render());
+    println!("expected shape: latency grows with ρ but stays well below the 60 s slide.\n");
+    save_json("fig7", &serde_json::Value::Array(json));
+}
+
+/// Figure 8: trajectory approximation RMSE vs Δθ.
+fn fig8(w: &Workload) {
+    println!("== Figure 8: trajectory approximation error ==");
+    let tuples = w.tuples();
+    let mut table = TextTable::new(&["Δθ (deg)", "avg RMSE (m)", "max RMSE (m)"]);
+    let mut json = Vec::new();
+    for dtheta in [5.0, 10.0, 15.0, 20.0] {
+        let (_, critical) =
+            measure_compression(&tuples, TrackerParams::with_turn_threshold(dtheta));
+        let acc = evaluate_accuracy(&tuples, &critical);
+        table.row(vec![
+            format!("{dtheta}"),
+            format!("{:.1}", acc.avg_rmse_m),
+            format!("{:.1}", acc.max_rmse_m),
+        ]);
+        json.push(serde_json::json!({
+            "dtheta": dtheta, "avg_rmse_m": acc.avg_rmse_m, "max_rmse_m": acc.max_rmse_m
+        }));
+    }
+    println!("{}", table.render());
+    println!("expected shape: both curves grow with Δθ (paper: avg ≤ 16 m, max 182 m on\nthe denser real dataset — our synthetic traces are sparser, so absolute\nerrors are larger, but the monotone trend must hold).\n");
+    save_json("fig8", &serde_json::Value::Array(json));
+}
+
+/// Figure 9: compression ratio and critical-point counts vs Δθ.
+fn fig9(w: &Workload) {
+    println!("== Figure 9: compression for varying Δθ ==");
+    let tuples = w.tuples();
+    let mut table = TextTable::new(&["Δθ (deg)", "critical points", "compression ratio"]);
+    let mut json = Vec::new();
+    for dtheta in [5.0, 10.0, 15.0, 20.0] {
+        let (rep, _) = measure_compression(&tuples, TrackerParams::with_turn_threshold(dtheta));
+        table.row(vec![
+            format!("{dtheta}"),
+            rep.critical_points.to_string(),
+            format!("{:.3}", rep.ratio),
+        ]);
+        json.push(serde_json::json!({
+            "dtheta": dtheta, "critical": rep.critical_points, "ratio": rep.ratio
+        }));
+    }
+    println!("{}", table.render());
+    println!("expected shape: every +5° in Δθ drops the critical-point count; the ratio\nstays near ~94-97% (paper: ~94%).\n");
+    save_json("fig9", &serde_json::Value::Array(json));
+}
+
+/// Figure 10: trajectory maintenance cost split by phase.
+fn fig10(w: &Workload) {
+    println!("== Figure 10: trajectory maintenance cost per slide ==");
+    let mut table = TextTable::new(&[
+        "window",
+        "slides",
+        "tracking (ms)",
+        "staging (ms)",
+        "reconstruction (ms)",
+        "loading (ms)",
+    ]);
+    let mut json = Vec::new();
+    for (range_h, slide_min, label) in
+        [(1i64, 10i64, "ω=1h β=10min"), (6, 60, "ω=6h β=1h"), (24, 60, "ω=24h β=1h")]
+    {
+        let config = SurveillanceConfig {
+            tracking_window: WindowSpec::new(Duration::hours(range_h), Duration::minutes(slide_min))
+                .unwrap(),
+            recognition_window: WindowSpec::new(
+                Duration::hours(range_h.max(6)),
+                Duration::minutes(slide_min.max(60)),
+            )
+            .unwrap(),
+            ..SurveillanceConfig::default()
+        };
+        let mut pipeline =
+            SurveillancePipeline::new(&config, w.vessels.clone(), w.areas.clone()).unwrap();
+        let mut slides = 0usize;
+        let mut sums = [0.0f64; 4];
+        for batch in
+            SlideBatches::new(w.stream.iter().cloned(), config.tracking_window, Timestamp::ZERO)
+        {
+            let tuples: Vec<PositionTuple> = batch.items.into_iter().map(|(_, t)| t).collect();
+            let outcome = pipeline.slide(batch.query_time, &tuples);
+            sums[0] += outcome.timings.tracking.as_secs_f64();
+            sums[1] += outcome.timings.staging.as_secs_f64();
+            sums[2] += outcome.timings.reconstruction.as_secs_f64();
+            sums[3] += outcome.timings.loading.as_secs_f64();
+            slides += 1;
+        }
+        let avg = |s: f64| s / slides.max(1) as f64 * 1_000.0;
+        table.row(vec![
+            label.to_string(),
+            slides.to_string(),
+            format!("{:.3}", avg(sums[0])),
+            format!("{:.3}", avg(sums[1])),
+            format!("{:.3}", avg(sums[2])),
+            format!("{:.3}", avg(sums[3])),
+        ]);
+        json.push(serde_json::json!({
+            "label": label, "slides": slides,
+            "tracking_ms": avg(sums[0]), "staging_ms": avg(sums[1]),
+            "reconstruction_ms": avg(sums[2]), "loading_ms": avg(sums[3])
+        }));
+    }
+    println!("{}", table.render());
+    println!("expected shape: tracking dominates and grows with window size; staging,\nreconstruction and loading stay small and roughly flat (paper: ≤ 260 ms,\n163 ms and 390 ms respectively on their hardware).\n");
+    save_json("fig10", &serde_json::Value::Array(json));
+}
+
+/// Table 4: statistics from compressed trajectories.
+fn table4(w: &Workload) {
+    println!("== Table 4: statistics from compressed trajectories ==");
+    let config = SurveillanceConfig::default();
+    let mut pipeline =
+        SurveillancePipeline::new(&config, w.vessels.clone(), w.areas.clone()).unwrap();
+    let report = pipeline.run(w.tuples());
+    println!("{}", report.archive);
+    println!(
+        "(raw positions: {}, compression: {:.1}%)\n",
+        report.raw_positions,
+        report.compression_ratio * 100.0
+    );
+    let a = &report.archive;
+    save_json(
+        "table4",
+        &serde_json::json!({
+            "points_in_trajectories": a.points_in_trajectories,
+            "points_in_staging": a.points_in_staging,
+            "trips": a.trips,
+            "avg_trips_per_vessel": a.avg_trips_per_vessel,
+            "avg_points_per_trip": a.avg_points_per_trip,
+            "avg_travel_time_secs": a.avg_travel_time.as_secs(),
+            "avg_distance_km": a.avg_distance_km,
+            "raw_positions": report.raw_positions,
+            "compression_ratio": report.compression_ratio,
+        }),
+    );
+}
+
+/// Extension: compression-vs-accuracy frontier against the related-work
+/// baselines of §6 (Douglas-Peucker error-bounded simplification, online
+/// dead reckoning).
+fn baselines(w: &Workload) {
+    use maritime_tracker::baselines::compare_methods;
+    println!("== Baselines: compression vs accuracy frontier (paper §6 related work) ==");
+    let tuples = w.tuples();
+    let mut table = TextTable::new(&[
+        "method",
+        "retained",
+        "compression",
+        "avg RMSE (m)",
+        "max RMSE (m)",
+        "annotated MEs",
+    ]);
+    let mut json = Vec::new();
+    let results = compare_methods(&tuples, TrackerParams::default(), 100.0, 200.0);
+    for r in &results {
+        table.row(vec![
+            r.method.to_string(),
+            r.retained.to_string(),
+            format!("{:.3}", r.compression_ratio),
+            format!("{:.1}", r.accuracy.avg_rmse_m),
+            format!("{:.1}", r.accuracy.max_rmse_m),
+            if r.method == "critical_points" { "yes" } else { "no" }.to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "method": r.method, "retained": r.retained,
+            "compression": r.compression_ratio,
+            "avg_rmse_m": r.accuracy.avg_rmse_m, "max_rmse_m": r.accuracy.max_rmse_m,
+        }));
+    }
+    println!("{}", table.render());
+    println!(
+        "note: only critical points carry movement-event annotations, which is what\n\
+         the CE recognition stage consumes - the baselines reduce data but discard\n\
+         the semantics (\"we annotate reduced representations according to\n\
+         particular movement events\", section 6).\n"
+    );
+    save_json("baselines", &serde_json::Value::Array(json));
+}
+
+/// Figure 11: CE recognition times, 1 vs 2 processors, on-demand spatial
+/// reasoning (a) vs precomputed spatial facts (b).
+fn fig11(w: &Workload) {
+    println!("== Figure 11: complex event recognition ==");
+    let me_stream = w.me_stream(TrackerParams::default());
+    println!(
+        "  ME stream: {} critical movement events from {} raw positions",
+        me_stream.len(),
+        w.stream.len()
+    );
+
+    let span_end = Timestamp::ZERO + w.span();
+    let mut json = Vec::new();
+
+    for (panel, mode) in [
+        ("a", SpatialMode::OnDemand),
+        ("b", SpatialMode::Precomputed),
+        ("c", SpatialMode::OnDemandIndexed),
+    ] {
+        let mut events = me_stream.clone();
+        let facts = if mode == SpatialMode::Precomputed {
+            let kb = Knowledge::standard(w.vessels.iter().copied(), w.areas.clone());
+            spatial::annotate_with_spatial_facts(&mut events, &kb)
+        } else {
+            0
+        };
+        let label = match mode {
+            SpatialMode::OnDemand => "on-demand spatial reasoning (paper: linear over areas)",
+            SpatialMode::Precomputed => "precomputed spatial facts",
+            SpatialMode::OnDemandIndexed => "on-demand with grid index (extension beyond the paper)",
+        };
+        println!("-- ({panel}) {label}{} --", if facts > 0 {
+            format!(" ({facts} spatial facts)")
+        } else {
+            String::new()
+        });
+
+        let mut table = TextTable::new(&[
+            "ω (h)",
+            "MEs/window",
+            "CEs",
+            "1 proc (ms/query)",
+            "2 procs (ms/query)",
+            "speedup",
+        ]);
+        for range_h in [1i64, 2, 6, 9] {
+            let spec = WindowSpec::new(Duration::hours(range_h), Duration::hours(1)).unwrap();
+            let queries = spec.query_times(Timestamp::ZERO, span_end);
+
+            // Single processor.
+            let t0 = Instant::now();
+            let kb = Knowledge::new(
+                w.vessels.iter().copied(),
+                w.areas.clone(),
+                2_000.0,
+                mode,
+            );
+            let mut single = MaritimeRecognizer::new(kb, spec);
+            single.add_events(events.iter().cloned());
+            let mut ce_single = 0usize;
+            let mut wm_sum = 0usize;
+            for q in &queries {
+                let s = single.recognize_and_summarize(*q);
+                ce_single += s.ce_count;
+                wm_sum += s.working_memory;
+            }
+            let single_ms = t0.elapsed().as_secs_f64() / queries.len().max(1) as f64 * 1_000.0;
+
+            // Two processors (geographic east/west partitioning).
+            let t1 = Instant::now();
+            let merged = partition::recognize_partitioned(
+                &partition::GeoPartitioner::east_west(),
+                &w.vessels,
+                &w.areas,
+                &events,
+                spec,
+                &queries,
+                mode,
+            );
+            let ce_two: usize = merged.iter().map(partition::MergedSummary::ce_count).sum();
+            let two_ms = t1.elapsed().as_secs_f64() / queries.len().max(1) as f64 * 1_000.0;
+
+            table.row(vec![
+                range_h.to_string(),
+                (wm_sum / queries.len().max(1)).to_string(),
+                format!("{ce_single}/{ce_two}"),
+                format!("{single_ms:.3}"),
+                format!("{two_ms:.3}"),
+                format!("{:.2}x", single_ms / two_ms.max(1e-9)),
+            ]);
+            json.push(serde_json::json!({
+                "panel": panel, "range_h": range_h,
+                "avg_mes_per_window": wm_sum / queries.len().max(1),
+                "ce_single": ce_single, "ce_two": ce_two,
+                "single_ms": single_ms, "two_ms": two_ms,
+            }));
+        }
+        println!("{}", table.render());
+    }
+    println!("expected shape: times grow with ω; two processors are faster (paper: ~1.6x);\nprecomputed facts (b) are faster than on-demand reasoning (a) despite the\nlarger input stream; CE counts match between 1 and 2 processors.\n");
+    save_json("fig11", &serde_json::Value::Array(json));
+}

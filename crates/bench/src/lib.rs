@@ -1,0 +1,234 @@
+//! Shared workload builders for the benchmark harness.
+//!
+//! Every experiment of §5 (Figures 6–11, Table 4) draws on the same
+//! ingredients: a simulated fleet stream (the dataset substitute), the
+//! 35 synthetic surveillance areas, the per-vessel static facts, and the
+//! critical-movement-event stream the tracker derives. The builders here
+//! are deterministic — the same scale and seed always produce the same
+//! workload — so bench results are comparable across runs.
+
+#![warn(missing_docs)]
+
+use maritime::prelude::*;
+use maritime_ais::replay::to_tuple_stream;
+use maritime_cer::InputEvent;
+use maritime_tracker::compression::measure_compression;
+
+/// Workload scale for the figures harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Quick smoke runs (CI): 60 vessels, 12 h.
+    Small,
+    /// Default evaluation: 200 vessels, 48 h.
+    Medium,
+    /// Extended: 400 vessels, 72 h.
+    Large,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `large`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "small" => Some(Self::Small),
+            "medium" => Some(Self::Medium),
+            "large" => Some(Self::Large),
+            _ => None,
+        }
+    }
+
+    /// The fleet configuration at this scale.
+    #[must_use]
+    pub fn fleet_config(self) -> FleetConfig {
+        let (vessels, hours) = match self {
+            Self::Small => (60, 12),
+            Self::Medium => (200, 48),
+            Self::Large => (400, 72),
+        };
+        FleetConfig {
+            vessels,
+            duration: Duration::hours(hours),
+            seed: 0xEDB7_2015,
+            ..FleetConfig::default()
+        }
+    }
+}
+
+/// A fully-built evaluation workload.
+pub struct Workload {
+    /// The simulator (for vessel profiles).
+    pub sim: FleetSimulator,
+    /// The raw positional stream, time-sorted.
+    pub stream: Vec<(Timestamp, PositionTuple)>,
+    /// The 35 synthetic areas plus port basins.
+    pub areas: Vec<Area>,
+    /// Per-vessel static facts.
+    pub vessels: Vec<VesselInfo>,
+}
+
+impl Workload {
+    /// Builds the workload at a scale.
+    #[must_use]
+    pub fn build(scale: Scale) -> Self {
+        let sim = FleetSimulator::new(scale.fleet_config());
+        let stream = to_tuple_stream(&sim.generate());
+        let areas = generate_areas(&AreaGenConfig::default());
+        let vessels = sim.profiles().iter().map(VesselInfo::from).collect();
+        Self {
+            sim,
+            stream,
+            areas,
+            vessels,
+        }
+    }
+
+    /// Raw tuples without timestamps keys.
+    #[must_use]
+    pub fn tuples(&self) -> Vec<PositionTuple> {
+        self.stream.iter().map(|(_, t)| *t).collect()
+    }
+
+    /// The critical-point stream the tracker derives with `params` —
+    /// the ME input of the CE recognition experiments.
+    #[must_use]
+    pub fn critical_points(&self, params: TrackerParams) -> Vec<CriticalPoint> {
+        let (_, critical) = measure_compression(&self.tuples(), params);
+        critical
+    }
+
+    /// The ME stream as recognizer input events.
+    #[must_use]
+    pub fn me_stream(&self, params: TrackerParams) -> Vec<(Timestamp, InputEvent)> {
+        InputEvent::from_critical_batch(&self.critical_points(params))
+    }
+
+    /// Stream span in seconds.
+    #[must_use]
+    pub fn span(&self) -> Duration {
+        match (self.stream.first(), self.stream.last()) {
+            (Some((a, _)), Some((b, _))) => *b - *a,
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+/// Inflates a stream by replicating the fleet `factor` times with remapped
+/// MMSIs — the cheap way to synthesize the position volumes of the
+/// Figure 7 stress test ("every ship appears as reporting almost twice per
+/// second") without simulating a six-thousand-vessel fleet from scratch.
+/// Replicas are independent vessels to the tracker, so work scales
+/// linearly and realistically.
+#[must_use]
+pub fn inflate_fleet(
+    stream: &[(Timestamp, PositionTuple)],
+    factor: usize,
+) -> Vec<(Timestamp, PositionTuple)> {
+    let mut out = Vec::with_capacity(stream.len() * factor.max(1));
+    for k in 0..factor.max(1) {
+        let offset = (k as u32) * 1_000_000;
+        out.extend(stream.iter().map(|(t, p)| {
+            (
+                *t,
+                PositionTuple {
+                    mmsi: Mmsi(p.mmsi.0 % 1_000_000 + offset),
+                    ..*p
+                },
+            )
+        }));
+    }
+    out.sort_by_key(|(t, p)| (*t, p.mmsi));
+    out
+}
+
+/// Simple fixed-width text table for harness output.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn small_workload_builds() {
+        let w = Workload::build(Scale::Small);
+        assert!(!w.stream.is_empty());
+        assert_eq!(w.vessels.len(), 60);
+        assert!(w.areas.len() > 35);
+        assert!(w.span() > Duration::hours(10));
+    }
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "22".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bb"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+}

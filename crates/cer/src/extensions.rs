@@ -1,0 +1,334 @@
+//! Extension complex events beyond the paper's four scenarios.
+//!
+//! The paper's abstract and introduction name *loitering* as a situation of
+//! interest but formalize it only indirectly (several vessels stopped →
+//! `suspicious`). This module adds:
+//!
+//! * **`loitering(Vessel)`** — a durative CE: the vessel is stopped or in
+//!   slow motion *away from any port*. Hanging around open water is
+//!   interesting; being moored in Piraeus is not.
+//! * **rendezvous detection** — two vessels loitering at the same time
+//!   within a small radius of each other: the classic ship-to-ship
+//!   transfer (smuggling / transshipment) pattern, a natural "vessels
+//!   traveling together" spatiotemporal interaction (§2).
+//!
+//! Loitering is a regular RTEC fluent over the same input-event stream as
+//! the core recognizer; its rules consult only the input events and the
+//! static knowledge, so the [`ExtendedRecognizer`] runs a small dedicated
+//! event description rather than duplicating the core strata. Run it
+//! *alongside* a [`crate::MaritimeRecognizer`] when both the paper's CEs
+//! and the extensions are wanted — both consume the identical ME stream.
+//!
+//! Rendezvous pairing is computed on top of the recognized loitering
+//! intervals — the pairwise spatial join over interval overlaps is
+//! relational post-processing, not temporal reasoning, so it lives outside
+//! the engine just like the paper's own atemporal predicates.
+
+use std::collections::HashMap;
+
+use maritime_ais::Mmsi;
+use maritime_geo::{haversine_distance_m, AreaKind, GeoPoint};
+use maritime_rtec::{
+    Engine, EventDescription, FluentDef, Interval, IntervalList, Timestamp, Trigger, WindowSpec,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::fluents::Alert;
+use crate::input::{InputEvent, InputKind};
+use crate::knowledge::Knowledge;
+
+/// Key of the loitering fluent: the vessel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Loitering(pub Mmsi);
+
+/// A recognized ship-to-ship rendezvous.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rendezvous {
+    /// The two vessels, ordered by MMSI.
+    pub vessels: (Mmsi, Mmsi),
+    /// The overlap of their loitering intervals.
+    pub interval: Interval,
+    /// Approximate meeting point (midpoint of the two loiter anchors).
+    pub location: GeoPoint,
+    /// Distance between the two loiter anchors, meters.
+    pub separation_m: f64,
+}
+
+/// Builds the extension event description: the single `loitering` stratum.
+#[must_use]
+pub fn extension_description() -> EventDescription<Knowledge, InputEvent, Loitering, Alert> {
+    EventDescription::new().fluent(
+        FluentDef::new("loitering")
+            .initiated(|kb: &Knowledge, _, trig: Trigger<'_, InputEvent, Loitering>, _| {
+                match trig.input() {
+                    Some(e)
+                        if matches!(
+                            e.kind,
+                            InputKind::StopStart | InputKind::SlowMotionStart
+                        ) && !near_port(kb, e) =>
+                    {
+                        vec![Loitering(e.mmsi)]
+                    }
+                    _ => vec![],
+                }
+            })
+            .terminated(|_, _, trig: Trigger<'_, InputEvent, Loitering>, _| {
+                match trig.input() {
+                    Some(e)
+                        if matches!(
+                            e.kind,
+                            InputKind::StopEnd | InputKind::SlowMotionEnd | InputKind::GapStart
+                        ) =>
+                    {
+                        vec![Loitering(e.mmsi)]
+                    }
+                    _ => vec![],
+                }
+            }),
+    )
+}
+
+/// Whether the event's position is close to any port.
+fn near_port(kb: &Knowledge, e: &InputEvent) -> bool {
+    kb.close_areas_for(e)
+        .into_iter()
+        .any(|id| kb.area(id).is_some_and(|a| a.kind == AreaKind::Port))
+}
+
+/// Recognizer for the extension CEs.
+pub struct ExtendedRecognizer {
+    engine: Engine<Knowledge, InputEvent, Loitering, Alert>,
+    /// Positions of loiter-initiating events per vessel, time-ordered —
+    /// the anchors used by rendezvous pairing.
+    anchors: HashMap<Mmsi, Vec<(Timestamp, GeoPoint)>>,
+    /// Maximum anchor separation for a rendezvous, meters.
+    pub rendezvous_radius_m: f64,
+    /// Minimum overlap duration for a rendezvous report.
+    pub min_overlap_secs: i64,
+}
+
+impl ExtendedRecognizer {
+    /// Creates an extended recognizer.
+    #[must_use]
+    pub fn new(knowledge: Knowledge, spec: WindowSpec) -> Self {
+        Self {
+            engine: Engine::new(knowledge, extension_description(), spec),
+            anchors: HashMap::new(),
+            rendezvous_radius_m: 1_500.0,
+            min_overlap_secs: 600,
+        }
+    }
+
+    /// Streams input events.
+    pub fn add_events(&mut self, events: impl IntoIterator<Item = (Timestamp, InputEvent)>) {
+        for (t, e) in events {
+            if matches!(e.kind, InputKind::StopStart | InputKind::SlowMotionStart) {
+                self.anchors.entry(e.mmsi).or_default().push((t, e.position));
+            }
+            self.engine.add_event(t, e);
+        }
+    }
+
+    /// Recognizes loitering intervals and rendezvous at query time `q`.
+    pub fn recognize_at(&mut self, q: Timestamp) -> ExtensionReport {
+        let recognition = self.engine.recognize_at(q);
+        let mut loitering: Vec<(Mmsi, IntervalList)> = recognition
+            .fluents
+            .into_iter()
+            .filter_map(|(Loitering(m), il)| (!il.is_empty()).then_some((m, il)))
+            .collect();
+        loitering.sort_by_key(|(m, _)| *m);
+
+        let mut rendezvous = Vec::new();
+        for i in 0..loitering.len() {
+            for j in (i + 1)..loitering.len() {
+                let (ma, ila) = &loitering[i];
+                let (mb, ilb) = &loitering[j];
+                let overlap = ila.intersect(ilb);
+                for iv in overlap.intervals() {
+                    let long_enough = match iv.until {
+                        Some(u) => u.as_secs() - iv.since.as_secs() >= self.min_overlap_secs,
+                        None => q.as_secs() - iv.since.as_secs() >= self.min_overlap_secs,
+                    };
+                    if !long_enough {
+                        continue;
+                    }
+                    let (Some(pa), Some(pb)) = (
+                        self.anchor_before(*ma, iv.since),
+                        self.anchor_before(*mb, iv.since),
+                    ) else {
+                        continue;
+                    };
+                    let d = haversine_distance_m(pa, pb);
+                    if d <= self.rendezvous_radius_m {
+                        rendezvous.push(Rendezvous {
+                            vessels: (*ma, *mb),
+                            interval: *iv,
+                            location: pa.midpoint(pb),
+                            separation_m: d,
+                        });
+                    }
+                }
+            }
+        }
+
+        ExtensionReport {
+            query_time: q,
+            loitering,
+            rendezvous,
+        }
+    }
+
+    /// Latest loiter anchor of a vessel at or before `t`.
+    fn anchor_before(&self, mmsi: Mmsi, t: Timestamp) -> Option<GeoPoint> {
+        self.anchors
+            .get(&mmsi)?
+            .iter()
+            .rev()
+            .find(|(at, _)| *at <= t)
+            .map(|(_, p)| *p)
+    }
+}
+
+/// The extension CEs recognized at one query.
+#[derive(Debug, Clone)]
+pub struct ExtensionReport {
+    /// Query time.
+    pub query_time: Timestamp,
+    /// `loitering(Vessel)` maximal intervals, by MMSI.
+    pub loitering: Vec<(Mmsi, IntervalList)>,
+    /// Rendezvous pairs.
+    pub rendezvous: Vec<Rendezvous>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::VesselInfo;
+    use crate::recognizer::MaritimeRecognizer;
+    use maritime_geo::{Area, AreaId, Polygon};
+    use maritime_rtec::Duration;
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    fn kb() -> Knowledge {
+        let vessels = (1..=6).map(|i| VesselInfo {
+            mmsi: Mmsi(i),
+            draft_m: 4.0,
+            is_fishing: false,
+        });
+        let areas = vec![Area::new(
+            AreaId(0),
+            "Piraeus",
+            AreaKind::Port,
+            Polygon::circle(GeoPoint::new(23.62, 37.94), 2_500.0, 16),
+        )];
+        Knowledge::standard(vessels, areas)
+    }
+
+    fn recognizer() -> ExtendedRecognizer {
+        let spec = WindowSpec::new(Duration::hours(12), Duration::hours(1)).unwrap();
+        ExtendedRecognizer::new(kb(), spec)
+    }
+
+    fn ev(mmsi: u32, kind: InputKind, lon: f64, lat: f64) -> InputEvent {
+        InputEvent {
+            mmsi: Mmsi(mmsi),
+            kind,
+            position: GeoPoint::new(lon, lat),
+            close_areas: None,
+        }
+    }
+
+    #[test]
+    fn offshore_stop_is_loitering() {
+        let mut r = recognizer();
+        r.add_events([
+            (t(100), ev(1, InputKind::StopStart, 24.8, 38.2)),
+            (t(4_000), ev(1, InputKind::StopEnd, 24.8, 38.2)),
+        ]);
+        let report = r.recognize_at(t(7_200));
+        assert_eq!(report.loitering.len(), 1);
+        assert_eq!(report.loitering[0].0, Mmsi(1));
+        assert_eq!(
+            report.loitering[0].1.intervals(),
+            &[Interval::closed(t(100), t(4_000))]
+        );
+    }
+
+    #[test]
+    fn port_stop_is_not_loitering() {
+        let mut r = recognizer();
+        // Stopped inside the Piraeus basin.
+        r.add_events([(t(100), ev(1, InputKind::StopStart, 23.62, 37.94))]);
+        let report = r.recognize_at(t(7_200));
+        assert!(report.loitering.is_empty());
+    }
+
+    #[test]
+    fn two_vessels_meeting_offshore_is_a_rendezvous() {
+        let mut r = recognizer();
+        // Both loiter ~500 m apart for 50 minutes of overlap.
+        r.add_events([
+            (t(100), ev(1, InputKind::StopStart, 24.800, 38.200)),
+            (t(600), ev(2, InputKind::SlowMotionStart, 24.805, 38.200)),
+            (t(3_600), ev(1, InputKind::StopEnd, 24.800, 38.200)),
+            (t(4_000), ev(2, InputKind::SlowMotionEnd, 24.805, 38.200)),
+        ]);
+        let report = r.recognize_at(t(7_200));
+        assert_eq!(report.rendezvous.len(), 1, "{:?}", report.rendezvous);
+        let rv = report.rendezvous[0];
+        assert_eq!(rv.vessels, (Mmsi(1), Mmsi(2)));
+        assert_eq!(rv.interval, Interval::closed(t(600), t(3_600)));
+        assert!(rv.separation_m < 600.0, "{}", rv.separation_m);
+    }
+
+    #[test]
+    fn distant_loiterers_are_not_a_rendezvous() {
+        let mut r = recognizer();
+        // Same times, 40 km apart.
+        r.add_events([
+            (t(100), ev(1, InputKind::StopStart, 24.8, 38.2)),
+            (t(100), ev(2, InputKind::StopStart, 25.3, 38.2)),
+        ]);
+        let report = r.recognize_at(t(7_200));
+        assert_eq!(report.loitering.len(), 2);
+        assert!(report.rendezvous.is_empty());
+    }
+
+    #[test]
+    fn brief_overlap_is_ignored() {
+        let mut r = recognizer();
+        // Only 5 minutes of overlap: below the 10-minute floor.
+        r.add_events([
+            (t(100), ev(1, InputKind::StopStart, 24.800, 38.200)),
+            (t(1_000), ev(1, InputKind::StopEnd, 24.800, 38.200)),
+            (t(700), ev(2, InputKind::StopStart, 24.803, 38.200)),
+            (t(4_000), ev(2, InputKind::StopEnd, 24.803, 38.200)),
+        ]);
+        let report = r.recognize_at(t(7_200));
+        assert!(report.rendezvous.is_empty(), "{:?}", report.rendezvous);
+    }
+
+    #[test]
+    fn runs_alongside_the_core_recognizer_on_the_same_stream() {
+        // The intended deployment: the same ME stream feeds both engines.
+        let spec = WindowSpec::new(Duration::hours(12), Duration::hours(1)).unwrap();
+        let events = vec![
+            (t(100), ev(1, InputKind::StopStart, 24.8, 38.2)),
+            (t(4_000), ev(1, InputKind::StopEnd, 24.8, 38.2)),
+        ];
+        let mut core = MaritimeRecognizer::new(kb(), spec);
+        core.add_events(events.clone());
+        let core_summary = core.recognize_and_summarize(t(7_200));
+        let mut ext = recognizer();
+        ext.add_events(events);
+        let ext_report = ext.recognize_at(t(7_200));
+        // Core sees no CE (one stopped vessel offshore is not suspicious);
+        // the extension flags the loitering.
+        assert_eq!(core_summary.ce_count, 0);
+        assert_eq!(ext_report.loitering.len(), 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! The maritime event description: fluents, alerts, and the rule sets of
+//! §4.1 expressed in the typed RTEC rule API.
+//!
+//! Stratification:
+//!
+//! | stratum | fluent | role |
+//! |---|---|---|
+//! | 0 | `stopped(V)` | input durative ME (from stop start/end markers) |
+//! | 1 | `slowMotion(V)` | input durative ME (the paper's `lowSpeed`) |
+//! | 2 | `stoppedNear(V, A)` | helper: V stopped close to monitored area A |
+//! | 3 | `fishingNear(V, A)` | helper: fishing vessel stopped/slow near forbidden-fishing area A |
+//! | 4 | `suspicious(A)` | rule-set (3): ≥ 4 vessels stopped close to A |
+//! | 5 | `illegalFishing(A)` | rule-set (4) + termination rules |
+//!
+//! plus the instantaneous derived events `illegalShipping(A)` (rule 5) and
+//! `dangerousShipping(A)` (rule 6), reported as [`Alert`]s.
+
+use maritime_ais::Mmsi;
+use maritime_geo::{AreaId, AreaKind};
+use maritime_rtec::{DerivedEventDef, EventDescription, FluentDef, Trigger, View};
+use serde::{Deserialize, Serialize};
+
+use crate::input::{InputEvent, InputKind};
+use crate::knowledge::Knowledge;
+
+/// Keys of the fluents computed by the maritime recognizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FluentKey {
+    /// `stopped(Vessel) = true`.
+    Stopped(Mmsi),
+    /// `slowMotion(Vessel) = true`.
+    SlowMotion(Mmsi),
+    /// Helper: the vessel is stopped close to the monitored area.
+    StoppedNear(Mmsi, AreaId),
+    /// Helper: the fishing vessel is stopped or slow near the area.
+    FishingNear(Mmsi, AreaId),
+    /// `suspicious(Area) = true` (rule-set 3).
+    Suspicious(AreaId),
+    /// `illegalFishing(Area) = true` (rule-set 4).
+    IllegalFishing(AreaId),
+}
+
+impl FluentKey {
+    /// Whether this key is one of the output complex events (as opposed to
+    /// an input ME or helper fluent).
+    #[must_use]
+    pub fn is_complex_event(&self) -> bool {
+        matches!(self, Self::Suspicious(_) | Self::IllegalFishing(_))
+    }
+}
+
+/// Kinds of instantaneous alerts (the derived events of rules 5 and 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlertKind {
+    /// Rule 5: communication gap close to a protected area.
+    IllegalShipping,
+    /// Rule 6: slow motion in waters too shallow for the vessel.
+    DangerousShipping,
+}
+
+/// An instantaneous alert pushed to the marine authorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Alert {
+    /// What was recognized.
+    pub kind: AlertKind,
+    /// The vessel involved.
+    pub vessel: Mmsi,
+    /// The area involved.
+    pub area: AreaId,
+}
+
+/// Builds the complete maritime event description.
+#[must_use]
+pub fn maritime_description() -> EventDescription<Knowledge, InputEvent, FluentKey, Alert> {
+    EventDescription::new()
+        .fluent(stopped())
+        .fluent(slow_motion())
+        .fluent(stopped_near())
+        .fluent(fishing_near())
+        .fluent(suspicious())
+        .fluent(illegal_fishing())
+        .event(illegal_shipping())
+        .event(dangerous_shipping())
+}
+
+type MDef = FluentDef<Knowledge, InputEvent, FluentKey, ()>;
+type MEvent = DerivedEventDef<Knowledge, InputEvent, FluentKey, Alert>;
+type MTrigger<'a> = Trigger<'a, InputEvent, FluentKey>;
+
+/// Stratum 0: `stopped(V)` from the tracker's stop markers.
+fn stopped() -> MDef {
+    FluentDef::new("stopped")
+        .initiated(|_, _, trig: MTrigger<'_>, _| match trig.input() {
+            Some(e) if e.kind == InputKind::StopStart => vec![FluentKey::Stopped(e.mmsi)],
+            _ => vec![],
+        })
+        .terminated(|_, _, trig: MTrigger<'_>, _| match trig.input() {
+            // A gap also ends certainty about the stop: the tracker closes
+            // stops before gaps, but a lone GapStart (e.g. stop markers
+            // delayed beyond the window) must not leave the fluent open.
+            Some(e) if matches!(e.kind, InputKind::StopEnd | InputKind::GapStart) => {
+                vec![FluentKey::Stopped(e.mmsi)]
+            }
+            _ => vec![],
+        })
+}
+
+/// Stratum 1: `slowMotion(V)` — the paper's `lowSpeed` durative ME.
+fn slow_motion() -> MDef {
+    FluentDef::new("slowMotion")
+        .initiated(|_, _, trig: MTrigger<'_>, _| match trig.input() {
+            Some(e) if e.kind == InputKind::SlowMotionStart => {
+                vec![FluentKey::SlowMotion(e.mmsi)]
+            }
+            _ => vec![],
+        })
+        .terminated(|_, _, trig: MTrigger<'_>, _| match trig.input() {
+            Some(e) if matches!(e.kind, InputKind::SlowMotionEnd | InputKind::GapStart) => {
+                vec![FluentKey::SlowMotion(e.mmsi)]
+            }
+            _ => vec![],
+        })
+}
+
+/// Stratum 2: `stoppedNear(V, A)` for monitored areas.
+fn stopped_near() -> MDef {
+    FluentDef::new("stoppedNear")
+        .initiated(|kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
+            Some(e) if e.kind == InputKind::StopStart => kb
+                .close_areas_for(e)
+                .into_iter()
+                .filter(|id| kb.monitored_for_suspicious(*id))
+                .map(|id| FluentKey::StoppedNear(e.mmsi, id))
+                .collect(),
+            _ => vec![],
+        })
+        .terminated(|kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
+            // Terminate for every monitored area: the vessel may have
+            // drifted, so we cannot rely on recomputing proximity at the
+            // end marker matching the start marker exactly.
+            Some(e) if matches!(e.kind, InputKind::StopEnd | InputKind::GapStart) => kb
+                .areas()
+                .filter(|a| kb.monitored_for_suspicious(a.id))
+                .map(|a| FluentKey::StoppedNear(e.mmsi, a.id))
+                .collect(),
+            _ => vec![],
+        })
+}
+
+/// Stratum 3: `fishingNear(V, A)` — a fishing vessel whose movement allows
+/// fishing (stopped or slow) close to a forbidden-fishing area.
+fn fishing_near() -> MDef {
+    FluentDef::new("fishingNear")
+        .initiated(|kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
+            Some(e)
+                if matches!(e.kind, InputKind::StopStart | InputKind::SlowMotionStart)
+                    && kb.fishing(e.mmsi) =>
+            {
+                kb.close_areas_for(e)
+                    .into_iter()
+                    .filter(|id| {
+                        kb.area(*id)
+                            .is_some_and(|a| a.kind == AreaKind::ForbiddenFishing)
+                    })
+                    .map(|id| FluentKey::FishingNear(e.mmsi, id))
+                    .collect()
+            }
+            _ => vec![],
+        })
+        .terminated(|kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
+            Some(e)
+                if matches!(
+                    e.kind,
+                    InputKind::StopEnd | InputKind::SlowMotionEnd | InputKind::GapStart
+                ) && kb.fishing(e.mmsi) =>
+            {
+                kb.areas()
+                    .filter(|a| a.kind == AreaKind::ForbiddenFishing)
+                    .map(|a| FluentKey::FishingNear(e.mmsi, a.id))
+                    .collect()
+            }
+            _ => vec![],
+        })
+}
+
+/// Stratum 4: `suspicious(A)` — rule-set (3). Initiated when a vessel stops
+/// close to A and at least `suspicious_min_vessels` are then stopped close
+/// to it; terminated when one leaves and fewer than the threshold remain.
+fn suspicious() -> MDef {
+    FluentDef::new("suspicious")
+        .initiated(|kb: &Knowledge, view: &View<'_, FluentKey>, trig: MTrigger<'_>, t| {
+            match trig.started() {
+                Some(FluentKey::StoppedNear(_, area)) => {
+                    // Count at the instant after T: the just-started
+                    // interval is included, just-ended ones are not.
+                    let probe = t + maritime_rtec::Duration::secs(1);
+                    let n = view.count_holding_at(probe, |k| {
+                        matches!(k, FluentKey::StoppedNear(_, a) if a == area)
+                    });
+                    if n >= kb.suspicious_min_vessels {
+                        vec![FluentKey::Suspicious(*area)]
+                    } else {
+                        vec![]
+                    }
+                }
+                _ => vec![],
+            }
+        })
+        .terminated(|kb: &Knowledge, view: &View<'_, FluentKey>, trig: MTrigger<'_>, t| {
+            match trig.ended() {
+                Some(FluentKey::StoppedNear(_, area)) => {
+                    let probe = t + maritime_rtec::Duration::secs(1);
+                    let n = view.count_holding_at(probe, |k| {
+                        matches!(k, FluentKey::StoppedNear(_, a) if a == area)
+                    });
+                    if n < kb.suspicious_min_vessels {
+                        vec![FluentKey::Suspicious(*area)]
+                    } else {
+                        vec![]
+                    }
+                }
+                _ => vec![],
+            }
+        })
+}
+
+/// Stratum 5: `illegalFishing(A)` — rule-set (4): starts when a fishing
+/// vessel stops or slows near a forbidden area; stops when no fishing
+/// vessel remains there with fishing-compatible movement.
+fn illegal_fishing() -> MDef {
+    FluentDef::new("illegalFishing")
+        .initiated(|_, _, trig: MTrigger<'_>, _| match trig.started() {
+            Some(FluentKey::FishingNear(_, area)) => vec![FluentKey::IllegalFishing(*area)],
+            _ => vec![],
+        })
+        .terminated(|_, view: &View<'_, FluentKey>, trig: MTrigger<'_>, t| {
+            match trig.ended() {
+                Some(FluentKey::FishingNear(_, area)) => {
+                    let probe = t + maritime_rtec::Duration::secs(1);
+                    let n = view.count_holding_at(probe, |k| {
+                        matches!(k, FluentKey::FishingNear(_, a) if a == area)
+                    });
+                    if n == 0 {
+                        vec![FluentKey::IllegalFishing(*area)]
+                    } else {
+                        vec![]
+                    }
+                }
+                _ => vec![],
+            }
+        })
+}
+
+/// Rule 5: `illegalShipping(A)` on a communication gap close to a
+/// protected area.
+fn illegal_shipping() -> MEvent {
+    DerivedEventDef::new("illegalShipping").rule(|kb: &Knowledge, _, trig: MTrigger<'_>, _| {
+        match trig.input() {
+            Some(e) if e.kind == InputKind::GapStart => kb
+                .close_areas_for(e)
+                .into_iter()
+                .filter(|id| kb.area(*id).is_some_and(|a| a.kind == AreaKind::Protected))
+                .map(|area| Alert {
+                    kind: AlertKind::IllegalShipping,
+                    vessel: e.mmsi,
+                    area,
+                })
+                .collect(),
+            _ => vec![],
+        }
+    })
+}
+
+/// Rule 6: `dangerousShipping(A)` on slow motion in waters too shallow for
+/// the vessel's draft.
+fn dangerous_shipping() -> MEvent {
+    DerivedEventDef::new("dangerousShipping").rule(|kb: &Knowledge, _, trig: MTrigger<'_>, _| {
+        match trig.input() {
+            Some(e) if e.kind == InputKind::SlowMotionStart => kb
+                .close_areas_for(e)
+                .into_iter()
+                .filter(|id| kb.shallow(*id, e.mmsi))
+                .map(|area| Alert {
+                    kind: AlertKind::DangerousShipping,
+                    vessel: e.mmsi,
+                    area,
+                })
+                .collect(),
+            _ => vec![],
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_event_classification() {
+        assert!(FluentKey::Suspicious(AreaId(0)).is_complex_event());
+        assert!(FluentKey::IllegalFishing(AreaId(0)).is_complex_event());
+        assert!(!FluentKey::Stopped(Mmsi(1)).is_complex_event());
+        assert!(!FluentKey::StoppedNear(Mmsi(1), AreaId(0)).is_complex_event());
+        assert!(!FluentKey::SlowMotion(Mmsi(1)).is_complex_event());
+        assert!(!FluentKey::FishingNear(Mmsi(1), AreaId(0)).is_complex_event());
+    }
+
+    #[test]
+    fn description_has_expected_strata_and_events() {
+        let d = maritime_description();
+        assert_eq!(d.fluents.len(), 6);
+        assert_eq!(d.events.len(), 2);
+        let names: Vec<_> = d.fluents.iter().map(|f| f.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "stopped",
+                "slowMotion",
+                "stoppedNear",
+                "fishingNear",
+                "suspicious",
+                "illegalFishing"
+            ]
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! The CER input vocabulary.
+//!
+//! §5.2: "The input of RTEC ... consists of the MEs (communication) gap,
+//! lowSpeed, stopped, speedChange and turn, as well as the coordinates of
+//! each vessel at the time of ME detection." Durative MEs (stopped, low
+//! speed) arrive as start/end marker events from the tracker, from which
+//! the recognizer derives the corresponding input fluents.
+
+use maritime_ais::Mmsi;
+use maritime_geo::{AreaId, GeoPoint};
+use maritime_stream::Timestamp;
+use maritime_tracker::{Annotation, CriticalPoint};
+use serde::{Deserialize, Serialize};
+
+/// The movement-event kinds consumed by the recognizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputKind {
+    /// Communication gap started (`gap(Vessel)` in rule 5).
+    GapStart,
+    /// Communication resumed.
+    GapEnd,
+    /// `start(stopped(Vessel)=true)`.
+    StopStart,
+    /// `end(stopped(Vessel)=true)`.
+    StopEnd,
+    /// `start(slowMotion(Vessel)=true)` — the paper's `lowSpeed`.
+    SlowMotionStart,
+    /// `end(slowMotion(Vessel)=true)`.
+    SlowMotionEnd,
+    /// Instantaneous speed change.
+    SpeedChange,
+    /// Instantaneous or smooth turn.
+    Turn,
+}
+
+/// One critical movement event, with the vessel's coordinates and —
+/// in precomputed-spatial-facts mode — the areas it is close to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputEvent {
+    /// The vessel.
+    pub mmsi: Mmsi,
+    /// The event kind.
+    pub kind: InputKind,
+    /// Vessel coordinates at detection time (the `coord` fluent of §4.1).
+    pub position: GeoPoint,
+    /// Precomputed spatial facts: ids of areas the vessel is close to at
+    /// this point. `None` in on-demand mode — the recognizer then computes
+    /// proximity itself (Figure 11(a) vs 11(b)).
+    pub close_areas: Option<Vec<AreaId>>,
+}
+
+impl InputEvent {
+    /// Converts a tracker critical point into a recognizer input event.
+    /// Returns `None` for annotations outside the ME vocabulary
+    /// (trajectory anchors).
+    #[must_use]
+    pub fn from_critical(cp: &CriticalPoint) -> Option<(Timestamp, Self)> {
+        let kind = match cp.annotation {
+            Annotation::GapStart => InputKind::GapStart,
+            Annotation::GapEnd => InputKind::GapEnd,
+            Annotation::StopStart => InputKind::StopStart,
+            Annotation::StopEnd { .. } => InputKind::StopEnd,
+            Annotation::SlowMotionStart => InputKind::SlowMotionStart,
+            Annotation::SlowMotionEnd => InputKind::SlowMotionEnd,
+            Annotation::SpeedChange { .. } => InputKind::SpeedChange,
+            Annotation::Turn { .. } | Annotation::SmoothTurn { .. } => InputKind::Turn,
+            Annotation::TrackStart | Annotation::TrackEnd => return None,
+        };
+        Some((
+            cp.timestamp,
+            Self {
+                mmsi: cp.mmsi,
+                kind,
+                position: cp.position,
+                close_areas: None,
+            },
+        ))
+    }
+
+    /// Converts a whole critical-point batch, dropping non-ME annotations.
+    #[must_use]
+    pub fn from_critical_batch(cps: &[CriticalPoint]) -> Vec<(Timestamp, Self)> {
+        cps.iter().filter_map(Self::from_critical).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_stream::Duration;
+
+    fn cp(annotation: Annotation) -> CriticalPoint {
+        CriticalPoint {
+            mmsi: Mmsi(7),
+            position: GeoPoint::new(24.0, 37.0),
+            timestamp: Timestamp(100),
+            annotation,
+            speed_knots: 5.0,
+            heading_deg: 90.0,
+        }
+    }
+
+    #[test]
+    fn me_annotations_convert() {
+        let cases = [
+            (Annotation::GapStart, InputKind::GapStart),
+            (Annotation::GapEnd, InputKind::GapEnd),
+            (Annotation::StopStart, InputKind::StopStart),
+            (
+                Annotation::StopEnd {
+                    centroid: GeoPoint::new(24.0, 37.0),
+                    duration: Duration::secs(60),
+                },
+                InputKind::StopEnd,
+            ),
+            (Annotation::SlowMotionStart, InputKind::SlowMotionStart),
+            (Annotation::SlowMotionEnd, InputKind::SlowMotionEnd),
+            (
+                Annotation::SpeedChange { prev_knots: 10.0, now_knots: 4.0 },
+                InputKind::SpeedChange,
+            ),
+            (Annotation::Turn { change_deg: 30.0 }, InputKind::Turn),
+            (Annotation::SmoothTurn { cumulative_deg: 20.0 }, InputKind::Turn),
+        ];
+        for (ann, expected) in cases {
+            let (t, ev) = InputEvent::from_critical(&cp(ann)).unwrap();
+            assert_eq!(ev.kind, expected);
+            assert_eq!(t, Timestamp(100));
+            assert_eq!(ev.mmsi, Mmsi(7));
+            assert!(ev.close_areas.is_none());
+        }
+    }
+
+    #[test]
+    fn track_anchors_are_dropped() {
+        assert!(InputEvent::from_critical(&cp(Annotation::TrackStart)).is_none());
+        assert!(InputEvent::from_critical(&cp(Annotation::TrackEnd)).is_none());
+    }
+
+    #[test]
+    fn batch_conversion_filters() {
+        let batch = vec![
+            cp(Annotation::TrackStart),
+            cp(Annotation::Turn { change_deg: 20.0 }),
+            cp(Annotation::TrackEnd),
+        ];
+        let events = InputEvent::from_critical_batch(&batch);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].1.kind, InputKind::Turn);
+    }
+}

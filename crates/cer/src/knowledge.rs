@@ -1,0 +1,296 @@
+//! Static knowledge: vessel facts, areas, and the atemporal predicates.
+//!
+//! "Unlike various other CE recognition approaches ... RTEC combines event
+//! pattern matching over event streams with atemporal reasoning" (§4.1).
+//! The knowledge base backs the atemporal predicates of the CE rules:
+//! `fishing(Vessel)`, `shallow(Area, Vessel)`, `close(Lon, Lat, Area)`.
+
+use std::collections::{HashMap, HashSet};
+
+use maritime_ais::{Mmsi, VesselProfile};
+use maritime_geo::{Area, AreaId, AreaKind, GeoPoint, GridIndex};
+use serde::{Deserialize, Serialize};
+
+use crate::input::InputEvent;
+
+/// How the `close/3` predicate is resolved (the ablation of Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpatialMode {
+    /// Compute Haversine proximity on demand during recognition with a
+    /// linear scan over all areas — how the paper's RTEC evaluates
+    /// `close/3` (Figure 11(a)).
+    OnDemand,
+    /// Consume the spatial facts attached to input events; events without
+    /// facts are treated as close to nothing (Figure 11(b)).
+    Precomputed,
+    /// On-demand proximity through the uniform grid index — this
+    /// implementation's extension beyond the paper (benchmarked as a
+    /// design-choice ablation).
+    OnDemandIndexed,
+}
+
+/// Static per-vessel facts (§5.2: draft, fishing designation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VesselInfo {
+    /// The vessel.
+    pub mmsi: Mmsi,
+    /// Draft in meters, for the `shallow` predicate.
+    pub draft_m: f64,
+    /// Whether the vessel is designated a fishing vessel.
+    pub is_fishing: bool,
+}
+
+impl From<&VesselProfile> for VesselInfo {
+    fn from(p: &VesselProfile) -> Self {
+        Self {
+            mmsi: p.mmsi,
+            draft_m: p.draft_m,
+            is_fishing: p.is_fishing,
+        }
+    }
+}
+
+/// The CER knowledge base: vessels, areas, spatial index, thresholds.
+pub struct Knowledge {
+    vessels: HashMap<Mmsi, VesselInfo>,
+    areas_by_id: HashMap<AreaId, Area>,
+    grid: GridIndex,
+    /// Under-keel clearance added to a vessel's draft when deciding whether
+    /// waters are "too shallow" (rule 6).
+    pub ukc_margin_m: f64,
+    /// Spatial-reasoning mode.
+    pub spatial_mode: SpatialMode,
+    /// Minimum number of stopped vessels for a suspicious area (rule-set 3
+    /// uses N > 3, "set by domain experts").
+    pub suspicious_min_vessels: usize,
+    /// The "declarations" facility (§4.1, footnote 3): when set, the
+    /// `suspicious` fluent is computed only for these areas — "officials
+    /// monitoring vessel activity are familiar with potentially suspicious
+    /// areas ... and thus restrict computation ... to these areas". When
+    /// `None`, all protected / forbidden-fishing / watch areas are
+    /// monitored (ports never are).
+    suspicious_watchlist: Option<HashSet<AreaId>>,
+}
+
+impl Knowledge {
+    /// Builds a knowledge base. `close_threshold_m` parameterizes the
+    /// `close/3` predicate (we default to 2 km in [`Knowledge::standard`]).
+    #[must_use]
+    pub fn new(
+        vessels: impl IntoIterator<Item = VesselInfo>,
+        areas: Vec<Area>,
+        close_threshold_m: f64,
+        spatial_mode: SpatialMode,
+    ) -> Self {
+        let vessels: HashMap<Mmsi, VesselInfo> =
+            vessels.into_iter().map(|v| (v.mmsi, v)).collect();
+        let areas_by_id = areas.iter().map(|a| (a.id, a.clone())).collect();
+        let grid = GridIndex::build(areas, 0.2, close_threshold_m);
+        Self {
+            vessels,
+            areas_by_id,
+            grid,
+            ukc_margin_m: 1.0,
+            spatial_mode: SpatialMode::OnDemand,
+            suspicious_min_vessels: 4,
+            suspicious_watchlist: None,
+        }
+        .with_mode(spatial_mode)
+    }
+
+    /// Standard configuration: 2 km proximity threshold, on-demand mode.
+    #[must_use]
+    pub fn standard(vessels: impl IntoIterator<Item = VesselInfo>, areas: Vec<Area>) -> Self {
+        Self::new(vessels, areas, 2_000.0, SpatialMode::OnDemand)
+    }
+
+    /// Returns the knowledge base with a different spatial mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: SpatialMode) -> Self {
+        self.spatial_mode = mode;
+        self
+    }
+
+    /// Restricts `suspicious` monitoring to the given areas (the
+    /// declarations facility). Ports in the list are still excluded.
+    #[must_use]
+    pub fn with_suspicious_watchlist(mut self, areas: impl IntoIterator<Item = AreaId>) -> Self {
+        self.suspicious_watchlist = Some(areas.into_iter().collect());
+        self
+    }
+
+    /// Whether the `suspicious` fluent is computed for this area.
+    #[must_use]
+    pub fn monitored_for_suspicious(&self, id: AreaId) -> bool {
+        let Some(area) = self.area(id) else {
+            return false;
+        };
+        if area.kind == AreaKind::Port {
+            return false; // four ships moored in a port is routine
+        }
+        match &self.suspicious_watchlist {
+            Some(list) => list.contains(&id),
+            None => matches!(
+                area.kind,
+                AreaKind::Protected | AreaKind::ForbiddenFishing | AreaKind::Watch
+            ),
+        }
+    }
+
+    /// `fishing(Vessel)`: whether the vessel is designated as fishing.
+    #[must_use]
+    pub fn fishing(&self, mmsi: Mmsi) -> bool {
+        self.vessels.get(&mmsi).is_some_and(|v| v.is_fishing)
+    }
+
+    /// The vessel's draft, if known.
+    #[must_use]
+    pub fn draft_m(&self, mmsi: Mmsi) -> Option<f64> {
+        self.vessels.get(&mmsi).map(|v| v.draft_m)
+    }
+
+    /// `shallow(Area, Vessel)`: whether the area's waters are too shallow
+    /// for the vessel — depth below draft plus under-keel clearance.
+    #[must_use]
+    pub fn shallow(&self, area: AreaId, mmsi: Mmsi) -> bool {
+        let Some(area) = self.areas_by_id.get(&area) else {
+            return false;
+        };
+        let AreaKind::Shallow { depth_m } = area.kind else {
+            return false;
+        };
+        self.draft_m(mmsi)
+            .is_some_and(|draft| depth_m < draft + self.ukc_margin_m)
+    }
+
+    /// Area lookup.
+    #[must_use]
+    pub fn area(&self, id: AreaId) -> Option<&Area> {
+        self.areas_by_id.get(&id)
+    }
+
+    /// All areas.
+    pub fn areas(&self) -> impl Iterator<Item = &Area> {
+        self.grid.areas().iter()
+    }
+
+    /// Registered vessels.
+    pub fn vessels(&self) -> impl Iterator<Item = &VesselInfo> {
+        self.vessels.values()
+    }
+
+    /// `close(Lon, Lat, Area)` resolved for an input event according to the
+    /// spatial mode: either the precomputed facts carried by the event, or
+    /// an on-demand grid lookup on its coordinates.
+    #[must_use]
+    pub fn close_areas_for(&self, event: &InputEvent) -> Vec<AreaId> {
+        match self.spatial_mode {
+            SpatialMode::Precomputed => event.close_areas.clone().unwrap_or_default(),
+            SpatialMode::OnDemand => self.grid.close_area_ids_linear(event.position),
+            SpatialMode::OnDemandIndexed => self.grid.close_area_ids(event.position),
+        }
+    }
+
+    /// On-demand `close/3` through the grid index: ids of areas within the
+    /// proximity threshold (used for spatial-fact precomputation and by
+    /// [`SpatialMode::OnDemandIndexed`]).
+    #[must_use]
+    pub fn close_area_ids(&self, p: GeoPoint) -> Vec<AreaId> {
+        self.grid.close_area_ids(p)
+    }
+
+    /// The proximity threshold of the `close` predicate, meters.
+    #[must_use]
+    pub fn close_threshold_m(&self) -> f64 {
+        self.grid.threshold_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_geo::Polygon;
+
+    fn kb() -> Knowledge {
+        let vessels = vec![
+            VesselInfo { mmsi: Mmsi(1), draft_m: 8.0, is_fishing: false },
+            VesselInfo { mmsi: Mmsi(2), draft_m: 3.0, is_fishing: true },
+        ];
+        let areas = vec![
+            Area::new(
+                AreaId(0),
+                "shoal",
+                AreaKind::Shallow { depth_m: 5.0 },
+                Polygon::rectangle(GeoPoint::new(24.0, 37.0), GeoPoint::new(24.1, 37.1)),
+            ),
+            Area::new(
+                AreaId(1),
+                "park",
+                AreaKind::Protected,
+                Polygon::rectangle(GeoPoint::new(25.0, 38.0), GeoPoint::new(25.1, 38.1)),
+            ),
+        ];
+        Knowledge::standard(vessels, areas)
+    }
+
+    #[test]
+    fn fishing_predicate() {
+        let kb = kb();
+        assert!(!kb.fishing(Mmsi(1)));
+        assert!(kb.fishing(Mmsi(2)));
+        assert!(!kb.fishing(Mmsi(999)), "unknown vessels are not fishing");
+    }
+
+    #[test]
+    fn shallow_compares_depth_with_draft_plus_clearance() {
+        let kb = kb();
+        // Depth 5 m: too shallow for 8 m draft (needs 9 m), fine for 3 m
+        // draft (needs 4 m).
+        assert!(kb.shallow(AreaId(0), Mmsi(1)));
+        assert!(!kb.shallow(AreaId(0), Mmsi(2)));
+        // A protected area is never "shallow".
+        assert!(!kb.shallow(AreaId(1), Mmsi(1)));
+        // Unknown vessel or area.
+        assert!(!kb.shallow(AreaId(0), Mmsi(999)));
+        assert!(!kb.shallow(AreaId(42), Mmsi(1)));
+    }
+
+    #[test]
+    fn close_on_demand_uses_grid() {
+        let kb = kb();
+        let inside = GeoPoint::new(24.05, 37.05);
+        assert_eq!(kb.close_area_ids(inside), vec![AreaId(0)]);
+        let far = GeoPoint::new(26.5, 39.5);
+        assert!(kb.close_area_ids(far).is_empty());
+    }
+
+    #[test]
+    fn suspicious_watchlist_restricts_monitoring() {
+        let base = kb();
+        // Default: the protected area is monitored, the shallow one is not.
+        assert!(base.monitored_for_suspicious(AreaId(1)));
+        assert!(!base.monitored_for_suspicious(AreaId(0)));
+        // Declarations: an explicit watchlist overrides the kind rule.
+        let restricted = kb().with_suspicious_watchlist([AreaId(0)]);
+        assert!(restricted.monitored_for_suspicious(AreaId(0)));
+        assert!(!restricted.monitored_for_suspicious(AreaId(1)));
+        // Unknown areas are never monitored.
+        assert!(!base.monitored_for_suspicious(AreaId(42)));
+    }
+
+    #[test]
+    fn close_precomputed_uses_event_facts() {
+        let kb = kb().with_mode(SpatialMode::Precomputed);
+        let ev = InputEvent {
+            mmsi: Mmsi(1),
+            kind: crate::input::InputKind::Turn,
+            position: GeoPoint::new(26.5, 39.5), // far from everything
+            close_areas: Some(vec![AreaId(1)]),
+        };
+        // Precomputed facts win over geometry.
+        assert_eq!(kb.close_areas_for(&ev), vec![AreaId(1)]);
+        // Without facts, precomputed mode sees nothing.
+        let bare = InputEvent { close_areas: None, ..ev };
+        assert!(kb.close_areas_for(&bare).is_empty());
+    }
+}

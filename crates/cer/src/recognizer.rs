@@ -1,0 +1,424 @@
+//! The maritime recognizer: RTEC engine + maritime event description.
+
+use maritime_ais::Mmsi;
+use maritime_geo::AreaId;
+use maritime_rtec::{Engine, IntervalList, Recognition, Timestamp, WindowSpec};
+use maritime_tracker::CriticalPoint;
+
+use crate::fluents::{maritime_description, Alert, FluentKey};
+use crate::input::InputEvent;
+use crate::knowledge::Knowledge;
+
+/// Summary of one recognition query, for reporting and the Figure 11
+/// experiments (which count recognized CEs per window).
+#[derive(Debug, Clone)]
+pub struct RecognitionSummary {
+    /// Query time.
+    pub query_time: Timestamp,
+    /// `suspicious(Area)` maximal intervals.
+    pub suspicious: Vec<(AreaId, IntervalList)>,
+    /// `illegalFishing(Area)` maximal intervals.
+    pub illegal_fishing: Vec<(AreaId, IntervalList)>,
+    /// Instantaneous alerts (illegal/dangerous shipping), in time order.
+    pub alerts: Vec<(Timestamp, Alert)>,
+    /// Total complex events recognized: CE intervals plus alerts.
+    pub ce_count: usize,
+    /// Input events in the working memory for this query.
+    pub working_memory: usize,
+}
+
+/// The end-to-end maritime complex event recognizer.
+///
+/// ```
+/// use maritime_ais::Mmsi;
+/// use maritime_cer::{recognizer::stop_markers, Knowledge, MaritimeRecognizer, VesselInfo};
+/// use maritime_geo::{Area, AreaId, AreaKind, GeoPoint, Polygon};
+/// use maritime_rtec::{Duration, Timestamp, WindowSpec};
+///
+/// let areas = vec![Area::new(
+///     AreaId(0),
+///     "watch zone",
+///     AreaKind::Watch,
+///     Polygon::circle(GeoPoint::new(24.5, 38.5), 5_000.0, 16),
+/// )];
+/// let vessels = (1..=4).map(|i| VesselInfo {
+///     mmsi: Mmsi(i), draft_m: 5.0, is_fishing: false,
+/// });
+/// let spec = WindowSpec::new(Duration::hours(6), Duration::hours(1)).unwrap();
+/// let mut recognizer = MaritimeRecognizer::new(Knowledge::standard(vessels, areas), spec);
+///
+/// // Four vessels stop inside the watch zone: suspicious (rule-set 3).
+/// for i in 1..=4 {
+///     recognizer.add_events(stop_markers(
+///         Mmsi(i),
+///         GeoPoint::new(24.5, 38.5),
+///         Timestamp(100 * i64::from(i)),
+///         Timestamp(5_000),
+///     ));
+/// }
+/// let summary = recognizer.recognize_and_summarize(Timestamp(3_600));
+/// assert_eq!(summary.suspicious.len(), 1);
+/// ```
+pub struct MaritimeRecognizer {
+    engine: Engine<Knowledge, InputEvent, FluentKey, Alert>,
+}
+
+impl MaritimeRecognizer {
+    /// Creates a recognizer over the knowledge base with the given window.
+    #[must_use]
+    pub fn new(knowledge: Knowledge, spec: WindowSpec) -> Self {
+        Self {
+            engine: Engine::new(knowledge, maritime_description(), spec),
+        }
+    }
+
+    /// The static knowledge.
+    #[must_use]
+    pub fn knowledge(&self) -> &Knowledge {
+        self.engine.ctx()
+    }
+
+    /// Streams critical points from the trajectory detection component
+    /// (non-ME annotations are dropped).
+    pub fn add_critical_points(&mut self, cps: &[CriticalPoint]) {
+        for cp in cps {
+            if let Some((t, ev)) = InputEvent::from_critical(cp) {
+                self.engine.add_event(t, ev);
+            }
+        }
+    }
+
+    /// Streams pre-built input events (e.g. with spatial facts attached).
+    pub fn add_events(&mut self, events: impl IntoIterator<Item = (Timestamp, InputEvent)>) {
+        self.engine.add_events(events);
+    }
+
+    /// Runs recognition at query time `q`, returning the raw RTEC result.
+    pub fn recognize_at(&mut self, q: Timestamp) -> Recognition<FluentKey, Alert> {
+        self.engine.recognize_at(q)
+    }
+
+    /// Runs recognition and summarizes the complex events.
+    pub fn recognize_and_summarize(&mut self, q: Timestamp) -> RecognitionSummary {
+        let recognition = self.recognize_at(q);
+        summarize(&recognition)
+    }
+}
+
+/// Extracts the complex events from a raw recognition result.
+#[must_use]
+pub fn summarize(recognition: &Recognition<FluentKey, Alert>) -> RecognitionSummary {
+    let mut suspicious = Vec::new();
+    let mut illegal_fishing = Vec::new();
+    for (key, intervals) in &recognition.fluents {
+        if intervals.is_empty() {
+            continue;
+        }
+        match key {
+            FluentKey::Suspicious(area) => suspicious.push((*area, intervals.clone())),
+            FluentKey::IllegalFishing(area) => illegal_fishing.push((*area, intervals.clone())),
+            _ => {}
+        }
+    }
+    suspicious.sort_by_key(|(a, _)| *a);
+    illegal_fishing.sort_by_key(|(a, _)| *a);
+    let ce_count = suspicious.iter().map(|(_, il)| il.len()).sum::<usize>()
+        + illegal_fishing.iter().map(|(_, il)| il.len()).sum::<usize>()
+        + recognition.events.len();
+    RecognitionSummary {
+        query_time: recognition.query_time,
+        suspicious,
+        illegal_fishing,
+        alerts: recognition.events.clone(),
+        ce_count,
+        working_memory: recognition.working_memory,
+    }
+}
+
+/// Convenience for tests and examples: a minimal stop marker pair.
+#[must_use]
+pub fn stop_markers(
+    mmsi: Mmsi,
+    position: maritime_geo::GeoPoint,
+    start: Timestamp,
+    end: Timestamp,
+) -> Vec<(Timestamp, InputEvent)> {
+    use crate::input::InputKind;
+    vec![
+        (
+            start,
+            InputEvent {
+                mmsi,
+                kind: InputKind::StopStart,
+                position,
+                close_areas: None,
+            },
+        ),
+        (
+            end,
+            InputEvent {
+                mmsi,
+                kind: InputKind::StopEnd,
+                position,
+                close_areas: None,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluents::AlertKind;
+    use crate::input::InputKind;
+    use crate::knowledge::VesselInfo;
+    use maritime_geo::{Area, AreaKind, GeoPoint, Polygon};
+    use maritime_rtec::Duration;
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    fn spec(range_h: i64, slide_h: i64) -> WindowSpec {
+        WindowSpec::new(Duration::hours(range_h), Duration::hours(slide_h)).unwrap()
+    }
+
+    fn areas() -> Vec<Area> {
+        vec![
+            Area::new(
+                AreaId(0),
+                "park",
+                AreaKind::Protected,
+                Polygon::rectangle(GeoPoint::new(24.0, 37.0), GeoPoint::new(24.2, 37.2)),
+            ),
+            Area::new(
+                AreaId(1),
+                "no-fish",
+                AreaKind::ForbiddenFishing,
+                Polygon::rectangle(GeoPoint::new(25.0, 38.0), GeoPoint::new(25.2, 38.2)),
+            ),
+            Area::new(
+                AreaId(2),
+                "shoal",
+                AreaKind::Shallow { depth_m: 4.0 },
+                Polygon::rectangle(GeoPoint::new(26.0, 36.0), GeoPoint::new(26.2, 36.2)),
+            ),
+        ]
+    }
+
+    fn vessels(n: u32) -> Vec<VesselInfo> {
+        (0..n)
+            .map(|i| VesselInfo {
+                mmsi: Mmsi(100 + i),
+                draft_m: if i % 2 == 0 { 8.0 } else { 3.0 },
+                is_fishing: i % 3 == 0,
+            })
+            .collect()
+    }
+
+    fn recognizer() -> MaritimeRecognizer {
+        MaritimeRecognizer::new(Knowledge::standard(vessels(10), areas()), spec(6, 1))
+    }
+
+    fn ev(mmsi: u32, kind: InputKind, lon: f64, lat: f64) -> InputEvent {
+        InputEvent {
+            mmsi: Mmsi(mmsi),
+            kind,
+            position: GeoPoint::new(lon, lat),
+            close_areas: None,
+        }
+    }
+
+    #[test]
+    fn suspicious_area_needs_four_stopped_vessels() {
+        let mut r = recognizer();
+        // Three vessels stop inside the protected area: not suspicious.
+        for (i, start) in [(0u32, 100i64), (1, 200), (2, 300)] {
+            r.add_events(vec![(
+                t(start),
+                ev(100 + i, InputKind::StopStart, 24.1, 37.1),
+            )]);
+        }
+        let s = r.recognize_and_summarize(t(3_600));
+        assert!(s.suspicious.is_empty(), "{:?}", s.suspicious);
+
+        // The fourth stops: suspicious from that moment.
+        r.add_events(vec![(t(400), ev(103, InputKind::StopStart, 24.1, 37.1))]);
+        let s = r.recognize_and_summarize(t(7_200));
+        assert_eq!(s.suspicious.len(), 1);
+        let (area, il) = &s.suspicious[0];
+        assert_eq!(*area, AreaId(0));
+        assert_eq!(il.intervals().len(), 1);
+        assert_eq!(il.intervals()[0].since, t(400));
+        assert_eq!(il.intervals()[0].until, None, "still ongoing");
+    }
+
+    #[test]
+    fn suspicious_terminates_when_vessels_leave() {
+        let mut r = recognizer();
+        for i in 0..4u32 {
+            r.add_events(vec![(
+                t(100 + i64::from(i)),
+                ev(100 + i, InputKind::StopStart, 24.1, 37.1),
+            )]);
+        }
+        // One departs at t=1000: count falls to 3.
+        r.add_events(vec![(t(1_000), ev(100, InputKind::StopEnd, 24.1, 37.1))]);
+        let s = r.recognize_and_summarize(t(3_600));
+        assert_eq!(s.suspicious.len(), 1);
+        let il = &s.suspicious[0].1;
+        assert_eq!(il.intervals().len(), 1);
+        assert_eq!(il.intervals()[0].since, t(103));
+        assert_eq!(il.intervals()[0].until, Some(t(1_000)));
+    }
+
+    #[test]
+    fn stops_far_from_any_area_are_not_suspicious() {
+        let mut r = recognizer();
+        for i in 0..6u32 {
+            r.add_events(vec![(
+                t(100 + i64::from(i)),
+                ev(100 + i, InputKind::StopStart, 22.0, 39.9), // open sea
+            )]);
+        }
+        let s = r.recognize_and_summarize(t(3_600));
+        assert!(s.suspicious.is_empty());
+    }
+
+    #[test]
+    fn illegal_fishing_from_fishing_vessel_slow_motion() {
+        let mut r = recognizer();
+        // Vessel 100 is a fishing vessel (i % 3 == 0).
+        r.add_events(vec![(
+            t(500),
+            ev(100, InputKind::SlowMotionStart, 25.1, 38.1),
+        )]);
+        let s = r.recognize_and_summarize(t(3_600));
+        assert_eq!(s.illegal_fishing.len(), 1);
+        assert_eq!(s.illegal_fishing[0].0, AreaId(1));
+        // A non-fishing vessel doing the same is fine.
+        let mut r2 = recognizer();
+        r2.add_events(vec![(
+            t(500),
+            ev(101, InputKind::SlowMotionStart, 25.1, 38.1),
+        )]);
+        let s2 = r2.recognize_and_summarize(t(3_600));
+        assert!(s2.illegal_fishing.is_empty());
+    }
+
+    #[test]
+    fn illegal_fishing_ends_when_last_fishing_vessel_leaves() {
+        let mut r = recognizer();
+        // Two fishing vessels (100 and 103).
+        r.add_events(vec![
+            (t(100), ev(100, InputKind::StopStart, 25.1, 38.1)),
+            (t(200), ev(103, InputKind::SlowMotionStart, 25.1, 38.1)),
+            (t(1_000), ev(100, InputKind::StopEnd, 25.1, 38.1)),
+        ]);
+        let s = r.recognize_and_summarize(t(3_600));
+        let il = &s.illegal_fishing[0].1;
+        // Still ongoing: vessel 103 remains.
+        assert_eq!(il.intervals().len(), 1);
+        assert_eq!(il.intervals()[0].until, None);
+
+        r.add_events(vec![(t(2_000), ev(103, InputKind::SlowMotionEnd, 25.1, 38.1))]);
+        let s = r.recognize_and_summarize(t(7_000));
+        let il = &s.illegal_fishing[0].1;
+        assert_eq!(il.intervals()[0].until, Some(t(2_000)));
+    }
+
+    #[test]
+    fn illegal_shipping_on_gap_near_protected_area() {
+        let mut r = recognizer();
+        r.add_events(vec![(t(700), ev(105, InputKind::GapStart, 24.1, 37.1))]);
+        let s = r.recognize_and_summarize(t(3_600));
+        assert_eq!(s.alerts.len(), 1);
+        let (at, alert) = s.alerts[0];
+        assert_eq!(at, t(700));
+        assert_eq!(alert.kind, AlertKind::IllegalShipping);
+        assert_eq!(alert.vessel, Mmsi(105));
+        assert_eq!(alert.area, AreaId(0));
+    }
+
+    #[test]
+    fn gap_far_from_protected_area_raises_nothing() {
+        let mut r = recognizer();
+        // Near the forbidden-fishing area, not the protected one.
+        r.add_events(vec![(t(700), ev(105, InputKind::GapStart, 25.1, 38.1))]);
+        let s = r.recognize_and_summarize(t(3_600));
+        assert!(s.alerts.is_empty());
+    }
+
+    #[test]
+    fn dangerous_shipping_depends_on_draft() {
+        let mut r = recognizer();
+        // Vessel 100: draft 8 m > 4 m depth - clearance -> dangerous.
+        r.add_events(vec![(
+            t(300),
+            ev(100, InputKind::SlowMotionStart, 26.1, 36.1),
+        )]);
+        // Vessel 101: draft 3 m, 4 m depth is enough (3+1 <= 4 is not
+        // strictly shallower) -> safe.
+        r.add_events(vec![(
+            t(400),
+            ev(101, InputKind::SlowMotionStart, 26.1, 36.1),
+        )]);
+        let s = r.recognize_and_summarize(t(3_600));
+        let dangerous: Vec<_> = s
+            .alerts
+            .iter()
+            .filter(|(_, a)| a.kind == AlertKind::DangerousShipping)
+            .collect();
+        assert_eq!(dangerous.len(), 1);
+        assert_eq!(dangerous[0].1.vessel, Mmsi(100));
+        assert_eq!(dangerous[0].1.area, AreaId(2));
+    }
+
+    #[test]
+    fn ce_count_sums_intervals_and_alerts() {
+        let mut r = recognizer();
+        for i in 0..4u32 {
+            r.add_events(vec![(
+                t(100 + i64::from(i)),
+                ev(100 + i, InputKind::StopStart, 24.1, 37.1),
+            )]);
+        }
+        r.add_events(vec![(t(700), ev(105, InputKind::GapStart, 24.1, 37.1))]);
+        let s = r.recognize_and_summarize(t(3_600));
+        assert_eq!(s.ce_count, 2); // 1 suspicious interval + 1 alert
+    }
+
+    #[test]
+    fn window_eviction_forgets_old_activity() {
+        let mut r = recognizer();
+        for i in 0..4u32 {
+            r.add_events(vec![(
+                t(100 + i64::from(i)),
+                ev(100 + i, InputKind::StopStart, 24.1, 37.1),
+            )]);
+        }
+        // After the 6-hour window passes, nothing remains.
+        let s = r.recognize_and_summarize(t(100 + 6 * 3_600 + 10));
+        assert!(s.suspicious.is_empty());
+        assert_eq!(s.working_memory, 0);
+    }
+
+    #[test]
+    fn critical_point_ingestion_path() {
+        use maritime_tracker::Annotation;
+        let mut r = recognizer();
+        let cps: Vec<CriticalPoint> = (0..4)
+            .map(|i| CriticalPoint {
+                mmsi: Mmsi(100 + i),
+                position: GeoPoint::new(24.1, 37.1),
+                timestamp: t(100 + i64::from(i)),
+                annotation: Annotation::StopStart,
+                speed_knots: 0.2,
+                heading_deg: 0.0,
+            })
+            .collect();
+        r.add_critical_points(&cps);
+        let s = r.recognize_and_summarize(t(3_600));
+        assert_eq!(s.suspicious.len(), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Precomputed spatial facts (the Figure 11(b) mode).
+//!
+//! "The ME stream is augmented by timestamped facts indicating the spatial
+//! relations between vessels and (protected, forbidden fishing, shallow)
+//! areas. Each ME ... is accompanied by facts stating whether the vessel is
+//! 'close' to some area of interest — the timestamp of these facts is the
+//! same as the timestamp of the ME" (§5.2).
+//!
+//! In this mode the CE rules consult the facts instead of computing the
+//! Haversine distance during recognition, trading a larger input stream for
+//! cheaper per-rule evaluation.
+
+use maritime_stream::Timestamp;
+
+use crate::input::InputEvent;
+use crate::knowledge::Knowledge;
+
+/// Annotates every event with its close-area facts, returning the total
+/// number of spatial facts generated (one per (event, close area) pair —
+/// the quantity the paper adds to the input-stream size in Figure 11(b)).
+pub fn annotate_with_spatial_facts(
+    events: &mut [(Timestamp, InputEvent)],
+    knowledge: &Knowledge,
+) -> usize {
+    let mut facts = 0;
+    for (_, ev) in events.iter_mut() {
+        let close = knowledge.close_area_ids(ev.position);
+        facts += close.len();
+        ev.close_areas = Some(close);
+    }
+    facts
+}
+
+/// Strips spatial facts from a stream (back to on-demand mode inputs).
+pub fn strip_spatial_facts(events: &mut [(Timestamp, InputEvent)]) {
+    for (_, ev) in events.iter_mut() {
+        ev.close_areas = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::InputKind;
+    use crate::knowledge::{SpatialMode, VesselInfo};
+    use maritime_ais::Mmsi;
+    use maritime_geo::{Area, AreaId, AreaKind, GeoPoint, Polygon};
+
+    fn kb() -> Knowledge {
+        Knowledge::standard(
+            vec![VesselInfo { mmsi: Mmsi(1), draft_m: 5.0, is_fishing: true }],
+            vec![Area::new(
+                AreaId(0),
+                "zone",
+                AreaKind::ForbiddenFishing,
+                Polygon::rectangle(GeoPoint::new(24.0, 37.0), GeoPoint::new(24.2, 37.2)),
+            )],
+        )
+    }
+
+    fn ev(lon: f64, lat: f64) -> (Timestamp, InputEvent) {
+        (
+            Timestamp(100),
+            InputEvent {
+                mmsi: Mmsi(1),
+                kind: InputKind::SlowMotionStart,
+                position: GeoPoint::new(lon, lat),
+                close_areas: None,
+            },
+        )
+    }
+
+    #[test]
+    fn annotation_attaches_close_areas() {
+        let kb = kb();
+        let mut events = vec![ev(24.1, 37.1), ev(20.0, 40.0)];
+        let facts = annotate_with_spatial_facts(&mut events, &kb);
+        assert_eq!(facts, 1);
+        assert_eq!(events[0].1.close_areas.as_deref(), Some(&[AreaId(0)][..]));
+        assert_eq!(events[1].1.close_areas.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn strip_removes_facts() {
+        let kb = kb();
+        let mut events = vec![ev(24.1, 37.1)];
+        annotate_with_spatial_facts(&mut events, &kb);
+        strip_spatial_facts(&mut events);
+        assert!(events[0].1.close_areas.is_none());
+    }
+
+    #[test]
+    fn precomputed_mode_recognizes_same_ces_as_on_demand() {
+        use crate::recognizer::MaritimeRecognizer;
+        use maritime_rtec::{Duration, WindowSpec};
+
+        let spec = WindowSpec::new(Duration::hours(6), Duration::hours(1)).unwrap();
+        let raw = vec![ev(24.1, 37.1)];
+
+        // On-demand.
+        let mut on_demand = MaritimeRecognizer::new(kb(), spec);
+        on_demand.add_events(raw.clone());
+        let s1 = on_demand.recognize_and_summarize(Timestamp(3_600));
+
+        // Precomputed.
+        let mut annotated = raw;
+        annotate_with_spatial_facts(&mut annotated, &kb());
+        let mut pre =
+            MaritimeRecognizer::new(kb().with_mode(SpatialMode::Precomputed), spec);
+        pre.add_events(annotated);
+        let s2 = pre.recognize_and_summarize(Timestamp(3_600));
+
+        assert_eq!(s1.ce_count, s2.ce_count);
+        assert_eq!(s1.illegal_fishing.len(), s2.illegal_fishing.len());
+        assert_eq!(s1.illegal_fishing[0].0, s2.illegal_fishing[0].0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Alert delivery to the end user (marine authorities).
+//!
+//! "The recognized complex events are pushed in real-time to the end user
+//! (marine authorities) for real-time decision-making" (§2). The pipeline
+//! appends every recognized alert and CE interval boundary to an
+//! [`AlertLog`]; embedding applications can drain it or render it.
+
+use maritime_ais::Mmsi;
+use maritime_cer::{Alert, AlertKind};
+use maritime_geo::AreaId;
+use maritime_rtec::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One notification pushed to the authorities.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlertRecord {
+    /// An instantaneous alert (illegal or dangerous shipping).
+    Instant {
+        /// When the triggering ME occurred.
+        at: Timestamp,
+        /// The recognized alert.
+        alert: Alert,
+    },
+    /// A durative CE began (suspicious area / illegal fishing).
+    CeStarted {
+        /// Interval start.
+        at: Timestamp,
+        /// CE name (`"suspicious"` or `"illegalFishing"`).
+        name: &'static str,
+        /// The area involved.
+        area: AreaId,
+    },
+    /// A durative CE ended.
+    CeEnded {
+        /// Interval end.
+        at: Timestamp,
+        /// CE name.
+        name: &'static str,
+        /// The area involved.
+        area: AreaId,
+    },
+}
+
+impl AlertRecord {
+    /// The timestamp the record refers to.
+    #[must_use]
+    pub fn at(&self) -> Timestamp {
+        match self {
+            Self::Instant { at, .. } | Self::CeStarted { at, .. } | Self::CeEnded { at, .. } => {
+                *at
+            }
+        }
+    }
+
+    /// Human-readable one-liner.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Self::Instant { at, alert } => {
+                let what = match alert.kind {
+                    AlertKind::IllegalShipping => "ILLEGAL SHIPPING",
+                    AlertKind::DangerousShipping => "DANGEROUS SHIPPING",
+                };
+                format!(
+                    "[{at}] {what}: vessel {} near {}",
+                    alert.vessel, alert.area
+                )
+            }
+            Self::CeStarted { at, name, area } => {
+                format!("[{at}] {name} started in {area}")
+            }
+            Self::CeEnded { at, name, area } => format!("[{at}] {name} ended in {area}"),
+        }
+    }
+}
+
+/// An in-memory alert log with de-duplication.
+///
+/// Recognition is re-run every window slide over overlapping contents, so
+/// the same CE boundary is typically re-derived on consecutive queries;
+/// the log keeps each unique record once.
+#[derive(Debug, Default)]
+pub struct AlertLog {
+    records: Vec<AlertRecord>,
+    seen: std::collections::HashSet<AlertRecord>,
+}
+
+impl AlertLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record unless an identical one was already logged.
+    /// Returns whether it was new.
+    pub fn push(&mut self, record: AlertRecord) -> bool {
+        if self.seen.insert(record.clone()) {
+            self.records.push(record);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All unique records, in arrival order.
+    #[must_use]
+    pub fn records(&self) -> &[AlertRecord] {
+        &self.records
+    }
+
+    /// Number of unique records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records involving a vessel.
+    #[must_use]
+    pub fn for_vessel(&self, mmsi: Mmsi) -> Vec<&AlertRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, AlertRecord::Instant { alert, .. } if alert.vessel == mmsi))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant(at: i64, vessel: u32) -> AlertRecord {
+        AlertRecord::Instant {
+            at: Timestamp(at),
+            alert: Alert {
+                kind: AlertKind::IllegalShipping,
+                vessel: Mmsi(vessel),
+                area: AreaId(3),
+            },
+        }
+    }
+
+    #[test]
+    fn log_deduplicates() {
+        let mut log = AlertLog::new();
+        assert!(log.push(instant(10, 1)));
+        assert!(!log.push(instant(10, 1)));
+        assert!(log.push(instant(10, 2)));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn render_mentions_kind_vessel_and_area() {
+        let r = instant(10, 237_001_234).render();
+        assert!(r.contains("ILLEGAL SHIPPING"), "{r}");
+        assert!(r.contains("237001234"), "{r}");
+        assert!(r.contains("area3"), "{r}");
+    }
+
+    #[test]
+    fn ce_boundary_records() {
+        let mut log = AlertLog::new();
+        log.push(AlertRecord::CeStarted {
+            at: Timestamp(5),
+            name: "suspicious",
+            area: AreaId(1),
+        });
+        log.push(AlertRecord::CeEnded {
+            at: Timestamp(50),
+            name: "suspicious",
+            area: AreaId(1),
+        });
+        assert_eq!(log.records()[0].at(), Timestamp(5));
+        assert!(log.records()[1].render().contains("ended"));
+    }
+
+    #[test]
+    fn for_vessel_filters_instant_alerts() {
+        let mut log = AlertLog::new();
+        log.push(instant(10, 1));
+        log.push(instant(20, 2));
+        assert_eq!(log.for_vessel(Mmsi(1)).len(), 1);
+        assert!(log.for_vessel(Mmsi(99)).is_empty());
+    }
+}

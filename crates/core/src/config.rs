@@ -1,0 +1,160 @@
+//! System configuration — the calibrated settings of Tables 2 and 3.
+
+use maritime_cer::SpatialMode;
+use maritime_stream::{Duration, WindowSpec, WindowSpecError};
+use maritime_tracker::TrackerParams;
+use serde::{Deserialize, Serialize};
+
+/// Complete pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurveillanceConfig {
+    /// Mobility-tracking thresholds (Table 3).
+    pub tracker: TrackerParams,
+    /// Sliding window of the trajectory detection component (Table 2
+    /// defaults in bold: ω = 1 h, β = 5 min — the smallest setting that
+    /// batches data meaningfully for online operation).
+    pub tracking_window: WindowSpec,
+    /// Sliding window of the CE recognition component (§5.2: slide of 1 h,
+    /// range 1–9 h).
+    pub recognition_window: WindowSpec,
+    /// Proximity threshold of the `close/3` predicate, meters.
+    pub close_threshold_m: f64,
+    /// Spatial reasoning mode (Figure 11(a) vs 11(b)).
+    pub spatial_mode: SpatialMode,
+}
+
+impl Default for SurveillanceConfig {
+    fn default() -> Self {
+        Self {
+            tracker: TrackerParams::default(),
+            tracking_window: WindowSpec::new(Duration::hours(1), Duration::minutes(5))
+                .expect("valid default window"),
+            recognition_window: WindowSpec::new(Duration::hours(6), Duration::hours(1))
+                .expect("valid default window"),
+            close_threshold_m: 2_000.0,
+            spatial_mode: SpatialMode::OnDemand,
+        }
+    }
+}
+
+impl SurveillanceConfig {
+    /// Validates every sub-configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.tracker.validate().map_err(ConfigError::Tracker)?;
+        check_window(self.tracking_window)?;
+        check_window(self.recognition_window)?;
+        if self.close_threshold_m <= 0.0 {
+            return Err(ConfigError::CloseThreshold(self.close_threshold_m));
+        }
+        // The recognizer runs on tracker slides: its cadence must be a
+        // multiple of the tracking slide to align query times.
+        let ts = self.tracking_window.slide.as_secs();
+        let rs = self.recognition_window.slide.as_secs();
+        if rs % ts != 0 {
+            return Err(ConfigError::MisalignedSlides {
+                tracking_secs: ts,
+                recognition_secs: rs,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn check_window(spec: WindowSpec) -> Result<(), ConfigError> {
+    // Re-validate invariants (a deserialized spec bypasses the ctor).
+    WindowSpec::new(spec.range, spec.slide)
+        .map(|_| ())
+        .map_err(ConfigError::Window)
+}
+
+/// Configuration validation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Invalid tracker parameters.
+    Tracker(String),
+    /// Invalid window specification.
+    Window(WindowSpecError),
+    /// Non-positive proximity threshold.
+    CloseThreshold(f64),
+    /// The recognition slide is not a multiple of the tracking slide.
+    MisalignedSlides {
+        /// Tracking slide in seconds.
+        tracking_secs: i64,
+        /// Recognition slide in seconds.
+        recognition_secs: i64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Tracker(msg) => write!(f, "tracker parameters: {msg}"),
+            Self::Window(e) => write!(f, "window spec: {e}"),
+            Self::CloseThreshold(v) => write!(f, "close threshold must be positive, got {v}"),
+            Self::MisalignedSlides { tracking_secs, recognition_secs } => write!(
+                f,
+                "recognition slide ({recognition_secs}s) must be a multiple of the tracking slide ({tracking_secs}s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl PartialEq for SurveillanceConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.tracker == other.tracker
+            && self.tracking_window == other.tracking_window
+            && self.recognition_window == other.recognition_window
+            && self.close_threshold_m == other.close_threshold_m
+            && self.spatial_mode == other.spatial_mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SurveillanceConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn misaligned_slides_rejected() {
+        let cfg = SurveillanceConfig {
+            tracking_window: WindowSpec::new(Duration::hours(1), Duration::minutes(7)).unwrap(),
+            ..Default::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::MisalignedSlides { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_threshold_rejected() {
+        let cfg = SurveillanceConfig {
+            close_threshold_m: 0.0,
+            ..Default::default()
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::CloseThreshold(_))));
+    }
+
+    #[test]
+    fn bad_tracker_params_rejected() {
+        let cfg = SurveillanceConfig {
+            tracker: TrackerParams { m: 0, ..TrackerParams::default() },
+            ..Default::default()
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::Tracker(_))));
+    }
+
+    #[test]
+    fn config_serializes_roundtrip() {
+        let cfg = SurveillanceConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SurveillanceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

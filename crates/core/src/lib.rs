@@ -1,0 +1,76 @@
+//! End-to-end maritime surveillance system (Patroumpas et al., EDBT 2015).
+//!
+//! This crate wires the full processing scheme of Figure 1:
+//!
+//! ```text
+//! AIS stream ──> Data Scanner ──> Mobility Tracker ──> Compressor
+//!                                        │ critical points
+//!                 ┌──────────────────────┼─────────────────────┐
+//!                 ▼                      ▼                     ▼
+//!         Trajectory Exporter   Complex Event Recognition   Staging area
+//!             (KML)              (RTEC: suspicious areas,       │ deltas
+//!                                 illegal fishing/shipping,     ▼
+//!                                 dangerous shipping)      Trip reconstruction
+//!                                        │ alerts               │ trips
+//!                                        ▼                      ▼
+//!                                  Marine authorities     Trajectory archive
+//!                                                         (Hermes MOD analogue)
+//! ```
+//!
+//! See [`pipeline::SurveillancePipeline`] for the runtime, [`config`] for
+//! the calibrated settings of Tables 2–3, and the component crates
+//! (`maritime-tracker`, `maritime-rtec`, `maritime-cer`,
+//! `maritime-modstore`, `maritime-ais`, `maritime-geo`,
+//! `maritime-stream`) for each subsystem.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use maritime::prelude::*;
+//!
+//! // Simulate a small AIS fleet (stand-in for a live AIS feed).
+//! let sim = FleetSimulator::new(FleetConfig::tiny(42));
+//! let areas = generate_areas(&AreaGenConfig::default());
+//! let vessels: Vec<VesselInfo> = sim.profiles().iter().map(VesselInfo::from).collect();
+//!
+//! // Build and run the pipeline over the stream.
+//! let config = SurveillanceConfig::default();
+//! let mut pipeline = SurveillancePipeline::new(&config, vessels, areas).unwrap();
+//! let report = pipeline.run(sim.generate().iter().map(|r| (*r).into()));
+//!
+//! assert!(report.raw_positions > 0);
+//! assert!(report.compression_ratio > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alerts;
+pub mod config;
+pub mod pipeline;
+
+pub use alerts::{AlertRecord, AlertLog};
+pub use config::SurveillanceConfig;
+pub use pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
+
+/// Convenient re-exports of the whole system surface.
+pub mod prelude {
+    pub use crate::alerts::{AlertLog, AlertRecord};
+    pub use crate::config::SurveillanceConfig;
+    pub use crate::pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
+    pub use maritime_ais::{
+        DataScanner, FleetConfig, FleetSimulator, Mmsi, PositionReport, PositionTuple,
+        VesselClass, VesselProfile,
+    };
+    pub use maritime_cer::{
+        Alert, AlertKind, InputEvent, InputKind, Knowledge, MaritimeRecognizer, SpatialMode,
+        VesselInfo,
+    };
+    pub use maritime_geo::aegean::{generate_areas, ports, AreaGenConfig};
+    pub use maritime_geo::{Area, AreaId, AreaKind, BoundingBox, GeoPoint, Polygon};
+    pub use maritime_modstore::{ArchiveStats, StagingArea, TrajectoryStore, Trip, TripReconstructor};
+    pub use maritime_rtec::{Interval, IntervalList};
+    pub use maritime_stream::{Duration, SlideBatches, Timestamp, WindowSpec};
+    pub use maritime_tracker::{
+        Annotation, CriticalPoint, MobilityTracker, TrackerParams, WindowedTracker,
+    };
+}

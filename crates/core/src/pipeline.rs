@@ -1,0 +1,403 @@
+//! The end-to-end surveillance pipeline (Figure 1).
+//!
+//! Every window slide performs the four phases whose costs Figure 10
+//! breaks down — online tracking, staging of "delta" critical points,
+//! trip reconstruction, archive loading — plus complex event recognition
+//! at the recognizer's (coarser) cadence. Phase durations are measured
+//! per slide so the benchmark harness can regenerate Figure 10 directly.
+
+use std::time::{Duration as StdDuration, Instant};
+
+use maritime_ais::PositionTuple;
+use maritime_cer::{spatial, InputEvent, Knowledge, MaritimeRecognizer, SpatialMode, VesselInfo};
+use maritime_geo::Area;
+use maritime_modstore::{ArchiveStats, StagingArea, TrajectoryStore, TripReconstructor};
+use maritime_stream::{SlideBatches, Timestamp};
+use maritime_tracker::WindowedTracker;
+
+use crate::alerts::{AlertLog, AlertRecord};
+use crate::config::{ConfigError, SurveillanceConfig};
+
+/// Wall-clock cost of each pipeline phase in one slide (Figure 10).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Online mobility tracking (admit batch, detect events).
+    pub tracking: StdDuration,
+    /// Transfer of evicted deltas into the staging area.
+    pub staging: StdDuration,
+    /// Trip reconstruction over staged points.
+    pub reconstruction: StdDuration,
+    /// Loading reconstructed trips into the archive.
+    pub loading: StdDuration,
+    /// Complex event recognition (zero when not scheduled this slide).
+    pub recognition: StdDuration,
+}
+
+impl PhaseTimings {
+    /// Sum of the four trajectory-maintenance phases (Figure 10 stacks
+    /// exactly these; recognition is reported separately in Figure 11).
+    #[must_use]
+    pub fn maintenance_total(&self) -> StdDuration {
+        self.tracking + self.staging + self.reconstruction + self.loading
+    }
+
+    /// Element-wise sum.
+    #[must_use]
+    pub fn combined(self, other: PhaseTimings) -> PhaseTimings {
+        PhaseTimings {
+            tracking: self.tracking + other.tracking,
+            staging: self.staging + other.staging,
+            reconstruction: self.reconstruction + other.reconstruction,
+            loading: self.loading + other.loading,
+            recognition: self.recognition + other.recognition,
+        }
+    }
+}
+
+/// What one window slide produced.
+#[derive(Debug, Clone)]
+pub struct SlideOutcome {
+    /// Query time of the slide.
+    pub query_time: Timestamp,
+    /// Raw positions admitted.
+    pub admitted: usize,
+    /// Critical points detected in this slide.
+    pub fresh_critical: usize,
+    /// Delta points evicted to staging.
+    pub evicted: usize,
+    /// Trips completed by reconstruction in this slide.
+    pub trips_completed: usize,
+    /// Complex events recognized, when recognition ran this slide.
+    pub recognition: Option<maritime_cer::RecognitionSummary>,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+/// Aggregate report of a complete run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Window slides executed.
+    pub slides: usize,
+    /// Raw positions consumed.
+    pub raw_positions: u64,
+    /// Critical points produced.
+    pub critical_points: u64,
+    /// `1 − critical/raw`.
+    pub compression_ratio: f64,
+    /// Unique alert records pushed to authorities.
+    pub alerts: usize,
+    /// Total CE count across recognition queries.
+    pub ce_total: usize,
+    /// Final archive statistics (Table 4).
+    pub archive: ArchiveStats,
+    /// Summed phase timings across the run.
+    pub timings: PhaseTimings,
+}
+
+/// The assembled surveillance system.
+pub struct SurveillancePipeline {
+    config: SurveillanceConfig,
+    tracker: WindowedTracker,
+    recognizer: MaritimeRecognizer,
+    staging: StagingArea,
+    reconstructor: TripReconstructor,
+    store: TrajectoryStore,
+    alert_log: AlertLog,
+    origin: Timestamp,
+}
+
+impl SurveillancePipeline {
+    /// Builds the pipeline from a validated configuration, the fleet's
+    /// static vessel facts, and the geographic areas.
+    pub fn new(
+        config: &SurveillanceConfig,
+        vessels: Vec<VesselInfo>,
+        areas: Vec<Area>,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let knowledge = Knowledge::new(
+            vessels,
+            areas.clone(),
+            config.close_threshold_m,
+            config.spatial_mode,
+        );
+        Ok(Self {
+            config: config.clone(),
+            tracker: WindowedTracker::new(config.tracker, config.tracking_window),
+            recognizer: MaritimeRecognizer::new(knowledge, config.recognition_window),
+            staging: StagingArea::new(),
+            reconstructor: TripReconstructor::new(&areas),
+            store: TrajectoryStore::new(),
+            alert_log: AlertLog::new(),
+            origin: Timestamp::ZERO,
+        })
+    }
+
+    /// The alert log accumulated so far.
+    #[must_use]
+    pub fn alerts(&self) -> &AlertLog {
+        &self.alert_log
+    }
+
+    /// The trajectory archive.
+    #[must_use]
+    pub fn archive(&self) -> &TrajectoryStore {
+        &self.store
+    }
+
+    /// The staging area.
+    #[must_use]
+    pub fn staging(&self) -> &StagingArea {
+        &self.staging
+    }
+
+    /// Current Table 4 statistics.
+    #[must_use]
+    pub fn archive_stats(&self) -> ArchiveStats {
+        ArchiveStats::compute(&self.store, &self.staging)
+    }
+
+    /// Executes one window slide over a time-ordered positional batch
+    /// (timestamps ≤ `query_time`).
+    pub fn slide(&mut self, query_time: Timestamp, batch: &[PositionTuple]) -> SlideOutcome {
+        let mut timings = PhaseTimings::default();
+
+        // Phase 1: online tracking.
+        let t0 = Instant::now();
+        let report = self.tracker.slide(query_time, batch);
+        timings.tracking = t0.elapsed();
+
+        // Feed fresh critical points to the recognizer (with spatial facts
+        // attached when running in precomputed mode).
+        let mut events = InputEvent::from_critical_batch(&report.fresh_critical);
+        if self.config.spatial_mode == SpatialMode::Precomputed {
+            spatial::annotate_with_spatial_facts(&mut events, self.recognizer.knowledge());
+        }
+        self.recognizer.add_events(events);
+
+        // Phase 2: staging of evicted deltas.
+        let t1 = Instant::now();
+        self.staging.stage_batch(&report.evicted_delta);
+        timings.staging = t1.elapsed();
+
+        // Phase 3: trip reconstruction.
+        let t2 = Instant::now();
+        let trips = self.reconstructor.reconstruct(&mut self.staging);
+        timings.reconstruction = t2.elapsed();
+        let trips_completed = trips.len();
+
+        // Phase 4: archive loading.
+        let t3 = Instant::now();
+        self.store.load(trips);
+        timings.loading = t3.elapsed();
+
+        // Complex event recognition on its own cadence.
+        let rec_slide = self.config.recognition_window.slide.as_secs();
+        let due = (query_time.as_secs() - self.origin.as_secs()) % rec_slide == 0;
+        let recognition = if due {
+            let t4 = Instant::now();
+            let summary = self.recognizer.recognize_and_summarize(query_time);
+            timings.recognition = t4.elapsed();
+            self.log_alerts(&summary);
+            Some(summary)
+        } else {
+            None
+        };
+
+        SlideOutcome {
+            query_time,
+            admitted: report.admitted,
+            fresh_critical: report.fresh_critical.len(),
+            evicted: report.evicted_delta.len(),
+            trips_completed,
+            recognition,
+            timings,
+        }
+    }
+
+    /// Runs the pipeline over a complete, time-ordered tuple stream,
+    /// slicing it into per-slide batches and flushing at the end.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = PositionTuple>) -> RunReport {
+        let keyed = stream.into_iter().map(|t| (t.timestamp, t));
+        let batches = SlideBatches::new(keyed, self.config.tracking_window, self.origin);
+        let mut slides = 0usize;
+        let mut ce_total = 0usize;
+        let mut timings = PhaseTimings::default();
+        let mut last_q = self.origin;
+        for batch in batches {
+            let tuples: Vec<PositionTuple> = batch.items.into_iter().map(|(_, t)| t).collect();
+            let outcome = self.slide(batch.query_time, &tuples);
+            slides += 1;
+            ce_total += outcome.recognition.as_ref().map_or(0, |s| s.ce_count);
+            timings = timings.combined(outcome.timings);
+            last_q = batch.query_time;
+        }
+        let final_outcome = self.finish(last_q);
+        ce_total += final_outcome.recognition.as_ref().map_or(0, |s| s.ce_count);
+        timings = timings.combined(final_outcome.timings);
+
+        let stats = self.tracker.tracker().stats();
+        RunReport {
+            slides,
+            raw_positions: stats.raw,
+            critical_points: stats.critical,
+            compression_ratio: stats.compression_ratio(),
+            alerts: self.alert_log.len(),
+            ce_total,
+            archive: self.archive_stats(),
+            timings,
+        }
+    }
+
+    /// Ends the stream: flushes open durative states, stages the residual
+    /// window contents, reconstructs and loads the remaining trips, and
+    /// runs one final recognition pass.
+    pub fn finish(&mut self, at: Timestamp) -> SlideOutcome {
+        let mut timings = PhaseTimings::default();
+
+        let t0 = Instant::now();
+        let (final_cps, remaining) = self.tracker.finish();
+        timings.tracking = t0.elapsed();
+
+        let mut events = InputEvent::from_critical_batch(&final_cps);
+        if self.config.spatial_mode == SpatialMode::Precomputed {
+            spatial::annotate_with_spatial_facts(&mut events, self.recognizer.knowledge());
+        }
+        self.recognizer.add_events(events);
+
+        let t1 = Instant::now();
+        self.staging.stage_batch(&remaining);
+        timings.staging = t1.elapsed();
+
+        let t2 = Instant::now();
+        let trips = self.reconstructor.reconstruct(&mut self.staging);
+        timings.reconstruction = t2.elapsed();
+        let trips_completed = trips.len();
+
+        let t3 = Instant::now();
+        self.store.load(trips);
+        timings.loading = t3.elapsed();
+
+        let t4 = Instant::now();
+        let summary = self.recognizer.recognize_and_summarize(at);
+        timings.recognition = t4.elapsed();
+        self.log_alerts(&summary);
+
+        SlideOutcome {
+            query_time: at,
+            admitted: 0,
+            fresh_critical: final_cps.len(),
+            evicted: remaining.len(),
+            trips_completed,
+            recognition: Some(summary),
+            timings,
+        }
+    }
+
+    fn log_alerts(&mut self, summary: &maritime_cer::RecognitionSummary) {
+        for (at, alert) in &summary.alerts {
+            self.alert_log.push(AlertRecord::Instant {
+                at: *at,
+                alert: *alert,
+            });
+        }
+        for (name, entries) in [
+            ("suspicious", &summary.suspicious),
+            ("illegalFishing", &summary.illegal_fishing),
+        ] {
+            for (area, intervals) in entries {
+                for iv in intervals.intervals() {
+                    self.alert_log.push(AlertRecord::CeStarted {
+                        at: iv.since,
+                        name,
+                        area: *area,
+                    });
+                    if let Some(until) = iv.until {
+                        self.alert_log.push(AlertRecord::CeEnded {
+                            at: until,
+                            name,
+                            area: *area,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_ais::{FleetConfig, FleetSimulator};
+    use maritime_geo::aegean::{generate_areas, AreaGenConfig};
+
+    fn run_tiny(seed: u64, mode: SpatialMode) -> (RunReport, usize) {
+        let sim = FleetSimulator::new(FleetConfig::tiny(seed));
+        let areas = generate_areas(&AreaGenConfig::default());
+        let vessels: Vec<VesselInfo> = sim.profiles().iter().map(VesselInfo::from).collect();
+        let config = SurveillanceConfig {
+            spatial_mode: mode,
+            ..SurveillanceConfig::default()
+        };
+        let mut pipeline = SurveillancePipeline::new(&config, vessels, areas).unwrap();
+        let report = pipeline.run(sim.generate().into_iter().map(PositionTuple::from));
+        let alerts = pipeline.alerts().len();
+        (report, alerts)
+    }
+
+    #[test]
+    fn end_to_end_run_produces_consistent_report() {
+        let (report, alerts) = run_tiny(5, SpatialMode::OnDemand);
+        assert!(report.slides > 0);
+        assert!(report.raw_positions > 1_000);
+        assert!(report.critical_points > 0);
+        assert!(
+            report.compression_ratio > 0.6,
+            "ratio {}",
+            report.compression_ratio
+        );
+        assert_eq!(report.alerts, alerts);
+        // Conservation: archived + staged = critical points that left the
+        // window plus the residue (all critical points end up somewhere).
+        let accounted =
+            report.archive.points_in_trajectories + report.archive.points_in_staging;
+        assert_eq!(accounted as u64, report.critical_points);
+    }
+
+    #[test]
+    fn spatial_modes_recognize_equivalently() {
+        let (on_demand, a1) = run_tiny(6, SpatialMode::OnDemand);
+        let (precomputed, a2) = run_tiny(6, SpatialMode::Precomputed);
+        assert_eq!(on_demand.raw_positions, precomputed.raw_positions);
+        assert_eq!(on_demand.critical_points, precomputed.critical_points);
+        assert_eq!(a1, a2, "alert sets must match across spatial modes");
+    }
+
+    #[test]
+    fn archive_fills_with_trips_on_longer_runs() {
+        let sim = FleetSimulator::new(FleetConfig {
+            vessels: 20,
+            duration: maritime_stream::Duration::hours(24),
+            ..FleetConfig::tiny(7)
+        });
+        let areas = generate_areas(&AreaGenConfig::default());
+        let vessels: Vec<VesselInfo> = sim.profiles().iter().map(VesselInfo::from).collect();
+        let mut pipeline =
+            SurveillancePipeline::new(&SurveillanceConfig::default(), vessels, areas).unwrap();
+        let report = pipeline.run(sim.generate().into_iter().map(PositionTuple::from));
+        assert!(
+            report.archive.trips > 0,
+            "24h of 20 vessels should complete port-to-port trips: {:?}",
+            report.archive
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let bad = SurveillanceConfig {
+            close_threshold_m: -1.0,
+            ..SurveillanceConfig::default()
+        };
+        assert!(SurveillancePipeline::new(&bad, Vec::new(), Vec::new()).is_err());
+    }
+}

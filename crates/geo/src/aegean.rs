@@ -1,0 +1,293 @@
+//! Aegean-sea geography: real port locations and the synthetic area set.
+//!
+//! The paper's evaluation (§5) covers the Aegean, the Ionian and part of the
+//! Mediterranean, with vessel traces between Greek ports, and augments the
+//! recognition input with "35 polygons representing protected areas,
+//! forbidden fishing areas, and areas with shallow waters" generated
+//! synthetically. This module reproduces both: a catalogue of real port
+//! coordinates (used by the AIS fleet simulator as voyage endpoints) and a
+//! deterministic generator for the 35 areas.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::areas::{Area, AreaId, AreaKind};
+use crate::bbox::BoundingBox;
+use crate::point::GeoPoint;
+use crate::polygon::Polygon;
+
+/// Bounding box of the monitored region (Aegean plus east Ionian).
+#[must_use]
+pub fn aegean_extent() -> BoundingBox {
+    BoundingBox {
+        min_lon: 19.5,
+        min_lat: 34.5,
+        max_lon: 28.5,
+        max_lat: 41.0,
+    }
+}
+
+/// Longitude that splits the monitored region into the *west* and *east*
+/// partitions of the two-processor experiments (Figure 11).
+pub const EAST_WEST_SPLIT_LON: f64 = 24.3;
+
+/// A real Greek port: name and harbour coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Port {
+    /// Port name.
+    pub name: &'static str,
+    /// Harbour-mouth coordinates.
+    pub location: GeoPoint,
+}
+
+/// Catalogue of major Greek ports used as voyage endpoints by the synthetic
+/// fleet. Coordinates are the approximate harbour positions.
+#[must_use]
+pub fn ports() -> Vec<Port> {
+    const RAW: &[(&str, f64, f64)] = &[
+        ("Piraeus", 23.618, 37.942),
+        ("Thessaloniki", 22.930, 40.630),
+        ("Heraklion", 25.144, 35.345),
+        ("Volos", 22.945, 39.358),
+        ("Patras", 21.728, 38.255),
+        ("Rhodes", 28.227, 36.450),
+        ("Mytilene", 26.558, 39.105),
+        ("Chania", 24.017, 35.517),
+        ("Chios", 26.140, 38.373),
+        ("Kavala", 24.405, 40.933),
+        ("Syros", 24.942, 37.440),
+        ("Paros", 25.150, 37.085),
+        ("Naxos", 25.373, 37.107),
+        ("Santorini", 25.430, 36.390),
+        ("Mykonos", 25.325, 37.450),
+        ("Kos", 27.288, 36.897),
+        ("Samos", 26.975, 37.757),
+        ("Rafina", 24.010, 38.022),
+        ("Lavrio", 24.057, 37.713),
+        ("Igoumenitsa", 20.267, 39.503),
+        ("Corfu", 19.920, 39.625),
+        ("Alexandroupoli", 25.875, 40.845),
+        ("Kalamata", 22.110, 37.022),
+        ("Gythio", 22.565, 36.758),
+        ("Milos", 24.445, 36.727),
+    ];
+    RAW.iter()
+        .map(|&(name, lon, lat)| Port {
+            name,
+            location: GeoPoint::new(lon, lat),
+        })
+        .collect()
+}
+
+/// Configuration for the synthetic area generator.
+#[derive(Debug, Clone, Copy)]
+pub struct AreaGenConfig {
+    /// RNG seed; the same seed always yields the same 35 polygons.
+    pub seed: u64,
+    /// Number of environmentally protected areas.
+    pub protected: usize,
+    /// Number of forbidden-fishing areas.
+    pub forbidden_fishing: usize,
+    /// Number of shallow-water areas.
+    pub shallow: usize,
+    /// Radius range of generated areas, meters.
+    pub radius_m: (f64, f64),
+}
+
+impl Default for AreaGenConfig {
+    /// The paper's §5.2 setup: 35 areas total, split across the three kinds.
+    fn default() -> Self {
+        Self {
+            seed: 0x0A15_2015,
+            protected: 12,
+            forbidden_fishing: 12,
+            shallow: 11,
+            radius_m: (3_000.0, 15_000.0),
+        }
+    }
+}
+
+/// Generates the synthetic surveillance areas plus port basins.
+///
+/// Port areas come first (ids `0..ports.len()`), then the 35 synthetic
+/// areas. Synthetic polygons are irregular 8–14-gons centred at random
+/// offshore positions near shipping lanes (within a corridor around the
+/// midpoints between random port pairs), so vessels genuinely pass close to
+/// them during replay.
+#[must_use]
+pub fn generate_areas(config: &AreaGenConfig) -> Vec<Area> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let port_list = ports();
+    let mut areas = Vec::with_capacity(port_list.len() + 35);
+
+    for (i, port) in port_list.iter().enumerate() {
+        areas.push(Area::new(
+            AreaId(i as u32),
+            port.name,
+            AreaKind::Port,
+            Polygon::circle(port.location, 2_500.0, 16),
+        ));
+    }
+
+    let mut next_id = port_list.len() as u32;
+    let mut push_kind = |kind_of: &mut dyn FnMut(&mut SmallRng) -> AreaKind,
+                         count: usize,
+                         name_prefix: &str,
+                         rng: &mut SmallRng,
+                         areas: &mut Vec<Area>| {
+        for i in 0..count {
+            let center = lane_point(rng, &port_list);
+            let radius = rng.gen_range(config.radius_m.0..config.radius_m.1);
+            let polygon = irregular_polygon(rng, center, radius);
+            let kind = kind_of(rng);
+            areas.push(Area::new(
+                AreaId(next_id),
+                format!("{name_prefix}-{i}"),
+                kind,
+                polygon,
+            ));
+            next_id += 1;
+        }
+    };
+
+    push_kind(
+        &mut |_| AreaKind::Protected,
+        config.protected,
+        "protected",
+        &mut rng,
+        &mut areas,
+    );
+    push_kind(
+        &mut |_| AreaKind::ForbiddenFishing,
+        config.forbidden_fishing,
+        "no-fishing",
+        &mut rng,
+        &mut areas,
+    );
+    push_kind(
+        &mut |rng: &mut SmallRng| AreaKind::Shallow {
+            depth_m: rng.gen_range(2.0..12.0),
+        },
+        config.shallow,
+        "shallow",
+        &mut rng,
+        &mut areas,
+    );
+
+    areas
+}
+
+/// Picks a point near a shipping lane: a random position along the segment
+/// between two random ports, jittered laterally by up to ~20 km.
+fn lane_point(rng: &mut SmallRng, ports: &[Port]) -> GeoPoint {
+    let a = ports[rng.gen_range(0..ports.len())].location;
+    let b = ports[rng.gen_range(0..ports.len())].location;
+    let t = rng.gen_range(0.15..0.85);
+    let on_lane = a.lerp(b, t);
+    let jitter = crate::haversine::destination(
+        on_lane,
+        rng.gen_range(0.0..360.0),
+        rng.gen_range(2_000.0..20_000.0),
+    );
+    // Keep within the monitored extent.
+    GeoPoint {
+        lon: jitter.lon.clamp(aegean_extent().min_lon, aegean_extent().max_lon),
+        lat: jitter.lat.clamp(aegean_extent().min_lat, aegean_extent().max_lat),
+    }
+}
+
+/// An irregular polygon: vertices at jittered radii around the center.
+fn irregular_polygon(rng: &mut SmallRng, center: GeoPoint, radius_m: f64) -> Polygon {
+    let n = rng.gen_range(8..=14);
+    let vertices = (0..n)
+        .map(|i| {
+            let bearing = 360.0 * i as f64 / n as f64;
+            let r = radius_m * rng.gen_range(0.7..1.3);
+            crate::haversine::destination(center, bearing, r)
+        })
+        .collect();
+    Polygon::new(vertices).expect("generated polygon has >= 3 vertices")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_catalogue_is_sane() {
+        let ps = ports();
+        assert!(ps.len() >= 20);
+        let extent = aegean_extent();
+        for p in &ps {
+            assert!(extent.contains(p.location), "{} outside extent", p.name);
+        }
+    }
+
+    #[test]
+    fn default_config_generates_35_synthetic_areas() {
+        let areas = generate_areas(&AreaGenConfig::default());
+        let synthetic = areas
+            .iter()
+            .filter(|a| a.kind != AreaKind::Port)
+            .count();
+        assert_eq!(synthetic, 35);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_areas(&AreaGenConfig::default());
+        let b = generate_areas(&AreaGenConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.polygon.vertices(), y.polygon.vertices());
+            assert_eq!(x.name, y.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_areas(&AreaGenConfig::default());
+        let b = generate_areas(&AreaGenConfig {
+            seed: 99,
+            ..AreaGenConfig::default()
+        });
+        let same = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.polygon.vertices() == y.polygon.vertices())
+            .count();
+        // Ports are identical; synthetic areas should differ.
+        assert_eq!(same, ports().len());
+    }
+
+    #[test]
+    fn area_ids_are_dense_and_unique() {
+        let areas = generate_areas(&AreaGenConfig::default());
+        for (i, a) in areas.iter().enumerate() {
+            assert_eq!(a.id, AreaId(i as u32));
+        }
+    }
+
+    #[test]
+    fn shallow_areas_carry_depth() {
+        let areas = generate_areas(&AreaGenConfig::default());
+        let shallows: Vec<_> = areas
+            .iter()
+            .filter(|a| matches!(a.kind, AreaKind::Shallow { .. }))
+            .collect();
+        assert_eq!(shallows.len(), 11);
+        for s in shallows {
+            if let AreaKind::Shallow { depth_m } = s.kind {
+                assert!((2.0..12.0).contains(&depth_m));
+            }
+        }
+    }
+
+    #[test]
+    fn split_longitude_partitions_ports_nontrivially() {
+        let ps = ports();
+        let west = ps.iter().filter(|p| p.location.lon < EAST_WEST_SPLIT_LON).count();
+        let east = ps.len() - west;
+        assert!(west >= 5 && east >= 5, "west={west} east={east}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Static geographic areas: ports, protected zones, fishing bans, shallows.
+//!
+//! §4 of the paper correlates the critical-point stream with "static
+//! geographical and vessel data, such as bathymetric data and locations of
+//! protected areas". An [`Area`] is a named polygon with a [`AreaKind`]
+//! that determines which complex-event rules apply to it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::GeoPoint;
+use crate::polygon::Polygon;
+
+/// Dense identifier for an area, assigned by the knowledge base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AreaId(pub u32);
+
+impl std::fmt::Display for AreaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "area{}", self.0)
+    }
+}
+
+/// The role an area plays in the surveillance rules (§4.1, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AreaKind {
+    /// A port basin — used for trip segmentation and semantic enrichment
+    /// (§3.2), and as the anchor for `suspicious(Area)` monitoring.
+    Port,
+    /// Environmentally protected area (e.g. the National Marine Park of
+    /// Alonnisos); target of the `illegalShipping` rule.
+    Protected,
+    /// Area where fishing is forbidden; target of the `illegalFishing` rules.
+    ForbiddenFishing,
+    /// Shallow waters; target of the `dangerousShipping` rule. Carries the
+    /// depth so the `shallow(Area, Vessel)` predicate can compare it with a
+    /// vessel's draft.
+    Shallow {
+        /// Water depth in meters.
+        depth_m: f64,
+    },
+    /// Area watched for loitering / suspicious congregation (§4.1 scenario 1
+    /// — "officials ... restrict computation of the maximal intervals of the
+    /// suspicious fluent to these areas").
+    Watch,
+}
+
+impl AreaKind {
+    /// Short machine-readable label used in alerts and KML export.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Port => "port",
+            Self::Protected => "protected",
+            Self::ForbiddenFishing => "forbidden_fishing",
+            Self::Shallow { .. } => "shallow",
+            Self::Watch => "watch",
+        }
+    }
+}
+
+/// A named polygonal area of interest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Area {
+    /// Stable identifier within the knowledge base.
+    pub id: AreaId,
+    /// Human-readable name, e.g. `"Piraeus"` or `"Alonnisos Marine Park"`.
+    pub name: String,
+    /// What the area is, and therefore which rules target it.
+    pub kind: AreaKind,
+    /// The geometry.
+    pub polygon: Polygon,
+}
+
+impl Area {
+    /// Creates an area.
+    #[must_use]
+    pub fn new(id: AreaId, name: impl Into<String>, kind: AreaKind, polygon: Polygon) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            kind,
+            polygon,
+        }
+    }
+
+    /// Whether the point lies inside the area.
+    #[must_use]
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        self.polygon.contains(p)
+    }
+
+    /// The `close/3` predicate: within `threshold_m` meters of the area.
+    #[must_use]
+    pub fn is_close(&self, p: GeoPoint, threshold_m: f64) -> bool {
+        self.polygon.is_close(p, threshold_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port() -> Area {
+        Area::new(
+            AreaId(1),
+            "Piraeus",
+            AreaKind::Port,
+            Polygon::circle(GeoPoint::new(23.62, 37.94), 2_000.0, 16),
+        )
+    }
+
+    #[test]
+    fn area_contains_delegates_to_polygon() {
+        let a = port();
+        assert!(a.contains(GeoPoint::new(23.62, 37.94)));
+        assert!(!a.contains(GeoPoint::new(24.5, 37.94)));
+    }
+
+    #[test]
+    fn area_close_with_threshold() {
+        let a = port();
+        // ~2.6 km east of center = ~0.6 km outside the 2 km basin.
+        let p = crate::haversine::destination(GeoPoint::new(23.62, 37.94), 90.0, 2_600.0);
+        assert!(a.is_close(p, 1_000.0));
+        assert!(!a.is_close(p, 100.0));
+    }
+
+    #[test]
+    fn kind_labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = [
+            AreaKind::Port,
+            AreaKind::Protected,
+            AreaKind::ForbiddenFishing,
+            AreaKind::Shallow { depth_m: 5.0 },
+            AreaKind::Watch,
+        ]
+        .iter()
+        .map(AreaKind::label)
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn display_of_area_id() {
+        assert_eq!(AreaId(7).to_string(), "area7");
+    }
+}

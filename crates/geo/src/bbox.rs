@@ -1,0 +1,172 @@
+//! Axis-aligned bounding boxes in longitude/latitude space.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::GeoPoint;
+
+/// An axis-aligned rectangle in degree space.
+///
+/// Bounding boxes serve two roles: pre-filtering polygon containment tests
+/// (a point outside an area's box cannot be inside the area) and defining
+/// the cell extents of the [`crate::GridIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Western edge (minimum longitude).
+    pub min_lon: f64,
+    /// Southern edge (minimum latitude).
+    pub min_lat: f64,
+    /// Eastern edge (maximum longitude).
+    pub max_lon: f64,
+    /// Northern edge (maximum latitude).
+    pub max_lat: f64,
+}
+
+impl BoundingBox {
+    /// An "empty" box that contains nothing and absorbs any point on
+    /// [`BoundingBox::expand_to`].
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            min_lon: f64::INFINITY,
+            min_lat: f64::INFINITY,
+            max_lon: f64::NEG_INFINITY,
+            max_lat: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds the tightest box around a set of points; `None` if empty.
+    #[must_use]
+    pub fn around(points: &[GeoPoint]) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        let mut b = Self::empty();
+        for p in points {
+            b.expand_to(*p);
+        }
+        Some(b)
+    }
+
+    /// Grows the box so that it contains `p`.
+    pub fn expand_to(&mut self, p: GeoPoint) {
+        self.min_lon = self.min_lon.min(p.lon);
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lon = self.max_lon.max(p.lon);
+        self.max_lat = self.max_lat.max(p.lat);
+    }
+
+    /// Grows the box outward by `margin_deg` degrees on every side.
+    #[must_use]
+    pub fn inflated(self, margin_deg: f64) -> Self {
+        Self {
+            min_lon: self.min_lon - margin_deg,
+            min_lat: self.min_lat - margin_deg,
+            max_lon: self.max_lon + margin_deg,
+            max_lat: self.max_lat + margin_deg,
+        }
+    }
+
+    /// Whether the point lies inside or on the boundary of the box.
+    #[must_use]
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+    }
+
+    /// Whether two boxes overlap (share any point).
+    #[must_use]
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.min_lon <= other.max_lon
+            && self.max_lon >= other.min_lon
+            && self.min_lat <= other.max_lat
+            && self.max_lat >= other.min_lat
+    }
+
+    /// Center of the box.
+    #[must_use]
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint {
+            lon: (self.min_lon + self.max_lon) / 2.0,
+            lat: (self.min_lat + self.max_lat) / 2.0,
+        }
+    }
+
+    /// Width in degrees of longitude.
+    #[must_use]
+    pub fn width_deg(&self) -> f64 {
+        (self.max_lon - self.min_lon).max(0.0)
+    }
+
+    /// Height in degrees of latitude.
+    #[must_use]
+    pub fn height_deg(&self) -> f64 {
+        (self.max_lat - self.min_lat).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn around_points_is_tight() {
+        let b = BoundingBox::around(&[
+            GeoPoint::new(23.0, 37.0),
+            GeoPoint::new(25.0, 36.0),
+            GeoPoint::new(24.0, 39.0),
+        ])
+        .unwrap();
+        assert_eq!(b.min_lon, 23.0);
+        assert_eq!(b.max_lon, 25.0);
+        assert_eq!(b.min_lat, 36.0);
+        assert_eq!(b.max_lat, 39.0);
+    }
+
+    #[test]
+    fn around_empty_is_none() {
+        assert!(BoundingBox::around(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let b = BoundingBox::around(&[GeoPoint::new(23.0, 37.0), GeoPoint::new(25.0, 39.0)]).unwrap();
+        assert!(b.contains(GeoPoint::new(23.0, 37.0)));
+        assert!(b.contains(GeoPoint::new(25.0, 39.0)));
+        assert!(b.contains(GeoPoint::new(24.0, 38.0)));
+        assert!(!b.contains(GeoPoint::new(22.99, 38.0)));
+    }
+
+    #[test]
+    fn intersects_is_symmetric_and_detects_touching() {
+        let a = BoundingBox::around(&[GeoPoint::new(0.0, 0.0), GeoPoint::new(2.0, 2.0)]).unwrap();
+        let b = BoundingBox::around(&[GeoPoint::new(2.0, 2.0), GeoPoint::new(4.0, 4.0)]).unwrap();
+        let c = BoundingBox::around(&[GeoPoint::new(5.0, 5.0), GeoPoint::new(6.0, 6.0)]).unwrap();
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn inflated_grows_every_side() {
+        let b = BoundingBox::around(&[GeoPoint::new(10.0, 10.0), GeoPoint::new(11.0, 11.0)])
+            .unwrap()
+            .inflated(0.5);
+        assert_eq!(b.min_lon, 9.5);
+        assert_eq!(b.max_lat, 11.5);
+    }
+
+    #[test]
+    fn empty_box_contains_nothing() {
+        let b = BoundingBox::empty();
+        assert!(!b.contains(GeoPoint::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn center_and_dimensions() {
+        let b = BoundingBox::around(&[GeoPoint::new(10.0, 20.0), GeoPoint::new(14.0, 26.0)]).unwrap();
+        let c = b.center();
+        assert_eq!(c.lon, 12.0);
+        assert_eq!(c.lat, 23.0);
+        assert_eq!(b.width_deg(), 4.0);
+        assert_eq!(b.height_deg(), 6.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Uniform spatial grid index over areas.
+//!
+//! The `close/3` predicate is evaluated for every critical movement event
+//! against 35 areas in the paper's experiments (§5.2). A linear scan is
+//! acceptable at that scale, but the index makes the lookup O(areas in
+//! cell) and is the substrate for the "precomputed spatial facts" variant
+//! of Figure 11(b), where proximity is resolved in bulk before recognition.
+
+use std::collections::HashMap;
+
+use crate::areas::{Area, AreaId};
+use crate::bbox::BoundingBox;
+use crate::point::GeoPoint;
+
+/// A uniform grid over a bounding box, bucketing areas by the cells their
+/// (threshold-inflated) bounding boxes overlap.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    extent: BoundingBox,
+    cell_deg: f64,
+    cols: usize,
+    rows: usize,
+    /// Cell -> candidate area indices (into `areas`).
+    cells: HashMap<(usize, usize), Vec<usize>>,
+    areas: Vec<Area>,
+    /// Proximity threshold baked into the index, in meters.
+    threshold_m: f64,
+}
+
+impl GridIndex {
+    /// Builds an index over `areas` with the given cell size (degrees) and
+    /// `close` threshold (meters). The extent is derived from the areas.
+    #[must_use]
+    pub fn build(areas: Vec<Area>, cell_deg: f64, threshold_m: f64) -> Self {
+        assert!(cell_deg > 0.0, "cell size must be positive");
+        let mut extent = BoundingBox::empty();
+        for a in &areas {
+            let b = a.polygon.bbox();
+            extent.expand_to(GeoPoint { lon: b.min_lon, lat: b.min_lat });
+            extent.expand_to(GeoPoint { lon: b.max_lon, lat: b.max_lat });
+        }
+        // Margin so that points just outside all areas still map to a cell.
+        let margin = threshold_m / 111_000.0 * 1.5 + cell_deg;
+        let extent = if areas.is_empty() {
+            BoundingBox { min_lon: -1.0, min_lat: -1.0, max_lon: 1.0, max_lat: 1.0 }
+        } else {
+            extent.inflated(margin)
+        };
+        let cols = (extent.width_deg() / cell_deg).ceil().max(1.0) as usize;
+        let rows = (extent.height_deg() / cell_deg).ceil().max(1.0) as usize;
+
+        let mut cells: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        let inflate_deg = threshold_m / 111_000.0 * 1.5;
+        for (idx, area) in areas.iter().enumerate() {
+            let b = area.polygon.bbox().inflated(inflate_deg);
+            let (c0, r0) = clamp_cell(&extent, cell_deg, cols, rows, b.min_lon, b.min_lat);
+            let (c1, r1) = clamp_cell(&extent, cell_deg, cols, rows, b.max_lon, b.max_lat);
+            for c in c0..=c1 {
+                for r in r0..=r1 {
+                    cells.entry((c, r)).or_default().push(idx);
+                }
+            }
+        }
+        Self { extent, cell_deg, cols, rows, cells, areas, threshold_m }
+    }
+
+    /// All indexed areas, in insertion order.
+    #[must_use]
+    pub fn areas(&self) -> &[Area] {
+        &self.areas
+    }
+
+    /// The proximity threshold the index was built with.
+    #[must_use]
+    pub fn threshold_m(&self) -> f64 {
+        self.threshold_m
+    }
+
+    /// Areas whose `close` predicate holds for `p` (distance < threshold).
+    pub fn close_areas(&self, p: GeoPoint) -> impl Iterator<Item = &Area> + '_ {
+        let candidates = self.candidates(p);
+        candidates
+            .into_iter()
+            .map(move |i| &self.areas[i])
+            .filter(move |a| a.is_close(p, self.threshold_m))
+    }
+
+    /// Ids of areas close to `p` — the bulk "spatial fact" form.
+    #[must_use]
+    pub fn close_area_ids(&self, p: GeoPoint) -> Vec<AreaId> {
+        self.close_areas(p).map(|a| a.id).collect()
+    }
+
+    /// Areas that *contain* `p` (strict containment, not proximity).
+    pub fn containing_areas(&self, p: GeoPoint) -> impl Iterator<Item = &Area> + '_ {
+        self.candidates(p)
+            .into_iter()
+            .map(move |i| &self.areas[i])
+            .filter(move |a| a.contains(p))
+    }
+
+    /// Candidate area indices from the cell containing `p`.
+    fn candidates(&self, p: GeoPoint) -> Vec<usize> {
+        if !self.extent.contains(p) {
+            return Vec::new();
+        }
+        let (c, r) = clamp_cell(&self.extent, self.cell_deg, self.cols, self.rows, p.lon, p.lat);
+        self.cells.get(&(c, r)).cloned().unwrap_or_default()
+    }
+
+    /// Linear-scan reference implementation, used for correctness checks and
+    /// the index-vs-scan ablation bench.
+    #[must_use]
+    pub fn close_area_ids_linear(&self, p: GeoPoint) -> Vec<AreaId> {
+        self.areas
+            .iter()
+            .filter(|a| a.is_close(p, self.threshold_m))
+            .map(|a| a.id)
+            .collect()
+    }
+}
+
+fn clamp_cell(
+    extent: &BoundingBox,
+    cell_deg: f64,
+    cols: usize,
+    rows: usize,
+    lon: f64,
+    lat: f64,
+) -> (usize, usize) {
+    let c = ((lon - extent.min_lon) / cell_deg).floor().max(0.0) as usize;
+    let r = ((lat - extent.min_lat) / cell_deg).floor().max(0.0) as usize;
+    (c.min(cols - 1), r.min(rows - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::AreaKind;
+    use crate::polygon::Polygon;
+
+    fn sample_areas() -> Vec<Area> {
+        vec![
+            Area::new(
+                AreaId(0),
+                "west",
+                AreaKind::Protected,
+                Polygon::rectangle(GeoPoint::new(23.0, 37.0), GeoPoint::new(23.5, 37.5)),
+            ),
+            Area::new(
+                AreaId(1),
+                "east",
+                AreaKind::ForbiddenFishing,
+                Polygon::rectangle(GeoPoint::new(25.0, 38.0), GeoPoint::new(25.5, 38.5)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn finds_containing_area() {
+        let idx = GridIndex::build(sample_areas(), 0.25, 5_000.0);
+        let inside = GeoPoint::new(23.2, 37.2);
+        let ids = idx.close_area_ids(inside);
+        assert_eq!(ids, vec![AreaId(0)]);
+        let containing: Vec<_> = idx.containing_areas(inside).map(|a| a.id).collect();
+        assert_eq!(containing, vec![AreaId(0)]);
+    }
+
+    #[test]
+    fn proximity_respects_threshold() {
+        let idx = GridIndex::build(sample_areas(), 0.25, 5_000.0);
+        // ~3.3 km east of the west rectangle at its mid-latitude.
+        let near = GeoPoint::new(23.5 + 0.0375, 37.25);
+        assert_eq!(idx.close_area_ids(near), vec![AreaId(0)]);
+        // ~40 km away: not close to anything.
+        let far = GeoPoint::new(24.0, 37.25);
+        assert!(idx.close_area_ids(far).is_empty());
+    }
+
+    #[test]
+    fn grid_matches_linear_scan() {
+        let idx = GridIndex::build(sample_areas(), 0.1, 10_000.0);
+        for lon in [22.9, 23.1, 23.4, 23.6, 24.2, 25.1, 25.6] {
+            for lat in [36.9, 37.2, 37.6, 38.1, 38.6] {
+                let p = GeoPoint::new(lon, lat);
+                let mut a = idx.close_area_ids(p);
+                let mut b = idx.close_area_ids_linear(p);
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "mismatch at ({lon}, {lat})");
+            }
+        }
+    }
+
+    #[test]
+    fn point_outside_extent_matches_nothing() {
+        let idx = GridIndex::build(sample_areas(), 0.25, 5_000.0);
+        assert!(idx.close_area_ids(GeoPoint::new(0.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn empty_index_is_safe() {
+        let idx = GridIndex::build(Vec::new(), 0.25, 5_000.0);
+        assert!(idx.close_area_ids(GeoPoint::new(23.0, 37.0)).is_empty());
+        assert!(idx.areas().is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Haversine geometry on the spherical Earth model.
+//!
+//! All distances in the paper — trajectory approximation error (§5.1, the
+//! `H(p, p')` term of the RMSE formula), the `close/3` predicate of the CE
+//! rules (§4.1), and the mobility-tracker displacement computations (§3.1) —
+//! use the Haversine great-circle distance.
+
+use crate::point::GeoPoint;
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Meters per nautical mile.
+pub const METERS_PER_NAUTICAL_MILE: f64 = 1_852.0;
+
+/// Great-circle (Haversine) distance between two points, in meters.
+#[must_use]
+pub fn haversine_distance_m(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lon1, lat1) = a.to_radians();
+    let (lon2, lat2) = b.to_radians();
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
+}
+
+/// Initial great-circle bearing from `a` to `b`, in degrees clockwise from
+/// true north, normalized to `[0, 360)`.
+///
+/// This is the *heading* the mobility tracker compares against the turn
+/// threshold Δθ (§3.1). For coincident points the bearing is defined as 0.
+#[must_use]
+pub fn initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lon1, lat1) = a.to_radians();
+    let (lon2, lat2) = b.to_radians();
+    let dlon = lon2 - lon1;
+    let y = dlon.sin() * lat2.cos();
+    let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+    if y == 0.0 && x == 0.0 {
+        return 0.0;
+    }
+    let deg = y.atan2(x).to_degrees();
+    (deg + 360.0) % 360.0
+}
+
+/// Destination point reached by travelling `distance_m` meters from `start`
+/// on the great circle with initial bearing `bearing_deg`.
+///
+/// The synthetic AIS fleet simulator advances vessels with this formula.
+#[must_use]
+pub fn destination(start: GeoPoint, bearing_deg: f64, distance_m: f64) -> GeoPoint {
+    let (lon1, lat1) = start.to_radians();
+    let brg = bearing_deg.to_radians();
+    let ang = distance_m / EARTH_RADIUS_M;
+    let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
+    let lon2 = lon1
+        + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+    // Normalize longitude into [-180, 180].
+    let lon_deg = (lon2.to_degrees() + 540.0) % 360.0 - 180.0;
+    GeoPoint {
+        lon: lon_deg,
+        lat: lat2.to_degrees().clamp(-90.0, 90.0),
+    }
+}
+
+/// Smallest absolute difference between two headings, in degrees `[0, 180]`.
+///
+/// A *turn* event occurs when this exceeds the threshold Δθ; the comparison
+/// must wrap around north (e.g. 350° vs 10° differ by 20°, not 340°).
+#[must_use]
+pub fn angle_diff_deg(a_deg: f64, b_deg: f64) -> f64 {
+    let d = (a_deg - b_deg).rem_euclid(360.0);
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+/// Signed heading change from `from_deg` to `to_deg`, in `(-180, 180]`
+/// degrees; positive is clockwise. Used to accumulate *smooth turn* drift
+/// (§3.1) where consecutive small same-sign changes add up.
+#[must_use]
+pub fn signed_angle_diff_deg(from_deg: f64, to_deg: f64) -> f64 {
+    let d = (to_deg - from_deg).rem_euclid(360.0);
+    if d > 180.0 {
+        d - 360.0
+    } else {
+        d
+    }
+}
+
+/// Converts speed in knots to meters per second.
+#[must_use]
+pub fn knots_to_mps(knots: f64) -> f64 {
+    knots * METERS_PER_NAUTICAL_MILE / 3_600.0
+}
+
+/// Converts speed in meters per second to knots.
+#[must_use]
+pub fn mps_to_knots(mps: f64) -> f64 {
+    mps * 3_600.0 / METERS_PER_NAUTICAL_MILE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = GeoPoint::new(23.64, 37.94);
+        assert_eq!(haversine_distance_m(p, p), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(23.64, 37.94); // Piraeus
+        let b = GeoPoint::new(25.14, 35.34); // Heraklion
+        assert!(close(
+            haversine_distance_m(a, b),
+            haversine_distance_m(b, a),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn piraeus_to_heraklion_known_distance() {
+        // Great-circle distance ≈ 317 km.
+        let a = GeoPoint::new(23.6400, 37.9420);
+        let b = GeoPoint::new(25.1442, 35.3387);
+        let d = haversine_distance_m(a, b);
+        assert!(d > 310_000.0 && d < 325_000.0, "got {d}");
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111km() {
+        let a = GeoPoint::new(24.0, 37.0);
+        let b = GeoPoint::new(24.0, 38.0);
+        let d = haversine_distance_m(a, b);
+        assert!(close(d, 111_195.0, 200.0), "got {d}");
+    }
+
+    #[test]
+    fn bearing_due_north_east_south_west() {
+        let origin = GeoPoint::new(24.0, 37.0);
+        assert!(close(
+            initial_bearing_deg(origin, GeoPoint::new(24.0, 38.0)),
+            0.0,
+            1e-6
+        ));
+        assert!(close(
+            initial_bearing_deg(origin, GeoPoint::new(25.0, 37.0)),
+            90.0,
+            1.0
+        ));
+        assert!(close(
+            initial_bearing_deg(origin, GeoPoint::new(24.0, 36.0)),
+            180.0,
+            1e-6
+        ));
+        assert!(close(
+            initial_bearing_deg(origin, GeoPoint::new(23.0, 37.0)),
+            270.0,
+            1.0
+        ));
+    }
+
+    #[test]
+    fn bearing_of_coincident_points_is_zero() {
+        let p = GeoPoint::new(24.0, 37.0);
+        assert_eq!(initial_bearing_deg(p, p), 0.0);
+    }
+
+    #[test]
+    fn destination_roundtrip_distance_and_bearing() {
+        let start = GeoPoint::new(24.0, 37.0);
+        let dest = destination(start, 63.0, 5_000.0);
+        assert!(close(haversine_distance_m(start, dest), 5_000.0, 1.0));
+        assert!(close(initial_bearing_deg(start, dest), 63.0, 0.1));
+    }
+
+    #[test]
+    fn destination_normalizes_longitude_across_antimeridian() {
+        let start = GeoPoint::new(179.9, 0.0);
+        let dest = destination(start, 90.0, 50_000.0);
+        assert!((-180.0..=180.0).contains(&dest.lon));
+        assert!(dest.lon < 0.0, "should wrap to west longitudes: {}", dest.lon);
+    }
+
+    #[test]
+    fn angle_diff_wraps_around_north() {
+        assert!(close(angle_diff_deg(350.0, 10.0), 20.0, 1e-12));
+        assert!(close(angle_diff_deg(10.0, 350.0), 20.0, 1e-12));
+        assert!(close(angle_diff_deg(0.0, 180.0), 180.0, 1e-12));
+        assert!(close(angle_diff_deg(90.0, 90.0), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn signed_angle_diff_sign_convention() {
+        assert!(close(signed_angle_diff_deg(10.0, 30.0), 20.0, 1e-12));
+        assert!(close(signed_angle_diff_deg(30.0, 10.0), -20.0, 1e-12));
+        assert!(close(signed_angle_diff_deg(350.0, 10.0), 20.0, 1e-12));
+        assert!(close(signed_angle_diff_deg(10.0, 350.0), -20.0, 1e-12));
+    }
+
+    #[test]
+    fn knots_conversion_roundtrip() {
+        let v = 12.5;
+        assert!(close(mps_to_knots(knots_to_mps(v)), v, 1e-12));
+        // 1 knot ≈ 0.514 m/s ≈ 1.852 km/h, as cited in the paper's Table 3.
+        assert!(close(knots_to_mps(1.0), 1.852 / 3.6, 1e-9));
+    }
+}

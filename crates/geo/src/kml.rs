@@ -1,0 +1,138 @@
+//! Trajectory Exporter (Figure 1): KML polylines and placemarks.
+//!
+//! Once new trajectory events are detected per vessel upon each window
+//! slide, "the annotated critical points can be readily emitted and
+//! visualized on maps ... e.g., as KML polylines (for trajectories) and
+//! placemarks (for vessel locations)" (§2).
+
+use std::fmt::Write as _;
+
+use crate::areas::Area;
+use crate::point::GeoPoint;
+
+/// Incremental KML document builder.
+#[derive(Debug, Default)]
+pub struct KmlWriter {
+    body: String,
+}
+
+impl KmlWriter {
+    /// Creates an empty document.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a polyline (`LineString`) for a vessel trajectory.
+    pub fn add_polyline(&mut self, name: &str, points: &[GeoPoint]) {
+        let _ = write!(
+            self.body,
+            "  <Placemark><name>{}</name><LineString><coordinates>",
+            escape(name)
+        );
+        for p in points {
+            let _ = write!(self.body, "{:.6},{:.6},0 ", p.lon, p.lat);
+        }
+        self.body.push_str("</coordinates></LineString></Placemark>\n");
+    }
+
+    /// Adds a point placemark, e.g. an annotated critical point.
+    pub fn add_placemark(&mut self, name: &str, description: &str, p: GeoPoint) {
+        let _ = writeln!(
+            self.body,
+            "  <Placemark><name>{}</name><description>{}</description>\
+             <Point><coordinates>{:.6},{:.6},0</coordinates></Point></Placemark>",
+            escape(name),
+            escape(description),
+            p.lon,
+            p.lat
+        );
+    }
+
+    /// Adds an area polygon with its kind as description.
+    pub fn add_area(&mut self, area: &Area) {
+        let _ = write!(
+            self.body,
+            "  <Placemark><name>{}</name><description>{}</description>\
+             <Polygon><outerBoundaryIs><LinearRing><coordinates>",
+            escape(&area.name),
+            area.kind.label()
+        );
+        for p in area.polygon.vertices() {
+            let _ = write!(self.body, "{:.6},{:.6},0 ", p.lon, p.lat);
+        }
+        // Close the ring.
+        if let Some(first) = area.polygon.vertices().first() {
+            let _ = write!(self.body, "{:.6},{:.6},0 ", first.lon, first.lat);
+        }
+        self.body
+            .push_str("</coordinates></LinearRing></outerBoundaryIs></Polygon></Placemark>\n");
+    }
+
+    /// Finalizes the document into a complete KML string.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+             <kml xmlns=\"http://www.opengis.net/kml/2.2\">\n<Document>\n{}</Document>\n</kml>\n",
+            self.body
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::{AreaId, AreaKind};
+    use crate::polygon::Polygon;
+
+    #[test]
+    fn empty_document_is_well_formed() {
+        let doc = KmlWriter::new().finish();
+        assert!(doc.starts_with("<?xml"));
+        assert!(doc.contains("<Document>"));
+        assert!(doc.trim_end().ends_with("</kml>"));
+    }
+
+    #[test]
+    fn polyline_contains_all_coordinates() {
+        let mut w = KmlWriter::new();
+        w.add_polyline("v1", &[GeoPoint::new(23.5, 37.5), GeoPoint::new(23.6, 37.6)]);
+        let doc = w.finish();
+        assert!(doc.contains("23.500000,37.500000,0"));
+        assert!(doc.contains("23.600000,37.600000,0"));
+        assert!(doc.contains("<LineString>"));
+    }
+
+    #[test]
+    fn placemark_escapes_special_characters() {
+        let mut w = KmlWriter::new();
+        w.add_placemark("stop & turn", "<speed>", GeoPoint::new(23.5, 37.5));
+        let doc = w.finish();
+        assert!(doc.contains("stop &amp; turn"));
+        assert!(doc.contains("&lt;speed&gt;"));
+        assert!(!doc.contains("<speed>"));
+    }
+
+    #[test]
+    fn area_ring_is_closed() {
+        let mut w = KmlWriter::new();
+        let area = Area::new(
+            AreaId(0),
+            "zone",
+            AreaKind::Protected,
+            Polygon::rectangle(GeoPoint::new(23.0, 37.0), GeoPoint::new(23.1, 37.1)),
+        );
+        w.add_area(&area);
+        let doc = w.finish();
+        // First vertex appears twice: once opening, once closing the ring.
+        assert_eq!(doc.matches("23.000000,37.000000,0").count(), 2);
+        assert!(doc.contains("protected"));
+    }
+}

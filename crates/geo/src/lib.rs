@@ -1,0 +1,39 @@
+//! Geospatial substrate for the maritime surveillance system.
+//!
+//! The paper (Patroumpas et al., EDBT 2015) abstracts vessels as
+//! 2-dimensional point entities on the WGS-84 ellipsoid and measures all
+//! distances with the Haversine formula (footnote 2 and §5.1). This crate
+//! provides:
+//!
+//! * [`GeoPoint`] — longitude/latitude positions and [`haversine`] geometry
+//!   (distance, bearing, destination point);
+//! * [`Polygon`] and [`BoundingBox`] — the static *areas* (ports, protected
+//!   areas, forbidden-fishing zones, shallow waters) that complex event
+//!   recognition correlates vessel activity with;
+//! * [`GridIndex`] — a uniform spatial grid that accelerates the `close/3`
+//!   predicate of §4.1 (is a point within a threshold of an area?);
+//! * [`aegean`] — real Aegean-sea port coordinates and a deterministic
+//!   generator for the 35 synthetic areas used in the paper's §5.2;
+//! * [`kml`] — the *Trajectory Exporter* of Figure 1 (KML polylines and
+//!   placemarks).
+
+#![warn(missing_docs)]
+
+pub mod aegean;
+pub mod areas;
+pub mod bbox;
+pub mod grid;
+pub mod haversine;
+pub mod kml;
+pub mod point;
+pub mod polygon;
+
+pub use areas::{Area, AreaId, AreaKind};
+pub use bbox::BoundingBox;
+pub use grid::GridIndex;
+pub use haversine::{
+    angle_diff_deg, destination, haversine_distance_m, initial_bearing_deg, knots_to_mps,
+    mps_to_knots, signed_angle_diff_deg, EARTH_RADIUS_M,
+};
+pub use point::GeoPoint;
+pub use polygon::{segment_distance_m, Polygon};

@@ -1,0 +1,180 @@
+//! Geographic points in WGS-84 longitude/latitude degrees.
+
+use serde::{Deserialize, Serialize};
+
+/// A geographic position: longitude and latitude in decimal degrees.
+///
+/// Longitude is in `[-180, 180]`, latitude in `[-90, 90]`. The paper's
+/// positional stream carries `(Lon, Lat)` pairs extracted from AIS messages
+/// (§2); we keep the same ordering convention throughout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Longitude in decimal degrees, east positive.
+    pub lon: f64,
+    /// Latitude in decimal degrees, north positive.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, panicking if the coordinates are outside the valid
+    /// WGS-84 ranges. Use [`GeoPoint::try_new`] for fallible construction
+    /// (e.g. when decoding untrusted AIS payloads).
+    #[must_use]
+    pub fn new(lon: f64, lat: f64) -> Self {
+        Self::try_new(lon, lat).expect("coordinates out of range")
+    }
+
+    /// Creates a point if the coordinates are valid WGS-84 degrees.
+    pub fn try_new(lon: f64, lat: f64) -> Result<Self, CoordinateError> {
+        if !lon.is_finite() || !(-180.0..=180.0).contains(&lon) {
+            return Err(CoordinateError::Longitude(lon));
+        }
+        if !lat.is_finite() || !(-90.0..=90.0).contains(&lat) {
+            return Err(CoordinateError::Latitude(lat));
+        }
+        Ok(Self { lon, lat })
+    }
+
+    /// Longitude/latitude in radians, in `(lon, lat)` order.
+    #[must_use]
+    pub fn to_radians(self) -> (f64, f64) {
+        (self.lon.to_radians(), self.lat.to_radians())
+    }
+
+    /// Midpoint on the straight chord between two nearby points.
+    ///
+    /// Valid for the small inter-report displacements of vessel traces,
+    /// where the course "practically evolves in a very small area, which can
+    /// be locally approximated with a Euclidean plane" (paper, footnote 2).
+    #[must_use]
+    pub fn midpoint(self, other: GeoPoint) -> GeoPoint {
+        GeoPoint {
+            lon: (self.lon + other.lon) / 2.0,
+            lat: (self.lat + other.lat) / 2.0,
+        }
+    }
+
+    /// Arithmetic centroid of a non-empty set of nearby points.
+    ///
+    /// Used to collapse a long-term stop into a single critical point
+    /// (paper §3.1: the consecutive pause positions "could be collectively
+    /// approximated by a single critical point (their centroid)").
+    #[must_use]
+    pub fn centroid(points: &[GeoPoint]) -> Option<GeoPoint> {
+        if points.is_empty() {
+            return None;
+        }
+        let n = points.len() as f64;
+        let (sum_lon, sum_lat) = points
+            .iter()
+            .fold((0.0, 0.0), |(slon, slat), p| (slon + p.lon, slat + p.lat));
+        Some(GeoPoint {
+            lon: sum_lon / n,
+            lat: sum_lat / n,
+        })
+    }
+
+    /// Linear interpolation between `self` (at fraction 0) and `other`
+    /// (at fraction 1). Used for time-aligned trajectory reconstruction when
+    /// estimating the approximation error of compressed traces (§5.1).
+    #[must_use]
+    pub fn lerp(self, other: GeoPoint, fraction: f64) -> GeoPoint {
+        GeoPoint {
+            lon: self.lon + (other.lon - self.lon) * fraction,
+            lat: self.lat + (other.lat - self.lat) * fraction,
+        }
+    }
+}
+
+/// Error produced when a coordinate falls outside WGS-84 bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoordinateError {
+    /// Longitude outside `[-180, 180]` or non-finite.
+    Longitude(f64),
+    /// Latitude outside `[-90, 90]` or non-finite.
+    Latitude(f64),
+}
+
+impl std::fmt::Display for CoordinateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Longitude(v) => write!(f, "longitude {v} out of [-180, 180]"),
+            Self::Latitude(v) => write!(f, "latitude {v} out of [-90, 90]"),
+        }
+    }
+}
+
+impl std::error::Error for CoordinateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_point_roundtrips() {
+        let p = GeoPoint::new(23.64, 37.94); // Piraeus
+        assert_eq!(p.lon, 23.64);
+        assert_eq!(p.lat, 37.94);
+    }
+
+    #[test]
+    fn rejects_out_of_range_longitude() {
+        assert!(matches!(
+            GeoPoint::try_new(181.0, 0.0),
+            Err(CoordinateError::Longitude(_))
+        ));
+        assert!(matches!(
+            GeoPoint::try_new(f64::NAN, 0.0),
+            Err(CoordinateError::Longitude(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_latitude() {
+        assert!(matches!(
+            GeoPoint::try_new(0.0, -90.5),
+            Err(CoordinateError::Latitude(_))
+        ));
+        assert!(matches!(
+            GeoPoint::try_new(0.0, f64::INFINITY),
+            Err(CoordinateError::Latitude(_))
+        ));
+    }
+
+    #[test]
+    fn boundary_coordinates_are_valid() {
+        assert!(GeoPoint::try_new(-180.0, -90.0).is_ok());
+        assert!(GeoPoint::try_new(180.0, 90.0).is_ok());
+    }
+
+    #[test]
+    fn centroid_of_empty_slice_is_none() {
+        assert_eq!(GeoPoint::centroid(&[]), None);
+    }
+
+    #[test]
+    fn centroid_averages_coordinates() {
+        let pts = [GeoPoint::new(0.0, 0.0), GeoPoint::new(2.0, 4.0)];
+        let c = GeoPoint::centroid(&pts).unwrap();
+        assert!((c.lon - 1.0).abs() < 1e-12);
+        assert!((c.lat - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = GeoPoint::new(10.0, 20.0);
+        let b = GeoPoint::new(12.0, 24.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let m = a.lerp(b, 0.5);
+        assert!((m.lon - 11.0).abs() < 1e-12);
+        assert!((m.lat - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_matches_half_lerp() {
+        let a = GeoPoint::new(23.0, 37.0);
+        let b = GeoPoint::new(24.0, 38.0);
+        assert_eq!(a.midpoint(b), a.lerp(b, 0.5));
+    }
+}

@@ -1,0 +1,284 @@
+//! Simple polygons for the static geographic areas of §4.
+//!
+//! The CE rules correlate vessel positions with *areas* — port polygons,
+//! protected areas, forbidden-fishing zones, and shallow waters. Two
+//! geometric predicates are needed:
+//!
+//! * containment (`contains`) — used when enriching long-term stops with the
+//!   port they fall in (§3.2);
+//! * proximity (`distance_m` / `is_close`) — the `close(Lon, Lat, Area)`
+//!   predicate of §4.1, true when the Haversine distance between a point and
+//!   an area is below a threshold (zero when inside).
+
+use serde::{Deserialize, Serialize};
+
+use crate::bbox::BoundingBox;
+use crate::haversine::haversine_distance_m;
+use crate::point::GeoPoint;
+
+/// A simple (non-self-intersecting) polygon in lon/lat space.
+///
+/// The ring is stored without the closing vertex; edges are implicit
+/// between consecutive vertices and between the last and the first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<GeoPoint>,
+    bbox: BoundingBox,
+}
+
+impl Polygon {
+    /// Builds a polygon from at least three vertices.
+    ///
+    /// A trailing vertex equal to the first (a "closed" ring, as produced by
+    /// most GIS exports) is dropped automatically.
+    pub fn new(mut vertices: Vec<GeoPoint>) -> Result<Self, PolygonError> {
+        if vertices.len() > 3 && vertices.first() == vertices.last() {
+            vertices.pop();
+        }
+        if vertices.len() < 3 {
+            return Err(PolygonError::TooFewVertices(vertices.len()));
+        }
+        let bbox = BoundingBox::around(&vertices).expect("non-empty");
+        Ok(Self { vertices, bbox })
+    }
+
+    /// Convenience constructor: an axis-aligned rectangle.
+    #[must_use]
+    pub fn rectangle(min: GeoPoint, max: GeoPoint) -> Self {
+        Self::new(vec![
+            min,
+            GeoPoint { lon: max.lon, lat: min.lat },
+            max,
+            GeoPoint { lon: min.lon, lat: max.lat },
+        ])
+        .expect("rectangle has 4 vertices")
+    }
+
+    /// Convenience constructor: a regular n-gon approximating a circle of
+    /// radius `radius_m` meters around `center`. Used by the Aegean area
+    /// generator for port basins and circular protection zones.
+    #[must_use]
+    pub fn circle(center: GeoPoint, radius_m: f64, segments: usize) -> Self {
+        let n = segments.max(3);
+        let vertices = (0..n)
+            .map(|i| {
+                let bearing = 360.0 * i as f64 / n as f64;
+                crate::haversine::destination(center, bearing, radius_m)
+            })
+            .collect();
+        Self::new(vertices).expect("circle has >= 3 vertices")
+    }
+
+    /// The polygon's vertices, without the closing duplicate.
+    #[must_use]
+    pub fn vertices(&self) -> &[GeoPoint] {
+        &self.vertices
+    }
+
+    /// Precomputed bounding box.
+    #[must_use]
+    pub fn bbox(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    /// Arithmetic centroid of the vertices (adequate for the small, convex
+    /// areas used in maritime surveillance).
+    #[must_use]
+    pub fn centroid(&self) -> GeoPoint {
+        GeoPoint::centroid(&self.vertices).expect("non-empty")
+    }
+
+    /// Point-in-polygon by ray casting (even-odd rule).
+    ///
+    /// Points exactly on an edge may report either side; the surveillance
+    /// rules are threshold-based so this does not matter in practice.
+    #[must_use]
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if ((vi.lat > p.lat) != (vj.lat > p.lat))
+                && (p.lon < (vj.lon - vi.lon) * (p.lat - vi.lat) / (vj.lat - vi.lat) + vi.lon)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Haversine distance in meters from `p` to the polygon: zero when the
+    /// point is inside, otherwise the distance to the nearest boundary point.
+    #[must_use]
+    pub fn distance_m(&self, p: GeoPoint) -> f64 {
+        if self.contains(p) {
+            return 0.0;
+        }
+        let n = self.vertices.len();
+        let mut best = f64::INFINITY;
+        let mut j = n - 1;
+        for i in 0..n {
+            best = best.min(segment_distance_m(p, self.vertices[j], self.vertices[i]));
+            j = i;
+        }
+        best
+    }
+
+    /// The `close/3` predicate of §4.1: is the Haversine distance between the
+    /// point and the area below `threshold_m`? Inside counts as close.
+    #[must_use]
+    pub fn is_close(&self, p: GeoPoint, threshold_m: f64) -> bool {
+        // Quick rejection: a degree of latitude is ~111 km, so a point whose
+        // inflated bbox excludes it cannot be within threshold.
+        let margin_deg = threshold_m / 111_000.0 * 1.5;
+        if !self.bbox.inflated(margin_deg).contains(p) {
+            return false;
+        }
+        self.distance_m(p) < threshold_m
+    }
+}
+
+/// Distance from point `p` to the segment `a`–`b`, in meters.
+///
+/// Projects in the local equirectangular plane (valid because surveillance
+/// areas span at most a few tens of kilometres) and measures the Haversine
+/// distance to the projected closest point. Also the deviation metric of
+/// the path-simplification baselines (Douglas–Peucker, dead reckoning).
+#[must_use]
+pub fn segment_distance_m(p: GeoPoint, a: GeoPoint, b: GeoPoint) -> f64 {
+    // Local planar coordinates centred on `a`, with longitude scaled by
+    // cos(latitude) so both axes are in comparable metric units.
+    let k = a.lat.to_radians().cos();
+    let (px, py) = ((p.lon - a.lon) * k, p.lat - a.lat);
+    let (bx, by) = ((b.lon - a.lon) * k, b.lat - a.lat);
+    let len2 = bx * bx + by * by;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        ((px * bx + py * by) / len2).clamp(0.0, 1.0)
+    };
+    let closest = GeoPoint {
+        lon: a.lon + (b.lon - a.lon) * t,
+        lat: a.lat + (b.lat - a.lat) * t,
+    };
+    haversine_distance_m(p, closest)
+}
+
+/// Error constructing a [`Polygon`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than three distinct vertices were provided.
+    TooFewVertices(usize),
+}
+
+impl std::fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooFewVertices(n) => write!(f, "polygon needs >= 3 vertices, got {n}"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rectangle(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn too_few_vertices_rejected() {
+        assert!(matches!(
+            Polygon::new(vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)]),
+            Err(PolygonError::TooFewVertices(2))
+        ));
+    }
+
+    #[test]
+    fn closing_vertex_is_dropped() {
+        let p = Polygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(1.0, 0.0),
+            GeoPoint::new(1.0, 1.0),
+            GeoPoint::new(0.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(p.vertices().len(), 3);
+    }
+
+    #[test]
+    fn contains_interior_and_rejects_exterior() {
+        let sq = unit_square();
+        assert!(sq.contains(GeoPoint::new(0.5, 0.5)));
+        assert!(!sq.contains(GeoPoint::new(1.5, 0.5)));
+        assert!(!sq.contains(GeoPoint::new(0.5, -0.1)));
+    }
+
+    #[test]
+    fn contains_concave_polygon() {
+        // An L-shape: the notch (0.75, 0.75) is outside.
+        let l = Polygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(1.0, 0.0),
+            GeoPoint::new(1.0, 0.5),
+            GeoPoint::new(0.5, 0.5),
+            GeoPoint::new(0.5, 1.0),
+            GeoPoint::new(0.0, 1.0),
+        ])
+        .unwrap();
+        assert!(l.contains(GeoPoint::new(0.25, 0.75)));
+        assert!(l.contains(GeoPoint::new(0.75, 0.25)));
+        assert!(!l.contains(GeoPoint::new(0.75, 0.75)));
+    }
+
+    #[test]
+    fn distance_zero_inside() {
+        assert_eq!(unit_square().distance_m(GeoPoint::new(0.5, 0.5)), 0.0);
+    }
+
+    #[test]
+    fn distance_outside_matches_haversine_to_nearest_edge() {
+        let sq = unit_square();
+        // Point due east of the (1, 0.5) edge midpoint by 0.1 degrees.
+        let p = GeoPoint::new(1.1, 0.5);
+        let expected = haversine_distance_m(p, GeoPoint::new(1.0, 0.5));
+        let got = sq.distance_m(p);
+        assert!((got - expected).abs() < expected * 0.01, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn is_close_threshold_behaviour() {
+        let sq = unit_square();
+        let p = GeoPoint::new(1.01, 0.5); // ~1.1 km east of the boundary
+        assert!(sq.is_close(p, 2_000.0));
+        assert!(!sq.is_close(p, 500.0));
+        assert!(sq.is_close(GeoPoint::new(0.5, 0.5), 1.0), "inside is close");
+    }
+
+    #[test]
+    fn circle_radius_is_respected() {
+        let c = Polygon::circle(GeoPoint::new(24.0, 37.0), 5_000.0, 24);
+        for v in c.vertices() {
+            let d = haversine_distance_m(GeoPoint::new(24.0, 37.0), *v);
+            assert!((d - 5_000.0).abs() < 5.0, "vertex at {d} m");
+        }
+        assert!(c.contains(GeoPoint::new(24.0, 37.0)));
+        assert!(!c.contains(GeoPoint::new(24.2, 37.0)));
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let c = unit_square().centroid();
+        assert!((c.lon - 0.5).abs() < 1e-9);
+        assert!((c.lat - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the geospatial substrate.
+
+use maritime_geo::{
+    angle_diff_deg, destination, haversine_distance_m, initial_bearing_deg, signed_angle_diff_deg,
+    BoundingBox, GeoPoint, Polygon,
+};
+use proptest::prelude::*;
+
+/// Arbitrary point away from the poles (bearing math degenerates at ±90°,
+/// and the monitored domain is the Mediterranean anyway).
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-179.0f64..179.0, -80.0f64..80.0).prop_map(|(lon, lat)| GeoPoint::new(lon, lat))
+}
+
+fn arb_aegean_point() -> impl Strategy<Value = GeoPoint> {
+    (20.0f64..28.0, 35.0f64..41.0).prop_map(|(lon, lat)| GeoPoint::new(lon, lat))
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_symmetric_and_nonnegative(a in arb_point(), b in arb_point()) {
+        let d1 = haversine_distance_m(a, b);
+        let d2 = haversine_distance_m(b, a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haversine_identity(a in arb_point()) {
+        prop_assert_eq!(haversine_distance_m(a, a), 0.0);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(
+        a in arb_point(), b in arb_point(), c in arb_point()
+    ) {
+        let ab = haversine_distance_m(a, b);
+        let bc = haversine_distance_m(b, c);
+        let ac = haversine_distance_m(a, c);
+        // Great-circle distances satisfy the triangle inequality up to
+        // floating-point slack.
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn destination_travels_requested_distance(
+        start in arb_point(),
+        bearing in 0.0f64..360.0,
+        dist in 1.0f64..200_000.0,
+    ) {
+        let end = destination(start, bearing, dist);
+        let measured = haversine_distance_m(start, end);
+        prop_assert!((measured - dist).abs() < dist * 0.001 + 0.5,
+            "requested {dist}, measured {measured}");
+    }
+
+    #[test]
+    fn destination_bearing_matches(
+        start in arb_aegean_point(),
+        bearing in 0.0f64..360.0,
+        dist in 100.0f64..50_000.0,
+    ) {
+        let end = destination(start, bearing, dist);
+        let measured = initial_bearing_deg(start, end);
+        prop_assert!(angle_diff_deg(measured, bearing) < 0.5,
+            "requested {bearing}, measured {measured}");
+    }
+
+    #[test]
+    fn angle_diff_bounds_and_symmetry(a in 0.0f64..360.0, b in 0.0f64..360.0) {
+        let d = angle_diff_deg(a, b);
+        prop_assert!((0.0..=180.0).contains(&d));
+        prop_assert!((angle_diff_deg(b, a) - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_angle_diff_consistent_with_unsigned(a in 0.0f64..360.0, b in 0.0f64..360.0) {
+        let signed = signed_angle_diff_deg(a, b);
+        let unsigned = angle_diff_deg(a, b);
+        prop_assert!((signed.abs() - unsigned).abs() < 1e-9);
+        prop_assert!(signed > -180.0 - 1e-9 && signed <= 180.0 + 1e-9);
+    }
+
+    #[test]
+    fn bbox_contains_its_generators(points in prop::collection::vec(arb_point(), 1..20)) {
+        let bbox = BoundingBox::around(&points).unwrap();
+        for p in &points {
+            prop_assert!(bbox.contains(*p));
+        }
+    }
+
+    #[test]
+    fn polygon_contains_implies_zero_distance(
+        center in arb_aegean_point(),
+        radius in 1_000.0f64..30_000.0,
+        probe in arb_aegean_point(),
+    ) {
+        let poly = Polygon::circle(center, radius, 16);
+        if poly.contains(probe) {
+            prop_assert_eq!(poly.distance_m(probe), 0.0);
+        } else {
+            prop_assert!(poly.distance_m(probe) > 0.0);
+        }
+    }
+
+    #[test]
+    fn circle_polygon_contains_center_and_excludes_far(
+        center in arb_aegean_point(),
+        radius in 1_000.0f64..30_000.0,
+    ) {
+        let poly = Polygon::circle(center, radius, 24);
+        prop_assert!(poly.contains(center));
+        let far = destination(center, 45.0, radius * 3.0);
+        prop_assert!(!poly.contains(far));
+        // Distance to the far point is roughly 2 radii (within polygon
+        // approximation error of the circle).
+        let d = poly.distance_m(far);
+        prop_assert!(d > radius, "distance {d} vs radius {radius}");
+    }
+
+    #[test]
+    fn is_close_monotone_in_threshold(
+        center in arb_aegean_point(),
+        radius in 1_000.0f64..20_000.0,
+        probe in arb_aegean_point(),
+        t1 in 100.0f64..10_000.0,
+        extra in 1.0f64..10_000.0,
+    ) {
+        let poly = Polygon::circle(center, radius, 16);
+        if poly.is_close(probe, t1) {
+            prop_assert!(poly.is_close(probe, t1 + extra),
+                "close at {t1} but not at {}", t1 + extra);
+        }
+    }
+
+    #[test]
+    fn lerp_stays_on_segment_bbox(a in arb_point(), b in arb_point(), f in 0.0f64..1.0) {
+        let m = a.lerp(b, f);
+        let bbox = BoundingBox::around(&[a, b]).unwrap();
+        prop_assert!(bbox.contains(m));
+    }
+}

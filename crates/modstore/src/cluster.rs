@@ -1,0 +1,163 @@
+//! Spatiotemporal clustering of archived trips (§3.3).
+//!
+//! "Hermes MOD incorporates an algorithm for spatiotemporal clustering,
+//! which can help exploring periodicity of trips. Indeed, two (or more)
+//! trajectory clusters may be almost identical spatially, but they are
+//! distinct because the temporal dimension is taken into consideration
+//! when calculating distances between pairs of trajectory segments."
+//!
+//! We implement single-link agglomerative clustering under the
+//! time-synchronized distance of [`crate::query`]: two trips join the same
+//! cluster when their synchronized distance is below a threshold.
+//! Temporally disjoint trips are never merged — which is precisely the
+//! behaviour the paper highlights.
+
+use crate::query::synchronized_distance_m;
+use crate::store::TrajectoryStore;
+
+/// Clusters trip indices (into `store.trips()`) by single-link
+/// agglomeration under the synchronized distance threshold (meters).
+/// Returns clusters sorted by their smallest member index; singletons
+/// included.
+#[must_use]
+pub fn cluster_trips(store: &TrajectoryStore, threshold_m: f64, samples: usize) -> Vec<Vec<usize>> {
+    let n = store.trip_count();
+    let mut dsu = Dsu::new(n);
+    let trips = store.trips();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if let Some(d) = synchronized_distance_m(&trips[i], &trips[j], samples) {
+                if d < threshold_m {
+                    dsu.union(i, j);
+                }
+            }
+        }
+    }
+    let mut clusters: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for i in 0..n {
+        clusters.entry(dsu.find(i)).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = clusters.into_values().collect();
+    for c in &mut out {
+        c.sort_unstable();
+    }
+    out.sort_by_key(|c| c[0]);
+    out
+}
+
+/// Disjoint-set union with path compression and union by size.
+struct Dsu {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trip::Trip;
+    use maritime_ais::Mmsi;
+    use maritime_geo::GeoPoint;
+    use maritime_stream::Timestamp;
+    use maritime_tracker::{Annotation, CriticalPoint};
+
+    fn cp(mmsi: u32, t: i64, lon: f64, lat: f64) -> CriticalPoint {
+        CriticalPoint {
+            mmsi: Mmsi(mmsi),
+            position: GeoPoint::new(lon, lat),
+            timestamp: Timestamp(t),
+            annotation: Annotation::Turn { change_deg: 20.0 },
+            speed_knots: 10.0,
+            heading_deg: 0.0,
+        }
+    }
+
+    fn line_trip(mmsi: u32, t0: i64, t1: i64, from: (f64, f64), to: (f64, f64)) -> Trip {
+        Trip {
+            mmsi: Mmsi(mmsi),
+            origin: None,
+            destination: "X".into(),
+            points: vec![cp(mmsi, t0, from.0, from.1), cp(mmsi, t1, to.0, to.1)],
+            departed: Timestamp(t0),
+            arrived: Timestamp(t1),
+        }
+    }
+
+    #[test]
+    fn spatially_close_concurrent_trips_cluster() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            // Two ferries sailing together.
+            line_trip(1, 0, 1_000, (23.0, 37.0), (24.0, 37.0)),
+            line_trip(2, 0, 1_000, (23.0, 37.01), (24.0, 37.01)),
+            // A third far away.
+            line_trip(3, 0, 1_000, (26.0, 39.0), (27.0, 39.0)),
+        ]);
+        let clusters = cluster_trips(&store, 5_000.0, 8);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1]);
+        assert_eq!(clusters[1], vec![2]);
+    }
+
+    #[test]
+    fn same_route_different_times_stay_separate() {
+        // The paper's key observation: identical spatial routes at
+        // disjoint times are distinct clusters.
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            line_trip(1, 0, 1_000, (23.0, 37.0), (24.0, 37.0)),
+            line_trip(2, 50_000, 51_000, (23.0, 37.0), (24.0, 37.0)),
+        ]);
+        let clusters = cluster_trips(&store, 5_000.0, 8);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn single_link_transitivity() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            line_trip(1, 0, 1_000, (23.0, 37.00), (24.0, 37.00)),
+            line_trip(2, 0, 1_000, (23.0, 37.03), (24.0, 37.03)),
+            line_trip(3, 0, 1_000, (23.0, 37.06), (24.0, 37.06)),
+        ]);
+        // 1-2 and 2-3 are within ~3.5 km; 1-3 is ~6.7 km. Single link
+        // chains them into one cluster at a 5 km threshold.
+        let clusters = cluster_trips(&store, 5_000.0, 8);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_store_clusters_to_nothing() {
+        assert!(cluster_trips(&TrajectoryStore::new(), 1_000.0, 8).is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Declared-vs-derived destination auditing.
+//!
+//! §3.2: "AIS messages sometimes include information regarding the
+//! destination of sailing vessels. Unfortunately ... this voyage-related
+//! information is often missing or error-prone, mainly because it is
+//! updated manually by the crew. So, we employ an automated procedure for
+//! performing semantic enrichment of trajectories."
+//!
+//! The archive's trips carry *derived* destinations (the port the stop
+//! actually happened in). This module compares them against the
+//! crew-entered declarations collected by the data scanner, quantifying
+//! exactly how unreliable the declared field is — the observation that
+//! justifies the paper's design.
+
+use maritime_ais::{Mmsi, VoyageRegistry};
+use serde::{Deserialize, Serialize};
+
+use crate::store::TrajectoryStore;
+
+/// One audited trip.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DestinationFinding {
+    /// The vessel.
+    pub mmsi: Mmsi,
+    /// Destination derived from motion (the port actually reached).
+    pub derived: String,
+    /// Destination declared over AIS, if any.
+    pub declared: Option<String>,
+    /// Whether the declaration matches the derived port.
+    pub matches: bool,
+}
+
+/// Aggregate audit result.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DestinationAudit {
+    /// Trips examined.
+    pub trips: usize,
+    /// Trips whose vessel declared a (non-empty) destination.
+    pub declared: usize,
+    /// Declarations agreeing with the derived destination.
+    pub matching: usize,
+    /// Declarations contradicting the derived destination.
+    pub mismatching: usize,
+    /// Trips with no usable declaration (missing or empty).
+    pub undeclared: usize,
+    /// Per-trip findings, in archive order.
+    pub findings: Vec<DestinationFinding>,
+}
+
+impl DestinationAudit {
+    /// Fraction of declared destinations that were correct; `None` when
+    /// nothing was declared.
+    #[must_use]
+    pub fn declared_accuracy(&self) -> Option<f64> {
+        if self.declared == 0 {
+            None
+        } else {
+            Some(self.matching as f64 / self.declared as f64)
+        }
+    }
+}
+
+/// Compares each archived trip's derived destination with the vessel's
+/// latest AIS declaration. Port names are compared case-insensitively
+/// after trimming (AIS text is upper-case six-bit ASCII).
+#[must_use]
+pub fn audit_destinations(store: &TrajectoryStore, voyages: &VoyageRegistry) -> DestinationAudit {
+    let mut audit = DestinationAudit::default();
+    for trip in store.trips() {
+        audit.trips += 1;
+        let declared = voyages
+            .latest(trip.mmsi)
+            .map(|d| d.destination.trim().to_string())
+            .filter(|d| !d.is_empty());
+        let finding = match &declared {
+            None => {
+                audit.undeclared += 1;
+                DestinationFinding {
+                    mmsi: trip.mmsi,
+                    derived: trip.destination.clone(),
+                    declared: None,
+                    matches: false,
+                }
+            }
+            Some(d) => {
+                audit.declared += 1;
+                let matches = d.eq_ignore_ascii_case(trip.destination.trim());
+                if matches {
+                    audit.matching += 1;
+                } else {
+                    audit.mismatching += 1;
+                }
+                DestinationFinding {
+                    mmsi: trip.mmsi,
+                    derived: trip.destination.clone(),
+                    declared: declared.clone(),
+                    matches,
+                }
+            }
+        };
+        audit.findings.push(finding);
+    }
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trip::Trip;
+    use maritime_ais::StaticVoyageData;
+    use maritime_geo::GeoPoint;
+    use maritime_stream::Timestamp;
+    use maritime_tracker::{Annotation, CriticalPoint};
+
+    fn trip(mmsi: u32, dest: &str) -> Trip {
+        let cp = CriticalPoint {
+            mmsi: Mmsi(mmsi),
+            position: GeoPoint::new(23.6, 37.9),
+            timestamp: Timestamp(0),
+            annotation: Annotation::Turn { change_deg: 20.0 },
+            speed_knots: 10.0,
+            heading_deg: 0.0,
+        };
+        Trip {
+            mmsi: Mmsi(mmsi),
+            origin: None,
+            destination: dest.into(),
+            points: vec![cp, cp],
+            departed: Timestamp(0),
+            arrived: Timestamp(1_000),
+        }
+    }
+
+    fn declaration(mmsi: u32, dest: &str) -> StaticVoyageData {
+        StaticVoyageData {
+            mmsi: Mmsi(mmsi),
+            imo: 0,
+            callsign: String::new(),
+            name: String::new(),
+            ship_type: 70,
+            draught_m: 4.0,
+            destination: dest.into(),
+        }
+    }
+
+    #[test]
+    fn audit_classifies_matching_mismatching_undeclared() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            trip(1, "Heraklion"), // declared HERAKLION -> match (case-insensitive)
+            trip(2, "Piraeus"),   // declared RHODES -> mismatch
+            trip(3, "Volos"),     // no declaration
+            trip(4, "Chania"),    // declared empty -> undeclared
+        ]);
+        let mut voyages = VoyageRegistry::new();
+        voyages.record(Timestamp(0), declaration(1, "HERAKLION"));
+        voyages.record(Timestamp(0), declaration(2, "RHODES"));
+        voyages.record(Timestamp(0), declaration(4, ""));
+
+        let audit = audit_destinations(&store, &voyages);
+        assert_eq!(audit.trips, 4);
+        assert_eq!(audit.declared, 2);
+        assert_eq!(audit.matching, 1);
+        assert_eq!(audit.mismatching, 1);
+        assert_eq!(audit.undeclared, 2);
+        assert_eq!(audit.declared_accuracy(), Some(0.5));
+        assert!(audit.findings[0].matches);
+        assert!(!audit.findings[1].matches);
+        assert_eq!(audit.findings[1].declared.as_deref(), Some("RHODES"));
+    }
+
+    #[test]
+    fn empty_audit_has_no_accuracy() {
+        let audit = audit_destinations(&TrajectoryStore::new(), &VoyageRegistry::new());
+        assert_eq!(audit.declared_accuracy(), None);
+        assert_eq!(audit.trips, 0);
+    }
+}

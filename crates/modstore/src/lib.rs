@@ -1,0 +1,34 @@
+//! Moving-object database substrate — the Hermes MOD analogue (§3.2, §3.3).
+//!
+//! The paper archives compressed trajectories in Hermes MOD on PostgreSQL;
+//! this crate provides an embedded equivalent exercising the same pipeline
+//! stages measured in Figure 10 and the statistics of Table 4:
+//!
+//! * [`staging`] — the intermediate staging table receiving "delta"
+//!   critical points evicted from the sliding window;
+//! * [`trip`] — offline trajectory reconstruction: segmentation of each
+//!   vessel's critical-point sequence into *trips between ports*, with
+//!   semantic enrichment (origin/destination port names);
+//! * [`store`] — the trajectory archive: loading, per-vessel segment
+//!   lists, Table 4 statistics, and OD matrices;
+//! * [`query`] — spatiotemporal range / nearest-neighbour / similarity
+//!   queries over archived trips;
+//! * [`cluster`] — spatiotemporal clustering of trips (§3.3: "two (or
+//!   more) trajectory clusters may be almost identical spatially, but ...
+//!   the temporal dimension is taken into consideration").
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod enrich;
+pub mod query;
+pub mod staging;
+pub mod stats;
+pub mod store;
+pub mod trip;
+
+pub use enrich::{audit_destinations, DestinationAudit};
+pub use staging::StagingArea;
+pub use stats::ArchiveStats;
+pub use store::TrajectoryStore;
+pub use trip::{Trip, TripReconstructor};

@@ -1,0 +1,195 @@
+//! Spatiotemporal queries over the archive.
+//!
+//! Hermes MOD "defines a trajectory data type as well as a collection of
+//! spatiotemporal operations (range, nearest neighbor, similarity, etc.)"
+//! (§6). This module provides the equivalents over archived [`Trip`]s:
+//! range queries (spatial box × time interval), nearest-neighbour search,
+//! and a time-synchronized trajectory similarity measure — the distance
+//! the paper's clustering builds on.
+
+use maritime_geo::{haversine_distance_m, BoundingBox, GeoPoint};
+use maritime_stream::Timestamp;
+
+use crate::store::TrajectoryStore;
+use crate::trip::Trip;
+
+/// Trips intersecting the spatial box during the time interval
+/// `[from, to]` (a trip qualifies if any of its points does).
+pub fn range_query<'a>(
+    store: &'a TrajectoryStore,
+    bbox: &BoundingBox,
+    from: Timestamp,
+    to: Timestamp,
+) -> Vec<&'a Trip> {
+    store
+        .trips()
+        .iter()
+        .filter(|t| {
+            t.points
+                .iter()
+                .any(|p| p.timestamp >= from && p.timestamp <= to && bbox.contains(p.position))
+        })
+        .collect()
+}
+
+/// The trip whose trace passes nearest to `query` (minimum over points),
+/// with the distance in meters. `None` on an empty archive.
+pub fn nearest_trip(store: &TrajectoryStore, query: GeoPoint) -> Option<(&Trip, f64)> {
+    store
+        .trips()
+        .iter()
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            let d = t
+                .points
+                .iter()
+                .map(|p| haversine_distance_m(p.position, query))
+                .fold(f64::INFINITY, f64::min);
+            (t, d)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+}
+
+/// Position of a trip at time `t`, linearly interpolated between its
+/// critical points; clamped to the endpoints outside the trip's span.
+#[must_use]
+pub fn position_at(trip: &Trip, t: Timestamp) -> Option<GeoPoint> {
+    let first = trip.points.first()?;
+    let last = trip.points.last()?;
+    if t <= first.timestamp {
+        return Some(first.position);
+    }
+    if t >= last.timestamp {
+        return Some(last.position);
+    }
+    let hi = trip.points.partition_point(|p| p.timestamp <= t);
+    let a = &trip.points[hi - 1];
+    let b = &trip.points[hi];
+    let span = (b.timestamp.as_secs() - a.timestamp.as_secs()) as f64;
+    if span <= 0.0 {
+        return Some(a.position);
+    }
+    let frac = (t.as_secs() - a.timestamp.as_secs()) as f64 / span;
+    Some(a.position.lerp(b.position, frac))
+}
+
+/// Time-synchronized dissimilarity between two trips: the mean Haversine
+/// distance between their interpolated positions sampled at `samples`
+/// instants across the *overlap* of their time spans. Returns `None` when
+/// the spans do not overlap (temporally disjoint trips are incomparable —
+/// this is exactly why "two trajectory clusters may be almost identical
+/// spatially, but they are distinct" in §3.3).
+#[must_use]
+pub fn synchronized_distance_m(a: &Trip, b: &Trip, samples: usize) -> Option<f64> {
+    let from = a.departed.max(b.departed);
+    let to = a.arrived.min(b.arrived);
+    if from > to || samples == 0 {
+        return None;
+    }
+    let span = (to.as_secs() - from.as_secs()).max(0);
+    let mut sum = 0.0;
+    for i in 0..samples {
+        let t = Timestamp(from.as_secs() + span * i as i64 / samples.max(1) as i64);
+        let pa = position_at(a, t)?;
+        let pb = position_at(b, t)?;
+        sum += haversine_distance_m(pa, pb);
+    }
+    Some(sum / samples as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_ais::Mmsi;
+    use maritime_tracker::{Annotation, CriticalPoint};
+
+    fn cp(mmsi: u32, t: i64, lon: f64, lat: f64) -> CriticalPoint {
+        CriticalPoint {
+            mmsi: Mmsi(mmsi),
+            position: GeoPoint::new(lon, lat),
+            timestamp: Timestamp(t),
+            annotation: Annotation::Turn { change_deg: 20.0 },
+            speed_knots: 10.0,
+            heading_deg: 0.0,
+        }
+    }
+
+    fn line_trip(mmsi: u32, t0: i64, t1: i64, from: (f64, f64), to: (f64, f64)) -> Trip {
+        Trip {
+            mmsi: Mmsi(mmsi),
+            origin: None,
+            destination: "X".into(),
+            points: vec![cp(mmsi, t0, from.0, from.1), cp(mmsi, t1, to.0, to.1)],
+            departed: Timestamp(t0),
+            arrived: Timestamp(t1),
+        }
+    }
+
+    fn store_with(trips: Vec<Trip>) -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.load(trips);
+        s
+    }
+
+    #[test]
+    fn range_query_filters_space_and_time() {
+        let store = store_with(vec![
+            line_trip(1, 0, 100, (23.0, 37.0), (23.5, 37.0)),
+            line_trip(2, 0, 100, (26.0, 39.0), (26.5, 39.0)),
+            line_trip(3, 5_000, 6_000, (23.0, 37.0), (23.5, 37.0)),
+        ]);
+        let bbox = BoundingBox::around(&[GeoPoint::new(22.5, 36.5), GeoPoint::new(24.0, 37.5)])
+            .unwrap();
+        let hits = range_query(&store, &bbox, Timestamp(0), Timestamp(1_000));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].mmsi, Mmsi(1));
+    }
+
+    #[test]
+    fn nearest_trip_finds_closest_trace() {
+        let store = store_with(vec![
+            line_trip(1, 0, 100, (23.0, 37.0), (23.5, 37.0)),
+            line_trip(2, 0, 100, (26.0, 39.0), (26.5, 39.0)),
+        ]);
+        let (t, d) = nearest_trip(&store, GeoPoint::new(23.1, 37.05)).unwrap();
+        assert_eq!(t.mmsi, Mmsi(1));
+        // Nearest trip point is (23.0, 37.0): ~10.4 km from the query.
+        assert!(d < 11_000.0, "{d}");
+        assert!(nearest_trip(&TrajectoryStore::new(), GeoPoint::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn position_interpolates_and_clamps() {
+        let trip = line_trip(1, 0, 100, (23.0, 37.0), (24.0, 37.0));
+        let mid = position_at(&trip, Timestamp(50)).unwrap();
+        assert!((mid.lon - 23.5).abs() < 1e-9);
+        assert_eq!(position_at(&trip, Timestamp(-5)).unwrap().lon, 23.0);
+        assert_eq!(position_at(&trip, Timestamp(500)).unwrap().lon, 24.0);
+    }
+
+    #[test]
+    fn synchronized_distance_zero_for_identical_motion() {
+        let a = line_trip(1, 0, 100, (23.0, 37.0), (24.0, 37.0));
+        let b = line_trip(2, 0, 100, (23.0, 37.0), (24.0, 37.0));
+        let d = synchronized_distance_m(&a, &b, 10).unwrap();
+        assert!(d < 1.0, "{d}");
+    }
+
+    #[test]
+    fn synchronized_distance_detects_temporal_shift() {
+        // Same path, but b sails it later with partial overlap: the
+        // synchronized distance over the overlap is large because a is
+        // near the end while b is near the start.
+        let a = line_trip(1, 0, 100, (23.0, 37.0), (24.0, 37.0));
+        let b = line_trip(2, 80, 180, (23.0, 37.0), (24.0, 37.0));
+        let d = synchronized_distance_m(&a, &b, 10).unwrap();
+        assert!(d > 50_000.0, "{d}");
+    }
+
+    #[test]
+    fn temporally_disjoint_trips_are_incomparable() {
+        let a = line_trip(1, 0, 100, (23.0, 37.0), (24.0, 37.0));
+        let b = line_trip(2, 1_000, 1_100, (23.0, 37.0), (24.0, 37.0));
+        assert!(synchronized_distance_m(&a, &b, 10).is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! The staging area for "delta" critical points.
+//!
+//! "Once the window slides forward, expiring critical points are
+//! transferred in an intermediate staging table on disk. So, this table
+//! temporarily records all recent 'delta' changes, i.e., critical points
+//! evicted from the window, but not yet admitted in disk-based
+//! trajectories" (§3.2). Points stay staged until trip reconstruction
+//! assigns them to a trajectory; open-ended voyages keep "piling up in the
+//! staging table awaiting assignment".
+
+use std::collections::HashMap;
+
+use maritime_ais::Mmsi;
+use maritime_tracker::CriticalPoint;
+
+/// The staging table, organized per vessel in time order.
+#[derive(Debug, Default)]
+pub struct StagingArea {
+    per_vessel: HashMap<Mmsi, Vec<CriticalPoint>>,
+    staged_total: u64,
+}
+
+impl StagingArea {
+    /// An empty staging area.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages a batch of evicted critical points.
+    pub fn stage_batch(&mut self, points: &[CriticalPoint]) {
+        for cp in points {
+            self.stage(*cp);
+        }
+    }
+
+    /// Stages one critical point, keeping per-vessel time order.
+    pub fn stage(&mut self, cp: CriticalPoint) {
+        let seq = self.per_vessel.entry(cp.mmsi).or_default();
+        if seq.last().is_some_and(|last| last.timestamp > cp.timestamp) {
+            let pos = seq.partition_point(|p| p.timestamp <= cp.timestamp);
+            seq.insert(pos, cp);
+        } else {
+            seq.push(cp);
+        }
+        self.staged_total += 1;
+    }
+
+    /// Points currently staged for a vessel.
+    #[must_use]
+    pub fn vessel_points(&self, mmsi: Mmsi) -> &[CriticalPoint] {
+        self.per_vessel.get(&mmsi).map_or(&[], Vec::as_slice)
+    }
+
+    /// Vessels with staged points, in ascending MMSI order (deterministic).
+    #[must_use]
+    pub fn vessels(&self) -> Vec<Mmsi> {
+        let mut v: Vec<Mmsi> = self.per_vessel.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Points currently staged (across all vessels).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_vessel.values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing is staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total points ever staged (monotone counter).
+    #[must_use]
+    pub fn staged_total(&self) -> u64 {
+        self.staged_total
+    }
+
+    /// Removes and returns the first `count` staged points of a vessel
+    /// (those consumed by trip reconstruction).
+    pub fn take_prefix(&mut self, mmsi: Mmsi, count: usize) -> Vec<CriticalPoint> {
+        let Some(seq) = self.per_vessel.get_mut(&mmsi) else {
+            return Vec::new();
+        };
+        let count = count.min(seq.len());
+        let taken: Vec<CriticalPoint> = seq.drain(..count).collect();
+        if seq.is_empty() {
+            self.per_vessel.remove(&mmsi);
+        }
+        taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_geo::GeoPoint;
+    use maritime_stream::Timestamp;
+    use maritime_tracker::Annotation;
+
+    fn cp(mmsi: u32, t: i64) -> CriticalPoint {
+        CriticalPoint {
+            mmsi: Mmsi(mmsi),
+            position: GeoPoint::new(24.0, 37.0),
+            timestamp: Timestamp(t),
+            annotation: Annotation::Turn { change_deg: 20.0 },
+            speed_knots: 10.0,
+            heading_deg: 0.0,
+        }
+    }
+
+    #[test]
+    fn staging_groups_per_vessel_in_time_order() {
+        let mut s = StagingArea::new();
+        s.stage_batch(&[cp(1, 30), cp(2, 10), cp(1, 10), cp(1, 20)]);
+        let pts = s.vessel_points(Mmsi(1));
+        let ts: Vec<i64> = pts.iter().map(|p| p.timestamp.0).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert_eq!(s.vessel_points(Mmsi(2)).len(), 1);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.staged_total(), 4);
+    }
+
+    #[test]
+    fn take_prefix_drains_and_cleans_up() {
+        let mut s = StagingArea::new();
+        s.stage_batch(&[cp(1, 10), cp(1, 20), cp(1, 30)]);
+        let taken = s.take_prefix(Mmsi(1), 2);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[1].timestamp.0, 20);
+        assert_eq!(s.len(), 1);
+        let rest = s.take_prefix(Mmsi(1), 10);
+        assert_eq!(rest.len(), 1);
+        assert!(s.is_empty());
+        assert!(s.vessels().is_empty());
+        // Counter is monotone: it tracks throughput, not occupancy.
+        assert_eq!(s.staged_total(), 3);
+    }
+
+    #[test]
+    fn take_prefix_of_unknown_vessel_is_empty() {
+        let mut s = StagingArea::new();
+        assert!(s.take_prefix(Mmsi(9), 5).is_empty());
+    }
+
+    #[test]
+    fn vessels_listing_is_sorted() {
+        let mut s = StagingArea::new();
+        s.stage_batch(&[cp(5, 1), cp(2, 1), cp(9, 1)]);
+        assert_eq!(s.vessels(), vec![Mmsi(2), Mmsi(5), Mmsi(9)]);
+    }
+}

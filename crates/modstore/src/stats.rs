@@ -1,0 +1,176 @@
+//! Archive statistics — the rows of Table 4.
+//!
+//! "In Table 4, we list representative statistics from trajectories
+//! reconstructed and archived in the database. This computation took place
+//! after the input stream was exhausted and all critical points were
+//! detected for the entire ... period."
+
+use maritime_stream::Duration;
+use serde::{Deserialize, Serialize};
+
+use crate::staging::StagingArea;
+use crate::store::TrajectoryStore;
+
+/// The statistics of Table 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchiveStats {
+    /// Critical points in reconstructed trajectories.
+    pub points_in_trajectories: usize,
+    /// Critical points remaining in the staging area (open-ended trips).
+    pub points_in_staging: usize,
+    /// Number of trips between ports.
+    pub trips: usize,
+    /// Average trips per vessel (vessels with at least one trip).
+    pub avg_trips_per_vessel: f64,
+    /// Average number of critical points per trip.
+    pub avg_points_per_trip: f64,
+    /// Average travel time per trip.
+    pub avg_travel_time: Duration,
+    /// Average traveled distance per trip, kilometers.
+    pub avg_distance_km: f64,
+}
+
+impl ArchiveStats {
+    /// Computes the Table 4 statistics from the archive and staging area.
+    #[must_use]
+    pub fn compute(store: &TrajectoryStore, staging: &StagingArea) -> Self {
+        let trips = store.trip_count();
+        let vessels = store.vessels().len();
+        let points_in_trajectories = store.archived_points();
+        let total_secs: i64 = store
+            .trips()
+            .iter()
+            .map(|t| t.travel_time().as_secs())
+            .sum();
+        let total_km: f64 = store.trips().iter().map(|t| t.distance_m() / 1_000.0).sum();
+        Self {
+            points_in_trajectories,
+            points_in_staging: staging.len(),
+            trips,
+            avg_trips_per_vessel: if vessels == 0 {
+                0.0
+            } else {
+                trips as f64 / vessels as f64
+            },
+            avg_points_per_trip: if trips == 0 {
+                0.0
+            } else {
+                points_in_trajectories as f64 / trips as f64
+            },
+            avg_travel_time: if trips == 0 {
+                Duration::ZERO
+            } else {
+                Duration::secs(total_secs / trips as i64)
+            },
+            avg_distance_km: if trips == 0 { 0.0 } else { total_km / trips as f64 },
+        }
+    }
+}
+
+impl std::fmt::Display for ArchiveStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Critical points in reconstructed trajectories  {}",
+            self.points_in_trajectories
+        )?;
+        writeln!(
+            f,
+            "Critical points remaining in staging area      {}",
+            self.points_in_staging
+        )?;
+        writeln!(f, "Number of trips between ports                  {}", self.trips)?;
+        writeln!(
+            f,
+            "Average trips per vessel                       {:.1}",
+            self.avg_trips_per_vessel
+        )?;
+        writeln!(
+            f,
+            "Average number of critical points per trip     {:.0}",
+            self.avg_points_per_trip
+        )?;
+        writeln!(
+            f,
+            "Average travel time per trip                   {}",
+            self.avg_travel_time.to_dhms()
+        )?;
+        write!(
+            f,
+            "Average traveled distance per trip             {:.3} km",
+            self.avg_distance_km
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trip::Trip;
+    use maritime_ais::Mmsi;
+    use maritime_geo::GeoPoint;
+    use maritime_stream::Timestamp;
+    use maritime_tracker::{Annotation, CriticalPoint};
+
+    fn cp(mmsi: u32, t: i64, lon: f64, lat: f64) -> CriticalPoint {
+        CriticalPoint {
+            mmsi: Mmsi(mmsi),
+            position: GeoPoint::new(lon, lat),
+            timestamp: Timestamp(t),
+            annotation: Annotation::Turn { change_deg: 20.0 },
+            speed_knots: 10.0,
+            heading_deg: 0.0,
+        }
+    }
+
+    #[test]
+    fn stats_on_small_archive() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            Trip {
+                mmsi: Mmsi(1),
+                origin: Some("A".into()),
+                destination: "B".into(),
+                points: vec![cp(1, 0, 23.0, 37.0), cp(1, 3_600, 23.5, 37.0)],
+                departed: Timestamp(0),
+                arrived: Timestamp(3_600),
+            },
+            Trip {
+                mmsi: Mmsi(2),
+                origin: None,
+                destination: "B".into(),
+                points: vec![
+                    cp(2, 0, 24.0, 37.0),
+                    cp(2, 1_000, 24.2, 37.0),
+                    cp(2, 7_200, 24.5, 37.0),
+                ],
+                departed: Timestamp(0),
+                arrived: Timestamp(7_200),
+            },
+        ]);
+        let mut staging = StagingArea::new();
+        staging.stage_batch(&[cp(3, 0, 25.0, 38.0)]);
+
+        let stats = ArchiveStats::compute(&store, &staging);
+        assert_eq!(stats.points_in_trajectories, 5);
+        assert_eq!(stats.points_in_staging, 1);
+        assert_eq!(stats.trips, 2);
+        assert_eq!(stats.avg_trips_per_vessel, 1.0);
+        assert!((stats.avg_points_per_trip - 2.5).abs() < 1e-12);
+        assert_eq!(stats.avg_travel_time, Duration::secs(5_400));
+        assert!(stats.avg_distance_km > 20.0);
+
+        // Display renders every Table-4 row.
+        let text = stats.to_string();
+        assert!(text.contains("Number of trips between ports"));
+        assert!(text.contains("01:30:00"));
+    }
+
+    #[test]
+    fn empty_archive_yields_zeroes() {
+        let stats = ArchiveStats::compute(&TrajectoryStore::new(), &StagingArea::new());
+        assert_eq!(stats.trips, 0);
+        assert_eq!(stats.avg_trips_per_vessel, 0.0);
+        assert_eq!(stats.avg_travel_time, Duration::ZERO);
+    }
+}

@@ -1,0 +1,368 @@
+//! The trajectory archive: loading trip segments and offline aggregates.
+//!
+//! "Eventually, instead of representing the entire motion of a vessel with
+//! one long trajectory that gets repetitively updated, Hermes MOD deals
+//! with multiple, but much smaller segments; only the last segment per
+//! vessel may receive any updates" (§3.2). §3.3 lists the offline
+//! analytics: travel statistics per ship, Origin–Destination matrices,
+//! motion patterns.
+
+use std::collections::HashMap;
+
+use maritime_ais::Mmsi;
+use maritime_stream::Duration;
+use serde::{Deserialize, Serialize};
+
+use crate::trip::Trip;
+
+/// Aggregates for one origin–destination connection (§3.3: "By maintaining
+/// Origin-Destination matrices, we may identify connections between ports
+/// and compute aggregated statistics (duration, speed, frequency, etc.)").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OdCell {
+    /// Number of trips on this connection.
+    pub trips: usize,
+    /// Mean travel time.
+    pub avg_travel_time: Duration,
+    /// Mean traveled distance, meters.
+    pub avg_distance_m: f64,
+}
+
+/// Per-vessel travel aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VesselAggregates {
+    /// Trips archived for this vessel.
+    pub trips: usize,
+    /// Total traveled distance, meters.
+    pub total_distance_m: f64,
+    /// Total travel time.
+    pub total_travel_time: Duration,
+    /// Total critical points archived.
+    pub points: usize,
+}
+
+/// Travel aggregates for one time bucket.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PeriodAggregates {
+    /// Trips departing in this bucket.
+    pub trips: usize,
+    /// Total traveled distance, meters.
+    pub total_distance_m: f64,
+    /// Total travel time.
+    pub total_travel_time: Duration,
+    /// Distinct vessels active in this bucket.
+    pub vessels: std::collections::BTreeSet<Mmsi>,
+}
+
+/// The embedded trajectory archive.
+#[derive(Debug, Default)]
+pub struct TrajectoryStore {
+    trips: Vec<Trip>,
+    by_vessel: HashMap<Mmsi, Vec<usize>>,
+}
+
+impl TrajectoryStore {
+    /// An empty archive.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a batch of reconstructed trips.
+    pub fn load(&mut self, trips: Vec<Trip>) {
+        for trip in trips {
+            let idx = self.trips.len();
+            self.by_vessel.entry(trip.mmsi).or_default().push(idx);
+            self.trips.push(trip);
+        }
+    }
+
+    /// All archived trips.
+    #[must_use]
+    pub fn trips(&self) -> &[Trip] {
+        &self.trips
+    }
+
+    /// Number of archived trips.
+    #[must_use]
+    pub fn trip_count(&self) -> usize {
+        self.trips.len()
+    }
+
+    /// Trips of one vessel, in load order.
+    pub fn vessel_trips(&self, mmsi: Mmsi) -> impl Iterator<Item = &Trip> {
+        self.by_vessel
+            .get(&mmsi)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.trips[i])
+    }
+
+    /// Vessels with archived trips.
+    #[must_use]
+    pub fn vessels(&self) -> Vec<Mmsi> {
+        let mut v: Vec<Mmsi> = self.by_vessel.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Per-vessel aggregates (travel distances, times, idle analysis base).
+    #[must_use]
+    pub fn vessel_aggregates(&self, mmsi: Mmsi) -> Option<VesselAggregates> {
+        let idxs = self.by_vessel.get(&mmsi)?;
+        let mut agg = VesselAggregates {
+            trips: 0,
+            total_distance_m: 0.0,
+            total_travel_time: Duration::ZERO,
+            points: 0,
+        };
+        for &i in idxs {
+            let t = &self.trips[i];
+            agg.trips += 1;
+            agg.total_distance_m += t.distance_m();
+            agg.total_travel_time = agg.total_travel_time + t.travel_time();
+            agg.points += t.len();
+        }
+        Some(agg)
+    }
+
+    /// The Origin–Destination matrix over known-origin trips. Keys are
+    /// `(origin, destination)` port names.
+    #[must_use]
+    pub fn od_matrix(&self) -> HashMap<(String, String), OdCell> {
+        let mut acc: HashMap<(String, String), (usize, i64, f64)> = HashMap::new();
+        for t in &self.trips {
+            let Some(origin) = &t.origin else { continue };
+            let e = acc
+                .entry((origin.clone(), t.destination.clone()))
+                .or_insert((0, 0, 0.0));
+            e.0 += 1;
+            e.1 += t.travel_time().as_secs();
+            e.2 += t.distance_m();
+        }
+        acc.into_iter()
+            .map(|(k, (n, secs, dist))| {
+                (
+                    k,
+                    OdCell {
+                        trips: n,
+                        avg_travel_time: Duration::secs(secs / n as i64),
+                        avg_distance_m: dist / n as f64,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Total critical points across archived trips.
+    #[must_use]
+    pub fn archived_points(&self) -> usize {
+        self.trips.iter().map(Trip::len).sum()
+    }
+
+    /// The most frequently traveled origin–destination connections — the
+    /// "frequently traveled paths ('corridors')" of §3.3 — sorted by trip
+    /// count descending, ties broken by port names for determinism.
+    #[must_use]
+    pub fn frequent_routes(&self, k: usize) -> Vec<((String, String), OdCell)> {
+        let mut routes: Vec<((String, String), OdCell)> = self.od_matrix().into_iter().collect();
+        routes.sort_by(|a, b| b.1.trips.cmp(&a.1.trips).then_with(|| a.0.cmp(&b.0)));
+        routes.truncate(k);
+        routes
+    }
+
+    /// Port visit counts (arrivals), for "visited ports" statistics.
+    #[must_use]
+    pub fn port_visits(&self) -> HashMap<String, usize> {
+        let mut visits: HashMap<String, usize> = HashMap::new();
+        for t in &self.trips {
+            *visits.entry(t.destination.clone()).or_default() += 1;
+        }
+        visits
+    }
+
+    /// Travel aggregates bucketed by time period (§3.3: "Such aggregates
+    /// may be obtained at various time granularities (e.g., per week,
+    /// month, or year)"). Buckets are indexed by `departed / period`;
+    /// returns a sorted map of non-empty buckets.
+    #[must_use]
+    pub fn aggregates_by_period(
+        &self,
+        period: Duration,
+    ) -> std::collections::BTreeMap<i64, PeriodAggregates> {
+        assert!(period.as_secs() > 0, "period must be positive");
+        let mut out: std::collections::BTreeMap<i64, PeriodAggregates> =
+            std::collections::BTreeMap::new();
+        for t in &self.trips {
+            let bucket = t.departed.as_secs().div_euclid(period.as_secs());
+            let agg = out.entry(bucket).or_default();
+            agg.trips += 1;
+            agg.total_distance_m += t.distance_m();
+            agg.total_travel_time = agg.total_travel_time + t.travel_time();
+            agg.vessels.insert(t.mmsi);
+        }
+        out
+    }
+
+    /// Serializes the archive to JSON ("physically archived in a database
+    /// for extracting offline analytics", §1 — here a portable snapshot).
+    pub fn save_json<W: std::io::Write>(&self, writer: W) -> serde_json::Result<()> {
+        serde_json::to_writer(writer, &self.trips)
+    }
+
+    /// Restores an archive from a JSON snapshot.
+    pub fn load_json<R: std::io::Read>(reader: R) -> serde_json::Result<Self> {
+        let trips: Vec<Trip> = serde_json::from_reader(reader)?;
+        let mut store = Self::new();
+        store.load(trips);
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_geo::GeoPoint;
+    use maritime_stream::Timestamp;
+    use maritime_tracker::{Annotation, CriticalPoint};
+
+    fn cp(mmsi: u32, t: i64, lon: f64, lat: f64) -> CriticalPoint {
+        CriticalPoint {
+            mmsi: Mmsi(mmsi),
+            position: GeoPoint::new(lon, lat),
+            timestamp: Timestamp(t),
+            annotation: Annotation::Turn { change_deg: 20.0 },
+            speed_knots: 10.0,
+            heading_deg: 0.0,
+        }
+    }
+
+    fn trip(mmsi: u32, origin: Option<&str>, dest: &str, t0: i64, t1: i64) -> Trip {
+        Trip {
+            mmsi: Mmsi(mmsi),
+            origin: origin.map(String::from),
+            destination: dest.into(),
+            points: vec![cp(mmsi, t0, 23.6, 37.9), cp(mmsi, t1, 25.1, 35.3)],
+            departed: Timestamp(t0),
+            arrived: Timestamp(t1),
+        }
+    }
+
+    #[test]
+    fn load_and_lookup_per_vessel() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            trip(1, Some("Piraeus"), "Heraklion", 0, 10_000),
+            trip(2, None, "Piraeus", 0, 5_000),
+            trip(1, Some("Heraklion"), "Piraeus", 20_000, 30_000),
+        ]);
+        assert_eq!(store.trip_count(), 3);
+        assert_eq!(store.vessel_trips(Mmsi(1)).count(), 2);
+        assert_eq!(store.vessel_trips(Mmsi(2)).count(), 1);
+        assert_eq!(store.vessels(), vec![Mmsi(1), Mmsi(2)]);
+        assert_eq!(store.archived_points(), 6);
+    }
+
+    #[test]
+    fn aggregates_sum_over_trips() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            trip(1, Some("Piraeus"), "Heraklion", 0, 10_000),
+            trip(1, Some("Heraklion"), "Piraeus", 20_000, 32_000),
+        ]);
+        let agg = store.vessel_aggregates(Mmsi(1)).unwrap();
+        assert_eq!(agg.trips, 2);
+        assert_eq!(agg.total_travel_time, Duration::secs(22_000));
+        assert!(agg.total_distance_m > 500_000.0);
+        assert_eq!(agg.points, 4);
+        assert!(store.vessel_aggregates(Mmsi(99)).is_none());
+    }
+
+    #[test]
+    fn od_matrix_skips_unknown_origins_and_averages() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            trip(1, Some("Piraeus"), "Heraklion", 0, 10_000),
+            trip(2, Some("Piraeus"), "Heraklion", 0, 20_000),
+            trip(3, None, "Heraklion", 0, 5_000),
+        ]);
+        let od = store.od_matrix();
+        assert_eq!(od.len(), 1);
+        let cell = &od[&("Piraeus".to_string(), "Heraklion".to_string())];
+        assert_eq!(cell.trips, 2);
+        assert_eq!(cell.avg_travel_time, Duration::secs(15_000));
+    }
+
+    #[test]
+    fn frequent_routes_rank_by_count() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            trip(1, Some("A"), "B", 0, 100),
+            trip(2, Some("A"), "B", 0, 100),
+            trip(3, Some("A"), "B", 0, 100),
+            trip(4, Some("B"), "C", 0, 100),
+            trip(5, Some("C"), "A", 0, 100),
+            trip(6, Some("B"), "C", 0, 100),
+        ]);
+        let top = store.frequent_routes(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, ("A".to_string(), "B".to_string()));
+        assert_eq!(top[0].1.trips, 3);
+        assert_eq!(top[1].0, ("B".to_string(), "C".to_string()));
+    }
+
+    #[test]
+    fn port_visits_count_arrivals() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            trip(1, None, "B", 0, 100),
+            trip(2, Some("B"), "C", 0, 100),
+            trip(3, Some("C"), "B", 0, 100),
+        ]);
+        let visits = store.port_visits();
+        assert_eq!(visits["B"], 2);
+        assert_eq!(visits["C"], 1);
+    }
+
+    #[test]
+    fn json_snapshot_roundtrips() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            trip(1, Some("Piraeus"), "Heraklion", 0, 10_000),
+            trip(2, None, "Piraeus", 0, 5_000),
+        ]);
+        let mut buf = Vec::new();
+        store.save_json(&mut buf).unwrap();
+        let restored = TrajectoryStore::load_json(buf.as_slice()).unwrap();
+        assert_eq!(restored.trip_count(), store.trip_count());
+        assert_eq!(restored.trips(), store.trips());
+        assert_eq!(restored.vessels(), store.vessels());
+    }
+
+    #[test]
+    fn period_aggregates_bucket_by_departure() {
+        let mut store = TrajectoryStore::new();
+        store.load(vec![
+            trip(1, Some("A"), "B", 100, 500),       // bucket 0
+            trip(2, Some("A"), "B", 3_700, 4_000),   // bucket 1 (1h period)
+            trip(1, Some("B"), "A", 3_800, 4_200),   // bucket 1
+        ]);
+        let buckets = store.aggregates_by_period(Duration::hours(1));
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[&0].trips, 1);
+        assert_eq!(buckets[&1].trips, 2);
+        assert_eq!(buckets[&1].vessels.len(), 2);
+        assert_eq!(
+            buckets[&1].total_travel_time,
+            Duration::secs(300 + 400)
+        );
+    }
+
+    #[test]
+    fn empty_store_is_sane() {
+        let store = TrajectoryStore::new();
+        assert_eq!(store.trip_count(), 0);
+        assert!(store.od_matrix().is_empty());
+        assert!(store.vessels().is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline trajectory reconstruction: trips between ports (§3.2).
+//!
+//! "A long journey breaks up into smaller trips between ports. ... This
+//! method takes as input the critical points identified as long-term stops
+//! and a set of known port areas (polygons). Once a stop is located inside
+//! such a polygon, the name of the respective port becomes an attribute of
+//! that point. It is reasonable to assume that between two such distinct
+//! stops O and D, the ship sailed from origin port O and reached
+//! destination port D. ... origin port O may remain unknown, because the
+//! ship might have been on the move when the AIS base stations started
+//! receiving its signals."
+
+use maritime_ais::Mmsi;
+use maritime_geo::{haversine_distance_m, Area, AreaKind, GeoPoint};
+use maritime_stream::{Duration, Timestamp};
+use maritime_tracker::{Annotation, CriticalPoint};
+use serde::{Deserialize, Serialize};
+
+use crate::staging::StagingArea;
+
+/// A reconstructed trip: the trajectory segment between two port calls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trip {
+    /// The vessel.
+    pub mmsi: Mmsi,
+    /// Origin port name; `None` when the vessel was first seen under way.
+    pub origin: Option<String>,
+    /// Destination port name (always known: a trip closes at a port stop).
+    pub destination: String,
+    /// The trip's critical points, in time order.
+    pub points: Vec<CriticalPoint>,
+    /// Departure time (first point).
+    pub departed: Timestamp,
+    /// Arrival time (last point).
+    pub arrived: Timestamp,
+}
+
+impl Trip {
+    /// Travel time.
+    #[must_use]
+    pub fn travel_time(&self) -> Duration {
+        self.arrived - self.departed
+    }
+
+    /// Traveled distance in meters (sum over consecutive points).
+    #[must_use]
+    pub fn distance_m(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| haversine_distance_m(w[0].position, w[1].position))
+            .sum()
+    }
+
+    /// Number of critical points describing the trip.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trip carries no points (never produced by the
+    /// reconstructor, but part of the container contract).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Bounding positions convenience: first and last point.
+    #[must_use]
+    pub fn endpoints(&self) -> Option<(GeoPoint, GeoPoint)> {
+        Some((self.points.first()?.position, self.points.last()?.position))
+    }
+}
+
+/// Segments staged critical points into trips between port calls.
+pub struct TripReconstructor {
+    ports: Vec<Area>,
+}
+
+impl TripReconstructor {
+    /// Creates a reconstructor over the given areas (non-port areas are
+    /// ignored).
+    #[must_use]
+    pub fn new(areas: &[Area]) -> Self {
+        Self {
+            ports: areas
+                .iter()
+                .filter(|a| a.kind == AreaKind::Port)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The port whose polygon contains the point, if any.
+    #[must_use]
+    pub fn port_of(&self, p: GeoPoint) -> Option<&Area> {
+        self.ports.iter().find(|a| a.contains(p))
+    }
+
+    /// Whether a critical point marks a port call: a long-term stop whose
+    /// cluster centroid lies inside a port polygon.
+    fn port_call(&self, cp: &CriticalPoint) -> Option<&Area> {
+        match cp.annotation {
+            Annotation::StopEnd { centroid, .. } => self.port_of(centroid),
+            _ => None,
+        }
+    }
+
+    /// Drains completed trips for every vessel in the staging area.
+    ///
+    /// For each vessel, the point sequence is cut at port calls; each cut
+    /// closes one trip whose destination is the port. Points after the
+    /// last port call stay staged ("open-ended trips").
+    pub fn reconstruct(&self, staging: &mut StagingArea) -> Vec<Trip> {
+        let mut trips = Vec::new();
+        for mmsi in staging.vessels() {
+            let points = staging.vessel_points(mmsi);
+            // Indices of port-call points plus the port they hit.
+            let calls: Vec<(usize, String)> = points
+                .iter()
+                .enumerate()
+                .filter_map(|(i, cp)| self.port_call(cp).map(|a| (i, a.name.clone())))
+                .collect();
+            let Some((last_call_idx, _)) = calls.last() else {
+                continue; // still under way: everything stays staged
+            };
+            let consumed = last_call_idx + 1;
+            let drained = staging.take_prefix(mmsi, consumed);
+
+            let mut origin: Option<String> = None;
+            let mut start = 0usize;
+            for (idx, port_name) in calls {
+                let segment: Vec<CriticalPoint> = drained[start..=idx].to_vec();
+                // A segment is a trip unless it is noise: a lone stop in
+                // the same port as the previous call (the ship never
+                // left), or the initial berth (a lone stop before any
+                // movement was ever seen). A one-point segment between
+                // *different* ports is a real — if sparsely described —
+                // voyage and must be kept, or origin chaining breaks.
+                let keep = segment.len() >= 2
+                    || origin.as_deref().is_some_and(|o| o != port_name);
+                if keep {
+                    trips.push(Trip {
+                        mmsi,
+                        origin: origin.clone(),
+                        destination: port_name.clone(),
+                        departed: segment[0].timestamp,
+                        arrived: segment[segment.len() - 1].timestamp,
+                        points: segment,
+                    });
+                }
+                origin = Some(port_name);
+                start = idx + 1;
+            }
+        }
+        trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_geo::{AreaId, Polygon};
+
+    fn port(id: u32, name: &str, center: GeoPoint) -> Area {
+        Area::new(
+            AreaId(id),
+            name,
+            AreaKind::Port,
+            Polygon::circle(center, 2_000.0, 12),
+        )
+    }
+
+    fn areas() -> Vec<Area> {
+        vec![
+            port(0, "Piraeus", GeoPoint::new(23.62, 37.94)),
+            port(1, "Heraklion", GeoPoint::new(25.14, 35.34)),
+            Area::new(
+                AreaId(2),
+                "park",
+                AreaKind::Protected,
+                Polygon::rectangle(GeoPoint::new(24.0, 36.0), GeoPoint::new(24.2, 36.2)),
+            ),
+        ]
+    }
+
+    fn cp(mmsi: u32, t: i64, pos: GeoPoint, ann: Annotation) -> CriticalPoint {
+        CriticalPoint {
+            mmsi: Mmsi(mmsi),
+            position: pos,
+            timestamp: Timestamp(t),
+            annotation: ann,
+            speed_knots: 10.0,
+            heading_deg: 135.0,
+        }
+    }
+
+    fn stop_end_at(mmsi: u32, t: i64, pos: GeoPoint) -> CriticalPoint {
+        cp(
+            mmsi,
+            t,
+            pos,
+            Annotation::StopEnd {
+                centroid: pos,
+                duration: Duration::minutes(30),
+            },
+        )
+    }
+
+    fn turn(mmsi: u32, t: i64, pos: GeoPoint) -> CriticalPoint {
+        cp(mmsi, t, pos, Annotation::Turn { change_deg: 20.0 })
+    }
+
+    #[test]
+    fn one_complete_trip_between_ports() {
+        let mut staging = StagingArea::new();
+        let piraeus = GeoPoint::new(23.62, 37.94);
+        let heraklion = GeoPoint::new(25.14, 35.34);
+        staging.stage_batch(&[
+            stop_end_at(1, 100, piraeus),
+            turn(1, 5_000, GeoPoint::new(24.2, 36.9)),
+            turn(1, 10_000, GeoPoint::new(24.8, 36.0)),
+            stop_end_at(1, 20_000, heraklion),
+            // Tail after the last port call: stays staged.
+            turn(1, 25_000, GeoPoint::new(25.0, 35.6)),
+        ]);
+        let rec = TripReconstructor::new(&areas());
+        let trips = rec.reconstruct(&mut staging);
+        // The initial berth at Piraeus (a lone stop before any movement)
+        // is dropped; the Piraeus -> Heraklion trip survives.
+        assert_eq!(trips.len(), 1);
+        let t = &trips[0];
+        assert_eq!(t.origin.as_deref(), Some("Piraeus"));
+        assert_eq!(t.destination, "Heraklion");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.departed, Timestamp(5_000));
+        assert_eq!(t.arrived, Timestamp(20_000));
+        assert!(t.distance_m() > 100_000.0, "{}", t.distance_m());
+        // The open tail remains staged.
+        assert_eq!(staging.len(), 1);
+        assert_eq!(staging.vessel_points(Mmsi(1))[0].timestamp, Timestamp(25_000));
+    }
+
+    #[test]
+    fn first_trip_has_unknown_origin() {
+        let mut staging = StagingArea::new();
+        staging.stage_batch(&[
+            turn(1, 100, GeoPoint::new(24.5, 36.5)),
+            turn(1, 5_000, GeoPoint::new(24.9, 35.8)),
+            stop_end_at(1, 9_000, GeoPoint::new(25.14, 35.34)),
+        ]);
+        let rec = TripReconstructor::new(&areas());
+        let trips = rec.reconstruct(&mut staging);
+        assert_eq!(trips.len(), 1);
+        assert_eq!(trips[0].origin, None);
+        assert_eq!(trips[0].destination, "Heraklion");
+        assert!(staging.is_empty());
+    }
+
+    #[test]
+    fn vessel_never_reaching_port_stays_staged() {
+        let mut staging = StagingArea::new();
+        staging.stage_batch(&[
+            turn(1, 100, GeoPoint::new(24.5, 36.5)),
+            // Stops offshore (inside the protected area, not a port).
+            stop_end_at(1, 5_000, GeoPoint::new(24.1, 36.1)),
+        ]);
+        let rec = TripReconstructor::new(&areas());
+        let trips = rec.reconstruct(&mut staging);
+        assert!(trips.is_empty());
+        assert_eq!(staging.len(), 2);
+    }
+
+    #[test]
+    fn multiple_trips_chain_origins() {
+        let mut staging = StagingArea::new();
+        let piraeus = GeoPoint::new(23.62, 37.94);
+        let heraklion = GeoPoint::new(25.14, 35.34);
+        staging.stage_batch(&[
+            turn(1, 100, GeoPoint::new(23.8, 37.5)),
+            stop_end_at(1, 5_000, piraeus),
+            turn(1, 10_000, GeoPoint::new(24.4, 36.6)),
+            stop_end_at(1, 20_000, heraklion),
+            turn(1, 25_000, GeoPoint::new(24.4, 36.6)),
+            stop_end_at(1, 40_000, piraeus),
+        ]);
+        let rec = TripReconstructor::new(&areas());
+        let trips = rec.reconstruct(&mut staging);
+        assert_eq!(trips.len(), 3);
+        assert_eq!(trips[0].origin, None);
+        assert_eq!(trips[0].destination, "Piraeus");
+        assert_eq!(trips[1].origin.as_deref(), Some("Piraeus"));
+        assert_eq!(trips[1].destination, "Heraklion");
+        assert_eq!(trips[2].origin.as_deref(), Some("Heraklion"));
+        assert_eq!(trips[2].destination, "Piraeus");
+    }
+
+    #[test]
+    fn trips_of_different_vessels_are_separate() {
+        let mut staging = StagingArea::new();
+        let heraklion = GeoPoint::new(25.14, 35.34);
+        for v in [1u32, 2] {
+            staging.stage_batch(&[
+                turn(v, 100, GeoPoint::new(24.5, 36.5)),
+                stop_end_at(v, 9_000, heraklion),
+            ]);
+        }
+        let rec = TripReconstructor::new(&areas());
+        let trips = rec.reconstruct(&mut staging);
+        assert_eq!(trips.len(), 2);
+        assert_ne!(trips[0].mmsi, trips[1].mmsi);
+    }
+
+    #[test]
+    fn travel_time_matches_endpoints() {
+        let t = Trip {
+            mmsi: Mmsi(1),
+            origin: None,
+            destination: "X".into(),
+            points: vec![],
+            departed: Timestamp(1_000),
+            arrived: Timestamp(5_000),
+        };
+        assert_eq!(t.travel_time(), Duration::secs(4_000));
+        assert!(t.is_empty());
+        assert!(t.endpoints().is_none());
+    }
+}

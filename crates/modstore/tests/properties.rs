@@ -1,0 +1,187 @@
+//! Property-based tests for staging, trip reconstruction, and the archive.
+
+use maritime_ais::Mmsi;
+use maritime_geo::{Area, AreaId, AreaKind, GeoPoint, Polygon};
+use maritime_modstore::{StagingArea, TrajectoryStore, Trip, TripReconstructor};
+use maritime_stream::{Duration, Timestamp};
+use maritime_tracker::{Annotation, CriticalPoint};
+use proptest::prelude::*;
+
+fn port_centers() -> [GeoPoint; 3] {
+    [
+        GeoPoint::new(23.6, 37.9),
+        GeoPoint::new(25.1, 35.3),
+        GeoPoint::new(22.9, 40.6),
+    ]
+}
+
+fn areas() -> Vec<Area> {
+    port_centers()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            Area::new(
+                AreaId(i as u32),
+                format!("port-{i}"),
+                AreaKind::Port,
+                Polygon::circle(*c, 2_000.0, 12),
+            )
+        })
+        .collect()
+}
+
+/// Arbitrary per-vessel critical-point sequences: a mix of port stops
+/// (inside a port basin) and en-route points.
+fn arb_points() -> impl Strategy<Value = Vec<CriticalPoint>> {
+    let item = (
+        0u32..4,            // vessel
+        0i64..100_000,      // timestamp
+        0usize..4,          // 0..=2: stop at port i; 3: en-route turn
+    );
+    prop::collection::vec(item, 0..80).prop_map(|items| {
+        let mut points: Vec<CriticalPoint> = items
+            .into_iter()
+            .map(|(v, t, what)| {
+                let (position, annotation) = if what < 3 {
+                    let c = port_centers()[what];
+                    (
+                        c,
+                        Annotation::StopEnd {
+                            centroid: c,
+                            duration: Duration::minutes(30),
+                        },
+                    )
+                } else {
+                    (
+                        GeoPoint::new(24.0 + (t % 100) as f64 * 0.01, 37.0),
+                        Annotation::Turn { change_deg: 20.0 },
+                    )
+                };
+                CriticalPoint {
+                    mmsi: Mmsi(v),
+                    position,
+                    timestamp: Timestamp(t),
+                    annotation,
+                    speed_knots: 8.0,
+                    heading_deg: 90.0,
+                }
+            })
+            .collect();
+        points.sort_by_key(|p| (p.timestamp, p.mmsi));
+        points
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reconstruction_conserves_points(points in arb_points()) {
+        let mut staging = StagingArea::new();
+        staging.stage_batch(&points);
+        let total = staging.len();
+        let rec = TripReconstructor::new(&areas());
+        let trips = rec.reconstruct(&mut staging);
+        let in_trips: usize = trips.iter().map(Trip::len).sum();
+        // Single-point "trips" to the same port are dropped as noise;
+        // account for them by counting consumed = total - remaining.
+        let consumed = total - staging.len();
+        prop_assert!(in_trips <= consumed);
+        // Points still staged are exactly the per-vessel tails.
+        prop_assert!(staging.len() <= total);
+    }
+
+    #[test]
+    fn trips_are_time_ordered_and_port_terminated(points in arb_points()) {
+        let mut staging = StagingArea::new();
+        staging.stage_batch(&points);
+        let rec = TripReconstructor::new(&areas());
+        let trips = rec.reconstruct(&mut staging);
+        for trip in &trips {
+            prop_assert!(!trip.is_empty());
+            prop_assert!(trip.departed <= trip.arrived);
+            for w in trip.points.windows(2) {
+                prop_assert!(w[0].timestamp <= w[1].timestamp);
+            }
+            // The final point is a stop whose centroid lies in the
+            // destination port.
+            let last = trip.points.last().unwrap();
+            let Annotation::StopEnd { centroid, .. } = last.annotation else {
+                prop_assert!(false, "trip does not end at a stop");
+                return Ok(());
+            };
+            let port = rec.port_of(centroid).expect("ends in a port");
+            prop_assert_eq!(&trip.destination, &port.name);
+        }
+    }
+
+    #[test]
+    fn consecutive_trips_chain_origins(points in arb_points()) {
+        let mut staging = StagingArea::new();
+        staging.stage_batch(&points);
+        let rec = TripReconstructor::new(&areas());
+        let trips = rec.reconstruct(&mut staging);
+        let mut store = TrajectoryStore::new();
+        store.load(trips);
+        for mmsi in store.vessels() {
+            let mine: Vec<&Trip> = store.vessel_trips(mmsi).collect();
+            for w in mine.windows(2) {
+                prop_assert_eq!(
+                    w[1].origin.as_deref(),
+                    Some(w[0].destination.as_str()),
+                    "origin chain broken for {}", mmsi
+                );
+            }
+            if let Some(first) = mine.first() {
+                // The very first trip may or may not know its origin, but
+                // if it does, it must be a real port.
+                if let Some(o) = &first.origin {
+                    prop_assert!(areas().iter().any(|a| &a.name == o));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn od_matrix_totals_match(points in arb_points()) {
+        let mut staging = StagingArea::new();
+        staging.stage_batch(&points);
+        let rec = TripReconstructor::new(&areas());
+        let mut store = TrajectoryStore::new();
+        store.load(rec.reconstruct(&mut staging));
+        let known: usize = store.trips().iter().filter(|t| t.origin.is_some()).count();
+        let od_total: usize = store.od_matrix().values().map(|c| c.trips).sum();
+        prop_assert_eq!(od_total, known);
+        // frequent_routes is a prefix of the sorted matrix.
+        let top = store.frequent_routes(3);
+        for w in top.windows(2) {
+            prop_assert!(w[0].1.trips >= w[1].1.trips);
+        }
+    }
+
+    #[test]
+    fn archive_json_roundtrip(points in arb_points()) {
+        let mut staging = StagingArea::new();
+        staging.stage_batch(&points);
+        let rec = TripReconstructor::new(&areas());
+        let mut store = TrajectoryStore::new();
+        store.load(rec.reconstruct(&mut staging));
+        let mut buf = Vec::new();
+        store.save_json(&mut buf).unwrap();
+        let restored = TrajectoryStore::load_json(buf.as_slice()).unwrap();
+        prop_assert_eq!(restored.trips(), store.trips());
+    }
+
+    #[test]
+    fn reconstruction_is_idempotent(points in arb_points()) {
+        // Running reconstruction twice on the same staging area yields no
+        // new trips the second time (the first drained everything usable).
+        let mut staging = StagingArea::new();
+        staging.stage_batch(&points);
+        let rec = TripReconstructor::new(&areas());
+        let first = rec.reconstruct(&mut staging);
+        let second = rec.reconstruct(&mut staging);
+        let _ = first;
+        prop_assert!(second.is_empty(), "second pass produced {} trips", second.len());
+    }
+}

@@ -1,0 +1,217 @@
+//! Event descriptions: the typed replacement for RTEC rule clauses.
+//!
+//! An event description declares (a) *fluents*, each with `initiatedAt` /
+//! `terminatedAt` rules, in stratification order — a fluent's rules may
+//! consult only input events and fluents declared before it — and (b)
+//! *derived events*, instantaneous outputs such as `illegalShipping(Area)`
+//! (rule 5 of §4.1), computed from the same triggers.
+//!
+//! Rules are closures receiving the static knowledge `Ctx` (vessel and
+//! geographic data — the atemporal predicates `fishing`, `shallow`,
+//! `close`, …), a [`View`] over already-computed
+//! fluents, the firing [`Trigger`], and its timestamp. They return the
+//! fluent keys initiated/terminated (or derived events emitted) at that
+//! point.
+
+use maritime_stream::Timestamp;
+
+use crate::view::View;
+
+/// What fired a rule: an input event, or the built-in `start(F=V)` /
+/// `end(F=V)` events generated at the boundaries of the maximal intervals
+/// of an already-computed (lower-stratum) fluent.
+#[derive(Debug)]
+pub enum Trigger<'a, E, K> {
+    /// An input event from the stream.
+    Input(&'a E),
+    /// `start(F=V)`: the fluent keyed `K` began holding at this point.
+    Start(&'a K),
+    /// `end(F=V)`: the fluent keyed `K` stopped holding at this point.
+    End(&'a K),
+}
+
+impl<'a, E, K> Clone for Trigger<'a, E, K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+// Manual impl: the derive would wrongly require `E: Copy, K: Copy`, but the
+// variants hold only references, which are always `Copy`.
+impl<'a, E, K> Copy for Trigger<'a, E, K> {}
+
+impl<'a, E, K> Trigger<'a, E, K> {
+    /// The input event, if this trigger is one.
+    #[must_use]
+    pub fn input(&self) -> Option<&'a E> {
+        match self {
+            Self::Input(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The started fluent key, if this is a `start` trigger.
+    #[must_use]
+    pub fn started(&self) -> Option<&'a K> {
+        match self {
+            Self::Start(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// The ended fluent key, if this is an `end` trigger.
+    #[must_use]
+    pub fn ended(&self) -> Option<&'a K> {
+        match self {
+            Self::End(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+/// A point rule: maps a trigger at time `T` to the fluent keys it
+/// initiates (for `initiatedAt` rules) or terminates (for `terminatedAt`).
+pub type PointRule<Ctx, E, K> =
+    Box<dyn Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<K> + Send + Sync>;
+
+/// A derived-event rule: maps a trigger at `T` to emitted output events.
+pub type EventRule<Ctx, E, K, D> =
+    Box<dyn Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<D> + Send + Sync>;
+
+/// Grouping function implementing rule (2): keys mapping to the same group
+/// are values of the same fluent instance, so initiating one terminates
+/// the others. `None` disables cross-value termination (Boolean fluents).
+pub type GroupFn<K, G> = Box<dyn Fn(&K) -> G + Send + Sync>;
+
+/// A fluent definition (simple fluent in RTEC terms).
+pub struct FluentDef<Ctx, E, K, G = ()> {
+    /// Human-readable name, for debugging and reports.
+    pub name: &'static str,
+    /// `initiatedAt` rules.
+    pub initiated_at: Vec<PointRule<Ctx, E, K>>,
+    /// `terminatedAt` rules.
+    pub terminated_at: Vec<PointRule<Ctx, E, K>>,
+    /// Optional value-group function (rule (2)).
+    pub group: Option<GroupFn<K, G>>,
+}
+
+impl<Ctx, E, K, G> FluentDef<Ctx, E, K, G> {
+    /// A fluent with no rules yet.
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            initiated_at: Vec::new(),
+            terminated_at: Vec::new(),
+            group: None,
+        }
+    }
+
+    /// Adds an `initiatedAt` rule.
+    #[must_use]
+    pub fn initiated<Fun>(mut self, rule: Fun) -> Self
+    where
+        Fun: Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<K>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.initiated_at.push(Box::new(rule));
+        self
+    }
+
+    /// Adds a `terminatedAt` rule.
+    #[must_use]
+    pub fn terminated<Fun>(mut self, rule: Fun) -> Self
+    where
+        Fun: Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<K>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.terminated_at.push(Box::new(rule));
+        self
+    }
+
+    /// Declares the value group (rule (2) cross-value termination).
+    #[must_use]
+    pub fn grouped<Fun>(mut self, group: Fun) -> Self
+    where
+        Fun: Fn(&K) -> G + Send + Sync + 'static,
+    {
+        self.group = Some(Box::new(group));
+        self
+    }
+}
+
+/// A derived (instantaneous) output event definition.
+pub struct DerivedEventDef<Ctx, E, K, D> {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// `happensAt` rules producing the derived events.
+    pub rules: Vec<EventRule<Ctx, E, K, D>>,
+}
+
+impl<Ctx, E, K, D> DerivedEventDef<Ctx, E, K, D> {
+    /// An event with no rules yet.
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a `happensAt` rule.
+    #[must_use]
+    pub fn rule<Fun>(mut self, rule: Fun) -> Self
+    where
+        Fun: Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<D>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.rules.push(Box::new(rule));
+        self
+    }
+}
+
+/// A complete event description: fluents in stratification order plus
+/// derived events (evaluated last, over all triggers).
+pub struct EventDescription<Ctx, E, K, D, G = ()> {
+    /// Fluent definitions; index = stratum.
+    pub fluents: Vec<FluentDef<Ctx, E, K, G>>,
+    /// Derived event definitions.
+    pub events: Vec<DerivedEventDef<Ctx, E, K, D>>,
+}
+
+impl<Ctx, E, K, D, G> Default for EventDescription<Ctx, E, K, D, G> {
+    fn default() -> Self {
+        Self {
+            fluents: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
+impl<Ctx, E, K, D, G> EventDescription<Ctx, E, K, D, G> {
+    /// An empty description.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a fluent at the next stratum.
+    #[must_use]
+    pub fn fluent(mut self, def: FluentDef<Ctx, E, K, G>) -> Self {
+        self.fluents.push(def);
+        self
+    }
+
+    /// Appends a derived event definition.
+    #[must_use]
+    pub fn event(mut self, def: DerivedEventDef<Ctx, E, K, D>) -> Self {
+        self.events.push(def);
+        self
+    }
+}

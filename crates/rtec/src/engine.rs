@@ -1,0 +1,546 @@
+//! The windowed recognition engine.
+//!
+//! Implements the run-time behaviour of §4.2: recognition is performed at
+//! query times `Q₁, Q₂, …` over the working memory — the input events whose
+//! timestamps fall in `(Qᵢ − ω, Qᵢ]`. At each query the engine recomputes
+//! the maximal intervals of every declared fluent, stratum by stratum, and
+//! evaluates the derived-event rules. Because the computation always runs
+//! from the current window contents, events that arrive late (but still
+//! inside the window) are picked up on the next query — the delayed-event
+//! behaviour illustrated in Figure 5 — and out-of-order arrival needs no
+//! special handling.
+
+use std::collections::HashMap;
+
+use maritime_stream::{SlidingWindow, Timestamp, WindowSpec};
+
+use crate::description::{EventDescription, Trigger};
+use crate::intervals::IntervalList;
+use crate::view::View;
+
+/// The result of one recognition query.
+#[derive(Debug, Clone)]
+pub struct Recognition<K, D> {
+    /// Query time `Qᵢ`.
+    pub query_time: Timestamp,
+    /// Maximal intervals per fluent key. Open intervals (`until == None`)
+    /// are ongoing at `query_time`.
+    pub fluents: HashMap<K, IntervalList>,
+    /// Derived events, in time order.
+    pub events: Vec<(Timestamp, D)>,
+    /// Input events considered in this query (the working-memory size).
+    pub working_memory: usize,
+}
+
+/// The RTEC engine: static knowledge + event description + working memory.
+///
+/// ```
+/// use maritime_rtec::{
+///     Duration, Engine, EventDescription, FluentDef, Interval, Timestamp, Trigger, WindowSpec,
+/// };
+///
+/// // A one-fluent description: active(id) toggled by "on"/"off" events.
+/// #[derive(Clone, PartialEq)]
+/// enum Ev { On(u8), Off(u8) }
+/// let description = EventDescription::<(), Ev, u8, ()>::new().fluent(
+///     FluentDef::new("active")
+///         .initiated(|_, _, trig: Trigger<'_, Ev, u8>, _| match trig.input() {
+///             Some(Ev::On(id)) => vec![*id],
+///             _ => vec![],
+///         })
+///         .terminated(|_, _, trig: Trigger<'_, Ev, u8>, _| match trig.input() {
+///             Some(Ev::Off(id)) => vec![*id],
+///             _ => vec![],
+///         }),
+/// );
+///
+/// let spec = WindowSpec::new(Duration::hours(1), Duration::minutes(10)).unwrap();
+/// let mut engine = Engine::new((), description, spec);
+/// engine.add_events([(Timestamp(100), Ev::On(7)), (Timestamp(900), Ev::Off(7))]);
+/// let r = engine.recognize_at(Timestamp(1_000));
+/// assert_eq!(
+///     r.fluents[&7].intervals(),
+///     &[Interval::closed(Timestamp(100), Timestamp(900))]
+/// );
+/// ```
+pub struct Engine<Ctx, E, K, D, G = ()> {
+    ctx: Ctx,
+    description: EventDescription<Ctx, E, K, D, G>,
+    window: SlidingWindow<E>,
+    last_query: Option<Timestamp>,
+}
+
+impl<Ctx, E, K, D, G> Engine<Ctx, E, K, D, G>
+where
+    E: Clone,
+    K: Clone + Eq + std::hash::Hash + Ord,
+    G: Eq + std::hash::Hash,
+{
+    /// Creates an engine over the given static knowledge and description.
+    pub fn new(ctx: Ctx, description: EventDescription<Ctx, E, K, D, G>, spec: WindowSpec) -> Self {
+        Self {
+            ctx,
+            description,
+            window: SlidingWindow::new(spec),
+            last_query: None,
+        }
+    }
+
+    /// The static knowledge.
+    pub fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+
+    /// Streams one input event into the working memory. Arrival order is
+    /// free; the buffer keeps events sorted by timestamp.
+    pub fn add_event(&mut self, t: Timestamp, event: E) {
+        self.window.insert(t, event);
+    }
+
+    /// Streams a batch of events.
+    pub fn add_events(&mut self, events: impl IntoIterator<Item = (Timestamp, E)>) {
+        for (t, e) in events {
+            self.add_event(t, e);
+        }
+    }
+
+    /// Runs recognition at query time `q`: discards events at or before
+    /// `q − ω`, then computes all fluents and derived events from the
+    /// remaining working memory.
+    pub fn recognize_at(&mut self, q: Timestamp) -> Recognition<K, D> {
+        self.window.slide_to(q);
+        self.last_query = Some(q);
+
+        // Working-memory snapshot, time-ordered: only events inside
+        // (q - ω, q]. Events with later timestamps may already sit in the
+        // buffer (batch pre-loading, out-of-order delivery) but have not
+        // "happened" yet at this query time and must not participate.
+        let events: Vec<(Timestamp, &E)> =
+            self.window.iter().take_while(|(t, _)| *t <= q).collect();
+
+        // Triggers accumulated so far: input events plus start/end of
+        // already-computed strata. Kept sorted by (time, kind, key) for
+        // deterministic evaluation.
+        let mut computed: HashMap<K, IntervalList> = HashMap::new();
+        // start/end triggers: (timestamp, is_end, key)
+        let mut boundary: Vec<(Timestamp, bool, K)> = Vec::new();
+
+        for stratum in &self.description.fluents {
+            let view = View::new(&computed);
+            let mut initiations: HashMap<K, Vec<Timestamp>> = HashMap::new();
+            let mut terminations: HashMap<K, Vec<Timestamp>> = HashMap::new();
+
+            let apply = |trigger: Trigger<'_, E, K>, t: Timestamp,
+                             initiations: &mut HashMap<K, Vec<Timestamp>>,
+                             terminations: &mut HashMap<K, Vec<Timestamp>>,
+                             view: &View<'_, K>| {
+                for rule in &stratum.initiated_at {
+                    for key in rule(&self.ctx, view, trigger, t) {
+                        initiations.entry(key).or_default().push(t);
+                    }
+                }
+                for rule in &stratum.terminated_at {
+                    for key in rule(&self.ctx, view, trigger, t) {
+                        terminations.entry(key).or_default().push(t);
+                    }
+                }
+            };
+
+            // Merge input events and boundary triggers in time order so
+            // rules observe a coherent chronology.
+            let mut ei = 0usize;
+            let mut bi = 0usize;
+            while ei < events.len() || bi < boundary.len() {
+                let take_event = match (events.get(ei), boundary.get(bi)) {
+                    (Some((te, _)), Some((tb, _, _))) => te <= tb,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_event {
+                    let (t, e) = events[ei];
+                    apply(Trigger::Input(e), t, &mut initiations, &mut terminations, &view);
+                    ei += 1;
+                } else {
+                    let (t, is_end, key) = &boundary[bi];
+                    let trig = if *is_end {
+                        Trigger::End(key)
+                    } else {
+                        Trigger::Start(key)
+                    };
+                    apply(trig, *t, &mut initiations, &mut terminations, &view);
+                    bi += 1;
+                }
+            }
+
+            // Rule (2): initiating one value of a grouped fluent instance
+            // terminates every other value of the same instance.
+            if let Some(group_fn) = &stratum.group {
+                let mut groups: HashMap<G, Vec<K>> = HashMap::new();
+                for key in initiations.keys() {
+                    groups.entry(group_fn(key)).or_default().push(key.clone());
+                }
+                let mut extra: Vec<(K, Timestamp)> = Vec::new();
+                for members in groups.values() {
+                    if members.len() < 2 {
+                        continue;
+                    }
+                    for initiator in members {
+                        for t in &initiations[initiator] {
+                            for other in members {
+                                if other != initiator {
+                                    extra.push((other.clone(), *t));
+                                }
+                            }
+                        }
+                    }
+                }
+                for (key, t) in extra {
+                    terminations.entry(key).or_default().push(t);
+                }
+            }
+
+            // Build maximal intervals per key and emit boundary triggers.
+            let mut keys: Vec<K> = initiations.keys().cloned().collect();
+            keys.sort();
+            for key in keys {
+                let mut inits = initiations.remove(&key).unwrap_or_default();
+                inits.sort();
+                inits.dedup();
+                let mut terms = terminations.remove(&key).unwrap_or_default();
+                terms.sort();
+                terms.dedup();
+                let il = IntervalList::from_points(&inits, &terms, None);
+                for iv in il.intervals() {
+                    boundary.push((iv.since, false, key.clone()));
+                    if let Some(u) = iv.until {
+                        boundary.push((u, true, key.clone()));
+                    }
+                }
+                computed.insert(key, il);
+            }
+            boundary.sort_by_key(|a| (a.0, a.1));
+        }
+
+        // Derived events, over the full trigger chronology.
+        let view = View::new(&computed);
+        let mut derived: Vec<(Timestamp, D)> = Vec::new();
+        for def in &self.description.events {
+            let mut ei = 0usize;
+            let mut bi = 0usize;
+            while ei < events.len() || bi < boundary.len() {
+                let take_event = match (events.get(ei), boundary.get(bi)) {
+                    (Some((te, _)), Some((tb, _, _))) => te <= tb,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let (trigger, t) = if take_event {
+                    let (t, e) = events[ei];
+                    ei += 1;
+                    (Trigger::Input(e), t)
+                } else {
+                    let (t, is_end, key) = &boundary[bi];
+                    bi += 1;
+                    let trig = if *is_end {
+                        Trigger::End(key)
+                    } else {
+                        Trigger::Start(key)
+                    };
+                    (trig, *t)
+                };
+                for rule in &def.rules {
+                    for d in rule(&self.ctx, &view, trigger, t) {
+                        derived.push((t, d));
+                    }
+                }
+            }
+        }
+        derived.sort_by_key(|(t, _)| *t);
+
+        Recognition {
+            query_time: q,
+            fluents: computed,
+            events: derived,
+            working_memory: events.len(),
+        }
+    }
+
+    /// Runs recognition at every query time of the window spec between
+    /// `origin` and `until`, returning one [`Recognition`] per query.
+    pub fn recognize_stream(
+        &mut self,
+        origin: Timestamp,
+        until: Timestamp,
+    ) -> Vec<Recognition<K, D>> {
+        let spec = self.window.spec();
+        spec.query_times(origin, until)
+            .into_iter()
+            .map(|q| self.recognize_at(q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::{DerivedEventDef, FluentDef};
+    use crate::intervals::Interval;
+    use maritime_stream::Duration;
+
+    /// Toy domain: a machine emits `on(id)` / `off(id)` / `ping(id)`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Ev {
+        On(u32),
+        Off(u32),
+        SetMode(u32, &'static str),
+    }
+
+    /// Fluent keys: active(id)=true, mode(id)=value.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    enum Key {
+        Active(u32),
+        Mode(u32, &'static str),
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Out {
+        Activated(u32),
+        AllQuiet(u32),
+    }
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    fn spec(range: i64, slide: i64) -> WindowSpec {
+        WindowSpec::new(Duration::secs(range), Duration::secs(slide)).unwrap()
+    }
+
+    fn active_fluent() -> FluentDef<(), Ev, Key, u32> {
+        FluentDef::new("active")
+            .initiated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+                Some(Ev::On(id)) => vec![Key::Active(*id)],
+                _ => vec![],
+            })
+            .terminated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+                Some(Ev::Off(id)) => vec![Key::Active(*id)],
+                _ => vec![],
+            })
+    }
+
+    fn description() -> EventDescription<(), Ev, Key, Out, u32> {
+        EventDescription::new().fluent(active_fluent())
+    }
+
+    #[test]
+    fn simple_fluent_intervals() {
+        let mut engine = Engine::new((), description(), spec(1_000, 100));
+        engine.add_events([
+            (t(10), Ev::On(1)),
+            (t(50), Ev::Off(1)),
+            (t(70), Ev::On(1)),
+        ]);
+        let r = engine.recognize_at(t(100));
+        let il = &r.fluents[&Key::Active(1)];
+        assert_eq!(
+            il.intervals(),
+            &[Interval::closed(t(10), t(50)), Interval::open(t(70))]
+        );
+        assert_eq!(r.working_memory, 3);
+    }
+
+    #[test]
+    fn inertia_carries_value_between_events() {
+        let mut engine = Engine::new((), description(), spec(1_000, 100));
+        engine.add_event(t(10), Ev::On(1));
+        let r = engine.recognize_at(t(500));
+        assert!(r.fluents[&Key::Active(1)].holds_at(t(499)));
+    }
+
+    #[test]
+    fn window_discards_old_events() {
+        let mut engine = Engine::new((), description(), spec(100, 50));
+        engine.add_event(t(10), Ev::On(1));
+        // At q=200 the On event (t=10 <= 200-100) is gone: no intervals.
+        let r = engine.recognize_at(t(200));
+        assert!(!r.fluents.contains_key(&Key::Active(1)));
+        assert_eq!(r.working_memory, 0);
+    }
+
+    #[test]
+    fn delayed_events_incorporated_at_next_query() {
+        let mut engine = Engine::new((), description(), spec(200, 50));
+        engine.add_event(t(10), Ev::On(1));
+        let r1 = engine.recognize_at(t(50));
+        assert_eq!(r1.fluents[&Key::Active(1)].intervals(), &[Interval::open(t(10))]);
+        // The Off at t=40 arrives late, after Q=50 but within the window.
+        engine.add_event(t(40), Ev::Off(1));
+        let r2 = engine.recognize_at(t(100));
+        assert_eq!(
+            r2.fluents[&Key::Active(1)].intervals(),
+            &[Interval::closed(t(10), t(40))]
+        );
+    }
+
+    #[test]
+    fn multivalue_fluent_rule_2_cross_termination() {
+        // mode(id) = v: initiating one value terminates the others.
+        let mode = FluentDef::new("mode")
+            .initiated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+                Some(Ev::SetMode(id, m)) => vec![Key::Mode(*id, m)],
+                _ => vec![],
+            })
+            .grouped(|k: &Key| match k {
+                Key::Mode(id, _) => *id,
+                Key::Active(id) => *id,
+            });
+        let desc: EventDescription<(), Ev, Key, Out, u32> =
+            EventDescription::new().fluent(mode);
+        let mut engine = Engine::new((), desc, spec(1_000, 100));
+        engine.add_events([
+            (t(10), Ev::SetMode(1, "eco")),
+            (t(60), Ev::SetMode(1, "boost")),
+        ]);
+        let r = engine.recognize_at(t(100));
+        assert_eq!(
+            r.fluents[&Key::Mode(1, "eco")].intervals(),
+            &[Interval::closed(t(10), t(60))]
+        );
+        assert_eq!(
+            r.fluents[&Key::Mode(1, "boost")].intervals(),
+            &[Interval::open(t(60))]
+        );
+        // Never two values at once.
+        for probe in [15, 60, 70, 99] {
+            let eco = r.fluents[&Key::Mode(1, "eco")].holds_at(t(probe));
+            let boost = r.fluents[&Key::Mode(1, "boost")].holds_at(t(probe));
+            assert!(!(eco && boost), "both values hold at {probe}");
+        }
+    }
+
+    #[test]
+    fn stratified_fluent_triggered_by_start_of_lower_stratum() {
+        // alarm(id) = true from the moment active(id) starts, terminated
+        // when active(id) ends. Uses the built-in start/end triggers.
+        let alarm = FluentDef::new("alarm")
+            .initiated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.started() {
+                Some(Key::Active(id)) => vec![Key::Mode(*id, "alarm")],
+                _ => vec![],
+            })
+            .terminated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.ended() {
+                Some(Key::Active(id)) => vec![Key::Mode(*id, "alarm")],
+                _ => vec![],
+            });
+        let desc: EventDescription<(), Ev, Key, Out, u32> =
+            EventDescription::new().fluent(active_fluent()).fluent(alarm);
+        let mut engine = Engine::new((), desc, spec(1_000, 100));
+        engine.add_events([(t(10), Ev::On(7)), (t(80), Ev::Off(7))]);
+        let r = engine.recognize_at(t(100));
+        assert_eq!(
+            r.fluents[&Key::Mode(7, "alarm")].intervals(),
+            &[Interval::closed(t(10), t(80))]
+        );
+    }
+
+    #[test]
+    fn derived_events_fire_on_triggers() {
+        let activated = DerivedEventDef::new("activated")
+            .rule(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.started() {
+                Some(Key::Active(id)) => vec![Out::Activated(*id)],
+                _ => vec![],
+            });
+        let quiet = DerivedEventDef::new("all_quiet")
+            .rule(|_, view: &View<'_, Key>, trig: Trigger<'_, Ev, Key>, t| {
+                match trig.ended() {
+                    Some(Key::Active(id))
+                        if view.count_holding_at(
+                            t + Duration::secs(1),
+                            |k| matches!(k, Key::Active(_)),
+                        ) == 0 =>
+                    {
+                        vec![Out::AllQuiet(*id)]
+                    }
+                    _ => vec![],
+                }
+            });
+        let desc = EventDescription::new()
+            .fluent(active_fluent())
+            .event(activated)
+            .event(quiet);
+        let mut engine = Engine::new((), desc, spec(1_000, 100));
+        engine.add_events([
+            (t(10), Ev::On(1)),
+            (t(20), Ev::On(2)),
+            (t(50), Ev::Off(1)),
+            (t(90), Ev::Off(2)),
+        ]);
+        let r = engine.recognize_at(t(100));
+        assert_eq!(
+            r.events,
+            vec![
+                (t(10), Out::Activated(1)),
+                (t(20), Out::Activated(2)),
+                (t(90), Out::AllQuiet(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn future_events_do_not_participate() {
+        // Events pre-loaded with timestamps after the query time have not
+        // happened yet: recognition at q must ignore them entirely.
+        let mut engine = Engine::new((), description(), spec(1_000, 100));
+        engine.add_events([(t(10), Ev::On(1)), (t(500), Ev::Off(1))]);
+        let r = engine.recognize_at(t(100));
+        assert_eq!(r.working_memory, 1);
+        assert_eq!(
+            r.fluents[&Key::Active(1)].intervals(),
+            &[Interval::open(t(10))],
+            "the future Off must not close the interval yet"
+        );
+        // Once the query time passes the Off, it takes effect.
+        let r = engine.recognize_at(t(600));
+        assert_eq!(
+            r.fluents[&Key::Active(1)].intervals(),
+            &[Interval::closed(t(10), t(500))]
+        );
+    }
+
+    #[test]
+    fn recognize_stream_runs_every_query_time() {
+        let mut engine = Engine::new((), description(), spec(100, 50));
+        engine.add_events([(t(10), Ev::On(1)), (t(120), Ev::Off(1))]);
+        let rs = engine.recognize_stream(t(0), t(200));
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs[0].query_time, t(50));
+        // At q=50 and q=100 the fluent is ongoing.
+        assert!(rs[0].fluents[&Key::Active(1)].holds_at(t(49)));
+        // At q=150, the On event (t=10 <= 150-100) has been evicted; the
+        // Off at 120 alone initiates nothing.
+        assert!(!rs[2].fluents.contains_key(&Key::Active(1)));
+    }
+
+    #[test]
+    fn out_of_order_insertion_is_equivalent_to_sorted() {
+        let run = |events: Vec<(Timestamp, Ev)>| {
+            let mut engine = Engine::new((), description(), spec(1_000, 100));
+            engine.add_events(events);
+            let r = engine.recognize_at(t(500));
+            r.fluents[&Key::Active(1)].clone()
+        };
+        let sorted = run(vec![
+            (t(10), Ev::On(1)),
+            (t(50), Ev::Off(1)),
+            (t(80), Ev::On(1)),
+            (t(120), Ev::Off(1)),
+        ]);
+        let shuffled = run(vec![
+            (t(80), Ev::On(1)),
+            (t(10), Ev::On(1)),
+            (t(120), Ev::Off(1)),
+            (t(50), Ev::Off(1)),
+        ]);
+        assert_eq!(sorted, shuffled);
+    }
+}

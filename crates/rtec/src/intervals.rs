@@ -1,0 +1,478 @@
+//! Maximal intervals and interval-list algebra.
+//!
+//! `holdsFor(F=V, I)` represents "I is the list of the maximal intervals
+//! for which F=V holds continuously" (Table 1). Following the Event
+//! Calculus convention, a fluent initiated at `Ts` and first broken at `Tf`
+//! holds at every `T` with `Ts < T ≤ Tf`: the interval is left-open /
+//! right-closed, `start(F=V)` occurs at `Ts` and `end(F=V)` at `Tf`.
+
+use maritime_stream::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One maximal interval `(since, until]`. `until = None` means the fluent
+/// still holds at the current query time (an open interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// The initiation point `Ts`; the fluent holds *after* this point.
+    pub since: Timestamp,
+    /// The first breaking point `Tf`, inclusive; `None` while unbroken.
+    pub until: Option<Timestamp>,
+}
+
+impl Interval {
+    /// A closed interval `(since, until]`.
+    #[must_use]
+    pub fn closed(since: Timestamp, until: Timestamp) -> Self {
+        Self {
+            since,
+            until: Some(until),
+        }
+    }
+
+    /// An open interval `(since, ∞)`.
+    #[must_use]
+    pub fn open(since: Timestamp) -> Self {
+        Self { since, until: None }
+    }
+
+    /// `holdsAt`: whether the fluent holds at `t` under this interval.
+    #[must_use]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t > self.since && self.until.is_none_or(|u| t <= u)
+    }
+
+    /// Duration in seconds; `None` for open intervals.
+    #[must_use]
+    pub fn duration_secs(&self) -> Option<i64> {
+        self.until.map(|u| u.as_secs() - self.since.as_secs())
+    }
+
+    /// Whether the interval is empty (closed with `until ≤ since`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.until.is_some_and(|u| u <= self.since)
+    }
+}
+
+/// A sorted list of disjoint, non-adjacent maximal intervals.
+///
+/// ```
+/// use maritime_rtec::{Interval, IntervalList, Timestamp};
+///
+/// // The paper's example: initiated at 10 and 20, terminated at 25 and 30
+/// // -> F=V holds at all T with 10 < T <= 25.
+/// let il = IntervalList::from_points(
+///     &[Timestamp(10), Timestamp(20)],
+///     &[Timestamp(25), Timestamp(30)],
+///     None,
+/// );
+/// assert_eq!(il.intervals(), &[Interval::closed(Timestamp(10), Timestamp(25))]);
+/// assert!(il.holds_at(Timestamp(25)));
+/// assert!(!il.holds_at(Timestamp(26)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalList {
+    items: Vec<Interval>,
+}
+
+impl IntervalList {
+    /// The empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a list from arbitrary intervals: drops empties, sorts, and
+    /// merges overlapping or touching intervals into maximal ones.
+    #[must_use]
+    pub fn from_intervals(mut intervals: Vec<Interval>) -> Self {
+        intervals.retain(|i| !i.is_empty());
+        intervals.sort_by_key(|i| i.since);
+        let mut items: Vec<Interval> = Vec::with_capacity(intervals.len());
+        for iv in intervals {
+            match items.last_mut() {
+                // Merge when the new interval starts inside (or exactly at
+                // the end of) the previous one: (a, b] ∪ (c, d] with c ≤ b.
+                Some(last) if last.until.is_none() => {
+                    // Previous is open: it swallows everything after it.
+                }
+                Some(last) if iv.since <= last.until.expect("closed") => {
+                    last.until = match (last.until, iv.until) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    };
+                }
+                _ => items.push(iv),
+            }
+        }
+        Self { items }
+    }
+
+    /// Builds maximal intervals from sorted initiation and termination
+    /// points — the core of `holdsFor` (§4.1): for each initiation `Ts`,
+    /// find the first breaking point after `Ts`; everything in between is
+    /// one maximal interval. Breaking points that precede any initiation
+    /// are ignored. `horizon` closes the last interval for reporting when
+    /// the fluent is still ongoing (`None` keeps it open).
+    #[must_use]
+    pub fn from_points(
+        initiations: &[Timestamp],
+        terminations: &[Timestamp],
+        _horizon: Option<Timestamp>,
+    ) -> Self {
+        debug_assert!(initiations.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(terminations.windows(2).all(|w| w[0] <= w[1]));
+        let mut items = Vec::new();
+        let mut ti = 0usize;
+        let mut open_since: Option<Timestamp> = None;
+        for &ts in initiations {
+            if let Some(since) = open_since {
+                // Already open: check whether a termination closed it
+                // before this initiation re-fires.
+                while ti < terminations.len() && terminations[ti] <= since {
+                    ti += 1;
+                }
+                if ti < terminations.len() && terminations[ti] < ts {
+                    items.push(Interval::closed(since, terminations[ti]));
+                    // open_since is re-assigned below; the fall-through
+                    // while-loop also advances ti past the used point.
+                } else {
+                    // A termination at exactly this initiation point is
+                    // cancelled: the fluent is terminated and re-initiated
+                    // at the same instant, so the maximal interval runs
+                    // straight through ((a, ts] ∪ (ts, …) is contiguous).
+                    while ti < terminations.len() && terminations[ti] == ts {
+                        ti += 1;
+                    }
+                    // Still open; the re-initiation itself has no effect.
+                    continue;
+                }
+            }
+            // Not open: start a new interval at ts, unless a termination at
+            // the very same point kills it (termination at the initiation
+            // point yields an empty interval, which is dropped).
+            while ti < terminations.len() && terminations[ti] <= ts {
+                ti += 1;
+            }
+            open_since = Some(ts);
+        }
+        if let Some(since) = open_since {
+            while ti < terminations.len() && terminations[ti] <= since {
+                ti += 1;
+            }
+            if ti < terminations.len() {
+                items.push(Interval::closed(since, terminations[ti]));
+            } else {
+                items.push(Interval::open(since));
+            }
+        }
+        Self { items }
+    }
+
+    /// The intervals, in time order.
+    #[must_use]
+    pub fn intervals(&self) -> &[Interval] {
+        &self.items
+    }
+
+    /// Number of maximal intervals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no intervals.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `holdsAt`: binary search over the maximal intervals.
+    #[must_use]
+    pub fn holds_at(&self, t: Timestamp) -> bool {
+        let idx = self.items.partition_point(|i| i.since < t);
+        // Candidate: the last interval starting before t.
+        idx > 0 && self.items[idx - 1].contains(t)
+    }
+
+    /// Union of two interval lists.
+    #[must_use]
+    pub fn union(&self, other: &IntervalList) -> IntervalList {
+        let mut all = self.items.clone();
+        all.extend(other.items.iter().copied());
+        IntervalList::from_intervals(all)
+    }
+
+    /// Intersection of two interval lists.
+    #[must_use]
+    pub fn intersect(&self, other: &IntervalList) -> IntervalList {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.items.len() && j < other.items.len() {
+            let a = self.items[i];
+            let b = other.items[j];
+            let since = a.since.max(b.since);
+            let until = match (a.until, b.until) {
+                (None, None) => None,
+                (Some(x), None) => Some(x),
+                (None, Some(y)) => Some(y),
+                (Some(x), Some(y)) => Some(x.min(y)),
+            };
+            let candidate = Interval { since, until };
+            if !candidate.is_empty() && until.is_none_or(|u| u > since) {
+                out.push(candidate);
+            }
+            // Advance whichever ends first.
+            match (a.until, b.until) {
+                (Some(x), Some(y)) => {
+                    if x <= y {
+                        i += 1;
+                    } else {
+                        j += 1;
+                    }
+                }
+                (Some(_), None) => i += 1,
+                (None, Some(_)) => j += 1,
+                (None, None) => break,
+            }
+        }
+        IntervalList { items: out }
+    }
+
+    /// Relative complement within `(window_start, horizon]`: the maximal
+    /// intervals where the fluent does *not* hold.
+    #[must_use]
+    pub fn complement(&self, window_start: Timestamp, horizon: Timestamp) -> IntervalList {
+        let mut out = Vec::new();
+        let mut cursor = window_start;
+        for iv in &self.items {
+            if iv.since > cursor {
+                out.push(Interval::closed(cursor, iv.since.min(horizon)));
+            }
+            match iv.until {
+                Some(u) => cursor = cursor.max(u),
+                None => {
+                    cursor = horizon;
+                    break;
+                }
+            }
+            if cursor >= horizon {
+                break;
+            }
+        }
+        if cursor < horizon {
+            out.push(Interval::closed(cursor, horizon));
+        }
+        IntervalList::from_intervals(out)
+    }
+
+    /// Clips every interval to `(cutoff, horizon]`, closing open intervals
+    /// at `horizon`. Used when reporting window-relative results.
+    #[must_use]
+    pub fn clip(&self, cutoff: Timestamp, horizon: Timestamp) -> IntervalList {
+        let items = self
+            .items
+            .iter()
+            .filter_map(|iv| {
+                let since = iv.since.max(cutoff);
+                let until = Some(iv.until.map_or(horizon, |u| u.min(horizon)));
+                let c = Interval { since, until };
+                (!c.is_empty()).then_some(c)
+            })
+            .collect();
+        IntervalList { items }
+    }
+
+    /// Total closed duration in seconds (open intervals contribute zero).
+    #[must_use]
+    pub fn total_duration_secs(&self) -> i64 {
+        self.items
+            .iter()
+            .filter_map(Interval::duration_secs)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    #[test]
+    fn interval_contains_is_left_open_right_closed() {
+        let iv = Interval::closed(t(10), t(25));
+        assert!(!iv.contains(t(10)));
+        assert!(iv.contains(t(11)));
+        assert!(iv.contains(t(25)));
+        assert!(!iv.contains(t(26)));
+    }
+
+    #[test]
+    fn open_interval_contains_everything_after_since() {
+        let iv = Interval::open(t(10));
+        assert!(!iv.contains(t(10)));
+        assert!(iv.contains(t(1_000_000)));
+        assert_eq!(iv.duration_secs(), None);
+    }
+
+    #[test]
+    fn paper_example_initiations_10_20_terminations_25_30() {
+        // "Suppose that F=V is initiated at time-points 10 and 20 and
+        // terminated at time-points 25 and 30 ... F=V holds at all T such
+        // that 10 < T <= 25. The event start(F=V) takes place at 10 ... and
+        // end(F=V) takes place at 25 and at no other time-point."
+        let il = IntervalList::from_points(&[t(10), t(20)], &[t(25), t(30)], None);
+        assert_eq!(il.intervals(), &[Interval::closed(t(10), t(25))]);
+        assert!(!il.holds_at(t(10)));
+        assert!(il.holds_at(t(15)));
+        assert!(il.holds_at(t(25)));
+        assert!(!il.holds_at(t(26)));
+    }
+
+    #[test]
+    fn unterminated_initiation_yields_open_interval() {
+        let il = IntervalList::from_points(&[t(5)], &[], None);
+        assert_eq!(il.intervals(), &[Interval::open(t(5))]);
+        assert!(il.holds_at(t(100)));
+    }
+
+    #[test]
+    fn termination_before_any_initiation_is_ignored() {
+        let il = IntervalList::from_points(&[t(20)], &[t(10), t(30)], None);
+        assert_eq!(il.intervals(), &[Interval::closed(t(20), t(30))]);
+    }
+
+    #[test]
+    fn termination_at_initiation_point_does_not_break() {
+        // Rule (1): broken(F=V, Ts, T) needs Ts < Tf <= T, so a
+        // termination at exactly the initiation point has no effect and
+        // the fluent holds from Ts on.
+        let il = IntervalList::from_points(&[t(10)], &[t(10)], None);
+        assert_eq!(il.intervals(), &[Interval::open(t(10))]);
+    }
+
+    #[test]
+    fn alternating_points_build_multiple_intervals() {
+        let il = IntervalList::from_points(
+            &[t(10), t(40), t(80)],
+            &[t(20), t(60), t(90)],
+            None,
+        );
+        assert_eq!(
+            il.intervals(),
+            &[
+                Interval::closed(t(10), t(20)),
+                Interval::closed(t(40), t(60)),
+                Interval::closed(t(80), t(90)),
+            ]
+        );
+    }
+
+    #[test]
+    fn from_intervals_merges_overlaps() {
+        let il = IntervalList::from_intervals(vec![
+            Interval::closed(t(10), t(20)),
+            Interval::closed(t(15), t(30)),
+            Interval::closed(t(40), t(50)),
+            Interval::closed(t(50), t(60)), // touching: merges
+        ]);
+        assert_eq!(
+            il.intervals(),
+            &[Interval::closed(t(10), t(30)), Interval::closed(t(40), t(60))]
+        );
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = IntervalList::from_intervals(vec![Interval::closed(t(0), t(10))]);
+        let b = IntervalList::from_intervals(vec![Interval::closed(t(5), t(20))]);
+        assert_eq!(
+            a.union(&b).intervals(),
+            &[Interval::closed(t(0), t(20))]
+        );
+        assert_eq!(
+            a.intersect(&b).intervals(),
+            &[Interval::closed(t(5), t(10))]
+        );
+    }
+
+    #[test]
+    fn intersection_with_open_interval() {
+        let a = IntervalList::from_intervals(vec![Interval::open(t(10))]);
+        let b = IntervalList::from_intervals(vec![Interval::closed(t(5), t(30))]);
+        assert_eq!(a.intersect(&b).intervals(), &[Interval::closed(t(10), t(30))]);
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let a = IntervalList::from_intervals(vec![Interval::closed(t(0), t(10))]);
+        let b = IntervalList::from_intervals(vec![Interval::closed(t(20), t(30))]);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn complement_fills_the_gaps() {
+        let a = IntervalList::from_intervals(vec![
+            Interval::closed(t(10), t(20)),
+            Interval::closed(t(40), t(50)),
+        ]);
+        let c = a.complement(t(0), t(60));
+        assert_eq!(
+            c.intervals(),
+            &[
+                Interval::closed(t(0), t(10)),
+                Interval::closed(t(20), t(40)),
+                Interval::closed(t(50), t(60)),
+            ]
+        );
+    }
+
+    #[test]
+    fn complement_of_empty_is_whole_window() {
+        let c = IntervalList::new().complement(t(0), t(100));
+        assert_eq!(c.intervals(), &[Interval::closed(t(0), t(100))]);
+    }
+
+    #[test]
+    fn clip_closes_open_intervals_at_horizon() {
+        let a = IntervalList::from_intervals(vec![Interval::open(t(10))]);
+        let clipped = a.clip(t(0), t(50));
+        assert_eq!(clipped.intervals(), &[Interval::closed(t(10), t(50))]);
+    }
+
+    #[test]
+    fn clip_drops_intervals_fully_before_cutoff() {
+        let a = IntervalList::from_intervals(vec![
+            Interval::closed(t(0), t(10)),
+            Interval::closed(t(20), t(30)),
+        ]);
+        let clipped = a.clip(t(15), t(100));
+        assert_eq!(clipped.intervals(), &[Interval::closed(t(20), t(30))]);
+    }
+
+    #[test]
+    fn total_duration_sums_closed_intervals() {
+        let a = IntervalList::from_intervals(vec![
+            Interval::closed(t(0), t(10)),
+            Interval::closed(t(20), t(35)),
+            Interval::open(t(50)),
+        ]);
+        assert_eq!(a.total_duration_secs(), 25);
+    }
+
+    #[test]
+    fn holds_at_uses_binary_search_correctly() {
+        let il = IntervalList::from_points(
+            &(0..100).map(|i| t(i * 10)).collect::<Vec<_>>(),
+            &(0..100).map(|i| t(i * 10 + 5)).collect::<Vec<_>>(),
+            None,
+        );
+        assert!(il.holds_at(t(13)));
+        assert!(il.holds_at(t(15)));
+        assert!(!il.holds_at(t(17)));
+        assert!(!il.holds_at(t(10)));
+    }
+}

@@ -1,0 +1,41 @@
+//! RTEC — the Event Calculus for Run-Time reasoning, in Rust.
+//!
+//! Re-implements the recognition core of §4 of the paper (after Artikis,
+//! Sergot & Paliouras, "An event calculus for event recognition", TKDE
+//! 2014): a linear integer time model, *events* (`happensAt`) and *fluents*
+//! (`holdsAt`/`holdsFor`) whose values persist by inertia, with
+//! domain-specific `initiatedAt`/`terminatedAt` rules and the `broken`
+//! semantics of rules (1) and (2):
+//!
+//! * a fluent value `F=V` holds at `T` if it was initiated at some `Ts < T`
+//!   and not *broken* in `(Ts, T]`;
+//! * it is broken by a `terminatedAt(F=V, Tf)` or by `initiatedAt(F=V', Tf)`
+//!   for a different value `V'` of the same fluent instance — a fluent can
+//!   never hold two values at once.
+//!
+//! Recognition runs at query times `Q₁, Q₂, …` over a working memory that
+//! holds only the events inside the sliding window `(Qᵢ − ω, Qᵢ]`; all
+//! earlier events are discarded, making the cost per query depend on ω, not
+//! on the stream history (§4.2, Figure 5). Delayed events that arrive
+//! within the window are incorporated on the next query — out-of-order
+//! input needs no special casing because intervals are recomputed from the
+//! window contents.
+//!
+//! The logic-programming surface syntax of RTEC is replaced by a typed rule
+//! API ([`description`]): fluents and derived events are declared as Rust
+//! values whose initiation/termination conditions are closures over the
+//! trigger event, the static knowledge `Ctx`, and a [`View`] of the fluents
+//! already computed at lower strata.
+
+#![warn(missing_docs)]
+
+pub mod description;
+pub mod engine;
+pub mod intervals;
+pub mod view;
+
+pub use description::{DerivedEventDef, EventDescription, FluentDef, Trigger};
+pub use engine::{Engine, Recognition};
+pub use intervals::{Interval, IntervalList};
+pub use maritime_stream::{Duration, Timestamp, WindowSpec};
+pub use view::View;

@@ -1,0 +1,124 @@
+//! Read view over already-computed fluent intervals.
+//!
+//! Rules at stratum *n* consult the maximal intervals of fluents computed
+//! at strata `< n` through this view — the `holdsAt`/`holdsFor` queries of
+//! Table 1, plus the aggregate count used by `vesselsStoppedIn(Area)` in
+//! rule-set (3).
+
+use std::collections::HashMap;
+
+use maritime_stream::Timestamp;
+
+use crate::intervals::IntervalList;
+
+/// A read-only snapshot of fluent intervals computed so far in the current
+/// recognition pass.
+pub struct View<'a, K> {
+    fluents: &'a HashMap<K, IntervalList>,
+}
+
+impl<'a, K: std::hash::Hash + Eq> View<'a, K> {
+    /// Wraps a computed-fluent map.
+    #[must_use]
+    pub fn new(fluents: &'a HashMap<K, IntervalList>) -> Self {
+        Self { fluents }
+    }
+
+    /// `holdsFor(F=V, I)`: the maximal intervals of `key`, empty if the
+    /// fluent was never initiated.
+    #[must_use]
+    pub fn holds_for(&self, key: &K) -> &IntervalList {
+        static EMPTY: once_empty::Empty = once_empty::Empty;
+        self.fluents.get(key).unwrap_or(EMPTY.get())
+    }
+
+    /// `holdsAt(F=V, T)`.
+    #[must_use]
+    pub fn holds_at(&self, key: &K, t: Timestamp) -> bool {
+        self.fluents.get(key).is_some_and(|il| il.holds_at(t))
+    }
+
+    /// Counts the keys satisfying `pred` whose fluent holds at `t` — the
+    /// aggregate behind `vesselsStoppedIn(Area)=N`.
+    #[must_use]
+    pub fn count_holding_at(&self, t: Timestamp, mut pred: impl FnMut(&K) -> bool) -> usize {
+        self.fluents
+            .iter()
+            .filter(|(k, il)| pred(k) && il.holds_at(t))
+            .count()
+    }
+
+    /// Iterates over all computed `(key, intervals)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a K, &'a IntervalList)> {
+        self.fluents.iter()
+    }
+}
+
+/// A `static` empty [`IntervalList`] without `lazy_static`/`once_cell`
+/// dependencies: `IntervalList::default()` is const-constructible via an
+/// empty `Vec`, but `Default` is not const, so we keep one in a tiny
+/// module with interior immutability.
+mod once_empty {
+    use crate::intervals::IntervalList;
+    use std::sync::OnceLock;
+
+    pub struct Empty;
+
+    static CELL: OnceLock<IntervalList> = OnceLock::new();
+
+    impl Empty {
+        pub fn get(&self) -> &'static IntervalList {
+            CELL.get_or_init(IntervalList::new)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::Interval;
+
+    fn t(v: i64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    #[test]
+    fn holds_for_missing_key_is_empty() {
+        let map: HashMap<&str, IntervalList> = HashMap::new();
+        let view = View::new(&map);
+        assert!(view.holds_for(&"x").is_empty());
+        assert!(!view.holds_at(&"x", t(5)));
+    }
+
+    #[test]
+    fn holds_at_consults_intervals() {
+        let mut map = HashMap::new();
+        map.insert(
+            "stopped(v1)",
+            IntervalList::from_intervals(vec![Interval::closed(t(10), t(20))]),
+        );
+        let view = View::new(&map);
+        assert!(view.holds_at(&"stopped(v1)", t(15)));
+        assert!(!view.holds_at(&"stopped(v1)", t(25)));
+    }
+
+    #[test]
+    fn count_holding_at_filters_and_counts() {
+        let mut map = HashMap::new();
+        for (name, (a, b)) in [
+            ("stopped(v1)", (0, 100)),
+            ("stopped(v2)", (0, 10)),
+            ("moored(v3)", (0, 100)),
+        ] {
+            map.insert(
+                name,
+                IntervalList::from_intervals(vec![Interval::closed(t(a), t(b))]),
+            );
+        }
+        let view = View::new(&map);
+        let n = view.count_holding_at(t(50), |k| k.starts_with("stopped"));
+        assert_eq!(n, 1); // v2's interval ended at 10
+        let n = view.count_holding_at(t(5), |k| k.starts_with("stopped"));
+        assert_eq!(n, 2);
+    }
+}

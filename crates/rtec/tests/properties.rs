@@ -1,0 +1,197 @@
+//! Property-based tests for the interval algebra and engine semantics.
+
+use maritime_rtec::{
+    Duration, Engine, EventDescription, FluentDef, Interval, IntervalList, Timestamp, Trigger,
+    WindowSpec,
+};
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<Timestamp>> {
+    prop::collection::vec(0i64..1_000, 0..40).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v.into_iter().map(Timestamp).collect()
+    })
+}
+
+fn arb_interval_list() -> impl Strategy<Value = IntervalList> {
+    prop::collection::vec((0i64..1_000, 1i64..100), 0..20).prop_map(|spans| {
+        IntervalList::from_intervals(
+            spans
+                .into_iter()
+                .map(|(s, len)| Interval::closed(Timestamp(s), Timestamp(s + len)))
+                .collect(),
+        )
+    })
+}
+
+/// Reference `holdsAt` straight from the Event Calculus definition over
+/// initiation/termination points: the fluent holds at T iff there is an
+/// initiation Ts < T with no termination Tf satisfying Ts < Tf < T.
+/// (The interval is (Ts, Tf]: it still holds AT its termination point.)
+fn reference_holds(inits: &[Timestamp], terms: &[Timestamp], t: Timestamp) -> bool {
+    let Some(ts) = inits.iter().rev().find(|i| **i < t) else {
+        return false;
+    };
+    !terms.iter().any(|f| f > ts && *f < t)
+}
+
+proptest! {
+    #[test]
+    fn from_points_invariants(inits in arb_points(), terms in arb_points()) {
+        let il = IntervalList::from_points(&inits, &terms, None);
+        let ivs = il.intervals();
+        // Sorted and disjoint.
+        for w in ivs.windows(2) {
+            let prev_until = w[0].until.expect("only the last interval may be open");
+            prop_assert!(prev_until < w[1].since);
+        }
+        // No empty intervals.
+        for iv in ivs {
+            prop_assert!(!iv.is_empty());
+        }
+        // At most one open interval, and only at the end.
+        let opens = ivs.iter().filter(|i| i.until.is_none()).count();
+        prop_assert!(opens <= 1);
+        if opens == 1 {
+            prop_assert!(ivs.last().unwrap().until.is_none());
+        }
+    }
+
+    #[test]
+    fn from_points_matches_reference_semantics(
+        inits in arb_points(), terms in arb_points(), probes in arb_points()
+    ) {
+        let il = IntervalList::from_points(&inits, &terms, None);
+        for t in probes {
+            prop_assert_eq!(
+                il.holds_at(t),
+                reference_holds(&inits, &terms, t),
+                "probe {:?}, inits {:?}, terms {:?}", t, inits, terms
+            );
+        }
+    }
+
+    #[test]
+    fn union_is_commutative_and_contains_both(
+        a in arb_interval_list(), b in arb_interval_list()
+    ) {
+        let u1 = a.union(&b);
+        let u2 = b.union(&a);
+        prop_assert_eq!(&u1, &u2);
+        for t in (0..1_200).step_by(7) {
+            let ts = Timestamp(t);
+            prop_assert_eq!(u1.holds_at(ts), a.holds_at(ts) || b.holds_at(ts));
+        }
+    }
+
+    #[test]
+    fn intersection_is_pointwise_and(
+        a in arb_interval_list(), b in arb_interval_list()
+    ) {
+        let i = a.intersect(&b);
+        for t in (0..1_200).step_by(7) {
+            let ts = Timestamp(t);
+            prop_assert_eq!(
+                i.holds_at(ts),
+                a.holds_at(ts) && b.holds_at(ts),
+                "at {}", t
+            );
+        }
+    }
+
+    #[test]
+    fn complement_is_pointwise_not_inside_window(a in arb_interval_list()) {
+        let lo = Timestamp(0);
+        let hi = Timestamp(1_200);
+        let c = a.complement(lo, hi);
+        // Strictly inside the window, complement is pointwise negation.
+        for t in (1..1_200).step_by(7) {
+            let ts = Timestamp(t);
+            prop_assert_eq!(c.holds_at(ts), !a.holds_at(ts), "at {}", t);
+        }
+    }
+
+    #[test]
+    fn clip_bounds_everything(a in arb_interval_list(), lo in 0i64..500, len in 1i64..700) {
+        let hi = lo + len;
+        let clipped = a.clip(Timestamp(lo), Timestamp(hi));
+        for iv in clipped.intervals() {
+            prop_assert!(iv.since >= Timestamp(lo));
+            let until = iv.until.expect("clip closes all intervals");
+            prop_assert!(until <= Timestamp(hi));
+        }
+    }
+}
+
+// ---- engine-level properties ------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    On,
+    Off,
+}
+
+fn desc() -> EventDescription<(), Ev, u8, ()> {
+    EventDescription::new().fluent(
+        FluentDef::new("f")
+            .initiated(|_, _, trig: Trigger<'_, Ev, u8>, _| match trig.input() {
+                Some(Ev::On) => vec![0u8],
+                _ => vec![],
+            })
+            .terminated(|_, _, trig: Trigger<'_, Ev, u8>, _| match trig.input() {
+                Some(Ev::Off) => vec![0u8],
+                _ => vec![],
+            }),
+    )
+}
+
+proptest! {
+    #[test]
+    fn engine_is_insertion_order_independent(
+        events in prop::collection::vec((0i64..1_000, any::<bool>()), 1..50),
+        permutation_seed in any::<u64>(),
+    ) {
+        let canonical: Vec<(Timestamp, Ev)> = {
+            let mut v: Vec<_> = events
+                .iter()
+                .map(|(t, on)| (Timestamp(*t), if *on { Ev::On } else { Ev::Off }))
+                .collect();
+            v.sort_by_key(|(t, _)| *t);
+            v
+        };
+        // A deterministic shuffle.
+        let mut shuffled = canonical.clone();
+        let mut s = permutation_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            shuffled.swap(i, (s as usize) % (i + 1));
+        }
+
+        let spec = WindowSpec::new(Duration::secs(10_000), Duration::secs(10)).unwrap();
+        let run = |evs: Vec<(Timestamp, Ev)>| {
+            let mut e = Engine::new((), desc(), spec);
+            e.add_events(evs);
+            let r = e.recognize_at(Timestamp(5_000));
+            r.fluents.get(&0u8).cloned().unwrap_or_default()
+        };
+        prop_assert_eq!(run(canonical), run(shuffled));
+    }
+
+    #[test]
+    fn working_memory_never_exceeds_window_contents(
+        events in prop::collection::vec(0i64..2_000, 1..100),
+        range in 10i64..500,
+    ) {
+        let spec = WindowSpec::new(Duration::secs(range), Duration::secs(10)).unwrap();
+        let mut e = Engine::new((), desc(), spec);
+        e.add_events(events.iter().map(|t| (Timestamp(*t), Ev::On)));
+        let q = Timestamp(2_100);
+        let r = e.recognize_at(q);
+        let in_window = events
+            .iter()
+            .filter(|t| Timestamp(**t) > q - Duration::secs(range))
+            .count();
+        prop_assert_eq!(r.working_memory, in_window);
+    }
+}

@@ -1,0 +1,23 @@
+//! Sliding-window stream infrastructure.
+//!
+//! §2 of the paper: "this online process necessitates the use of a sliding
+//! window, which abstracts the time period of interest ... Typically, a
+//! window looks for phenomena that occurred in a recent range ω ... This
+//! window moves forward ... at a specific slide step every β units."
+//!
+//! This crate provides the time model ([`Timestamp`], [`Duration`]), window
+//! specifications ([`WindowSpec`]), a per-item sliding buffer
+//! ([`SlidingWindow`]), a batch replayer that turns a recorded stream into
+//! per-slide batches ([`SlideBatches`]), and arrival-rate rescaling used by
+//! the stress test of Figure 7 ([`rate`]).
+
+#![warn(missing_docs)]
+
+pub mod rate;
+pub mod slider;
+pub mod time;
+pub mod window;
+
+pub use slider::SlideBatches;
+pub use time::{Duration, Timestamp};
+pub use window::{SlidingWindow, WindowSpec, WindowSpecError};

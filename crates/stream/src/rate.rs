@@ -1,0 +1,100 @@
+//! Arrival-rate rescaling for the stress test of Figure 7.
+//!
+//! The original dataset has a mean arrival rate ρ of ~50 positions/sec. For
+//! the stress test the paper admits "bigger chunks of data for processing at
+//! considerably increased arrival rates up to ρ = 10,000 positions/sec" —
+//! i.e. it compresses stream time so the same positions arrive faster. This
+//! module implements that timestamp rescaling.
+
+use crate::time::Timestamp;
+
+/// Measures the mean arrival rate of a time-sorted stream in items/second.
+/// Returns `None` for streams spanning zero time.
+pub fn mean_rate<T>(items: &[(Timestamp, T)]) -> Option<f64> {
+    let first = items.first()?.0;
+    let last = items.last()?.0;
+    let span = (last.0 - first.0) as f64;
+    if span <= 0.0 {
+        return None;
+    }
+    Some(items.len() as f64 / span)
+}
+
+/// Rescales timestamps so the stream's mean arrival rate becomes
+/// `target_rate` items/second, preserving relative order and the relative
+/// spacing of reports. The first timestamp is preserved.
+pub fn rescale_to_rate<T: Clone>(
+    items: &[(Timestamp, T)],
+    target_rate: f64,
+) -> Vec<(Timestamp, T)> {
+    assert!(target_rate > 0.0, "target rate must be positive");
+    let Some(current) = mean_rate(items) else {
+        return items.to_vec();
+    };
+    let factor = current / target_rate;
+    let origin = items[0].0 .0;
+    items
+        .iter()
+        .map(|(t, v)| {
+            let scaled = origin as f64 + (t.0 - origin) as f64 * factor;
+            (Timestamp(scaled.round() as i64), v.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(ts: &[i64]) -> Vec<(Timestamp, u32)> {
+        ts.iter()
+            .enumerate()
+            .map(|(i, &t)| (Timestamp(t), i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn mean_rate_of_uniform_stream() {
+        // 11 items over 100 seconds -> 0.11 items/sec.
+        let s = stream(&(0..=10).map(|i| i * 10).collect::<Vec<_>>());
+        let r = mean_rate(&s).unwrap();
+        assert!((r - 0.11).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_rate_of_instant_stream_is_none() {
+        assert!(mean_rate(&stream(&[5, 5, 5])).is_none());
+        assert!(mean_rate::<u32>(&[]).is_none());
+    }
+
+    #[test]
+    fn rescale_achieves_target_rate() {
+        let s = stream(&(0..1_000).map(|i| i * 20).collect::<Vec<_>>());
+        let fast = rescale_to_rate(&s, 100.0);
+        let r = mean_rate(&fast).unwrap();
+        assert!((r - 100.0).abs() / 100.0 < 0.01, "got {r}");
+    }
+
+    #[test]
+    fn rescale_preserves_order_and_origin() {
+        let s = stream(&[100, 160, 220, 400]);
+        let fast = rescale_to_rate(&s, 1.0);
+        assert_eq!(fast[0].0, Timestamp(100));
+        for w in fast.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // Values (payloads) untouched.
+        assert_eq!(
+            fast.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn rescale_slowdown_also_works() {
+        let s = stream(&(0..100).collect::<Vec<_>>()); // ~1 item/sec
+        let slow = rescale_to_rate(&s, 0.1);
+        let r = mean_rate(&slow).unwrap();
+        assert!((r - 0.1).abs() / 0.1 < 0.05, "got {r}");
+    }
+}

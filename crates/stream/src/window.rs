@@ -1,0 +1,254 @@
+//! Window specifications and the per-item sliding buffer.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{Duration, Timestamp};
+
+/// A sliding-window specification: range ω and slide step β (§2).
+///
+/// "Typically it holds that β < ω; so, as time goes by, successive window
+/// instantiations may share positional tuples over their partially
+/// overlapping ranges." Equality (a tumbling window) is also allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Range ω: how far back the window reaches.
+    pub range: Duration,
+    /// Slide step β: how often the window advances.
+    pub slide: Duration,
+}
+
+impl WindowSpec {
+    /// Creates a spec, validating that both spans are positive and that the
+    /// slide does not exceed the range (the paper's delayed-event handling
+    /// in Figure 5 relies on β ≤ ω).
+    pub fn new(range: Duration, slide: Duration) -> Result<Self, WindowSpecError> {
+        if range.as_secs() <= 0 {
+            return Err(WindowSpecError::NonPositiveRange(range));
+        }
+        if slide.as_secs() <= 0 {
+            return Err(WindowSpecError::NonPositiveSlide(slide));
+        }
+        if slide > range {
+            return Err(WindowSpecError::SlideExceedsRange { range, slide });
+        }
+        Ok(Self { range, slide })
+    }
+
+    /// The query times Q₁, Q₂, … starting after `origin`: the first query
+    /// fires one slide after origin, then every β (§4.2).
+    #[must_use]
+    pub fn query_times(&self, origin: Timestamp, until: Timestamp) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        let mut q = origin + self.slide;
+        while q <= until {
+            out.push(q);
+            q = q + self.slide;
+        }
+        out
+    }
+
+    /// The half-open interval `(q - ω, q]` covered by the window at query
+    /// time `q`.
+    #[must_use]
+    pub fn coverage(&self, q: Timestamp) -> (Timestamp, Timestamp) {
+        (q - self.range, q)
+    }
+}
+
+/// Error constructing a [`WindowSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpecError {
+    /// Range ω must be positive.
+    NonPositiveRange(Duration),
+    /// Slide β must be positive.
+    NonPositiveSlide(Duration),
+    /// β must not exceed ω.
+    SlideExceedsRange {
+        /// The offending range.
+        range: Duration,
+        /// The offending slide.
+        slide: Duration,
+    },
+}
+
+impl std::fmt::Display for WindowSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonPositiveRange(r) => write!(f, "window range must be positive, got {r}"),
+            Self::NonPositiveSlide(s) => write!(f, "window slide must be positive, got {s}"),
+            Self::SlideExceedsRange { range, slide } => {
+                write!(f, "slide {slide} exceeds range {range}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WindowSpecError {}
+
+/// A time-ordered sliding buffer of timestamped items.
+///
+/// Items are appended in arrival order (which may lag stream time — the
+/// append-only AIS stream can deliver messages late, §4.2) and evicted when
+/// the window slides past them. Eviction returns the expired items so the
+/// caller can forward them as "delta" records to the staging area (§3.2).
+#[derive(Debug, Clone)]
+pub struct SlidingWindow<T> {
+    items: VecDeque<(Timestamp, T)>,
+    spec: WindowSpec,
+}
+
+impl<T> SlidingWindow<T> {
+    /// Creates an empty window with the given spec.
+    #[must_use]
+    pub fn new(spec: WindowSpec) -> Self {
+        Self {
+            items: VecDeque::new(),
+            spec,
+        }
+    }
+
+    /// The window specification.
+    #[must_use]
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Inserts an item, keeping the buffer sorted by timestamp.
+    ///
+    /// Fast path: in-order arrival appends at the back in O(1). Late
+    /// arrivals walk back from the end, so mild disorder stays cheap.
+    pub fn insert(&mut self, t: Timestamp, item: T) {
+        if self.items.back().is_none_or(|(bt, _)| *bt <= t) {
+            self.items.push_back((t, item));
+            return;
+        }
+        let pos = self.items.partition_point(|(it, _)| *it <= t);
+        self.items.insert(pos, (t, item));
+    }
+
+    /// Slides the window to query time `q`, evicting every item with
+    /// timestamp ≤ `q − ω` ("All MEs that took place before or at Qᵢ−ω are
+    /// discarded", §4.2). Returns the evicted items, oldest first.
+    pub fn slide_to(&mut self, q: Timestamp) -> Vec<(Timestamp, T)> {
+        let cutoff = q - self.spec.range;
+        let mut evicted = Vec::new();
+        while let Some((t, _)) = self.items.front() {
+            if *t <= cutoff {
+                let (t, item) = self.items.pop_front().expect("front exists");
+                evicted.push((t, item));
+            } else {
+                break;
+            }
+        }
+        evicted
+    }
+
+    /// Items currently in the window, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, &T)> {
+        self.items.iter().map(|(t, item)| (*t, item))
+    }
+
+    /// Items with timestamp strictly greater than `after`, oldest first.
+    /// Used to fetch "fresh" positions arrived since the previous slide.
+    pub fn iter_after(&self, after: Timestamp) -> impl Iterator<Item = (Timestamp, &T)> {
+        let start = self.items.partition_point(|(t, _)| *t <= after);
+        self.items.range(start..).map(|(t, item)| (*t, item))
+    }
+
+    /// Number of buffered items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(range_s: i64, slide_s: i64) -> WindowSpec {
+        WindowSpec::new(Duration::secs(range_s), Duration::secs(slide_s)).unwrap()
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(WindowSpec::new(Duration::secs(0), Duration::secs(1)).is_err());
+        assert!(WindowSpec::new(Duration::secs(10), Duration::secs(0)).is_err());
+        assert!(WindowSpec::new(Duration::secs(10), Duration::secs(20)).is_err());
+        assert!(WindowSpec::new(Duration::secs(10), Duration::secs(10)).is_ok());
+    }
+
+    #[test]
+    fn query_times_step_by_slide() {
+        let s = spec(60, 20);
+        assert_eq!(
+            s.query_times(Timestamp(0), Timestamp(65)),
+            vec![Timestamp(20), Timestamp(40), Timestamp(60)]
+        );
+    }
+
+    #[test]
+    fn coverage_is_range_wide() {
+        let s = spec(60, 20);
+        assert_eq!(s.coverage(Timestamp(100)), (Timestamp(40), Timestamp(100)));
+    }
+
+    #[test]
+    fn eviction_respects_half_open_interval() {
+        let mut w = SlidingWindow::new(spec(60, 20));
+        for t in [10, 40, 41, 100] {
+            w.insert(Timestamp(t), t);
+        }
+        // At q=100, cutoff is 40: items at 10 and exactly 40 are discarded.
+        let evicted = w.slide_to(Timestamp(100));
+        assert_eq!(
+            evicted.iter().map(|(t, _)| t.0).collect::<Vec<_>>(),
+            vec![10, 40]
+        );
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn late_arrivals_are_kept_sorted() {
+        let mut w = SlidingWindow::new(spec(100, 10));
+        w.insert(Timestamp(10), "a");
+        w.insert(Timestamp(30), "c");
+        w.insert(Timestamp(20), "b"); // late
+        let order: Vec<_> = w.iter().map(|(_, s)| *s).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn iter_after_returns_strictly_newer() {
+        let mut w = SlidingWindow::new(spec(100, 10));
+        for t in [10, 20, 30, 40] {
+            w.insert(Timestamp(t), t);
+        }
+        let fresh: Vec<_> = w.iter_after(Timestamp(20)).map(|(t, _)| t.0).collect();
+        assert_eq!(fresh, vec![30, 40]);
+    }
+
+    #[test]
+    fn duplicate_timestamps_preserve_insertion_order() {
+        let mut w = SlidingWindow::new(spec(100, 10));
+        w.insert(Timestamp(10), "first");
+        w.insert(Timestamp(10), "second");
+        let order: Vec<_> = w.iter().map(|(_, s)| *s).collect();
+        assert_eq!(order, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn slide_on_empty_window_is_noop() {
+        let mut w: SlidingWindow<u32> = SlidingWindow::new(spec(60, 20));
+        assert!(w.slide_to(Timestamp(1_000)).is_empty());
+        assert!(w.is_empty());
+    }
+}

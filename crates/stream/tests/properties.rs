@@ -1,0 +1,110 @@
+//! Property-based tests for the windowing infrastructure.
+
+use maritime_stream::{Duration, SlideBatches, SlidingWindow, Timestamp, WindowSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = WindowSpec> {
+    (1i64..500, 1i64..500).prop_map(|(a, b)| {
+        let (slide, range) = if a <= b { (a, b) } else { (b, a) };
+        WindowSpec::new(Duration::secs(range), Duration::secs(slide)).unwrap()
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<(Timestamp, u32)>> {
+    prop::collection::vec((0i64..5_000, any::<u32>()), 0..200).prop_map(|mut v| {
+        v.sort_by_key(|(t, _)| *t);
+        v.into_iter().map(|(t, x)| (Timestamp(t), x)).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn slide_batches_deliver_every_item_exactly_once(
+        stream in arb_stream(), spec in arb_spec()
+    ) {
+        let expected: Vec<u32> = stream.iter().map(|(_, x)| *x).collect();
+        let delivered: Vec<u32> =
+            SlideBatches::new(stream.into_iter(), spec, Timestamp::ZERO)
+                .flat_map(|b| b.items.into_iter().map(|(_, x)| x))
+                .collect();
+        prop_assert_eq!(delivered, expected);
+    }
+
+    #[test]
+    fn batch_items_respect_query_time(stream in arb_stream(), spec in arb_spec()) {
+        for batch in SlideBatches::new(stream.into_iter(), spec, Timestamp::ZERO) {
+            for (t, _) in &batch.items {
+                prop_assert!(*t <= batch.query_time);
+            }
+        }
+    }
+
+    #[test]
+    fn window_iteration_is_sorted_after_random_insertion(
+        mut items in prop::collection::vec(0i64..10_000, 0..100)
+    ) {
+        let spec = WindowSpec::new(Duration::secs(100_000), Duration::secs(1)).unwrap();
+        let mut w = SlidingWindow::new(spec);
+        for &t in &items {
+            w.insert(Timestamp(t), t);
+        }
+        let order: Vec<i64> = w.iter().map(|(t, _)| t.as_secs()).collect();
+        items.sort_unstable();
+        prop_assert_eq!(order, items);
+    }
+
+    #[test]
+    fn eviction_is_complete_and_exact(
+        items in prop::collection::vec(0i64..10_000, 0..100),
+        range in 1i64..5_000,
+        q in 0i64..20_000,
+    ) {
+        let spec = WindowSpec::new(Duration::secs(range), Duration::secs(1)).unwrap();
+        let mut w = SlidingWindow::new(spec);
+        for &t in &items {
+            w.insert(Timestamp(t), t);
+        }
+        let evicted = w.slide_to(Timestamp(q));
+        let cutoff = q - range;
+        // Everything evicted is at or before the cutoff...
+        for (t, _) in &evicted {
+            prop_assert!(t.as_secs() <= cutoff);
+        }
+        // ...everything retained is after it...
+        for (t, _) in w.iter() {
+            prop_assert!(t.as_secs() > cutoff);
+        }
+        // ...and nothing is lost.
+        prop_assert_eq!(evicted.len() + w.len(), items.len());
+    }
+
+    #[test]
+    fn query_times_are_exactly_slide_spaced(spec in arb_spec(), horizon in 0i64..10_000) {
+        let qs = spec.query_times(Timestamp::ZERO, Timestamp(horizon));
+        for (i, q) in qs.iter().enumerate() {
+            prop_assert_eq!(q.as_secs(), (i as i64 + 1) * spec.slide.as_secs());
+        }
+        if let Some(last) = qs.last() {
+            prop_assert!(last.as_secs() <= horizon);
+            prop_assert!(last.as_secs() + spec.slide.as_secs() > horizon);
+        }
+    }
+
+    #[test]
+    fn rescale_preserves_length_and_order(
+        stream in arb_stream().prop_filter("needs span", |s| {
+            s.len() >= 2 && s.first().map(|f| f.0) != s.last().map(|l| l.0)
+        }),
+        target in 0.1f64..1_000.0,
+    ) {
+        let scaled = maritime_stream::rate::rescale_to_rate(&stream, target);
+        prop_assert_eq!(scaled.len(), stream.len());
+        for w in scaled.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        // Payloads untouched, in order.
+        let orig: Vec<u32> = stream.iter().map(|(_, x)| *x).collect();
+        let kept: Vec<u32> = scaled.iter().map(|(_, x)| *x).collect();
+        prop_assert_eq!(orig, kept);
+    }
+}

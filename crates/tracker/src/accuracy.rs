@@ -1,0 +1,208 @@
+//! Trajectory approximation error (Figure 8).
+//!
+//! Implements the paper's RMSE evaluation (§5.1): for every original point
+//! `pᵢ` that was discarded, interpolate its time-aligned trace `p'ᵢ` on the
+//! compressed path (constant velocity between the adjacent retained
+//! critical points) and accumulate `H(pᵢ, p'ᵢ)²`:
+//!
+//! ```text
+//! RMSE = sqrt( (1/M) · Σᵢ H(pᵢ, p'ᵢ)² )
+//! ```
+//!
+//! One error value is computed per vessel trajectory; the figure reports
+//! the average and the maximum across the fleet.
+
+use std::collections::HashMap;
+
+use maritime_ais::{Mmsi, PositionTuple};
+use maritime_geo::haversine_distance_m;
+
+use crate::events::CriticalPoint;
+use crate::synopsis::{per_vessel_synopses, TrajectorySynopsis};
+
+/// RMSE summary across a fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyReport {
+    /// Per-vessel RMSE in meters (vessels with a non-empty synopsis).
+    pub per_vessel: HashMap<Mmsi, f64>,
+    /// Average of the per-vessel RMSE values, meters.
+    pub avg_rmse_m: f64,
+    /// Maximum per-vessel RMSE, meters.
+    pub max_rmse_m: f64,
+}
+
+/// Computes the RMSE between the original stream and its compressed
+/// representation.
+///
+/// `original` is the full raw tuple stream (any order); `critical` is the
+/// critical-point sequence the tracker emitted for the same stream.
+#[must_use]
+pub fn evaluate_accuracy(
+    original: &[PositionTuple],
+    critical: &[CriticalPoint],
+) -> AccuracyReport {
+    let synopses = per_vessel_synopses(critical);
+
+    // Group the original stream per vessel.
+    let mut originals: HashMap<Mmsi, Vec<&PositionTuple>> = HashMap::new();
+    for t in original {
+        originals.entry(t.mmsi).or_default().push(t);
+    }
+
+    let mut per_vessel = HashMap::new();
+    for (mmsi, points) in &originals {
+        let Some(synopsis) = synopses.get(mmsi) else {
+            continue;
+        };
+        if let Some(rmse) = vessel_rmse(points, synopsis) {
+            per_vessel.insert(*mmsi, rmse);
+        }
+    }
+
+    let (avg, max) = if per_vessel.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let sum: f64 = per_vessel.values().sum();
+        let max = per_vessel.values().copied().fold(0.0, f64::max);
+        (sum / per_vessel.len() as f64, max)
+    };
+
+    AccuracyReport {
+        per_vessel,
+        avg_rmse_m: avg,
+        max_rmse_m: max,
+    }
+}
+
+/// RMSE for one vessel: `None` when the synopsis is empty.
+fn vessel_rmse(original: &[&PositionTuple], synopsis: &TrajectorySynopsis) -> Option<f64> {
+    if original.is_empty() || synopsis.is_empty() {
+        return None;
+    }
+    let mut sum_sq = 0.0;
+    for p in original {
+        let approx = synopsis.position_at(p.timestamp)?;
+        let d = haversine_distance_m(p.position, approx);
+        sum_sq += d * d;
+    }
+    Some((sum_sq / original.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compression::measure_compression;
+    use crate::params::TrackerParams;
+    use maritime_ais::replay::to_tuple_stream;
+    use maritime_ais::{FleetConfig, FleetSimulator};
+    use maritime_geo::GeoPoint;
+    use maritime_stream::Timestamp;
+
+    fn tuple(mmsi: u32, lon: f64, lat: f64, t: i64) -> PositionTuple {
+        PositionTuple {
+            mmsi: Mmsi(mmsi),
+            position: GeoPoint::new(lon, lat),
+            timestamp: Timestamp(t),
+        }
+    }
+
+    #[test]
+    fn perfect_synopsis_gives_zero_error() {
+        use crate::events::{Annotation, CriticalPoint};
+        // Synopsis retains every original point -> RMSE 0.
+        let originals: Vec<_> = (0..5)
+            .map(|i| tuple(1, 24.0 + 0.01 * i as f64, 37.0, i * 60))
+            .collect();
+        let critical: Vec<_> = originals
+            .iter()
+            .map(|t| CriticalPoint {
+                mmsi: t.mmsi,
+                position: t.position,
+                timestamp: t.timestamp,
+                annotation: Annotation::TrackStart,
+                speed_knots: 0.0,
+                heading_deg: 0.0,
+            })
+            .collect();
+        let report = evaluate_accuracy(&originals, &critical);
+        assert!(report.avg_rmse_m < 1e-6);
+        assert!(report.max_rmse_m < 1e-6);
+    }
+
+    #[test]
+    fn straight_line_interpolation_is_near_exact() {
+        use crate::events::{Annotation, CriticalPoint};
+        // Original points on a straight segment, synopsis keeps endpoints.
+        let originals: Vec<_> = (0..=10)
+            .map(|i| tuple(1, 24.0 + 0.001 * i as f64, 37.0, i * 30))
+            .collect();
+        let critical = vec![
+            CriticalPoint {
+                mmsi: Mmsi(1),
+                position: GeoPoint::new(24.0, 37.0),
+                timestamp: Timestamp(0),
+                annotation: Annotation::TrackStart,
+                speed_knots: 0.0,
+                heading_deg: 0.0,
+            },
+            CriticalPoint {
+                mmsi: Mmsi(1),
+                position: GeoPoint::new(24.01, 37.0),
+                timestamp: Timestamp(300),
+                annotation: Annotation::TrackStart,
+                speed_knots: 0.0,
+                heading_deg: 0.0,
+            },
+        ];
+        let report = evaluate_accuracy(&originals, &critical);
+        // Along-track interpolation error only; sub-meter on a straight leg.
+        assert!(report.max_rmse_m < 1.0, "{}", report.max_rmse_m);
+    }
+
+    #[test]
+    fn synthetic_fleet_error_is_modest() {
+        // End-to-end: simulate, compress, measure. The paper reports an
+        // average below 16 m and a worst case of 182 m at Δθ = 20°.
+        let sim = FleetSimulator::new(FleetConfig::tiny(55));
+        let stream: Vec<_> = to_tuple_stream(&sim.generate())
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        let (_, critical) = measure_compression(&stream, TrackerParams::default());
+        let report = evaluate_accuracy(&stream, &critical);
+        assert!(!report.per_vessel.is_empty());
+        assert!(
+            report.avg_rmse_m < 500.0,
+            "avg RMSE {} m is implausibly large",
+            report.avg_rmse_m
+        );
+        assert!(report.max_rmse_m >= report.avg_rmse_m);
+    }
+
+    #[test]
+    fn tighter_threshold_is_not_less_accurate() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(56));
+        let stream: Vec<_> = to_tuple_stream(&sim.generate())
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        let (_, crit5) = measure_compression(&stream, TrackerParams::with_turn_threshold(5.0));
+        let (_, crit20) = measure_compression(&stream, TrackerParams::with_turn_threshold(20.0));
+        let r5 = evaluate_accuracy(&stream, &crit5);
+        let r20 = evaluate_accuracy(&stream, &crit20);
+        // More retained points can only help (allow small noise slack).
+        assert!(
+            r5.avg_rmse_m <= r20.avg_rmse_m * 1.25 + 1.0,
+            "Δθ=5°: {} m, Δθ=20°: {} m",
+            r5.avg_rmse_m,
+            r20.avg_rmse_m
+        );
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_report() {
+        let report = evaluate_accuracy(&[], &[]);
+        assert!(report.per_vessel.is_empty());
+        assert_eq!(report.avg_rmse_m, 0.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Path-simplification baselines for comparison with critical points.
+//!
+//! §6 of the paper situates the trajectory detection component against two
+//! families of related work:
+//!
+//! * **error-bounded simplification** (Cao/Wolfson/Trajcevski; Meratnia &
+//!   de By), represented here by the classic **Douglas–Peucker** algorithm
+//!   — offline, needs the whole trace, guarantees a spatial error bound;
+//! * **dead reckoning** (Wolfson et al.), represented by an **online
+//!   deviation filter** — a position is retained only when it deviates
+//!   more than a threshold from the course projected from the last
+//!   retained fix.
+//!
+//! Neither baseline annotates the retained points with movement semantics
+//! — which is the paper's point: "Most importantly, we annotate reduced
+//! representations according to particular movement events along each
+//! vessel trace." These implementations power the compression-vs-accuracy
+//! frontier comparison in the benchmark harness.
+
+use std::collections::HashMap;
+
+use maritime_ais::{Mmsi, PositionTuple};
+use maritime_geo::{haversine_distance_m, segment_distance_m, GeoPoint};
+use maritime_stream::Timestamp;
+
+use crate::accuracy::{evaluate_accuracy, AccuracyReport};
+use crate::events::{Annotation, CriticalPoint};
+use crate::params::TrackerParams;
+use crate::velocity::VelocityVector;
+
+/// Douglas–Peucker simplification of one time-ordered trace: returns the
+/// indices of retained points (always including the endpoints).
+///
+/// `epsilon_m` is the maximum allowed perpendicular deviation in meters.
+#[must_use]
+pub fn douglas_peucker(points: &[GeoPoint], epsilon_m: f64) -> Vec<usize> {
+    let n = points.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut keep = vec![false; n];
+    keep[0] = true;
+    keep[n - 1] = true;
+    // Explicit stack instead of recursion: traces can be very long.
+    let mut stack = vec![(0usize, n - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut worst, mut worst_d) = (lo, -1.0f64);
+        for i in (lo + 1)..hi {
+            let d = segment_distance_m(points[i], points[lo], points[hi]);
+            if d > worst_d {
+                worst = i;
+                worst_d = d;
+            }
+        }
+        if worst_d > epsilon_m {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, k)| k.then_some(i))
+        .collect()
+}
+
+/// Online dead-reckoning filter: retains a fix when it deviates more than
+/// `threshold_m` from the position predicted by the velocity at the last
+/// retained fix. Returns retained indices (always including the first and
+/// last points).
+#[must_use]
+pub fn dead_reckoning(track: &[(GeoPoint, Timestamp)], threshold_m: f64) -> Vec<usize> {
+    let n = track.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut kept = vec![0usize];
+    // Velocity estimate at the last retained fix (from its successor at
+    // retention time — the dead-reckoning vector the server would hold).
+    let mut anchor = 0usize;
+    let mut velocity: Option<VelocityVector> = None;
+    for i in 1..n {
+        let (p, t) = track[i];
+        let (ap, at) = track[anchor];
+        let predicted = match velocity {
+            Some(v) => {
+                let dt = (t.as_secs() - at.as_secs()) as f64;
+                maritime_geo::destination(
+                    ap,
+                    v.heading_deg,
+                    maritime_geo::knots_to_mps(v.speed_knots) * dt,
+                )
+            }
+            None => ap, // no velocity yet: predict "still there"
+        };
+        if haversine_distance_m(p, predicted) > threshold_m {
+            kept.push(i);
+            anchor = i;
+            // New dead-reckoning vector from the previous fix to this one.
+            velocity = VelocityVector::between(track[i - 1].0, track[i - 1].1, p, t);
+        }
+    }
+    if *kept.last().expect("non-empty") != n - 1 {
+        kept.push(n - 1);
+    }
+    kept
+}
+
+/// Result of running one reduction method over a fleet stream.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Method label.
+    pub method: &'static str,
+    /// Points retained across the fleet.
+    pub retained: usize,
+    /// Raw positions consumed.
+    pub raw: usize,
+    /// `1 − retained/raw`.
+    pub compression_ratio: f64,
+    /// Synchronized-RMSE accuracy of the reduced representation.
+    pub accuracy: AccuracyReport,
+}
+
+/// Runs all three reduction methods over a fleet stream and evaluates each
+/// with the same synchronized RMSE, producing the compression-vs-accuracy
+/// frontier: the paper's critical points, Douglas–Peucker at `dp_epsilon_m`,
+/// and dead reckoning at `dr_threshold_m`.
+#[must_use]
+pub fn compare_methods(
+    stream: &[PositionTuple],
+    params: TrackerParams,
+    dp_epsilon_m: f64,
+    dr_threshold_m: f64,
+) -> Vec<BaselineResult> {
+    let mut per_vessel: HashMap<Mmsi, Vec<(GeoPoint, Timestamp)>> = HashMap::new();
+    for t in stream {
+        per_vessel
+            .entry(t.mmsi)
+            .or_default()
+            .push((t.position, t.timestamp));
+    }
+
+    let mut results = Vec::new();
+
+    // 1. Critical points (the paper's method).
+    let (report, critical) = crate::compression::measure_compression(stream, params);
+    results.push(BaselineResult {
+        method: "critical_points",
+        retained: critical.len(),
+        raw: stream.len(),
+        compression_ratio: report.ratio,
+        accuracy: evaluate_accuracy(stream, &critical),
+    });
+
+    // 2. Douglas–Peucker (offline, error-bounded).
+    let mut dp_points = Vec::new();
+    for (mmsi, track) in &per_vessel {
+        let coords: Vec<GeoPoint> = track.iter().map(|(p, _)| *p).collect();
+        for idx in douglas_peucker(&coords, dp_epsilon_m) {
+            dp_points.push(anchor_point(*mmsi, track[idx]));
+        }
+    }
+    results.push(BaselineResult {
+        method: "douglas_peucker",
+        retained: dp_points.len(),
+        raw: stream.len(),
+        compression_ratio: ratio(dp_points.len(), stream.len()),
+        accuracy: evaluate_accuracy(stream, &dp_points),
+    });
+
+    // 3. Dead reckoning (online, deviation-triggered).
+    let mut dr_points = Vec::new();
+    for (mmsi, track) in &per_vessel {
+        for idx in dead_reckoning(track, dr_threshold_m) {
+            dr_points.push(anchor_point(*mmsi, track[idx]));
+        }
+    }
+    results.push(BaselineResult {
+        method: "dead_reckoning",
+        retained: dr_points.len(),
+        raw: stream.len(),
+        compression_ratio: ratio(dr_points.len(), stream.len()),
+        accuracy: evaluate_accuracy(stream, &dr_points),
+    });
+
+    results
+}
+
+fn ratio(kept: usize, raw: usize) -> f64 {
+    if raw == 0 {
+        0.0
+    } else {
+        1.0 - kept as f64 / raw as f64
+    }
+}
+
+/// Wraps a retained raw position as an unannotated critical point so the
+/// shared accuracy evaluator can interpolate over it.
+fn anchor_point(mmsi: Mmsi, (position, timestamp): (GeoPoint, Timestamp)) -> CriticalPoint {
+    CriticalPoint {
+        mmsi,
+        position,
+        timestamp,
+        annotation: Annotation::TrackStart,
+        speed_knots: 0.0,
+        heading_deg: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_geo::destination;
+    use maritime_stream::Duration;
+
+    fn dogleg_track() -> Vec<(GeoPoint, Timestamp)> {
+        // Straight east for 20 fixes, 40° turn, straight again.
+        let mut p = GeoPoint::new(24.0, 38.0);
+        let mut t = Timestamp(0);
+        let mut out = vec![(p, t)];
+        for i in 0..40 {
+            let bearing = if i < 20 { 90.0 } else { 50.0 };
+            p = destination(p, bearing, 300.0);
+            t = t + Duration::secs(30);
+            out.push((p, t));
+        }
+        out
+    }
+
+    #[test]
+    fn dp_keeps_endpoints_and_corner() {
+        let track = dogleg_track();
+        let coords: Vec<GeoPoint> = track.iter().map(|(p, _)| *p).collect();
+        let kept = douglas_peucker(&coords, 50.0);
+        assert!(kept.contains(&0));
+        assert!(kept.contains(&(coords.len() - 1)));
+        // The corner at index 20 (or a neighbour) must survive.
+        assert!(
+            kept.iter().any(|i| (19..=21).contains(i)),
+            "corner dropped: {kept:?}"
+        );
+        // A straight dogleg needs very few points.
+        assert!(kept.len() <= 5, "{kept:?}");
+    }
+
+    #[test]
+    fn dp_epsilon_zero_keeps_everything_meaningful() {
+        let track = dogleg_track();
+        let coords: Vec<GeoPoint> = track.iter().map(|(p, _)| *p).collect();
+        let kept = douglas_peucker(&coords, 0.0);
+        // With zero tolerance every off-chord point is retained; collinear
+        // interior points may still be dropped (deviation exactly 0), so
+        // at minimum the corner region must be dense.
+        assert!(kept.len() >= 3);
+    }
+
+    #[test]
+    fn dp_bounds_deviation() {
+        let track = dogleg_track();
+        let coords: Vec<GeoPoint> = track.iter().map(|(p, _)| *p).collect();
+        for eps in [20.0, 100.0, 500.0] {
+            let kept = douglas_peucker(&coords, eps);
+            // Every dropped point must be within eps of the kept polyline
+            // chord that spans it.
+            for (pos, w) in kept.windows(2).enumerate() {
+                let _ = pos;
+                for i in (w[0] + 1)..w[1] {
+                    let d = segment_distance_m(coords[i], coords[w[0]], coords[w[1]]);
+                    assert!(d <= eps + 1e-6, "eps={eps}, i={i}, d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_reckoning_silent_on_straight_constant_course() {
+        // Constant velocity: after the second point fixes the vector, no
+        // further updates should be retained.
+        let mut p = GeoPoint::new(24.0, 38.0);
+        let mut t = Timestamp(0);
+        let mut track = vec![(p, t)];
+        for _ in 0..50 {
+            p = destination(p, 90.0, 300.0);
+            t = t + Duration::secs(30);
+            track.push((p, t));
+        }
+        let kept = dead_reckoning(&track, 100.0);
+        assert!(kept.len() <= 4, "straight course retained {kept:?}");
+    }
+
+    #[test]
+    fn dead_reckoning_fires_on_turn() {
+        let track = dogleg_track();
+        let kept = dead_reckoning(&track, 100.0);
+        // The 40-degree turn must trigger at least one retention beyond
+        // the initial fixes.
+        assert!(
+            kept.iter().any(|i| (20..=25).contains(i)),
+            "turn missed: {kept:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_tracks_pass_through() {
+        let p = GeoPoint::new(24.0, 38.0);
+        assert_eq!(douglas_peucker(&[], 10.0), Vec::<usize>::new());
+        assert_eq!(douglas_peucker(&[p], 10.0), vec![0]);
+        assert_eq!(douglas_peucker(&[p, p], 10.0), vec![0, 1]);
+        assert_eq!(dead_reckoning(&[(p, Timestamp(0))], 10.0), vec![0]);
+    }
+
+    #[test]
+    fn compare_methods_produces_full_frontier() {
+        use maritime_ais::replay::to_tuple_stream;
+        use maritime_ais::{FleetConfig, FleetSimulator};
+        let sim = FleetSimulator::new(FleetConfig::tiny(91));
+        let stream: Vec<PositionTuple> = to_tuple_stream(&sim.generate())
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        let results = compare_methods(&stream, TrackerParams::default(), 100.0, 200.0);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.raw, stream.len());
+            assert!(r.retained > 0);
+            assert!((0.0..=1.0).contains(&r.compression_ratio), "{r:?}");
+            assert!(r.accuracy.avg_rmse_m.is_finite());
+        }
+        // All three methods compress substantially on realistic traffic.
+        for r in &results {
+            assert!(
+                r.compression_ratio > 0.5,
+                "{} ratio {}",
+                r.method,
+                r.compression_ratio
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Mobility-tracking parameters (Table 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use maritime_stream::Duration;
+
+/// The calibrated thresholds of the mobility tracker.
+///
+/// Defaults reproduce Table 3: `v_min` = 1 knot, α = 25 %, ΔT = 10 minutes,
+/// Δθ = 15°, r = 200 m, m = 10. "Such filtering greatly depends on proper
+/// choice of parameter values, which is a trade-off between reduction
+/// efficiency and approximation accuracy" (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackerParams {
+    /// Minimum speed `v_min` for asserting movement, in knots. Below this,
+    /// the vessel "rests practically immobile" — an instantaneous *pause*.
+    pub v_min_knots: f64,
+    /// Low-speed threshold for the *slow motion* event, in knots.
+    ///
+    /// The paper uses `v_min` here too ("consistently moves at low speed
+    /// (≤ v_min)"); we keep a separate threshold because the illegal-fishing
+    /// scenario of §4.1 needs `slowMotion` to fire at trawling speeds
+    /// (2–4 knots), above the 1-knot immobility bound. Setting this equal
+    /// to `v_min_knots` restores the paper's exact behaviour.
+    pub v_low_knots: f64,
+    /// Rate of speed change α, as a fraction (Table 3: 25 % -> 0.25). A
+    /// *speed change* event fires when `|v_now - v_prev| / v_now > α`.
+    pub alpha: f64,
+    /// Minimum silence period ΔT before a *communication gap* is issued.
+    pub gap_period: Duration,
+    /// Turn threshold Δθ in degrees: heading changes beyond this raise a
+    /// *turn* event; smaller consecutive same-direction changes accumulate
+    /// into a *smooth turn*.
+    pub turn_threshold_deg: f64,
+    /// Radius `r` for long-term stops: at least `m` consecutive pause/turn
+    /// events within this circle collapse into one stop (Table 3: 200 m).
+    pub stop_radius_m: f64,
+    /// Number `m` of latest positions inspected for long-lasting events
+    /// (Table 3: 10).
+    pub m: usize,
+    /// Outlier rejection: a fix whose implied speed exceeds this multiple
+    /// of the vessel's mean speed over its last `m` positions (and an
+    /// absolute floor) is discarded as an off-course position.
+    pub outlier_speed_factor: f64,
+    /// Absolute speed floor for outlier rejection, in knots. Implied
+    /// speeds below this are never outliers regardless of the factor.
+    pub outlier_speed_floor_knots: f64,
+}
+
+impl Default for TrackerParams {
+    fn default() -> Self {
+        Self {
+            v_min_knots: 1.0,
+            v_low_knots: 4.0,
+            alpha: 0.25,
+            gap_period: Duration::minutes(10),
+            turn_threshold_deg: 15.0,
+            stop_radius_m: 200.0,
+            m: 10,
+            outlier_speed_factor: 3.0,
+            outlier_speed_floor_knots: 50.0,
+        }
+    }
+}
+
+impl TrackerParams {
+    /// The paper's parametrization with a different turn threshold Δθ —
+    /// the sweep of Figures 8 and 9 (Δθ ∈ {5°, 10°, 15°, 20°}).
+    #[must_use]
+    pub fn with_turn_threshold(deg: f64) -> Self {
+        Self {
+            turn_threshold_deg: deg,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the parameter set, returning a description of the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.v_min_knots <= 0.0 {
+            return Err(format!("v_min must be positive, got {}", self.v_min_knots));
+        }
+        if self.v_low_knots < self.v_min_knots {
+            return Err(format!(
+                "v_low ({}) must be >= v_min ({})",
+                self.v_low_knots, self.v_min_knots
+            ));
+        }
+        if !(0.0..1.0).contains(&self.alpha) {
+            return Err(format!("alpha must be in [0,1), got {}", self.alpha));
+        }
+        if self.gap_period.as_secs() <= 0 {
+            return Err("gap period must be positive".into());
+        }
+        if !(0.0..180.0).contains(&self.turn_threshold_deg) || self.turn_threshold_deg == 0.0 {
+            return Err(format!(
+                "turn threshold must be in (0,180), got {}",
+                self.turn_threshold_deg
+            ));
+        }
+        if self.stop_radius_m <= 0.0 {
+            return Err("stop radius must be positive".into());
+        }
+        if self.m < 2 {
+            return Err(format!("m must be >= 2, got {}", self.m));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_3() {
+        let p = TrackerParams::default();
+        assert_eq!(p.v_min_knots, 1.0);
+        assert_eq!(p.alpha, 0.25);
+        assert_eq!(p.gap_period, Duration::minutes(10));
+        assert_eq!(p.turn_threshold_deg, 15.0);
+        assert_eq!(p.stop_radius_m, 200.0);
+        assert_eq!(p.m, 10);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn turn_threshold_constructor() {
+        let p = TrackerParams::with_turn_threshold(5.0);
+        assert_eq!(p.turn_threshold_deg, 5.0);
+        assert_eq!(p.m, 10);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(TrackerParams { v_min_knots: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(TrackerParams { v_low_knots: 0.5, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(TrackerParams { alpha: 1.5, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(TrackerParams { turn_threshold_deg: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(TrackerParams { turn_threshold_deg: 180.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(TrackerParams { m: 1, ..Default::default() }.validate().is_err());
+        assert!(TrackerParams { gap_period: Duration::ZERO, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(TrackerParams { stop_radius_m: -1.0, ..Default::default() }
+            .validate()
+            .is_err());
+    }
+}

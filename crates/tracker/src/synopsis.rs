@@ -1,0 +1,184 @@
+//! Per-vessel trajectory synopses and approximate reconstruction.
+//!
+//! "By taking advantage of those online annotations at critical points
+//! along trajectories, lightweight, succinct synopses can be retained per
+//! vessel ... we opt to reconstruct vessel traces approximately from
+//! already available critical points" (§3.2). Reconstruction assumes
+//! constant velocity between consecutive critical points (the same linear
+//! interpolation used for raw traces, footnote 2).
+
+use std::collections::HashMap;
+
+use maritime_ais::Mmsi;
+use maritime_geo::GeoPoint;
+use maritime_stream::Timestamp;
+
+use crate::events::CriticalPoint;
+
+/// The retained synopsis of one vessel: its critical points in time order.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectorySynopsis {
+    points: Vec<CriticalPoint>,
+}
+
+impl TrajectorySynopsis {
+    /// Builds a synopsis from critical points (sorted internally).
+    #[must_use]
+    pub fn new(mut points: Vec<CriticalPoint>) -> Self {
+        points.sort_by_key(|cp| cp.timestamp);
+        Self { points }
+    }
+
+    /// Appends a critical point (must not precede the last one; out-of-order
+    /// appends are re-sorted lazily on access, so this is always safe).
+    pub fn push(&mut self, cp: CriticalPoint) {
+        if self
+            .points
+            .last()
+            .is_some_and(|last| last.timestamp > cp.timestamp)
+        {
+            let pos = self.points.partition_point(|p| p.timestamp <= cp.timestamp);
+            self.points.insert(pos, cp);
+        } else {
+            self.points.push(cp);
+        }
+    }
+
+    /// The retained critical points, oldest first.
+    #[must_use]
+    pub fn points(&self) -> &[CriticalPoint] {
+        &self.points
+    }
+
+    /// Number of retained points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the synopsis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The polyline of retained positions (for map display / KML export).
+    #[must_use]
+    pub fn polyline(&self) -> Vec<GeoPoint> {
+        self.points.iter().map(|cp| cp.position).collect()
+    }
+
+    /// The approximate position at time `t`, linearly interpolated between
+    /// the adjacent critical points ("Assuming a constant velocity between
+    /// these two critical points, we obtained its time-aligned point trace
+    /// p'ᵢ along the approximate path at timestamp τᵢ", §5.1).
+    ///
+    /// Clamps to the first/last point outside the covered span; `None` for
+    /// an empty synopsis.
+    #[must_use]
+    pub fn position_at(&self, t: Timestamp) -> Option<GeoPoint> {
+        let first = self.points.first()?;
+        let last = self.points.last()?;
+        if t <= first.timestamp {
+            return Some(first.position);
+        }
+        if t >= last.timestamp {
+            return Some(last.position);
+        }
+        // Index of the first point strictly after t.
+        let hi = self.points.partition_point(|p| p.timestamp <= t);
+        let b = &self.points[hi];
+        let a = &self.points[hi - 1];
+        let span = (b.timestamp.as_secs() - a.timestamp.as_secs()) as f64;
+        if span <= 0.0 {
+            return Some(a.position);
+        }
+        let frac = (t.as_secs() - a.timestamp.as_secs()) as f64 / span;
+        Some(a.position.lerp(b.position, frac))
+    }
+}
+
+/// Groups a fleet-wide critical-point sequence into per-vessel synopses.
+#[must_use]
+pub fn per_vessel_synopses(critical: &[CriticalPoint]) -> HashMap<Mmsi, TrajectorySynopsis> {
+    let mut map: HashMap<Mmsi, TrajectorySynopsis> = HashMap::new();
+    for cp in critical {
+        map.entry(cp.mmsi).or_default().push(*cp);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Annotation;
+
+    fn cp(lon: f64, lat: f64, t: i64) -> CriticalPoint {
+        CriticalPoint {
+            mmsi: Mmsi(1),
+            position: GeoPoint::new(lon, lat),
+            timestamp: Timestamp(t),
+            annotation: Annotation::TrackStart,
+            speed_knots: 10.0,
+            heading_deg: 90.0,
+        }
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let syn = TrajectorySynopsis::new(vec![cp(24.0, 37.0, 0), cp(25.0, 38.0, 100)]);
+        let mid = syn.position_at(Timestamp(50)).unwrap();
+        assert!((mid.lon - 24.5).abs() < 1e-9);
+        assert!((mid.lat - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_outside_span() {
+        let syn = TrajectorySynopsis::new(vec![cp(24.0, 37.0, 10), cp(25.0, 38.0, 20)]);
+        assert_eq!(syn.position_at(Timestamp(0)).unwrap(), GeoPoint::new(24.0, 37.0));
+        assert_eq!(syn.position_at(Timestamp(99)).unwrap(), GeoPoint::new(25.0, 38.0));
+    }
+
+    #[test]
+    fn empty_synopsis_has_no_position() {
+        let syn = TrajectorySynopsis::default();
+        assert!(syn.position_at(Timestamp(0)).is_none());
+        assert!(syn.is_empty());
+    }
+
+    #[test]
+    fn push_keeps_time_order() {
+        let mut syn = TrajectorySynopsis::default();
+        syn.push(cp(24.0, 37.0, 100));
+        syn.push(cp(23.0, 37.0, 50)); // late arrival
+        syn.push(cp(25.0, 37.0, 150));
+        let ts: Vec<i64> = syn.points().iter().map(|p| p.timestamp.0).collect();
+        assert_eq!(ts, vec![50, 100, 150]);
+    }
+
+    #[test]
+    fn exact_timestamp_returns_that_point() {
+        let syn = TrajectorySynopsis::new(vec![cp(24.0, 37.0, 0), cp(25.0, 38.0, 100)]);
+        assert_eq!(syn.position_at(Timestamp(100)).unwrap(), GeoPoint::new(25.0, 38.0));
+        assert_eq!(syn.position_at(Timestamp(0)).unwrap(), GeoPoint::new(24.0, 37.0));
+    }
+
+    #[test]
+    fn per_vessel_grouping() {
+        let mut a = cp(24.0, 37.0, 0);
+        let mut b = cp(25.0, 38.0, 10);
+        a.mmsi = Mmsi(1);
+        b.mmsi = Mmsi(2);
+        let map = per_vessel_synopses(&[a, b]);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&Mmsi(1)].len(), 1);
+        assert_eq!(map[&Mmsi(2)].len(), 1);
+    }
+
+    #[test]
+    fn duplicate_timestamps_do_not_divide_by_zero() {
+        let syn = TrajectorySynopsis::new(vec![cp(24.0, 37.0, 10), cp(25.0, 38.0, 10)]);
+        // Any answer between the duplicates is fine; it must not panic.
+        assert!(syn.position_at(Timestamp(10)).is_some());
+    }
+}

@@ -1,0 +1,217 @@
+//! The fleet-level Mobility Tracker of Figure 1.
+//!
+//! "Working entirely in main memory and without any index support, the
+//! Mobility Tracker checks when and how velocity changes with time" (§2).
+//! It maintains one [`VesselTracker`] per MMSI and fans incoming positional
+//! tuples out to them.
+
+use std::collections::HashMap;
+
+use maritime_ais::{Mmsi, PositionTuple};
+use maritime_stream::Timestamp;
+
+use crate::events::CriticalPoint;
+use crate::params::TrackerParams;
+use crate::vessel::{VesselStats, VesselTracker};
+
+/// Aggregated counters across the fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Vessels seen so far.
+    pub vessels: usize,
+    /// Raw positional tuples processed.
+    pub raw: u64,
+    /// Critical points emitted.
+    pub critical: u64,
+    /// Off-course positions discarded.
+    pub outliers: u64,
+    /// Stale tuples ignored.
+    pub stale: u64,
+}
+
+impl FleetStats {
+    /// The compression ratio: fraction of raw positions *not* retained as
+    /// critical points ("A compression ratio close to 1 signifies stronger
+    /// data reduction", §5.1). 0.0 for an empty stream.
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        if self.raw == 0 {
+            0.0
+        } else {
+            1.0 - self.critical as f64 / self.raw as f64
+        }
+    }
+}
+
+/// The fleet-level mobility tracker.
+#[derive(Debug)]
+pub struct MobilityTracker {
+    params: TrackerParams,
+    vessels: HashMap<Mmsi, VesselTracker>,
+}
+
+impl MobilityTracker {
+    /// Creates a tracker for a fleet with the given parameters.
+    #[must_use]
+    pub fn new(params: TrackerParams) -> Self {
+        Self {
+            params,
+            vessels: HashMap::new(),
+        }
+    }
+
+    /// The tracker's parameters.
+    #[must_use]
+    pub fn params(&self) -> TrackerParams {
+        self.params
+    }
+
+    /// Processes one positional tuple.
+    pub fn process(&mut self, tuple: PositionTuple) -> Vec<CriticalPoint> {
+        self.vessel_mut(tuple.mmsi)
+            .process(tuple.position, tuple.timestamp)
+    }
+
+    /// Processes a time-ordered batch, concatenating all critical points in
+    /// detection order.
+    pub fn process_batch<'a>(
+        &mut self,
+        tuples: impl IntoIterator<Item = &'a PositionTuple>,
+    ) -> Vec<CriticalPoint> {
+        let mut out = Vec::new();
+        for t in tuples {
+            out.extend(self.vessel_mut(t.mmsi).process(t.position, t.timestamp));
+        }
+        out
+    }
+
+    /// Checks every tracked vessel for a communication gap at time `now`:
+    /// vessels silent for more than ΔT whose gap has not yet been reported
+    /// emit a [`crate::events::Annotation::GapStart`]. A vessel that never
+    /// reports again would otherwise never trigger its gap, since gaps are
+    /// normally detected on the *next* fix — exactly the case that matters
+    /// for scenario 3 of §4.1, where the transmitter stays off.
+    pub fn sweep_gaps(&mut self, now: Timestamp) -> Vec<CriticalPoint> {
+        let mut out = Vec::new();
+        let mut vessels: Vec<_> = self.vessels.values_mut().collect();
+        vessels.sort_by_key(|v| v.mmsi());
+        for v in vessels {
+            out.extend(v.sweep_gap(now));
+        }
+        out
+    }
+
+    /// Flushes open durative states for every vessel (end of stream).
+    pub fn finish(&mut self) -> Vec<CriticalPoint> {
+        let mut out = Vec::new();
+        let mut vessels: Vec<_> = self.vessels.values_mut().collect();
+        vessels.sort_by_key(|v| v.mmsi());
+        for v in vessels {
+            out.extend(v.finish());
+        }
+        out
+    }
+
+    /// Counters aggregated across the fleet.
+    #[must_use]
+    pub fn stats(&self) -> FleetStats {
+        let mut s = FleetStats {
+            vessels: self.vessels.len(),
+            ..FleetStats::default()
+        };
+        for v in self.vessels.values() {
+            let VesselStats { raw, critical, outliers, stale } = v.stats();
+            s.raw += raw;
+            s.critical += critical;
+            s.outliers += outliers;
+            s.stale += stale;
+        }
+        s
+    }
+
+    /// Access to a single vessel's tracker, if seen.
+    #[must_use]
+    pub fn vessel(&self, mmsi: Mmsi) -> Option<&VesselTracker> {
+        self.vessels.get(&mmsi)
+    }
+
+    fn vessel_mut(&mut self, mmsi: Mmsi) -> &mut VesselTracker {
+        let params = self.params;
+        self.vessels
+            .entry(mmsi)
+            .or_insert_with(|| VesselTracker::new(mmsi, params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_ais::replay::to_tuple_stream;
+    use maritime_ais::{FleetConfig, FleetSimulator};
+
+    #[test]
+    fn tracks_multiple_vessels_independently() {
+        let mut tracker = MobilityTracker::new(TrackerParams::default());
+        let a = PositionTuple {
+            mmsi: Mmsi(1),
+            position: maritime_geo::GeoPoint::new(24.0, 37.0),
+            timestamp: Timestamp(0),
+        };
+        let b = PositionTuple {
+            mmsi: Mmsi(2),
+            position: maritime_geo::GeoPoint::new(25.0, 38.0),
+            timestamp: Timestamp(0),
+        };
+        let cps = tracker.process_batch([&a, &b]);
+        // Each vessel gets its own TrackStart.
+        assert_eq!(cps.len(), 2);
+        assert_eq!(tracker.stats().vessels, 2);
+    }
+
+    #[test]
+    fn fleet_compression_on_synthetic_stream() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(21));
+        let reports = sim.generate();
+        let stream = to_tuple_stream(&reports);
+        let mut tracker = MobilityTracker::new(TrackerParams::default());
+        for (_, tuple) in &stream {
+            tracker.process(*tuple);
+        }
+        tracker.finish();
+        let stats = tracker.stats();
+        assert_eq!(stats.raw as usize, stream.len());
+        assert!(stats.critical > 0);
+        let ratio = stats.compression_ratio();
+        // The paper reports ~94%; synthetic noise levels may vary the exact
+        // figure, but compression must be strong.
+        assert!(ratio > 0.6, "compression ratio {ratio}");
+    }
+
+    #[test]
+    fn finish_is_deterministic_order() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(22));
+        let reports = sim.generate();
+        let run = |reports: &[maritime_ais::PositionReport]| {
+            let mut tracker = MobilityTracker::new(TrackerParams::default());
+            for r in reports {
+                tracker.process(PositionTuple::from(*r));
+            }
+            tracker.finish()
+        };
+        let a = run(&reports);
+        let b = run(&reports);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mmsi, y.mmsi);
+            assert_eq!(x.timestamp, y.timestamp);
+        }
+    }
+
+    #[test]
+    fn empty_stream_stats() {
+        let tracker = MobilityTracker::new(TrackerParams::default());
+        let s = tracker.stats();
+        assert_eq!(s.raw, 0);
+        assert_eq!(s.compression_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,845 @@
+//! Per-vessel detection state machine.
+//!
+//! Implements §3.1 for a single vessel: instantaneous events (pause, speed
+//! change, turn, off-course outlier) from the two most recent positions,
+//! and long-lasting events (communication gap, smooth turn, long-term
+//! stop, slow motion) from the last `m` positions. The complexity per
+//! incoming tuple is O(1) for instantaneous events and gaps, O(m) for the
+//! long-lasting ones, exactly as analysed in the paper.
+
+use std::collections::VecDeque;
+
+use maritime_ais::Mmsi;
+use maritime_geo::{haversine_distance_m, signed_angle_diff_deg, GeoPoint};
+use maritime_stream::Timestamp;
+
+use crate::events::{Annotation, CriticalPoint};
+use crate::params::TrackerParams;
+use crate::velocity::{mean_speed_knots, VelocityVector};
+
+/// One accepted fix with its derived motion attributes.
+#[derive(Debug, Clone, Copy)]
+struct Fix {
+    position: GeoPoint,
+    timestamp: Timestamp,
+    velocity: VelocityVector,
+    /// Whether `velocity` was measured from two real fixes (false for the
+    /// first-ever fix and the fix right after a gap, where no meaningful
+    /// previous velocity exists).
+    velocity_known: bool,
+}
+
+/// State of an in-progress long-term stop.
+#[derive(Debug, Clone)]
+struct StopRun {
+    start: Timestamp,
+    anchor: GeoPoint,
+    sum_lon: f64,
+    sum_lat: f64,
+    count: usize,
+    confirmed: bool,
+}
+
+impl StopRun {
+    fn new(p: GeoPoint, t: Timestamp) -> Self {
+        Self {
+            start: t,
+            anchor: p,
+            sum_lon: p.lon,
+            sum_lat: p.lat,
+            count: 1,
+            confirmed: false,
+        }
+    }
+
+    fn push(&mut self, p: GeoPoint) {
+        self.sum_lon += p.lon;
+        self.sum_lat += p.lat;
+        self.count += 1;
+    }
+
+    fn centroid(&self) -> GeoPoint {
+        GeoPoint {
+            lon: self.sum_lon / self.count as f64,
+            lat: self.sum_lat / self.count as f64,
+        }
+    }
+}
+
+/// State of an in-progress slow-motion run.
+#[derive(Debug, Clone)]
+struct SlowRun {
+    /// Positions of the run so far (bounded by `m` for the median report).
+    points: VecDeque<(GeoPoint, Timestamp)>,
+    count: usize,
+    confirmed: bool,
+}
+
+/// Counters the tracker accumulates per vessel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VesselStats {
+    /// Raw positional tuples received (including discarded ones).
+    pub raw: u64,
+    /// Critical points emitted.
+    pub critical: u64,
+    /// Off-course positions discarded as noise.
+    pub outliers: u64,
+    /// Duplicate/out-of-order tuples ignored.
+    pub stale: u64,
+}
+
+/// The per-vessel mobility tracker.
+#[derive(Debug)]
+pub struct VesselTracker {
+    mmsi: Mmsi,
+    params: TrackerParams,
+    /// Most recent accepted fix.
+    last: Option<Fix>,
+    /// Recent accepted fixes (≤ m), for mean-velocity and median queries.
+    history: VecDeque<(GeoPoint, Timestamp)>,
+    /// Signed heading deltas of the last ≤ m−1 steps, for smooth turns.
+    turn_deltas: VecDeque<f64>,
+    stop: Option<StopRun>,
+    slow: Option<SlowRun>,
+    /// A communication gap has been reported (by [`VesselTracker::sweep_gap`])
+    /// and not yet closed by a new fix.
+    gap_open: bool,
+    stats: VesselStats,
+}
+
+impl VesselTracker {
+    /// Creates a tracker for one vessel.
+    #[must_use]
+    pub fn new(mmsi: Mmsi, params: TrackerParams) -> Self {
+        Self {
+            mmsi,
+            params,
+            last: None,
+            history: VecDeque::with_capacity(params.m + 1),
+            turn_deltas: VecDeque::with_capacity(params.m),
+            stop: None,
+            slow: None,
+            gap_open: false,
+            stats: VesselStats::default(),
+        }
+    }
+
+    /// The vessel this tracker follows.
+    #[must_use]
+    pub fn mmsi(&self) -> Mmsi {
+        self.mmsi
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> VesselStats {
+        self.stats
+    }
+
+    /// Processes one positional tuple, returning any critical points it
+    /// triggers (possibly none — most raw positions are superfluous).
+    pub fn process(&mut self, position: GeoPoint, t: Timestamp) -> Vec<CriticalPoint> {
+        self.stats.raw += 1;
+        let mut out = Vec::new();
+
+        let Some(last) = self.last else {
+            // First fix ever: anchor the trajectory.
+            let v = VelocityVector::stationary();
+            self.accept(position, t, v, false);
+            out.push(self.point(position, t, Annotation::TrackStart, v));
+            return out;
+        };
+
+        if t <= last.timestamp {
+            // The stream is append-only; duplicates and out-of-order fixes
+            // at tracker level are ignored (windowing upstream reorders
+            // mildly-late tuples already).
+            self.stats.stale += 1;
+            return out;
+        }
+
+        // ---- Communication gap (long-lasting, O(1)) --------------------
+        if (t - last.timestamp) > self.params.gap_period {
+            if self.gap_open {
+                // The gap was already reported by a sweep while the vessel
+                // was silent; only close it now.
+                self.gap_open = false;
+            } else {
+                // Close any open durative states at the silence point: the
+                // course is unknown during the gap.
+                self.close_stop(&mut out, last.timestamp, last.position, last.velocity);
+                self.close_slow(&mut out, last.timestamp, last.position, last.velocity);
+                out.push(self.point(
+                    last.position,
+                    last.timestamp,
+                    Annotation::GapStart,
+                    last.velocity,
+                ));
+            }
+            let v = VelocityVector::between(last.position, last.timestamp, position, t)
+                .unwrap_or_else(VelocityVector::stationary);
+            self.reset_motion_state();
+            self.accept(position, t, v, false);
+            out.push(self.point(position, t, Annotation::GapEnd, v));
+            return out;
+        }
+        if self.gap_open {
+            // A sweep reported a gap, but this (late-arriving) fix shows
+            // the silence was shorter than ΔT after all. Close the gap at
+            // the new fix so downstream consumers see a balanced pair.
+            self.gap_open = false;
+            let v = VelocityVector::between(last.position, last.timestamp, position, t)
+                .expect("t > last.timestamp");
+            self.accept(position, t, v, true);
+            out.push(self.point(position, t, Annotation::GapEnd, v));
+            return out;
+        }
+
+        let v_now = VelocityVector::between(last.position, last.timestamp, position, t)
+            .expect("t > last.timestamp");
+
+        // ---- Off-course outlier (instantaneous) -------------------------
+        // "A very abrupt change in vessel's velocity (both in speed and
+        // heading)" relative to the known course abstracted by the mean
+        // velocity over the last m positions (§3.1, Figure 2(d)).
+        if self.is_outlier(v_now, last.velocity, last.velocity_known) {
+            self.stats.outliers += 1;
+            return out;
+        }
+
+        // ---- Instantaneous events ---------------------------------------
+        let v_prev = last.velocity;
+        let prev_known = last.velocity_known;
+        let is_pause = v_now.speed_knots < self.params.v_min_knots;
+        let moving_now = !is_pause;
+        let was_moving = prev_known && v_prev.speed_knots >= self.params.v_min_knots;
+
+        // Heading is only meaningful when the vessel actually moves.
+        let turn_change = if moving_now && was_moving {
+            signed_angle_diff_deg(v_prev.heading_deg, v_now.heading_deg)
+        } else {
+            0.0
+        };
+        let is_sharp_turn = turn_change.abs() > self.params.turn_threshold_deg;
+
+        let speed_changed = moving_now
+            && prev_known
+            && v_now
+                .relative_speed_change(v_prev)
+                .is_some_and(|r| r > self.params.alpha);
+
+        // ---- Long-term stop (pause/turn run within radius r) -----------
+        let in_stop_run = is_pause || (self.stop.is_some() && is_sharp_turn);
+        if in_stop_run {
+            match &mut self.stop {
+                Some(run) if haversine_distance_m(run.anchor, position) <= self.params.stop_radius_m => {
+                    run.push(position);
+                    if !run.confirmed && run.count >= self.params.m {
+                        run.confirmed = true;
+                        let (anchor, start) = (run.anchor, run.start);
+                        out.push(self.point(anchor, start, Annotation::StopStart, v_now));
+                    }
+                }
+                _ => {
+                    // Starting a new run (or drifted out of the old circle:
+                    // close it if confirmed, then restart).
+                    self.close_stop(&mut out, t, position, v_now);
+                    self.stop = Some(StopRun::new(position, t));
+                }
+            }
+        } else {
+            self.close_stop(&mut out, t, position, v_now);
+        }
+
+        // ---- Slow motion (low-speed run along a path) -------------------
+        let is_low = moving_now && v_now.speed_knots <= self.params.v_low_knots;
+        if is_low {
+            let run = self.slow.get_or_insert_with(|| SlowRun {
+                points: VecDeque::with_capacity(self.params.m),
+                count: 0,
+                confirmed: false,
+            });
+            if run.points.len() == self.params.m {
+                run.points.pop_front();
+            }
+            run.points.push_back((position, t));
+            run.count += 1;
+            if !run.confirmed && run.count >= self.params.m {
+                run.confirmed = true;
+                let (mp, mt) = median_point(run.points.make_contiguous());
+                out.push(self.point(mp, mt, Annotation::SlowMotionStart, v_now));
+            }
+        } else {
+            self.close_slow(&mut out, t, position, v_now);
+        }
+
+        // ---- Turns -------------------------------------------------------
+        if is_sharp_turn {
+            out.push(self.point(
+                position,
+                t,
+                Annotation::Turn { change_deg: turn_change },
+                v_now,
+            ));
+            self.turn_deltas.clear();
+        } else if moving_now && was_moving {
+            // Accumulate drift over the last m−1 steps for smooth turns.
+            if self.turn_deltas.len() == self.params.m.saturating_sub(1) {
+                self.turn_deltas.pop_front();
+            }
+            self.turn_deltas.push_back(turn_change);
+            let cumulative: f64 = self.turn_deltas.iter().sum();
+            if cumulative.abs() > self.params.turn_threshold_deg {
+                out.push(self.point(
+                    position,
+                    t,
+                    Annotation::SmoothTurn { cumulative_deg: cumulative },
+                    v_now,
+                ));
+                self.turn_deltas.clear();
+            }
+        } else {
+            self.turn_deltas.clear();
+        }
+
+        // ---- Speed change ------------------------------------------------
+        if speed_changed && !is_sharp_turn {
+            out.push(self.point(
+                position,
+                t,
+                Annotation::SpeedChange {
+                    prev_knots: v_prev.speed_knots,
+                    now_knots: v_now.speed_knots,
+                },
+                v_now,
+            ));
+        }
+
+        self.accept(position, t, v_now, true);
+        out
+    }
+
+    /// Flushes open durative states at end of stream (or vessel removal)
+    /// and anchors the trajectory tail with a [`Annotation::TrackEnd`]
+    /// point at the last accepted fix, so reconstruction covers the final
+    /// leg of the voyage.
+    pub fn finish(&mut self) -> Vec<CriticalPoint> {
+        let mut out = Vec::new();
+        if let Some(last) = self.last.take() {
+            self.close_stop(&mut out, last.timestamp, last.position, last.velocity);
+            self.close_slow(&mut out, last.timestamp, last.position, last.velocity);
+            out.push(self.point(
+                last.position,
+                last.timestamp,
+                Annotation::TrackEnd,
+                last.velocity,
+            ));
+        }
+        out
+    }
+
+    /// Reports a communication gap for a vessel that has been silent for
+    /// more than ΔT as of `now`, without waiting for its next fix — the
+    /// push-style detection needed for vessels that never report again
+    /// (e.g. a transmitter switched off for good near a protected area).
+    ///
+    /// Emits at most one [`Annotation::GapStart`] per silence: repeated
+    /// sweeps are idempotent, and the eventual next fix (if any) emits the
+    /// matching [`Annotation::GapEnd`] instead of a duplicate start.
+    pub fn sweep_gap(&mut self, now: Timestamp) -> Vec<CriticalPoint> {
+        let mut out = Vec::new();
+        let Some(last) = self.last else {
+            return out;
+        };
+        if self.gap_open || (now - last.timestamp) <= self.params.gap_period {
+            return out;
+        }
+        self.close_stop(&mut out, last.timestamp, last.position, last.velocity);
+        self.close_slow(&mut out, last.timestamp, last.position, last.velocity);
+        out.push(self.point(
+            last.position,
+            last.timestamp,
+            Annotation::GapStart,
+            last.velocity,
+        ));
+        self.reset_motion_state();
+        self.gap_open = true;
+        out
+    }
+
+    /// Whether a communication gap is currently open (reported by a sweep
+    /// and not yet closed by a fresh fix).
+    #[must_use]
+    pub fn gap_open(&self) -> bool {
+        self.gap_open
+    }
+
+    /// Whether a long-term stop is currently confirmed.
+    #[must_use]
+    pub fn in_confirmed_stop(&self) -> bool {
+        self.stop.as_ref().is_some_and(|s| s.confirmed)
+    }
+
+    /// Whether slow motion is currently confirmed.
+    #[must_use]
+    pub fn in_confirmed_slow_motion(&self) -> bool {
+        self.slow.as_ref().is_some_and(|s| s.confirmed)
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn is_outlier(&self, v_now: VelocityVector, v_prev: VelocityVector, prev_known: bool) -> bool {
+        if self.history.len() < 3 {
+            return false;
+        }
+        let track: Vec<_> = self.history.iter().copied().collect();
+        let Some(mean) = mean_speed_knots(&track) else {
+            return false;
+        };
+        // Hard speed explosion: no plausible vessel motion.
+        let hard = v_now.speed_knots
+            > (mean * self.params.outlier_speed_factor).max(self.params.outlier_speed_floor_knots);
+        // Softer spike: clearly faster than the recent course AND veering
+        // sharply off the previous heading — the "both speed and heading"
+        // signature of a corrupted fix.
+        let spike = prev_known
+            && v_now.speed_knots > (mean * 2.0).max(25.0)
+            && v_now.heading_change_deg(v_prev) > 60.0;
+        hard || spike
+    }
+
+    fn accept(
+        &mut self,
+        position: GeoPoint,
+        t: Timestamp,
+        v: VelocityVector,
+        velocity_known: bool,
+    ) {
+        self.last = Some(Fix {
+            position,
+            timestamp: t,
+            velocity: v,
+            velocity_known,
+        });
+        if self.history.len() == self.params.m {
+            self.history.pop_front();
+        }
+        self.history.push_back((position, t));
+    }
+
+    fn reset_motion_state(&mut self) {
+        self.history.clear();
+        self.turn_deltas.clear();
+        self.stop = None;
+        self.slow = None;
+    }
+
+    fn close_stop(
+        &mut self,
+        out: &mut Vec<CriticalPoint>,
+        t: Timestamp,
+        position: GeoPoint,
+        v: VelocityVector,
+    ) {
+        if let Some(run) = self.stop.take() {
+            if run.confirmed {
+                let duration = t - run.start;
+                out.push(self.point(
+                    position,
+                    t,
+                    Annotation::StopEnd {
+                        centroid: run.centroid(),
+                        duration,
+                    },
+                    v,
+                ));
+            }
+        }
+    }
+
+    fn close_slow(
+        &mut self,
+        out: &mut Vec<CriticalPoint>,
+        t: Timestamp,
+        position: GeoPoint,
+        v: VelocityVector,
+    ) {
+        if let Some(run) = self.slow.take() {
+            if run.confirmed {
+                out.push(self.point(position, t, Annotation::SlowMotionEnd, v));
+            }
+        }
+    }
+
+    fn point(
+        &mut self,
+        position: GeoPoint,
+        t: Timestamp,
+        annotation: Annotation,
+        v: VelocityVector,
+    ) -> CriticalPoint {
+        self.stats.critical += 1;
+        CriticalPoint {
+            mmsi: self.mmsi,
+            position,
+            timestamp: t,
+            annotation,
+            speed_knots: v.speed_knots,
+            heading_deg: v.heading_deg,
+        }
+    }
+}
+
+/// Median position of a run: the element whose timestamp is the middle of
+/// the run (the paper reports "the median of these m positions").
+fn median_point(points: &[(GeoPoint, Timestamp)]) -> (GeoPoint, Timestamp) {
+    points[points.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Annotation as A;
+    use maritime_geo::{destination, knots_to_mps};
+
+    fn tracker() -> VesselTracker {
+        VesselTracker::new(Mmsi(237_000_001), TrackerParams::default())
+    }
+
+    /// Generates fixes along a straight line at constant speed.
+    fn straight_leg(
+        from: GeoPoint,
+        bearing: f64,
+        speed_knots: f64,
+        step_secs: i64,
+        n: usize,
+        t0: Timestamp,
+    ) -> Vec<(GeoPoint, Timestamp)> {
+        let step_m = knots_to_mps(speed_knots) * step_secs as f64;
+        (0..n)
+            .map(|i| {
+                (
+                    destination(from, bearing, step_m * i as f64),
+                    t0 + maritime_stream::Duration::secs(step_secs * i as i64),
+                )
+            })
+            .collect()
+    }
+
+    fn feed(tr: &mut VesselTracker, fixes: &[(GeoPoint, Timestamp)]) -> Vec<CriticalPoint> {
+        fixes
+            .iter()
+            .flat_map(|(p, t)| tr.process(*p, *t))
+            .collect()
+    }
+
+    #[test]
+    fn first_fix_is_track_start() {
+        let mut tr = tracker();
+        let cps = tr.process(GeoPoint::new(24.0, 37.0), Timestamp(0));
+        assert_eq!(cps.len(), 1);
+        assert!(matches!(cps[0].annotation, A::TrackStart));
+    }
+
+    #[test]
+    fn straight_cruise_emits_no_extra_critical_points() {
+        let mut tr = tracker();
+        let fixes = straight_leg(GeoPoint::new(24.0, 37.0), 45.0, 12.0, 30, 40, Timestamp(0));
+        let cps = feed(&mut tr, &fixes);
+        // Only the TrackStart anchor; everything else is superfluous.
+        assert_eq!(cps.len(), 1, "{:?}", cps.iter().map(|c| c.annotation).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stale_fixes_are_ignored() {
+        let mut tr = tracker();
+        tr.process(GeoPoint::new(24.0, 37.0), Timestamp(100));
+        let cps = tr.process(GeoPoint::new(24.1, 37.0), Timestamp(50));
+        assert!(cps.is_empty());
+        assert_eq!(tr.stats().stale, 1);
+    }
+
+    #[test]
+    fn sharp_turn_detected() {
+        let mut tr = tracker();
+        let p0 = GeoPoint::new(24.0, 37.0);
+        let mut fixes = straight_leg(p0, 90.0, 12.0, 30, 10, Timestamp(0));
+        // Turn 60 degrees at the last point and continue.
+        let corner = fixes.last().unwrap().0;
+        let after = straight_leg(corner, 150.0, 12.0, 30, 10, Timestamp(10 * 30));
+        fixes.extend(after.into_iter().skip(1));
+        let cps = feed(&mut tr, &fixes);
+        assert!(
+            cps.iter()
+                .any(|c| matches!(c.annotation, A::Turn { change_deg } if change_deg > 15.0)),
+            "{cps:?}"
+        );
+    }
+
+    #[test]
+    fn smooth_turn_accumulates_small_changes() {
+        let mut tr = tracker();
+        let mut p = GeoPoint::new(24.0, 37.0);
+        let mut bearing = 90.0;
+        let mut t = Timestamp(0);
+        let step_m = knots_to_mps(12.0) * 30.0;
+        let mut fixes = vec![(p, t)];
+        // 4 degrees per step: individually below the 15-degree threshold,
+        // cumulatively far above it.
+        for _ in 0..12 {
+            p = destination(p, bearing, step_m);
+            bearing += 4.0;
+            t = t + maritime_stream::Duration::secs(30);
+            fixes.push((p, t));
+        }
+        let cps = feed(&mut tr, &fixes);
+        assert!(
+            cps.iter()
+                .any(|c| matches!(c.annotation, A::SmoothTurn { cumulative_deg } if cumulative_deg > 15.0)),
+            "{cps:?}"
+        );
+        assert!(
+            !cps.iter().any(|c| matches!(c.annotation, A::Turn { .. })),
+            "no sharp turn should fire: {cps:?}"
+        );
+    }
+
+    #[test]
+    fn speed_change_detected_on_deceleration() {
+        let mut tr = tracker();
+        let p0 = GeoPoint::new(24.0, 37.0);
+        let mut fixes = straight_leg(p0, 90.0, 14.0, 30, 8, Timestamp(0));
+        let from = fixes.last().unwrap().0;
+        // Drop to 7 knots: |7-14|/7 = 1.0 > 0.25.
+        let slow = straight_leg(from, 90.0, 7.0, 30, 8, Timestamp(8 * 30));
+        fixes.extend(slow.into_iter().skip(1));
+        let cps = feed(&mut tr, &fixes);
+        assert!(
+            cps.iter().any(|c| matches!(
+                c.annotation,
+                A::SpeedChange { prev_knots, now_knots } if prev_knots > now_knots
+            )),
+            "{cps:?}"
+        );
+    }
+
+    #[test]
+    fn long_term_stop_start_and_end() {
+        let mut tr = tracker();
+        let anchor = GeoPoint::new(24.0, 37.0);
+        // Approach, then 15 jittered fixes within ~30 m, then leave.
+        let mut fixes = straight_leg(
+            destination(anchor, 270.0, 3_000.0),
+            90.0,
+            10.0,
+            30,
+            10,
+            Timestamp(0),
+        );
+        let mut t = Timestamp(10 * 30);
+        for i in 0..15 {
+            let p = destination(anchor, (i * 53 % 360) as f64, 15.0);
+            fixes.push((p, t));
+            t = t + maritime_stream::Duration::secs(60);
+        }
+        let depart = straight_leg(anchor, 0.0, 10.0, 30, 10, t);
+        fixes.extend(depart);
+        let cps = feed(&mut tr, &fixes);
+        let starts: Vec<_> = cps
+            .iter()
+            .filter(|c| matches!(c.annotation, A::StopStart))
+            .collect();
+        let ends: Vec<_> = cps
+            .iter()
+            .filter(|c| matches!(c.annotation, A::StopEnd { .. }))
+            .collect();
+        assert_eq!(starts.len(), 1, "{cps:?}");
+        assert_eq!(ends.len(), 1, "{cps:?}");
+        if let A::StopEnd { centroid, duration } = ends[0].annotation {
+            assert!(haversine_distance_m(centroid, anchor) < 100.0);
+            assert!(duration.as_secs() >= 10 * 60, "duration {duration}");
+        }
+        // The stop interval is ordered.
+        assert!(starts[0].timestamp < ends[0].timestamp);
+    }
+
+    #[test]
+    fn slow_motion_start_and_end() {
+        let mut tr = tracker();
+        let p0 = GeoPoint::new(24.0, 37.0);
+        let mut fixes = straight_leg(p0, 90.0, 12.0, 30, 8, Timestamp(0));
+        let from = fixes.last().unwrap().0;
+        // 2.5 knots for 15 fixes: above v_min (1), below v_low (4).
+        let crawl = straight_leg(from, 90.0, 2.5, 60, 15, Timestamp(8 * 30));
+        fixes.extend(crawl.into_iter().skip(1));
+        let from2 = fixes.last().unwrap().0;
+        let resume = straight_leg(from2, 90.0, 12.0, 30, 8, Timestamp(8 * 30 + 15 * 60));
+        fixes.extend(resume.into_iter().skip(1));
+        let cps = feed(&mut tr, &fixes);
+        assert!(
+            cps.iter().any(|c| matches!(c.annotation, A::SlowMotionStart)),
+            "{cps:?}"
+        );
+        assert!(
+            cps.iter().any(|c| matches!(c.annotation, A::SlowMotionEnd)),
+            "{cps:?}"
+        );
+        // A crawl along a path must NOT be classified as a stop.
+        assert!(!cps.iter().any(|c| matches!(c.annotation, A::StopStart)));
+    }
+
+    #[test]
+    fn gap_emits_start_and_end() {
+        let mut tr = tracker();
+        let p0 = GeoPoint::new(24.0, 37.0);
+        tr.process(p0, Timestamp(0));
+        tr.process(destination(p0, 90.0, 300.0), Timestamp(60));
+        // Silent for 20 minutes (> 10-minute threshold).
+        let far = destination(p0, 90.0, 8_000.0);
+        let cps = tr.process(far, Timestamp(60 + 1_200));
+        let labels: Vec<_> = cps.iter().map(|c| c.annotation.label()).collect();
+        assert_eq!(labels, vec!["gap_start", "gap_end"]);
+        // GapStart is back-dated to the last position seen.
+        assert_eq!(cps[0].timestamp, Timestamp(60));
+        assert_eq!(cps[1].timestamp, Timestamp(1_260));
+    }
+
+    #[test]
+    fn outlier_is_discarded_and_track_unaffected() {
+        let mut tr = tracker();
+        let fixes = straight_leg(GeoPoint::new(24.0, 37.0), 90.0, 10.0, 30, 10, Timestamp(0));
+        feed(&mut tr, &fixes);
+        let last_good = fixes.last().unwrap();
+        // A fix 40 km off-course 30 s later: implied speed ~2,600 knots.
+        let outlier_pos = destination(last_good.0, 0.0, 40_000.0);
+        let cps = tr.process(outlier_pos, last_good.1 + maritime_stream::Duration::secs(30));
+        assert!(cps.is_empty(), "{cps:?}");
+        assert_eq!(tr.stats().outliers, 1);
+        // The course continues from the last good fix without a turn event.
+        let next = destination(
+            last_good.0,
+            90.0,
+            knots_to_mps(10.0) * 60.0,
+        );
+        let cps = tr.process(next, last_good.1 + maritime_stream::Duration::secs(60));
+        assert!(
+            !cps.iter().any(|c| matches!(c.annotation, A::Turn { .. })),
+            "{cps:?}"
+        );
+    }
+
+    #[test]
+    fn finish_closes_open_stop() {
+        let mut tr = tracker();
+        let anchor = GeoPoint::new(24.0, 37.0);
+        let mut t = Timestamp(0);
+        for i in 0..15 {
+            let p = destination(anchor, (i * 91 % 360) as f64, 10.0);
+            tr.process(p, t);
+            t = t + maritime_stream::Duration::secs(60);
+        }
+        assert!(tr.in_confirmed_stop());
+        let cps = tr.finish();
+        assert!(cps.iter().any(|c| matches!(c.annotation, A::StopEnd { .. })));
+        assert!(!tr.in_confirmed_stop());
+    }
+
+    #[test]
+    fn gap_closes_open_stop_before_reporting() {
+        let mut tr = tracker();
+        let anchor = GeoPoint::new(24.0, 37.0);
+        let mut t = Timestamp(0);
+        for i in 0..15 {
+            let p = destination(anchor, (i * 91 % 360) as f64, 10.0);
+            tr.process(p, t);
+            t = t + maritime_stream::Duration::secs(60);
+        }
+        assert!(tr.in_confirmed_stop());
+        // Vanish for an hour, reappear far away.
+        let cps = tr.process(
+            destination(anchor, 90.0, 20_000.0),
+            t + maritime_stream::Duration::hours(1),
+        );
+        let labels: Vec<_> = cps.iter().map(|c| c.annotation.label()).collect();
+        assert_eq!(labels, vec!["stop_end", "gap_start", "gap_end"]);
+    }
+
+    #[test]
+    fn sweep_reports_gap_for_silent_vessel() {
+        let mut tr = tracker();
+        let p0 = GeoPoint::new(24.0, 37.0);
+        tr.process(p0, Timestamp(0));
+        tr.process(destination(p0, 90.0, 300.0), Timestamp(60));
+        // Nothing yet at 5 minutes of silence.
+        assert!(tr.sweep_gap(Timestamp(60 + 300)).is_empty());
+        // At 11 minutes the gap is reported at the last known fix.
+        let cps = tr.sweep_gap(Timestamp(60 + 660));
+        assert_eq!(cps.len(), 1);
+        assert!(matches!(cps[0].annotation, A::GapStart));
+        assert_eq!(cps[0].timestamp, Timestamp(60));
+        assert!(tr.gap_open());
+        // Idempotent: further sweeps stay quiet.
+        assert!(tr.sweep_gap(Timestamp(60 + 2_000)).is_empty());
+    }
+
+    #[test]
+    fn next_fix_after_sweep_emits_only_gap_end() {
+        let mut tr = tracker();
+        let p0 = GeoPoint::new(24.0, 37.0);
+        tr.process(p0, Timestamp(0));
+        tr.process(destination(p0, 90.0, 300.0), Timestamp(60));
+        tr.sweep_gap(Timestamp(60 + 660));
+        let cps = tr.process(destination(p0, 90.0, 9_000.0), Timestamp(60 + 1_200));
+        let labels: Vec<_> = cps.iter().map(|c| c.annotation.label()).collect();
+        assert_eq!(labels, vec!["gap_end"], "no duplicate gap_start");
+        assert!(!tr.gap_open());
+    }
+
+    #[test]
+    fn sweep_closes_open_stop_first() {
+        let mut tr = tracker();
+        let anchor = GeoPoint::new(24.0, 37.0);
+        let mut t = Timestamp(0);
+        for i in 0..15 {
+            tr.process(destination(anchor, (i * 91 % 360) as f64, 10.0), t);
+            t = t + maritime_stream::Duration::secs(60);
+        }
+        assert!(tr.in_confirmed_stop());
+        let cps = tr.sweep_gap(t + maritime_stream::Duration::minutes(15));
+        let labels: Vec<_> = cps.iter().map(|c| c.annotation.label()).collect();
+        assert_eq!(labels, vec!["stop_end", "gap_start"]);
+        assert!(!tr.in_confirmed_stop());
+    }
+
+    #[test]
+    fn late_fix_within_threshold_closes_premature_gap() {
+        let mut tr = tracker();
+        let p0 = GeoPoint::new(24.0, 37.0);
+        tr.process(p0, Timestamp(0));
+        tr.process(destination(p0, 90.0, 300.0), Timestamp(60));
+        tr.sweep_gap(Timestamp(60 + 660));
+        // A delayed fix from t=300 arrives: the silence was < ΔT after
+        // all. The gap closes without a second start.
+        let cps = tr.process(destination(p0, 90.0, 1_500.0), Timestamp(300));
+        let labels: Vec<_> = cps.iter().map(|c| c.annotation.label()).collect();
+        assert_eq!(labels, vec!["gap_end"]);
+        assert!(!tr.gap_open());
+    }
+
+    #[test]
+    fn compression_is_high_on_realistic_leg() {
+        // A long cruise with mild heading wobble and one port stop should
+        // retain only a few percent of raw positions.
+        let mut tr = tracker();
+        let mut fixes = straight_leg(GeoPoint::new(23.7, 37.9), 135.0, 14.0, 30, 400, Timestamp(0));
+        let arrival = fixes.last().unwrap().0;
+        let mut t = Timestamp(400 * 30);
+        for i in 0..30 {
+            fixes.push((destination(arrival, (i * 37 % 360) as f64, 12.0), t));
+            t = t + maritime_stream::Duration::secs(120);
+        }
+        let cps = feed(&mut tr, &fixes);
+        let ratio = 1.0 - cps.len() as f64 / fixes.len() as f64;
+        assert!(ratio > 0.9, "compression ratio {ratio}, {} cps", cps.len());
+    }
+}

@@ -1,0 +1,150 @@
+//! Dark rendezvous: detecting a ship-to-ship transfer with the extension
+//! complex events (`loitering` + rendezvous pairing).
+//!
+//! Two vessels sail from different directions to the same patch of open
+//! sea, drift side by side for an hour (a transshipment), then part ways.
+//! A third vessel stops inside a port for twice as long — business as
+//! usual, not loitering. Raw positions go through the real mobility
+//! tracker; the extension recognizer works on the resulting critical
+//! points.
+//!
+//! ```text
+//! cargo run --example dark_rendezvous --release
+//! ```
+
+use maritime::prelude::*;
+use maritime_cer::ExtendedRecognizer;
+use maritime_geo::destination;
+
+fn leg(
+    from: GeoPoint,
+    bearing: f64,
+    knots: f64,
+    step_secs: i64,
+    n: usize,
+    t0: Timestamp,
+) -> Vec<(GeoPoint, Timestamp)> {
+    let step_m = maritime_geo::knots_to_mps(knots) * step_secs as f64;
+    (0..n)
+        .map(|i| {
+            (
+                destination(from, bearing, step_m * i as f64),
+                t0 + Duration::secs(step_secs * i as i64),
+            )
+        })
+        .collect()
+}
+
+fn drift(center: GeoPoint, n: usize, step_secs: i64, t0: Timestamp) -> Vec<(GeoPoint, Timestamp)> {
+    (0..n)
+        .map(|i| {
+            (
+                destination(center, (i * 67 % 360) as f64, 10.0),
+                t0 + Duration::secs(step_secs * i as i64),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let meeting_point = GeoPoint::new(24.9, 38.3);
+    let piraeus = GeoPoint::new(23.62, 37.94);
+
+    let areas = vec![Area::new(
+        AreaId(0),
+        "Piraeus",
+        AreaKind::Port,
+        Polygon::circle(piraeus, 2_500.0, 16),
+    )];
+    let vessels = vec![
+        VesselInfo { mmsi: Mmsi(101), draft_m: 5.0, is_fishing: false },
+        VesselInfo { mmsi: Mmsi(202), draft_m: 7.0, is_fishing: false },
+        VesselInfo { mmsi: Mmsi(303), draft_m: 6.0, is_fishing: false },
+    ];
+
+    // --- Scripted traces -----------------------------------------------
+    let mut stream: Vec<PositionTuple> = Vec::new();
+    for (mmsi, approach_bearing, lateral) in [(101u32, 45.0, 0.0), (202, 315.0, 400.0)] {
+        let spot = destination(meeting_point, 90.0, lateral);
+        let start = destination(spot, approach_bearing + 180.0, 15_000.0);
+        // Approach at 11 knots, drift for ~70 minutes, leave.
+        let mut fixes = leg(start, approach_bearing, 11.0, 30, 88, Timestamp(0));
+        let arrive_t = fixes.last().unwrap().1 + Duration::secs(60);
+        fixes.extend(drift(spot, 42, 100, arrive_t));
+        let leave_t = fixes.last().unwrap().1 + Duration::secs(60);
+        fixes.extend(leg(spot, approach_bearing, 11.0, 30, 40, leave_t));
+        stream.extend(fixes.into_iter().map(|(p, t)| PositionTuple {
+            mmsi: Mmsi(mmsi),
+            position: p,
+            timestamp: t,
+        }));
+    }
+    // The honest vessel: moored in Piraeus for 3 hours.
+    let moored = drift(piraeus, 90, 120, Timestamp(0));
+    stream.extend(moored.into_iter().map(|(p, t)| PositionTuple {
+        mmsi: Mmsi(303),
+        position: p,
+        timestamp: t,
+    }));
+    stream.sort_by_key(|t| t.timestamp);
+
+    // --- Track, then recognize -------------------------------------------
+    let mut tracker = MobilityTracker::new(TrackerParams::default());
+    let mut critical = Vec::new();
+    for tuple in &stream {
+        critical.extend(tracker.process(*tuple));
+    }
+    critical.extend(tracker.finish());
+
+    let spec = WindowSpec::new(Duration::hours(12), Duration::hours(1)).unwrap();
+    let mut recognizer = ExtendedRecognizer::new(
+        Knowledge::standard(vessels, areas),
+        spec,
+    );
+    recognizer.add_events(
+        critical
+            .iter()
+            .filter_map(maritime_cer::InputEvent::from_critical),
+    );
+    let report = recognizer.recognize_at(Timestamp(6 * 3_600));
+
+    // --- Report -----------------------------------------------------------
+    println!("=== Dark rendezvous watch ===");
+    println!(
+        "{} raw positions -> {} critical points",
+        stream.len(),
+        critical.len()
+    );
+    println!();
+    println!("Loitering vessels:");
+    for (mmsi, intervals) in &report.loitering {
+        for iv in intervals.intervals() {
+            let until = iv
+                .until
+                .map_or("ongoing".to_string(), |u| u.to_string());
+            println!("  vessel {mmsi}: from {} until {until}", iv.since);
+        }
+    }
+    println!();
+    println!("Rendezvous detected:");
+    for rv in &report.rendezvous {
+        println!(
+            "  {} <-> {} at ({:.4}, {:.4}), {:.0} m apart, overlap {} -> {:?}",
+            rv.vessels.0,
+            rv.vessels.1,
+            rv.location.lon,
+            rv.location.lat,
+            rv.separation_m,
+            rv.interval.since,
+            rv.interval.until,
+        );
+    }
+
+    assert_eq!(report.rendezvous.len(), 1, "the transfer must be detected");
+    let loiterers: Vec<Mmsi> = report.loitering.iter().map(|(m, _)| *m).collect();
+    assert!(
+        !loiterers.contains(&Mmsi(303)),
+        "the moored vessel must not count as loitering"
+    );
+    println!("\nwatch complete: one rendezvous, moored vessel correctly ignored.");
+}

@@ -1,0 +1,165 @@
+//! Illegal-fishing patrol: the scenarios of §4.1 on a scripted incident.
+//!
+//! A marine park is declared around the (real) National Marine Park of
+//! Alonnisos; a neighbouring bank is closed to fishing. We script four
+//! vessels:
+//!
+//! * `TRAWLER-A` and `TRAWLER-B` — fishing vessels that creep over the
+//!   closed bank at trawling speed (illegal fishing, rule-set 4);
+//! * `TANKER-X` — a rogue tanker that switches off its transponder right
+//!   before crossing the park (illegal shipping, rule 5);
+//! * `COASTER-Y` — a deep-draft coaster crawling across a 4-meter shoal
+//!   (dangerous shipping, rule 6).
+//!
+//! The raw AIS positions are pushed through the *real* pipeline: data
+//! scanner semantics, mobility tracker, critical points, RTEC rules.
+//!
+//! ```text
+//! cargo run --example illegal_fishing_patrol --release
+//! ```
+
+use maritime::prelude::*;
+use maritime_geo::destination;
+
+/// Generates fixes along a straight leg at a constant speed.
+fn leg(
+    from: GeoPoint,
+    bearing_deg: f64,
+    speed_knots: f64,
+    step_secs: i64,
+    n: usize,
+    t0: Timestamp,
+) -> Vec<(GeoPoint, Timestamp)> {
+    let step_m = maritime_geo::knots_to_mps(speed_knots) * step_secs as f64;
+    (0..n)
+        .map(|i| {
+            (
+                destination(from, bearing_deg, step_m * i as f64),
+                t0 + Duration::secs(step_secs * i as i64),
+            )
+        })
+        .collect()
+}
+
+fn tuples(mmsi: u32, fixes: Vec<(GeoPoint, Timestamp)>) -> Vec<PositionTuple> {
+    fixes
+        .into_iter()
+        .map(|(p, t)| PositionTuple {
+            mmsi: Mmsi(mmsi),
+            position: p,
+            timestamp: t,
+        })
+        .collect()
+}
+
+fn main() {
+    // --- Static knowledge -------------------------------------------------
+    let alonnisos = GeoPoint::new(23.93, 39.20);
+    let closed_bank = GeoPoint::new(23.60, 39.00);
+    let shoal = GeoPoint::new(24.30, 38.90);
+    let areas = vec![
+        Area::new(
+            AreaId(0),
+            "Alonnisos Marine Park",
+            AreaKind::Protected,
+            Polygon::circle(alonnisos, 12_000.0, 20),
+        ),
+        Area::new(
+            AreaId(1),
+            "Closed fishing bank",
+            AreaKind::ForbiddenFishing,
+            Polygon::circle(closed_bank, 8_000.0, 20),
+        ),
+        Area::new(
+            AreaId(2),
+            "Four-meter shoal",
+            AreaKind::Shallow { depth_m: 4.0 },
+            Polygon::circle(shoal, 6_000.0, 20),
+        ),
+    ];
+    let vessels = vec![
+        VesselInfo { mmsi: Mmsi(1), draft_m: 3.0, is_fishing: true }, // TRAWLER-A
+        VesselInfo { mmsi: Mmsi(2), draft_m: 3.2, is_fishing: true }, // TRAWLER-B
+        VesselInfo { mmsi: Mmsi(3), draft_m: 12.0, is_fishing: false }, // TANKER-X
+        VesselInfo { mmsi: Mmsi(4), draft_m: 6.5, is_fishing: false }, // COASTER-Y
+    ];
+
+    // --- Scripted traces ---------------------------------------------------
+    let mut stream: Vec<PositionTuple> = Vec::new();
+
+    // Trawlers approach the bank at 9 knots, then trawl across it at 2.5
+    // knots for over an hour.
+    for (mmsi, offset) in [(1u32, 0.0), (2, 800.0)] {
+        let start = destination(closed_bank, 250.0, 9_000.0 + offset);
+        let mut fixes = leg(start, 70.0, 9.0, 30, 40, Timestamp(0));
+        let on_bank = fixes.last().unwrap().0;
+        let crawl = leg(on_bank, 70.0, 2.5, 60, 70, fixes.last().unwrap().1);
+        fixes.extend(crawl.into_iter().skip(1));
+        stream.extend(tuples(mmsi, fixes));
+    }
+
+    // The tanker sails toward the park at 12 knots, goes dark for 35
+    // minutes right at the boundary, and reappears on the far side.
+    let tanker_start = destination(alonnisos, 200.0, 24_000.0);
+    let mut fixes = leg(tanker_start, 20.0, 12.0, 30, 75, Timestamp(0));
+    let dark_at = *fixes.last().unwrap();
+    let resume_pos = destination(dark_at.0, 20.0, 13_000.0);
+    let resume_t = dark_at.1 + Duration::minutes(35);
+    let mut after = leg(resume_pos, 20.0, 12.0, 30, 40, resume_t);
+    fixes.append(&mut after);
+    stream.extend(tuples(3, fixes));
+
+    // The coaster crosses the shoal at 3 knots (slow + too little water
+    // under the keel).
+    let coaster_start = destination(shoal, 270.0, 9_000.0);
+    let mut fixes = leg(coaster_start, 90.0, 11.0, 30, 30, Timestamp(0));
+    let edge = fixes.last().unwrap().0;
+    let crawl = leg(edge, 90.0, 3.0, 60, 60, fixes.last().unwrap().1);
+    fixes.extend(crawl.into_iter().skip(1));
+    stream.extend(tuples(4, fixes));
+
+    stream.sort_by_key(|t| t.timestamp);
+
+    // --- Run the real pipeline ---------------------------------------------
+    let config = SurveillanceConfig::default();
+    let mut pipeline = SurveillancePipeline::new(&config, vessels, areas).expect("valid config");
+    let report = pipeline.run(stream);
+
+    println!("=== Illegal fishing patrol ===");
+    println!(
+        "{} raw positions -> {} critical points ({:.1}% compression)",
+        report.raw_positions,
+        report.critical_points,
+        report.compression_ratio * 100.0
+    );
+    println!();
+    println!("Recognized situations:");
+    for record in pipeline.alerts().records() {
+        println!("  {}", record.render());
+    }
+
+    let fishing_ces = pipeline
+        .alerts()
+        .records()
+        .iter()
+        .filter(|r| r.render().contains("illegalFishing"))
+        .count();
+    let shipping_alerts = pipeline
+        .alerts()
+        .records()
+        .iter()
+        .filter(|r| r.render().contains("ILLEGAL SHIPPING"))
+        .count();
+    let dangerous = pipeline
+        .alerts()
+        .records()
+        .iter()
+        .filter(|r| r.render().contains("DANGEROUS"))
+        .count();
+    println!();
+    println!("summary: {fishing_ces} illegal-fishing boundary records, {shipping_alerts} illegal-shipping alerts, {dangerous} dangerous-shipping alerts");
+    assert!(fishing_ces > 0, "the trawlers must be caught");
+    assert!(shipping_alerts > 0, "the dark tanker must be caught");
+    assert!(dangerous > 0, "the coaster must be caught");
+    println!("patrol complete: all three incident types recognized.");
+}

@@ -1,0 +1,146 @@
+//! End-to-end pipeline tests: raw synthetic AIS stream in, alerts and
+//! archived trips out, with conservation and determinism invariants.
+
+use maritime::prelude::*;
+
+fn fleet(seed: u64, vessels: usize, hours: i64) -> FleetSimulator {
+    FleetSimulator::new(FleetConfig {
+        seed,
+        vessels,
+        duration: Duration::hours(hours),
+        ..FleetConfig::default()
+    })
+}
+
+fn run(sim: &FleetSimulator, config: &SurveillanceConfig) -> (RunReport, Vec<String>) {
+    let areas = generate_areas(&AreaGenConfig::default());
+    let vessels: Vec<VesselInfo> = sim.profiles().iter().map(VesselInfo::from).collect();
+    let mut pipeline = SurveillancePipeline::new(config, vessels, areas).unwrap();
+    let report = pipeline.run(sim.generate().into_iter().map(PositionTuple::from));
+    let alerts = pipeline
+        .alerts()
+        .records()
+        .iter()
+        .map(maritime::AlertRecord::render)
+        .collect();
+    (report, alerts)
+}
+
+#[test]
+fn full_run_conserves_critical_points() {
+    let sim = fleet(11, 25, 12);
+    let (report, _) = run(&sim, &SurveillanceConfig::default());
+    // Every critical point ends up either in a reconstructed trip or in
+    // the staging area — nothing is silently dropped.
+    let accounted = report.archive.points_in_trajectories + report.archive.points_in_staging;
+    assert_eq!(accounted as u64, report.critical_points);
+    assert!(report.raw_positions > 10_000);
+    assert!(report.compression_ratio > 0.8, "{}", report.compression_ratio);
+}
+
+#[test]
+fn two_runs_are_bit_identical() {
+    let sim = fleet(12, 15, 8);
+    let (r1, a1) = run(&sim, &SurveillanceConfig::default());
+    let (r2, a2) = run(&sim, &SurveillanceConfig::default());
+    assert_eq!(r1.raw_positions, r2.raw_positions);
+    assert_eq!(r1.critical_points, r2.critical_points);
+    assert_eq!(r1.ce_total, r2.ce_total);
+    assert_eq!(a1, a2);
+    assert_eq!(r1.archive.trips, r2.archive.trips);
+}
+
+#[test]
+fn rogue_heavy_fleet_raises_complex_events() {
+    // Force every vessel rogue: deliberate mid-leg gaps plus fishing
+    // loitering over 24 hours must produce at least one recognized CE or
+    // alert somewhere near the 35 synthetic areas.
+    let sim = FleetSimulator::new(FleetConfig {
+        seed: 13,
+        vessels: 40,
+        duration: Duration::hours(24),
+        rogue_fraction: 1.0,
+        ..FleetConfig::default()
+    });
+    let (report, _) = run(&sim, &SurveillanceConfig::default());
+    assert!(
+        report.ce_total > 0 || report.alerts > 0,
+        "no complex events from a rogue-heavy day: {report:?}"
+    );
+}
+
+#[test]
+fn tighter_tracker_produces_more_recognizer_input() {
+    let sim = fleet(14, 15, 8);
+    let tight = SurveillanceConfig {
+        tracker: TrackerParams::with_turn_threshold(5.0),
+        ..SurveillanceConfig::default()
+    };
+    let loose = SurveillanceConfig {
+        tracker: TrackerParams::with_turn_threshold(20.0),
+        ..SurveillanceConfig::default()
+    };
+    let (rt, _) = run(&sim, &tight);
+    let (rl, _) = run(&sim, &loose);
+    assert!(
+        rt.critical_points > rl.critical_points,
+        "Δθ=5° {} <= Δθ=20° {}",
+        rt.critical_points,
+        rl.critical_points
+    );
+}
+
+#[test]
+fn windows_of_different_scale_process_same_stream() {
+    // Same stream, different window specs: totals that do not depend on
+    // windowing (raw count, compression) must agree.
+    let sim = fleet(15, 10, 8);
+    let small = SurveillanceConfig {
+        tracking_window: WindowSpec::new(Duration::hours(1), Duration::minutes(10)).unwrap(),
+        recognition_window: WindowSpec::new(Duration::hours(2), Duration::hours(1)).unwrap(),
+        ..SurveillanceConfig::default()
+    };
+    let large = SurveillanceConfig {
+        tracking_window: WindowSpec::new(Duration::hours(6), Duration::hours(1)).unwrap(),
+        recognition_window: WindowSpec::new(Duration::hours(6), Duration::hours(1)).unwrap(),
+        ..SurveillanceConfig::default()
+    };
+    let (rs, _) = run(&sim, &small);
+    let (rl, _) = run(&sim, &large);
+    assert_eq!(rs.raw_positions, rl.raw_positions);
+    assert_eq!(rs.critical_points, rl.critical_points);
+    assert!(rs.slides > rl.slides);
+}
+
+#[test]
+fn nmea_roundtrip_feeds_pipeline_equivalently() {
+    // Encoding the fleet stream as NMEA sentences and scanning it back
+    // must yield the same surveillance outcome (modulo the sub-meter wire
+    // quantization, which does not change event detection).
+    use maritime_ais::replay::roundtrip_nmea;
+    let sim = fleet(16, 8, 6);
+    let reports = sim.generate();
+    let (tuples, scanner) = roundtrip_nmea(&reports, 0.0, 0);
+    assert_eq!(scanner.stats().accepted as usize, reports.len());
+
+    let areas = generate_areas(&AreaGenConfig::default());
+    let vessels: Vec<VesselInfo> = sim.profiles().iter().map(VesselInfo::from).collect();
+    let config = SurveillanceConfig::default();
+
+    let mut direct = SurveillancePipeline::new(&config, vessels.clone(), areas.clone()).unwrap();
+    let rd = direct.run(reports.iter().map(|r| PositionTuple::from(*r)));
+
+    let mut scanned = SurveillancePipeline::new(&config, vessels, areas).unwrap();
+    let rs = scanned.run(tuples);
+
+    assert_eq!(rd.raw_positions, rs.raw_positions);
+    // Wire quantization moves positions < 0.2 m; critical point counts
+    // should be identical or within a hair.
+    let diff = rd.critical_points.abs_diff(rs.critical_points);
+    assert!(
+        diff <= rd.critical_points / 100 + 2,
+        "direct {} vs scanned {}",
+        rd.critical_points,
+        rs.critical_points
+    );
+}

@@ -1,0 +1,211 @@
+//! RTEC semantics checks: the engine against a naive reference model, the
+//! delayed-event scenario of Figure 5, and window-cost independence.
+
+use maritime_rtec::{
+    Duration, Engine, EventDescription, FluentDef, Interval, Timestamp, Trigger, WindowSpec,
+};
+
+/// Toy events: set/unset a boolean fluent per machine id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    On(u8),
+    Off(u8),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Active(u8);
+
+type Desc = EventDescription<(), Ev, Active, ()>;
+
+fn description() -> Desc {
+    EventDescription::new().fluent(
+        FluentDef::new("active")
+            .initiated(|_, _, trig: Trigger<'_, Ev, Active>, _| match trig.input() {
+                Some(Ev::On(id)) => vec![Active(*id)],
+                _ => vec![],
+            })
+            .terminated(|_, _, trig: Trigger<'_, Ev, Active>, _| match trig.input() {
+                Some(Ev::Off(id)) => vec![Active(*id)],
+                _ => vec![],
+            }),
+    )
+}
+
+/// Naive reference: holdsAt(T) by the Event Calculus definition — an
+/// initiation at Ts < T with no break in (Ts, T].
+fn reference_holds_at(events: &[(i64, Ev)], id: u8, t: i64) -> bool {
+    let mut initiated: Option<i64> = None;
+    for (et, ev) in events {
+        match ev {
+            Ev::On(i) if *i == id && *et < t
+                && initiated.is_none_or(|prev| *et > prev) => {
+                    initiated = Some(*et);
+                }
+            _ => {}
+        }
+    }
+    let Some(ts) = initiated else { return false };
+    // The maximal interval is (Ts, Tf]: the fluent still holds AT its
+    // termination point (paper: "F=V holds at all T such that 10 < T ≤ 25"
+    // when terminated at 25), so only terminations strictly before T break.
+    !events.iter().any(|(et, ev)| {
+        matches!(ev, Ev::Off(i) if *i == id) && *et > ts && *et < t
+    })
+}
+
+/// Deterministic pseudo-random sequence without external crates.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn engine_matches_reference_model_on_random_sequences() {
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    for round in 0..25 {
+        // Generate a random event sequence for 3 machine ids.
+        let mut events: Vec<(i64, Ev)> = Vec::new();
+        let len = 10 + (xorshift(&mut seed) % 40) as usize;
+        for _ in 0..len {
+            let t = (xorshift(&mut seed) % 1_000) as i64;
+            let id = (xorshift(&mut seed) % 3) as u8;
+            let ev = if xorshift(&mut seed).is_multiple_of(2) { Ev::On(id) } else { Ev::Off(id) };
+            events.push((t, ev));
+        }
+        // Sort (the reference assumes nothing, the engine sorts anyway,
+        // but identical chronology keeps same-timestamp semantics aligned).
+        events.sort_by_key(|(t, _)| *t);
+        // Drop duplicate (t, id) collisions where On and Off of the same
+        // id share a timestamp: initiation/termination at the same point
+        // is order-sensitive in the naive model.
+        let mut filtered: Vec<(i64, Ev)> = Vec::new();
+        for (t, ev) in events {
+            let id = match &ev { Ev::On(i) | Ev::Off(i) => *i };
+            if filtered.iter().any(|(ft, fe)| {
+                *ft == t && matches!(fe, Ev::On(i) | Ev::Off(i) if *i == id)
+            }) {
+                continue;
+            }
+            filtered.push((t, ev));
+        }
+
+        let spec = WindowSpec::new(Duration::secs(10_000), Duration::secs(100)).unwrap();
+        let mut engine = Engine::new((), description(), spec);
+        engine.add_events(
+            filtered
+                .iter()
+                .map(|(t, e)| (Timestamp(*t), e.clone())),
+        );
+        let r = engine.recognize_at(Timestamp(2_000));
+
+        for id in 0..3u8 {
+            for probe in [0i64, 1, 50, 123, 500, 999, 1_000, 1_500] {
+                let engine_says = r
+                    .fluents
+                    .get(&Active(id))
+                    .is_some_and(|il| il.holds_at(Timestamp(probe)));
+                let reference_says = reference_holds_at(&filtered, id, probe);
+                assert_eq!(
+                    engine_says, reference_says,
+                    "round {round}, id {id}, t {probe}, events {filtered:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure5_delayed_events_are_used_at_the_next_query() {
+    // The Figure 5 scenario: window range ω larger than slide β; events
+    // occurring before Q_{i-1} but arriving after it are not lost — they
+    // are considered at Q_i.
+    let spec = WindowSpec::new(Duration::secs(300), Duration::secs(100)).unwrap();
+    let mut engine = Engine::new((), description(), spec);
+
+    engine.add_event(Timestamp(50), Ev::On(1));
+    let r1 = engine.recognize_at(Timestamp(100));
+    assert_eq!(
+        r1.fluents[&Active(1)].intervals(),
+        &[Interval::open(Timestamp(50))]
+    );
+
+    // The Off at t=80 was delayed: it happened before Q1=100 but arrives
+    // after. At Q2=200 it must retroactively close the interval.
+    engine.add_event(Timestamp(80), Ev::Off(1));
+    let r2 = engine.recognize_at(Timestamp(200));
+    assert_eq!(
+        r2.fluents[&Active(1)].intervals(),
+        &[Interval::closed(Timestamp(50), Timestamp(80))]
+    );
+}
+
+#[test]
+fn events_older_than_the_window_are_lost_by_design() {
+    // "Any MEs arriving between Q_{i-1} and Q_i are discarded at Q_i if
+    // they took place before or at Q_i − ω."
+    let spec = WindowSpec::new(Duration::secs(100), Duration::secs(100)).unwrap();
+    let mut engine = Engine::new((), description(), spec);
+    engine.add_event(Timestamp(10), Ev::On(1));
+    // First query: event is within (−90, 100], recognized.
+    let r1 = engine.recognize_at(Timestamp(100));
+    assert!(r1.fluents.contains_key(&Active(1)));
+    // Second query at 250: the event (t=10 ≤ 150) has expired; the fluent
+    // is forgotten even though no Off ever arrived.
+    let r2 = engine.recognize_at(Timestamp(250));
+    assert!(!r2.fluents.contains_key(&Active(1)));
+}
+
+#[test]
+fn recognition_cost_depends_on_window_not_history() {
+    // Feed a long history but a short window: working memory stays
+    // bounded by the window contents.
+    let spec = WindowSpec::new(Duration::secs(500), Duration::secs(500)).unwrap();
+    let mut engine = Engine::new((), description(), spec);
+    for i in 0..10_000i64 {
+        engine.add_event(Timestamp(i), if i % 2 == 0 { Ev::On(1) } else { Ev::Off(1) });
+        // Periodic queries keep the buffer trimmed.
+        if i % 500 == 499 {
+            let r = engine.recognize_at(Timestamp(i));
+            assert!(
+                r.working_memory <= 501,
+                "working memory {} exceeds window at t={i}",
+                r.working_memory
+            );
+        }
+    }
+}
+
+#[test]
+fn interval_list_algebra_sanity_via_engine_output() {
+    let spec = WindowSpec::new(Duration::secs(10_000), Duration::secs(100)).unwrap();
+    let mut engine = Engine::new((), description(), spec);
+    engine.add_events([
+        (Timestamp(10), Ev::On(1)),
+        (Timestamp(20), Ev::Off(1)),
+        (Timestamp(30), Ev::On(1)),
+        (Timestamp(40), Ev::Off(1)),
+        (Timestamp(15), Ev::On(2)),
+        (Timestamp(35), Ev::Off(2)),
+    ]);
+    let r = engine.recognize_at(Timestamp(100));
+    let a = &r.fluents[&Active(1)];
+    let b = &r.fluents[&Active(2)];
+    // Intersection: (15,20] and (30,35].
+    let both = a.intersect(b);
+    assert_eq!(
+        both.intervals(),
+        &[
+            Interval::closed(Timestamp(15), Timestamp(20)),
+            Interval::closed(Timestamp(30), Timestamp(35)),
+        ]
+    );
+    // Union ∪ complement covers the window span.
+    let union = a.union(b);
+    let comp = union.complement(Timestamp(0), Timestamp(100));
+    let cover = union.union(&comp);
+    assert_eq!(cover.intervals().len(), 1);
+    assert_eq!(cover.intervals()[0].since, Timestamp(0));
+    assert_eq!(cover.intervals()[0].until, Some(Timestamp(100)));
+}

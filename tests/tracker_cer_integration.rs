@@ -1,0 +1,243 @@
+//! Tracker → CER integration: scripted raw positions must flow through
+//! the mobility tracker into exactly the complex events of §4.1.
+
+use maritime::prelude::*;
+use maritime_cer::recognizer::summarize;
+use maritime_geo::destination;
+
+/// Fixes along a straight leg at constant speed.
+fn leg(
+    from: GeoPoint,
+    bearing: f64,
+    knots: f64,
+    step_secs: i64,
+    n: usize,
+    t0: Timestamp,
+) -> Vec<(GeoPoint, Timestamp)> {
+    let step_m = maritime_geo::knots_to_mps(knots) * step_secs as f64;
+    (0..n)
+        .map(|i| {
+            (
+                destination(from, bearing, step_m * i as f64),
+                t0 + Duration::secs(step_secs * i as i64),
+            )
+        })
+        .collect()
+}
+
+/// Anchored wobble around a point.
+fn anchored(center: GeoPoint, n: usize, step_secs: i64, t0: Timestamp) -> Vec<(GeoPoint, Timestamp)> {
+    (0..n)
+        .map(|i| {
+            (
+                destination(center, (i * 73 % 360) as f64, 12.0),
+                t0 + Duration::secs(step_secs * i as i64),
+            )
+        })
+        .collect()
+}
+
+fn watch_area(center: GeoPoint) -> Vec<Area> {
+    vec![Area::new(
+        AreaId(0),
+        "watch",
+        AreaKind::Watch,
+        Polygon::circle(center, 5_000.0, 16),
+    )]
+}
+
+fn recognizer_for(areas: Vec<Area>, fishing: &[u32]) -> MaritimeRecognizer {
+    let vessels: Vec<VesselInfo> = (1..=8)
+        .map(|i| VesselInfo {
+            mmsi: Mmsi(i),
+            draft_m: 5.0,
+            is_fishing: fishing.contains(&i),
+        })
+        .collect();
+    let spec = WindowSpec::new(Duration::hours(6), Duration::hours(1)).unwrap();
+    MaritimeRecognizer::new(Knowledge::standard(vessels, areas), spec)
+}
+
+#[test]
+fn four_anchored_vessels_raise_suspicious_via_tracker() {
+    let rendezvous = GeoPoint::new(24.5, 38.5);
+    let mut tracker = MobilityTracker::new(TrackerParams::default());
+    let mut recognizer = recognizer_for(watch_area(rendezvous), &[]);
+
+    // Four vessels converge and anchor inside the watch area; a fifth just
+    // sails by at speed.
+    let mut all: Vec<PositionTuple> = Vec::new();
+    for v in 1u32..=4 {
+        let spot = destination(rendezvous, f64::from(v) * 40.0, 400.0);
+        let approach = leg(
+            destination(spot, 270.0, 8_000.0),
+            90.0,
+            10.0,
+            30,
+            54,
+            Timestamp(i64::from(v) * 60),
+        );
+        let linger_start = approach.last().unwrap().1 + Duration::secs(60);
+        let linger = anchored(spot, 20, 120, linger_start);
+        for (p, t) in approach.into_iter().chain(linger) {
+            all.push(PositionTuple { mmsi: Mmsi(v), position: p, timestamp: t });
+        }
+    }
+    let passerby = leg(
+        destination(rendezvous, 180.0, 3_000.0),
+        0.0,
+        14.0,
+        30,
+        120,
+        Timestamp(0),
+    );
+    for (p, t) in passerby {
+        all.push(PositionTuple { mmsi: Mmsi(5), position: p, timestamp: t });
+    }
+    all.sort_by_key(|t| t.timestamp);
+
+    let mut critical = tracker.process_batch(all.iter());
+    critical.extend(tracker.finish());
+    recognizer.add_critical_points(&critical);
+
+    let summary = summarize(&recognizer.recognize_at(Timestamp(6 * 3_600)));
+    assert_eq!(summary.suspicious.len(), 1, "{:?}", summary.suspicious);
+    assert_eq!(summary.suspicious[0].0, AreaId(0));
+    let il = &summary.suspicious[0].1;
+    assert_eq!(il.intervals().len(), 1);
+    // Suspicion starts once the 4th vessel's long-term stop is confirmed.
+    assert!(il.intervals()[0].since > Timestamp(1_000));
+}
+
+#[test]
+fn three_vessels_are_not_enough() {
+    let rendezvous = GeoPoint::new(24.5, 38.5);
+    let mut tracker = MobilityTracker::new(TrackerParams::default());
+    let mut recognizer = recognizer_for(watch_area(rendezvous), &[]);
+    let mut all: Vec<PositionTuple> = Vec::new();
+    for v in 1u32..=3 {
+        let spot = destination(rendezvous, f64::from(v) * 60.0, 300.0);
+        for (p, t) in anchored(spot, 25, 120, Timestamp(i64::from(v) * 60)) {
+            all.push(PositionTuple { mmsi: Mmsi(v), position: p, timestamp: t });
+        }
+    }
+    all.sort_by_key(|t| t.timestamp);
+    let mut critical = tracker.process_batch(all.iter());
+    critical.extend(tracker.finish());
+    recognizer.add_critical_points(&critical);
+    let summary = summarize(&recognizer.recognize_at(Timestamp(6 * 3_600)));
+    assert!(summary.suspicious.is_empty(), "{:?}", summary.suspicious);
+}
+
+#[test]
+fn trawler_slow_motion_becomes_illegal_fishing() {
+    let bank = GeoPoint::new(25.3, 37.8);
+    let areas = vec![Area::new(
+        AreaId(0),
+        "closed bank",
+        AreaKind::ForbiddenFishing,
+        Polygon::circle(bank, 6_000.0, 16),
+    )];
+    let mut tracker = MobilityTracker::new(TrackerParams::default());
+    let mut recognizer = recognizer_for(areas, &[2]);
+
+    // Vessel 2 (fishing) trawls across the bank at 2.5 knots; vessel 3
+    // (not fishing) does the same.
+    let mut all: Vec<PositionTuple> = Vec::new();
+    for v in [2u32, 3] {
+        let start = destination(bank, 250.0, 4_000.0 + f64::from(v) * 200.0);
+        let crawl = leg(start, 70.0, 2.5, 60, 40, Timestamp(i64::from(v)));
+        for (p, t) in crawl {
+            all.push(PositionTuple { mmsi: Mmsi(v), position: p, timestamp: t });
+        }
+    }
+    all.sort_by_key(|t| t.timestamp);
+    let mut critical = tracker.process_batch(all.iter());
+    critical.extend(tracker.finish());
+    recognizer.add_critical_points(&critical);
+
+    let summary = summarize(&recognizer.recognize_at(Timestamp(6 * 3_600)));
+    assert_eq!(summary.illegal_fishing.len(), 1);
+    assert_eq!(summary.illegal_fishing[0].0, AreaId(0));
+}
+
+#[test]
+fn gap_in_protected_area_becomes_illegal_shipping_alert() {
+    let park = GeoPoint::new(23.9, 39.2);
+    let areas = vec![Area::new(
+        AreaId(0),
+        "park",
+        AreaKind::Protected,
+        Polygon::circle(park, 10_000.0, 16),
+    )];
+    let mut tracker = MobilityTracker::new(TrackerParams::default());
+    let mut recognizer = recognizer_for(areas, &[]);
+
+    // Sail into the park, vanish for 30 minutes, reappear beyond it.
+    let approach = leg(destination(park, 200.0, 15_000.0), 20.0, 12.0, 30, 40, Timestamp(0));
+    let dark = *approach.last().unwrap();
+    let reappear = destination(dark.0, 20.0, 11_000.0);
+    let mut fixes = approach;
+    fixes.extend(leg(reappear, 20.0, 12.0, 30, 20, dark.1 + Duration::minutes(30)));
+    let all: Vec<PositionTuple> = fixes
+        .into_iter()
+        .map(|(p, t)| PositionTuple { mmsi: Mmsi(1), position: p, timestamp: t })
+        .collect();
+
+    let mut critical = tracker.process_batch(all.iter());
+    critical.extend(tracker.finish());
+    recognizer.add_critical_points(&critical);
+
+    let summary = summarize(&recognizer.recognize_at(Timestamp(6 * 3_600)));
+    let shipping: Vec<_> = summary
+        .alerts
+        .iter()
+        .filter(|(_, a)| a.kind == AlertKind::IllegalShipping)
+        .collect();
+    assert_eq!(shipping.len(), 1, "{:?}", summary.alerts);
+    assert_eq!(shipping[0].1.vessel, Mmsi(1));
+    // The alert is timestamped at the gap start (last position heard).
+    assert!(shipping[0].0 < Timestamp(40 * 30 + 60));
+}
+
+#[test]
+fn compression_does_not_lose_the_events_cer_needs() {
+    // The same scenario recognized from raw positions (hypothetically
+    // uncompressed input) is impossible — CER consumes MEs by design. This
+    // test pins the *sufficiency* of critical points: a scenario with
+    // stop, slow-motion and gap phases yields all three ME families.
+    let mut tracker = MobilityTracker::new(TrackerParams::default());
+    let base = GeoPoint::new(24.0, 38.0);
+    let mut fixes = leg(base, 90.0, 12.0, 30, 30, Timestamp(0));
+    // Slow phase.
+    let s = *fixes.last().unwrap();
+    fixes.extend(leg(s.0, 90.0, 2.0, 60, 15, s.1).into_iter().skip(1));
+    // Stop phase.
+    let s = *fixes.last().unwrap();
+    fixes.extend(anchored(s.0, 15, 60, s.1 + Duration::secs(60)));
+    // Gap, then resume.
+    let s = *fixes.last().unwrap();
+    fixes.extend(leg(
+        destination(s.0, 90.0, 9_000.0),
+        90.0,
+        12.0,
+        30,
+        10,
+        s.1 + Duration::minutes(40),
+    ));
+    let all: Vec<PositionTuple> = fixes
+        .into_iter()
+        .map(|(p, t)| PositionTuple { mmsi: Mmsi(1), position: p, timestamp: t })
+        .collect();
+    let mut critical = tracker.process_batch(all.iter());
+    critical.extend(tracker.finish());
+
+    let kinds: std::collections::HashSet<&'static str> =
+        critical.iter().map(|c| c.annotation.label()).collect();
+    for needed in ["slow_motion_start", "stop_start", "stop_end", "gap_start", "gap_end"] {
+        assert!(kinds.contains(needed), "missing {needed}: {kinds:?}");
+    }
+    // And compression is still strong on this event-dense trace.
+    let ratio = 1.0 - critical.len() as f64 / all.len() as f64;
+    assert!(ratio > 0.75, "ratio {ratio}");
+}

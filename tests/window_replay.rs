@@ -1,0 +1,179 @@
+//! Windowed replay equivalence: slicing the stream into slide batches
+//! must not change what the tracker detects, and the slide machinery must
+//! deliver every tuple exactly once regardless of window geometry.
+
+use maritime::prelude::*;
+use maritime_ais::replay::to_tuple_stream;
+
+fn stream(seed: u64) -> Vec<(Timestamp, PositionTuple)> {
+    let sim = FleetSimulator::new(FleetConfig::tiny(seed));
+    to_tuple_stream(&sim.generate())
+}
+
+/// Critical points from feeding the whole stream to one tracker.
+fn oneshot_critical(stream: &[(Timestamp, PositionTuple)]) -> Vec<CriticalPoint> {
+    let mut tracker = MobilityTracker::new(TrackerParams::default());
+    let mut out = Vec::new();
+    for (_, t) in stream {
+        out.extend(tracker.process(*t));
+    }
+    out.extend(tracker.finish());
+    out
+}
+
+/// Critical points from windowed batch processing.
+fn windowed_critical(
+    stream: Vec<(Timestamp, PositionTuple)>,
+    spec: WindowSpec,
+) -> Vec<CriticalPoint> {
+    let mut wt = WindowedTracker::new(TrackerParams::default(), spec);
+    let mut out = Vec::new();
+    for batch in SlideBatches::new(stream.into_iter(), spec, Timestamp::ZERO) {
+        let tuples: Vec<PositionTuple> = batch.items.into_iter().map(|(_, t)| t).collect();
+        let report = wt.slide(batch.query_time, &tuples);
+        out.extend(report.fresh_critical);
+    }
+    let (final_cps, _) = wt.finish();
+    out.extend(final_cps);
+    out
+}
+
+fn fingerprint(cps: &[CriticalPoint]) -> Vec<(u32, i64, &'static str)> {
+    let mut v: Vec<(u32, i64, &'static str)> = cps
+        .iter()
+        .map(|c| (c.mmsi.0, c.timestamp.as_secs(), c.annotation.label()))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn windowed_processing_equals_oneshot() {
+    // The windowed tracker additionally sweeps for silent vessels on each
+    // slide, so it may report a gap_start for a vessel that never returns
+    // — which the oneshot run (no sweeps) cannot see. Equivalence is
+    // therefore exact on non-gap events, and gap events of the oneshot run
+    // are a subset of the windowed run's (with identical timestamps, since
+    // a sweep back-dates the gap to the last fix).
+    let s = stream(71);
+    let oneshot = oneshot_critical(&s);
+    for (range_h, slide_min) in [(1i64, 5i64), (1, 30), (2, 60), (6, 60)] {
+        let spec =
+            WindowSpec::new(Duration::hours(range_h), Duration::minutes(slide_min)).unwrap();
+        let windowed = windowed_critical(s.clone(), spec);
+        let non_gap = |cps: &[CriticalPoint]| {
+            let filtered: Vec<CriticalPoint> = cps
+                .iter()
+                .filter(|c| !c.annotation.label().starts_with("gap"))
+                .copied()
+                .collect();
+            fingerprint(&filtered)
+        };
+        assert_eq!(
+            non_gap(&oneshot),
+            non_gap(&windowed),
+            "ω={range_h}h β={slide_min}min diverged on non-gap events"
+        );
+        let gaps = |cps: &[CriticalPoint]| {
+            let filtered: Vec<CriticalPoint> = cps
+                .iter()
+                .filter(|c| c.annotation.label().starts_with("gap"))
+                .copied()
+                .collect();
+            fingerprint(&filtered)
+        };
+        let wg = gaps(&windowed);
+        for g in gaps(&oneshot) {
+            assert!(wg.contains(&g), "oneshot gap {g:?} missing from windowed run");
+        }
+    }
+}
+
+#[test]
+fn slide_batches_deliver_exactly_once_for_any_geometry() {
+    let s = stream(72);
+    let total = s.len();
+    for (range_s, slide_s) in [(600i64, 60i64), (3_600, 300), (3_600, 3_600), (7_200, 1_111)] {
+        let spec = WindowSpec::new(Duration::secs(range_s), Duration::secs(slide_s)).unwrap();
+        let delivered: usize =
+            SlideBatches::new(s.clone().into_iter(), spec, Timestamp::ZERO)
+                .map(|b| b.items.len())
+                .sum();
+        assert_eq!(delivered, total, "geometry ({range_s}, {slide_s})");
+    }
+}
+
+#[test]
+fn eviction_cutoff_is_exact() {
+    let s = stream(73);
+    let spec = WindowSpec::new(Duration::hours(1), Duration::minutes(15)).unwrap();
+    let mut wt = WindowedTracker::new(TrackerParams::default(), spec);
+    for batch in SlideBatches::new(s.into_iter(), spec, Timestamp::ZERO) {
+        let tuples: Vec<PositionTuple> = batch.items.into_iter().map(|(_, t)| t).collect();
+        let report = wt.slide(batch.query_time, &tuples);
+        let cutoff = batch.query_time - Duration::hours(1);
+        for cp in &report.evicted_delta {
+            assert!(
+                cp.timestamp <= cutoff,
+                "evicted point at {} after cutoff {}",
+                cp.timestamp,
+                cutoff
+            );
+        }
+    }
+}
+
+#[test]
+fn rate_rescaled_stream_detects_same_event_mix() {
+    // Figure 7 precondition: accelerating arrival (timestamp compression)
+    // changes latency, not correctness — the same vessels yield the same
+    // *kinds* of events even at 10x rate, although exact counts may shift
+    // at second-granularity rounding.
+    use maritime_ais::replay::at_rate;
+    let s = stream(74);
+    let original = oneshot_critical(&s);
+    let rate = maritime_stream::rate::mean_rate(&s).unwrap();
+    let fast = at_rate(&s, rate * 10.0);
+    let accelerated = oneshot_critical(&fast);
+    let kinds = |cps: &[CriticalPoint]| {
+        let mut ks: Vec<&'static str> = cps.iter().map(|c| c.annotation.label()).collect();
+        ks.sort();
+        ks.dedup();
+        ks
+    };
+    // Gap events may legitimately disappear at 10x compression (silence
+    // shrinks below ΔT); everything else should survive.
+    let orig_kinds: Vec<_> = kinds(&original)
+        .into_iter()
+        .filter(|k| !k.starts_with("gap"))
+        .collect();
+    let accel_kinds = kinds(&accelerated);
+    for k in orig_kinds {
+        assert!(accel_kinds.contains(&k), "{k} lost at 10x rate");
+    }
+}
+
+#[test]
+fn pipeline_slide_outcomes_are_monotone_in_time() {
+    let sim = FleetSimulator::new(FleetConfig::tiny(75));
+    let areas = generate_areas(&AreaGenConfig::default());
+    let vessels: Vec<VesselInfo> = sim.profiles().iter().map(VesselInfo::from).collect();
+    let config = SurveillanceConfig::default();
+    let mut pipeline = SurveillancePipeline::new(&config, vessels, areas).unwrap();
+    let stream: Vec<(Timestamp, PositionTuple)> = to_tuple_stream(&sim.generate());
+    let mut prev_q = Timestamp::ZERO;
+    for batch in SlideBatches::new(stream.into_iter(), config.tracking_window, Timestamp::ZERO) {
+        assert!(batch.query_time > prev_q);
+        prev_q = batch.query_time;
+        let tuples: Vec<PositionTuple> = batch.items.into_iter().map(|(_, t)| t).collect();
+        let outcome = pipeline.slide(batch.query_time, &tuples);
+        assert_eq!(outcome.query_time, batch.query_time);
+        for cp_t in outcome
+            .recognition
+            .iter()
+            .flat_map(|s| s.alerts.iter().map(|(t, _)| *t))
+        {
+            assert!(cp_t <= batch.query_time);
+        }
+    }
+}
