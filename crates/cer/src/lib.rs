@@ -37,4 +37,5 @@ pub use extensions::{ExtendedRecognizer, ExtensionReport, Rendezvous};
 pub use fluents::{Alert, AlertKind, FluentKey};
 pub use input::{InputEvent, InputKind};
 pub use knowledge::{Knowledge, SpatialMode, VesselInfo};
+pub use partition::{GeoPartitioner, PartitionedRecognizer};
 pub use recognizer::{MaritimeRecognizer, RecognitionSummary};

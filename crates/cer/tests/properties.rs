@@ -205,3 +205,60 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn balanced_partitioner_boundaries_ascend(
+        events in arb_events(),
+        n in 1usize..9,
+    ) {
+        let p = GeoPartitioner::balanced(n, &events);
+        for w in p.boundaries().windows(2) {
+            prop_assert!(w[0] <= w[1], "boundaries out of order: {:?}", p.boundaries());
+        }
+        for b in p.boundaries() {
+            prop_assert!(b.is_finite());
+        }
+    }
+
+    #[test]
+    fn balanced_partitioner_routes_every_event_exactly_once(
+        events in arb_events(),
+        n in 1usize..9,
+    ) {
+        let p = GeoPartitioner::balanced(n, &events);
+        let routed = p.route_events(&events);
+        prop_assert_eq!(routed.len(), p.partitions());
+        let total: usize = routed.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, events.len(), "events dropped or duplicated");
+        // Each event landed in the band its longitude indexes to.
+        for (band, batch) in routed.iter().enumerate() {
+            for (_, e) in batch {
+                prop_assert_eq!(p.index_of(e.position.lon), band);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_partition_count_is_consistent(
+        events in arb_events(),
+        n in 1usize..9,
+    ) {
+        let p = GeoPartitioner::balanced(n, &events);
+        // `balanced` may merge bands only when the sample is empty;
+        // otherwise it must produce exactly the requested count.
+        if events.is_empty() {
+            prop_assert_eq!(p.partitions(), 1);
+        } else {
+            prop_assert_eq!(p.partitions(), n);
+        }
+        prop_assert_eq!(p.partitions(), p.boundaries().len() + 1);
+        prop_assert_eq!(p.route_areas(&areas()).len(), p.partitions());
+        // index_of never escapes the band range, even at the extremes.
+        for lon in [-180.0, -1.0, 0.0, 24.7, 179.9] {
+            prop_assert!(p.index_of(lon) < p.partitions());
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! surveil --demo 60 24                 # simulate 60 vessels for 24 h
 //! surveil --input ais.log              # replay a timestamped NMEA log
+//! surveil --demo 60 24 --shards 4      # shard the tracker over 4 workers
 //! surveil --demo 60 24 --kml out.kml --archive trips.json --audit
 //! ```
 //!
@@ -28,6 +29,8 @@ struct Options {
     archive: Option<String>,
     dump_log: Option<String>,
     audit: bool,
+    shards: usize,
+    bands: usize,
 }
 
 fn parse_args() -> Options {
@@ -38,6 +41,8 @@ fn parse_args() -> Options {
         archive: None,
         dump_log: None,
         audit: false,
+        shards: 1,
+        bands: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -53,10 +58,23 @@ fn parse_args() -> Options {
             "--archive" => opts.archive = it.next().cloned(),
             "--dump-log" => opts.dump_log = it.next().cloned(),
             "--audit" => opts.audit = true,
+            "--shards" => {
+                opts.shards = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--shards needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--bands" => {
+                opts.bands = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--bands needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: surveil (--demo [vessels] [hours] | --input FILE) \
-                     [--kml FILE] [--archive FILE] [--dump-log FILE] [--audit]"
+                     [--shards N] [--bands N] [--kml FILE] [--archive FILE] \
+                     [--dump-log FILE] [--audit]"
                 );
                 std::process::exit(0);
             }
@@ -189,9 +207,25 @@ fn main() {
     };
 
     // The pipeline.
-    let config = SurveillanceConfig::default();
+    let config = SurveillanceConfig {
+        parallelism: Parallelism {
+            tracker_shards: opts.shards,
+            recognition_bands: opts.bands,
+        },
+        ..SurveillanceConfig::default()
+    };
+    if let Err(e) = config.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    if opts.shards > 1 || opts.bands > 1 {
+        eprintln!(
+            "parallelism: {} tracker shard(s), {} recognition band(s)",
+            opts.shards, opts.bands
+        );
+    }
     let mut pipeline =
-        SurveillancePipeline::new(&config, vessels, areas.clone()).expect("valid config");
+        SurveillancePipeline::new(&config, vessels, areas.clone()).expect("validated config");
     let report = pipeline.run(tuples);
 
     println!("=== surveil run report ===");

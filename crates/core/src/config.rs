@@ -5,11 +5,61 @@ use maritime_stream::{Duration, WindowSpec, WindowSpecError};
 use maritime_tracker::TrackerParams;
 use serde::{Deserialize, Serialize};
 
+/// Degree of parallelism for each pipeline stage (§5.2 ran recognition on
+/// two processors; tracking shards the same way by vessel).
+///
+/// `1` everywhere (the default) reproduces the serial pipeline exactly.
+/// Tracking shards partition the fleet by MMSI hash — equivalent to serial
+/// output up to the interleaving of independent vessels — while
+/// recognition bands partition the monitored region by longitude, which
+/// is exact only for CEs that do not straddle a band boundary (see
+/// `maritime_cer::partition`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Worker shards for the mobility tracker (1 = in-thread serial).
+    pub tracker_shards: usize,
+    /// Longitude bands for CE recognition (1 = single recognizer).
+    pub recognition_bands: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self {
+            tracker_shards: 1,
+            recognition_bands: 1,
+        }
+    }
+}
+
+impl Parallelism {
+    /// Largest accepted degree for either stage; beyond this, per-worker
+    /// batches are too small for the fan-out cost to ever amortize.
+    pub const MAX_DEGREE: usize = 256;
+
+    /// Validates both degrees.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (stage, degree) in [
+            ("tracker_shards", self.tracker_shards),
+            ("recognition_bands", self.recognition_bands),
+        ] {
+            if degree == 0 || degree > Self::MAX_DEGREE {
+                return Err(ConfigError::Parallelism {
+                    stage,
+                    degree,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Complete pipeline configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SurveillanceConfig {
     /// Mobility-tracking thresholds (Table 3).
     pub tracker: TrackerParams,
+    /// Degree of parallelism per pipeline stage.
+    pub parallelism: Parallelism,
     /// Sliding window of the trajectory detection component (Table 2
     /// defaults in bold: ω = 1 h, β = 5 min — the smallest setting that
     /// batches data meaningfully for online operation).
@@ -27,6 +77,7 @@ impl Default for SurveillanceConfig {
     fn default() -> Self {
         Self {
             tracker: TrackerParams::default(),
+            parallelism: Parallelism::default(),
             tracking_window: WindowSpec::new(Duration::hours(1), Duration::minutes(5))
                 .expect("valid default window"),
             recognition_window: WindowSpec::new(Duration::hours(6), Duration::hours(1))
@@ -41,6 +92,7 @@ impl SurveillanceConfig {
     /// Validates every sub-configuration.
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.tracker.validate().map_err(ConfigError::Tracker)?;
+        self.parallelism.validate()?;
         check_window(self.tracking_window)?;
         check_window(self.recognition_window)?;
         if self.close_threshold_m <= 0.0 {
@@ -76,6 +128,13 @@ pub enum ConfigError {
     Window(WindowSpecError),
     /// Non-positive proximity threshold.
     CloseThreshold(f64),
+    /// A parallelism degree outside `1..=Parallelism::MAX_DEGREE`.
+    Parallelism {
+        /// Which stage was misconfigured.
+        stage: &'static str,
+        /// The rejected degree.
+        degree: usize,
+    },
     /// The recognition slide is not a multiple of the tracking slide.
     MisalignedSlides {
         /// Tracking slide in seconds.
@@ -91,6 +150,11 @@ impl std::fmt::Display for ConfigError {
             Self::Tracker(msg) => write!(f, "tracker parameters: {msg}"),
             Self::Window(e) => write!(f, "window spec: {e}"),
             Self::CloseThreshold(v) => write!(f, "close threshold must be positive, got {v}"),
+            Self::Parallelism { stage, degree } => write!(
+                f,
+                "{stage} must be in 1..={}, got {degree}",
+                Parallelism::MAX_DEGREE
+            ),
             Self::MisalignedSlides { tracking_secs, recognition_secs } => write!(
                 f,
                 "recognition slide ({recognition_secs}s) must be a multiple of the tracking slide ({tracking_secs}s)"
@@ -104,6 +168,7 @@ impl std::error::Error for ConfigError {}
 impl PartialEq for SurveillanceConfig {
     fn eq(&self, other: &Self) -> bool {
         self.tracker == other.tracker
+            && self.parallelism == other.parallelism
             && self.tracking_window == other.tracking_window
             && self.recognition_window == other.recognition_window
             && self.close_threshold_m == other.close_threshold_m
@@ -152,9 +217,32 @@ mod tests {
 
     #[test]
     fn config_serializes_roundtrip() {
-        let cfg = SurveillanceConfig::default();
+        let cfg = SurveillanceConfig {
+            parallelism: Parallelism {
+                tracker_shards: 4,
+                recognition_bands: 2,
+            },
+            ..SurveillanceConfig::default()
+        };
         let json = serde_json::to_string(&cfg).unwrap();
         let back: SurveillanceConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn zero_or_excessive_parallelism_rejected() {
+        for parallelism in [
+            Parallelism { tracker_shards: 0, recognition_bands: 1 },
+            Parallelism { tracker_shards: 1, recognition_bands: 0 },
+            Parallelism { tracker_shards: Parallelism::MAX_DEGREE + 1, recognition_bands: 1 },
+        ] {
+            let cfg = SurveillanceConfig { parallelism, ..Default::default() };
+            assert!(matches!(cfg.validate(), Err(ConfigError::Parallelism { .. })));
+        }
+        let ok = SurveillanceConfig {
+            parallelism: Parallelism { tracker_shards: 8, recognition_bands: 2 },
+            ..Default::default()
+        };
+        ok.validate().unwrap();
     }
 }

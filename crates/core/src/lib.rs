@@ -49,28 +49,29 @@ pub mod config;
 pub mod pipeline;
 
 pub use alerts::{AlertRecord, AlertLog};
-pub use config::SurveillanceConfig;
+pub use config::{Parallelism, SurveillanceConfig};
 pub use pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
 
 /// Convenient re-exports of the whole system surface.
 pub mod prelude {
     pub use crate::alerts::{AlertLog, AlertRecord};
-    pub use crate::config::SurveillanceConfig;
+    pub use crate::config::{Parallelism, SurveillanceConfig};
     pub use crate::pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
     pub use maritime_ais::{
         DataScanner, FleetConfig, FleetSimulator, Mmsi, PositionReport, PositionTuple,
         VesselClass, VesselProfile,
     };
     pub use maritime_cer::{
-        Alert, AlertKind, InputEvent, InputKind, Knowledge, MaritimeRecognizer, SpatialMode,
-        VesselInfo,
+        Alert, AlertKind, GeoPartitioner, InputEvent, InputKind, Knowledge, MaritimeRecognizer,
+        PartitionedRecognizer, SpatialMode, VesselInfo,
     };
     pub use maritime_geo::aegean::{generate_areas, ports, AreaGenConfig};
     pub use maritime_geo::{Area, AreaId, AreaKind, BoundingBox, GeoPoint, Polygon};
     pub use maritime_modstore::{ArchiveStats, StagingArea, TrajectoryStore, Trip, TripReconstructor};
     pub use maritime_rtec::{Interval, IntervalList};
-    pub use maritime_stream::{Duration, SlideBatches, Timestamp, WindowSpec};
+    pub use maritime_stream::{Duration, ShardRouter, SlideBatches, Timestamp, WindowSpec};
     pub use maritime_tracker::{
-        Annotation, CriticalPoint, MobilityTracker, TrackerParams, WindowedTracker,
+        canonical_order, Annotation, CriticalPoint, MobilityTracker, ShardedTracker,
+        TrackerParams, WindowedTracker,
     };
 }

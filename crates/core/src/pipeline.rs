@@ -9,11 +9,15 @@
 use std::time::{Duration as StdDuration, Instant};
 
 use maritime_ais::PositionTuple;
-use maritime_cer::{spatial, InputEvent, Knowledge, MaritimeRecognizer, SpatialMode, VesselInfo};
+use maritime_cer::{
+    spatial, GeoPartitioner, InputEvent, Knowledge, MaritimeRecognizer, PartitionedRecognizer,
+    SpatialMode, VesselInfo,
+};
 use maritime_geo::Area;
 use maritime_modstore::{ArchiveStats, StagingArea, TrajectoryStore, TripReconstructor};
 use maritime_stream::{SlideBatches, Timestamp};
-use maritime_tracker::WindowedTracker;
+use maritime_tracker::tracker::FleetStats;
+use maritime_tracker::{CriticalPoint, ShardedTracker, SlideReport, WindowedTracker};
 
 use crate::alerts::{AlertLog, AlertRecord};
 use crate::config::{ConfigError, SurveillanceConfig};
@@ -71,6 +75,9 @@ pub struct SlideOutcome {
     pub recognition: Option<maritime_cer::RecognitionSummary>,
     /// Phase timings.
     pub timings: PhaseTimings,
+    /// Per-shard tracking cost when the sharded backend ran this slide
+    /// (one entry per shard, `tracking` field only); empty when serial.
+    pub shard_timings: Vec<PhaseTimings>,
 }
 
 /// Aggregate report of a complete run.
@@ -94,11 +101,108 @@ pub struct RunReport {
     pub timings: PhaseTimings,
 }
 
+/// The mobility-tracking backend: in-thread serial, or MMSI-sharded
+/// across worker threads (equivalent output up to the interleaving of
+/// independent vessels — see `maritime_tracker::sharded`).
+enum TrackerBackend {
+    Serial(WindowedTracker),
+    Sharded(ShardedTracker),
+}
+
+impl TrackerBackend {
+    fn slide(
+        &mut self,
+        query_time: Timestamp,
+        batch: &[PositionTuple],
+    ) -> (SlideReport, Vec<PhaseTimings>) {
+        match self {
+            Self::Serial(wt) => (wt.slide(query_time, batch), Vec::new()),
+            Self::Sharded(st) => {
+                let report = st.slide(query_time, batch);
+                let shard_timings = report
+                    .shard_elapsed
+                    .iter()
+                    .map(|elapsed| PhaseTimings {
+                        tracking: *elapsed,
+                        ..PhaseTimings::default()
+                    })
+                    .collect();
+                (report.merged, shard_timings)
+            }
+        }
+    }
+
+    fn finish(&mut self) -> (Vec<CriticalPoint>, Vec<CriticalPoint>) {
+        match self {
+            Self::Serial(wt) => wt.finish(),
+            Self::Sharded(st) => st.finish(),
+        }
+    }
+
+    fn fleet_stats(&self) -> FleetStats {
+        match self {
+            Self::Serial(wt) => wt.tracker().stats(),
+            Self::Sharded(st) => st.stats(),
+        }
+    }
+}
+
+/// The recognition backend: a single recognizer, or one per longitude
+/// band running on scoped threads (§5.2's two-processor setup).
+enum RecognizerBackend {
+    /// Boxed: a recognizer's working memory dwarfs the partitioned
+    /// handle, and the backend lives inside the long-lived pipeline.
+    Single(Box<MaritimeRecognizer>),
+    Partitioned(PartitionedRecognizer),
+}
+
+impl RecognizerBackend {
+    /// Feeds a fresh critical-point batch, attaching precomputed spatial
+    /// facts where the knowledge base expects them (band-local facts in
+    /// the partitioned case).
+    fn add_critical(&mut self, fresh: &[CriticalPoint]) {
+        let mut events = InputEvent::from_critical_batch(fresh);
+        match self {
+            Self::Single(r) => {
+                if r.knowledge().spatial_mode == SpatialMode::Precomputed {
+                    spatial::annotate_with_spatial_facts(&mut events, r.knowledge());
+                }
+                r.add_events(events);
+            }
+            Self::Partitioned(p) => p.add_events(events),
+        }
+    }
+
+    fn recognize_and_summarize(&mut self, q: Timestamp) -> maritime_cer::RecognitionSummary {
+        match self {
+            Self::Single(r) => r.recognize_and_summarize(q),
+            Self::Partitioned(p) => p.recognize_and_summarize(q),
+        }
+    }
+}
+
+/// Longitude extent for uniform recognition bands: the monitored areas'
+/// centroid span, padded so border areas do not sit on a band boundary.
+/// Falls back to the full longitude range when there is nothing to span.
+fn band_extent(areas: &[Area]) -> (f64, f64) {
+    let lons: Vec<f64> = areas.iter().map(|a| a.polygon.centroid().lon).collect();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for lon in lons {
+        lo = lo.min(lon);
+        hi = hi.max(lon);
+    }
+    if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+        return (-180.0, 180.0);
+    }
+    let pad = (hi - lo) * 0.05;
+    (lo - pad, hi + pad)
+}
+
 /// The assembled surveillance system.
 pub struct SurveillancePipeline {
     config: SurveillanceConfig,
-    tracker: WindowedTracker,
-    recognizer: MaritimeRecognizer,
+    tracker: TrackerBackend,
+    recognizer: RecognizerBackend,
     staging: StagingArea,
     reconstructor: TripReconstructor,
     store: TrajectoryStore,
@@ -115,16 +219,41 @@ impl SurveillancePipeline {
         areas: Vec<Area>,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
-        let knowledge = Knowledge::new(
-            vessels,
-            areas.clone(),
-            config.close_threshold_m,
-            config.spatial_mode,
-        );
+        let tracker = if config.parallelism.tracker_shards > 1 {
+            TrackerBackend::Sharded(ShardedTracker::new(
+                config.tracker,
+                config.tracking_window,
+                config.parallelism.tracker_shards,
+            ))
+        } else {
+            TrackerBackend::Serial(WindowedTracker::new(config.tracker, config.tracking_window))
+        };
+        let recognizer = if config.parallelism.recognition_bands > 1 {
+            let (lon_min, lon_max) = band_extent(&areas);
+            RecognizerBackend::Partitioned(PartitionedRecognizer::new(
+                GeoPartitioner::uniform(config.parallelism.recognition_bands, lon_min, lon_max),
+                &vessels,
+                &areas,
+                config.close_threshold_m,
+                config.spatial_mode,
+                config.recognition_window,
+            ))
+        } else {
+            let knowledge = Knowledge::new(
+                vessels,
+                areas.clone(),
+                config.close_threshold_m,
+                config.spatial_mode,
+            );
+            RecognizerBackend::Single(Box::new(MaritimeRecognizer::new(
+                knowledge,
+                config.recognition_window,
+            )))
+        };
         Ok(Self {
             config: config.clone(),
-            tracker: WindowedTracker::new(config.tracker, config.tracking_window),
-            recognizer: MaritimeRecognizer::new(knowledge, config.recognition_window),
+            tracker,
+            recognizer,
             staging: StagingArea::new(),
             reconstructor: TripReconstructor::new(&areas),
             store: TrajectoryStore::new(),
@@ -162,18 +291,16 @@ impl SurveillancePipeline {
     pub fn slide(&mut self, query_time: Timestamp, batch: &[PositionTuple]) -> SlideOutcome {
         let mut timings = PhaseTimings::default();
 
-        // Phase 1: online tracking.
+        // Phase 1: online tracking (fanned out per shard when sharded;
+        // `tracking` then measures the fan-out/merge wall time and
+        // `shard_timings` the per-worker cost).
         let t0 = Instant::now();
-        let report = self.tracker.slide(query_time, batch);
+        let (report, shard_timings) = self.tracker.slide(query_time, batch);
         timings.tracking = t0.elapsed();
 
         // Feed fresh critical points to the recognizer (with spatial facts
         // attached when running in precomputed mode).
-        let mut events = InputEvent::from_critical_batch(&report.fresh_critical);
-        if self.config.spatial_mode == SpatialMode::Precomputed {
-            spatial::annotate_with_spatial_facts(&mut events, self.recognizer.knowledge());
-        }
-        self.recognizer.add_events(events);
+        self.recognizer.add_critical(&report.fresh_critical);
 
         // Phase 2: staging of evicted deltas.
         let t1 = Instant::now();
@@ -212,6 +339,7 @@ impl SurveillancePipeline {
             trips_completed,
             recognition,
             timings,
+            shard_timings,
         }
     }
 
@@ -236,7 +364,7 @@ impl SurveillancePipeline {
         ce_total += final_outcome.recognition.as_ref().map_or(0, |s| s.ce_count);
         timings = timings.combined(final_outcome.timings);
 
-        let stats = self.tracker.tracker().stats();
+        let stats = self.tracker.fleet_stats();
         RunReport {
             slides,
             raw_positions: stats.raw,
@@ -259,11 +387,7 @@ impl SurveillancePipeline {
         let (final_cps, remaining) = self.tracker.finish();
         timings.tracking = t0.elapsed();
 
-        let mut events = InputEvent::from_critical_batch(&final_cps);
-        if self.config.spatial_mode == SpatialMode::Precomputed {
-            spatial::annotate_with_spatial_facts(&mut events, self.recognizer.knowledge());
-        }
-        self.recognizer.add_events(events);
+        self.recognizer.add_critical(&final_cps);
 
         let t1 = Instant::now();
         self.staging.stage_batch(&remaining);
@@ -291,6 +415,7 @@ impl SurveillancePipeline {
             trips_completed,
             recognition: Some(summary),
             timings,
+            shard_timings: Vec::new(),
         }
     }
 
@@ -390,6 +515,68 @@ mod tests {
             "24h of 20 vessels should complete port-to-port trips: {:?}",
             report.archive
         );
+    }
+
+    #[test]
+    fn sharded_backend_matches_serial_run_report() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(9));
+        let areas = generate_areas(&AreaGenConfig::default());
+        let vessels: Vec<VesselInfo> = sim.profiles().iter().map(VesselInfo::from).collect();
+        let run = |shards: usize| {
+            let config = SurveillanceConfig {
+                parallelism: crate::config::Parallelism {
+                    tracker_shards: shards,
+                    recognition_bands: 1,
+                },
+                ..SurveillanceConfig::default()
+            };
+            let mut pipeline =
+                SurveillancePipeline::new(&config, vessels.clone(), areas.clone()).unwrap();
+            let report = pipeline.run(sim.generate().into_iter().map(PositionTuple::from));
+            let alerts: Vec<String> =
+                pipeline.alerts().records().iter().map(|r| r.render()).collect();
+            (report, alerts)
+        };
+        let (serial, serial_alerts) = run(1);
+        let (sharded, sharded_alerts) = run(4);
+        assert_eq!(serial.raw_positions, sharded.raw_positions);
+        assert_eq!(serial.critical_points, sharded.critical_points);
+        assert_eq!(serial.slides, sharded.slides);
+        assert_eq!(serial.ce_total, sharded.ce_total);
+        assert_eq!(serial_alerts, sharded_alerts);
+        let accounted =
+            sharded.archive.points_in_trajectories + sharded.archive.points_in_staging;
+        assert_eq!(accounted as u64, sharded.critical_points);
+    }
+
+    #[test]
+    fn sharded_slides_report_per_shard_timings() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(10));
+        let areas = generate_areas(&AreaGenConfig::default());
+        let vessels: Vec<VesselInfo> = sim.profiles().iter().map(VesselInfo::from).collect();
+        let config = SurveillanceConfig {
+            parallelism: crate::config::Parallelism {
+                tracker_shards: 3,
+                recognition_bands: 2,
+            },
+            ..SurveillanceConfig::default()
+        };
+        let mut pipeline = SurveillancePipeline::new(&config, vessels, areas).unwrap();
+        let stream: Vec<PositionTuple> =
+            sim.generate().into_iter().map(PositionTuple::from).collect();
+        let batches = SlideBatches::new(
+            stream.into_iter().map(|t| (t.timestamp, t)),
+            config.tracking_window,
+            Timestamp::ZERO,
+        );
+        let mut saw_slide = false;
+        for batch in batches {
+            let tuples: Vec<PositionTuple> = batch.items.into_iter().map(|(_, t)| t).collect();
+            let outcome = pipeline.slide(batch.query_time, &tuples);
+            assert_eq!(outcome.shard_timings.len(), 3);
+            saw_slide = true;
+        }
+        assert!(saw_slide);
     }
 
     #[test]

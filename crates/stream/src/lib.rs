@@ -14,10 +14,12 @@
 #![warn(missing_docs)]
 
 pub mod rate;
+pub mod shard;
 pub mod slider;
 pub mod time;
 pub mod window;
 
+pub use shard::ShardRouter;
 pub use slider::SlideBatches;
 pub use time::{Duration, Timestamp};
 pub use window::{SlidingWindow, WindowSpec, WindowSpecError};

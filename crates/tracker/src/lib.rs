@@ -17,6 +17,8 @@
 //! * [`tracker`] — the fleet-level *Mobility Tracker* of Figure 1;
 //! * [`window`] — windowed operation: per-slide batches, "delta" critical
 //!   point eviction toward the staging area;
+//! * [`sharded`] — MMSI-sharded parallel operation across worker threads,
+//!   differentially equivalent to the serial tracker;
 //! * [`compression`] — compression-ratio accounting (Figure 9);
 //! * [`accuracy`] — synchronized RMSE of reconstructed trajectories
 //!   (Figure 8);
@@ -31,6 +33,7 @@ pub mod baselines;
 pub mod compression;
 pub mod events;
 pub mod params;
+pub mod sharded;
 pub mod synopsis;
 pub mod tracker;
 pub mod velocity;
@@ -39,6 +42,7 @@ pub mod window;
 
 pub use events::{Annotation, CriticalPoint, MovementEventKind};
 pub use params::TrackerParams;
+pub use sharded::{canonical_order, ShardedSlideReport, ShardedTracker};
 pub use tracker::MobilityTracker;
 pub use velocity::VelocityVector;
 pub use window::{SlideReport, WindowedTracker};

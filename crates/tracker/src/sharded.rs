@@ -1,0 +1,402 @@
+//! Sharded parallel operation of the trajectory detection component.
+//!
+//! The mobility tracker keeps *per-vessel* state machines with no
+//! cross-vessel interaction (§3: every critical point is derived from one
+//! vessel's own fixes), so the fleet partitions cleanly: hash each MMSI to
+//! one of `n` worker shards and give every shard its own
+//! [`WindowedTracker`]. Each slide fans the positional batch out to the
+//! owning shards over bounded channels (backpressure: a slow shard stalls
+//! the feeder rather than letting queues grow without bound), runs the
+//! shards concurrently, and merges the per-shard critical points, evicted
+//! deltas, and synopsis statistics back into a single slide-ordered
+//! report.
+//!
+//! **Equivalence invariant.** A vessel's tuples always reach the same
+//! shard, in stream order, so its critical-point subsequence is *bit
+//! identical* to the serial tracker's. Whole-fleet outputs differ only in
+//! the interleaving of independent vessels; after [`canonical_order`]
+//! (stable sort by `(timestamp, mmsi)`) the serial and sharded streams
+//! are equal element-for-element. The differential harness in
+//! `tests/sharded_equivalence.rs` enforces exactly this.
+
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use maritime_ais::PositionTuple;
+use maritime_stream::{ShardRouter, Timestamp, WindowSpec};
+
+use crate::events::CriticalPoint;
+use crate::params::TrackerParams;
+use crate::tracker::FleetStats;
+use crate::window::{SlideReport, WindowedTracker};
+
+/// In-flight slides a shard may buffer before the feeder blocks.
+const COMMAND_BACKLOG: usize = 2;
+
+/// Orders critical points canonically: stable sort by `(timestamp, mmsi)`.
+///
+/// Both the serial tracker and every shard emit each vessel's points in
+/// per-vessel time order, so a *stable* sort on this key maps the serial
+/// and merged-sharded streams to the same sequence — the ordering under
+/// which differential tests compare them.
+pub fn canonical_order(points: &mut [CriticalPoint]) {
+    points.sort_by_key(|cp| (cp.timestamp, cp.mmsi.0));
+}
+
+/// Commands accepted by a shard worker.
+#[derive(Debug)]
+enum ShardCmd {
+    /// Run one window slide over the shard's routed tuples.
+    Slide {
+        query_time: Timestamp,
+        tuples: Vec<PositionTuple>,
+    },
+    /// End of stream: flush open states and drain the window.
+    Finish,
+    /// Report fleet statistics for the shard's vessels.
+    Stats,
+}
+
+/// Replies produced by a shard worker, in command order.
+enum ShardReply {
+    Slide {
+        report: SlideReport,
+        elapsed: StdDuration,
+    },
+    Finish {
+        final_critical: Vec<CriticalPoint>,
+        residual: Vec<CriticalPoint>,
+    },
+    Stats(FleetStats),
+}
+
+/// What one sharded slide produced: the merged [`SlideReport`] plus the
+/// per-shard wall-clock cost of the tracking phase.
+#[derive(Debug, Clone)]
+pub struct ShardedSlideReport {
+    /// Merged report in canonical order (see [`canonical_order`]).
+    pub merged: SlideReport,
+    /// Tracking time spent by each shard this slide, in shard order.
+    pub shard_elapsed: Vec<StdDuration>,
+}
+
+struct ShardHandle {
+    /// `None` only during shutdown (dropping the sender closes the loop).
+    cmd_tx: Option<Sender<ShardCmd>>,
+    reply_rx: Receiver<ShardReply>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    fn send(&self, cmd: ShardCmd) {
+        self.cmd_tx
+            .as_ref()
+            .expect("tracker live")
+            .send(cmd)
+            .expect("shard worker alive");
+    }
+}
+
+/// A fleet tracker sharded across `n` worker threads by MMSI hash.
+///
+/// Mirrors the [`WindowedTracker`] API (`slide`, `finish`, stats) so the
+/// pipeline can swap backends behind a configuration knob. Workers are
+/// persistent OS threads, spawned once and fed over bounded channels;
+/// dropping the tracker shuts them down.
+pub struct ShardedTracker {
+    router: ShardRouter,
+    shards: Vec<ShardHandle>,
+}
+
+impl std::fmt::Debug for ShardedTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedTracker")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl ShardedTracker {
+    /// Creates a sharded tracker with `shards ≥ 1` workers, each owning a
+    /// [`WindowedTracker`] built from the same parameters and window.
+    ///
+    /// # Panics
+    /// If `shards` is zero.
+    #[must_use]
+    pub fn new(params: TrackerParams, spec: WindowSpec, shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded tracker needs at least one shard");
+        let handles = (0..shards)
+            .map(|_| {
+                let (cmd_tx, cmd_rx) = bounded::<ShardCmd>(COMMAND_BACKLOG);
+                let (reply_tx, reply_rx) = bounded::<ShardReply>(COMMAND_BACKLOG);
+                let join = std::thread::spawn(move || {
+                    shard_worker(params, spec, &cmd_rx, &reply_tx);
+                });
+                ShardHandle {
+                    cmd_tx: Some(cmd_tx),
+                    reply_rx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        Self {
+            router: ShardRouter::new(shards),
+            shards: handles,
+        }
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning a vessel.
+    #[must_use]
+    pub fn shard_of(&self, mmsi: maritime_ais::Mmsi) -> usize {
+        self.router.route(u64::from(mmsi.0))
+    }
+
+    /// Processes one slide: routes the batch to the owning shards,
+    /// advances *every* shard's window to `query_time` (a shard with no
+    /// fresh tuples must still evict and sweep communication gaps), and
+    /// merges the per-shard reports canonically.
+    pub fn slide(&mut self, query_time: Timestamp, batch: &[PositionTuple]) -> ShardedSlideReport {
+        let mut routed: Vec<Vec<PositionTuple>> = vec![Vec::new(); self.shards.len()];
+        for tuple in batch {
+            routed[self.router.route(u64::from(tuple.mmsi.0))].push(*tuple);
+        }
+        for (shard, tuples) in self.shards.iter().zip(routed) {
+            shard.send(ShardCmd::Slide { query_time, tuples });
+        }
+
+        let mut merged = SlideReport {
+            query_time,
+            admitted: 0,
+            fresh_critical: Vec::new(),
+            evicted_delta: Vec::new(),
+            window_size: 0,
+        };
+        let mut shard_elapsed = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            match shard.reply_rx.recv().expect("shard worker alive") {
+                ShardReply::Slide { report, elapsed } => {
+                    merged.admitted += report.admitted;
+                    merged.window_size += report.window_size;
+                    merged.fresh_critical.extend(report.fresh_critical);
+                    merged.evicted_delta.extend(report.evicted_delta);
+                    shard_elapsed.push(elapsed);
+                }
+                _ => unreachable!("replies arrive in command order"),
+            }
+        }
+        canonical_order(&mut merged.fresh_critical);
+        canonical_order(&mut merged.evicted_delta);
+        ShardedSlideReport {
+            merged,
+            shard_elapsed,
+        }
+    }
+
+    /// Ends the stream on every shard and merges the results canonically.
+    /// Returns `(final critical points, remaining window contents)`, the
+    /// same shape as [`WindowedTracker::finish`].
+    pub fn finish(&mut self) -> (Vec<CriticalPoint>, Vec<CriticalPoint>) {
+        for shard in &self.shards {
+            shard.send(ShardCmd::Finish);
+        }
+        let mut final_critical = Vec::new();
+        let mut residual = Vec::new();
+        for shard in &self.shards {
+            match shard.reply_rx.recv().expect("shard worker alive") {
+                ShardReply::Finish {
+                    final_critical: f,
+                    residual: r,
+                } => {
+                    final_critical.extend(f);
+                    residual.extend(r);
+                }
+                _ => unreachable!("replies arrive in command order"),
+            }
+        }
+        canonical_order(&mut final_critical);
+        canonical_order(&mut residual);
+        (final_critical, residual)
+    }
+
+    /// Fleet statistics summed across shards. Vessels are disjoint by
+    /// construction (each MMSI lives on exactly one shard), so sums are
+    /// exact, not estimates.
+    #[must_use]
+    pub fn stats(&self) -> FleetStats {
+        for shard in &self.shards {
+            shard.send(ShardCmd::Stats);
+        }
+        let mut total = FleetStats::default();
+        for shard in &self.shards {
+            match shard.reply_rx.recv().expect("shard worker alive") {
+                ShardReply::Stats(s) => {
+                    total.vessels += s.vessels;
+                    total.raw += s.raw;
+                    total.critical += s.critical;
+                    total.outliers += s.outliers;
+                    total.stale += s.stale;
+                }
+                _ => unreachable!("replies arrive in command order"),
+            }
+        }
+        total
+    }
+
+}
+
+impl Drop for ShardedTracker {
+    fn drop(&mut self) {
+        // Closing every command channel ends the workers' receive loops.
+        for shard in &mut self.shards {
+            shard.cmd_tx.take();
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// A shard worker's command loop: owns one [`WindowedTracker`] for the
+/// vessels routed to it and answers each command with exactly one reply.
+fn shard_worker(
+    params: TrackerParams,
+    spec: WindowSpec,
+    cmd_rx: &Receiver<ShardCmd>,
+    reply_tx: &Sender<ShardReply>,
+) {
+    let mut tracker = WindowedTracker::new(params, spec);
+    while let Ok(cmd) = cmd_rx.recv() {
+        let reply = match cmd {
+            ShardCmd::Slide { query_time, tuples } => {
+                let t0 = Instant::now();
+                let report = tracker.slide(query_time, &tuples);
+                ShardReply::Slide {
+                    report,
+                    elapsed: t0.elapsed(),
+                }
+            }
+            ShardCmd::Finish => {
+                let (final_critical, residual) = tracker.finish();
+                ShardReply::Finish {
+                    final_critical,
+                    residual,
+                }
+            }
+            ShardCmd::Stats => ShardReply::Stats(tracker.tracker().stats()),
+        };
+        if reply_tx.send(reply).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_ais::replay::to_tuple_stream;
+    use maritime_ais::{FleetConfig, FleetSimulator};
+    use maritime_stream::{Duration, SlideBatches};
+
+    fn spec(range_h: i64, slide_min: i64) -> WindowSpec {
+        WindowSpec::new(Duration::hours(range_h), Duration::minutes(slide_min)).unwrap()
+    }
+
+    fn run_serial(
+        stream: Vec<(Timestamp, PositionTuple)>,
+        w: WindowSpec,
+    ) -> (Vec<CriticalPoint>, Vec<CriticalPoint>, FleetStats) {
+        let mut wt = WindowedTracker::new(TrackerParams::default(), w);
+        let mut fresh = Vec::new();
+        let mut evicted = Vec::new();
+        for batch in SlideBatches::new(stream.into_iter(), w, Timestamp::ZERO) {
+            let tuples: Vec<_> = batch.items.iter().map(|(_, t)| *t).collect();
+            let report = wt.slide(batch.query_time, &tuples);
+            let mut f = report.fresh_critical;
+            canonical_order(&mut f);
+            fresh.extend(f);
+            let mut e = report.evicted_delta;
+            canonical_order(&mut e);
+            evicted.extend(e);
+        }
+        let (mut last, _) = wt.finish();
+        canonical_order(&mut last);
+        fresh.extend(last);
+        (fresh, evicted, wt.tracker().stats())
+    }
+
+    fn run_sharded(
+        stream: Vec<(Timestamp, PositionTuple)>,
+        w: WindowSpec,
+        shards: usize,
+    ) -> (Vec<CriticalPoint>, Vec<CriticalPoint>, FleetStats) {
+        let mut st = ShardedTracker::new(TrackerParams::default(), w, shards);
+        let mut fresh = Vec::new();
+        let mut evicted = Vec::new();
+        for batch in SlideBatches::new(stream.into_iter(), w, Timestamp::ZERO) {
+            let tuples: Vec<_> = batch.items.iter().map(|(_, t)| *t).collect();
+            let report = st.slide(batch.query_time, &tuples);
+            fresh.extend(report.merged.fresh_critical);
+            evicted.extend(report.merged.evicted_delta);
+        }
+        let (last, _) = st.finish();
+        fresh.extend(last);
+        let stats = st.stats();
+        (fresh, evicted, stats)
+    }
+
+    #[test]
+    fn two_shards_match_serial_critical_stream() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(41));
+        let stream = to_tuple_stream(&sim.generate());
+        let w = spec(1, 30);
+        let (serial_fresh, serial_evicted, serial_stats) = run_serial(stream.clone(), w);
+        let (sharded_fresh, sharded_evicted, sharded_stats) = run_sharded(stream, w, 2);
+        assert_eq!(serial_fresh, sharded_fresh);
+        assert_eq!(serial_evicted, sharded_evicted);
+        assert_eq!(serial_stats.raw, sharded_stats.raw);
+        assert_eq!(serial_stats.critical, sharded_stats.critical);
+        assert_eq!(serial_stats.vessels, sharded_stats.vessels);
+    }
+
+    #[test]
+    fn single_shard_is_the_serial_tracker() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(42));
+        let stream = to_tuple_stream(&sim.generate());
+        let w = spec(1, 30);
+        let (serial_fresh, serial_evicted, _) = run_serial(stream.clone(), w);
+        let (sharded_fresh, sharded_evicted, _) = run_sharded(stream, w, 1);
+        assert_eq!(serial_fresh, sharded_fresh);
+        assert_eq!(serial_evicted, sharded_evicted);
+    }
+
+    #[test]
+    fn empty_slides_still_advance_all_shards() {
+        // One vessel only: with 4 shards, 3 shards see no tuples, yet
+        // their windows must advance and eviction must stay consistent.
+        let sim = FleetSimulator::new(FleetConfig {
+            vessels: 1,
+            ..FleetConfig::tiny(43)
+        });
+        let stream = to_tuple_stream(&sim.generate());
+        let w = spec(1, 30);
+        let (serial_fresh, serial_evicted, _) = run_serial(stream.clone(), w);
+        let (sharded_fresh, sharded_evicted, _) = run_sharded(stream, w, 4);
+        assert_eq!(serial_fresh, sharded_fresh);
+        assert_eq!(serial_evicted, sharded_evicted);
+    }
+
+    #[test]
+    fn drop_shuts_workers_down() {
+        let st = ShardedTracker::new(TrackerParams::default(), spec(1, 30), 3);
+        drop(st); // must not hang or panic
+    }
+}

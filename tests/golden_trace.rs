@@ -1,0 +1,79 @@
+//! Golden-trace regression fixture for the trajectory detection component.
+//!
+//! `tests/golden/critical_points.json` is the committed critical-point
+//! synopsis of one fixed-seed three-vessel voyage (6 hours), serialized
+//! with bit-exact float roundtripping. Re-deriving the voyage must
+//! reproduce the fixture byte for byte — this pins the mobility-event
+//! thresholds of Table 3, the windowed eviction schedule, *and* the
+//! JSON encoding, so any behavioural drift in the tracker fails loudly
+//! instead of silently shifting downstream CE recognition.
+//!
+//! To regenerate after an intentional semantics change:
+//!
+//! ```text
+//! cargo test -p maritime --test golden_trace -- --ignored regenerate
+//! ```
+
+use maritime::prelude::*;
+use maritime_ais::replay::to_tuple_stream;
+use maritime_tracker::TrackerParams;
+
+const FIXTURE: &str = include_str!("golden/critical_points.json");
+
+fn derive_trace() -> String {
+    let sim = FleetSimulator::new(FleetConfig {
+        vessels: 3,
+        duration: Duration::hours(6),
+        ..FleetConfig::tiny(0x601D)
+    });
+    let stream = to_tuple_stream(&sim.generate());
+    let w = WindowSpec::new(Duration::hours(1), Duration::minutes(30)).unwrap();
+    let mut tracker = WindowedTracker::new(TrackerParams::default(), w);
+    let mut points = Vec::new();
+    for batch in SlideBatches::new(stream.into_iter(), w, Timestamp::ZERO) {
+        let tuples: Vec<_> = batch.items.iter().map(|(_, t)| *t).collect();
+        let mut fresh = tracker.slide(batch.query_time, &tuples).fresh_critical;
+        canonical_order(&mut fresh);
+        points.extend(fresh);
+    }
+    let (mut last, _) = tracker.finish();
+    canonical_order(&mut last);
+    points.extend(last);
+    serde_json::to_string(&points).unwrap()
+}
+
+#[test]
+fn fixed_seed_voyage_reproduces_golden_fixture() {
+    let derived = derive_trace();
+    assert!(
+        !derived.is_empty() && derived != "[]",
+        "golden voyage produced no critical points"
+    );
+    assert_eq!(
+        derived,
+        FIXTURE.trim_end(),
+        "critical-point trace drifted from tests/golden/critical_points.json; \
+         if the change is intentional, regenerate with \
+         `cargo test -p maritime --test golden_trace -- --ignored regenerate`"
+    );
+}
+
+#[test]
+fn golden_fixture_deserializes_to_ordered_critical_points() {
+    let points: Vec<CriticalPoint> = serde_json::from_str(FIXTURE.trim_end()).unwrap();
+    assert!(points.len() > 10, "fixture suspiciously small");
+    // The fixture is stored in canonical order; re-sorting is a no-op.
+    let mut reordered = points.clone();
+    canonical_order(&mut reordered);
+    assert_eq!(points, reordered);
+}
+
+#[test]
+#[ignore = "writes the fixture; run only to regenerate after intentional changes"]
+fn regenerate() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/critical_points.json"
+    );
+    std::fs::write(path, derive_trace() + "\n").unwrap();
+}

@@ -1,0 +1,153 @@
+//! Differential harness: the sharded tracker must be observationally
+//! indistinguishable from the serial tracker.
+//!
+//! One deterministic fleet (50 vessels over 24 hours, fixed seed) is run
+//! through the serial [`WindowedTracker`] and through [`ShardedTracker`]
+//! at 1, 2, and 4 shards. After [`canonical_order`] the critical-point
+//! stream, the eviction stream, and the end-to-end pipeline alert log
+//! must be *byte identical* under JSON serialization — not merely equal
+//! counts. Any divergence in routing, merge order, window advancement,
+//! or gap sweeping shows up here as a serialized diff.
+
+use maritime::prelude::*;
+use maritime_ais::replay::to_tuple_stream;
+use maritime_tracker::TrackerParams;
+
+fn fleet() -> FleetSimulator {
+    FleetSimulator::new(FleetConfig {
+        vessels: 50,
+        duration: Duration::hours(24),
+        ..FleetConfig::tiny(0x5EED_CAFE)
+    })
+}
+
+fn window() -> WindowSpec {
+    WindowSpec::new(Duration::hours(1), Duration::minutes(30)).unwrap()
+}
+
+/// Serialized per-slide traces of one tracking run: the canonical fresh
+/// critical points, the canonical evicted deltas, and the finish flush.
+struct Trace {
+    fresh: String,
+    evicted: String,
+    residual: String,
+}
+
+fn serial_trace(stream: &[(Timestamp, PositionTuple)]) -> Trace {
+    let w = window();
+    let mut tracker = WindowedTracker::new(TrackerParams::default(), w);
+    let mut fresh = Vec::new();
+    let mut evicted = Vec::new();
+    for batch in SlideBatches::new(stream.iter().copied(), w, Timestamp::ZERO) {
+        let tuples: Vec<_> = batch.items.iter().map(|(_, t)| *t).collect();
+        let report = tracker.slide(batch.query_time, &tuples);
+        let mut f = report.fresh_critical;
+        canonical_order(&mut f);
+        fresh.extend(f);
+        let mut e = report.evicted_delta;
+        canonical_order(&mut e);
+        evicted.extend(e);
+    }
+    let (mut last, mut residual) = tracker.finish();
+    canonical_order(&mut last);
+    canonical_order(&mut residual);
+    fresh.extend(last);
+    Trace {
+        fresh: serde_json::to_string(&fresh).unwrap(),
+        evicted: serde_json::to_string(&evicted).unwrap(),
+        residual: serde_json::to_string(&residual).unwrap(),
+    }
+}
+
+fn sharded_trace(stream: &[(Timestamp, PositionTuple)], shards: usize) -> Trace {
+    let w = window();
+    let mut tracker = ShardedTracker::new(TrackerParams::default(), w, shards);
+    let mut fresh = Vec::new();
+    let mut evicted = Vec::new();
+    for batch in SlideBatches::new(stream.iter().copied(), w, Timestamp::ZERO) {
+        let tuples: Vec<_> = batch.items.iter().map(|(_, t)| *t).collect();
+        let report = tracker.slide(batch.query_time, &tuples);
+        fresh.extend(report.merged.fresh_critical);
+        evicted.extend(report.merged.evicted_delta);
+    }
+    let (last, residual) = tracker.finish();
+    fresh.extend(last);
+    Trace {
+        fresh: serde_json::to_string(&fresh).unwrap(),
+        evicted: serde_json::to_string(&evicted).unwrap(),
+        residual: serde_json::to_string(&residual).unwrap(),
+    }
+}
+
+#[test]
+fn sharded_critical_streams_are_byte_identical_to_serial() {
+    let stream = to_tuple_stream(&fleet().generate());
+    assert!(stream.len() > 50_000, "fleet too small to exercise sharding");
+    let serial = serial_trace(&stream);
+    for shards in [1, 2, 4] {
+        let sharded = sharded_trace(&stream, shards);
+        assert_eq!(
+            serial.fresh, sharded.fresh,
+            "critical-point stream diverged at {shards} shard(s)"
+        );
+        assert_eq!(
+            serial.evicted, sharded.evicted,
+            "eviction stream diverged at {shards} shard(s)"
+        );
+        assert_eq!(
+            serial.residual, sharded.residual,
+            "finish residue diverged at {shards} shard(s)"
+        );
+    }
+}
+
+#[test]
+fn sharded_pipeline_alert_log_matches_serial() {
+    let sim = fleet();
+    let areas = generate_areas(&AreaGenConfig::default());
+    let vessels: Vec<VesselInfo> = sim.profiles().iter().map(VesselInfo::from).collect();
+    let stream: Vec<PositionTuple> = sim.generate().iter().map(|r| (*r).into()).collect();
+
+    let run = |shards: usize| {
+        let config = SurveillanceConfig {
+            parallelism: Parallelism {
+                tracker_shards: shards,
+                recognition_bands: 1,
+            },
+            ..SurveillanceConfig::default()
+        };
+        let mut pipeline =
+            SurveillancePipeline::new(&config, vessels.clone(), areas.clone()).unwrap();
+        let report = pipeline.run(stream.iter().copied());
+        let log: Vec<String> = pipeline
+            .alerts()
+            .records()
+            .iter()
+            .map(AlertRecord::render)
+            .collect();
+        (report.critical_points, report.ce_total, log)
+    };
+
+    let (serial_cps, serial_ces, serial_log) = run(1);
+    for shards in [2, 4] {
+        let (cps, ces, log) = run(shards);
+        assert_eq!(serial_cps, cps, "critical count diverged at {shards} shard(s)");
+        assert_eq!(serial_ces, ces, "CE count diverged at {shards} shard(s)");
+        assert_eq!(serial_log, log, "alert log diverged at {shards} shard(s)");
+    }
+}
+
+#[test]
+fn shard_assignment_partitions_the_fleet() {
+    // Every simulated vessel maps to exactly one shard, and with 4 shards
+    // a 50-vessel fleet should not degenerate onto a single worker.
+    let sim = fleet();
+    let tracker = ShardedTracker::new(TrackerParams::default(), window(), 4);
+    let mut per_shard = [0usize; 4];
+    for profile in sim.profiles() {
+        per_shard[tracker.shard_of(profile.mmsi)] += 1;
+    }
+    assert_eq!(per_shard.iter().sum::<usize>(), sim.profiles().len());
+    let occupied = per_shard.iter().filter(|&&n| n > 0).count();
+    assert!(occupied >= 3, "hash collapsed the fleet: {per_shard:?}");
+}

@@ -1,0 +1,216 @@
+//! Vendored, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`BenchmarkGroup` surface
+//! so the workspace's benches compile and run unchanged, but replaces the
+//! statistical machinery with a simple median-of-samples wall-clock
+//! measurement printed to stdout. Good enough to compare configurations on
+//! one machine; not a rigorous statistics package.
+
+// Vendored stand-in crate: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// The benchmark context. `configure_from_args` is accepted and ignored.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts CLI configuration; a no-op here.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { requested: Some(10), ..Bencher::default() };
+        f(&mut b);
+        report(id, &b, 10, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measurement time is accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { requested: Some(self.sample_size), ..Bencher::default() };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            &b,
+            self.sample_size,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { requested: Some(self.sample_size), ..Bencher::default() };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            &b,
+            self.sample_size,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects the routine to measure. `iter` stores the closure's timings.
+#[derive(Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    requested: Option<usize>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample (plus one untimed warmup run).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let samples = self.requested.unwrap_or(10);
+        black_box(routine()); // warmup
+        self.samples.clear();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, sample_size: usize, throughput: Option<Throughput>) {
+    // `iter` may have run before the group's sample size was known; re-run
+    // is not possible here, so the stub simply records what it has. When
+    // `iter` was never called the benchmark body did nothing measurable.
+    let _ = sample_size;
+    if bencher.samples.is_empty() {
+        println!("  {label}: no measurement (b.iter was not called)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean: Duration = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!(" ({:.0} elem/s)", n as f64 / median.as_secs_f64())
+        }
+        Throughput::Bytes(n) => {
+            format!(" ({:.0} B/s)", n as f64 / median.as_secs_f64())
+        }
+    });
+    println!(
+        "  {label}: median {median:?}, mean {mean:?} over {} samples{}",
+        sorted.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,237 @@
+//! Vendored, offline stand-in for the `crossbeam` crate.
+//!
+//! `crossbeam::thread::scope` delegates to `std::thread::scope` (available
+//! since Rust 1.63), wrapped to keep crossbeam's call shape: the closure
+//! and each spawned task receive a `&Scope` argument, `scope` returns a
+//! `Result`, and join handles return `thread::Result`. Channels wrap
+//! `std::sync::mpsc`: `bounded(n)` is a rendezvous-or-buffered sync
+//! channel, which provides the same backpressure semantics the sharded
+//! tracker relies on.
+
+// Vendored stand-in crate: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Error payload of a panicked scope (matches `std::thread::Result`).
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; spawned closures receive a reference to it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            Scope { inner: self.inner }
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle awaiting a spawned thread's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> ScopeResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// so it can spawn further threads, like crossbeam's.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all are joined before returning. Unlike `std`, the result
+    /// is wrapped in `Ok` to keep crossbeam's `.expect("scope")` call
+    /// sites working (panics in unjoined threads still propagate as
+    /// panics, as with `std::thread::scope`).
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Multi-producer channels with optional capacity bounds.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned when the receiving side disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when the sending side disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on a disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half. Cloneable; blocks when a bounded channel is full.
+    pub struct Sender<T> {
+        tx: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { tx: self.tx.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is at capacity.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.tx {
+                Tx::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Tx::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half. Cloneable (consumers share the stream), unlike
+    /// `std::sync::mpsc` but like crossbeam.
+    pub struct Receiver<T> {
+        rx: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { rx: Arc::clone(&self.rx) }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until a value or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.lock().expect("channel poisoned").recv().map_err(|_| RecvError)
+        }
+
+        /// A blocking iterator draining the channel until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator over received values.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight messages; senders block
+    /// when it is full (backpressure).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender { tx: Tx::Bounded(tx) },
+            Receiver { rx: Arc::new(Mutex::new(rx)) },
+        )
+    }
+
+    /// A channel without a capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { tx: Tx::Unbounded(tx) },
+            Receiver { rx: Arc::new(Mutex::new(rx)) },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3];
+        let sum = crate::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().expect("no panic")
+        })
+        .expect("scope");
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 41).join().expect("inner") + 1)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn bounded_channel_roundtrip() {
+        let (tx, rx) = crate::channel::bounded(2);
+        std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

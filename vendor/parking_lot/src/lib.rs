@@ -1,0 +1,75 @@
+//! Vendored, offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives and hides lock poisoning (a poisoned lock
+//! panics, matching parking_lot's no-poisoning API shape closely enough
+//! for this workspace).
+
+// Vendored stand-in crate: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use std::sync;
+
+/// A mutex whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    /// Acquires the lock, blocking.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned")
+    }
+}
+
+/// A reader-writer lock whose guards are returned directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock.
+    pub fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.inner.read().expect("rwlock poisoned")
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().expect("rwlock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_guards_value() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+}

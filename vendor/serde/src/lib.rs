@@ -1,0 +1,539 @@
+//! Vendored, offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace vendors a minimal serialization framework under the same
+//! crate name. Unlike upstream serde's visitor-based zero-copy design, this
+//! stand-in round-trips every value through a JSON-shaped [`Value`] tree:
+//! `Serialize` renders into a `Value`, `Deserialize` reads back out of one.
+//! That is dramatically simpler, covers everything this workspace needs
+//! (derive on plain structs/enums, JSON round-trips via the vendored
+//! `serde_json`), and keeps the public surface source-compatible for the
+//! idioms used here: `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]`.
+//!
+//! Enum representation follows serde's externally-tagged default:
+//! unit variants serialize as `"Name"`, newtype variants as
+//! `{"Name": value}`, tuple variants as `{"Name": [..]}`, and struct
+//! variants as `{"Name": {..}}`. Object fields preserve declaration order,
+//! which keeps serialized output deterministic — a property the golden
+//! trace fixtures rely on.
+
+// Vendored stand-in crate: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// The self-describing data model every value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer outside the `i64` range.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key-value map (declaration order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object. `None` for absent keys or non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable path-less message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        DeError(m.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| DeError::msg("unsigned value out of range"))?,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::msg(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = u64::from(*self);
+                match i64::try_from(wide) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide = match v {
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| DeError::msg("negative value for unsigned type"))?,
+                    Value::UInt(u) => *u,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::msg(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        (*self as u64).to_value()
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let wide = u64::from_value(v)?;
+        usize::try_from(wide).map_err(|_| DeError::msg("integer out of range for usize"))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let wide = i64::from_value(v)?;
+        isize::try_from(wide).map_err(|_| DeError::msg("integer out of range for isize"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(DeError::msg(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::msg(format!(
+                "expected single-char string, found {}", other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+/// `&'static str` deserialization interns through a small leak: the
+/// workspace only ever stores compile-time names in such fields (CE labels
+/// like `"suspicious"`), so the set of distinct strings is tiny and the
+/// leak is bounded in practice.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(match s.as_str() {
+                "suspicious" => "suspicious",
+                "illegalFishing" => "illegalFishing",
+                other => Box::leak(other.to_owned().into_boxed_str()),
+            }),
+            other => Err(DeError::msg(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        let out = ($(
+                            $t::from_value(
+                                it.next().ok_or_else(|| DeError::msg("tuple too short"))?
+                            )?,
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::msg("tuple too long"));
+                        }
+                        Ok(out)
+                    }
+                    other => Err(DeError::msg(format!(
+                        "expected array, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (stringify_key(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (stringify_key(&k.to_value()), v.to_value()))
+            .collect();
+        // Hash iteration order is nondeterministic; sort for stable output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_entries(v)?
+            .map(|(k, val)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_entries(v)?
+            .map(|(k, val)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+fn map_entries(v: &Value) -> Result<std::slice::Iter<'_, (String, Value)>, DeError> {
+    match v {
+        Value::Object(entries) => Ok(entries.iter()),
+        other => Err(DeError::msg(format!("expected object, found {}", other.kind()))),
+    }
+}
+
+fn stringify_key(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must be a primitive, got {}", other.kind()),
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive support helpers (used by generated code; not a public API)
+// ---------------------------------------------------------------------------
+
+/// Runtime support for the derive macros. Hidden from rustdoc on purpose.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Value};
+
+    /// Fetches a struct field, treating absence as `null` so `Option`
+    /// fields default to `None` exactly like upstream serde.
+    pub fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, DeError> {
+        match v {
+            Value::Object(_) => Ok(v.get(name).unwrap_or(&Value::Null)),
+            other => Err(DeError::msg(format!(
+                "expected object with field `{name}`, found {}", other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets a value as an externally-tagged enum: returns the variant
+    /// name and its payload (`Null` for unit variants).
+    pub fn variant(v: &Value) -> Result<(&str, &Value), DeError> {
+        match v {
+            Value::String(name) => Ok((name.as_str(), &Value::Null)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), &entries[0].1))
+            }
+            other => Err(DeError::msg(format!(
+                "expected externally tagged enum, found {}", other.kind()
+            ))),
+        }
+    }
+
+    /// Extracts the elements of a tuple-variant payload of known arity.
+    pub fn tuple<'a>(v: &'a Value, arity: usize) -> Result<&'a [Value], DeError> {
+        match v {
+            Value::Array(items) if items.len() == arity => Ok(items),
+            Value::Array(items) => Err(DeError::msg(format!(
+                "expected {arity}-element array, found {}", items.len()
+            ))),
+            other => Err(DeError::msg(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Some(3i64).to_value(), Value::Int(3));
+        assert_eq!(Option::<i64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<i64>::from_value(&Value::Int(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn unsigned_wide_values_survive() {
+        let v = u64::MAX.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn object_get() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("b"), None);
+    }
+}

@@ -1,0 +1,469 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the stand-in serde.
+//!
+//! The offline build has no `syn`/`quote`, so this macro parses the item
+//! declaration directly from the raw token stream. It supports exactly the
+//! shapes this workspace derives on: non-generic (or simply-generic)
+//! structs with named fields, tuple structs, unit structs, and enums whose
+//! variants are unit, tuple, or struct-like. `#[serde(...)]` field
+//! attributes are not supported (none are used in the workspace).
+//!
+//! Code generation goes through plain strings: the item is parsed into a
+//! small AST, the impl is rendered as Rust source, and the source is parsed
+//! back into a `TokenStream`. Slow at compile time, trivially debuggable.
+
+// Vendored stand-in crate: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// A parsed field list.
+enum Fields {
+    /// `struct S;` or a unit enum variant.
+    Unit,
+    /// `S(T, U)` — only the arity matters.
+    Tuple(usize),
+    /// `S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+}
+
+/// A parsed item: struct or enum with its (simple) type parameters.
+struct Item {
+    name: String,
+    type_params: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+
+    skip_attributes_and_vis(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    pos += 1;
+
+    let type_params = parse_generics(&tokens, &mut pos);
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        panic!("derive(Serialize/Deserialize): `where` clauses are not supported");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_body(&tokens, &mut pos)),
+        "enum" => {
+            let group = expect_group(&tokens, &mut pos, Delimiter::Brace);
+            Body::Enum(parse_variants(group))
+        }
+        other => panic!("derive supports structs and enums, found `{other}`"),
+    };
+
+    // Consume to catch silent misparses early.
+    drop(tokens);
+    Item { name, type_params, body }
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attributes_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` then the bracketed group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<A, B: Bound, ...>` into the list of type parameter names.
+/// Lifetimes and const parameters are rejected (unused in this workspace).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *pos += 1;
+    let mut params = Vec::new();
+    let mut depth = 1i32;
+    let mut at_param_start = true;
+    while depth > 0 {
+        let tok = tokens.get(*pos).expect("unterminated generics");
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                panic!("derive: lifetime parameters are not supported")
+            }
+            TokenTree::Ident(i) if at_param_start => {
+                if i.to_string() == "const" {
+                    panic!("derive: const generics are not supported");
+                }
+                params.push(i.to_string());
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    params
+}
+
+fn expect_group(tokens: &[TokenTree], pos: &mut usize, delim: Delimiter) -> TokenStream {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *pos += 1;
+            g.stream()
+        }
+        other => panic!("expected {delim:?} group, found {other:?}"),
+    }
+}
+
+fn parse_struct_body(tokens: &[TokenTree], pos: &mut usize) -> Fields {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream());
+            *pos += 1;
+            Fields::Named(fields)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_tuple_fields(g.stream());
+            *pos += 1;
+            Fields::Tuple(arity)
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("expected struct body, found {other:?}"),
+    }
+}
+
+/// Extracts field names from `a: T, b: U, ...`, tracking angle-bracket depth
+/// so commas inside `Vec<(A, B)>`-style types don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        fields.push(name);
+        pos += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut saw_content = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_content = true,
+        }
+    }
+    // Tolerate a trailing comma: `S(T,)`.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    assert!(saw_content, "empty tuple struct body");
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// `impl<A: Bound, B: Bound>` header plus `Name<A, B>` type, or plain
+/// `impl`/`Name` for non-generic items.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.type_params.is_empty() {
+        (String::from("impl"), item.name.clone())
+    } else {
+        let params: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect();
+        (
+            format!("impl<{}>", params.join(", ")),
+            format!("{}<{}>", item.name, item.type_params.join(", ")),
+        )
+    }
+}
+
+fn render_serialize(item: &Item) -> String {
+    let (header, ty) = impl_header(item, "::serde::Serialize");
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] {header} ::serde::Serialize for {ty} {{ \
+         fn to_value(&self) -> ::serde::Value {{ "
+    );
+    match &item.body {
+        Body::Struct(Fields::Unit) => {
+            let _ = write!(out, "::serde::Value::Null");
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            let _ = write!(out, "::serde::Serialize::to_value(&self.0)");
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            let _ = write!(out, "::serde::Value::Array(vec![{}])", elems.join(", "));
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            let _ = write!(out, "::serde::Value::Object(vec![{}])", entries.join(", "));
+        }
+        Body::Enum(variants) => {
+            let _ = write!(out, "match self {{ ");
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            out,
+                            "Self::{v} => ::serde::Value::String(\"{v}\".to_string()), "
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        let _ = write!(
+                            out,
+                            "Self::{v}({binds}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), {payload})]), ",
+                            binds = binds.join(", ")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "Self::{v} {{ {fields} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{entries}]))]), ",
+                            fields = fields.join(", "),
+                            entries = entries.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(out, "}}");
+        }
+    }
+    let _ = write!(out, " }} }}");
+    out
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let (header, ty) = impl_header(item, "::serde::Deserialize");
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] {header} ::serde::Deserialize for {ty} {{ \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ "
+    );
+    match &item.body {
+        Body::Struct(Fields::Unit) => {
+            let _ = write!(out, "Ok(Self)");
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            let _ = write!(out, "Ok(Self(::serde::Deserialize::from_value(__v)?))");
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let _ = write!(
+                out,
+                "let __items = ::serde::__private::tuple(__v, {n})?; Ok(Self({}))",
+                (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__v, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            let _ = write!(out, "Ok(Self {{ {} }})", inits.join(", "));
+        }
+        Body::Enum(variants) => {
+            let _ = write!(
+                out,
+                "let (__name, __payload) = ::serde::__private::variant(__v)?; match __name {{ "
+            );
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(out, "\"{v}\" => Ok(Self::{v}), ");
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "\"{v}\" => Ok(Self::{v}(::serde::Deserialize::from_value(__payload)?)), "
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "\"{v}\" => {{ let __items = ::serde::__private::tuple(__payload, {n})?; Ok(Self::{v}({})) }}, ",
+                            elems.join(", ")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__payload, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "\"{v}\" => Ok(Self::{v} {{ {} }}), ",
+                            inits.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "__other => Err(::serde::DeError::msg(format!(\"unknown variant `{{__other}}`\"))) }}"
+            );
+        }
+    }
+    let _ = write!(out, " }} }}");
+    out
+}
