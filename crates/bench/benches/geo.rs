@@ -42,6 +42,36 @@ fn bench_close_predicate(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_candidate_lookup(c: &mut Criterion) {
+    let areas = generate_areas(&AreaGenConfig::default());
+    let index = GridIndex::build(areas, 0.2, 2_000.0);
+    let probes = probe_points(10_000);
+
+    let mut group = c.benchmark_group("candidate_lookup");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    // Borrowed-slice lookup: no allocation per probe (see the
+    // `candidate_lookup_allocates_nothing` test in maritime-geo).
+    group.bench_function("borrowed_slice", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|p| index.candidates(*p).len())
+                .sum::<usize>()
+        });
+    });
+    // The pre-refactor behavior: clone the cell's candidate list into a
+    // fresh Vec on every probe.
+    group.bench_function("cloned_vec", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|p| index.candidates(*p).to_vec().len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
 fn bench_primitives(c: &mut Criterion) {
     let probes = probe_points(10_000);
     let mut group = c.benchmark_group("geo_primitives");
@@ -70,5 +100,5 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_close_predicate, bench_primitives);
+criterion_group!(benches, bench_close_predicate, bench_candidate_lookup, bench_primitives);
 criterion_main!(benches);

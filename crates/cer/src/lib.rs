@@ -38,4 +38,5 @@ pub use fluents::{Alert, AlertKind, FluentKey};
 pub use input::{InputEvent, InputKind};
 pub use knowledge::{Knowledge, SpatialMode, VesselInfo};
 pub use partition::{GeoPartitioner, PartitionedRecognizer};
+pub use maritime_rtec::{EvalStrategy, IncrementalStats};
 pub use recognizer::{MaritimeRecognizer, RecognitionSummary};

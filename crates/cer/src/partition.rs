@@ -23,7 +23,7 @@
 //! eliminate the residual effect.
 
 use maritime_geo::Area;
-use maritime_rtec::{Timestamp, WindowSpec};
+use maritime_rtec::{EvalStrategy, Timestamp, WindowSpec};
 
 use crate::input::InputEvent;
 use crate::knowledge::{Knowledge, SpatialMode, VesselInfo};
@@ -235,6 +235,30 @@ impl PartitionedRecognizer {
         mode: SpatialMode,
         spec: WindowSpec,
     ) -> Self {
+        Self::with_strategy(
+            partitioner,
+            vessels,
+            areas,
+            close_threshold_m,
+            mode,
+            spec,
+            EvalStrategy::default(),
+        )
+    }
+
+    /// Like [`PartitionedRecognizer::new`], with an explicit per-band
+    /// engine evaluation strategy (checkpointed incremental vs.
+    /// from-scratch per query).
+    #[must_use]
+    pub fn with_strategy(
+        partitioner: GeoPartitioner,
+        vessels: &[VesselInfo],
+        areas: &[Area],
+        close_threshold_m: f64,
+        mode: SpatialMode,
+        spec: WindowSpec,
+        strategy: EvalStrategy,
+    ) -> Self {
         let recognizers = partitioner
             .route_areas(areas)
             .into_iter()
@@ -245,7 +269,7 @@ impl PartitionedRecognizer {
                     close_threshold_m,
                     mode,
                 );
-                MaritimeRecognizer::new(kb, spec)
+                MaritimeRecognizer::with_strategy(kb, spec, strategy)
             })
             .collect();
         Self {

@@ -2,7 +2,9 @@
 
 use maritime_ais::Mmsi;
 use maritime_geo::AreaId;
-use maritime_rtec::{Engine, IntervalList, Recognition, Timestamp, WindowSpec};
+use maritime_rtec::{
+    Engine, EvalStrategy, IncrementalStats, IntervalList, Recognition, Timestamp, WindowSpec,
+};
 use maritime_tracker::CriticalPoint;
 
 use crate::fluents::{maritime_description, Alert, FluentKey};
@@ -67,9 +69,23 @@ impl MaritimeRecognizer {
     /// Creates a recognizer over the knowledge base with the given window.
     #[must_use]
     pub fn new(knowledge: Knowledge, spec: WindowSpec) -> Self {
+        Self::with_strategy(knowledge, spec, EvalStrategy::default())
+    }
+
+    /// Creates a recognizer with an explicit evaluation strategy
+    /// (checkpointed incremental vs. from-scratch per query).
+    #[must_use]
+    pub fn with_strategy(knowledge: Knowledge, spec: WindowSpec, strategy: EvalStrategy) -> Self {
         Self {
-            engine: Engine::new(knowledge, maritime_description(), spec),
+            engine: Engine::new(knowledge, maritime_description(), spec).with_strategy(strategy),
         }
+    }
+
+    /// How queries have been evaluated so far (delta path vs. full
+    /// recompute); all zeros under the from-scratch strategy.
+    #[must_use]
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.engine.incremental_stats()
     }
 
     /// The static knowledge.

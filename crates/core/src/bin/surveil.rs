@@ -31,6 +31,7 @@ struct Options {
     audit: bool,
     shards: usize,
     bands: usize,
+    incremental: bool,
 }
 
 fn parse_args() -> Options {
@@ -43,6 +44,7 @@ fn parse_args() -> Options {
         audit: false,
         shards: 1,
         bands: 1,
+        incremental: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -58,6 +60,7 @@ fn parse_args() -> Options {
             "--archive" => opts.archive = it.next().cloned(),
             "--dump-log" => opts.dump_log = it.next().cloned(),
             "--audit" => opts.audit = true,
+            "--incremental" => opts.incremental = true,
             "--shards" => {
                 opts.shards = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--shards needs a positive integer");
@@ -73,8 +76,8 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: surveil (--demo [vessels] [hours] | --input FILE) \
-                     [--shards N] [--bands N] [--kml FILE] [--archive FILE] \
-                     [--dump-log FILE] [--audit]"
+                     [--shards N] [--bands N] [--incremental] [--kml FILE] \
+                     [--archive FILE] [--dump-log FILE] [--audit]"
                 );
                 std::process::exit(0);
             }
@@ -212,6 +215,7 @@ fn main() {
             tracker_shards: opts.shards,
             recognition_bands: opts.bands,
         },
+        incremental_recognition: opts.incremental,
         ..SurveillanceConfig::default()
     };
     if let Err(e) = config.validate() {
@@ -223,6 +227,9 @@ fn main() {
             "parallelism: {} tracker shard(s), {} recognition band(s)",
             opts.shards, opts.bands
         );
+    }
+    if opts.incremental {
+        eprintln!("recognition: checkpointed incremental evaluation");
     }
     let mut pipeline =
         SurveillancePipeline::new(&config, vessels, areas.clone()).expect("validated config");

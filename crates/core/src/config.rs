@@ -71,6 +71,10 @@ pub struct SurveillanceConfig {
     pub close_threshold_m: f64,
     /// Spatial reasoning mode (Figure 11(a) vs 11(b)).
     pub spatial_mode: SpatialMode,
+    /// Checkpointed incremental recognition: evaluate each query over the
+    /// delta since the previous one instead of re-deriving the whole
+    /// window (output is bit-identical; see `maritime_rtec::cache`).
+    pub incremental_recognition: bool,
 }
 
 impl Default for SurveillanceConfig {
@@ -84,6 +88,7 @@ impl Default for SurveillanceConfig {
                 .expect("valid default window"),
             close_threshold_m: 2_000.0,
             spatial_mode: SpatialMode::OnDemand,
+            incremental_recognition: false,
         }
     }
 }
@@ -173,6 +178,7 @@ impl PartialEq for SurveillanceConfig {
             && self.recognition_window == other.recognition_window
             && self.close_threshold_m == other.close_threshold_m
             && self.spatial_mode == other.spatial_mode
+            && self.incremental_recognition == other.incremental_recognition
     }
 }
 
@@ -222,6 +228,7 @@ mod tests {
                 tracker_shards: 4,
                 recognition_bands: 2,
             },
+            incremental_recognition: true,
             ..SurveillanceConfig::default()
         };
         let json = serde_json::to_string(&cfg).unwrap();

@@ -62,8 +62,8 @@ pub mod prelude {
         VesselClass, VesselProfile,
     };
     pub use maritime_cer::{
-        Alert, AlertKind, GeoPartitioner, InputEvent, InputKind, Knowledge, MaritimeRecognizer,
-        PartitionedRecognizer, SpatialMode, VesselInfo,
+        Alert, AlertKind, EvalStrategy, GeoPartitioner, IncrementalStats, InputEvent, InputKind,
+        Knowledge, MaritimeRecognizer, PartitionedRecognizer, SpatialMode, VesselInfo,
     };
     pub use maritime_geo::aegean::{generate_areas, ports, AreaGenConfig};
     pub use maritime_geo::{Area, AreaId, AreaKind, BoundingBox, GeoPoint, Polygon};

@@ -10,8 +10,8 @@ use std::time::{Duration as StdDuration, Instant};
 
 use maritime_ais::PositionTuple;
 use maritime_cer::{
-    spatial, GeoPartitioner, InputEvent, Knowledge, MaritimeRecognizer, PartitionedRecognizer,
-    SpatialMode, VesselInfo,
+    spatial, EvalStrategy, GeoPartitioner, InputEvent, Knowledge, MaritimeRecognizer,
+    PartitionedRecognizer, SpatialMode, VesselInfo,
 };
 use maritime_geo::Area;
 use maritime_modstore::{ArchiveStats, StagingArea, TrajectoryStore, TripReconstructor};
@@ -228,15 +228,21 @@ impl SurveillancePipeline {
         } else {
             TrackerBackend::Serial(WindowedTracker::new(config.tracker, config.tracking_window))
         };
+        let strategy = if config.incremental_recognition {
+            EvalStrategy::Incremental
+        } else {
+            EvalStrategy::FromScratch
+        };
         let recognizer = if config.parallelism.recognition_bands > 1 {
             let (lon_min, lon_max) = band_extent(&areas);
-            RecognizerBackend::Partitioned(PartitionedRecognizer::new(
+            RecognizerBackend::Partitioned(PartitionedRecognizer::with_strategy(
                 GeoPartitioner::uniform(config.parallelism.recognition_bands, lon_min, lon_max),
                 &vessels,
                 &areas,
                 config.close_threshold_m,
                 config.spatial_mode,
                 config.recognition_window,
+                strategy,
             ))
         } else {
             let knowledge = Knowledge::new(
@@ -245,9 +251,10 @@ impl SurveillancePipeline {
                 config.close_threshold_m,
                 config.spatial_mode,
             );
-            RecognizerBackend::Single(Box::new(MaritimeRecognizer::new(
+            RecognizerBackend::Single(Box::new(MaritimeRecognizer::with_strategy(
                 knowledge,
                 config.recognition_window,
+                strategy,
             )))
         };
         Ok(Self {

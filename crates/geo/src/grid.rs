@@ -78,10 +78,9 @@ impl GridIndex {
 
     /// Areas whose `close` predicate holds for `p` (distance < threshold).
     pub fn close_areas(&self, p: GeoPoint) -> impl Iterator<Item = &Area> + '_ {
-        let candidates = self.candidates(p);
-        candidates
-            .into_iter()
-            .map(move |i| &self.areas[i])
+        self.candidates(p)
+            .iter()
+            .map(move |&i| &self.areas[i])
             .filter(move |a| a.is_close(p, self.threshold_m))
     }
 
@@ -94,18 +93,20 @@ impl GridIndex {
     /// Areas that *contain* `p` (strict containment, not proximity).
     pub fn containing_areas(&self, p: GeoPoint) -> impl Iterator<Item = &Area> + '_ {
         self.candidates(p)
-            .into_iter()
-            .map(move |i| &self.areas[i])
+            .iter()
+            .map(move |&i| &self.areas[i])
             .filter(move |a| a.contains(p))
     }
 
-    /// Candidate area indices from the cell containing `p`.
-    fn candidates(&self, p: GeoPoint) -> Vec<usize> {
+    /// Candidate area indices from the cell containing `p`. Borrowed from
+    /// the index: the per-lookup path allocates nothing.
+    #[must_use]
+    pub fn candidates(&self, p: GeoPoint) -> &[usize] {
         if !self.extent.contains(p) {
-            return Vec::new();
+            return &[];
         }
         let (c, r) = clamp_cell(&self.extent, self.cell_deg, self.cols, self.rows, p.lon, p.lat);
-        self.cells.get(&(c, r)).cloned().unwrap_or_default()
+        self.cells.get(&(c, r)).map_or(&[], Vec::as_slice)
     }
 
     /// Linear-scan reference implementation, used for correctness checks and

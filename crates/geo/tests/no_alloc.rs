@@ -1,0 +1,93 @@
+//! Proof that the per-event spatial lookup path allocates nothing.
+//!
+//! `GridIndex::candidates` used to clone the cell's candidate `Vec` on
+//! every lookup — one heap allocation per critical movement event per
+//! query. It now returns a borrowed slice; this test pins that down with
+//! a counting global allocator so the regression cannot sneak back in.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! `#[global_allocator]`, which must not leak into other test binaries.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use maritime_geo::areas::{Area, AreaId, AreaKind};
+use maritime_geo::grid::GridIndex;
+use maritime_geo::point::GeoPoint;
+use maritime_geo::polygon::Polygon;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::SeqCst) - before, result)
+}
+
+fn sample_index() -> GridIndex {
+    let areas = vec![
+        Area::new(
+            AreaId(0),
+            "west",
+            AreaKind::Protected,
+            Polygon::rectangle(GeoPoint::new(23.0, 37.0), GeoPoint::new(23.5, 37.5)),
+        ),
+        Area::new(
+            AreaId(1),
+            "east",
+            AreaKind::ForbiddenFishing,
+            Polygon::rectangle(GeoPoint::new(25.0, 38.0), GeoPoint::new(25.5, 38.5)),
+        ),
+    ];
+    GridIndex::build(areas, 0.25, 5_000.0)
+}
+
+#[test]
+fn candidate_lookup_allocates_nothing() {
+    let idx = sample_index();
+    // Points inside a populated cell, in an empty cell, and outside the
+    // extent — every branch of the lookup must be allocation-free.
+    let probes = [
+        GeoPoint::new(23.2, 37.2),
+        GeoPoint::new(24.2, 37.7),
+        GeoPoint::new(0.0, 0.0),
+    ];
+    // Warm up (lazy statics, test-harness buffers) before counting.
+    for p in probes {
+        let _ = idx.candidates(p).len();
+    }
+    let (allocs, total) = allocations(|| {
+        let mut total = 0usize;
+        for _ in 0..1_000 {
+            for p in probes {
+                total += idx.candidates(p).len();
+                total += idx.close_areas(p).count();
+                total += idx.containing_areas(p).count();
+            }
+        }
+        total
+    });
+    assert!(total > 0, "probe set must exercise a populated cell");
+    assert_eq!(allocs, 0, "per-lookup path must not touch the heap");
+}

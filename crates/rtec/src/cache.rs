@@ -1,0 +1,187 @@
+//! Checkpointed state carried between queries by the incremental engine.
+//!
+//! With an overlapping window (β < ω) consecutive queries share most of
+//! their working memory: at ω = 24 h, β = 1 h roughly 96 % of the events
+//! scanned at `Qᵢ` were already fully processed at `Qᵢ₋₁`. The from-scratch
+//! engine re-runs every rule over that shared prefix anyway. Incremental
+//! mode instead memoises every *rule evaluation* — one [`PointEntry`] per
+//! (stratum, trigger) and one [`DerivedEntry`] per trigger for the derived
+//! events — and at the next query replays the cached entries, running
+//! rules only for the delta past the *checkpoint* (the previous query
+//! time) and for the few retained triggers whose inputs actually changed.
+//!
+//! # Correctness model
+//!
+//! Rules are required to be pure functions of `(ctx, view, trigger, t)`.
+//! An entry may therefore be replayed iff (a) the *same trigger* fires at
+//! the same time and (b) every [`ProbeLog`] probe the rules made when the
+//! entry was computed would observe the same answer against the newly
+//! computed fluents. The engine enforces both:
+//!
+//! * **Entries are sparse.** Only evaluations that emitted something or
+//!   probed the view are materialised. A trigger whose rules neither
+//!   emitted nor consulted the view ran a pure function of the trigger
+//!   alone — it can never change its mind, so its empty outcome is
+//!   replayed *implicitly*, with no per-trigger work at all. This is the
+//!   overwhelming majority: most triggers are pattern-matched away by
+//!   most rule sets.
+//! * **Non-probing input-event triggers** are not materialised at all:
+//!   their emissions are folded into per-key point maps that replay
+//!   wholesale — the next query evicts the points at or before its new
+//!   window start and appends the delta. Probing event triggers are
+//!   materialised and matched by snapshot index: the retained window
+//!   snapshot `(Qᵢ − ω, checkpoint]` is exactly the previous snapshot
+//!   minus the prefix evicted by the slide, so cached indices shift
+//!   uniformly by the eviction count (a late arrival at or before the
+//!   checkpoint voids this and falls back to a full recompute — the
+//!   paper's Figure 5 delayed-event case).
+//! * **Boundary triggers** (`start(F=V)`/`end(F=V)`) are matched by
+//!   identity `(t, is_end, key)` against the freshly rebuilt boundary
+//!   list. An unmatched boundary of a *changed* key (see below) is
+//!   evaluated from scratch — it may have moved there when the slide
+//!   clipped an interval straddling the new window start. An unmatched
+//!   boundary of an unchanged key existed identically at the checkpoint
+//!   and was elided as a stable empty outcome: it replays implicitly.
+//! * **Probes** are re-checked against the set of *changed keys*: after
+//!   each stratum is rebuilt, its new interval lists are compared with the
+//!   checkpointed ones, and an entry whose probes cannot distinguish old
+//!   from new state (same `holds_at` answers at the probed points, no
+//!   structural change behind a `holds_for`) is replayed without running
+//!   its rules.
+//!
+//! Entries store emissions as raw, pre-canonicalisation data: initiation
+//! and termination *points* for fluent strata (order-insensitive — the
+//! engine sorts and deduplicates the merged points, and recomputes the
+//! rule-(2) cross-terminations of grouped fluents from the merged
+//! initiations at every query), and per-definition event lists for the
+//! derived phase (re-concatenated definition-major and stably sorted by
+//! time, reproducing the from-scratch emission order exactly). Both paths
+//! therefore produce bit-identical results; the differential harnesses in
+//! `tests/` and the proptests pin that down.
+//!
+//! A non-monotone query time also falls back to the from-scratch path.
+//!
+//! [`ProbeLog`]: crate::view::ProbeLog
+
+use std::collections::HashMap;
+
+use maritime_stream::Timestamp;
+
+use crate::intervals::IntervalList;
+use crate::view::ProbeLog;
+
+/// How [`Engine::recognize_at`](crate::Engine::recognize_at) evaluates a
+/// query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// Re-derive every fluent and derived event from the full working
+    /// memory at each query (the paper's §4.2 behaviour).
+    #[default]
+    FromScratch,
+    /// Replay memoised rule evaluations from the previous query and run
+    /// rules only for the delta and for invalidated triggers; falls back
+    /// to from-scratch on late arrivals. Output is bit-identical.
+    Incremental,
+}
+
+/// One memoised rule evaluation of a fluent stratum: what the stratum's
+/// `initiatedAt`/`terminatedAt` rules produced for one trigger, plus the
+/// view probes they made while doing so.
+#[derive(Debug, Clone)]
+pub struct PointEntry<K> {
+    /// The trigger time; emissions are points at this time.
+    pub t: Timestamp,
+    /// Fluent keys initiated at `t`.
+    pub inits: Vec<K>,
+    /// Fluent keys terminated at `t` (before the rule-(2) expansion,
+    /// which is recomputed from the merged initiations at every query).
+    pub terms: Vec<K>,
+    /// Every view probe the rules made; replay is valid only while these
+    /// answers are unchanged.
+    pub probes: ProbeLog<K>,
+}
+
+/// One memoised derived-event evaluation: the emissions of every
+/// definition for one trigger, plus the view probes made along the way.
+#[derive(Debug, Clone)]
+pub struct DerivedEntry<K, D> {
+    /// The trigger time; emissions happen at this time.
+    pub t: Timestamp,
+    /// `(definition index, emitted events)` — only definitions that
+    /// emitted something, in definition order.
+    pub emits: Vec<(usize, Vec<D>)>,
+    /// Every view probe the definitions' rules made.
+    pub probes: ProbeLog<K>,
+}
+
+/// Checkpointed state of one stratum.
+#[derive(Debug, Clone)]
+pub struct StratumCache<K> {
+    /// Initiation points per key from *non-probing* input-event triggers,
+    /// each list sorted and deduplicated. These replay wholesale: the
+    /// next query evicts the points at or before its window start and
+    /// appends the delta — no per-trigger work for the retained prefix.
+    pub ev_inits: HashMap<K, Vec<Timestamp>>,
+    /// Termination points per key from non-probing input-event triggers.
+    pub ev_terms: HashMap<K, Vec<Timestamp>>,
+    /// Materialised event-trigger entries, `(snapshot index, entry)` in
+    /// index order — only triggers whose rules probed the view, which
+    /// are the only ones that can change their mind.
+    pub events: Vec<(usize, PointEntry<K>)>,
+    /// Sparse boundary-trigger entries in the boundary list's
+    /// `(t, is_end, key)` order; identity is that tuple.
+    pub boundary: Vec<(bool, K, PointEntry<K>)>,
+    /// The stratum's interval lists as computed at the checkpoint, used
+    /// to detect changed keys after the next query's rebuild.
+    pub fluents: HashMap<K, IntervalList>,
+}
+
+// Manual impl: the derive would demand `K: Default` for no reason.
+impl<K> Default for StratumCache<K> {
+    fn default() -> Self {
+        Self {
+            ev_inits: HashMap::new(),
+            ev_terms: HashMap::new(),
+            events: Vec::new(),
+            boundary: Vec::new(),
+            fluents: HashMap::new(),
+        }
+    }
+}
+
+/// Everything the incremental engine persists between queries.
+#[derive(Debug, Clone)]
+pub struct EngineCache<K, D> {
+    /// The previous query time; all cached state covers `t ≤ checkpoint`.
+    pub checkpoint: Timestamp,
+    /// Size of the window snapshot at the checkpoint. The next query's
+    /// eviction count is `snapshot_len − delta_from`, the uniform shift
+    /// applied to every cached snapshot index.
+    pub snapshot_len: usize,
+    /// One entry per stratum, in stratification order.
+    pub strata: Vec<StratumCache<K>>,
+    /// Sparse derived-phase entries per input event, `(snapshot index,
+    /// entry)` in index order.
+    pub derived_events: Vec<(usize, DerivedEntry<K, D>)>,
+    /// Sparse derived-phase entries per boundary trigger (all strata), in
+    /// the boundary list's `(t, is_end, key)` order.
+    pub derived_boundary: Vec<(bool, K, DerivedEntry<K, D>)>,
+}
+
+/// Counters describing how queries were actually evaluated; useful for
+/// benches and for asserting that a scenario exercised the fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Queries answered from the checkpointed delta path.
+    pub incremental: usize,
+    /// Queries answered by a full recompute (first query, late arrival,
+    /// non-monotone query time, or `FromScratch` strategy).
+    pub full: usize,
+    /// Rule-set evaluations actually executed (one per trigger per
+    /// stratum, plus one per trigger for the derived phase).
+    pub triggers_evaluated: usize,
+    /// Materialised entries replayed from the cache without running any
+    /// rule. Triggers whose empty outcome replays implicitly (never
+    /// materialised) are counted in neither bucket.
+    pub triggers_reused: usize,
+}

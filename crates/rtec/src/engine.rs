@@ -9,14 +9,28 @@
 //! inside the window) are picked up on the next query — the delayed-event
 //! behaviour illustrated in Figure 5 — and out-of-order arrival needs no
 //! special handling.
+//!
+//! With [`EvalStrategy::Incremental`] the engine memoises every rule
+//! evaluation (per trigger, per stratum) that emitted something or probed
+//! the view — the silent majority of triggers replays an empty outcome
+//! implicitly — and at the next query replays the memoised entries,
+//! running rules only for the delta since the checkpoint and for the few
+//! retained triggers whose probed fluents actually changed, e.g. above an
+//! interval clipped by window eviction. Late arrivals and non-monotone
+//! queries fall back to the from-scratch path. See [`crate::cache`] for
+//! the correctness model; output is bit-identical either way.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 
 use maritime_stream::{SlidingWindow, Timestamp, WindowSpec};
 
-use crate::description::{EventDescription, Trigger};
+use crate::cache::{
+    DerivedEntry, EngineCache, EvalStrategy, IncrementalStats, PointEntry, StratumCache,
+};
+use crate::description::{EventDescription, FluentDef, Trigger};
 use crate::intervals::IntervalList;
-use crate::view::View;
+use crate::view::{ProbeLog, View};
 
 /// The result of one recognition query.
 #[derive(Debug, Clone)]
@@ -30,6 +44,187 @@ pub struct Recognition<K, D> {
     pub events: Vec<(Timestamp, D)>,
     /// Input events considered in this query (the working-memory size).
     pub working_memory: usize,
+}
+
+/// `holdsAt` over an optional interval list: absent keys never hold.
+fn holds<K: Eq + std::hash::Hash>(
+    fluents: &HashMap<K, IntervalList>,
+    key: &K,
+    t: Timestamp,
+) -> bool {
+    fluents.get(key).is_some_and(|il| il.holds_at(t))
+}
+
+/// Whether replaying a memoised evaluation could go wrong: true when some
+/// probe it recorded may answer differently against the new state.
+/// `changed` holds every key whose list differs from the checkpointed one,
+/// so keys outside it answer identically everywhere; for point and
+/// aggregate probes the old and new answers at the probed time are
+/// compared exactly.
+fn probes_affected<K: Eq + std::hash::Hash>(
+    probes: &ProbeLog<K>,
+    changed: &HashSet<K>,
+    old: &HashMap<K, IntervalList>,
+    new: &HashMap<K, IntervalList>,
+) -> bool {
+    if changed.is_empty() {
+        return false;
+    }
+    if probes.scan_all {
+        return true;
+    }
+    if probes.lists.iter().any(|k| changed.contains(k)) {
+        return true;
+    }
+    if probes
+        .points
+        .iter()
+        .any(|(k, t)| changed.contains(k) && holds(old, k, *t) != holds(new, k, *t))
+    {
+        return true;
+    }
+    probes
+        .scans
+        .iter()
+        .any(|t| changed.iter().any(|k| holds(old, k, *t) != holds(new, k, *t)))
+}
+
+/// Merges two `(t, is_end, key)`-sorted boundary lists. Appending one
+/// stratum's boundaries costs a sort of the new chunk plus a linear
+/// merge, instead of re-sorting the whole accumulated list per stratum.
+fn merge_boundaries<K: Ord>(
+    a: Vec<(Timestamp, bool, K)>,
+    b: Vec<(Timestamp, bool, K)>,
+) -> Vec<(Timestamp, bool, K)> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if (x.0, x.1, &x.2) <= (y.0, y.1, &y.2) {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(ia.next().expect("peeked")),
+            (None, Some(_)) => out.push(ib.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// The built-in trigger for one boundary-list entry.
+fn boundary_trigger<E, K>(is_end: bool, key: &K) -> Trigger<'_, E, K> {
+    if is_end {
+        Trigger::End(key)
+    } else {
+        Trigger::Start(key)
+    }
+}
+
+/// Merges one entry's emissions into the per-key point maps.
+fn fold_points<K: Clone + Eq + std::hash::Hash>(
+    entry: &PointEntry<K>,
+    initiations: &mut HashMap<K, Vec<Timestamp>>,
+    terminations: &mut HashMap<K, Vec<Timestamp>>,
+) {
+    for k in &entry.inits {
+        initiations.entry(k.clone()).or_default().push(entry.t);
+    }
+    for k in &entry.terms {
+        terminations.entry(k.clone()).or_default().push(entry.t);
+    }
+}
+
+/// A key's final point list: the union of its (already canonical) base
+/// list and its per-query extra list, as a sorted deduplicated slice.
+/// When only one side has points it is borrowed directly; otherwise the
+/// two are merged into `buf`.
+fn merged_slice<'a, K: Eq + std::hash::Hash>(
+    base: &'a HashMap<K, Vec<Timestamp>>,
+    extra: &'a HashMap<K, Vec<Timestamp>>,
+    key: &K,
+    buf: &'a mut Vec<Timestamp>,
+) -> &'a [Timestamp] {
+    match (base.get(key), extra.get(key)) {
+        (Some(b), None) => b,
+        (None, Some(e)) => e,
+        (None, None) => &[],
+        (Some(b), Some(e)) => {
+            buf.clear();
+            buf.reserve(b.len() + e.len());
+            let (mut i, mut j) = (0, 0);
+            while i < b.len() && j < e.len() {
+                let v = if b[i] <= e[j] {
+                    i += 1;
+                    b[i - 1]
+                } else {
+                    j += 1;
+                    e[j - 1]
+                };
+                if buf.last() != Some(&v) {
+                    buf.push(v);
+                }
+            }
+            for &v in b[i..].iter().chain(&e[j..]) {
+                if buf.last() != Some(&v) {
+                    buf.push(v);
+                }
+            }
+            buf
+        }
+    }
+}
+
+/// Emits one interval list's start/end boundary triggers.
+fn push_boundaries<K: Clone>(
+    il: &IntervalList,
+    key: &K,
+    out: &mut Vec<(Timestamp, bool, K)>,
+) {
+    for iv in il.intervals() {
+        out.push((iv.since, false, key.clone()));
+        if let Some(u) = iv.until {
+            out.push((u, true, key.clone()));
+        }
+    }
+}
+
+/// Merges one derived entry's emissions into the per-definition lists.
+fn fold_derived<K, D: Clone>(entry: &DerivedEntry<K, D>, per_def: &mut [Vec<(Timestamp, D)>]) {
+    for (di, ds) in &entry.emits {
+        per_def[*di].extend(ds.iter().map(|d| (entry.t, d.clone())));
+    }
+}
+
+/// Whether an entry need not be cached: no emissions and no probes means
+/// the rules ran a pure function of the trigger alone, so the empty
+/// outcome can be replayed implicitly forever.
+fn point_entry_elidable<K>(e: &PointEntry<K>) -> bool {
+    e.inits.is_empty() && e.terms.is_empty() && e.probes.is_empty()
+}
+
+/// [`point_entry_elidable`], for derived-phase entries.
+fn derived_entry_elidable<K, D>(e: &DerivedEntry<K, D>) -> bool {
+    e.emits.is_empty() && e.probes.is_empty()
+}
+
+/// Everything one query evaluation produces.
+struct Evaluated<K, D> {
+    computed: HashMap<K, IntervalList>,
+    derived: Vec<(Timestamp, D)>,
+    cache: Option<EngineCache<K, D>>,
+    triggers_evaluated: usize,
+    triggers_reused: usize,
 }
 
 /// The RTEC engine: static knowledge + event description + working memory.
@@ -68,12 +263,20 @@ pub struct Engine<Ctx, E, K, D, G = ()> {
     description: EventDescription<Ctx, E, K, D, G>,
     window: SlidingWindow<E>,
     last_query: Option<Timestamp>,
+    strategy: EvalStrategy,
+    cache: Option<EngineCache<K, D>>,
+    /// A late arrival landed at or before the checkpoint since the last
+    /// query: the cached entries no longer mirror the working memory and
+    /// the next query must recompute from scratch (Figure 5).
+    stale: bool,
+    stats: IncrementalStats,
 }
 
 impl<Ctx, E, K, D, G> Engine<Ctx, E, K, D, G>
 where
     E: Clone,
     K: Clone + Eq + std::hash::Hash + Ord,
+    D: Clone,
     G: Eq + std::hash::Hash,
 {
     /// Creates an engine over the given static knowledge and description.
@@ -83,7 +286,29 @@ where
             description,
             window: SlidingWindow::new(spec),
             last_query: None,
+            strategy: EvalStrategy::default(),
+            cache: None,
+            stale: false,
+            stats: IncrementalStats::default(),
         }
+    }
+
+    /// Selects the evaluation strategy (builder style).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The active evaluation strategy.
+    pub fn strategy(&self) -> EvalStrategy {
+        self.strategy
+    }
+
+    /// How queries have been evaluated so far (delta path vs. full
+    /// recompute, rule evaluations run vs. replayed).
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.stats
     }
 
     /// The static knowledge.
@@ -94,6 +319,9 @@ where
     /// Streams one input event into the working memory. Arrival order is
     /// free; the buffer keeps events sorted by timestamp.
     pub fn add_event(&mut self, t: Timestamp, event: E) {
+        if self.cache.as_ref().is_some_and(|c| t <= c.checkpoint) {
+            self.stale = true;
+        }
         self.window.insert(t, event);
     }
 
@@ -106,81 +334,381 @@ where
 
     /// Runs recognition at query time `q`: discards events at or before
     /// `q − ω`, then computes all fluents and derived events from the
-    /// remaining working memory.
+    /// remaining working memory — from scratch, or by replaying the
+    /// checkpointed evaluations when the incremental strategy is active
+    /// and safe.
     pub fn recognize_at(&mut self, q: Timestamp) -> Recognition<K, D> {
         self.window.slide_to(q);
         self.last_query = Some(q);
 
-        // Working-memory snapshot, time-ordered: only events inside
-        // (q - ω, q]. Events with later timestamps may already sit in the
-        // buffer (batch pre-loading, out-of-order delivery) but have not
-        // "happened" yet at this query time and must not participate.
-        let events: Vec<(Timestamp, &E)> =
-            self.window.iter().take_while(|(t, _)| *t <= q).collect();
+        // A tumbling window (β = ω) evicts the entire snapshot at every
+        // slide: there is no prefix to reuse, so memoising would be pure
+        // overhead.
+        let spec = self.window.spec();
+        let want_cache = self.strategy == EvalStrategy::Incremental && spec.slide < spec.range;
+        let use_cache =
+            want_cache && !self.stale && self.cache.as_ref().is_some_and(|c| c.checkpoint <= q);
+        let cache = if use_cache { self.cache.take() } else { None };
 
-        // Triggers accumulated so far: input events plus start/end of
-        // already-computed strata. Kept sorted by (time, kind, key) for
-        // deterministic evaluation.
+        let (evaluated, working_memory) = {
+            // Working-memory snapshot, time-ordered: only events inside
+            // (q - ω, q]. Events with later timestamps may already sit in
+            // the buffer (batch pre-loading, out-of-order delivery) but
+            // have not "happened" yet at this query time and must not
+            // participate.
+            let events: Vec<(Timestamp, &E)> =
+                self.window.iter().take_while(|(t, _)| *t <= q).collect();
+            (self.evaluate(q, &events, cache, want_cache), events.len())
+        };
+        if use_cache {
+            self.stats.incremental += 1;
+        } else {
+            self.stats.full += 1;
+        }
+        self.stats.triggers_evaluated += evaluated.triggers_evaluated;
+        self.stats.triggers_reused += evaluated.triggers_reused;
+        self.stale = false;
+        self.cache = evaluated.cache;
+
+        Recognition {
+            query_time: q,
+            fluents: evaluated.computed,
+            events: evaluated.derived,
+            working_memory,
+        }
+    }
+
+    /// Runs one stratum's point rules for one trigger, capturing emissions
+    /// and (when memoising) the probes they made.
+    fn run_point_rules(
+        &self,
+        stratum: &FluentDef<Ctx, E, K, G>,
+        view: &View<'_, K>,
+        recorder: &RefCell<ProbeLog<K>>,
+        want_cache: bool,
+        trigger: Trigger<'_, E, K>,
+        t: Timestamp,
+    ) -> PointEntry<K> {
+        let mut inits = Vec::new();
+        let mut terms = Vec::new();
+        for rule in &stratum.initiated_at {
+            inits.extend(rule(&self.ctx, view, trigger, t));
+        }
+        for rule in &stratum.terminated_at {
+            terms.extend(rule(&self.ctx, view, trigger, t));
+        }
+        let probes = if want_cache {
+            std::mem::take(&mut *recorder.borrow_mut())
+        } else {
+            ProbeLog::default()
+        };
+        PointEntry {
+            t,
+            inits,
+            terms,
+            probes,
+        }
+    }
+
+    /// Runs every derived-event definition for one trigger, capturing
+    /// per-definition emissions and (when memoising) the probes made.
+    fn run_derived_rules(
+        &self,
+        view: &View<'_, K>,
+        recorder: &RefCell<ProbeLog<K>>,
+        want_cache: bool,
+        trigger: Trigger<'_, E, K>,
+        t: Timestamp,
+    ) -> DerivedEntry<K, D> {
+        let mut emits: Vec<(usize, Vec<D>)> = Vec::new();
+        for (di, def) in self.description.events.iter().enumerate() {
+            let mut out: Vec<D> = Vec::new();
+            for rule in &def.rules {
+                out.extend(rule(&self.ctx, view, trigger, t));
+            }
+            if !out.is_empty() {
+                emits.push((di, out));
+            }
+        }
+        let probes = if want_cache {
+            std::mem::take(&mut *recorder.borrow_mut())
+        } else {
+            ProbeLog::default()
+        };
+        DerivedEntry { t, emits, probes }
+    }
+
+    /// One query evaluation over the window snapshot `events`. With
+    /// `cache` present, retained triggers replay their memoised entries
+    /// unless a probed fluent changed; without it, every trigger runs
+    /// from scratch. `want_cache` controls whether a new checkpoint is
+    /// assembled for the next query.
+    fn evaluate(
+        &self,
+        q: Timestamp,
+        events: &[(Timestamp, &E)],
+        cache: Option<EngineCache<K, D>>,
+        want_cache: bool,
+    ) -> Evaluated<K, D> {
+        // The new window start: slide_to has evicted events at t ≤ cutoff,
+        // so cached entries in that region are dropped — which retracts
+        // their initiation/termination points, exactly the truncation the
+        // rebuild needs.
+        let cutoff = q - self.window.spec().range;
+        let (checkpoint, old_snapshot_len, old_strata, old_derived_events, old_derived_boundary) =
+            match cache {
+                Some(c) => (
+                    Some(c.checkpoint),
+                    c.snapshot_len,
+                    c.strata,
+                    c.derived_events,
+                    c.derived_boundary,
+                ),
+                None => (None, 0, Vec::new(), Vec::new(), Vec::new()),
+            };
+        // First event past the checkpoint: everything before it was part
+        // of the previous snapshot too (no late arrivals — `stale` guards
+        // that), so cached snapshot indices map onto it by a uniform
+        // shift of `evicted` positions.
+        let delta_from = checkpoint.map_or(0, |cp| events.partition_point(|(t, _)| *t <= cp));
+        debug_assert!(delta_from <= old_snapshot_len || checkpoint.is_none());
+        let evicted = old_snapshot_len.saturating_sub(delta_from);
+
         let mut computed: HashMap<K, IntervalList> = HashMap::new();
-        // start/end triggers: (timestamp, is_end, key)
+        // The previous query's interval lists, accumulated stratum by
+        // stratum, so recorded probes can be re-answered against the old
+        // state.
+        let mut old_computed: HashMap<K, IntervalList> = HashMap::new();
+        // Keys whose interval list is not structurally identical to the
+        // checkpointed one (clipped by eviction or re-shaped by the
+        // delta). Probes of unchanged keys answer identically everywhere.
+        let mut changed: HashSet<K> = HashSet::new();
+        // start/end triggers: (timestamp, is_end, key), sorted that way.
         let mut boundary: Vec<(Timestamp, bool, K)> = Vec::new();
+        let mut new_strata: Vec<StratumCache<K>> = Vec::new();
+        let recorder = RefCell::new(ProbeLog::default());
+        let mut n_evaluated = 0usize;
+        let mut n_reused = 0usize;
 
+        let mut old_strata_iter = old_strata.into_iter();
         for stratum in &self.description.fluents {
-            let view = View::new(&computed);
-            let mut initiations: HashMap<K, Vec<Timestamp>> = HashMap::new();
-            let mut terminations: HashMap<K, Vec<Timestamp>> = HashMap::new();
-
-            let apply = |trigger: Trigger<'_, E, K>, t: Timestamp,
-                             initiations: &mut HashMap<K, Vec<Timestamp>>,
-                             terminations: &mut HashMap<K, Vec<Timestamp>>,
-                             view: &View<'_, K>| {
-                for rule in &stratum.initiated_at {
-                    for key in rule(&self.ctx, view, trigger, t) {
-                        initiations.entry(key).or_default().push(t);
-                    }
-                }
-                for rule in &stratum.terminated_at {
-                    for key in rule(&self.ctx, view, trigger, t) {
-                        terminations.entry(key).or_default().push(t);
-                    }
-                }
+            let StratumCache {
+                ev_inits: mut base_inits,
+                ev_terms: mut base_terms,
+                events: old_events,
+                boundary: old_boundary,
+                fluents: old_fluents,
+            } = old_strata_iter.next().unwrap_or_default();
+            let view = if want_cache {
+                View::recorded(&computed, &recorder)
+            } else {
+                View::new(&computed)
             };
 
-            // Merge input events and boundary triggers in time order so
-            // rules observe a coherent chronology.
-            let mut ei = 0usize;
-            let mut bi = 0usize;
-            while ei < events.len() || bi < boundary.len() {
-                let take_event = match (events.get(ei), boundary.get(bi)) {
-                    (Some((te, _)), Some((tb, _, _))) => te <= tb,
-                    (Some(_), None) => true,
-                    (None, Some(_)) => false,
-                    (None, None) => break,
-                };
-                if take_event {
-                    let (t, e) = events[ei];
-                    apply(Trigger::Input(e), t, &mut initiations, &mut terminations, &view);
-                    ei += 1;
+            // Evict checkpointed base points at or before the new window
+            // start — their events just left the window, and this is the
+            // retraction of intervals that straddled it. Emptied keys are
+            // dropped so the key set matches a from-scratch pass.
+            for m in [&mut base_inits, &mut base_terms] {
+                m.retain(|_, v| {
+                    let n = v.partition_point(|p| *p <= cutoff);
+                    if n > 0 {
+                        v.drain(..n);
+                    }
+                    !v.is_empty()
+                });
+            }
+
+            // Emissions that must be re-merged every query: probing event
+            // entries, boundary triggers, rule-(2) cross-terminations.
+            let mut extra_inits: HashMap<K, Vec<Timestamp>> = HashMap::new();
+            let mut extra_terms: HashMap<K, Vec<Timestamp>> = HashMap::new();
+
+            // Input-event triggers. Only *probing* evaluations are kept as
+            // entries (replayed, or re-run when a probe was invalidated);
+            // non-probing emissions live in the base maps, which the
+            // eviction above has already brought up to date — the whole
+            // retained prefix replays with no per-trigger work at all.
+            // The delta past the checkpoint always runs.
+            let mut sparse_events: Vec<(usize, PointEntry<K>)> = Vec::new();
+            let mut resort: Vec<K> = Vec::new();
+            for (idx, entry) in old_events {
+                if idx < evicted {
+                    debug_assert!(entry.t <= cutoff, "evicted entry after cutoff");
+                    continue;
+                }
+                let new_idx = idx - evicted;
+                debug_assert!(new_idx < delta_from, "cached entry past the checkpoint");
+                debug_assert_eq!(events[new_idx].0, entry.t, "cached entry misaligned");
+                let entry = if probes_affected(&entry.probes, &changed, &old_computed, &computed) {
+                    n_evaluated += 1;
+                    self.run_point_rules(
+                        stratum,
+                        &view,
+                        &recorder,
+                        want_cache,
+                        Trigger::Input(events[new_idx].1),
+                        entry.t,
+                    )
                 } else {
-                    let (t, is_end, key) = &boundary[bi];
-                    let trig = if *is_end {
-                        Trigger::End(key)
-                    } else {
-                        Trigger::Start(key)
-                    };
-                    apply(trig, *t, &mut initiations, &mut terminations, &view);
-                    bi += 1;
+                    n_reused += 1;
+                    entry
+                };
+                if entry.probes.is_empty() {
+                    // The re-run stopped consulting the view: migrate into
+                    // the base maps. The points land mid-prefix, so the
+                    // touched keys need a re-sort below.
+                    for k in entry.inits {
+                        resort.push(k.clone());
+                        base_inits.entry(k).or_default().push(entry.t);
+                    }
+                    for k in entry.terms {
+                        resort.push(k.clone());
+                        base_terms.entry(k).or_default().push(entry.t);
+                    }
+                } else {
+                    fold_points(&entry, &mut extra_inits, &mut extra_terms);
+                    sparse_events.push((new_idx, entry));
+                }
+            }
+            for (i, &(t, ev)) in events.iter().enumerate().skip(delta_from) {
+                n_evaluated += 1;
+                let entry = self.run_point_rules(
+                    stratum,
+                    &view,
+                    &recorder,
+                    want_cache,
+                    Trigger::Input(ev),
+                    t,
+                );
+                if entry.probes.is_empty() {
+                    // Appends arrive in time order; skipping a same-time
+                    // duplicate keeps the lists canonical.
+                    for k in entry.inits {
+                        let v = base_inits.entry(k).or_default();
+                        if v.last() != Some(&t) {
+                            v.push(t);
+                        }
+                    }
+                    for k in entry.terms {
+                        let v = base_terms.entry(k).or_default();
+                        if v.last() != Some(&t) {
+                            v.push(t);
+                        }
+                    }
+                } else {
+                    fold_points(&entry, &mut extra_inits, &mut extra_terms);
+                    sparse_events.push((i, entry));
+                }
+            }
+            for k in resort {
+                if let Some(v) = base_inits.get_mut(&k) {
+                    v.sort_unstable();
+                    v.dedup();
+                }
+                if let Some(v) = base_terms.get_mut(&k) {
+                    v.sort_unstable();
+                    v.dedup();
                 }
             }
 
-            // Rule (2): initiating one value of a grouped fluent instance
-            // terminates every other value of the same instance.
+            // Boundary triggers of the strata below, matched by identity
+            // (t, is_end, key) against the freshly rebuilt boundary list.
+            // A miss on a changed key means the boundary is new or moved
+            // (straddled eviction, a delta termination splitting an
+            // interval, …) and is evaluated; a miss on an unchanged key
+            // means the boundary existed identically at the checkpoint
+            // with a stable empty outcome, which replays implicitly.
+            let mut boundary_entries: Vec<(bool, K, PointEntry<K>)> = Vec::new();
+            let mut old_bounds = old_boundary.into_iter().peekable();
+            for (t, is_end, key) in &boundary {
+                // Cached entries sorting before this boundary belong to
+                // boundaries that no longer exist: drop them.
+                while old_bounds
+                    .peek()
+                    .is_some_and(|(oe, ok, e)| (e.t, *oe, ok) < (*t, *is_end, key))
+                {
+                    old_bounds.next();
+                }
+                let hit = old_bounds
+                    .peek()
+                    .is_some_and(|(oe, ok, e)| e.t == *t && *oe == *is_end && ok == key);
+                let entry = if hit {
+                    let (_, _, e) = old_bounds.next().expect("peeked above");
+                    if probes_affected(&e.probes, &changed, &old_computed, &computed) {
+                        n_evaluated += 1;
+                        self.run_point_rules(
+                            stratum,
+                            &view,
+                            &recorder,
+                            want_cache,
+                            boundary_trigger(*is_end, key),
+                            *t,
+                        )
+                    } else {
+                        n_reused += 1;
+                        e
+                    }
+                } else if checkpoint.is_none() || changed.contains(key) {
+                    n_evaluated += 1;
+                    self.run_point_rules(
+                        stratum,
+                        &view,
+                        &recorder,
+                        want_cache,
+                        boundary_trigger(*is_end, key),
+                        *t,
+                    )
+                } else {
+                    continue;
+                };
+                fold_points(&entry, &mut extra_inits, &mut extra_terms);
+                if want_cache && !point_entry_elidable(&entry) {
+                    boundary_entries.push((*is_end, key.clone(), entry));
+                }
+            }
+
+            // Canonicalize the per-query points; the base maps are already
+            // sorted and deduplicated.
+            for points in extra_inits.values_mut().chain(extra_terms.values_mut()) {
+                points.sort_unstable();
+                points.dedup();
+            }
+
+            // Build maximal intervals per key and emit boundary triggers.
+            let mut stratum_fluents: HashMap<K, IntervalList> = HashMap::new();
+            let mut new_bounds: Vec<(Timestamp, bool, K)> = Vec::new();
             if let Some(group_fn) = &stratum.group {
+                // Grouped stratum: rule (2) — initiating one value of a
+                // grouped fluent instance terminates every other value of
+                // the same instance — needs the fully merged initiations,
+                // and is always recomputed because group membership can
+                // grow when the delta initiates a new value. Grouped
+                // strata are rare, so materialising the merged maps (a
+                // clone of the base) is acceptable.
+                let mut initiations = base_inits.clone();
+                for (k, v) in &extra_inits {
+                    initiations
+                        .entry(k.clone())
+                        .or_default()
+                        .extend(v.iter().copied());
+                }
+                let mut terminations = base_terms.clone();
+                for (k, v) in &extra_terms {
+                    terminations
+                        .entry(k.clone())
+                        .or_default()
+                        .extend(v.iter().copied());
+                }
+                for points in initiations.values_mut().chain(terminations.values_mut()) {
+                    points.sort_unstable();
+                    points.dedup();
+                }
                 let mut groups: HashMap<G, Vec<K>> = HashMap::new();
                 for key in initiations.keys() {
                     groups.entry(group_fn(key)).or_default().push(key.clone());
                 }
-                let mut extra: Vec<(K, Timestamp)> = Vec::new();
+                let mut cross: Vec<(K, Timestamp)> = Vec::new();
                 for members in groups.values() {
                     if members.len() < 2 {
                         continue;
@@ -189,80 +717,206 @@ where
                         for t in &initiations[initiator] {
                             for other in members {
                                 if other != initiator {
-                                    extra.push((other.clone(), *t));
+                                    cross.push((other.clone(), *t));
                                 }
                             }
                         }
                     }
                 }
-                for (key, t) in extra {
+                for (key, t) in cross {
                     terminations.entry(key).or_default().push(t);
                 }
-            }
-
-            // Build maximal intervals per key and emit boundary triggers.
-            let mut keys: Vec<K> = initiations.keys().cloned().collect();
-            keys.sort();
-            for key in keys {
-                let mut inits = initiations.remove(&key).unwrap_or_default();
-                inits.sort();
-                inits.dedup();
-                let mut terms = terminations.remove(&key).unwrap_or_default();
-                terms.sort();
-                terms.dedup();
-                let il = IntervalList::from_points(&inits, &terms, None);
-                for iv in il.intervals() {
-                    boundary.push((iv.since, false, key.clone()));
-                    if let Some(u) = iv.until {
-                        boundary.push((u, true, key.clone()));
+                let mut keys: Vec<K> = initiations.keys().cloned().collect();
+                keys.sort_unstable();
+                for key in keys {
+                    let inits = initiations.remove(&key).unwrap_or_default();
+                    let mut terms = terminations.remove(&key).unwrap_or_default();
+                    terms.sort_unstable();
+                    terms.dedup();
+                    let il = IntervalList::from_points(&inits, &terms, None);
+                    push_boundaries(&il, &key, &mut new_bounds);
+                    if want_cache {
+                        stratum_fluents.insert(key.clone(), il.clone());
                     }
+                    computed.insert(key, il);
                 }
-                computed.insert(key, il);
-            }
-            boundary.sort_by_key(|a| (a.0, a.1));
-        }
-
-        // Derived events, over the full trigger chronology.
-        let view = View::new(&computed);
-        let mut derived: Vec<(Timestamp, D)> = Vec::new();
-        for def in &self.description.events {
-            let mut ei = 0usize;
-            let mut bi = 0usize;
-            while ei < events.len() || bi < boundary.len() {
-                let take_event = match (events.get(ei), boundary.get(bi)) {
-                    (Some((te, _)), Some((tb, _, _))) => te <= tb,
-                    (Some(_), None) => true,
-                    (None, Some(_)) => false,
-                    (None, None) => break,
-                };
-                let (trigger, t) = if take_event {
-                    let (t, e) = events[ei];
-                    ei += 1;
-                    (Trigger::Input(e), t)
-                } else {
-                    let (t, is_end, key) = &boundary[bi];
-                    bi += 1;
-                    let trig = if *is_end {
-                        Trigger::End(key)
-                    } else {
-                        Trigger::Start(key)
+            } else {
+                // Ungrouped stratum: per key, the final point lists are
+                // the union of the (already canonical) base list and the
+                // small per-query extra list — merged on the fly into a
+                // reusable buffer, with no materialised merged maps.
+                let mut keys: Vec<K> = base_inits.keys().cloned().collect();
+                keys.extend(extra_inits.keys().cloned());
+                keys.sort_unstable();
+                keys.dedup();
+                let mut ibuf: Vec<Timestamp> = Vec::new();
+                let mut tbuf: Vec<Timestamp> = Vec::new();
+                for key in keys {
+                    let il = {
+                        let inits = merged_slice(&base_inits, &extra_inits, &key, &mut ibuf);
+                        let terms = merged_slice(&base_terms, &extra_terms, &key, &mut tbuf);
+                        IntervalList::from_points(inits, terms, None)
                     };
-                    (trig, *t)
-                };
-                for rule in &def.rules {
-                    for d in rule(&self.ctx, &view, trigger, t) {
-                        derived.push((t, d));
+                    push_boundaries(&il, &key, &mut new_bounds);
+                    if want_cache {
+                        stratum_fluents.insert(key.clone(), il.clone());
+                    }
+                    computed.insert(key, il);
+                }
+            }
+            new_bounds.sort_unstable_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+            boundary = merge_boundaries(boundary, new_bounds);
+
+            // Change detection for the strata above: any structural
+            // difference from the checkpointed list makes the key
+            // "changed" — probes into it are then re-checked exactly.
+            if checkpoint.is_some() {
+                for (k, il) in &stratum_fluents {
+                    if old_fluents.get(k) != Some(il) {
+                        changed.insert(k.clone());
+                    }
+                }
+                for k in old_fluents.keys() {
+                    if !stratum_fluents.contains_key(k) {
+                        changed.insert(k.clone());
                     }
                 }
             }
-        }
-        derived.sort_by_key(|(t, _)| *t);
+            old_computed.extend(old_fluents);
 
-        Recognition {
-            query_time: q,
-            fluents: computed,
-            events: derived,
-            working_memory: events.len(),
+            if want_cache {
+                new_strata.push(StratumCache {
+                    ev_inits: base_inits,
+                    ev_terms: base_terms,
+                    events: sparse_events,
+                    boundary: boundary_entries,
+                    fluents: stratum_fluents,
+                });
+            }
+        }
+
+        // Derived events: same replay-or-run treatment per trigger, then
+        // the emissions are re-concatenated definition-major and stably
+        // sorted by time — reproducing the from-scratch order exactly
+        // (within one definition, same-time input-event emissions precede
+        // boundary ones, the chronology tie rule).
+        let (derived, derived_events, derived_boundary) = if self.description.events.is_empty() {
+            (Vec::new(), Vec::new(), Vec::new())
+        } else {
+            let view = if want_cache {
+                View::recorded(&computed, &recorder)
+            } else {
+                View::new(&computed)
+            };
+            // Emissions are folded per definition as the triggers are
+            // walked: retained + delta events in snapshot order first,
+            // then every boundary in list order — so the final stable
+            // sort by time reproduces the from-scratch order exactly.
+            let mut per_def: Vec<Vec<(Timestamp, D)>> =
+                vec![Vec::new(); self.description.events.len()];
+
+            let mut derived_events: Vec<(usize, DerivedEntry<K, D>)> = Vec::new();
+            for (idx, entry) in old_derived_events {
+                if idx < evicted {
+                    debug_assert!(entry.t <= cutoff, "evicted entry after cutoff");
+                    continue;
+                }
+                let new_idx = idx - evicted;
+                debug_assert!(new_idx < delta_from, "cached entry past the checkpoint");
+                debug_assert_eq!(events[new_idx].0, entry.t, "cached entry misaligned");
+                let entry = if probes_affected(&entry.probes, &changed, &old_computed, &computed) {
+                    n_evaluated += 1;
+                    self.run_derived_rules(
+                        &view,
+                        &recorder,
+                        want_cache,
+                        Trigger::Input(events[new_idx].1),
+                        entry.t,
+                    )
+                } else {
+                    n_reused += 1;
+                    entry
+                };
+                fold_derived(&entry, &mut per_def);
+                if want_cache && !derived_entry_elidable(&entry) {
+                    derived_events.push((new_idx, entry));
+                }
+            }
+            for (i, &(t, ev)) in events.iter().enumerate().skip(delta_from) {
+                n_evaluated += 1;
+                let entry =
+                    self.run_derived_rules(&view, &recorder, want_cache, Trigger::Input(ev), t);
+                fold_derived(&entry, &mut per_def);
+                if want_cache && !derived_entry_elidable(&entry) {
+                    derived_events.push((i, entry));
+                }
+            }
+
+            let mut derived_boundary: Vec<(bool, K, DerivedEntry<K, D>)> = Vec::new();
+            let mut old_bounds = old_derived_boundary.into_iter().peekable();
+            for (t, is_end, key) in &boundary {
+                while old_bounds
+                    .peek()
+                    .is_some_and(|(oe, ok, e)| (e.t, *oe, ok) < (*t, *is_end, key))
+                {
+                    old_bounds.next();
+                }
+                let hit = old_bounds
+                    .peek()
+                    .is_some_and(|(oe, ok, e)| e.t == *t && *oe == *is_end && ok == key);
+                let entry = if hit {
+                    let (_, _, e) = old_bounds.next().expect("peeked above");
+                    if probes_affected(&e.probes, &changed, &old_computed, &computed) {
+                        n_evaluated += 1;
+                        self.run_derived_rules(
+                            &view,
+                            &recorder,
+                            want_cache,
+                            boundary_trigger(*is_end, key),
+                            *t,
+                        )
+                    } else {
+                        n_reused += 1;
+                        e
+                    }
+                } else if checkpoint.is_none() || changed.contains(key) {
+                    n_evaluated += 1;
+                    self.run_derived_rules(
+                        &view,
+                        &recorder,
+                        want_cache,
+                        boundary_trigger(*is_end, key),
+                        *t,
+                    )
+                } else {
+                    continue;
+                };
+                fold_derived(&entry, &mut per_def);
+                if want_cache && !derived_entry_elidable(&entry) {
+                    derived_boundary.push((*is_end, key.clone(), entry));
+                }
+            }
+
+            let mut derived: Vec<(Timestamp, D)> = per_def.into_iter().flatten().collect();
+            // Stable: emissions at the same timestamp keep definition
+            // order, exactly as the per-definition full pass yields them.
+            derived.sort_by_key(|(t, _)| *t);
+            (derived, derived_events, derived_boundary)
+        };
+
+        let new_cache = want_cache.then(|| EngineCache {
+            checkpoint: q,
+            snapshot_len: events.len(),
+            strata: new_strata,
+            derived_events,
+            derived_boundary,
+        });
+        Evaluated {
+            computed,
+            derived,
+            cache: new_cache,
+            triggers_evaluated: n_evaluated,
+            triggers_reused: n_reused,
         }
     }
 
@@ -307,6 +961,7 @@ mod tests {
     enum Out {
         Activated(u32),
         AllQuiet(u32),
+        Started(Key),
     }
 
     fn t(v: i64) -> Timestamp {
@@ -542,5 +1197,271 @@ mod tests {
             (t(50), Ev::Off(1)),
         ]);
         assert_eq!(sorted, shuffled);
+    }
+
+    #[test]
+    fn boundary_triggers_are_ordered_by_time_kind_key() {
+        // Two strata both start a fluent at t=10, with the later stratum's
+        // key sorting *before* the earlier one's. A derived rule that logs
+        // every Start trigger exposes the boundary order: the documented
+        // (time, kind, key) contract demands Active(1) before Mode(...),
+        // regardless of which stratum produced its trigger first.
+        let mode = FluentDef::new("mode")
+            .initiated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+                Some(Ev::SetMode(id, m)) => vec![Key::Mode(*id, m)],
+                _ => vec![],
+            });
+        let started = DerivedEventDef::new("started")
+            .rule(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.started() {
+                Some(k) => vec![Out::Started(k.clone())],
+                _ => vec![],
+            });
+        // Stratum 0 = mode (Key::Mode sorts after Key::Active),
+        // stratum 1 = active: insertion order is the reverse of key order.
+        let desc: EventDescription<(), Ev, Key, Out, u32> = EventDescription::new()
+            .fluent(mode)
+            .fluent(active_fluent())
+            .event(started);
+        let mut engine = Engine::new((), desc, spec(1_000, 100));
+        engine.add_events([(t(10), Ev::SetMode(1, "eco")), (t(10), Ev::On(1))]);
+        let r = engine.recognize_at(t(100));
+        assert_eq!(
+            r.events,
+            vec![
+                (t(10), Out::Started(Key::Active(1))),
+                (t(10), Out::Started(Key::Mode(1, "eco"))),
+            ]
+        );
+    }
+
+    /// Replays the same (event, query) schedule through a from-scratch and
+    /// an incremental engine and asserts every recognition matches.
+    fn assert_equivalent(
+        desc: impl Fn() -> EventDescription<(), Ev, Key, Out, u32>,
+        spec: WindowSpec,
+        schedule: &[(i64, Option<Ev>)],
+    ) -> IncrementalStats {
+        let mut full = Engine::new((), desc(), spec);
+        let mut inc =
+            Engine::new((), desc(), spec).with_strategy(EvalStrategy::Incremental);
+        for (at, ev) in schedule {
+            match ev {
+                Some(e) => {
+                    full.add_event(t(*at), e.clone());
+                    inc.add_event(t(*at), e.clone());
+                }
+                None => {
+                    let rf = full.recognize_at(t(*at));
+                    let ri = inc.recognize_at(t(*at));
+                    assert_eq!(rf.query_time, ri.query_time);
+                    assert_eq!(rf.working_memory, ri.working_memory, "wm at q={at}");
+                    assert_eq!(rf.events, ri.events, "derived events at q={at}");
+                    let mut kf: Vec<&Key> = rf.fluents.keys().collect();
+                    let mut ki: Vec<&Key> = ri.fluents.keys().collect();
+                    kf.sort();
+                    ki.sort();
+                    assert_eq!(kf, ki, "fluent keys at q={at}");
+                    for key in kf {
+                        assert_eq!(
+                            rf.fluents[key].intervals(),
+                            ri.fluents[key].intervals(),
+                            "intervals of {key:?} at q={at}"
+                        );
+                    }
+                }
+            }
+        }
+        inc.incremental_stats()
+    }
+
+    fn stratified_description() -> EventDescription<(), Ev, Key, Out, u32> {
+        let alarm = FluentDef::new("alarm")
+            .initiated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.started() {
+                Some(Key::Active(id)) => vec![Key::Mode(*id, "alarm")],
+                _ => vec![],
+            })
+            .terminated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.ended() {
+                Some(Key::Active(id)) => vec![Key::Mode(*id, "alarm")],
+                _ => vec![],
+            });
+        let activated = DerivedEventDef::new("activated")
+            .rule(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.started() {
+                Some(Key::Active(id)) => vec![Out::Activated(*id)],
+                _ => vec![],
+            });
+        let quiet = DerivedEventDef::new("all_quiet")
+            .rule(|_, view: &View<'_, Key>, trig: Trigger<'_, Ev, Key>, t| {
+                match trig.ended() {
+                    Some(Key::Active(id))
+                        if view.count_holding_at(
+                            t + Duration::secs(1),
+                            |k| matches!(k, Key::Active(_)),
+                        ) == 0 =>
+                    {
+                        vec![Out::AllQuiet(*id)]
+                    }
+                    _ => vec![],
+                }
+            });
+        EventDescription::new()
+            .fluent(active_fluent())
+            .fluent(alarm)
+            .event(activated)
+            .event(quiet)
+    }
+
+    #[test]
+    fn incremental_matches_full_over_sliding_queries() {
+        let stats = assert_equivalent(
+            stratified_description,
+            spec(200, 50),
+            &[
+                (10, Some(Ev::On(1))),
+                (50, None),
+                (80, Some(Ev::On(2))),
+                (90, Some(Ev::Off(1))),
+                (100, None),
+                (150, None), // idle slide, empty delta
+                (180, Some(Ev::Off(2))),
+                (200, None),
+                (260, Some(Ev::On(1))),
+                (300, None), // everything before t=100 evicted
+                (350, None),
+            ],
+        );
+        assert_eq!(stats.full, 1, "only the first query recomputes");
+        assert_eq!(stats.incremental, 5);
+    }
+
+    #[test]
+    fn incremental_falls_back_on_late_arrival() {
+        let stats = assert_equivalent(
+            stratified_description,
+            spec(200, 50),
+            &[
+                (10, Some(Ev::On(1))),
+                (50, None),
+                (40, Some(Ev::Off(1))), // late: lands at/before the checkpoint
+                (100, None),
+                (120, Some(Ev::On(2))),
+                (150, None),
+            ],
+        );
+        assert_eq!(stats.full, 2, "the late arrival forces one fallback");
+        assert_eq!(stats.incremental, 1);
+    }
+
+    #[test]
+    fn incremental_retracts_straddling_intervals_on_eviction() {
+        // On(1) at t=10 keeps active(1) open across several queries; once
+        // the window slides past t=10 the interval's initiation is evicted
+        // and the whole chain above it (alarm, derived events) must match
+        // the from-scratch answer.
+        assert_equivalent(
+            stratified_description,
+            spec(100, 50),
+            &[
+                (10, Some(Ev::On(1))),
+                (50, None),
+                (100, None),
+                (150, None), // t=10 evicted here: straddle retraction
+                (170, Some(Ev::On(2))),
+                (200, None),
+                (250, None), // On(2) straddles, then is evicted later
+                (300, None),
+                (350, None),
+            ],
+        );
+    }
+
+    #[test]
+    fn incremental_handles_grouped_fluents() {
+        let grouped = || {
+            let mode = FluentDef::new("mode")
+                .initiated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+                    Some(Ev::SetMode(id, m)) => vec![Key::Mode(*id, m)],
+                    _ => vec![],
+                })
+                .grouped(|k: &Key| match k {
+                    Key::Mode(id, _) => *id,
+                    Key::Active(id) => *id,
+                });
+            EventDescription::new().fluent(mode)
+        };
+        assert_equivalent(
+            grouped,
+            spec(200, 50),
+            &[
+                (10, Some(Ev::SetMode(1, "eco"))),
+                (50, None),
+                // Delta initiates a *new* value: rule (2) must terminate
+                // the cached "eco" interval at t=60.
+                (60, Some(Ev::SetMode(1, "boost"))),
+                (100, None),
+                (130, Some(Ev::SetMode(1, "eco"))),
+                (150, None),
+                (250, None),
+                (300, None),
+            ],
+        );
+    }
+
+    #[test]
+    fn incremental_survives_window_gaps_and_non_monotone_queries() {
+        assert_equivalent(
+            stratified_description,
+            spec(100, 50),
+            &[
+                (10, Some(Ev::On(1))),
+                (50, None),
+                // A jump far beyond checkpoint + ω: every cached entry is
+                // evicted and the open interval straddles.
+                (400, None),
+                (420, Some(Ev::On(2))),
+                (450, None),
+                // Non-monotone query: must fall back, not panic.
+                (430, None),
+                (500, None),
+            ],
+        );
+    }
+
+    #[test]
+    fn from_scratch_strategy_keeps_no_cache() {
+        let mut engine = Engine::new((), stratified_description(), spec(200, 50));
+        engine.add_event(t(10), Ev::On(1));
+        engine.recognize_at(t(50));
+        engine.recognize_at(t(100));
+        let stats = engine.incremental_stats();
+        assert_eq!(stats.incremental, 0);
+        assert_eq!(stats.full, 2);
+        assert_eq!(stats.triggers_reused, 0, "nothing memoised to replay");
+    }
+
+    #[test]
+    fn straddled_eviction_runs_no_prefix_rules() {
+        let stats = assert_equivalent(
+            description,
+            spec(100, 50),
+            &[
+                (10, Some(Ev::On(1))),
+                (50, None),
+                (60, Some(Ev::On(2))),
+                (80, Some(Ev::Off(2))),
+                (100, None),
+                (150, None),
+            ],
+        );
+        // q=50 runs On(1); q=100 runs the On(2)/Off(2) delta; q=150
+        // evicts On(1) — active(1) straddled the new window start and is
+        // retracted by truncating its base points. The description's
+        // rules never probe the view, so no entry is ever materialised:
+        // every event is evaluated exactly once in its lifetime and the
+        // retained prefix replays through the base maps with no
+        // per-trigger work (hence zero per-trigger reuses).
+        assert_eq!(stats.full, 1);
+        assert_eq!(stats.incremental, 2);
+        assert_eq!(stats.triggers_evaluated, 3);
+        assert_eq!(stats.triggers_reused, 0);
     }
 }

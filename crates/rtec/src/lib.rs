@@ -29,11 +29,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod description;
 pub mod engine;
 pub mod intervals;
 pub mod view;
 
+pub use cache::{EvalStrategy, IncrementalStats};
 pub use description::{DerivedEventDef, EventDescription, FluentDef, Trigger};
 pub use engine::{Engine, Recognition};
 pub use intervals::{Interval, IntervalList};

@@ -4,24 +4,86 @@
 //! at strata `< n` through this view — the `holdsAt`/`holdsFor` queries of
 //! Table 1, plus the aggregate count used by `vesselsStoppedIn(Area)` in
 //! rule-set (3).
+//!
+//! Under the incremental strategy the engine wraps the view in a *probe
+//! recorder*: every query a rule makes is logged into a [`ProbeLog`], so
+//! the evaluation can be memoised and replayed at the next window slide as
+//! long as each recorded probe would still observe the same answer.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use maritime_stream::Timestamp;
 
 use crate::intervals::IntervalList;
 
+/// A record of every probe one rule evaluation made against the view.
+///
+/// A memoised evaluation may be reused verbatim iff replaying each probe
+/// against the newly computed fluents yields the same answer it observed
+/// when the rules actually ran; the engine checks that per entry instead
+/// of re-running the rules.
+#[derive(Debug, Clone)]
+pub struct ProbeLog<K> {
+    /// `(key, time)` pairs observed through [`View::holds_at`].
+    pub points: Vec<(K, Timestamp)>,
+    /// Keys whose full interval list was read through [`View::holds_for`];
+    /// replay requires the list to be structurally unchanged.
+    pub lists: Vec<K>,
+    /// Times of [`View::count_holding_at`] aggregates. The predicate is an
+    /// opaque closure, so every key counts as probed at that time.
+    pub scans: Vec<Timestamp>,
+    /// [`View::iter`] walked every list: any change anywhere invalidates.
+    pub scan_all: bool,
+}
+
+// Manual impl: the derive would demand `K: Default` for no reason.
+impl<K> Default for ProbeLog<K> {
+    fn default() -> Self {
+        Self {
+            points: Vec::new(),
+            lists: Vec::new(),
+            scans: Vec::new(),
+            scan_all: false,
+        }
+    }
+}
+
+impl<K> ProbeLog<K> {
+    /// Whether no probe was recorded at all (the common case: most rules
+    /// pattern-match the trigger and never consult the view).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty() && self.lists.is_empty() && self.scans.is_empty() && !self.scan_all
+    }
+}
+
 /// A read-only snapshot of fluent intervals computed so far in the current
 /// recognition pass.
 pub struct View<'a, K> {
     fluents: &'a HashMap<K, IntervalList>,
+    recorder: Option<&'a RefCell<ProbeLog<K>>>,
 }
 
-impl<'a, K: std::hash::Hash + Eq> View<'a, K> {
+impl<'a, K: std::hash::Hash + Eq + Clone> View<'a, K> {
     /// Wraps a computed-fluent map.
     #[must_use]
     pub fn new(fluents: &'a HashMap<K, IntervalList>) -> Self {
-        Self { fluents }
+        Self {
+            fluents,
+            recorder: None,
+        }
+    }
+
+    /// Wraps a computed-fluent map and logs every probe into `recorder`.
+    pub(crate) fn recorded(
+        fluents: &'a HashMap<K, IntervalList>,
+        recorder: &'a RefCell<ProbeLog<K>>,
+    ) -> Self {
+        Self {
+            fluents,
+            recorder: Some(recorder),
+        }
     }
 
     /// `holdsFor(F=V, I)`: the maximal intervals of `key`, empty if the
@@ -29,12 +91,18 @@ impl<'a, K: std::hash::Hash + Eq> View<'a, K> {
     #[must_use]
     pub fn holds_for(&self, key: &K) -> &IntervalList {
         static EMPTY: once_empty::Empty = once_empty::Empty;
+        if let Some(log) = self.recorder {
+            log.borrow_mut().lists.push(key.clone());
+        }
         self.fluents.get(key).unwrap_or(EMPTY.get())
     }
 
     /// `holdsAt(F=V, T)`.
     #[must_use]
     pub fn holds_at(&self, key: &K, t: Timestamp) -> bool {
+        if let Some(log) = self.recorder {
+            log.borrow_mut().points.push((key.clone(), t));
+        }
         self.fluents.get(key).is_some_and(|il| il.holds_at(t))
     }
 
@@ -42,6 +110,9 @@ impl<'a, K: std::hash::Hash + Eq> View<'a, K> {
     /// aggregate behind `vesselsStoppedIn(Area)=N`.
     #[must_use]
     pub fn count_holding_at(&self, t: Timestamp, mut pred: impl FnMut(&K) -> bool) -> usize {
+        if let Some(log) = self.recorder {
+            log.borrow_mut().scans.push(t);
+        }
         self.fluents
             .iter()
             .filter(|(k, il)| pred(k) && il.holds_at(t))
@@ -50,6 +121,9 @@ impl<'a, K: std::hash::Hash + Eq> View<'a, K> {
 
     /// Iterates over all computed `(key, intervals)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&'a K, &'a IntervalList)> {
+        if let Some(log) = self.recorder {
+            log.borrow_mut().scan_all = true;
+        }
         self.fluents.iter()
     }
 }
@@ -120,5 +194,36 @@ mod tests {
         assert_eq!(n, 1); // v2's interval ended at 10
         let n = view.count_holding_at(t(5), |k| k.starts_with("stopped"));
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn recorded_view_logs_every_probe_kind() {
+        let mut map = HashMap::new();
+        map.insert(
+            "stopped(v1)",
+            IntervalList::from_intervals(vec![Interval::closed(t(10), t(20))]),
+        );
+        let log = RefCell::new(ProbeLog::default());
+        let view = View::recorded(&map, &log);
+        assert!(log.borrow().is_empty());
+        let _ = view.holds_at(&"stopped(v1)", t(15));
+        let _ = view.holds_for(&"moored(v9)");
+        let _ = view.count_holding_at(t(12), |_| true);
+        let _ = view.iter().count();
+        let log = log.into_inner();
+        assert_eq!(log.points, vec![("stopped(v1)", t(15))]);
+        assert_eq!(log.lists, vec!["moored(v9)"]);
+        assert_eq!(log.scans, vec![t(12)]);
+        assert!(log.scan_all);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn plain_view_records_nothing() {
+        let map: HashMap<&str, IntervalList> = HashMap::new();
+        let view = View::new(&map);
+        let _ = view.holds_at(&"x", t(1));
+        // No recorder attached: nothing to observe, nothing panics.
+        let _ = view.count_holding_at(t(1), |_| true);
     }
 }

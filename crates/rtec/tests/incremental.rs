@@ -1,0 +1,186 @@
+//! Property test: incremental recognition is indistinguishable from full
+//! recomputation under random streams, late arrivals, window evictions and
+//! irregular query schedules.
+//!
+//! The engine-level twin of the fleet-scale differential harness in the
+//! workspace `tests/` directory: the toy domain here deliberately covers
+//! the machinery the maritime description does not exercise (grouped
+//! fluents and their rule-(2) cross-terminations) so the cache's
+//! pre-expansion point model is pinned down too.
+
+use maritime_rtec::{
+    DerivedEventDef, Duration, Engine, EvalStrategy, EventDescription, FluentDef, Timestamp,
+    Trigger, View, WindowSpec,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    On(u8),
+    Off(u8),
+    SetMode(u8, u8),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Key {
+    Active(u8),
+    Mode(u8, u8),
+    Alarm(u8),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Out {
+    Started(Key),
+    AllQuiet(u8),
+}
+
+/// Three strata (toggle, grouped multi-value, stratified consumer) plus
+/// two derived events, one of which probes the view at `t + 1`.
+fn description() -> EventDescription<(), Ev, Key, Out, u8> {
+    let active = FluentDef::new("active")
+        .initiated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+            Some(Ev::On(id)) => vec![Key::Active(*id)],
+            _ => vec![],
+        })
+        .terminated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+            Some(Ev::Off(id)) => vec![Key::Active(*id)],
+            _ => vec![],
+        });
+    let mode = FluentDef::new("mode")
+        .initiated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+            Some(Ev::SetMode(id, m)) => vec![Key::Mode(*id, *m)],
+            _ => vec![],
+        })
+        .grouped(|k: &Key| match k {
+            Key::Active(id) | Key::Mode(id, _) | Key::Alarm(id) => *id,
+        });
+    let alarm = FluentDef::new("alarm")
+        .initiated(|_, view: &View<'_, Key>, trig: Trigger<'_, Ev, Key>, t| {
+            match trig.started() {
+                Some(Key::Active(id)) if view.holds_at(&Key::Mode(*id, 0), t + Duration::secs(1)) => {
+                    vec![Key::Alarm(*id)]
+                }
+                _ => vec![],
+            }
+        })
+        .terminated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.ended() {
+            Some(Key::Active(id)) => vec![Key::Alarm(*id)],
+            _ => vec![],
+        });
+    let started = DerivedEventDef::new("started").rule(
+        |_, _, trig: Trigger<'_, Ev, Key>, _| match trig.started() {
+            Some(k) => vec![Out::Started(k.clone())],
+            _ => vec![],
+        },
+    );
+    let quiet = DerivedEventDef::new("all_quiet").rule(
+        |_, view: &View<'_, Key>, trig: Trigger<'_, Ev, Key>, t| match trig.ended() {
+            Some(Key::Active(id))
+                if view
+                    .count_holding_at(t + Duration::secs(1), |k| matches!(k, Key::Active(_)))
+                    == 0 =>
+            {
+                vec![Out::AllQuiet(*id)]
+            }
+            _ => vec![],
+        },
+    );
+    EventDescription::new()
+        .fluent(active)
+        .fluent(mode)
+        .fluent(alarm)
+        .event(started)
+        .event(quiet)
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Insert an event at `arrival ± jitter`: `offset` may push the
+    /// timestamp before an already-issued query (a late arrival).
+    Event { at: i64, ev: Ev },
+    Query { at: i64 },
+}
+
+/// A schedule over ~10 window-lengths: event timestamps drift forward but
+/// jitter backwards up to a full window range (crossing query times →
+/// late-arrival fallbacks), queries advance on an irregular grid
+/// (occasionally jumping far ahead → mass evictions and straddles).
+fn arb_schedule(range: i64) -> impl Strategy<Value = Vec<Step>> {
+    // (selector, advance, jitter, id, mode): selector 0..3 = event kind,
+    // 3 = query.
+    prop::collection::vec(
+        (0u8..4, 0i64..=range / 2, 0i64..=range, 0u8..3, 0u8..2),
+        5..60,
+    )
+    .prop_map(move |shape| {
+        let mut clock = 0i64;
+        let mut steps = Vec::with_capacity(shape.len());
+        for (selector, advance, jitter, id, m) in shape {
+            clock += advance;
+            let step = match selector {
+                3 => Step::Query { at: clock },
+                kind => {
+                    let at = (clock - jitter).max(0);
+                    let ev = match kind {
+                        0 => Ev::On(id),
+                        1 => Ev::Off(id),
+                        _ => Ev::SetMode(id, m),
+                    };
+                    Step::Event { at, ev }
+                }
+            };
+            steps.push(step);
+        }
+        steps
+    })
+}
+
+fn run_schedule(range: i64, slide: i64, steps: &[Step]) {
+    let spec = WindowSpec::new(Duration::secs(range), Duration::secs(slide)).unwrap();
+    let mut full = Engine::new((), description(), spec);
+    let mut inc = Engine::new((), description(), spec).with_strategy(EvalStrategy::Incremental);
+    for step in steps {
+        match step {
+            Step::Event { at, ev } => {
+                full.add_event(Timestamp(*at), ev.clone());
+                inc.add_event(Timestamp(*at), ev.clone());
+            }
+            Step::Query { at } => {
+                let rf = full.recognize_at(Timestamp(*at));
+                let ri = inc.recognize_at(Timestamp(*at));
+                assert_eq!(rf.working_memory, ri.working_memory, "wm at q={at}");
+                assert_eq!(rf.events, ri.events, "derived events at q={at}");
+                let mut kf: Vec<&Key> = rf.fluents.keys().collect();
+                let mut ki: Vec<&Key> = ri.fluents.keys().collect();
+                kf.sort();
+                ki.sort();
+                assert_eq!(kf, ki, "fluent keys at q={at}");
+                for key in kf {
+                    assert_eq!(
+                        rf.fluents[key].intervals(),
+                        ri.fluents[key].intervals(),
+                        "intervals of {key:?} at q={at}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn incremental_equals_full_recomputation(
+        steps in arb_schedule(120),
+        slide in prop_oneof![Just(30i64), Just(60i64), Just(120i64)],
+    ) {
+        run_schedule(120, slide, &steps);
+    }
+
+    #[test]
+    fn incremental_equals_full_under_tumbling_window(steps in arb_schedule(90)) {
+        // ω == β: no overlap, every query's retained prefix is empty.
+        run_schedule(90, 90, &steps);
+    }
+}
