@@ -5,11 +5,21 @@
 //! during transmission (e.g., discard messages with bad checksum). This
 //! constitutes an append-only data stream" (§2).
 
+use maritime_obs::{names, LazyCounter};
 use maritime_stream::Timestamp;
 
 use crate::nmea::{self, NmeaError};
 use crate::types::PositionTuple;
 use crate::voyage::{decode_static_voyage, Defragmenter, VoyageRegistry};
+
+/// Global decode metrics (see `OBSERVABILITY.md`). The per-scanner
+/// [`ScanStats`] stay authoritative for the report; these feed the live
+/// registry so an operator can watch link quality mid-run.
+static OBS_SENTENCES: LazyCounter = LazyCounter::new(names::AIS_SENTENCES);
+static OBS_POSITIONS: LazyCounter = LazyCounter::new(names::AIS_POSITIONS);
+static OBS_MALFORMED: LazyCounter = LazyCounter::new(names::AIS_MALFORMED);
+static OBS_BAD_CHECKSUM: LazyCounter = LazyCounter::new(names::AIS_BAD_CHECKSUM);
+static OBS_VOYAGE_DECLARATIONS: LazyCounter = LazyCounter::new(names::AIS_VOYAGE_DECLARATIONS);
 
 /// Counters describing what the scanner saw, mirroring the paper's dataset
 /// preparation ("When decoded and cleaned from corrupt messages, the
@@ -79,14 +89,17 @@ impl DataScanner {
     /// or recorded as a voyage declaration (all counted in stats).
     pub fn scan(&mut self, line: &str, received_at: Timestamp) -> Option<PositionTuple> {
         self.stats.total += 1;
+        OBS_SENTENCES.inc();
         let sentence = match nmea::parse_sentence(line) {
             Ok(s) => s,
             Err(NmeaError::ChecksumMismatch { .. }) => {
                 self.stats.bad_checksum += 1;
+                OBS_BAD_CHECKSUM.inc();
                 return None;
             }
             Err(_) => {
                 self.stats.malformed += 1;
+                OBS_MALFORMED.inc();
                 return None;
             }
         };
@@ -104,6 +117,7 @@ impl DataScanner {
             match decode_static_voyage(&payload, fill_bits) {
                 Ok(data) => {
                     self.stats.voyage_declarations += 1;
+                    OBS_VOYAGE_DECLARATIONS.inc();
                     self.voyages.record(received_at, data);
                 }
                 Err(_) => self.stats.bad_payload += 1,
@@ -113,6 +127,7 @@ impl DataScanner {
         match nmea::decode_payload(&payload, fill_bits, received_at) {
             Ok(report) => {
                 self.stats.accepted += 1;
+                OBS_POSITIONS.inc();
                 Some(report.into())
             }
             Err(NmeaError::PositionUnavailable) => {

@@ -1,0 +1,88 @@
+//! Guard bench: the metrics opt-out must be (nearly) free.
+//!
+//! `SurveillanceConfig { metrics: MetricsMode::Off, .. }` flips a global
+//! `AtomicBool` that every counter/gauge/histogram update checks first,
+//! so the disabled path is one relaxed load and a predicted branch per
+//! would-be update. This harness measures tracker throughput — the
+//! hottest instrumented path (two counter updates per positional tuple) —
+//! with metrics enabled and disabled, interleaved, and **asserts** that
+//! the disabled path is within 1 % of the enabled one on min-of-K timing
+//! (the disabled path does strictly less work, so the bound holds with
+//! plenty of margin; a regression here means the opt-out stopped
+//! short-circuiting).
+//!
+//! Custom `main` instead of criterion: the point is a pass/fail guard,
+//! not a statistics report.
+//!
+//! ```text
+//! cargo bench -p maritime-bench --bench obs_overhead
+//! ```
+
+use std::time::{Duration, Instant};
+
+use maritime::prelude::*;
+use maritime_bench::{Scale, Workload};
+
+/// One full-stream tracking pass; returns critical-point count so the
+/// work cannot be optimized away.
+fn track_stream(tuples: &[PositionTuple]) -> usize {
+    let mut tracker = MobilityTracker::new(TrackerParams::default());
+    let mut n = 0usize;
+    for t in tuples {
+        n += tracker.process(*t).len();
+    }
+    n + tracker.finish().len()
+}
+
+/// One timed tracking pass under the given metrics switch.
+fn timed_pass(tuples: &[PositionTuple], enabled: bool) -> (Duration, usize) {
+    maritime_obs::set_enabled(enabled);
+    let t0 = Instant::now();
+    let checksum = track_stream(tuples);
+    (t0.elapsed(), checksum)
+}
+
+fn main() {
+    const TRIALS: usize = 9;
+
+    let workload = Workload::build(Scale::Small);
+    let tuples = workload.tuples();
+    println!(
+        "tracker overhead guard: {} tuples, interleaved min-of-{TRIALS} per mode",
+        tuples.len()
+    );
+
+    // Warm-up (page-in, lazy metric registration).
+    let _ = track_stream(&tuples);
+
+    // Interleave on/off trials so clock drift, frequency scaling, and
+    // cache warm-up hit both modes equally; take the per-mode minimum —
+    // the standard low-noise estimator for a fixed workload, since every
+    // source of interference only ever adds time.
+    let mut enabled = Duration::MAX;
+    let mut disabled = Duration::MAX;
+    let mut n_on = 0usize;
+    let mut n_off = 0usize;
+    for _ in 0..TRIALS {
+        let (t, n) = timed_pass(&tuples, true);
+        enabled = enabled.min(t);
+        n_on = n;
+        let (t, n) = timed_pass(&tuples, false);
+        disabled = disabled.min(t);
+        n_off = n;
+    }
+    maritime_obs::set_enabled(true);
+    assert_eq!(n_on, n_off, "metrics switch must not change tracker output");
+
+    let ratio = disabled.as_secs_f64() / enabled.as_secs_f64();
+    println!(
+        "  metrics on : {enabled:>10.3?}\n  metrics off: {disabled:>10.3?}\n  off/on ratio: {ratio:.4}"
+    );
+    assert!(
+        ratio <= 1.01,
+        "disabled-metrics path is {:.2}% slower than enabled — the opt-out \
+         no longer short-circuits (expected < 1%)",
+        (ratio - 1.0) * 100.0
+    );
+    println!("  OK: disabled path within 1% of enabled");
+}

@@ -75,6 +75,17 @@ fn main() {
             other => eprintln!("unknown experiment: {other}"),
         }
     }
+
+    // The experiments above exercised every pipeline stage; dump the
+    // accumulated metrics registry (see OBSERVABILITY.md) alongside the
+    // figure data so a run's operational profile ships with its results.
+    let snapshot = maritime_obs::snapshot();
+    let path = "bench-results/metrics.json";
+    if let Err(e) = std::fs::write(path, maritime_obs::encode::json(&snapshot)) {
+        eprintln!("  (could not write {path}: {e})");
+    } else {
+        println!("metrics registry snapshot written to {path}");
+    }
 }
 
 fn save_json(name: &str, value: &serde_json::Value) {

@@ -2,6 +2,7 @@
 
 use maritime_ais::Mmsi;
 use maritime_geo::AreaId;
+use maritime_obs::{names, LazyCounter};
 use maritime_rtec::{
     Engine, EvalStrategy, IncrementalStats, IntervalList, Recognition, Timestamp, WindowSpec,
 };
@@ -10,6 +11,14 @@ use maritime_tracker::CriticalPoint;
 use crate::fluents::{maritime_description, Alert, FluentKey};
 use crate::input::InputEvent;
 use crate::knowledge::Knowledge;
+
+/// Recognition metrics (see `OBSERVABILITY.md`). Under partitioned
+/// recognition every band recognizer feeds the same counters; bands own
+/// disjoint events and areas, so the sums equal the single-recognizer
+/// figures.
+static OBS_INPUT_EVENTS: LazyCounter = LazyCounter::new(names::CER_INPUT_EVENTS);
+static OBS_CE_RECOGNIZED: LazyCounter = LazyCounter::new(names::CER_CE_RECOGNIZED);
+static OBS_ALERTS: LazyCounter = LazyCounter::new(names::CER_ALERTS);
 
 /// Summary of one recognition query, for reporting and the Figure 11
 /// experiments (which count recognized CEs per window).
@@ -99,6 +108,7 @@ impl MaritimeRecognizer {
     pub fn add_critical_points(&mut self, cps: &[CriticalPoint]) {
         for cp in cps {
             if let Some((t, ev)) = InputEvent::from_critical(cp) {
+                OBS_INPUT_EVENTS.inc();
                 self.engine.add_event(t, ev);
             }
         }
@@ -106,7 +116,10 @@ impl MaritimeRecognizer {
 
     /// Streams pre-built input events (e.g. with spatial facts attached).
     pub fn add_events(&mut self, events: impl IntoIterator<Item = (Timestamp, InputEvent)>) {
-        self.engine.add_events(events);
+        let mut admitted = 0u64;
+        self.engine
+            .add_events(events.into_iter().inspect(|_| admitted += 1));
+        OBS_INPUT_EVENTS.add(admitted);
     }
 
     /// Runs recognition at query time `q`, returning the raw RTEC result.
@@ -117,7 +130,10 @@ impl MaritimeRecognizer {
     /// Runs recognition and summarizes the complex events.
     pub fn recognize_and_summarize(&mut self, q: Timestamp) -> RecognitionSummary {
         let recognition = self.recognize_at(q);
-        summarize(&recognition)
+        let summary = summarize(&recognition);
+        OBS_CE_RECOGNIZED.add(summary.ce_count as u64);
+        OBS_ALERTS.add(summary.alerts.len() as u64);
+        summary
     }
 }
 

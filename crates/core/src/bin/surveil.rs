@@ -5,6 +5,7 @@
 //! surveil --input ais.log              # replay a timestamped NMEA log
 //! surveil --demo 60 24 --shards 4      # shard the tracker over 4 workers
 //! surveil --demo 60 24 --kml out.kml --archive trips.json --audit
+//! surveil --demo 60 24 --metrics-json m.json --metrics-every 12
 //! ```
 //!
 //! Log format: one message per line, `<epoch-seconds> <!AIVDM sentence>`.
@@ -32,6 +33,10 @@ struct Options {
     shards: usize,
     bands: usize,
     incremental: bool,
+    metrics_json: Option<String>,
+    metrics_prom: Option<String>,
+    metrics_every: Option<usize>,
+    no_metrics: bool,
 }
 
 fn parse_args() -> Options {
@@ -45,6 +50,10 @@ fn parse_args() -> Options {
         shards: 1,
         bands: 1,
         incremental: false,
+        metrics_json: None,
+        metrics_prom: None,
+        metrics_every: None,
+        no_metrics: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -61,6 +70,16 @@ fn parse_args() -> Options {
             "--dump-log" => opts.dump_log = it.next().cloned(),
             "--audit" => opts.audit = true,
             "--incremental" => opts.incremental = true,
+            "--metrics-json" => opts.metrics_json = it.next().cloned(),
+            "--metrics-prom" => opts.metrics_prom = it.next().cloned(),
+            "--metrics-every" => {
+                opts.metrics_every =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--metrics-every needs a positive slide count");
+                        std::process::exit(2);
+                    }));
+            }
+            "--no-metrics" => opts.no_metrics = true,
             "--shards" => {
                 opts.shards = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--shards needs a positive integer");
@@ -77,7 +96,9 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: surveil (--demo [vessels] [hours] | --input FILE) \
                      [--shards N] [--bands N] [--incremental] [--kml FILE] \
-                     [--archive FILE] [--dump-log FILE] [--audit]"
+                     [--archive FILE] [--dump-log FILE] [--audit] \
+                     [--metrics-json FILE] [--metrics-prom FILE] \
+                     [--metrics-every N-SLIDES] [--no-metrics]"
                 );
                 std::process::exit(0);
             }
@@ -150,8 +171,37 @@ fn read_log(path: &str) -> Vec<(i64, String)> {
     lines
 }
 
+/// One line of operational vitals from the global metrics registry, shown
+/// on stderr every `--metrics-every` slides. Reads counters/gauges only —
+/// cheap enough to run inside the slide loop.
+fn metrics_summary_line(query_secs: i64) -> String {
+    use maritime_obs::names;
+    let s = maritime_obs::snapshot();
+    let c = |name: &str| s.counter(name);
+    let g = |name: &str| s.gauge(name);
+    format!(
+        "t={query_secs}s slides={} | tracker in={} cp={} drops={} vessels={} window={} | \
+         rtec q={} evals={} replays={} | cer in={} ce={} alerts={}",
+        c(names::PIPELINE_SLIDES),
+        c(names::TRACKER_POINTS_INGESTED),
+        c(names::TRACKER_CRITICAL_POINTS),
+        c(names::TRACKER_NOISE_DROPS),
+        g(names::TRACKER_ACTIVE_VESSELS),
+        g(names::TRACKER_WINDOW_POINTS),
+        c(names::RTEC_QUERIES),
+        c(names::RTEC_RULE_EVALUATIONS),
+        c(names::RTEC_CACHE_REPLAYS),
+        c(names::CER_INPUT_EVENTS),
+        c(names::CER_CE_RECOGNIZED),
+        c(names::CER_ALERTS),
+    )
+}
+
 fn main() {
     let opts = parse_args();
+    // Flip the switch before NMEA decoding so the ais_* counters honor
+    // the opt-out too; the pipeline constructor re-applies it from config.
+    maritime_obs::set_enabled(!opts.no_metrics);
 
     let (lines, sim) = match (&opts.demo, &opts.input) {
         (Some((v, h)), _) => {
@@ -216,6 +266,11 @@ fn main() {
             recognition_bands: opts.bands,
         },
         incremental_recognition: opts.incremental,
+        metrics: if opts.no_metrics {
+            MetricsMode::Off
+        } else {
+            MetricsMode::On
+        },
         ..SurveillanceConfig::default()
     };
     if let Err(e) = config.validate() {
@@ -233,7 +288,18 @@ fn main() {
     }
     let mut pipeline =
         SurveillancePipeline::new(&config, vessels, areas.clone()).expect("validated config");
-    let report = pipeline.run(tuples);
+    let mut slides_seen = 0usize;
+    let report = pipeline.run_with_observer(tuples, |outcome| {
+        slides_seen += 1;
+        if let Some(every) = opts.metrics_every {
+            if every > 0 && slides_seen.is_multiple_of(every) {
+                eprintln!(
+                    "metrics: {}",
+                    metrics_summary_line(outcome.query_time.as_secs())
+                );
+            }
+        }
+    });
 
     println!("=== surveil run report ===");
     println!("raw positions ........ {}", report.raw_positions);
@@ -290,5 +356,19 @@ fn main() {
             .save_json(std::io::BufWriter::new(file))
             .expect("serialize archive");
         eprintln!("archive written to {path}");
+    }
+
+    if opts.metrics_json.is_some() || opts.metrics_prom.is_some() {
+        let snapshot = maritime_obs::snapshot();
+        if let Some(path) = &opts.metrics_json {
+            std::fs::write(path, maritime_obs::encode::json(&snapshot))
+                .expect("write metrics JSON");
+            eprintln!("metrics snapshot (JSON) written to {path}");
+        }
+        if let Some(path) = &opts.metrics_prom {
+            std::fs::write(path, maritime_obs::encode::prometheus_text(&snapshot))
+                .expect("write metrics exposition");
+            eprintln!("metrics snapshot (Prometheus text) written to {path}");
+        }
     }
 }

@@ -15,13 +15,20 @@
 //!                                        ▼                      ▼
 //!                                  Marine authorities     Trajectory archive
 //!                                                         (Hermes MOD analogue)
+//!
+//!          every stage ──metrics──> maritime-obs registry ──> snapshots
+//!                                   (counters / gauges / histograms;
+//!                                    surveil --metrics-json, OBSERVABILITY.md)
 //! ```
 //!
 //! See [`pipeline::SurveillancePipeline`] for the runtime, [`config`] for
 //! the calibrated settings of Tables 2–3, and the component crates
 //! (`maritime-tracker`, `maritime-rtec`, `maritime-cer`,
 //! `maritime-modstore`, `maritime-ais`, `maritime-geo`,
-//! `maritime-stream`) for each subsystem.
+//! `maritime-stream`, `maritime-obs`) for each subsystem. Every stage
+//! publishes runtime metrics to the global `maritime-obs` registry —
+//! `OBSERVABILITY.md` at the repository root is the operator's handbook
+//! for reading them.
 //!
 //! # Quickstart
 //!
@@ -49,13 +56,13 @@ pub mod config;
 pub mod pipeline;
 
 pub use alerts::{AlertRecord, AlertLog};
-pub use config::{Parallelism, SurveillanceConfig};
+pub use config::{MetricsMode, Parallelism, SurveillanceConfig};
 pub use pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
 
 /// Convenient re-exports of the whole system surface.
 pub mod prelude {
     pub use crate::alerts::{AlertLog, AlertRecord};
-    pub use crate::config::{Parallelism, SurveillanceConfig};
+    pub use crate::config::{MetricsMode, Parallelism, SurveillanceConfig};
     pub use crate::pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
     pub use maritime_ais::{
         DataScanner, FleetConfig, FleetSimulator, Mmsi, PositionReport, PositionTuple,

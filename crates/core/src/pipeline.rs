@@ -15,12 +15,38 @@ use maritime_cer::{
 };
 use maritime_geo::Area;
 use maritime_modstore::{ArchiveStats, StagingArea, TrajectoryStore, TripReconstructor};
+use maritime_obs::{names, LazyCounter, LazyHistogram};
 use maritime_stream::{SlideBatches, Timestamp};
 use maritime_tracker::tracker::FleetStats;
 use maritime_tracker::{CriticalPoint, ShardedTracker, SlideReport, WindowedTracker};
 
 use crate::alerts::{AlertLog, AlertRecord};
-use crate::config::{ConfigError, SurveillanceConfig};
+use crate::config::{ConfigError, MetricsMode, SurveillanceConfig};
+
+/// Per-slide pipeline metrics (see `OBSERVABILITY.md`): one histogram per
+/// Figure 10 phase, fed from the same [`PhaseTimings`] measurements the
+/// benchmark harness consumes, plus the whole-slide wall time.
+static OBS_SLIDES: LazyCounter = LazyCounter::new(names::PIPELINE_SLIDES);
+static OBS_SLIDE_NS: LazyHistogram = LazyHistogram::new(names::PIPELINE_SLIDE_NS);
+static OBS_TRACKING_NS: LazyHistogram = LazyHistogram::new(names::PIPELINE_TRACKING_NS);
+static OBS_STAGING_NS: LazyHistogram = LazyHistogram::new(names::PIPELINE_STAGING_NS);
+static OBS_RECONSTRUCTION_NS: LazyHistogram =
+    LazyHistogram::new(names::PIPELINE_RECONSTRUCTION_NS);
+static OBS_LOADING_NS: LazyHistogram = LazyHistogram::new(names::PIPELINE_LOADING_NS);
+static OBS_RECOGNITION_NS: LazyHistogram = LazyHistogram::new(names::PIPELINE_RECOGNITION_NS);
+
+/// Records one slide's phase breakdown into the global histograms.
+fn observe_timings(timings: &PhaseTimings, slide_elapsed: StdDuration, recognized: bool) {
+    OBS_SLIDES.inc();
+    OBS_SLIDE_NS.record(slide_elapsed.as_nanos() as u64);
+    OBS_TRACKING_NS.record(timings.tracking.as_nanos() as u64);
+    OBS_STAGING_NS.record(timings.staging.as_nanos() as u64);
+    OBS_RECONSTRUCTION_NS.record(timings.reconstruction.as_nanos() as u64);
+    OBS_LOADING_NS.record(timings.loading.as_nanos() as u64);
+    if recognized {
+        OBS_RECOGNITION_NS.record(timings.recognition.as_nanos() as u64);
+    }
+}
 
 /// Wall-clock cost of each pipeline phase in one slide (Figure 10).
 #[derive(Debug, Clone, Copy, Default)]
@@ -219,6 +245,9 @@ impl SurveillancePipeline {
         areas: Vec<Area>,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
+        // Global switch: every counter/gauge/histogram/span in the
+        // workspace becomes a no-op under `MetricsMode::Off`.
+        maritime_obs::set_enabled(config.metrics == MetricsMode::On);
         let tracker = if config.parallelism.tracker_shards > 1 {
             TrackerBackend::Sharded(ShardedTracker::new(
                 config.tracker,
@@ -296,6 +325,7 @@ impl SurveillancePipeline {
     /// Executes one window slide over a time-ordered positional batch
     /// (timestamps ≤ `query_time`).
     pub fn slide(&mut self, query_time: Timestamp, batch: &[PositionTuple]) -> SlideOutcome {
+        let slide_start = Instant::now();
         let mut timings = PhaseTimings::default();
 
         // Phase 1: online tracking (fanned out per shard when sharded;
@@ -338,6 +368,7 @@ impl SurveillancePipeline {
             None
         };
 
+        observe_timings(&timings, slide_start.elapsed(), recognition.is_some());
         SlideOutcome {
             query_time,
             admitted: report.admitted,
@@ -353,6 +384,18 @@ impl SurveillancePipeline {
     /// Runs the pipeline over a complete, time-ordered tuple stream,
     /// slicing it into per-slide batches and flushing at the end.
     pub fn run(&mut self, stream: impl IntoIterator<Item = PositionTuple>) -> RunReport {
+        self.run_with_observer(stream, |_| {})
+    }
+
+    /// [`Self::run`], invoking `observer` after every slide (including the
+    /// final flush). Lets callers watch a live run — e.g. the `surveil`
+    /// binary's periodic metrics output — without re-implementing the
+    /// batching loop.
+    pub fn run_with_observer(
+        &mut self,
+        stream: impl IntoIterator<Item = PositionTuple>,
+        mut observer: impl FnMut(&SlideOutcome),
+    ) -> RunReport {
         let keyed = stream.into_iter().map(|t| (t.timestamp, t));
         let batches = SlideBatches::new(keyed, self.config.tracking_window, self.origin);
         let mut slides = 0usize;
@@ -366,8 +409,10 @@ impl SurveillancePipeline {
             ce_total += outcome.recognition.as_ref().map_or(0, |s| s.ce_count);
             timings = timings.combined(outcome.timings);
             last_q = batch.query_time;
+            observer(&outcome);
         }
         let final_outcome = self.finish(last_q);
+        observer(&final_outcome);
         ce_total += final_outcome.recognition.as_ref().map_or(0, |s| s.ce_count);
         timings = timings.combined(final_outcome.timings);
 

@@ -8,9 +8,16 @@
 
 use std::collections::HashMap;
 
+use maritime_obs::{names, LazyCounter};
+
 use crate::areas::{Area, AreaId};
 use crate::bbox::BoundingBox;
 use crate::point::GeoPoint;
+
+/// Candidate lookups served, across every [`GridIndex`] in the process.
+/// The increment is one relaxed atomic add — the lookup path stays
+/// allocation-free (pinned by `tests/no_alloc.rs`).
+static OBS_LOOKUPS: LazyCounter = LazyCounter::new(names::GEO_GRID_LOOKUPS);
 
 /// A uniform grid over a bounding box, bucketing areas by the cells their
 /// (threshold-inflated) bounding boxes overlap.
@@ -102,6 +109,7 @@ impl GridIndex {
     /// the index: the per-lookup path allocates nothing.
     #[must_use]
     pub fn candidates(&self, p: GeoPoint) -> &[usize] {
+        OBS_LOOKUPS.inc();
         if !self.extent.contains(p) {
             return &[];
         }

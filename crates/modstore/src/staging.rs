@@ -11,7 +11,11 @@
 use std::collections::HashMap;
 
 use maritime_ais::Mmsi;
+use maritime_obs::{names, LazyCounter};
 use maritime_tracker::CriticalPoint;
+
+/// Points staged, across every [`StagingArea`] in the process.
+static OBS_STAGED: LazyCounter = LazyCounter::new(names::MODSTORE_POINTS_STAGED);
 
 /// The staging table, organized per vessel in time order.
 #[derive(Debug, Default)]
@@ -44,6 +48,7 @@ impl StagingArea {
             seq.push(cp);
         }
         self.staged_total += 1;
+        OBS_STAGED.inc();
     }
 
     /// Points currently staged for a vessel.

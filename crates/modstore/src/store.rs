@@ -10,10 +10,14 @@
 use std::collections::HashMap;
 
 use maritime_ais::Mmsi;
+use maritime_obs::{names, LazyCounter};
 use maritime_stream::Duration;
 use serde::{Deserialize, Serialize};
 
 use crate::trip::Trip;
+
+/// Trips archived, across every [`TrajectoryStore`] in the process.
+static OBS_TRIPS_LOADED: LazyCounter = LazyCounter::new(names::MODSTORE_TRIPS_LOADED);
 
 /// Aggregates for one origin–destination connection (§3.3: "By maintaining
 /// Origin-Destination matrices, we may identify connections between ports
@@ -70,6 +74,7 @@ impl TrajectoryStore {
 
     /// Loads a batch of reconstructed trips.
     pub fn load(&mut self, trips: Vec<Trip>) {
+        OBS_TRIPS_LOADED.add(trips.len() as u64);
         for trip in trips {
             let idx = self.trips.len();
             self.by_vessel.entry(trip.mmsi).or_default().push(idx);

@@ -1,0 +1,188 @@
+//! Snapshot encoders: Prometheus text exposition and JSON.
+//!
+//! Both encoders are hand-rolled over [`Snapshot`] — the obs crate links
+//! into every hot path and must stay dependency-free, and the formats are
+//! small enough that a serializer would be more code than the writer.
+//! Output is deterministic (entries sorted by name, fixed field order), so
+//! golden-file tests can diff it byte-for-byte.
+//!
+//! Histograms are exposed in Prometheus *summary* form (pre-computed
+//! quantiles plus `_sum`/`_count`): the read-out side of the log-linear
+//! histogram already collapses buckets to percentiles, and a summary keeps
+//! scrape payloads a constant size per metric.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricValue, Snapshot};
+
+/// Encodes a snapshot in the Prometheus text exposition format (version
+/// 0.0.4). Counters and gauges map directly; histograms are exposed as
+/// summaries with `quantile` labels.
+#[must_use]
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for e in &snapshot.entries {
+        let d = e.descriptor;
+        if !d.help.is_empty() {
+            let unit = if d.unit.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", d.unit)
+            };
+            let _ = writeln!(out, "# HELP {} {}{unit}", d.name, d.help);
+        }
+        match e.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {} counter", d.name);
+                let _ = writeln!(out, "{} {v}", d.name);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {} gauge", d.name);
+                let _ = writeln!(out, "{} {v}", d.name);
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {} summary", d.name);
+                let _ = writeln!(out, "{}{{quantile=\"0.5\"}} {}", d.name, h.p50);
+                let _ = writeln!(out, "{}{{quantile=\"0.9\"}} {}", d.name, h.p90);
+                let _ = writeln!(out, "{}{{quantile=\"0.99\"}} {}", d.name, h.p99);
+                let _ = writeln!(out, "{}_sum {}", d.name, h.sum);
+                let _ = writeln!(out, "{}_count {}", d.name, h.count);
+            }
+        }
+    }
+    out
+}
+
+/// Encodes a snapshot as a JSON object keyed by metric name, sorted, with
+/// a fixed field order per metric — byte-stable for golden-file diffing
+/// and trivially machine-readable (`jq '.rtec_query_ns.p99'`).
+#[must_use]
+pub fn json(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{\n");
+    for (i, e) in snapshot.entries.iter().enumerate() {
+        let d = e.descriptor;
+        let _ = write!(
+            out,
+            "  {}: {{\"type\": {}, \"unit\": {}, ",
+            json_str(d.name),
+            json_str(match e.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            }),
+            json_str(d.unit),
+        );
+        match e.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "\"value\": {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "\"value\": {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                     \"p50\": {}, \"p90\": {}, \"p99\": {}",
+                    h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                );
+            }
+        }
+        let comma = if i + 1 == snapshot.entries.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(out, "}}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Quotes and escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Descriptor, MetricKind, MetricsRegistry};
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::with_catalog(&[
+            Descriptor {
+                name: "ais_positions_total",
+                kind: MetricKind::Counter,
+                unit: "reports",
+                help: "Position reports decoded",
+            },
+            Descriptor {
+                name: "tracker_active_vessels",
+                kind: MetricKind::Gauge,
+                unit: "vessels",
+                help: "Vessels currently tracked",
+            },
+            Descriptor {
+                name: "rtec_query_ns",
+                kind: MetricKind::Histogram,
+                unit: "ns",
+                help: "Wall time per recognition query",
+            },
+        ]);
+        reg.counter("ais_positions_total").add(120);
+        reg.gauge("tracker_active_vessels").set(8);
+        for v in [100u64, 200, 300] {
+            reg.histogram("rtec_query_ns").record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_has_type_lines_and_quantiles() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE ais_positions_total counter"));
+        assert!(text.contains("ais_positions_total 120"));
+        assert!(text.contains("# TYPE tracker_active_vessels gauge"));
+        assert!(text.contains("# TYPE rtec_query_ns summary"));
+        assert!(text.contains("rtec_query_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("rtec_query_ns_sum 600"));
+        assert!(text.contains("rtec_query_ns_count 3"));
+    }
+
+    #[test]
+    fn json_is_sorted_and_parsable_shape() {
+        let text = json(&sample_registry().snapshot());
+        let ais = text.find("ais_positions_total").unwrap();
+        let rtec = text.find("rtec_query_ns").unwrap();
+        let tracker = text.find("tracker_active_vessels").unwrap();
+        assert!(ais < rtec && rtec < tracker, "entries must sort by name");
+        assert!(text.contains("\"value\": 120"));
+        assert!(text.contains("\"count\": 3, \"sum\": 600"));
+        assert!(text.ends_with("}\n"));
+        // No trailing comma before the closing brace.
+        assert!(!text.contains(",\n}"));
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

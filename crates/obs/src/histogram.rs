@@ -1,0 +1,280 @@
+//! Fixed-bucket log-linear histograms with HDR-style percentile read-out.
+//!
+//! Values (non-negative integers — nanoseconds, byte counts, batch sizes)
+//! are binned into buckets whose width grows with magnitude: values below
+//! 32 get an exact bucket each, and every octave above that is split into
+//! 32 linear sub-buckets. The bucket count is fixed (no allocation on
+//! record) and the relative quantization error is bounded by 1/32 ≈ 3 %,
+//! the same precision/footprint trade-off as a 5-significant-bit HDR
+//! histogram.
+//!
+//! Recording is one relaxed `fetch_add` on the bucket plus bookkeeping on
+//! `count`/`sum`/`min`/`max`; snapshots walk the bucket array without
+//! stopping writers, so a snapshot taken during a run is approximate but
+//! internally consistent enough for operational read-out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per octave, as a power of two.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (32).
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Octaves above the exact range covered before saturating. 58 octaves on
+/// top of the 2^5 exact range covers the full u64 domain.
+const OCTAVES: usize = 59;
+/// Total bucket count: one exact bucket per value < 32, then 32 per octave.
+const BUCKETS: usize = SUB_COUNT as usize + OCTAVES * SUB_COUNT as usize;
+
+/// Bucket index for a value.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS here
+    let octave = (msb - SUB_BITS) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB_COUNT - 1)) as usize;
+    let idx = SUB_COUNT as usize + octave * SUB_COUNT as usize + sub;
+    idx.min(BUCKETS - 1)
+}
+
+/// Largest value that maps into bucket `idx` (the bucket's upper bound).
+#[inline]
+fn upper_bound(idx: usize) -> u64 {
+    if idx < SUB_COUNT as usize {
+        return idx as u64;
+    }
+    let rel = idx - SUB_COUNT as usize;
+    let octave = (rel / SUB_COUNT as usize) as u32;
+    let sub = (rel % SUB_COUNT as usize) as u64;
+    let low = (SUB_COUNT + sub) << octave; // lowest value in the bucket
+    low.saturating_add((1u64 << octave) - 1)
+}
+
+/// A lock-free log-linear histogram. See the module docs for the bucket
+/// scheme; construct via [`Histogram::new`] (usually through the registry).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (~15 KiB of buckets).
+    #[must_use]
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. No-op while recording is disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[index_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)`, clamped to
+    /// the exact recorded maximum. Returns 0 for an empty histogram. The
+    /// quantization error is at most one part in 32 of the value.
+    #[must_use]
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return upper_bound(idx).min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary of the distribution.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.value_at_quantile(0.50),
+            p90: self.value_at_quantile(0.90),
+            p99: self.value_at_quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 if empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Median (≤ ~3 % quantization error).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations, 0.0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_32() {
+        for v in 0..32u64 {
+            assert_eq!(index_of(v), v as usize);
+            assert_eq!(upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn index_and_bound_are_consistent() {
+        // Every value must land in a bucket whose range contains it, with
+        // relative width <= 1/32.
+        let probes = [
+            32u64,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            4_095,
+            4_096,
+            1 << 20,
+            (1 << 20) + 12_345,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let idx = index_of(v);
+            let hi = upper_bound(idx);
+            assert!(hi >= v, "upper bound {hi} below value {v}");
+            if idx < BUCKETS - 1 {
+                // The bucket above must start past v.
+                let lo_next = upper_bound(idx).saturating_add(1);
+                assert!(index_of(lo_next) > idx || lo_next == 0);
+                // Quantization error bound: hi - v < hi / 32 + 1.
+                assert!(hi - v <= hi / 32 + 1, "error too large for {v}: hi={hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(
+            s,
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0
+            }
+        );
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // 1/32 relative error plus one for integer rounding.
+        let close = |got: u64, want: u64| {
+            assert!(
+                got >= want && got <= want + want / 16 + 1,
+                "quantile {got} not within bound of {want}"
+            );
+        };
+        close(s.p50, 500);
+        close(s.p90, 900);
+        close(s.p99, 990);
+    }
+
+    #[test]
+    fn max_clamps_quantile() {
+        let h = Histogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.value_at_quantile(1.0), 1_000_003);
+        assert_eq!(h.snapshot().p50, 1_000_003);
+    }
+}

@@ -1,0 +1,261 @@
+//! The canonical metric catalog.
+//!
+//! Every metric the pipeline emits is declared exactly once here, with its
+//! kind, unit, and a one-line help string. The global registry pre-seeds
+//! itself from [`CATALOG`] so a snapshot always lists the full set (zeros
+//! included), the encoders have help/unit text to hand, and the
+//! `OBSERVABILITY.md` handbook can be diffed against this list by a test.
+//!
+//! Naming follows Prometheus conventions: `snake_case`, a stage prefix
+//! (`ais_`, `tracker_`, `shard_`, `stream_`, `geo_`, `modstore_`, `rtec_`,
+//! `cer_`, `pipeline_`), `_total` suffix on counters, `_ns` suffix on
+//! nanosecond histograms.
+
+use crate::registry::{Descriptor, MetricKind};
+
+// ---- AIS decode ----------------------------------------------------------
+
+/// NMEA sentences scanned by the AIS decoder.
+pub const AIS_SENTENCES: &str = "ais_sentences_total";
+/// Position reports decoded and admitted downstream.
+pub const AIS_POSITIONS: &str = "ais_positions_total";
+/// Sentences rejected as structurally malformed.
+pub const AIS_MALFORMED: &str = "ais_malformed_total";
+/// Sentences rejected on NMEA checksum mismatch.
+pub const AIS_BAD_CHECKSUM: &str = "ais_bad_checksum_total";
+/// Static/voyage declarations (message type 5) decoded.
+pub const AIS_VOYAGE_DECLARATIONS: &str = "ais_voyage_declarations_total";
+
+// ---- Trajectory tracker --------------------------------------------------
+
+/// Raw position updates ingested by the mobility tracker.
+pub const TRACKER_POINTS_INGESTED: &str = "tracker_points_ingested_total";
+/// Critical points emitted (the compressed trajectory synopsis).
+pub const TRACKER_CRITICAL_POINTS: &str = "tracker_critical_points_total";
+/// Position updates dropped by the noise/outlier filter.
+pub const TRACKER_NOISE_DROPS: &str = "tracker_noise_drops_total";
+/// Vessels currently tracked.
+pub const TRACKER_ACTIVE_VESSELS: &str = "tracker_active_vessels";
+/// Critical points currently resident in the tracking window.
+pub const TRACKER_WINDOW_POINTS: &str = "tracker_window_points";
+/// Critical points evicted as the tracking window slid forward.
+pub const TRACKER_EVICTED_POINTS: &str = "tracker_evicted_points_total";
+/// Wall time per tracker window slide.
+pub const TRACKER_SLIDE_NS: &str = "tracker_slide_ns";
+
+// ---- Sharded tracker -----------------------------------------------------
+
+/// Per-shard batches routed by the MMSI-hash router.
+pub const SHARD_BATCHES_ROUTED: &str = "shard_batches_routed_total";
+/// Slide/finish commands sent to shard workers but not yet completed.
+pub const SHARD_COMMANDS_INFLIGHT: &str = "shard_commands_inflight";
+/// Time the feeder spent blocked sending into a shard's bounded channel.
+pub const SHARD_SEND_WAIT_NS: &str = "shard_send_wait_ns";
+/// Largest-minus-smallest routed batch size in the most recent slide.
+pub const SHARD_BATCH_IMBALANCE: &str = "shard_batch_imbalance";
+
+// ---- Stream windowing ----------------------------------------------------
+
+/// Window slide operations across all sliding windows.
+pub const STREAM_WINDOW_SLIDES: &str = "stream_window_slides_total";
+/// Items evicted from sliding windows by slides.
+pub const STREAM_WINDOW_EVICTIONS: &str = "stream_window_evictions_total";
+/// Input batches formed by the slide batcher.
+pub const STREAM_BATCHES: &str = "stream_batches_total";
+
+// ---- Geo spatial index ---------------------------------------------------
+
+/// Neighbour-candidate lookups served by the grid index.
+pub const GEO_GRID_LOOKUPS: &str = "geo_grid_lookups_total";
+
+// ---- Trajectory store ----------------------------------------------------
+
+/// Critical points staged into the trajectory store.
+pub const MODSTORE_POINTS_STAGED: &str = "modstore_points_staged_total";
+/// Reconstructed trips loaded out of the trajectory store.
+pub const MODSTORE_TRIPS_LOADED: &str = "modstore_trips_loaded_total";
+
+// ---- RTEC engine ---------------------------------------------------------
+
+/// Recognition queries answered by the RTEC engine.
+pub const RTEC_QUERIES: &str = "rtec_queries_total";
+/// Queries answered via the incremental (checkpoint-replay) path.
+pub const RTEC_QUERIES_INCREMENTAL: &str = "rtec_queries_incremental_total";
+/// Rule trigger evaluations performed.
+pub const RTEC_RULE_EVALUATIONS: &str = "rtec_rule_evaluations_total";
+/// Trigger evaluations skipped by replaying cached results.
+pub const RTEC_CACHE_REPLAYS: &str = "rtec_cache_replays_total";
+/// Cached entries invalidated by changed keys and re-evaluated.
+pub const RTEC_CACHE_INVALIDATIONS: &str = "rtec_cache_invalidations_total";
+/// Wall time per recognition query.
+pub const RTEC_QUERY_NS: &str = "rtec_query_ns";
+/// Events resident in the engine's working memory (window).
+pub const RTEC_WORKING_MEMORY_EVENTS: &str = "rtec_working_memory_events";
+
+// ---- Complex event recognition -------------------------------------------
+
+/// Low-level events fed into the maritime recognizer.
+pub const CER_INPUT_EVENTS: &str = "cer_input_events_total";
+/// Composite-event intervals recognized (suspicious + illegal fishing).
+pub const CER_CE_RECOGNIZED: &str = "cer_ce_recognized_total";
+/// Instantaneous alerts raised (illegal shipping, dangerous shipping).
+pub const CER_ALERTS: &str = "cer_alerts_total";
+
+// ---- Pipeline orchestration ----------------------------------------------
+
+/// Window slides completed by the surveillance pipeline.
+pub const PIPELINE_SLIDES: &str = "pipeline_slides_total";
+/// Wall time of the tracking phase per slide.
+pub const PIPELINE_TRACKING_NS: &str = "pipeline_tracking_ns";
+/// Wall time of the store-staging phase per slide.
+pub const PIPELINE_STAGING_NS: &str = "pipeline_staging_ns";
+/// Wall time of the trip-reconstruction phase per slide.
+pub const PIPELINE_RECONSTRUCTION_NS: &str = "pipeline_reconstruction_ns";
+/// Wall time of the recognizer-loading phase per slide.
+pub const PIPELINE_LOADING_NS: &str = "pipeline_loading_ns";
+/// Wall time of the recognition phase per slide.
+pub const PIPELINE_RECOGNITION_NS: &str = "pipeline_recognition_ns";
+/// End-to-end wall time per slide (all phases).
+pub const PIPELINE_SLIDE_NS: &str = "pipeline_slide_ns";
+
+/// One catalog row.
+const fn c(name: &'static str, unit: &'static str, help: &'static str) -> Descriptor {
+    Descriptor {
+        name,
+        kind: MetricKind::Counter,
+        unit,
+        help,
+    }
+}
+
+/// One gauge row.
+const fn g(name: &'static str, unit: &'static str, help: &'static str) -> Descriptor {
+    Descriptor {
+        name,
+        kind: MetricKind::Gauge,
+        unit,
+        help,
+    }
+}
+
+/// One histogram row.
+const fn h(name: &'static str, unit: &'static str, help: &'static str) -> Descriptor {
+    Descriptor {
+        name,
+        kind: MetricKind::Histogram,
+        unit,
+        help,
+    }
+}
+
+/// Every metric the pipeline can emit, in stage order.
+pub const CATALOG: &[Descriptor] = &[
+    // AIS decode
+    c(AIS_SENTENCES, "sentences", "NMEA sentences scanned by the AIS decoder"),
+    c(AIS_POSITIONS, "reports", "Position reports decoded and admitted downstream"),
+    c(AIS_MALFORMED, "sentences", "Sentences rejected as structurally malformed"),
+    c(AIS_BAD_CHECKSUM, "sentences", "Sentences rejected on NMEA checksum mismatch"),
+    c(AIS_VOYAGE_DECLARATIONS, "messages", "Static/voyage declarations (type 5) decoded"),
+    // Tracker
+    c(TRACKER_POINTS_INGESTED, "points", "Raw position updates ingested by the tracker"),
+    c(TRACKER_CRITICAL_POINTS, "points", "Critical points emitted (compressed synopsis)"),
+    c(TRACKER_NOISE_DROPS, "points", "Position updates dropped by the noise filter"),
+    g(TRACKER_ACTIVE_VESSELS, "vessels", "Vessels currently tracked"),
+    g(TRACKER_WINDOW_POINTS, "points", "Critical points resident in the tracking window"),
+    c(TRACKER_EVICTED_POINTS, "points", "Critical points evicted by window slides"),
+    h(TRACKER_SLIDE_NS, "ns", "Wall time per tracker window slide"),
+    // Sharded tracker
+    c(SHARD_BATCHES_ROUTED, "batches", "Per-shard batches routed by the MMSI-hash router"),
+    g(SHARD_COMMANDS_INFLIGHT, "commands", "Shard commands sent but not yet completed"),
+    h(SHARD_SEND_WAIT_NS, "ns", "Feeder blocking time on bounded shard channels"),
+    g(SHARD_BATCH_IMBALANCE, "points", "Max-minus-min routed batch size, latest slide"),
+    // Stream windowing
+    c(STREAM_WINDOW_SLIDES, "slides", "Window slide operations across sliding windows"),
+    c(STREAM_WINDOW_EVICTIONS, "items", "Items evicted from sliding windows"),
+    c(STREAM_BATCHES, "batches", "Input batches formed by the slide batcher"),
+    // Geo
+    c(GEO_GRID_LOOKUPS, "lookups", "Neighbour-candidate lookups on the grid index"),
+    // Store
+    c(MODSTORE_POINTS_STAGED, "points", "Critical points staged into the trajectory store"),
+    c(MODSTORE_TRIPS_LOADED, "trips", "Reconstructed trips loaded from the store"),
+    // RTEC
+    c(RTEC_QUERIES, "queries", "Recognition queries answered by the RTEC engine"),
+    c(RTEC_QUERIES_INCREMENTAL, "queries", "Queries answered via the incremental path"),
+    c(RTEC_RULE_EVALUATIONS, "evaluations", "Rule trigger evaluations performed"),
+    c(RTEC_CACHE_REPLAYS, "evaluations", "Trigger evaluations skipped via cached results"),
+    c(RTEC_CACHE_INVALIDATIONS, "entries", "Cached entries invalidated and re-evaluated"),
+    h(RTEC_QUERY_NS, "ns", "Wall time per recognition query"),
+    g(RTEC_WORKING_MEMORY_EVENTS, "events", "Events resident in engine working memory"),
+    // CER
+    c(CER_INPUT_EVENTS, "events", "Low-level events fed into the maritime recognizer"),
+    c(CER_CE_RECOGNIZED, "intervals", "Composite-event intervals recognized"),
+    c(CER_ALERTS, "alerts", "Instantaneous alerts raised"),
+    // Pipeline
+    c(PIPELINE_SLIDES, "slides", "Window slides completed by the pipeline"),
+    h(PIPELINE_TRACKING_NS, "ns", "Tracking-phase wall time per slide"),
+    h(PIPELINE_STAGING_NS, "ns", "Store-staging-phase wall time per slide"),
+    h(PIPELINE_RECONSTRUCTION_NS, "ns", "Trip-reconstruction-phase wall time per slide"),
+    h(PIPELINE_LOADING_NS, "ns", "Recognizer-loading-phase wall time per slide"),
+    h(PIPELINE_RECOGNITION_NS, "ns", "Recognition-phase wall time per slide"),
+    h(PIPELINE_SLIDE_NS, "ns", "End-to-end wall time per slide"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let mut seen = HashSet::new();
+        for d in CATALOG {
+            assert!(seen.insert(d.name), "duplicate catalog name {}", d.name);
+        }
+    }
+
+    #[test]
+    fn catalog_follows_conventions() {
+        let prefixes = [
+            "ais_", "tracker_", "shard_", "stream_", "geo_", "modstore_", "rtec_", "cer_",
+            "pipeline_",
+        ];
+        for d in CATALOG {
+            assert!(
+                prefixes.iter().any(|p| d.name.starts_with(p)),
+                "{} lacks a stage prefix",
+                d.name
+            );
+            match d.kind {
+                MetricKind::Counter => assert!(
+                    d.name.ends_with("_total"),
+                    "counter {} must end in _total",
+                    d.name
+                ),
+                MetricKind::Histogram => assert!(
+                    d.name.ends_with("_ns"),
+                    "histogram {} must end in _ns",
+                    d.name
+                ),
+                MetricKind::Gauge => assert!(
+                    !d.name.ends_with("_total"),
+                    "gauge {} must not end in _total",
+                    d.name
+                ),
+            }
+            assert!(!d.help.is_empty() && !d.unit.is_empty());
+        }
+    }
+
+    #[test]
+    fn catalog_spans_required_stages() {
+        // The acceptance criteria require >= 20 metrics spanning these
+        // stage prefixes.
+        assert!(CATALOG.len() >= 20);
+        for p in ["ais_", "tracker_", "stream_", "rtec_", "cer_"] {
+            assert!(
+                CATALOG.iter().any(|d| d.name.starts_with(p)),
+                "no metric with prefix {p}"
+            );
+        }
+    }
+}

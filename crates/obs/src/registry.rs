@@ -1,0 +1,444 @@
+//! The process-wide metric registry.
+//!
+//! Registration (name → metric) goes through a mutex, but that slow path
+//! is hit once per call site: hot paths hold a `&'static` reference to the
+//! metric itself — either obtained once at startup or cached in a
+//! [`LazyCounter`]/[`LazyGauge`]/[`LazyHistogram`] static — so recording
+//! is a single relaxed atomic op with no lock and no hash lookup.
+//!
+//! The global registry is pre-seeded with the full canonical catalog
+//! ([`crate::names::CATALOG`]), so snapshots always enumerate every
+//! pipeline metric (zeros included) and the acceptance test can diff the
+//! name list against `OBSERVABILITY.md` without running every stage.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::metric::{Counter, Gauge};
+
+/// The shape of a metric: what operations it supports and how it encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter,
+    /// Instantaneous level.
+    Gauge,
+    /// Value distribution with percentile read-out.
+    Histogram,
+}
+
+/// Static description of one metric: its name, kind, unit, and help text.
+#[derive(Debug, Clone, Copy)]
+pub struct Descriptor {
+    /// Unique snake_case name (see [`crate::names`] for conventions).
+    pub name: &'static str,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Unit of the recorded values (`ns`, `points`, `sentences`, ...).
+    pub unit: &'static str,
+    /// One-line description for encoders and the handbook.
+    pub help: &'static str,
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Registered {
+    descriptor: Descriptor,
+    metric: Metric,
+}
+
+/// A registry of named metrics. [`MetricsRegistry::global`] is the one the
+/// pipeline uses; fresh instances exist for tests.
+pub struct MetricsRegistry {
+    inner: Mutex<HashMap<&'static str, Registered>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Creates a registry pre-seeded with every metric in `catalog`.
+    #[must_use]
+    pub fn with_catalog(catalog: &[Descriptor]) -> Self {
+        let reg = Self::new();
+        for d in catalog {
+            reg.register(*d);
+        }
+        reg
+    }
+
+    /// The process-wide registry, pre-seeded with the canonical catalog on
+    /// first access.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(|| MetricsRegistry::with_catalog(crate::names::CATALOG))
+    }
+
+    fn register(&self, d: Descriptor) {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        map.entry(d.name).or_insert_with(|| {
+            let metric = match d.kind {
+                MetricKind::Counter => Metric::Counter(Box::leak(Box::new(Counter::new()))),
+                MetricKind::Gauge => Metric::Gauge(Box::leak(Box::new(Gauge::new()))),
+                MetricKind::Histogram => Metric::Histogram(Box::leak(Box::new(Histogram::new()))),
+            };
+            Registered {
+                descriptor: d,
+                metric,
+            }
+        });
+    }
+
+    /// The counter registered under `name`, registering it ad hoc (with an
+    /// empty unit/help) if absent. Panics if `name` is registered with a
+    /// different kind.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        self.ensure(name, MetricKind::Counter);
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        match &map[name].metric {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// The gauge registered under `name` (ad-hoc registered if absent).
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        self.ensure(name, MetricKind::Gauge);
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        match &map[name].metric {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name} is not a gauge"),
+        }
+    }
+
+    /// The histogram registered under `name` (ad-hoc registered if absent).
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        self.ensure(name, MetricKind::Histogram);
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        match &map[name].metric {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    fn ensure(&self, name: &'static str, kind: MetricKind) {
+        {
+            let map = self.inner.lock().expect("metrics registry poisoned");
+            if let Some(r) = map.get(name) {
+                assert!(
+                    r.metric.kind() == kind,
+                    "metric {name} is a {:?}, requested as {kind:?}",
+                    r.metric.kind()
+                );
+                return;
+            }
+        }
+        self.register(Descriptor {
+            name,
+            kind,
+            unit: "",
+            help: "",
+        });
+    }
+
+    /// Names of all registered metrics, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let mut names: Vec<_> = map.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let mut entries: Vec<SnapshotEntry> = map
+            .values()
+            .map(|r| SnapshotEntry {
+                descriptor: r.descriptor,
+                value: match &r.metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        entries.sort_unstable_by_key(|e| e.descriptor.name);
+        Snapshot { entries }
+    }
+}
+
+/// The observed value of one metric at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric in a [`Snapshot`]: its descriptor plus its value.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotEntry {
+    /// The metric's static description.
+    pub descriptor: Descriptor,
+    /// Its value at snapshot time.
+    pub value: MetricValue,
+}
+
+impl SnapshotEntry {
+    /// Whether the metric has recorded anything (nonzero counter/gauge, or
+    /// a histogram with at least one observation).
+    #[must_use]
+    pub fn is_nonzero(&self) -> bool {
+        match self.value {
+            MetricValue::Counter(v) => v != 0,
+            MetricValue::Gauge(v) => v != 0,
+            MetricValue::Histogram(h) => h.count != 0,
+        }
+    }
+}
+
+/// A point-in-time view of a registry, sorted by metric name.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// All metrics, sorted by name.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// The entry for `name`, if registered.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&SnapshotEntry> {
+        self.entries
+            .binary_search_by_key(&name, |e| e.descriptor.name)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// The counter reading for `name`, 0 if absent or not a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name).map(|e| e.value) {
+            Some(MetricValue::Counter(v)) => v,
+            _ => 0,
+        }
+    }
+
+    /// The gauge reading for `name`, 0 if absent or not a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.get(name).map(|e| e.value) {
+            Some(MetricValue::Gauge(v)) => v,
+            _ => 0,
+        }
+    }
+
+    /// The histogram summary for `name`, if present and a histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        match self.get(name).map(|e| e.value) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// A const-constructible handle to a global counter, resolved on first use
+/// and cached so subsequent updates skip the registry entirely.
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// Declares a handle to the global counter `name`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The cached counter reference.
+    #[inline]
+    pub fn get_ref(&self) -> &'static Counter {
+        self.cell
+            .get_or_init(|| MetricsRegistry::global().counter(self.name))
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.get_ref().inc();
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.get_ref().add(n);
+    }
+}
+
+/// A const-constructible handle to a global gauge (see [`LazyCounter`]).
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<&'static Gauge>,
+}
+
+impl LazyGauge {
+    /// Declares a handle to the global gauge `name`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The cached gauge reference.
+    #[inline]
+    pub fn get_ref(&self) -> &'static Gauge {
+        self.cell
+            .get_or_init(|| MetricsRegistry::global().gauge(self.name))
+    }
+
+    /// Sets the gauge level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.get_ref().set(v);
+    }
+
+    /// Adds `delta` to the gauge (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.get_ref().add(delta);
+    }
+}
+
+/// A const-constructible handle to a global histogram (see [`LazyCounter`]).
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// Declares a handle to the global histogram `name`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The cached histogram reference.
+    #[inline]
+    pub fn get_ref(&self) -> &'static Histogram {
+        self.cell
+            .get_or_init(|| MetricsRegistry::global().histogram(self.name))
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.get_ref().record(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_preseeds_every_name() {
+        let reg = MetricsRegistry::with_catalog(crate::names::CATALOG);
+        let names = reg.names();
+        assert_eq!(names.len(), crate::names::CATALOG.len());
+        for d in crate::names::CATALOG {
+            assert!(names.contains(&d.name));
+        }
+    }
+
+    #[test]
+    fn snapshot_reads_back_updates() {
+        let reg = MetricsRegistry::with_catalog(crate::names::CATALOG);
+        reg.counter(crate::names::AIS_SENTENCES).add(7);
+        reg.gauge(crate::names::TRACKER_ACTIVE_VESSELS).set(42);
+        reg.histogram(crate::names::PIPELINE_SLIDE_NS).record(1000);
+        let s = reg.snapshot();
+        assert_eq!(s.counter(crate::names::AIS_SENTENCES), 7);
+        assert_eq!(s.gauge(crate::names::TRACKER_ACTIVE_VESSELS), 42);
+        assert_eq!(
+            s.histogram(crate::names::PIPELINE_SLIDE_NS).unwrap().count,
+            1
+        );
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_searchable() {
+        let reg = MetricsRegistry::with_catalog(crate::names::CATALOG);
+        let s = reg.snapshot();
+        let mut sorted = s.entries.clone();
+        sorted.sort_by_key(|e| e.descriptor.name);
+        assert!(s
+            .entries
+            .iter()
+            .zip(&sorted)
+            .all(|(a, b)| a.descriptor.name == b.descriptor.name));
+        assert!(s.get(crate::names::RTEC_QUERIES).is_some());
+        assert!(s.get("no_such_metric").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "is a Counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::with_catalog(crate::names::CATALOG);
+        let _ = reg.gauge(crate::names::AIS_SENTENCES);
+    }
+
+    #[test]
+    fn lazy_handles_resolve_against_global() {
+        static C: LazyCounter = LazyCounter::new(crate::names::GEO_GRID_LOOKUPS);
+        let before = MetricsRegistry::global()
+            .counter(crate::names::GEO_GRID_LOOKUPS)
+            .get();
+        C.inc();
+        C.add(2);
+        let after = MetricsRegistry::global()
+            .counter(crate::names::GEO_GRID_LOOKUPS)
+            .get();
+        assert_eq!(after - before, 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! RAII stage timers.
+//!
+//! A [`SpanTimer`] starts a clock when constructed and records the elapsed
+//! nanoseconds into a histogram when dropped, so a stage is timed by
+//! holding a guard for its scope:
+//!
+//! ```
+//! let _span = maritime_obs::span!("pipeline_tracking_ns");
+//! // ... stage body; elapsed ns recorded when _span drops ...
+//! ```
+//!
+//! The [`span!`](crate::span!) macro caches the histogram lookup in a hidden static, so
+//! entering a span costs one `Instant::now()` and leaving it costs one
+//! clock read plus one relaxed `fetch_add`. While recording is disabled
+//! the drop still reads the clock but the record is a no-op; use
+//! [`SpanTimer::disabled`]-aware call sites only if that clock read ever
+//! shows up in a profile (it has not — see `obs_overhead` in
+//! `crates/bench`).
+
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// An RAII guard that records its lifetime, in nanoseconds, into a
+/// histogram on drop.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct SpanTimer {
+    start: Instant,
+    sink: Option<&'static Histogram>,
+}
+
+impl SpanTimer {
+    /// Starts a span feeding `sink`.
+    pub fn from_histogram(sink: &'static Histogram) -> Self {
+        Self {
+            start: Instant::now(),
+            sink: Some(sink),
+        }
+    }
+
+    /// Starts a span feeding the global histogram `name`. Prefer the
+    /// [`span!`](crate::span!) macro, which caches the registry lookup.
+    pub fn named(name: &'static str) -> Self {
+        Self::from_histogram(crate::histogram(name))
+    }
+
+    /// A span that records nothing on drop.
+    pub fn disabled() -> Self {
+        Self {
+            start: Instant::now(),
+            sink: None,
+        }
+    }
+
+    /// Nanoseconds elapsed since the span started.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Ends the span now, recording the elapsed time.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink {
+            sink.record(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+/// Opens a [`SpanTimer`] on the named global histogram, caching the
+/// registry lookup in a hidden static so repeated entries are lock-free.
+///
+/// ```
+/// {
+///     let _span = maritime_obs::span!("rtec_query_ns");
+///     // ... timed work ...
+/// } // elapsed ns recorded here
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __OBS_SPAN_SINK: $crate::LazyHistogram = $crate::LazyHistogram::new($name);
+        $crate::SpanTimer::from_histogram(__OBS_SPAN_SINK.get_ref())
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        {
+            let span = SpanTimer::from_histogram(h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            assert!(span.elapsed_ns() >= 1_000_000);
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1_000_000, "recorded {} ns", h.sum());
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let span = SpanTimer::disabled();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(span.elapsed_ns() >= 1_000_000);
+        span.finish(); // nothing to record into; must not panic
+    }
+
+    #[test]
+    fn span_macro_feeds_named_histogram() {
+        let before = crate::snapshot()
+            .histogram(crate::names::TRACKER_SLIDE_NS)
+            .unwrap()
+            .count;
+        {
+            let _span = crate::span!(crate::names::TRACKER_SLIDE_NS);
+        }
+        let after = crate::snapshot()
+            .histogram(crate::names::TRACKER_SLIDE_NS)
+            .unwrap()
+            .count;
+        assert_eq!(after - before, 1);
+    }
+}

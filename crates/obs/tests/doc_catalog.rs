@@ -1,0 +1,62 @@
+//! Keeps `OBSERVABILITY.md` and the metric catalog in lockstep.
+//!
+//! Every metric in [`maritime_obs::names::CATALOG`] must be documented in
+//! the handbook, and every identifier in the handbook that *looks like* a
+//! metric name (stage prefix + snake_case) must exist in the catalog —
+//! so renames, additions, and removals all fail this test until the
+//! handbook is updated.
+
+use std::collections::BTreeSet;
+
+use maritime_obs::names::CATALOG;
+
+const HANDBOOK: &str = include_str!("../../../OBSERVABILITY.md");
+
+const PREFIXES: &[&str] = &[
+    "ais_", "tracker_", "shard_", "stream_", "geo_", "modstore_", "rtec_", "cer_", "pipeline_",
+];
+
+/// Identifier-shaped tokens in the handbook that carry a stage prefix.
+/// Only backticked spans are considered, which is how the handbook cites
+/// metric names; prose mentions stage names ("tracker slides") freely.
+fn documented_names() -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for span in HANDBOOK.split('`').skip(1).step_by(2) {
+        // A cited name may carry a field accessor, e.g. `rtec_query_ns.p99`.
+        let token: String = span
+            .chars()
+            .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_')
+            .collect();
+        if PREFIXES.iter().any(|p| token.starts_with(p)) && token.contains('_') {
+            names.insert(token);
+        }
+    }
+    names
+}
+
+#[test]
+fn every_catalog_metric_is_documented() {
+    let documented = documented_names();
+    let missing: Vec<&str> = CATALOG
+        .iter()
+        .map(|d| d.name)
+        .filter(|n| !documented.contains(*n))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "metrics missing from OBSERVABILITY.md: {missing:?}"
+    );
+}
+
+#[test]
+fn every_documented_metric_exists() {
+    let catalog: BTreeSet<&str> = CATALOG.iter().map(|d| d.name).collect();
+    let phantom: Vec<String> = documented_names()
+        .into_iter()
+        .filter(|n| !catalog.contains(n.as_str()))
+        .collect();
+    assert!(
+        phantom.is_empty(),
+        "OBSERVABILITY.md cites metrics not in the catalog: {phantom:?}"
+    );
+}

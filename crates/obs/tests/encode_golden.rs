@@ -1,0 +1,67 @@
+//! Golden-file test for the snapshot encoders.
+//!
+//! Both encoders promise byte-stable output (entries sorted by name, fixed
+//! field order), so they are diffed verbatim against checked-in fixtures.
+//! If an encoder change is intentional, regenerate the fixtures by running
+//! this test with `OBS_BLESS=1` and commit the diff.
+
+use maritime_obs::{encode, Descriptor, MetricKind, MetricsRegistry};
+
+/// A small registry with one metric of each kind, including values that
+/// exercise histogram bucketing above the exact range.
+fn golden_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::with_catalog(&[
+        Descriptor {
+            name: "ais_positions_total",
+            kind: MetricKind::Counter,
+            unit: "reports",
+            help: "Position reports decoded",
+        },
+        Descriptor {
+            name: "tracker_active_vessels",
+            kind: MetricKind::Gauge,
+            unit: "vessels",
+            help: "Vessels currently tracked",
+        },
+        Descriptor {
+            name: "rtec_query_ns",
+            kind: MetricKind::Histogram,
+            unit: "ns",
+            help: "Wall time per recognition query",
+        },
+    ]);
+    reg.counter("ais_positions_total").add(12_345);
+    reg.gauge("tracker_active_vessels").set(-3);
+    for v in [17u64, 1_000, 65_536, 1_000_000, 123_456_789] {
+        reg.histogram("rtec_query_ns").record(v);
+    }
+    reg
+}
+
+fn check(actual: &str, fixture: &str, golden: &str) {
+    if std::env::var_os("OBS_BLESS").is_some() {
+        let path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, actual).expect("bless fixture");
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "{fixture} drifted; run with OBS_BLESS=1 to regenerate if intentional"
+    );
+}
+
+#[test]
+fn prometheus_text_matches_golden() {
+    let text = encode::prometheus_text(&golden_registry().snapshot());
+    check(
+        &text,
+        "golden.prom",
+        include_str!("fixtures/golden.prom"),
+    );
+}
+
+#[test]
+fn json_matches_golden() {
+    let text = encode::json(&golden_registry().snapshot());
+    check(&text, "golden.json", include_str!("fixtures/golden.json"));
+}

@@ -1,0 +1,59 @@
+//! Property test: histogram percentile read-out brackets the exact
+//! order-statistic within the log-linear design error.
+//!
+//! For any recorded multiset and any quantile q, `value_at_quantile(q)`
+//! must be ≥ the exact q-th order statistic (the walk stops in the bucket
+//! containing it, and reports that bucket's upper bound) and must not
+//! overshoot by more than one bucket width (≤ 1/32 relative) — clamped to
+//! the recorded maximum.
+
+use maritime_obs::Histogram;
+use proptest::prelude::*;
+
+/// Exact order statistic matching the histogram's rank rule:
+/// rank = max(1, ceil(q·n)), 1-based.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn percentiles_bracket_exact_order_statistics(
+        mut values in prop::collection::vec(0u64..=1u64 << 40, 1..200),
+        q in 0.01f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let max = *values.last().unwrap();
+
+        let exact = exact_quantile(&values, q);
+        let got = h.value_at_quantile(q);
+        // Never below the exact statistic...
+        prop_assert!(got >= exact, "q={q}: got {got} < exact {exact}");
+        // ...and at most one bucket above it (1/32 relative + 1 for the
+        // sub-linear lowest octave), clamped to the recorded max.
+        let slack = exact / 32 + 1;
+        prop_assert!(
+            got <= (exact + slack).min(max),
+            "q={q}: got {got} > exact {exact} + slack {slack} (max {max})"
+        );
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact(values in prop::collection::vec(0u64..=1u64 << 40, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+    }
+}

@@ -23,6 +23,7 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
+use maritime_obs::{names, LazyCounter, LazyGauge};
 use maritime_stream::{SlidingWindow, Timestamp, WindowSpec};
 
 use crate::cache::{
@@ -31,6 +32,18 @@ use crate::cache::{
 use crate::description::{EventDescription, FluentDef, Trigger};
 use crate::intervals::IntervalList;
 use crate::view::{ProbeLog, View};
+
+/// Live recognition metrics, summed across every [`Engine`] instance
+/// (e.g. one per spatial band under partitioned recognition); see
+/// `OBSERVABILITY.md`. They surface the incremental strategy's win as a
+/// running ratio: `rtec_cache_replays_total` vs
+/// `rtec_rule_evaluations_total`.
+static OBS_QUERIES: LazyCounter = LazyCounter::new(names::RTEC_QUERIES);
+static OBS_QUERIES_INCREMENTAL: LazyCounter = LazyCounter::new(names::RTEC_QUERIES_INCREMENTAL);
+static OBS_RULE_EVALS: LazyCounter = LazyCounter::new(names::RTEC_RULE_EVALUATIONS);
+static OBS_CACHE_REPLAYS: LazyCounter = LazyCounter::new(names::RTEC_CACHE_REPLAYS);
+static OBS_CACHE_INVALIDATIONS: LazyCounter = LazyCounter::new(names::RTEC_CACHE_INVALIDATIONS);
+static OBS_WORKING_MEMORY: LazyGauge = LazyGauge::new(names::RTEC_WORKING_MEMORY_EVENTS);
 
 /// The result of one recognition query.
 #[derive(Debug, Clone)]
@@ -225,6 +238,10 @@ struct Evaluated<K, D> {
     cache: Option<EngineCache<K, D>>,
     triggers_evaluated: usize,
     triggers_reused: usize,
+    /// Cached entries whose recorded probes were answered differently by
+    /// the new window state, forcing a re-run (a subset of
+    /// `triggers_evaluated`).
+    invalidated: usize,
 }
 
 /// The RTEC engine: static knowledge + event description + working memory.
@@ -338,6 +355,7 @@ where
     /// checkpointed evaluations when the incremental strategy is active
     /// and safe.
     pub fn recognize_at(&mut self, q: Timestamp) -> Recognition<K, D> {
+        let _span = maritime_obs::span!(names::RTEC_QUERY_NS);
         self.window.slide_to(q);
         self.last_query = Some(q);
 
@@ -360,13 +378,19 @@ where
                 self.window.iter().take_while(|(t, _)| *t <= q).collect();
             (self.evaluate(q, &events, cache, want_cache), events.len())
         };
+        OBS_QUERIES.inc();
         if use_cache {
             self.stats.incremental += 1;
+            OBS_QUERIES_INCREMENTAL.inc();
         } else {
             self.stats.full += 1;
         }
         self.stats.triggers_evaluated += evaluated.triggers_evaluated;
         self.stats.triggers_reused += evaluated.triggers_reused;
+        OBS_RULE_EVALS.add(evaluated.triggers_evaluated as u64);
+        OBS_CACHE_REPLAYS.add(evaluated.triggers_reused as u64);
+        OBS_CACHE_INVALIDATIONS.add(evaluated.invalidated as u64);
+        OBS_WORKING_MEMORY.set(working_memory as i64);
         self.stale = false;
         self.cache = evaluated.cache;
 
@@ -489,6 +513,7 @@ where
         let recorder = RefCell::new(ProbeLog::default());
         let mut n_evaluated = 0usize;
         let mut n_reused = 0usize;
+        let mut n_invalidated = 0usize;
 
         let mut old_strata_iter = old_strata.into_iter();
         for stratum in &self.description.fluents {
@@ -542,6 +567,7 @@ where
                 debug_assert_eq!(events[new_idx].0, entry.t, "cached entry misaligned");
                 let entry = if probes_affected(&entry.probes, &changed, &old_computed, &computed) {
                     n_evaluated += 1;
+                    n_invalidated += 1;
                     self.run_point_rules(
                         stratum,
                         &view,
@@ -637,6 +663,7 @@ where
                     let (_, _, e) = old_bounds.next().expect("peeked above");
                     if probes_affected(&e.probes, &changed, &old_computed, &computed) {
                         n_evaluated += 1;
+                        n_invalidated += 1;
                         self.run_point_rules(
                             stratum,
                             &view,
@@ -826,6 +853,7 @@ where
                 debug_assert_eq!(events[new_idx].0, entry.t, "cached entry misaligned");
                 let entry = if probes_affected(&entry.probes, &changed, &old_computed, &computed) {
                     n_evaluated += 1;
+                    n_invalidated += 1;
                     self.run_derived_rules(
                         &view,
                         &recorder,
@@ -868,6 +896,7 @@ where
                     let (_, _, e) = old_bounds.next().expect("peeked above");
                     if probes_affected(&e.probes, &changed, &old_computed, &computed) {
                         n_evaluated += 1;
+                        n_invalidated += 1;
                         self.run_derived_rules(
                             &view,
                             &recorder,
@@ -917,6 +946,7 @@ where
             cache: new_cache,
             triggers_evaluated: n_evaluated,
             triggers_reused: n_reused,
+            invalidated: n_invalidated,
         }
     }
 

@@ -5,8 +5,13 @@
 //! according to window specifications ... the window keeps in pace with the
 //! reported timestamps and not the actual time of each simulation."
 
+use maritime_obs::{names, LazyCounter};
+
 use crate::time::Timestamp;
 use crate::window::WindowSpec;
+
+/// Batches formed across every [`SlideBatches`] instance in the process.
+static OBS_BATCHES: LazyCounter = LazyCounter::new(names::STREAM_BATCHES);
 
 /// Iterator adaptor that cuts a time-sorted stream into batches, one per
 /// window slide: batch *i* holds the items with timestamps in
@@ -64,6 +69,7 @@ impl<T, I: Iterator<Item = (Timestamp, T)>> Iterator for SlideBatches<T, I> {
             }
         }
         self.next_q = q + self.spec.slide;
+        OBS_BATCHES.inc();
         Some(Batch {
             query_time: q,
             items,

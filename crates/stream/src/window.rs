@@ -2,9 +2,15 @@
 
 use std::collections::VecDeque;
 
+use maritime_obs::{names, LazyCounter};
 use serde::{Deserialize, Serialize};
 
 use crate::time::{Duration, Timestamp};
+
+/// Global windowing metrics, aggregated across every [`SlidingWindow`]
+/// instance in the process (see `OBSERVABILITY.md`).
+static OBS_SLIDES: LazyCounter = LazyCounter::new(names::STREAM_WINDOW_SLIDES);
+static OBS_EVICTIONS: LazyCounter = LazyCounter::new(names::STREAM_WINDOW_EVICTIONS);
 
 /// A sliding-window specification: range ω and slide step β (§2).
 ///
@@ -142,6 +148,8 @@ impl<T> SlidingWindow<T> {
                 break;
             }
         }
+        OBS_SLIDES.inc();
+        OBS_EVICTIONS.add(evicted.len() as u64);
         evicted
     }
 

@@ -24,6 +24,7 @@ use std::time::{Duration as StdDuration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use maritime_ais::PositionTuple;
+use maritime_obs::{names, LazyCounter, LazyGauge, LazyHistogram};
 use maritime_stream::{ShardRouter, Timestamp, WindowSpec};
 
 use crate::events::CriticalPoint;
@@ -33,6 +34,15 @@ use crate::window::{SlideReport, WindowedTracker};
 
 /// In-flight slides a shard may buffer before the feeder blocks.
 const COMMAND_BACKLOG: usize = 2;
+
+/// Backpressure and balance metrics for the sharded backend (see
+/// `OBSERVABILITY.md`). The vendored channel exposes no queue length, so
+/// depth is observed from the outside: commands in flight (sent minus
+/// answered) and how long the feeder blocked on a full channel.
+static OBS_BATCHES_ROUTED: LazyCounter = LazyCounter::new(names::SHARD_BATCHES_ROUTED);
+static OBS_INFLIGHT: LazyGauge = LazyGauge::new(names::SHARD_COMMANDS_INFLIGHT);
+static OBS_SEND_WAIT: LazyHistogram = LazyHistogram::new(names::SHARD_SEND_WAIT_NS);
+static OBS_IMBALANCE: LazyGauge = LazyGauge::new(names::SHARD_BATCH_IMBALANCE);
 
 /// Orders critical points canonically: stable sort by `(timestamp, mmsi)`.
 ///
@@ -90,11 +100,20 @@ struct ShardHandle {
 
 impl ShardHandle {
     fn send(&self, cmd: ShardCmd) {
+        let t0 = Instant::now();
         self.cmd_tx
             .as_ref()
             .expect("tracker live")
             .send(cmd)
             .expect("shard worker alive");
+        OBS_SEND_WAIT.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        OBS_INFLIGHT.add(1);
+    }
+
+    fn recv(&self) -> ShardReply {
+        let reply = self.reply_rx.recv().expect("shard worker alive");
+        OBS_INFLIGHT.add(-1);
+        reply
     }
 }
 
@@ -167,6 +186,10 @@ impl ShardedTracker {
         for tuple in batch {
             routed[self.router.route(u64::from(tuple.mmsi.0))].push(*tuple);
         }
+        let largest = routed.iter().map(Vec::len).max().unwrap_or(0);
+        let smallest = routed.iter().map(Vec::len).min().unwrap_or(0);
+        OBS_IMBALANCE.set((largest - smallest) as i64);
+        OBS_BATCHES_ROUTED.add(self.shards.len() as u64);
         for (shard, tuples) in self.shards.iter().zip(routed) {
             shard.send(ShardCmd::Slide { query_time, tuples });
         }
@@ -180,7 +203,7 @@ impl ShardedTracker {
         };
         let mut shard_elapsed = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
-            match shard.reply_rx.recv().expect("shard worker alive") {
+            match shard.recv() {
                 ShardReply::Slide { report, elapsed } => {
                     merged.admitted += report.admitted;
                     merged.window_size += report.window_size;
@@ -209,7 +232,7 @@ impl ShardedTracker {
         let mut final_critical = Vec::new();
         let mut residual = Vec::new();
         for shard in &self.shards {
-            match shard.reply_rx.recv().expect("shard worker alive") {
+            match shard.recv() {
                 ShardReply::Finish {
                     final_critical: f,
                     residual: r,
@@ -235,7 +258,7 @@ impl ShardedTracker {
         }
         let mut total = FleetStats::default();
         for shard in &self.shards {
-            match shard.reply_rx.recv().expect("shard worker alive") {
+            match shard.recv() {
                 ShardReply::Stats(s) => {
                     total.vessels += s.vessels;
                     total.raw += s.raw;

@@ -8,11 +8,17 @@
 use std::collections::HashMap;
 
 use maritime_ais::{Mmsi, PositionTuple};
+use maritime_obs::{names, LazyCounter};
 use maritime_stream::Timestamp;
 
 use crate::events::CriticalPoint;
 use crate::params::TrackerParams;
 use crate::vessel::{VesselStats, VesselTracker};
+
+/// Global tracking metrics (see `OBSERVABILITY.md`). Counters sum exactly
+/// across the MMSI-sharded workers because shards partition the fleet.
+static OBS_INGESTED: LazyCounter = LazyCounter::new(names::TRACKER_POINTS_INGESTED);
+static OBS_CRITICAL: LazyCounter = LazyCounter::new(names::TRACKER_CRITICAL_POINTS);
 
 /// Aggregated counters across the fleet.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -68,8 +74,12 @@ impl MobilityTracker {
 
     /// Processes one positional tuple.
     pub fn process(&mut self, tuple: PositionTuple) -> Vec<CriticalPoint> {
-        self.vessel_mut(tuple.mmsi)
-            .process(tuple.position, tuple.timestamp)
+        OBS_INGESTED.inc();
+        let out = self
+            .vessel_mut(tuple.mmsi)
+            .process(tuple.position, tuple.timestamp);
+        OBS_CRITICAL.add(out.len() as u64);
+        out
     }
 
     /// Processes a time-ordered batch, concatenating all critical points in
@@ -79,9 +89,13 @@ impl MobilityTracker {
         tuples: impl IntoIterator<Item = &'a PositionTuple>,
     ) -> Vec<CriticalPoint> {
         let mut out = Vec::new();
+        let mut admitted = 0u64;
         for t in tuples {
+            admitted += 1;
             out.extend(self.vessel_mut(t.mmsi).process(t.position, t.timestamp));
         }
+        OBS_INGESTED.add(admitted);
+        OBS_CRITICAL.add(out.len() as u64);
         out
     }
 
@@ -98,6 +112,7 @@ impl MobilityTracker {
         for v in vessels {
             out.extend(v.sweep_gap(now));
         }
+        OBS_CRITICAL.add(out.len() as u64);
         out
     }
 
@@ -109,6 +124,7 @@ impl MobilityTracker {
         for v in vessels {
             out.extend(v.finish());
         }
+        OBS_CRITICAL.add(out.len() as u64);
         out
     }
 
@@ -127,6 +143,12 @@ impl MobilityTracker {
             s.stale += stale;
         }
         s
+    }
+
+    /// Number of vessels seen so far (O(1), unlike [`Self::stats`]).
+    #[must_use]
+    pub fn vessel_count(&self) -> usize {
+        self.vessels.len()
     }
 
     /// Access to a single vessel's tracker, if seen.

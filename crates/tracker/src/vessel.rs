@@ -11,9 +11,13 @@ use std::collections::VecDeque;
 
 use maritime_ais::Mmsi;
 use maritime_geo::{haversine_distance_m, signed_angle_diff_deg, GeoPoint};
+use maritime_obs::{names, LazyCounter};
 use maritime_stream::Timestamp;
 
 use crate::events::{Annotation, CriticalPoint};
+
+/// Off-course fixes discarded by the noise filter, fleet-wide.
+static OBS_NOISE_DROPS: LazyCounter = LazyCounter::new(names::TRACKER_NOISE_DROPS);
 use crate::params::TrackerParams;
 use crate::velocity::{mean_speed_knots, VelocityVector};
 
@@ -204,6 +208,7 @@ impl VesselTracker {
         // velocity over the last m positions (§3.1, Figure 2(d)).
         if self.is_outlier(v_now, last.velocity, last.velocity_known) {
             self.stats.outliers += 1;
+            OBS_NOISE_DROPS.inc();
             return out;
         }
 

@@ -8,11 +8,19 @@
 //! staging table on disk").
 
 use maritime_ais::PositionTuple;
+use maritime_obs::{names, LazyCounter, LazyGauge};
 use maritime_stream::{SlidingWindow, Timestamp, WindowSpec};
 
 use crate::events::CriticalPoint;
 use crate::params::TrackerParams;
 use crate::tracker::MobilityTracker;
+
+/// Windowed-tracking metrics (see `OBSERVABILITY.md`). The gauges report
+/// per-tracker levels; under sharding each shard overwrites them in turn,
+/// so they read as "one shard's level" — the counters sum exactly.
+static OBS_EVICTED: LazyCounter = LazyCounter::new(names::TRACKER_EVICTED_POINTS);
+static OBS_WINDOW_POINTS: LazyGauge = LazyGauge::new(names::TRACKER_WINDOW_POINTS);
+static OBS_ACTIVE_VESSELS: LazyGauge = LazyGauge::new(names::TRACKER_ACTIVE_VESSELS);
 
 /// What one window slide produced.
 #[derive(Debug, Clone)]
@@ -34,6 +42,11 @@ pub struct SlideReport {
 pub struct WindowedTracker {
     tracker: MobilityTracker,
     window: SlidingWindow<CriticalPoint>,
+    /// Levels last pushed to the global gauges, so this instance publishes
+    /// *deltas*: the gauges then read as the sum over live instances (one
+    /// per shard), matching the serial tracker's level exactly.
+    obs_window_level: i64,
+    obs_vessel_level: i64,
 }
 
 impl WindowedTracker {
@@ -43,6 +56,8 @@ impl WindowedTracker {
         Self {
             tracker: MobilityTracker::new(params),
             window: SlidingWindow::new(spec),
+            obs_window_level: 0,
+            obs_vessel_level: 0,
         }
     }
 
@@ -52,17 +67,20 @@ impl WindowedTracker {
     /// exceeds ΔT*, not when — if ever — they reappear), and refresh the
     /// window.
     pub fn slide(&mut self, query_time: Timestamp, batch: &[PositionTuple]) -> SlideReport {
+        let _span = maritime_obs::span!(names::TRACKER_SLIDE_NS);
         let mut fresh_critical = self.tracker.process_batch(batch.iter());
         fresh_critical.extend(self.tracker.sweep_gaps(query_time));
         for cp in &fresh_critical {
             self.window.insert(cp.timestamp, *cp);
         }
-        let evicted_delta = self
+        let evicted_delta: Vec<CriticalPoint> = self
             .window
             .slide_to(query_time)
             .into_iter()
             .map(|(_, cp)| cp)
             .collect();
+        OBS_EVICTED.add(evicted_delta.len() as u64);
+        self.publish_levels();
         SlideReport {
             query_time,
             admitted: batch.len(),
@@ -70,6 +88,17 @@ impl WindowedTracker {
             evicted_delta,
             window_size: self.window.len(),
         }
+    }
+
+    /// Pushes this instance's window/vessel levels to the global gauges as
+    /// deltas against what it last published.
+    fn publish_levels(&mut self) {
+        let window = self.window.len() as i64;
+        OBS_WINDOW_POINTS.add(window - self.obs_window_level);
+        self.obs_window_level = window;
+        let vessels = self.tracker.vessel_count() as i64;
+        OBS_ACTIVE_VESSELS.add(vessels - self.obs_vessel_level);
+        self.obs_vessel_level = vessels;
     }
 
     /// Ends the stream: flush open durative states and drain the window.
@@ -92,6 +121,15 @@ impl WindowedTracker {
     #[must_use]
     pub fn window_len(&self) -> usize {
         self.window.len()
+    }
+}
+
+impl Drop for WindowedTracker {
+    fn drop(&mut self) {
+        // Retract this instance's gauge contributions so short-lived
+        // trackers (tests, re-created shards) leave no residue.
+        OBS_WINDOW_POINTS.add(-self.obs_window_level);
+        OBS_ACTIVE_VESSELS.add(-self.obs_vessel_level);
     }
 }
 
