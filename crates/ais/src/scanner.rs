@@ -5,6 +5,7 @@
 //! during transmission (e.g., discard messages with bad checksum). This
 //! constitutes an append-only data stream" (§2).
 
+use maritime_obs::flight::{self, FlightKind};
 use maritime_obs::{names, LazyCounter};
 use maritime_stream::Timestamp;
 
@@ -92,14 +93,20 @@ impl DataScanner {
         OBS_SENTENCES.inc();
         let sentence = match nmea::parse_sentence(line) {
             Ok(s) => s,
-            Err(NmeaError::ChecksumMismatch { .. }) => {
+            Err(e @ NmeaError::ChecksumMismatch { .. }) => {
                 self.stats.bad_checksum += 1;
                 OBS_BAD_CHECKSUM.inc();
+                flight::record(FlightKind::DecodeError, || {
+                    format!("t={} {e}", received_at.as_secs())
+                });
                 return None;
             }
-            Err(_) => {
+            Err(e) => {
                 self.stats.malformed += 1;
                 OBS_MALFORMED.inc();
+                flight::record(FlightKind::DecodeError, || {
+                    format!("t={} {e}", received_at.as_secs())
+                });
                 return None;
             }
         };
@@ -120,7 +127,12 @@ impl DataScanner {
                     OBS_VOYAGE_DECLARATIONS.inc();
                     self.voyages.record(received_at, data);
                 }
-                Err(_) => self.stats.bad_payload += 1,
+                Err(e) => {
+                    self.stats.bad_payload += 1;
+                    flight::record(FlightKind::DecodeError, || {
+                        format!("t={} type-5 payload: {e}", received_at.as_secs())
+                    });
+                }
             }
             return None;
         }
@@ -134,8 +146,11 @@ impl DataScanner {
                 self.stats.bad_position += 1;
                 None
             }
-            Err(_) => {
+            Err(e) => {
                 self.stats.bad_payload += 1;
+                flight::record(FlightKind::DecodeError, || {
+                    format!("t={} payload: {e}", received_at.as_secs())
+                });
                 None
             }
         }

@@ -18,10 +18,12 @@
 //! cargo bench -p maritime-bench --bench obs_overhead
 //! ```
 
+use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use maritime::prelude::*;
 use maritime_bench::{Scale, Workload};
+use maritime_obs::SpanTimer;
 
 /// One full-stream tracking pass; returns critical-point count so the
 /// work cannot be optimized away.
@@ -85,4 +87,45 @@ fn main() {
         (ratio - 1.0) * 100.0
     );
     println!("  OK: disabled path within 1% of enabled");
+
+    disabled_span_guard();
+}
+
+/// Guard: `SpanTimer::disabled()` must never touch the clock. A live span
+/// pays two `Instant::now()` calls (construction and drop); the disabled
+/// constructor carries no `Instant` at all, so a construct+finish cycle
+/// must be decisively cheaper than a live one — not merely "within 1%".
+fn disabled_span_guard() {
+    const SPANS: usize = 1_000_000;
+    const TRIALS: usize = 9;
+    let sink = maritime_obs::histogram("bench_span_guard_ns");
+
+    let mut live = Duration::MAX;
+    let mut dead = Duration::MAX;
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        for _ in 0..SPANS {
+            black_box(SpanTimer::from_histogram(sink)).finish();
+        }
+        live = live.min(t0.elapsed());
+
+        let t0 = Instant::now();
+        for _ in 0..SPANS {
+            black_box(SpanTimer::disabled()).finish();
+        }
+        dead = dead.min(t0.elapsed());
+    }
+
+    let ratio = dead.as_secs_f64() / live.as_secs_f64();
+    println!(
+        "disabled-span guard: {SPANS} spans, min-of-{TRIALS}\n  live span : {live:>10.3?}\n  \
+         disabled  : {dead:>10.3?}\n  disabled/live ratio: {ratio:.4}"
+    );
+    assert!(
+        ratio <= 0.5,
+        "a disabled span costs {:.0}% of a live one — it is reading the \
+         clock again (expected the branch-only fast path, < 50%)",
+        ratio * 100.0
+    );
+    println!("  OK: disabled span skips the clock entirely");
 }

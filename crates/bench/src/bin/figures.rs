@@ -49,6 +49,9 @@ fn main() {
     };
 
     std::fs::create_dir_all("bench-results").ok();
+    // Record every stage span on the Chrome-trace timeline so the run
+    // ships with a Perfetto-loadable profile of itself.
+    maritime_obs::chrome::install();
     println!("building workload at {scale:?} scale ...");
     let t = Instant::now();
     let workload = Workload::build(scale);
@@ -85,6 +88,23 @@ fn main() {
         eprintln!("  (could not write {path}: {e})");
     } else {
         println!("metrics registry snapshot written to {path}");
+    }
+
+    // Stage-span timeline of the whole run, Chrome Trace Event format.
+    let path = "bench-results/trace.json";
+    if let Err(e) = std::fs::write(path, maritime_obs::chrome::export_json()) {
+        eprintln!("  (could not write {path}: {e})");
+    } else {
+        println!("Chrome-trace timeline written to {path} (load in Perfetto)");
+    }
+
+    // Forced flight-recorder dump: exercises the anomaly-dump path on
+    // every figures run so the artifact is always available from CI.
+    let path = std::path::Path::new("bench-results/flight-dump.json");
+    if let Err(e) = maritime_obs::flight::dump_to(path, "figures-forced") {
+        eprintln!("  (could not write {}: {e})", path.display());
+    } else {
+        println!("flight recorder dumped to {}", path.display());
     }
 }
 

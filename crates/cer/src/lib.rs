@@ -30,6 +30,7 @@ pub mod fluents;
 pub mod input;
 pub mod knowledge;
 pub mod partition;
+pub mod provenance;
 pub mod recognizer;
 pub mod spatial;
 
@@ -38,5 +39,6 @@ pub use fluents::{Alert, AlertKind, FluentKey};
 pub use input::{InputEvent, InputKind};
 pub use knowledge::{Knowledge, SpatialMode, VesselInfo};
 pub use partition::{GeoPartitioner, PartitionedRecognizer};
+pub use provenance::{alert_id, build_chains, render_proof_tree, visit_input_leaves, CeChain, ChainNode};
 pub use maritime_rtec::{EvalStrategy, IncrementalStats};
 pub use recognizer::{MaritimeRecognizer, RecognitionSummary};

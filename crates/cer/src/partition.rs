@@ -317,6 +317,27 @@ impl PartitionedRecognizer {
         }
     }
 
+    /// Turns per-CE provenance capture on or off in every band. Bands
+    /// own disjoint areas and vessels-in-areas, so the union of per-band
+    /// chains is the partitioned run's full chain set.
+    pub fn set_provenance(&mut self, on: bool) {
+        for r in &mut self.recognizers {
+            r.set_provenance(on);
+        }
+    }
+
+    /// Takes the chains assembled by the most recent traced query,
+    /// merged across bands and sorted by id.
+    pub fn take_chains(&mut self) -> Vec<crate::provenance::CeChain> {
+        let mut chains: Vec<_> = self
+            .recognizers
+            .iter_mut()
+            .flat_map(MaritimeRecognizer::take_chains)
+            .collect();
+        chains.sort_by(|a, b| a.id.cmp(&b.id));
+        chains
+    }
+
     /// Runs one query on every band concurrently and merges the results
     /// into a single summary: per-area CE intervals concatenate (bands own
     /// disjoint areas), alerts interleave into time order, and counts sum.

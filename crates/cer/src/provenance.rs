@@ -1,0 +1,380 @@
+//! CE provenance chains and proof trees.
+//!
+//! Turns the engine's raw rule-firing log
+//! ([`ProvenanceLog`]) into per-CE
+//! **derivation chains**: for each recognized complex event — a
+//! `suspicious`/`illegalFishing` interval or an instantaneous alert — a
+//! compact, serializable tree tracing the emission back through every
+//! contributing fluent point to the input events (and, once the pipeline
+//! attaches them, the source AIS sentence ids) that caused it. The
+//! answer to an operator's "why did this alert fire?" is
+//! [`render_proof_tree`], printed by `surveil explain <ce-id>`.
+//!
+//! Chain identifiers are stable across queries —
+//! `suspicious/area0@400`, `illegalShipping/v227/area0@700` — so a CE
+//! re-derived by successive overlapping windows keeps one identity, and
+//! a dumped chain file can be indexed by id.
+
+use maritime_rtec::{ProvFire, ProvTrigger, ProvenanceLog, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::fluents::{Alert, AlertKind, FluentKey};
+use crate::input::InputEvent;
+use crate::recognizer::RecognitionSummary;
+
+/// Hard cap on proof-tree depth. Stratification bounds real chains at a
+/// handful of levels; the cap only guards against a future description
+/// accidentally introducing mutual recursion.
+const MAX_DEPTH: usize = 16;
+
+/// One node of a derivation tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainNode {
+    /// Human-readable description of this step.
+    pub label: String,
+    /// Node category: `"initiation"`, `"termination"`, `"fire"` (a rule
+    /// firing), or `"input"` (a leaf input event).
+    pub kind: String,
+    /// Timestamp of the step (seconds).
+    pub at: i64,
+    /// The rule that fired, rendered (`"initiatedAt(suspicious, rule 0)"`),
+    /// for `"fire"` nodes.
+    pub rule: Option<String>,
+    /// The vessel an `"input"` leaf belongs to.
+    pub mmsi: Option<u32>,
+    /// Source AIS sentence ids of an `"input"` leaf. Empty until the
+    /// pipeline's sentence index attaches them.
+    pub sentences: Vec<u64>,
+    /// Sub-derivations.
+    pub children: Vec<ChainNode>,
+}
+
+/// The derivation chain of one recognized complex event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CeChain {
+    /// Stable identifier, e.g. `suspicious/area0@400`.
+    pub id: String,
+    /// The CE, rendered (`"suspicious(area 0)"`).
+    pub ce: String,
+    /// When the CE interval started, or when the alert fired.
+    pub since: i64,
+    /// When the CE interval ended (`None`: ongoing, or an alert).
+    pub until: Option<i64>,
+    /// Query time the chain was assembled at.
+    pub query_time: i64,
+    /// Derivation roots: the initiation (and termination, if closed) of
+    /// an interval CE, or the emission of an alert.
+    pub derivation: Vec<ChainNode>,
+}
+
+fn render_key(key: &FluentKey) -> String {
+    match key {
+        FluentKey::Stopped(m) => format!("stopped(v{})", m.0),
+        FluentKey::SlowMotion(m) => format!("slowMotion(v{})", m.0),
+        FluentKey::StoppedNear(m, a) => format!("stoppedNear(v{}, area {})", m.0, a.0),
+        FluentKey::FishingNear(m, a) => format!("fishingNear(v{}, area {})", m.0, a.0),
+        FluentKey::Suspicious(a) => format!("suspicious(area {})", a.0),
+        FluentKey::IllegalFishing(a) => format!("illegalFishing(area {})", a.0),
+    }
+}
+
+fn render_input(e: &InputEvent) -> String {
+    format!(
+        "{:?} by v{} at ({:.3}, {:.3})",
+        e.kind, e.mmsi.0, e.position.lon, e.position.lat
+    )
+}
+
+fn alert_event_name(kind: AlertKind) -> &'static str {
+    match kind {
+        AlertKind::IllegalShipping => "illegalShipping",
+        AlertKind::DangerousShipping => "dangerousShipping",
+    }
+}
+
+/// The vessel a trigger concerns, for matching emissions to alerts.
+fn trigger_mmsi(trigger: &ProvTrigger<InputEvent, FluentKey>) -> Option<u32> {
+    match trigger {
+        ProvTrigger::Input(e) => Some(e.mmsi.0),
+        ProvTrigger::Start(k) | ProvTrigger::End(k) => match k {
+            FluentKey::Stopped(m)
+            | FluentKey::SlowMotion(m)
+            | FluentKey::StoppedNear(m, _)
+            | FluentKey::FishingNear(m, _) => Some(m.0),
+            FluentKey::Suspicious(_) | FluentKey::IllegalFishing(_) => None,
+        },
+    }
+}
+
+/// A leaf node for one input event.
+fn input_node(e: &InputEvent, t: Timestamp) -> ChainNode {
+    ChainNode {
+        label: render_input(e),
+        kind: "input".to_string(),
+        at: t.0,
+        rule: None,
+        mmsi: Some(e.mmsi.0),
+        sentences: Vec::new(),
+        children: Vec::new(),
+    }
+}
+
+/// A node for one rule firing, recursing into the trigger's own
+/// derivation.
+fn fire_node(
+    fire: &ProvFire<InputEvent, FluentKey>,
+    t: Timestamp,
+    prov: &ProvenanceLog<InputEvent, FluentKey>,
+    depth: usize,
+) -> ChainNode {
+    let (label, children) = match &fire.trigger {
+        ProvTrigger::Input(e) => (
+            format!("on input {}", render_input(e)),
+            vec![input_node(e, t)],
+        ),
+        ProvTrigger::Start(k) => (
+            format!("on start({})", render_key(k)),
+            vec![point_node(false, k, t, prov, depth + 1)],
+        ),
+        ProvTrigger::End(k) => (
+            format!("on end({})", render_key(k)),
+            vec![point_node(true, k, t, prov, depth + 1)],
+        ),
+    };
+    ChainNode {
+        label,
+        kind: "fire".to_string(),
+        at: t.0,
+        rule: Some(fire.rule.to_string()),
+        mmsi: None,
+        sentences: Vec::new(),
+        children,
+    }
+}
+
+/// A node for one fluent point (initiation or termination), with one
+/// child per rule firing that produced it.
+fn point_node(
+    is_termination: bool,
+    key: &FluentKey,
+    t: Timestamp,
+    prov: &ProvenanceLog<InputEvent, FluentKey>,
+    depth: usize,
+) -> ChainNode {
+    let (verb, kind) = if is_termination {
+        ("terminated", "termination")
+    } else {
+        ("initiated", "initiation")
+    };
+    let fires = if is_termination {
+        prov.terminated_by(key, t)
+    } else {
+        prov.initiated_by(key, t)
+    };
+    let children = if depth >= MAX_DEPTH {
+        Vec::new()
+    } else {
+        fires.iter().map(|f| fire_node(f, t, prov, depth)).collect()
+    };
+    ChainNode {
+        label: format!("{}({}) @ {}", verb, render_key(key), t.0),
+        kind: kind.to_string(),
+        at: t.0,
+        rule: None,
+        mmsi: None,
+        sentences: Vec::new(),
+        children,
+    }
+}
+
+/// Assembles one chain per complex event in `summary` from the traced
+/// query's provenance log. Chains come out sorted by id.
+#[must_use]
+pub fn build_chains(
+    summary: &RecognitionSummary,
+    prov: &ProvenanceLog<InputEvent, FluentKey>,
+) -> Vec<CeChain> {
+    let mut chains = Vec::new();
+    type KeyCtor = fn(maritime_geo::AreaId) -> FluentKey;
+    let interval_ces: [(&str, &Vec<_>, KeyCtor); 2] = [
+        ("suspicious", &summary.suspicious, FluentKey::Suspicious),
+        ("illegalFishing", &summary.illegal_fishing, FluentKey::IllegalFishing),
+    ];
+    for (name, per_area, to_key) in interval_ces {
+        for (area, il) in per_area.iter() {
+            let key = to_key(*area);
+            for iv in il.intervals() {
+                let mut derivation = vec![point_node(false, &key, iv.since, prov, 0)];
+                if let Some(u) = iv.until {
+                    derivation.push(point_node(true, &key, u, prov, 0));
+                }
+                chains.push(CeChain {
+                    id: format!("{name}/area{}@{}", area.0, iv.since.0),
+                    ce: format!("{name}(area {})", area.0),
+                    since: iv.since.0,
+                    until: iv.until.map(|u| u.0),
+                    query_time: summary.query_time.0,
+                    derivation,
+                });
+            }
+        }
+    }
+    for (t, alert) in &summary.alerts {
+        let name = alert_event_name(alert.kind);
+        let derivation: Vec<ChainNode> = prov
+            .emissions
+            .iter()
+            .filter(|em| {
+                em.t == *t
+                    && em.fire.rule.name == name
+                    && trigger_mmsi(&em.fire.trigger)
+                        .is_none_or(|m| m == alert.vessel.0)
+            })
+            .map(|em| fire_node(&em.fire, em.t, prov, 0))
+            .collect();
+        chains.push(CeChain {
+            id: alert_id(*t, alert),
+            ce: format!("{name}(v{}, area {})", alert.vessel.0, alert.area.0),
+            since: t.0,
+            until: None,
+            query_time: summary.query_time.0,
+            derivation,
+        });
+    }
+    chains.sort_by(|a, b| a.id.cmp(&b.id));
+    chains.dedup_by(|a, b| a.id == b.id);
+    chains
+}
+
+/// The stable chain id of an instantaneous alert.
+#[must_use]
+pub fn alert_id(t: Timestamp, alert: &Alert) -> String {
+    format!(
+        "{}/v{}/area{}@{}",
+        alert_event_name(alert.kind),
+        alert.vessel.0,
+        alert.area.0,
+        t.0
+    )
+}
+
+/// Renders a chain as a human-readable proof tree.
+#[must_use]
+pub fn render_proof_tree(chain: &CeChain) -> String {
+    let mut out = String::new();
+    let held = match chain.until {
+        Some(u) => format!("held [{}, {})", chain.since, u),
+        None if chain.derivation.iter().any(|n| n.kind == "fire") => {
+            format!("fired @ {}", chain.since)
+        }
+        None => format!("held [{}, ...) — ongoing", chain.since),
+    };
+    out.push_str(&format!("{} — {}  [{}]\n", chain.ce, held, chain.id));
+    let n = chain.derivation.len();
+    for (i, node) in chain.derivation.iter().enumerate() {
+        render_node(node, "", i + 1 == n, &mut out);
+    }
+    out
+}
+
+fn render_node(node: &ChainNode, prefix: &str, last: bool, out: &mut String) {
+    let branch = if last { "└─ " } else { "├─ " };
+    out.push_str(prefix);
+    out.push_str(branch);
+    out.push_str(&node.label);
+    if let Some(rule) = &node.rule {
+        out.push_str(&format!("  [{rule}]"));
+    }
+    if node.kind == "input" {
+        if node.sentences.is_empty() {
+            out.push_str("  (no source sentences indexed)");
+        } else {
+            let ids: Vec<String> = node.sentences.iter().map(u64::to_string).collect();
+            out.push_str(&format!("  (AIS sentences {})", ids.join(", ")));
+        }
+    }
+    out.push('\n');
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    let n = node.children.len();
+    for (i, child) in node.children.iter().enumerate() {
+        render_node(child, &child_prefix, i + 1 == n, out);
+    }
+}
+
+/// Walks a chain's trees depth-first, visiting every `"input"` leaf
+/// mutably — the pipeline uses this to attach source sentence ids.
+pub fn visit_input_leaves(chain: &mut CeChain, f: &mut impl FnMut(&mut ChainNode)) {
+    fn walk(node: &mut ChainNode, f: &mut impl FnMut(&mut ChainNode)) {
+        if node.kind == "input" {
+            f(node);
+        }
+        for child in &mut node.children {
+            walk(child, f);
+        }
+    }
+    for root in &mut chain.derivation {
+        walk(root, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proof_tree_renders_nested_branches() {
+        let chain = CeChain {
+            id: "suspicious/area0@400".into(),
+            ce: "suspicious(area 0)".into(),
+            since: 400,
+            until: Some(1_000),
+            query_time: 3_600,
+            derivation: vec![ChainNode {
+                label: "initiated(suspicious(area 0)) @ 400".into(),
+                kind: "initiation".into(),
+                at: 400,
+                rule: None,
+                mmsi: None,
+                sentences: vec![],
+                children: vec![ChainNode {
+                    label: "on start(stoppedNear(v103, area 0))".into(),
+                    kind: "fire".into(),
+                    at: 400,
+                    rule: Some("initiatedAt(suspicious, rule 0)".into()),
+                    mmsi: None,
+                    sentences: vec![],
+                    children: vec![ChainNode {
+                        label: "StopStart by v103 at (24.100, 37.100)".into(),
+                        kind: "input".into(),
+                        at: 400,
+                        rule: None,
+                        mmsi: Some(103),
+                        sentences: vec![17, 18],
+                        children: vec![],
+                    }],
+                }],
+            }],
+        };
+        let tree = render_proof_tree(&chain);
+        assert!(tree.contains("suspicious(area 0) — held [400, 1000)"));
+        assert!(tree.contains("└─ initiated(suspicious(area 0)) @ 400"));
+        assert!(tree.contains("   └─ on start(stoppedNear(v103, area 0))"));
+        assert!(tree.contains("[initiatedAt(suspicious, rule 0)]"));
+        assert!(tree.contains("(AIS sentences 17, 18)"));
+    }
+
+    #[test]
+    fn chains_serialize_roundtrip() {
+        let chain = CeChain {
+            id: "illegalShipping/v105/area0@700".into(),
+            ce: "illegalShipping(v105, area 0)".into(),
+            since: 700,
+            until: None,
+            query_time: 3_600,
+            derivation: vec![],
+        };
+        let json = serde_json::to_string(&chain).unwrap();
+        let back: CeChain = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, chain);
+    }
+}

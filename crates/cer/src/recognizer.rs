@@ -11,6 +11,7 @@ use maritime_tracker::CriticalPoint;
 use crate::fluents::{maritime_description, Alert, FluentKey};
 use crate::input::InputEvent;
 use crate::knowledge::Knowledge;
+use crate::provenance::{build_chains, CeChain};
 
 /// Recognition metrics (see `OBSERVABILITY.md`). Under partitioned
 /// recognition every band recognizer feeds the same counters; bands own
@@ -19,6 +20,7 @@ use crate::knowledge::Knowledge;
 static OBS_INPUT_EVENTS: LazyCounter = LazyCounter::new(names::CER_INPUT_EVENTS);
 static OBS_CE_RECOGNIZED: LazyCounter = LazyCounter::new(names::CER_CE_RECOGNIZED);
 static OBS_ALERTS: LazyCounter = LazyCounter::new(names::CER_ALERTS);
+static OBS_CHAINS: LazyCounter = LazyCounter::new(names::TRACE_PROVENANCE_CHAINS);
 
 /// Summary of one recognition query, for reporting and the Figure 11
 /// experiments (which count recognized CEs per window).
@@ -72,6 +74,8 @@ pub struct RecognitionSummary {
 /// ```
 pub struct MaritimeRecognizer {
     engine: Engine<Knowledge, InputEvent, FluentKey, Alert>,
+    /// Chains assembled by the most recent traced query.
+    chains: Vec<CeChain>,
 }
 
 impl MaritimeRecognizer {
@@ -87,7 +91,32 @@ impl MaritimeRecognizer {
     pub fn with_strategy(knowledge: Knowledge, spec: WindowSpec, strategy: EvalStrategy) -> Self {
         Self {
             engine: Engine::new(knowledge, maritime_description(), spec).with_strategy(strategy),
+            chains: Vec::new(),
         }
+    }
+
+    /// Turns per-CE provenance capture on or off. While on, each
+    /// [`recognize_and_summarize`](Self::recognize_and_summarize) call
+    /// additionally assembles one derivation chain per recognized CE
+    /// ([`Self::take_chains`]), and the engine evaluates from scratch
+    /// (the incremental replay path never re-runs rules, so there is
+    /// nothing to trace on it).
+    pub fn set_provenance(&mut self, on: bool) {
+        self.engine.set_provenance(on);
+        if !on {
+            self.chains.clear();
+        }
+    }
+
+    /// Whether provenance capture is on.
+    #[must_use]
+    pub fn provenance_enabled(&self) -> bool {
+        self.engine.provenance_enabled()
+    }
+
+    /// Takes the chains assembled by the most recent traced query.
+    pub fn take_chains(&mut self) -> Vec<CeChain> {
+        std::mem::take(&mut self.chains)
     }
 
     /// How queries have been evaluated so far (delta path vs. full
@@ -127,12 +156,17 @@ impl MaritimeRecognizer {
         self.engine.recognize_at(q)
     }
 
-    /// Runs recognition and summarizes the complex events.
+    /// Runs recognition and summarizes the complex events. With
+    /// provenance on, also rebuilds the per-CE chains.
     pub fn recognize_and_summarize(&mut self, q: Timestamp) -> RecognitionSummary {
         let recognition = self.recognize_at(q);
         let summary = summarize(&recognition);
         OBS_CE_RECOGNIZED.add(summary.ce_count as u64);
         OBS_ALERTS.add(summary.alerts.len() as u64);
+        if let Some(prov) = self.engine.take_provenance() {
+            self.chains = build_chains(&summary, &prov);
+            OBS_CHAINS.add(self.chains.len() as u64);
+        }
         summary
     }
 }
@@ -203,6 +237,7 @@ mod tests {
     use super::*;
     use crate::fluents::AlertKind;
     use crate::input::InputKind;
+    use crate::provenance::visit_input_leaves;
     use crate::knowledge::VesselInfo;
     use maritime_geo::{Area, AreaKind, GeoPoint, Polygon};
     use maritime_rtec::Duration;
@@ -433,6 +468,45 @@ mod tests {
         let s = r.recognize_and_summarize(t(100 + 6 * 3_600 + 10));
         assert!(s.suspicious.is_empty());
         assert_eq!(s.working_memory, 0);
+    }
+
+    #[test]
+    fn traced_query_yields_suspicious_chain_with_input_leaves() {
+        let mut r = recognizer();
+        r.set_provenance(true);
+        for i in 0..4u32 {
+            r.add_events(vec![(
+                t(100 + i64::from(i)),
+                ev(100 + i, InputKind::StopStart, 24.1, 37.1),
+            )]);
+        }
+        r.add_events(vec![(t(700), ev(105, InputKind::GapStart, 24.1, 37.1))]);
+        let s = r.recognize_and_summarize(t(3_600));
+        assert_eq!(s.ce_count, 2);
+
+        let chains = r.take_chains();
+        assert_eq!(chains.len(), 2, "one chain per CE: {chains:#?}");
+        let susp = chains
+            .iter()
+            .find(|c| c.ce.starts_with("suspicious"))
+            .expect("suspicious chain");
+        assert_eq!(susp.since, 103, "since = fourth vessel's stop");
+        // The derivation must bottom out in raw input events.
+        let mut leaves = 0;
+        let mut susp = susp.clone();
+        visit_input_leaves(&mut susp, &mut |_| leaves += 1);
+        assert!(leaves >= 1, "no input leaves in {susp:#?}");
+        // The alert chain names the gapped vessel.
+        let alert = chains
+            .iter()
+            .find(|c| c.ce.starts_with("illegalShipping"))
+            .expect("illegalShipping chain");
+        assert!(alert.id.contains("v105"), "{}", alert.id);
+
+        // take_chains is destructive; disabling tracing clears state.
+        assert!(r.take_chains().is_empty());
+        r.set_provenance(false);
+        assert!(!r.provenance_enabled());
     }
 
     #[test]

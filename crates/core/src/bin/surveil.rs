@@ -6,12 +6,22 @@
 //! surveil --demo 60 24 --shards 4      # shard the tracker over 4 workers
 //! surveil --demo 60 24 --kml out.kml --archive trips.json --audit
 //! surveil --demo 60 24 --metrics-json m.json --metrics-every 12
+//! surveil --demo 60 24 --trace         # provenance chains -> ce-chains.json
+//! surveil explain 'suspicious/area3@7200'   # proof tree for one CE
+//! surveil --demo 60 24 --trace-out trace.json --flight-dump flight.json
 //! ```
 //!
 //! Log format: one message per line, `<epoch-seconds> <!AIVDM sentence>`.
 //! Corrupt lines are discarded by the data scanner exactly as in the
 //! paper's §2; type-5 voyage declarations are collected for the
 //! declared-vs-derived destination audit (`--audit`).
+//!
+//! Tracing (see `OBSERVABILITY.md`): `--trace`/`--trace-ce` capture a
+//! derivation chain per recognized CE and write them as JSON for
+//! `surveil explain`; `--trace-out` records per-stage timeline spans in
+//! Chrome Trace Event format (load in Perfetto or `chrome://tracing`);
+//! `--flight-dump` writes the flight recorder's recent-event ring on
+//! exit and arms it to dump on anomalies (deadline overruns, panics).
 
 use std::io::BufRead;
 
@@ -21,7 +31,11 @@ use maritime_ais::voyage::encode_static_voyage;
 use maritime_ais::StaticVoyageData;
 use maritime_geo::kml::KmlWriter;
 use maritime_modstore::audit_destinations;
+use maritime_obs::flight;
 use maritime_tracker::synopsis::per_vessel_synopses;
+
+/// Default path `--trace` writes chains to and `explain` reads from.
+const DEFAULT_CHAINS_PATH: &str = "ce-chains.json";
 
 struct Options {
     demo: Option<(usize, i64)>,
@@ -37,6 +51,10 @@ struct Options {
     metrics_prom: Option<String>,
     metrics_every: Option<usize>,
     no_metrics: bool,
+    trace_ce: Option<String>,
+    trace_out: Option<String>,
+    flight_dump: Option<String>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_args() -> Options {
@@ -54,8 +72,15 @@ fn parse_args() -> Options {
         metrics_prom: None,
         metrics_every: None,
         no_metrics: false,
+        trace_ce: None,
+        trace_out: None,
+        flight_dump: None,
+        deadline_ms: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("explain") {
+        cmd_explain(&args[1..]);
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -80,6 +105,19 @@ fn parse_args() -> Options {
                     }));
             }
             "--no-metrics" => opts.no_metrics = true,
+            "--trace" => {
+                opts.trace_ce.get_or_insert_with(|| DEFAULT_CHAINS_PATH.to_string());
+            }
+            "--trace-ce" => opts.trace_ce = it.next().cloned(),
+            "--trace-out" => opts.trace_out = it.next().cloned(),
+            "--flight-dump" => opts.flight_dump = it.next().cloned(),
+            "--deadline-ms" => {
+                opts.deadline_ms =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--deadline-ms needs a positive millisecond count");
+                        std::process::exit(2);
+                    }));
+            }
             "--shards" => {
                 opts.shards = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--shards needs a positive integer");
@@ -98,7 +136,10 @@ fn parse_args() -> Options {
                      [--shards N] [--bands N] [--incremental] [--kml FILE] \
                      [--archive FILE] [--dump-log FILE] [--audit] \
                      [--metrics-json FILE] [--metrics-prom FILE] \
-                     [--metrics-every N-SLIDES] [--no-metrics]"
+                     [--metrics-every N-SLIDES] [--no-metrics] \
+                     [--trace | --trace-ce FILE] [--trace-out FILE] \
+                     [--flight-dump FILE] [--deadline-ms N]\n       \
+                     surveil explain [CE-ID] [--chains FILE]"
                 );
                 std::process::exit(0);
             }
@@ -112,6 +153,59 @@ fn parse_args() -> Options {
         opts.demo = Some((60, 24));
     }
     opts
+}
+
+/// `surveil explain [CE-ID] [--chains FILE]`: renders the proof tree of
+/// one traced CE (or lists the available ids) from a chain file written
+/// by a `--trace` run.
+fn cmd_explain(args: &[String]) -> ! {
+    let mut id: Option<String> = None;
+    let mut path = DEFAULT_CHAINS_PATH.to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chains" => {
+                path = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--chains needs a file path");
+                    std::process::exit(2);
+                });
+            }
+            other if !other.starts_with('-') && id.is_none() => id = Some(other.to_string()),
+            other => {
+                eprintln!("explain: unexpected argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e} (produce it with `surveil --trace`)");
+        std::process::exit(1);
+    });
+    let log = TraceLog::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("{path} is not a chain file: {e}");
+        std::process::exit(1);
+    });
+    match id {
+        Some(id) => match log.get(&id) {
+            Some(chain) => {
+                print!("{}", render_proof_tree(chain));
+                std::process::exit(0);
+            }
+            None => {
+                eprintln!("no CE with id {id:?} in {path}; traced ids:");
+                for known in log.ids() {
+                    eprintln!("  {known}");
+                }
+                std::process::exit(1);
+            }
+        },
+        None => {
+            for known in log.ids() {
+                println!("{known}");
+            }
+            std::process::exit(0);
+        }
+    }
 }
 
 /// Builds a demo NMEA log: the synthetic fleet's position reports plus a
@@ -202,6 +296,16 @@ fn main() {
     // Flip the switch before NMEA decoding so the ais_* counters honor
     // the opt-out too; the pipeline constructor re-applies it from config.
     maritime_obs::set_enabled(!opts.no_metrics);
+    // A panic mid-run records a flight event and, when a dump is armed,
+    // writes the ring before the process dies.
+    flight::install_panic_hook();
+    if let Some(path) = &opts.flight_dump {
+        flight::arm_dump(path);
+    }
+    if opts.trace_out.is_some() {
+        // Install before any work so every stage span lands on the timeline.
+        maritime_obs::chrome::install();
+    }
 
     let (lines, sim) = match (&opts.demo, &opts.input) {
         (Some((v, h)), _) => {
@@ -271,6 +375,12 @@ fn main() {
         } else {
             MetricsMode::On
         },
+        trace: if opts.trace_ce.is_some() {
+            TraceMode::Full
+        } else {
+            TraceMode::Off
+        },
+        recognition_deadline_ms: opts.deadline_ms,
         ..SurveillanceConfig::default()
     };
     if let Err(e) = config.validate() {
@@ -286,11 +396,20 @@ fn main() {
     if opts.incremental {
         eprintln!("recognition: checkpointed incremental evaluation");
     }
+    if opts.trace_ce.is_some() {
+        eprintln!("tracing: per-CE provenance chains (forces from-scratch evaluation)");
+    }
     let mut pipeline =
         SurveillancePipeline::new(&config, vessels, areas.clone()).expect("validated config");
     let mut slides_seen = 0usize;
+    let mut last_query_secs = 0i64;
+    let mut trace_log = TraceLog::new();
     let report = pipeline.run_with_observer(tuples, |outcome| {
         slides_seen += 1;
+        last_query_secs = outcome.query_time.as_secs();
+        if !outcome.chains.is_empty() {
+            trace_log.record(outcome.chains.clone());
+        }
         if let Some(every) = opts.metrics_every {
             if every > 0 && slides_seen.is_multiple_of(every) {
                 eprintln!(
@@ -300,6 +419,11 @@ fn main() {
             }
         }
     });
+    // Final flush: the last partial period would otherwise never be
+    // reported, leaving the stderr log short of the run's end state.
+    if opts.metrics_every.is_some_and(|every| every > 0) {
+        eprintln!("metrics (final): {}", metrics_summary_line(last_query_secs));
+    }
 
     println!("=== surveil run report ===");
     println!("raw positions ........ {}", report.raw_positions);
@@ -370,5 +494,28 @@ fn main() {
                 .expect("write metrics exposition");
             eprintln!("metrics snapshot (Prometheus text) written to {path}");
         }
+    }
+
+    if let Some(path) = &opts.trace_ce {
+        std::fs::write(path, trace_log.to_json()).expect("write provenance chains");
+        eprintln!(
+            "{} provenance chain(s) written to {path}; inspect with `surveil explain <ce-id> \
+             --chains {path}`",
+            trace_log.len()
+        );
+    }
+
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, maritime_obs::chrome::export_json()).expect("write Chrome trace");
+        let dropped = maritime_obs::chrome::dropped();
+        if dropped > 0 {
+            eprintln!("timeline: {dropped} span(s) dropped past the ring capacity");
+        }
+        eprintln!("Chrome-trace timeline written to {path} (load in Perfetto)");
+    }
+
+    if let Some(path) = &opts.flight_dump {
+        flight::dump_to(std::path::Path::new(path), "on-demand").expect("write flight dump");
+        eprintln!("flight recorder dumped to {path}");
     }
 }

@@ -21,6 +21,25 @@ pub enum MetricsMode {
     Off,
 }
 
+/// Whether recognition assembles per-CE provenance chains (see
+/// `OBSERVABILITY.md`, "Tracing & provenance").
+///
+/// `Full` makes every emitted CE carry a serializable derivation — source
+/// AIS sentence ids → critical-point annotations → contributing fluent
+/// firings → rule id — at the cost of forcing from-scratch window
+/// evaluation (the incremental fast path replays retained triggers
+/// through cached interval maps without re-running rules, so there is
+/// nothing to record on it). `Off` (the default) leaves recognition
+/// byte-identical to an untraced run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// No provenance capture (the default).
+    #[default]
+    Off,
+    /// Record a full derivation chain for every emitted CE.
+    Full,
+}
+
 /// Degree of parallelism for each pipeline stage (§5.2 ran recognition on
 /// two processors; tracking shards the same way by vessel).
 ///
@@ -94,6 +113,15 @@ pub struct SurveillanceConfig {
     /// Runtime metrics publication (see `OBSERVABILITY.md`). Applied
     /// globally when the pipeline is constructed.
     pub metrics: MetricsMode,
+    /// Per-CE provenance capture (see [`TraceMode`]).
+    pub trace: TraceMode,
+    /// Soft deadline for one recognition query, in milliseconds. When a
+    /// query overruns it, the pipeline bumps
+    /// `pipeline_deadline_overruns_total` and records a
+    /// `recognition_overrun` flight-recorder event (which triggers a dump
+    /// if one is armed — see `maritime_obs::flight`). `None` disables the
+    /// check.
+    pub recognition_deadline_ms: Option<u64>,
 }
 
 impl Default for SurveillanceConfig {
@@ -109,6 +137,8 @@ impl Default for SurveillanceConfig {
             spatial_mode: SpatialMode::OnDemand,
             incremental_recognition: false,
             metrics: MetricsMode::default(),
+            trace: TraceMode::default(),
+            recognition_deadline_ms: None,
         }
     }
 }
@@ -132,6 +162,9 @@ impl SurveillanceConfig {
                 tracking_secs: ts,
                 recognition_secs: rs,
             });
+        }
+        if self.recognition_deadline_ms == Some(0) {
+            return Err(ConfigError::ZeroDeadline);
         }
         Ok(())
     }
@@ -160,6 +193,9 @@ pub enum ConfigError {
         /// The rejected degree.
         degree: usize,
     },
+    /// A recognition deadline of zero milliseconds (every query would
+    /// overrun; use `None` to disable the check instead).
+    ZeroDeadline,
     /// The recognition slide is not a multiple of the tracking slide.
     MisalignedSlides {
         /// Tracking slide in seconds.
@@ -179,6 +215,10 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "{stage} must be in 1..={}, got {degree}",
                 Parallelism::MAX_DEGREE
+            ),
+            Self::ZeroDeadline => write!(
+                f,
+                "recognition deadline must be at least 1 ms (use null to disable)"
             ),
             Self::MisalignedSlides { tracking_secs, recognition_secs } => write!(
                 f,
@@ -200,6 +240,8 @@ impl PartialEq for SurveillanceConfig {
             && self.spatial_mode == other.spatial_mode
             && self.incremental_recognition == other.incremental_recognition
             && self.metrics == other.metrics
+            && self.trace == other.trace
+            && self.recognition_deadline_ms == other.recognition_deadline_ms
     }
 }
 
@@ -251,11 +293,27 @@ mod tests {
             },
             incremental_recognition: true,
             metrics: MetricsMode::Off,
+            trace: TraceMode::Full,
+            recognition_deadline_ms: Some(250),
             ..SurveillanceConfig::default()
         };
         let json = serde_json::to_string(&cfg).unwrap();
         let back: SurveillanceConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn zero_deadline_rejected() {
+        let cfg = SurveillanceConfig {
+            recognition_deadline_ms: Some(0),
+            ..Default::default()
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::ZeroDeadline)));
+        let ok = SurveillanceConfig {
+            recognition_deadline_ms: Some(1),
+            ..Default::default()
+        };
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -54,23 +54,27 @@
 pub mod alerts;
 pub mod config;
 pub mod pipeline;
+pub mod trace;
 
 pub use alerts::{AlertRecord, AlertLog};
-pub use config::{MetricsMode, Parallelism, SurveillanceConfig};
+pub use config::{MetricsMode, Parallelism, SurveillanceConfig, TraceMode};
 pub use pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
+pub use trace::{SentenceIndex, TraceLog};
 
 /// Convenient re-exports of the whole system surface.
 pub mod prelude {
     pub use crate::alerts::{AlertLog, AlertRecord};
-    pub use crate::config::{MetricsMode, Parallelism, SurveillanceConfig};
+    pub use crate::config::{MetricsMode, Parallelism, SurveillanceConfig, TraceMode};
     pub use crate::pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
+    pub use crate::trace::{SentenceIndex, TraceLog};
     pub use maritime_ais::{
         DataScanner, FleetConfig, FleetSimulator, Mmsi, PositionReport, PositionTuple,
         VesselClass, VesselProfile,
     };
     pub use maritime_cer::{
-        Alert, AlertKind, EvalStrategy, GeoPartitioner, IncrementalStats, InputEvent, InputKind,
-        Knowledge, MaritimeRecognizer, PartitionedRecognizer, SpatialMode, VesselInfo,
+        render_proof_tree, Alert, AlertKind, CeChain, EvalStrategy, GeoPartitioner,
+        IncrementalStats, InputEvent, InputKind, Knowledge, MaritimeRecognizer,
+        PartitionedRecognizer, SpatialMode, VesselInfo,
     };
     pub use maritime_geo::aegean::{generate_areas, ports, AreaGenConfig};
     pub use maritime_geo::{Area, AreaId, AreaKind, BoundingBox, GeoPoint, Polygon};

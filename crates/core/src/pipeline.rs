@@ -10,22 +10,26 @@ use std::time::{Duration as StdDuration, Instant};
 
 use maritime_ais::PositionTuple;
 use maritime_cer::{
-    spatial, EvalStrategy, GeoPartitioner, InputEvent, Knowledge, MaritimeRecognizer,
+    spatial, CeChain, EvalStrategy, GeoPartitioner, InputEvent, Knowledge, MaritimeRecognizer,
     PartitionedRecognizer, SpatialMode, VesselInfo,
 };
 use maritime_geo::Area;
 use maritime_modstore::{ArchiveStats, StagingArea, TrajectoryStore, TripReconstructor};
-use maritime_obs::{names, LazyCounter, LazyHistogram};
+use maritime_obs::flight::{self, FlightKind};
+use maritime_obs::{names, LazyCounter, LazyHistogram, SpanTimer};
 use maritime_stream::{SlideBatches, Timestamp};
 use maritime_tracker::tracker::FleetStats;
 use maritime_tracker::{CriticalPoint, ShardedTracker, SlideReport, WindowedTracker};
 
 use crate::alerts::{AlertLog, AlertRecord};
-use crate::config::{ConfigError, MetricsMode, SurveillanceConfig};
+use crate::config::{ConfigError, MetricsMode, SurveillanceConfig, TraceMode};
+use crate::trace::SentenceIndex;
 
 /// Per-slide pipeline metrics (see `OBSERVABILITY.md`): one histogram per
-/// Figure 10 phase, fed from the same [`PhaseTimings`] measurements the
-/// benchmark harness consumes, plus the whole-slide wall time.
+/// Figure 10 phase plus the whole-slide wall time. Each phase is measured
+/// by a [`SpanTimer`] stage, so the same clock-read pair feeds the
+/// histogram, the [`PhaseTimings`] the benchmark harness consumes, and —
+/// when the Chrome-trace collector is installed — a timeline slice.
 static OBS_SLIDES: LazyCounter = LazyCounter::new(names::PIPELINE_SLIDES);
 static OBS_SLIDE_NS: LazyHistogram = LazyHistogram::new(names::PIPELINE_SLIDE_NS);
 static OBS_TRACKING_NS: LazyHistogram = LazyHistogram::new(names::PIPELINE_TRACKING_NS);
@@ -34,19 +38,8 @@ static OBS_RECONSTRUCTION_NS: LazyHistogram =
     LazyHistogram::new(names::PIPELINE_RECONSTRUCTION_NS);
 static OBS_LOADING_NS: LazyHistogram = LazyHistogram::new(names::PIPELINE_LOADING_NS);
 static OBS_RECOGNITION_NS: LazyHistogram = LazyHistogram::new(names::PIPELINE_RECOGNITION_NS);
-
-/// Records one slide's phase breakdown into the global histograms.
-fn observe_timings(timings: &PhaseTimings, slide_elapsed: StdDuration, recognized: bool) {
-    OBS_SLIDES.inc();
-    OBS_SLIDE_NS.record(slide_elapsed.as_nanos() as u64);
-    OBS_TRACKING_NS.record(timings.tracking.as_nanos() as u64);
-    OBS_STAGING_NS.record(timings.staging.as_nanos() as u64);
-    OBS_RECONSTRUCTION_NS.record(timings.reconstruction.as_nanos() as u64);
-    OBS_LOADING_NS.record(timings.loading.as_nanos() as u64);
-    if recognized {
-        OBS_RECOGNITION_NS.record(timings.recognition.as_nanos() as u64);
-    }
-}
+static OBS_DEADLINE_OVERRUNS: LazyCounter =
+    LazyCounter::new(names::PIPELINE_DEADLINE_OVERRUNS);
 
 /// Wall-clock cost of each pipeline phase in one slide (Figure 10).
 #[derive(Debug, Clone, Copy, Default)]
@@ -99,6 +92,10 @@ pub struct SlideOutcome {
     pub trips_completed: usize,
     /// Complex events recognized, when recognition ran this slide.
     pub recognition: Option<maritime_cer::RecognitionSummary>,
+    /// Provenance chains for the recognized CEs, with AIS sentence ids
+    /// attached to the input leaves. Non-empty only when the pipeline
+    /// runs under [`TraceMode::Full`] and recognition ran this slide.
+    pub chains: Vec<CeChain>,
     /// Phase timings.
     pub timings: PhaseTimings,
     /// Per-shard tracking cost when the sharded backend ran this slide
@@ -205,6 +202,20 @@ impl RecognizerBackend {
             Self::Partitioned(p) => p.recognize_and_summarize(q),
         }
     }
+
+    fn set_provenance(&mut self, on: bool) {
+        match self {
+            Self::Single(r) => r.set_provenance(on),
+            Self::Partitioned(p) => p.set_provenance(on),
+        }
+    }
+
+    fn take_chains(&mut self) -> Vec<CeChain> {
+        match self {
+            Self::Single(r) => r.take_chains(),
+            Self::Partitioned(p) => p.take_chains(),
+        }
+    }
 }
 
 /// Longitude extent for uniform recognition bands: the monitored areas'
@@ -234,6 +245,9 @@ pub struct SurveillancePipeline {
     store: TrajectoryStore,
     alert_log: AlertLog,
     origin: Timestamp,
+    /// Admission-ordinal index of AIS sentences, kept only under
+    /// [`TraceMode::Full`] so untraced runs pay nothing.
+    sentences: Option<SentenceIndex>,
 }
 
 impl SurveillancePipeline {
@@ -286,6 +300,13 @@ impl SurveillancePipeline {
                 strategy,
             )))
         };
+        let mut recognizer = recognizer;
+        let sentences = if config.trace == TraceMode::Full {
+            recognizer.set_provenance(true);
+            Some(SentenceIndex::new())
+        } else {
+            None
+        };
         Ok(Self {
             config: config.clone(),
             tracker,
@@ -295,6 +316,7 @@ impl SurveillancePipeline {
             store: TrajectoryStore::new(),
             alert_log: AlertLog::new(),
             origin: Timestamp::ZERO,
+            sentences,
         })
     }
 
@@ -325,50 +347,65 @@ impl SurveillancePipeline {
     /// Executes one window slide over a time-ordered positional batch
     /// (timestamps ≤ `query_time`).
     pub fn slide(&mut self, query_time: Timestamp, batch: &[PositionTuple]) -> SlideOutcome {
-        let slide_start = Instant::now();
+        let slide_span = SpanTimer::stage("slide", OBS_SLIDE_NS.get_ref());
         let mut timings = PhaseTimings::default();
+
+        // Under tracing, assign each admitted tuple its sentence id (the
+        // admission ordinal) before tracking consumes the batch.
+        if let Some(index) = &mut self.sentences {
+            index.index_batch(batch);
+        }
 
         // Phase 1: online tracking (fanned out per shard when sharded;
         // `tracking` then measures the fan-out/merge wall time and
         // `shard_timings` the per-worker cost).
-        let t0 = Instant::now();
+        let span = SpanTimer::stage("track", OBS_TRACKING_NS.get_ref());
         let (report, shard_timings) = self.tracker.slide(query_time, batch);
-        timings.tracking = t0.elapsed();
+        timings.tracking = span.stop();
 
         // Feed fresh critical points to the recognizer (with spatial facts
         // attached when running in precomputed mode).
         self.recognizer.add_critical(&report.fresh_critical);
 
         // Phase 2: staging of evicted deltas.
-        let t1 = Instant::now();
+        let span = SpanTimer::stage("stage", OBS_STAGING_NS.get_ref());
         self.staging.stage_batch(&report.evicted_delta);
-        timings.staging = t1.elapsed();
+        timings.staging = span.stop();
 
         // Phase 3: trip reconstruction.
-        let t2 = Instant::now();
+        let span = SpanTimer::stage("reconstruct", OBS_RECONSTRUCTION_NS.get_ref());
         let trips = self.reconstructor.reconstruct(&mut self.staging);
-        timings.reconstruction = t2.elapsed();
+        timings.reconstruction = span.stop();
         let trips_completed = trips.len();
 
         // Phase 4: archive loading.
-        let t3 = Instant::now();
+        let span = SpanTimer::stage("load", OBS_LOADING_NS.get_ref());
         self.store.load(trips);
-        timings.loading = t3.elapsed();
+        timings.loading = span.stop();
 
         // Complex event recognition on its own cadence.
         let rec_slide = self.config.recognition_window.slide.as_secs();
         let due = (query_time.as_secs() - self.origin.as_secs()) % rec_slide == 0;
-        let recognition = if due {
-            let t4 = Instant::now();
-            let summary = self.recognizer.recognize_and_summarize(query_time);
-            timings.recognition = t4.elapsed();
-            self.log_alerts(&summary);
-            Some(summary)
+        let (recognition, chains) = if due {
+            let (summary, chains, elapsed) = self.run_recognition(query_time);
+            timings.recognition = elapsed;
+            (Some(summary), chains)
         } else {
-            None
+            (None, Vec::new())
         };
 
-        observe_timings(&timings, slide_start.elapsed(), recognition.is_some());
+        flight::record(FlightKind::WindowSlide, || {
+            format!(
+                "q={} admitted={} fresh={} evicted={} recognized={}",
+                query_time.as_secs(),
+                report.admitted,
+                report.fresh_critical.len(),
+                report.evicted_delta.len(),
+                recognition.is_some(),
+            )
+        });
+        OBS_SLIDES.inc();
+        slide_span.finish();
         SlideOutcome {
             query_time,
             admitted: report.admitted,
@@ -376,9 +413,52 @@ impl SurveillancePipeline {
             evicted: report.evicted_delta.len(),
             trips_completed,
             recognition,
+            chains,
             timings,
             shard_timings,
         }
+    }
+
+    /// One recognition query: measures it as the `recognize` stage,
+    /// collects provenance chains when tracing, enforces the soft
+    /// deadline, and logs the resulting alerts.
+    fn run_recognition(
+        &mut self,
+        q: Timestamp,
+    ) -> (maritime_cer::RecognitionSummary, Vec<CeChain>, StdDuration) {
+        let span = SpanTimer::stage("recognize", OBS_RECOGNITION_NS.get_ref());
+        let summary = self.recognizer.recognize_and_summarize(q);
+        let elapsed = span.stop();
+
+        let chains = match &self.sentences {
+            Some(index) => {
+                let mut chains = self.recognizer.take_chains();
+                for chain in &mut chains {
+                    index.attach(chain);
+                }
+                chains
+            }
+            None => Vec::new(),
+        };
+
+        if let Some(deadline_ms) = self.config.recognition_deadline_ms {
+            if elapsed.as_millis() as u64 > deadline_ms {
+                OBS_DEADLINE_OVERRUNS.inc();
+                flight::record(FlightKind::RecognitionOverrun, || {
+                    format!(
+                        "q={} took_ms={} deadline_ms={} ces={}",
+                        q.as_secs(),
+                        elapsed.as_millis(),
+                        deadline_ms,
+                        summary.ce_count,
+                    )
+                });
+                flight::trigger_dump("recognition-overrun");
+            }
+        }
+
+        self.log_alerts(&summary);
+        (summary, chains, elapsed)
     }
 
     /// Runs the pipeline over a complete, time-ordered tuple stream,
@@ -454,10 +534,8 @@ impl SurveillancePipeline {
         self.store.load(trips);
         timings.loading = t3.elapsed();
 
-        let t4 = Instant::now();
-        let summary = self.recognizer.recognize_and_summarize(at);
-        timings.recognition = t4.elapsed();
-        self.log_alerts(&summary);
+        let (summary, chains, elapsed) = self.run_recognition(at);
+        timings.recognition = elapsed;
 
         SlideOutcome {
             query_time: at,
@@ -466,6 +544,7 @@ impl SurveillancePipeline {
             evicted: remaining.len(),
             trips_completed,
             recognition: Some(summary),
+            chains,
             timings,
             shard_timings: Vec::new(),
         }
@@ -629,6 +708,53 @@ mod tests {
             saw_slide = true;
         }
         assert!(saw_slide);
+    }
+
+    #[test]
+    fn traced_run_yields_chains_with_resolvable_sentence_ids() {
+        let sim = FleetSimulator::new(FleetConfig::tiny(77));
+        let areas = generate_areas(&AreaGenConfig::default());
+        let vessels: Vec<VesselInfo> = sim.profiles().iter().map(VesselInfo::from).collect();
+        let stream: Vec<PositionTuple> =
+            sim.generate().into_iter().map(PositionTuple::from).collect();
+
+        let run = |trace: crate::config::TraceMode| {
+            let config = SurveillanceConfig {
+                trace,
+                ..SurveillanceConfig::default()
+            };
+            let mut pipeline =
+                SurveillancePipeline::new(&config, vessels.clone(), areas.clone()).unwrap();
+            let mut log = crate::trace::TraceLog::new();
+            let report = pipeline
+                .run_with_observer(stream.iter().copied(), |o| log.record(o.chains.clone()));
+            let alerts: Vec<String> =
+                pipeline.alerts().records().iter().map(|r| r.render()).collect();
+            (report, alerts, log)
+        };
+
+        let (traced, traced_alerts, log) = run(crate::config::TraceMode::Full);
+        let (plain, plain_alerts, empty_log) = run(crate::config::TraceMode::Off);
+
+        // Tracing must not change what is recognized.
+        assert_eq!(traced.ce_total, plain.ce_total);
+        assert_eq!(traced_alerts, plain_alerts);
+        assert!(empty_log.is_empty(), "untraced run must produce no chains");
+
+        // This fleet produces CEs, and every CE gets a chain whose input
+        // leaves cite sentence ids inside the admitted stream.
+        assert!(traced.ce_total > 0, "seed no longer produces CEs");
+        assert!(!log.is_empty());
+        let n = stream.len() as u64;
+        for chain in log.chains() {
+            let id_label = chain.id.clone();
+            let mut chain = chain.clone();
+            maritime_cer::visit_input_leaves(&mut chain, &mut |leaf| {
+                for &id in &leaf.sentences {
+                    assert!(id < n, "sentence id {id} out of range in {id_label}");
+                }
+            });
+        }
     }
 
     #[test]

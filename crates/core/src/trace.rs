@@ -1,0 +1,221 @@
+//! Run-level provenance collection (see `OBSERVABILITY.md`, "Tracing &
+//! provenance").
+//!
+//! When [`TraceMode::Full`](crate::config::TraceMode) is on, every
+//! recognition query returns the [`CeChain`]s assembled by
+//! `maritime_cer::provenance`. Two gaps remain between those per-query
+//! chains and an operator-facing trace, and this module closes both:
+//!
+//! * chains bottom out in critical-point *annotations*, not in the raw
+//!   AIS sentences they were detected from — [`SentenceIndex`] maps each
+//!   admitted position tuple to a stable sentence id (its admission
+//!   ordinal) so input leaves can cite their sources; and
+//! * a durative CE is re-derived at every query whose window still
+//!   covers it — [`TraceLog`] keeps the latest chain per CE id so a run
+//!   produces one authoritative derivation per event.
+
+use std::collections::{BTreeMap, HashMap};
+
+use maritime_ais::PositionTuple;
+use maritime_cer::{visit_input_leaves, CeChain};
+
+/// How many of the most recent position reports an input leaf cites: the
+/// report that triggered the critical point plus its predecessor (speed
+/// and gap annotations compare consecutive reports).
+pub const SENTENCES_PER_LEAF: usize = 2;
+
+/// Maps admitted AIS position tuples to stable sentence ids.
+///
+/// Ids are admission ordinals: the `n`-th tuple fed to the pipeline has
+/// id `n` (zero-based), so any id in a trace can be resolved against a
+/// replay of the same input stream. Per vessel, the index keeps the
+/// `(timestamp, id)` pairs sorted by time — the input stream is
+/// time-ordered, so appends are already in order, but out-of-order
+/// arrivals within a batch are tolerated by insertion sort.
+#[derive(Debug, Default)]
+pub struct SentenceIndex {
+    by_vessel: HashMap<u32, Vec<(i64, u64)>>,
+    next_id: u64,
+}
+
+impl SentenceIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total tuples indexed so far (also the next id to be assigned).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.next_id
+    }
+
+    /// True when nothing has been indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.next_id == 0
+    }
+
+    /// Indexes one admitted batch, assigning consecutive ids.
+    pub fn index_batch(&mut self, batch: &[PositionTuple]) {
+        for tuple in batch {
+            let id = self.next_id;
+            self.next_id += 1;
+            let entries = self.by_vessel.entry(tuple.mmsi.0).or_default();
+            let at = tuple.timestamp.as_secs();
+            let pos = entries.partition_point(|&(t, _)| t <= at);
+            entries.insert(pos, (at, id));
+        }
+    }
+
+    /// The ids of the most recent reports from `mmsi` at or before `at`
+    /// (up to [`SENTENCES_PER_LEAF`]), oldest first.
+    #[must_use]
+    pub fn sentences_for(&self, mmsi: u32, at: i64) -> Vec<u64> {
+        let Some(entries) = self.by_vessel.get(&mmsi) else {
+            return Vec::new();
+        };
+        let end = entries.partition_point(|&(t, _)| t <= at);
+        entries[end.saturating_sub(SENTENCES_PER_LEAF)..end]
+            .iter()
+            .map(|&(_, id)| id)
+            .collect()
+    }
+
+    /// Fills in the `sentences` of every input leaf in `chain` from the
+    /// leaf's vessel and timestamp.
+    pub fn attach(&self, chain: &mut CeChain) {
+        visit_input_leaves(chain, &mut |leaf| {
+            if let Some(mmsi) = leaf.mmsi {
+                leaf.sentences = self.sentences_for(mmsi, leaf.at);
+            }
+        });
+    }
+}
+
+/// Latest-wins store of provenance chains, keyed by CE id.
+///
+/// A durative CE whose interval is still inside the recognition window is
+/// re-derived — with the same id — at every query; the chain from the
+/// latest query supersedes earlier ones because its window saw the most
+/// complete evidence (e.g. the interval's eventual termination).
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    chains: BTreeMap<String, CeChain>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one query's chains, replacing earlier chains for the same
+    /// CE ids.
+    pub fn record(&mut self, chains: Vec<CeChain>) {
+        for chain in chains {
+            self.chains.insert(chain.id.clone(), chain);
+        }
+    }
+
+    /// Number of distinct CEs traced.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// True when no chain has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// The chain for one CE id.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<&CeChain> {
+        self.chains.get(id)
+    }
+
+    /// All CE ids, sorted.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.chains.keys().map(String::as_str)
+    }
+
+    /// All chains, sorted by id.
+    pub fn chains(&self) -> impl Iterator<Item = &CeChain> {
+        self.chains.values()
+    }
+
+    /// Serializes every chain (sorted by id) as a JSON array — the format
+    /// `surveil explain` reads back.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let all: Vec<&CeChain> = self.chains.values().collect();
+        let mut json =
+            serde_json::to_string_pretty(&all).expect("chains are plain serializable data");
+        json.push('\n');
+        json
+    }
+
+    /// Deserializes a chain array written by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let all: Vec<CeChain> = serde_json::from_str(json)?;
+        let mut log = Self::new();
+        log.record(all);
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_ais::Mmsi;
+    use maritime_geo::GeoPoint;
+    use maritime_stream::Timestamp;
+
+    fn tuple(mmsi: u32, t: i64) -> PositionTuple {
+        PositionTuple {
+            mmsi: Mmsi(mmsi),
+            position: GeoPoint::new(24.0, 37.0),
+            timestamp: Timestamp(t),
+        }
+    }
+
+    #[test]
+    fn sentence_ids_are_admission_ordinals() {
+        let mut index = SentenceIndex::new();
+        index.index_batch(&[tuple(7, 10), tuple(8, 11), tuple(7, 20)]);
+        index.index_batch(&[tuple(7, 30)]);
+        assert_eq!(index.len(), 4);
+        // Nearest-earlier lookup returns the two latest reports <= t.
+        assert_eq!(index.sentences_for(7, 25), vec![0, 2]);
+        assert_eq!(index.sentences_for(7, 10), vec![0]);
+        assert_eq!(index.sentences_for(7, 9), Vec::<u64>::new());
+        assert_eq!(index.sentences_for(8, 100), vec![1]);
+        assert_eq!(index.sentences_for(9, 100), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn trace_log_is_latest_wins_and_roundtrips() {
+        let chain = |id: &str, q: i64| CeChain {
+            id: id.to_string(),
+            ce: "suspicious(area 0)".to_string(),
+            since: 100,
+            until: None,
+            query_time: q,
+            derivation: Vec::new(),
+        };
+        let mut log = TraceLog::new();
+        log.record(vec![chain("a", 1), chain("b", 1)]);
+        log.record(vec![chain("a", 2)]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.get("a").unwrap().query_time, 2);
+        assert_eq!(log.ids().collect::<Vec<_>>(), ["a", "b"]);
+
+        let back = TraceLog::from_json(&log.to_json()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get("a").unwrap().query_time, 2);
+    }
+}

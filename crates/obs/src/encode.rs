@@ -100,7 +100,7 @@ pub fn json(snapshot: &Snapshot) -> String {
 }
 
 /// Quotes and escapes a string as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {

@@ -18,7 +18,12 @@
 //!   Prometheus text ([`encode::prometheus_text`]) or JSON
 //!   ([`encode::json`]);
 //! * a global kill switch ([`set_enabled`]) so a pipeline configured with
-//!   metrics off pays only a predicted branch per would-be update.
+//!   metrics off pays only a predicted branch per would-be update;
+//! * a crash-dump [`flight`] recorder — a fixed-capacity ring of recent
+//!   structured trace events that dumps to JSON on anomaly triggers
+//!   (deadline overrun, channel-full stall, panic) or on demand;
+//! * a [`chrome`] Trace Event timeline — named spans double as Perfetto
+//!   slices when the collector is installed, at no extra clock reads.
 //!
 //! Every metric name is declared once, in [`names`], and documented in
 //! `OBSERVABILITY.md` at the repository root; a test diffs the two so the
@@ -31,7 +36,9 @@
 
 #![deny(missing_docs)]
 
+pub mod chrome;
 pub mod encode;
+pub mod flight;
 pub mod histogram;
 pub mod metric;
 pub mod names;
@@ -44,6 +51,7 @@ pub use registry::{
     Descriptor, LazyCounter, LazyGauge, LazyHistogram, MetricKind, MetricValue, MetricsRegistry,
     Snapshot, SnapshotEntry,
 };
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use span::SpanTimer;
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -8,8 +8,8 @@
 //!
 //! Naming follows Prometheus conventions: `snake_case`, a stage prefix
 //! (`ais_`, `tracker_`, `shard_`, `stream_`, `geo_`, `modstore_`, `rtec_`,
-//! `cer_`, `pipeline_`), `_total` suffix on counters, `_ns` suffix on
-//! nanosecond histograms.
+//! `cer_`, `pipeline_`, `trace_`), `_total` suffix on counters, `_ns`
+//! suffix on nanosecond histograms.
 
 use crate::registry::{Descriptor, MetricKind};
 
@@ -117,6 +117,19 @@ pub const PIPELINE_LOADING_NS: &str = "pipeline_loading_ns";
 pub const PIPELINE_RECOGNITION_NS: &str = "pipeline_recognition_ns";
 /// End-to-end wall time per slide (all phases).
 pub const PIPELINE_SLIDE_NS: &str = "pipeline_slide_ns";
+/// Recognition phases that exceeded the configured deadline.
+pub const PIPELINE_DEADLINE_OVERRUNS: &str = "pipeline_deadline_overruns_total";
+
+// ---- Tracing -------------------------------------------------------------
+
+/// Structured events captured by the flight recorder.
+pub const TRACE_FLIGHT_EVENTS: &str = "trace_flight_events_total";
+/// Flight-recorder JSON dumps written (triggered or on demand).
+pub const TRACE_FLIGHT_DUMPS: &str = "trace_flight_dumps_total";
+/// Stage spans collected onto the Chrome-trace timeline.
+pub const TRACE_TIMELINE_SPANS: &str = "trace_timeline_spans_total";
+/// CE provenance chains assembled by traced recognition.
+pub const TRACE_PROVENANCE_CHAINS: &str = "trace_provenance_chains_total";
 
 /// One catalog row.
 const fn c(name: &'static str, unit: &'static str, help: &'static str) -> Descriptor {
@@ -198,6 +211,12 @@ pub const CATALOG: &[Descriptor] = &[
     h(PIPELINE_LOADING_NS, "ns", "Recognizer-loading-phase wall time per slide"),
     h(PIPELINE_RECOGNITION_NS, "ns", "Recognition-phase wall time per slide"),
     h(PIPELINE_SLIDE_NS, "ns", "End-to-end wall time per slide"),
+    c(PIPELINE_DEADLINE_OVERRUNS, "slides", "Recognition phases exceeding the deadline"),
+    // Tracing
+    c(TRACE_FLIGHT_EVENTS, "events", "Structured events captured by the flight recorder"),
+    c(TRACE_FLIGHT_DUMPS, "dumps", "Flight-recorder JSON dumps written"),
+    c(TRACE_TIMELINE_SPANS, "spans", "Stage spans collected onto the Chrome-trace timeline"),
+    c(TRACE_PROVENANCE_CHAINS, "chains", "CE provenance chains assembled by traced recognition"),
 ];
 
 #[cfg(test)]
@@ -217,7 +236,7 @@ mod tests {
     fn catalog_follows_conventions() {
         let prefixes = [
             "ais_", "tracker_", "shard_", "stream_", "geo_", "modstore_", "rtec_", "cer_",
-            "pipeline_",
+            "pipeline_", "trace_",
         ];
         for d in CATALOG {
             assert!(

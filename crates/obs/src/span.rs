@@ -11,69 +11,117 @@
 //!
 //! The [`span!`](crate::span!) macro caches the histogram lookup in a hidden static, so
 //! entering a span costs one `Instant::now()` and leaving it costs one
-//! clock read plus one relaxed `fetch_add`. While recording is disabled
-//! the drop still reads the clock but the record is a no-op; use
-//! [`SpanTimer::disabled`]-aware call sites only if that clock read ever
-//! shows up in a profile (it has not — see `obs_overhead` in
-//! `crates/bench`).
+//! clock read plus one relaxed `fetch_add`. Named spans double as
+//! Chrome-trace timeline events: when the [`chrome`](crate::chrome)
+//! collector is installed the same pair of clock reads also lands a
+//! `ph:"X"` slice on the timeline, so instrumented sites never pay
+//! twice. [`SpanTimer::disabled`] skips the clock entirely — it carries
+//! no `Instant` at all — so a call site that opts out at runtime pays
+//! only the branch that chose it.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::histogram::Histogram;
 
 /// An RAII guard that records its lifetime, in nanoseconds, into a
-/// histogram on drop.
+/// histogram on drop — and, when the Chrome-trace timeline is installed,
+/// records the same interval as a timeline slice.
 #[must_use = "a span records on drop; binding it to _ ends it immediately"]
 pub struct SpanTimer {
-    start: Instant,
+    /// `None` for disabled spans: constructing one performs no clock read.
+    start: Option<Instant>,
     sink: Option<&'static Histogram>,
+    /// Stage name for the timeline; `None` keeps the span histogram-only.
+    name: Option<&'static str>,
 }
 
 impl SpanTimer {
     /// Starts a span feeding `sink`.
     pub fn from_histogram(sink: &'static Histogram) -> Self {
         Self {
-            start: Instant::now(),
+            start: Some(Instant::now()),
             sink: Some(sink),
+            name: None,
+        }
+    }
+
+    /// Starts a named stage span feeding `sink` and, when installed, the
+    /// Chrome-trace timeline. This is what [`span!`](crate::span!) expands to.
+    pub fn stage(name: &'static str, sink: &'static Histogram) -> Self {
+        Self {
+            start: Some(Instant::now()),
+            sink: Some(sink),
+            name: Some(name),
         }
     }
 
     /// Starts a span feeding the global histogram `name`. Prefer the
     /// [`span!`](crate::span!) macro, which caches the registry lookup.
     pub fn named(name: &'static str) -> Self {
-        Self::from_histogram(crate::histogram(name))
+        Self::stage(name, crate::histogram(name))
     }
 
-    /// A span that records nothing on drop.
+    /// A span that records nothing on drop and never reads the clock:
+    /// construction, [`elapsed_ns`](Self::elapsed_ns) (always zero), and
+    /// drop are all branch-only.
     pub fn disabled() -> Self {
         Self {
-            start: Instant::now(),
+            start: None,
             sink: None,
+            name: None,
         }
     }
 
-    /// Nanoseconds elapsed since the span started.
+    /// Nanoseconds elapsed since the span started; zero for a
+    /// [`disabled`](Self::disabled) span.
     #[must_use]
     pub fn elapsed_ns(&self) -> u64 {
-        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        self.start
+            .map_or(0, |s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
     }
 
     /// Ends the span now, recording the elapsed time.
     pub fn finish(self) {
         drop(self);
     }
+
+    /// Ends the span now and returns the elapsed wall time it recorded
+    /// (zero for a disabled span). One clock read serves the return
+    /// value, the histogram, and the timeline.
+    pub fn stop(mut self) -> Duration {
+        self.record()
+    }
+
+    /// Single measurement point shared by drop and [`stop`](Self::stop):
+    /// reads the clock once, feeds the histogram and (if installed) the
+    /// timeline, and disarms the span so a later drop is a no-op.
+    fn record(&mut self) -> Duration {
+        let Some(start) = self.start.take() else {
+            return Duration::ZERO;
+        };
+        let elapsed = start.elapsed();
+        if let Some(sink) = self.sink {
+            sink.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
+        if let Some(name) = self.name {
+            if crate::chrome::is_installed() {
+                crate::chrome::record(name, start, elapsed);
+            }
+        }
+        elapsed
+    }
 }
 
 impl Drop for SpanTimer {
     fn drop(&mut self) {
-        if let Some(sink) = self.sink {
-            sink.record(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        }
+        self.record();
     }
 }
 
 /// Opens a [`SpanTimer`] on the named global histogram, caching the
 /// registry lookup in a hidden static so repeated entries are lock-free.
+/// The name also labels the span on the Chrome-trace timeline when the
+/// collector is installed.
 ///
 /// ```
 /// {
@@ -85,7 +133,7 @@ impl Drop for SpanTimer {
 macro_rules! span {
     ($name:expr) => {{
         static __OBS_SPAN_SINK: $crate::LazyHistogram = $crate::LazyHistogram::new($name);
-        $crate::SpanTimer::from_histogram(__OBS_SPAN_SINK.get_ref())
+        $crate::SpanTimer::stage($name, __OBS_SPAN_SINK.get_ref())
     }};
 }
 
@@ -109,8 +157,22 @@ mod tests {
     fn disabled_span_is_inert() {
         let span = SpanTimer::disabled();
         std::thread::sleep(std::time::Duration::from_millis(1));
-        assert!(span.elapsed_ns() >= 1_000_000);
+        // No clock was read at construction, so there is no elapsed time
+        // to report — the disabled constructor's entire point.
+        assert_eq!(span.elapsed_ns(), 0);
         span.finish(); // nothing to record into; must not panic
+    }
+
+    #[test]
+    fn stop_returns_elapsed_once() {
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        let span = SpanTimer::from_histogram(h);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let elapsed = span.stop();
+        assert!(elapsed.as_nanos() >= 1_000_000);
+        // stop() disarmed the guard: exactly one histogram record.
+        assert_eq!(h.count(), 1);
+        assert_eq!(SpanTimer::disabled().stop(), Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Golden-file test for the Chrome Trace Event encoder.
+//!
+//! `chrome::encode` promises byte-stable output for a given span list
+//! (fixed field order, no whitespace variation), so a representative
+//! timeline — multiple threads, out-of-order insertion, a name needing
+//! JSON escaping, zero-duration and large spans — is diffed verbatim
+//! against a checked-in fixture. If an encoder change is intentional,
+//! regenerate with `OBS_BLESS=1` and commit the diff.
+
+use maritime_obs::chrome::{self, TimelineSpan};
+
+/// A fixed span list covering the encoder's edge cases. Deliberately not
+/// sorted: `encode` renders exactly what it is given, in order.
+fn golden_spans() -> Vec<TimelineSpan> {
+    vec![
+        TimelineSpan { name: "slide", tid: 1, ts_us: 0, dur_us: 1_250 },
+        TimelineSpan { name: "track", tid: 1, ts_us: 10, dur_us: 700 },
+        TimelineSpan { name: "tracker_slide_ns", tid: 2, ts_us: 15, dur_us: 680 },
+        TimelineSpan { name: "tracker_slide_ns", tid: 3, ts_us: 15, dur_us: 655 },
+        TimelineSpan { name: "recognize", tid: 1, ts_us: 800, dur_us: 0 },
+        TimelineSpan { name: "odd \"stage\"\n", tid: 1, ts_us: 900, dur_us: 350 },
+        TimelineSpan { name: "rtec_query_ns", tid: 1, ts_us: 901, dur_us: u64::MAX },
+    ]
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let actual = chrome::encode(&golden_spans());
+    if std::env::var_os("OBS_BLESS").is_some() {
+        let path = format!(
+            "{}/tests/fixtures/golden_trace.json",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        std::fs::write(&path, &actual).expect("bless fixture");
+        return;
+    }
+    assert_eq!(
+        actual,
+        include_str!("fixtures/golden_trace.json"),
+        "golden_trace.json drifted; run with OBS_BLESS=1 to regenerate if intentional"
+    );
+}

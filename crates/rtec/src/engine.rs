@@ -31,6 +31,7 @@ use crate::cache::{
 };
 use crate::description::{EventDescription, FluentDef, Trigger};
 use crate::intervals::IntervalList;
+use crate::provenance::{ProvTrigger, ProvenanceLog, RuleKind, RuleRef};
 use crate::view::{ProbeLog, View};
 
 /// Live recognition metrics, summed across every [`Engine`] instance
@@ -57,6 +58,16 @@ pub struct Recognition<K, D> {
     pub events: Vec<(Timestamp, D)>,
     /// Input events considered in this query (the working-memory size).
     pub working_memory: usize,
+}
+
+/// The probe recorder and optional rule-firing collector shared by every
+/// rule evaluation in one query pass, bundled so the evaluation helpers
+/// take one sink handle instead of three parallel parameters.
+#[derive(Clone, Copy)]
+struct EvalSinks<'a, E, K> {
+    recorder: &'a RefCell<ProbeLog<K>>,
+    want_cache: bool,
+    prov: Option<&'a RefCell<ProvenanceLog<E, K>>>,
 }
 
 /// `holdsAt` over an optional interval list: absent keys never hold.
@@ -231,10 +242,20 @@ fn derived_entry_elidable<K, D>(e: &DerivedEntry<K, D>) -> bool {
     e.emits.is_empty() && e.probes.is_empty()
 }
 
+/// Copies a borrowed trigger into an owned provenance trigger.
+fn owned_trigger<E: Clone, K: Clone>(trigger: Trigger<'_, E, K>) -> ProvTrigger<E, K> {
+    match trigger {
+        Trigger::Input(e) => ProvTrigger::Input(e.clone()),
+        Trigger::Start(k) => ProvTrigger::Start(k.clone()),
+        Trigger::End(k) => ProvTrigger::End(k.clone()),
+    }
+}
+
 /// Everything one query evaluation produces.
-struct Evaluated<K, D> {
+struct Evaluated<E, K, D> {
     computed: HashMap<K, IntervalList>,
     derived: Vec<(Timestamp, D)>,
+    provenance: Option<ProvenanceLog<E, K>>,
     cache: Option<EngineCache<K, D>>,
     triggers_evaluated: usize,
     triggers_reused: usize,
@@ -281,6 +302,8 @@ pub struct Engine<Ctx, E, K, D, G = ()> {
     window: SlidingWindow<E>,
     last_query: Option<Timestamp>,
     strategy: EvalStrategy,
+    provenance: bool,
+    last_provenance: Option<ProvenanceLog<E, K>>,
     cache: Option<EngineCache<K, D>>,
     /// A late arrival landed at or before the checkpoint since the last
     /// query: the cached entries no longer mirror the working memory and
@@ -304,6 +327,8 @@ where
             window: SlidingWindow::new(spec),
             last_query: None,
             strategy: EvalStrategy::default(),
+            provenance: false,
+            last_provenance: None,
             cache: None,
             stale: false,
             stats: IncrementalStats::default(),
@@ -320,6 +345,39 @@ where
     /// The active evaluation strategy.
     pub fn strategy(&self) -> EvalStrategy {
         self.strategy
+    }
+
+    /// Enables rule-level provenance capture (builder style). See
+    /// [`Engine::set_provenance`].
+    #[must_use]
+    pub fn with_provenance(mut self, on: bool) -> Self {
+        self.provenance = on;
+        self
+    }
+
+    /// Turns rule-level provenance capture on or off. While on, each
+    /// query additionally records which rule fired on which trigger for
+    /// every point and emission ([`Engine::take_provenance`]), and the
+    /// engine evaluates from scratch: the incremental path replays
+    /// checkpointed results without re-running rules, so there would be
+    /// nothing to observe. Turning it off resumes incremental evaluation
+    /// at the next query.
+    pub fn set_provenance(&mut self, on: bool) {
+        self.provenance = on;
+        if !on {
+            self.last_provenance = None;
+        }
+    }
+
+    /// Whether provenance capture is on.
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance
+    }
+
+    /// Takes the provenance log recorded by the most recent query, if
+    /// capture was on.
+    pub fn take_provenance(&mut self) -> Option<ProvenanceLog<E, K>> {
+        self.last_provenance.take()
     }
 
     /// How queries have been evaluated so far (delta path vs. full
@@ -363,7 +421,12 @@ where
         // slide: there is no prefix to reuse, so memoising would be pure
         // overhead.
         let spec = self.window.spec();
-        let want_cache = self.strategy == EvalStrategy::Incremental && spec.slide < spec.range;
+        // Provenance capture needs every rule to actually run, which the
+        // cache-replay path specifically avoids — trace queries evaluate
+        // from scratch and leave no checkpoint behind.
+        let want_cache = self.strategy == EvalStrategy::Incremental
+            && spec.slide < spec.range
+            && !self.provenance;
         let use_cache =
             want_cache && !self.stale && self.cache.as_ref().is_some_and(|c| c.checkpoint <= q);
         let cache = if use_cache { self.cache.take() } else { None };
@@ -393,6 +456,7 @@ where
         OBS_WORKING_MEMORY.set(working_memory as i64);
         self.stale = false;
         self.cache = evaluated.cache;
+        self.last_provenance = evaluated.provenance;
 
         Recognition {
             query_time: q,
@@ -408,18 +472,34 @@ where
         &self,
         stratum: &FluentDef<Ctx, E, K, G>,
         view: &View<'_, K>,
-        recorder: &RefCell<ProbeLog<K>>,
-        want_cache: bool,
+        sinks: &EvalSinks<'_, E, K>,
         trigger: Trigger<'_, E, K>,
         t: Timestamp,
     ) -> PointEntry<K> {
+        let EvalSinks { recorder, want_cache, prov } = *sinks;
         let mut inits = Vec::new();
         let mut terms = Vec::new();
-        for rule in &stratum.initiated_at {
-            inits.extend(rule(&self.ctx, view, trigger, t));
+        for (ri, rule) in stratum.initiated_at.iter().enumerate() {
+            let out = rule(&self.ctx, view, trigger, t);
+            if let Some(prov) = prov.filter(|_| !out.is_empty()) {
+                let rule = RuleRef { name: stratum.name, kind: RuleKind::Initiated, index: ri };
+                let mut log = prov.borrow_mut();
+                for k in &out {
+                    log.note_point(k.clone(), t, rule, owned_trigger(trigger));
+                }
+            }
+            inits.extend(out);
         }
-        for rule in &stratum.terminated_at {
-            terms.extend(rule(&self.ctx, view, trigger, t));
+        for (ri, rule) in stratum.terminated_at.iter().enumerate() {
+            let out = rule(&self.ctx, view, trigger, t);
+            if let Some(prov) = prov.filter(|_| !out.is_empty()) {
+                let rule = RuleRef { name: stratum.name, kind: RuleKind::Terminated, index: ri };
+                let mut log = prov.borrow_mut();
+                for k in &out {
+                    log.note_point(k.clone(), t, rule, owned_trigger(trigger));
+                }
+            }
+            terms.extend(out);
         }
         let probes = if want_cache {
             std::mem::take(&mut *recorder.borrow_mut())
@@ -439,16 +519,22 @@ where
     fn run_derived_rules(
         &self,
         view: &View<'_, K>,
-        recorder: &RefCell<ProbeLog<K>>,
-        want_cache: bool,
+        sinks: &EvalSinks<'_, E, K>,
         trigger: Trigger<'_, E, K>,
         t: Timestamp,
     ) -> DerivedEntry<K, D> {
+        let EvalSinks { recorder, want_cache, prov } = *sinks;
         let mut emits: Vec<(usize, Vec<D>)> = Vec::new();
         for (di, def) in self.description.events.iter().enumerate() {
             let mut out: Vec<D> = Vec::new();
-            for rule in &def.rules {
-                out.extend(rule(&self.ctx, view, trigger, t));
+            for (ri, rule) in def.rules.iter().enumerate() {
+                let emitted = rule(&self.ctx, view, trigger, t);
+                if let Some(prov) = prov.filter(|_| !emitted.is_empty()) {
+                    let rule = RuleRef { name: def.name, kind: RuleKind::Emitted, index: ri };
+                    prov.borrow_mut()
+                        .note_emission(t, emitted.len(), rule, owned_trigger(trigger));
+                }
+                out.extend(emitted);
             }
             if !out.is_empty() {
                 emits.push((di, out));
@@ -473,7 +559,7 @@ where
         events: &[(Timestamp, &E)],
         cache: Option<EngineCache<K, D>>,
         want_cache: bool,
-    ) -> Evaluated<K, D> {
+    ) -> Evaluated<E, K, D> {
         // The new window start: slide_to has evicted events at t ≤ cutoff,
         // so cached entries in that region are dropped — which retracts
         // their initiation/termination points, exactly the truncation the
@@ -511,6 +597,16 @@ where
         let mut boundary: Vec<(Timestamp, bool, K)> = Vec::new();
         let mut new_strata: Vec<StratumCache<K>> = Vec::new();
         let recorder = RefCell::new(ProbeLog::default());
+        // Rule-firing collector for traced queries. `None` keeps the
+        // untraced path free of any per-rule bookkeeping.
+        let prov_cell = self.provenance.then(|| {
+            RefCell::new(ProvenanceLog {
+                query_time: q,
+                ..Default::default()
+            })
+        });
+        let prov = prov_cell.as_ref();
+        let sinks = EvalSinks { recorder: &recorder, want_cache, prov };
         let mut n_evaluated = 0usize;
         let mut n_reused = 0usize;
         let mut n_invalidated = 0usize;
@@ -571,8 +667,7 @@ where
                     self.run_point_rules(
                         stratum,
                         &view,
-                        &recorder,
-                        want_cache,
+                        &sinks,
                         Trigger::Input(events[new_idx].1),
                         entry.t,
                     )
@@ -602,8 +697,7 @@ where
                 let entry = self.run_point_rules(
                     stratum,
                     &view,
-                    &recorder,
-                    want_cache,
+                    &sinks,
                     Trigger::Input(ev),
                     t,
                 );
@@ -667,8 +761,7 @@ where
                         self.run_point_rules(
                             stratum,
                             &view,
-                            &recorder,
-                            want_cache,
+                            &sinks,
                             boundary_trigger(*is_end, key),
                             *t,
                         )
@@ -681,8 +774,7 @@ where
                     self.run_point_rules(
                         stratum,
                         &view,
-                        &recorder,
-                        want_cache,
+                        &sinks,
                         boundary_trigger(*is_end, key),
                         *t,
                     )
@@ -735,7 +827,7 @@ where
                 for key in initiations.keys() {
                     groups.entry(group_fn(key)).or_default().push(key.clone());
                 }
-                let mut cross: Vec<(K, Timestamp)> = Vec::new();
+                let mut cross: Vec<(K, Timestamp, K)> = Vec::new();
                 for members in groups.values() {
                     if members.len() < 2 {
                         continue;
@@ -744,13 +836,28 @@ where
                         for t in &initiations[initiator] {
                             for other in members {
                                 if other != initiator {
-                                    cross.push((other.clone(), *t));
+                                    cross.push((other.clone(), *t, initiator.clone()));
                                 }
                             }
                         }
                     }
                 }
-                for (key, t) in cross {
+                for (key, t, initiator) in cross {
+                    if let Some(prov) = prov {
+                        // Rule (2) is built in, not declared, so it gets a
+                        // synthetic rule ref; the trigger names the group
+                        // sibling whose initiation forced this termination.
+                        prov.borrow_mut().note_point(
+                            key.clone(),
+                            t,
+                            RuleRef {
+                                name: stratum.name,
+                                kind: RuleKind::CrossTerminated,
+                                index: 0,
+                            },
+                            ProvTrigger::Start(initiator),
+                        );
+                    }
                     terminations.entry(key).or_default().push(t);
                 }
                 let mut keys: Vec<K> = initiations.keys().cloned().collect();
@@ -856,8 +963,7 @@ where
                     n_invalidated += 1;
                     self.run_derived_rules(
                         &view,
-                        &recorder,
-                        want_cache,
+                        &sinks,
                         Trigger::Input(events[new_idx].1),
                         entry.t,
                     )
@@ -872,8 +978,12 @@ where
             }
             for (i, &(t, ev)) in events.iter().enumerate().skip(delta_from) {
                 n_evaluated += 1;
-                let entry =
-                    self.run_derived_rules(&view, &recorder, want_cache, Trigger::Input(ev), t);
+                let entry = self.run_derived_rules(
+                    &view,
+                    &sinks,
+                    Trigger::Input(ev),
+                    t,
+                );
                 fold_derived(&entry, &mut per_def);
                 if want_cache && !derived_entry_elidable(&entry) {
                     derived_events.push((i, entry));
@@ -899,8 +1009,7 @@ where
                         n_invalidated += 1;
                         self.run_derived_rules(
                             &view,
-                            &recorder,
-                            want_cache,
+                            &sinks,
                             boundary_trigger(*is_end, key),
                             *t,
                         )
@@ -912,8 +1021,7 @@ where
                     n_evaluated += 1;
                     self.run_derived_rules(
                         &view,
-                        &recorder,
-                        want_cache,
+                        &sinks,
                         boundary_trigger(*is_end, key),
                         *t,
                     )
@@ -943,6 +1051,7 @@ where
         Evaluated {
             computed,
             derived,
+            provenance: prov_cell.map(RefCell::into_inner),
             cache: new_cache,
             triggers_evaluated: n_evaluated,
             triggers_reused: n_reused,
@@ -1493,5 +1602,115 @@ mod tests {
         assert_eq!(stats.incremental, 2);
         assert_eq!(stats.triggers_evaluated, 3);
         assert_eq!(stats.triggers_reused, 0);
+    }
+
+    #[test]
+    fn provenance_records_point_and_emission_firings() {
+        let started = DerivedEventDef::new("started")
+            .rule(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.started() {
+                Some(k) => vec![Out::Started(k.clone())],
+                _ => vec![],
+            });
+        let desc: EventDescription<(), Ev, Key, Out, u32> =
+            EventDescription::new().fluent(active_fluent()).event(started);
+        let mut engine = Engine::new((), desc, spec(1_000, 100)).with_provenance(true);
+        engine.add_events([(t(10), Ev::On(1)), (t(50), Ev::Off(1))]);
+        let r = engine.recognize_at(t(100));
+        assert_eq!(
+            r.fluents[&Key::Active(1)].intervals(),
+            &[Interval::closed(t(10), t(50))]
+        );
+
+        let prov = engine.take_provenance().expect("provenance captured");
+        assert_eq!(prov.query_time, t(100));
+        let init = prov.initiated_by(&Key::Active(1), t(10));
+        assert_eq!(init.len(), 1);
+        assert_eq!(init[0].rule.name, "active");
+        assert_eq!(init[0].rule.kind, RuleKind::Initiated);
+        assert_eq!(init[0].trigger, ProvTrigger::Input(Ev::On(1)));
+        let term = prov.terminated_by(&Key::Active(1), t(50));
+        assert_eq!(term.len(), 1);
+        assert_eq!(term[0].rule.kind, RuleKind::Terminated);
+        assert_eq!(term[0].trigger, ProvTrigger::Input(Ev::Off(1)));
+        // The derived emission fired on the interval's start boundary.
+        assert_eq!(prov.emissions.len(), 1);
+        let em = &prov.emissions[0];
+        assert_eq!(em.t, t(10));
+        assert_eq!(em.fire.rule.name, "started");
+        assert_eq!(em.fire.rule.kind, RuleKind::Emitted);
+        assert_eq!(em.fire.trigger, ProvTrigger::Start(Key::Active(1)));
+        // Taking the log is destructive until the next traced query.
+        assert!(engine.take_provenance().is_none());
+    }
+
+    #[test]
+    fn provenance_capture_leaves_output_identical() {
+        // The same schedule through an untraced incremental engine and a
+        // traced one: recognitions must match exactly, and the traced
+        // engine must not have built a checkpoint.
+        let schedule: &[(i64, Option<Ev>)] = &[
+            (10, Some(Ev::On(1))),
+            (50, None),
+            (60, Some(Ev::On(2))),
+            (80, Some(Ev::Off(1))),
+            (100, None),
+            (150, None),
+        ];
+        let mut plain =
+            Engine::new((), description(), spec(100, 50)).with_strategy(EvalStrategy::Incremental);
+        let mut traced = Engine::new((), description(), spec(100, 50))
+            .with_strategy(EvalStrategy::Incremental)
+            .with_provenance(true);
+        for (at, ev) in schedule {
+            match ev {
+                Some(e) => {
+                    plain.add_event(t(*at), e.clone());
+                    traced.add_event(t(*at), e.clone());
+                }
+                None => {
+                    let rp = plain.recognize_at(t(*at));
+                    let rt = traced.recognize_at(t(*at));
+                    assert_eq!(rp.working_memory, rt.working_memory);
+                    assert_eq!(rp.events, rt.events);
+                    let mut kp: Vec<&Key> = rp.fluents.keys().collect();
+                    let mut kt: Vec<&Key> = rt.fluents.keys().collect();
+                    kp.sort();
+                    kt.sort();
+                    assert_eq!(kp, kt);
+                    for key in kp {
+                        assert_eq!(rp.fluents[key].intervals(), rt.fluents[key].intervals());
+                    }
+                    assert!(traced.take_provenance().is_some());
+                }
+            }
+        }
+        // Every traced query bypassed the incremental path.
+        assert_eq!(traced.incremental_stats().incremental, 0);
+        assert_eq!(traced.incremental_stats().full, 3);
+        assert!(plain.incremental_stats().incremental > 0);
+    }
+
+    #[test]
+    fn provenance_records_grouped_cross_termination() {
+        let mode = FluentDef::new("mode")
+            .initiated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+                Some(Ev::SetMode(id, m)) => vec![Key::Mode(*id, m)],
+                _ => vec![],
+            })
+            .grouped(|k: &Key| match k {
+                Key::Mode(id, _) => *id,
+                Key::Active(id) => *id,
+            });
+        let desc: EventDescription<(), Ev, Key, Out, u32> = EventDescription::new().fluent(mode);
+        let mut engine = Engine::new((), desc, spec(1_000, 100)).with_provenance(true);
+        engine.add_events([(t(10), Ev::SetMode(1, "eco")), (t(60), Ev::SetMode(1, "boost"))]);
+        let _ = engine.recognize_at(t(100));
+        let prov = engine.take_provenance().expect("provenance captured");
+        let term = prov.terminated_by(&Key::Mode(1, "eco"), t(60));
+        assert!(
+            term.iter().any(|f| f.rule.kind == RuleKind::CrossTerminated
+                && f.trigger == ProvTrigger::Start(Key::Mode(1, "boost"))),
+            "cross-termination not recorded: {term:?}"
+        );
     }
 }

@@ -33,6 +33,7 @@ pub mod cache;
 pub mod description;
 pub mod engine;
 pub mod intervals;
+pub mod provenance;
 pub mod view;
 
 pub use cache::{EvalStrategy, IncrementalStats};
@@ -40,4 +41,5 @@ pub use description::{DerivedEventDef, EventDescription, FluentDef, Trigger};
 pub use engine::{Engine, Recognition};
 pub use intervals::{Interval, IntervalList};
 pub use maritime_stream::{Duration, Timestamp, WindowSpec};
+pub use provenance::{ProvEmission, ProvFire, ProvTrigger, ProvenanceLog, RuleKind, RuleRef};
 pub use view::View;

@@ -1,0 +1,188 @@
+//! Rule-level provenance capture.
+//!
+//! When an [`Engine`](crate::Engine) runs with provenance enabled it
+//! records, for every initiation/termination point and every derived
+//! event emission, *which rule fired on which trigger* — the raw
+//! material a caller needs to assemble per-CE derivation chains
+//! ("this `suspicious` interval started because rule 0 of
+//! `initiatedAt(suspicious)` fired on `start(stoppedNear(v, a))`, which
+//! itself …").
+//!
+//! Capture forces from-scratch evaluation for the query: the
+//! incremental strategy's whole point is replaying checkpointed results
+//! *without re-running rules* (retained non-probing triggers never
+//! execute at all on that path), so there is nothing to observe there.
+//! Tracing is an investigative mode — the engine silently bypasses the
+//! checkpoint cache while it is on and resumes incremental evaluation
+//! when it is turned off.
+
+use std::collections::HashMap;
+
+use crate::Timestamp;
+
+/// Which rule family of a definition fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// An `initiatedAt` rule of a fluent.
+    Initiated,
+    /// A `terminatedAt` rule of a fluent.
+    Terminated,
+    /// The built-in rule (2) cross-termination of a grouped fluent:
+    /// initiating one value terminates every sibling value.
+    CrossTerminated,
+    /// An emission rule of a derived (instantaneous) event.
+    Emitted,
+}
+
+impl RuleKind {
+    /// Stable lowercase identifier for rendering and serialization.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleKind::Initiated => "initiatedAt",
+            RuleKind::Terminated => "terminatedAt",
+            RuleKind::CrossTerminated => "crossTerminatedAt",
+            RuleKind::Emitted => "emits",
+        }
+    }
+}
+
+/// A stable rule identifier: definition name + rule family + position of
+/// the rule inside that family (declaration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleRef {
+    /// The fluent or derived-event name the rule belongs to.
+    pub name: &'static str,
+    /// Rule family.
+    pub kind: RuleKind,
+    /// Index within the family, in declaration order.
+    pub index: usize,
+}
+
+impl std::fmt::Display for RuleRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({}, rule {})", self.kind.as_str(), self.name, self.index)
+    }
+}
+
+/// The trigger a rule fired on, with owned payloads so the log outlives
+/// the window snapshot it was captured from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvTrigger<E, K> {
+    /// An input event from the working memory.
+    Input(E),
+    /// The start boundary of a lower-stratum fluent interval.
+    Start(K),
+    /// The end boundary of a lower-stratum fluent interval.
+    End(K),
+}
+
+/// One rule firing: the rule and the trigger it fired on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvFire<E, K> {
+    /// Which rule fired.
+    pub rule: RuleRef,
+    /// What it fired on.
+    pub trigger: ProvTrigger<E, K>,
+}
+
+/// One derived-event emission and its cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvEmission<E, K> {
+    /// Emission time.
+    pub t: Timestamp,
+    /// How many event payloads the rule emitted at once.
+    pub count: usize,
+    /// The firing that produced them.
+    pub fire: ProvFire<E, K>,
+}
+
+/// Everything one traced query recorded. Keys are `(fluent key, point
+/// time)`; several rules may fire for the same point, hence the `Vec`s.
+#[derive(Debug, Clone)]
+pub struct ProvenanceLog<E, K> {
+    /// Query time the log was captured at.
+    pub query_time: Timestamp,
+    /// Why each initiation point exists.
+    pub initiations: HashMap<(K, Timestamp), Vec<ProvFire<E, K>>>,
+    /// Why each termination point exists.
+    pub terminations: HashMap<(K, Timestamp), Vec<ProvFire<E, K>>>,
+    /// Why each derived event was emitted, in evaluation order.
+    pub emissions: Vec<ProvEmission<E, K>>,
+}
+
+impl<E, K> Default for ProvenanceLog<E, K> {
+    fn default() -> Self {
+        Self {
+            query_time: Timestamp(0),
+            initiations: HashMap::new(),
+            terminations: HashMap::new(),
+            emissions: Vec::new(),
+        }
+    }
+}
+
+impl<E, K> ProvenanceLog<E, K>
+where
+    K: Clone + Eq + std::hash::Hash,
+{
+    /// Records one point-rule firing.
+    pub fn note_point(
+        &mut self,
+        key: K,
+        t: Timestamp,
+        rule: RuleRef,
+        trigger: ProvTrigger<E, K>,
+    ) {
+        let map = match rule.kind {
+            RuleKind::Initiated => &mut self.initiations,
+            _ => &mut self.terminations,
+        };
+        map.entry((key, t)).or_default().push(ProvFire { rule, trigger });
+    }
+
+    /// Records one derived-event emission.
+    pub fn note_emission(
+        &mut self,
+        t: Timestamp,
+        count: usize,
+        rule: RuleRef,
+        trigger: ProvTrigger<E, K>,
+    ) {
+        self.emissions.push(ProvEmission {
+            t,
+            count,
+            fire: ProvFire { rule, trigger },
+        });
+    }
+
+    /// The firings behind an initiation point, if any were recorded.
+    #[must_use]
+    pub fn initiated_by(&self, key: &K, t: Timestamp) -> &[ProvFire<E, K>] {
+        self.initiations
+            .get(&(key.clone(), t))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The firings behind a termination point, if any were recorded.
+    #[must_use]
+    pub fn terminated_by(&self, key: &K, t: Timestamp) -> &[ProvFire<E, K>] {
+        self.terminations
+            .get(&(key.clone(), t))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Total recorded firings (points + emissions) — a cheap size probe.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.initiations.values().map(Vec::len).sum::<usize>()
+            + self.terminations.values().map(Vec::len).sum::<usize>()
+            + self.emissions.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

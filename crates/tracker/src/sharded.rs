@@ -24,6 +24,7 @@ use std::time::{Duration as StdDuration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use maritime_ais::PositionTuple;
+use maritime_obs::flight::{self, FlightKind};
 use maritime_obs::{names, LazyCounter, LazyGauge, LazyHistogram};
 use maritime_stream::{ShardRouter, Timestamp, WindowSpec};
 
@@ -98,6 +99,11 @@ struct ShardHandle {
     join: Option<JoinHandle<()>>,
 }
 
+/// Send waits above this are treated as channel-full stalls and land in
+/// the flight recorder: an unblocked send returns in nanoseconds, so a
+/// millisecond-scale wait means the shard fell a full backlog behind.
+const STALL_THRESHOLD: StdDuration = StdDuration::from_millis(1);
+
 impl ShardHandle {
     fn send(&self, cmd: ShardCmd) {
         let t0 = Instant::now();
@@ -106,7 +112,13 @@ impl ShardHandle {
             .expect("tracker live")
             .send(cmd)
             .expect("shard worker alive");
-        OBS_SEND_WAIT.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        let waited = t0.elapsed();
+        OBS_SEND_WAIT.record(u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX));
+        if waited >= STALL_THRESHOLD {
+            flight::record(FlightKind::Backpressure, || {
+                format!("shard send stalled {}us on full channel", waited.as_micros())
+            });
+        }
         OBS_INFLIGHT.add(1);
     }
 
