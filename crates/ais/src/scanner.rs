@@ -21,6 +21,7 @@ static OBS_POSITIONS: LazyCounter = LazyCounter::new(names::AIS_POSITIONS);
 static OBS_MALFORMED: LazyCounter = LazyCounter::new(names::AIS_MALFORMED);
 static OBS_BAD_CHECKSUM: LazyCounter = LazyCounter::new(names::AIS_BAD_CHECKSUM);
 static OBS_VOYAGE_DECLARATIONS: LazyCounter = LazyCounter::new(names::AIS_VOYAGE_DECLARATIONS);
+static OBS_TRUNCATED_FRAGMENTS: LazyCounter = LazyCounter::new(names::AIS_TRUNCATED_FRAGMENTS);
 
 /// Counters describing what the scanner saw, mirroring the paper's dataset
 /// preparation ("When decoded and cleaned from corrupt messages, the
@@ -44,6 +45,11 @@ pub struct ScanStats {
     pub voyage_declarations: u64,
     /// Multi-part fragments buffered, awaiting their siblings.
     pub fragments_pending: u64,
+    /// Multi-fragment messages abandoned with fragments missing: truncated
+    /// transmissions, detected at defragmenter eviction or at
+    /// [`DataScanner::finish`]. Not silent — each is also surfaced as a
+    /// `decode_error` flight-recorder event.
+    pub fragments_truncated: u64,
 }
 
 impl ScanStats {
@@ -110,7 +116,13 @@ impl DataScanner {
                 return None;
             }
         };
-        let Some((payload, fill_bits)) = self.defrag.push(&sentence) else {
+        let evicted_before = self.defrag.evicted_incomplete();
+        let pushed = self.defrag.push(&sentence);
+        let truncated = self.defrag.evicted_incomplete() - evicted_before;
+        if truncated > 0 {
+            self.note_truncated(truncated, received_at);
+        }
+        let Some((payload, fill_bits)) = pushed else {
             self.stats.fragments_pending += 1;
             return None;
         };
@@ -178,6 +190,33 @@ impl DataScanner {
     #[must_use]
     pub fn stats(&self) -> ScanStats {
         self.stats
+    }
+
+    /// Declares end of stream: partial multi-fragment messages still
+    /// buffered will never complete, so they are drained and counted as
+    /// truncated. Returns how many were abandoned. Safe to call more than
+    /// once; scanning may continue afterwards.
+    pub fn finish(&mut self, at: Timestamp) -> u64 {
+        let truncated = self.defrag.drain_pending();
+        if truncated > 0 {
+            self.note_truncated(truncated, at);
+        }
+        truncated
+    }
+
+    /// Counts `n` truncated multi-fragment messages and surfaces them on
+    /// the flight recorder as decode errors.
+    fn note_truncated(&mut self, n: u64, at: Timestamp) {
+        self.stats.fragments_truncated += n;
+        for _ in 0..n {
+            OBS_TRUNCATED_FRAGMENTS.inc();
+        }
+        flight::record(FlightKind::DecodeError, || {
+            format!(
+                "t={} truncated multi-fragment message(s): {n} abandoned incomplete",
+                at.as_secs()
+            )
+        });
     }
 }
 
@@ -281,5 +320,72 @@ mod tests {
         assert_eq!(rec.name, "MINOAN SPIRIT");
         // Position reports still flow normally afterwards.
         assert!(scanner.scan(&good_sentence(), Timestamp(12)).is_some());
+    }
+
+    #[test]
+    fn truncated_fragment_is_counted_at_finish() {
+        use crate::voyage::{encode_static_voyage, StaticVoyageData};
+        let data = StaticVoyageData {
+            mmsi: Mmsi(237_000_042),
+            imo: 0,
+            callsign: String::new(),
+            name: "GHOST".into(),
+            ship_type: 70,
+            draught_m: 3.0,
+            destination: "NOWHERE".into(),
+        };
+        let [s1, _lost] = encode_static_voyage(&data, 2);
+        let mut scanner = DataScanner::new();
+        assert!(scanner.scan(&s1, Timestamp(10)).is_none());
+        assert_eq!(scanner.stats().fragments_pending, 1);
+        assert_eq!(scanner.stats().fragments_truncated, 0);
+        // The second fragment never arrives; end of stream surfaces it.
+        assert_eq!(scanner.finish(Timestamp(99)), 1);
+        let stats = scanner.stats();
+        assert_eq!(stats.fragments_truncated, 1);
+        assert_eq!(stats.voyage_declarations, 0);
+        // Idempotent once drained.
+        assert_eq!(scanner.finish(Timestamp(100)), 0);
+        assert_eq!(scanner.stats().fragments_truncated, 1);
+    }
+
+    #[test]
+    fn eviction_pressure_counts_truncated_mid_stream() {
+        use crate::voyage::{encode_static_voyage, StaticVoyageData};
+        let mut scanner = DataScanner::new();
+        // 70 distinct half-complete type-5 messages overflow the default
+        // 64-slot defragmenter; the overflow must be counted, not silent.
+        for seq in 0..70u32 {
+            let data = StaticVoyageData {
+                mmsi: Mmsi(237_000_000 + seq),
+                imo: 0,
+                callsign: String::new(),
+                name: format!("V{seq}"),
+                ship_type: 70,
+                draught_m: 3.0,
+                destination: String::new(),
+            };
+            let [s1, _lost] = encode_static_voyage(&data, (seq % 10) as u8);
+            let mut f = crate::nmea::parse_sentence(&s1).unwrap();
+            f.channel = char::from(b'A' + (seq / 10) as u8);
+            let line = {
+                // Re-encode with the altered channel so the scanner path
+                // (string in, checksum verified) is exercised end to end.
+                let body = format!(
+                    "AIVDM,{},{},{},{},{},{}",
+                    f.total,
+                    f.number,
+                    f.seq_id.unwrap_or(0),
+                    f.channel,
+                    f.payload,
+                    f.fill_bits
+                );
+                format!("!{body}*{:02X}", crate::nmea::checksum(&body))
+            };
+            assert!(scanner.scan(&line, Timestamp(i64::from(seq))).is_none());
+        }
+        let stats = scanner.stats();
+        assert_eq!(stats.fragments_pending, 70);
+        assert_eq!(stats.fragments_truncated, 6, "70 keys, 64 retained");
     }
 }

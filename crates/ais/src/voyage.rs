@@ -157,6 +157,11 @@ pub struct Defragmenter {
     /// Arrival counter for LRU-ish eviction.
     clock: u64,
     max_pending: usize,
+    /// Partial messages abandoned with fragments missing — evicted under
+    /// memory pressure or still incomplete at end of stream. These are
+    /// truncated transmissions, and a radio that truncates messages is a
+    /// link-quality signal the scanner must be able to report.
+    evicted_incomplete: u64,
 }
 
 #[derive(Debug)]
@@ -181,6 +186,7 @@ impl Defragmenter {
             pending: HashMap::new(),
             clock: 0,
             max_pending: max_pending.max(1),
+            evicted_incomplete: 0,
         }
     }
 
@@ -234,6 +240,24 @@ impl Defragmenter {
         self.pending.len()
     }
 
+    /// Multi-fragment messages abandoned incomplete so far (evicted under
+    /// pressure or drained at end of stream): truncated transmissions.
+    #[must_use]
+    pub fn evicted_incomplete(&self) -> u64 {
+        self.evicted_incomplete
+    }
+
+    /// Abandons every still-pending partial message, counting each as an
+    /// incomplete eviction, and returns how many were dropped. Call at end
+    /// of stream: a fragment set that never completed *is* a truncated
+    /// message, not a pending one.
+    pub fn drain_pending(&mut self) -> u64 {
+        let dropped = self.pending.len() as u64;
+        self.pending.clear();
+        self.evicted_incomplete += dropped;
+        dropped
+    }
+
     fn evict_if_needed(&mut self) {
         while self.pending.len() > self.max_pending {
             let oldest = self
@@ -243,6 +267,7 @@ impl Defragmenter {
                 .map(|(k, _)| *k)
                 .expect("non-empty");
             self.pending.remove(&oldest);
+            self.evicted_incomplete += 1;
         }
     }
 }
@@ -338,6 +363,21 @@ mod tests {
             defrag.push(&f);
         }
         assert!(defrag.pending() <= 4);
+        assert_eq!(defrag.evicted_incomplete(), 16, "20 keys, 4 retained");
+    }
+
+    #[test]
+    fn drain_counts_leftover_fragments_as_truncated() {
+        let [s1, _] = encode_static_voyage(&sample(), 7);
+        let mut defrag = Defragmenter::default();
+        assert!(defrag.push(&parse_sentence(&s1).unwrap()).is_none());
+        assert_eq!(defrag.pending(), 1);
+        assert_eq!(defrag.drain_pending(), 1);
+        assert_eq!(defrag.pending(), 0);
+        assert_eq!(defrag.evicted_incomplete(), 1);
+        // Draining an empty defragmenter is a no-op.
+        assert_eq!(defrag.drain_pending(), 0);
+        assert_eq!(defrag.evicted_incomplete(), 1);
     }
 
     #[test]

@@ -296,6 +296,22 @@ impl PartitionedRecognizer {
         self.recognizers[band].knowledge()
     }
 
+    /// How queries have been evaluated so far, summed across bands (each
+    /// band engine answers every query, so `incremental + full` is
+    /// `queries × bands`); all zeros under the from-scratch strategy.
+    #[must_use]
+    pub fn incremental_stats(&self) -> maritime_rtec::IncrementalStats {
+        let mut sum = maritime_rtec::IncrementalStats::default();
+        for r in &self.recognizers {
+            let s = r.incremental_stats();
+            sum.incremental += s.incremental;
+            sum.full += s.full;
+            sum.triggers_evaluated += s.triggers_evaluated;
+            sum.triggers_reused += s.triggers_reused;
+        }
+        sum
+    }
+
     /// Routes events to their bands. In precomputed mode each event gets
     /// its `close/3` facts from its own band's area set.
     pub fn add_events(&mut self, events: impl IntoIterator<Item = (Timestamp, InputEvent)>) {

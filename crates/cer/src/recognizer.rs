@@ -40,6 +40,24 @@ pub struct RecognitionSummary {
     pub working_memory: usize,
 }
 
+impl RecognitionSummary {
+    /// Canonical JSON rendering of everything the query recognized,
+    /// byte-stable across engine configurations: two summaries describe
+    /// the same recognition result if and only if their canonical strings
+    /// are equal. This is the equality the differential and metamorphic
+    /// harnesses compare on (nested pairs keep every tuple within the
+    /// serializer's arity).
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(&(
+            (self.query_time, &self.suspicious),
+            (&self.illegal_fishing, &self.alerts),
+            (self.ce_count, self.working_memory),
+        ))
+        .expect("summary serializes")
+    }
+}
+
 /// The end-to-end maritime complex event recognizer.
 ///
 /// ```

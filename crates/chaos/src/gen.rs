@@ -1,0 +1,113 @@
+//! Deterministic demo sentence streams for chaos runs.
+//!
+//! The chaos harness needs a raw NMEA stream (the perturbations operate
+//! on sentences, not decoded tuples) whose clean-run CE output is
+//! nontrivial. This builds one from the synthetic Aegean fleet: each
+//! vessel declares a type-5 static & voyage message, then streams its
+//! position reports.
+//!
+//! Type-5 declarations get *distinct per-vessel arrival times* (vessel
+//! `i` declares at `t = i`). AIS sequential message ids are only 0–9, so
+//! with ≥ 10 vessels the ids recycle; at distinct timestamps the
+//! canonical `(t, line)` ordering keeps each fragment pair adjacent, and
+//! only injected faults (not the baseline) can interleave two messages
+//! sharing an id — exactly the hostile condition the truncated-fragment
+//! accounting exists for.
+
+use maritime_ais::nmea::encode_report;
+use maritime_ais::voyage::{encode_static_voyage, StaticVoyageData};
+use maritime_ais::{FleetConfig, FleetSimulator};
+use maritime_cer::VesselInfo;
+use maritime_stream::Duration;
+
+use crate::perturb::StreamLine;
+
+/// Builds a deterministic `(arrival_secs, sentence)` stream plus the
+/// fleet's vessel descriptions (the static knowledge recognition needs).
+/// Same `(seed, vessels, hours)` → same stream, forever.
+#[must_use]
+pub fn demo_sentences(seed: u64, vessels: usize, hours: i64) -> (Vec<StreamLine>, Vec<VesselInfo>) {
+    // The oracles are vacuous on a stream that recognizes nothing, so the
+    // chaos fleet is deliberately badly behaved: everyone takes deliberate
+    // communication gaps, and half the fleet is fishing.
+    sentences_for(FleetConfig {
+        vessels,
+        duration: Duration::hours(hours),
+        seed,
+        rogue_fraction: 1.0,
+        fishing_fraction: 0.5,
+        ..FleetConfig::default()
+    })
+}
+
+/// Like [`demo_sentences`], but a well-behaved fleet: no deliberate gaps,
+/// so an incremental recognizer's delta path applies at almost every
+/// query. The late-arrival fallback test needs this calm baseline — on
+/// the rogue fleet, backdated gap events already force full recomputes
+/// and would mask the effect of injected late arrivals.
+#[must_use]
+pub fn calm_sentences(seed: u64, vessels: usize, hours: i64) -> (Vec<StreamLine>, Vec<VesselInfo>) {
+    sentences_for(FleetConfig {
+        vessels,
+        duration: Duration::hours(hours),
+        seed,
+        rogue_fraction: 0.0,
+        ..FleetConfig::default()
+    })
+}
+
+fn sentences_for(config: FleetConfig) -> (Vec<StreamLine>, Vec<VesselInfo>) {
+    let sim = FleetSimulator::new(config);
+    let mut lines: Vec<StreamLine> = Vec::new();
+    for (i, profile) in sim.profiles().iter().enumerate() {
+        let data = StaticVoyageData {
+            mmsi: profile.mmsi,
+            imo: 9_000_000 + i as u32,
+            callsign: format!("SV{i:04}"),
+            name: format!("CHAOS VESSEL {i}"),
+            ship_type: if profile.is_fishing { 30 } else { 70 },
+            draught_m: profile.draft_m,
+            destination: String::new(),
+        };
+        let [s1, s2] = encode_static_voyage(&data, (i % 10) as u8);
+        lines.push((i as i64, s1));
+        lines.push((i as i64, s2));
+    }
+    for report in sim.generate() {
+        lines.push((report.timestamp.as_secs(), encode_report(&report)));
+    }
+    lines.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let vessels = sim.profiles().iter().map(VesselInfo::from).collect();
+    (lines, vessels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_sorted() {
+        let (a, va) = demo_sentences(0xF1EE7, 8, 2);
+        let (b, vb) = demo_sentences(0xF1EE7, 8, 2);
+        assert_eq!(a, b);
+        assert_eq!(va.len(), vb.len());
+        assert_eq!(va.len(), 8);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        // 16 declaration fragments plus a healthy report volume.
+        assert!(a.len() > 100, "{} lines", a.len());
+    }
+
+    #[test]
+    fn declaration_pairs_stay_adjacent_in_canonical_order() {
+        let (lines, _) = demo_sentences(1, 25, 1);
+        // Vessel i's two fragments are the only sentences at t = i < 25
+        // (position reports start later), so each pair is adjacent even
+        // though sequential ids recycle after vessel 9.
+        let mut scanner = maritime_ais::DataScanner::new();
+        for (t, line) in &lines {
+            scanner.scan(line, maritime_stream::Timestamp(*t));
+        }
+        assert_eq!(scanner.stats().voyage_declarations, 25);
+        assert_eq!(scanner.finish(maritime_stream::Timestamp(i64::MAX)), 0);
+    }
+}

@@ -1,0 +1,499 @@
+//! The perturbation layer: applying a [`ChaosPlan`] to a sentence stream.
+//!
+//! A stream is a list of `(arrival_secs, sentence)` pairs — the same
+//! shape `surveil` replays log files in. Applying a plan is a pure
+//! function of `(plan, stream)`: every random decision comes from an RNG
+//! derived from the plan seed, the op's position, and the op's variant,
+//! so replaying a plan (or any shrunk sub-plan) is bit-exact.
+//!
+//! Op semantics worth spelling out:
+//!
+//! * [`ChaosOp::Reorder`] permutes *arrival order* only. Each sentence
+//!   gets a sort key `t + u` with `u` uniform in `[0, skew]`; a stable
+//!   sort by that key displaces arrivals by at most `skew` seconds. Any
+//!   two sentences more than `skew` apart keep their relative order, so
+//!   with skew ≤ the admission window the admission buffer provably
+//!   restores the canonical stream — the bounded-reorder oracle.
+//! * [`ChaosOp::Duplicate`] re-sends a copy immediately after the
+//!   original at the same arrival time. Duplicates survive admission (a
+//!   multiplicity buffer) and die in the tracker, which ignores stale
+//!   per-vessel fixes — the duplicate-idempotence oracle.
+//! * [`ChaosOp::Truncate`] / [`ChaosOp::Corrupt`] damage the sentence
+//!   text but leave the checksum stale, so the scanner *must* reject the
+//!   line; a damaged sentence is equivalent to a dropped one, which is
+//!   why these ops are not CE-preserving.
+
+use std::collections::BTreeSet;
+
+use maritime_ais::nmea;
+use maritime_obs::{names, LazyCounter};
+use maritime_stream::Timestamp;
+
+use crate::plan::{ChaosOp, ChaosPlan};
+use crate::rng::{mix64, ChaosRng};
+
+static OBS_OPS: LazyCounter = LazyCounter::new(names::CHAOS_OPS_APPLIED);
+static OBS_DROPPED: LazyCounter = LazyCounter::new(names::CHAOS_SENTENCES_DROPPED);
+static OBS_DUPLICATED: LazyCounter = LazyCounter::new(names::CHAOS_SENTENCES_DUPLICATED);
+static OBS_CORRUPTED: LazyCounter = LazyCounter::new(names::CHAOS_SENTENCES_CORRUPTED);
+static OBS_DELAYED: LazyCounter = LazyCounter::new(names::CHAOS_SENTENCES_DELAYED);
+
+/// One `(arrival_secs, sentence)` stream element.
+pub type StreamLine = (i64, String);
+
+/// What a plan application did to the stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerturbStats {
+    /// Ops applied (the plan length).
+    pub ops_applied: usize,
+    /// Sentences removed (drop, vessel drop, gap burst).
+    pub dropped: u64,
+    /// Duplicate sentences inserted.
+    pub duplicated: u64,
+    /// Sentences truncated or payload-corrupted.
+    pub corrupted: u64,
+    /// Sentences displaced in arrival time (reorder, jitter, late).
+    pub delayed: u64,
+    /// MMSIs silenced by [`ChaosOp::DropVessels`] — the gap-monotonicity
+    /// oracle needs to know exactly whose evidence was removed.
+    pub dropped_vessels: BTreeSet<u32>,
+}
+
+/// A compiled perturbation: a plan ready to apply to streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Perturbation {
+    plan: ChaosPlan,
+}
+
+impl Perturbation {
+    /// Wraps a plan.
+    #[must_use]
+    pub fn new(plan: ChaosPlan) -> Self {
+        Self { plan }
+    }
+
+    /// A single-op bounded-reorder perturbation — the standalone
+    /// metamorphic property of the proptest suite.
+    #[must_use]
+    pub fn reorder(seed: u64, skew_secs: i64) -> Self {
+        Self::new(ChaosPlan::new(seed, vec![ChaosOp::Reorder { skew_secs }]))
+    }
+
+    /// The underlying plan.
+    #[must_use]
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Applies every op in order, returning the perturbed stream and what
+    /// was done to it.
+    #[must_use]
+    pub fn apply(&self, lines: &[StreamLine]) -> (Vec<StreamLine>, PerturbStats) {
+        let mut out: Vec<StreamLine> = lines.to_vec();
+        let mut stats = PerturbStats::default();
+        for (index, op) in self.plan.ops.iter().enumerate() {
+            let rng = self.plan.op_rng(index, op);
+            out = apply_op(op, rng, out, &mut stats);
+            stats.ops_applied += 1;
+            OBS_OPS.inc();
+        }
+        (out, stats)
+    }
+}
+
+impl ChaosPlan {
+    /// Applies this plan to a stream — shorthand for
+    /// [`Perturbation::apply`].
+    #[must_use]
+    pub fn apply(&self, lines: &[StreamLine]) -> (Vec<StreamLine>, PerturbStats) {
+        Perturbation::new(self.clone()).apply(lines)
+    }
+}
+
+fn apply_op(
+    op: &ChaosOp,
+    mut rng: ChaosRng,
+    lines: Vec<StreamLine>,
+    stats: &mut PerturbStats,
+) -> Vec<StreamLine> {
+    match *op {
+        ChaosOp::Reorder { skew_secs } => {
+            let mut keyed: Vec<(i64, usize, StreamLine)> = lines
+                .into_iter()
+                .enumerate()
+                .map(|(i, (t, line))| {
+                    let u = rng.range_i64(0, skew_secs.max(0));
+                    (t + u, i, (t, line))
+                })
+                .collect();
+            keyed.sort_by_key(|&(key, i, _)| (key, i));
+            let moved = keyed
+                .iter()
+                .enumerate()
+                .filter(|(pos, &(_, i, _))| *pos != i)
+                .count() as u64;
+            stats.delayed += moved;
+            OBS_DELAYED.add(moved);
+            keyed.into_iter().map(|(_, _, item)| item).collect()
+        }
+        ChaosOp::Duplicate { per_mille } => {
+            let mut out = Vec::with_capacity(lines.len());
+            for (t, line) in lines {
+                let dup = rng.chance(per_mille);
+                if dup {
+                    out.push((t, line.clone()));
+                    stats.duplicated += 1;
+                    OBS_DUPLICATED.inc();
+                }
+                out.push((t, line));
+            }
+            out
+        }
+        ChaosOp::Drop { per_mille } => {
+            let mut out = Vec::with_capacity(lines.len());
+            for item in lines {
+                if rng.chance(per_mille) {
+                    stats.dropped += 1;
+                    OBS_DROPPED.inc();
+                } else {
+                    out.push(item);
+                }
+            }
+            out
+        }
+        ChaosOp::DropVessels { per_mille } => {
+            let salt = rng.next_u64();
+            let mut out = Vec::with_capacity(lines.len());
+            for (t, line) in lines {
+                let silenced = line_mmsi(&line).is_some_and(|mmsi| {
+                    if mix64(salt ^ u64::from(mmsi)) % 1000 < u64::from(per_mille) {
+                        stats.dropped_vessels.insert(mmsi);
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if silenced {
+                    stats.dropped += 1;
+                    OBS_DROPPED.inc();
+                } else {
+                    out.push((t, line));
+                }
+            }
+            out
+        }
+        ChaosOp::GapBurst {
+            start_secs,
+            duration_secs,
+        } => {
+            let gap = start_secs..start_secs + duration_secs.max(0);
+            let mut out = Vec::with_capacity(lines.len());
+            for (t, line) in lines {
+                if gap.contains(&t) {
+                    stats.dropped += 1;
+                    OBS_DROPPED.inc();
+                } else {
+                    out.push((t, line));
+                }
+            }
+            out
+        }
+        ChaosOp::Jitter { max_secs } => lines
+            .into_iter()
+            .map(|(t, line)| {
+                let r = rng.range_i64(-max_secs.max(0), max_secs.max(0));
+                if r != 0 {
+                    stats.delayed += 1;
+                    OBS_DELAYED.inc();
+                }
+                ((t + r).max(0), line)
+            })
+            .collect(),
+        ChaosOp::Truncate { per_mille } => lines
+            .into_iter()
+            .map(|(t, line)| {
+                if line.len() > 1 && rng.chance(per_mille) {
+                    let cut = 1 + rng.below(line.len() as u64 - 1) as usize;
+                    stats.corrupted += 1;
+                    OBS_CORRUPTED.inc();
+                    (t, line[..cut].to_string())
+                } else {
+                    (t, line)
+                }
+            })
+            .collect(),
+        ChaosOp::Corrupt { per_mille } => lines
+            .into_iter()
+            .map(|(t, line)| {
+                if rng.chance(per_mille) {
+                    if let Some(damaged) = corrupt_payload(&line, &mut rng) {
+                        stats.corrupted += 1;
+                        OBS_CORRUPTED.inc();
+                        return (t, damaged);
+                    }
+                }
+                (t, line)
+            })
+            .collect(),
+        ChaosOp::LateArrival {
+            per_mille,
+            delay_secs,
+        } => {
+            // Selected sentences leave the stream and come back once
+            // arrivals reach `t + delay` — report timestamps untouched.
+            let mut out = Vec::with_capacity(lines.len());
+            let mut held: Vec<(i64, StreamLine)> = Vec::new();
+            for (t, line) in lines {
+                if rng.chance(per_mille) {
+                    held.push((t + delay_secs.max(0), (t, line)));
+                    stats.delayed += 1;
+                    OBS_DELAYED.inc();
+                    continue;
+                }
+                let mut i = 0;
+                while i < held.len() {
+                    if held[i].0 <= t {
+                        out.push(held.remove(i).1);
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.push((t, line));
+            }
+            out.extend(held.into_iter().map(|(_, item)| item));
+            out
+        }
+    }
+}
+
+/// The MMSI of a single-fragment position-report sentence; `None` for
+/// fragments, voyage declarations, and anything undecodable. Used to
+/// silence vessels by identity rather than stream position.
+#[must_use]
+pub fn line_mmsi(line: &str) -> Option<u32> {
+    let sentence = nmea::parse_sentence(line).ok()?;
+    if sentence.total > 1 {
+        return None;
+    }
+    let report = nmea::decode_payload(&sentence.payload, sentence.fill_bits, Timestamp(0)).ok()?;
+    Some(report.mmsi.0)
+}
+
+/// Flips one payload byte, leaving the checksum stale (the same damage
+/// model as the replay corruptor in `crates/ais`): the field layout
+/// survives but verification must fail. Returns `None` when the line has
+/// no corruptible payload span.
+fn corrupt_payload(line: &str, rng: &mut ChaosRng) -> Option<String> {
+    let bytes = line.as_bytes();
+    let commas: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| (*b == b',').then_some(i))
+        .collect();
+    let star = line.rfind('*')?;
+    if commas.len() < 5 || star <= commas[4] + 2 {
+        return None;
+    }
+    let idx = commas[4] + 1 + rng.below((star - 1 - commas[4] - 1) as u64) as usize;
+    let mut out = bytes.to_vec();
+    out[idx] = if out[idx] == b'0' { b'1' } else { b'0' };
+    Some(String::from_utf8(out).expect("ASCII in, ASCII out"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: i64) -> Vec<StreamLine> {
+        (0..n).map(|i| (i * 10, format!("line-{i}"))).collect()
+    }
+
+    fn plan(op: ChaosOp) -> ChaosPlan {
+        ChaosPlan::new(99, vec![op])
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let p = ChaosPlan::hostile(7);
+        let input = stream(200);
+        let (a, sa) = p.apply(&input);
+        let (b, sb) = p.apply(&input);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn reorder_bounds_displacement() {
+        let skew = 60;
+        let input = stream(500);
+        let (out, stats) = plan(ChaosOp::Reorder { skew_secs: skew }).apply(&input);
+        assert_eq!(out.len(), input.len());
+        assert!(stats.delayed > 0, "500 items, some must move");
+        // Multiset preserved.
+        let mut a = out.clone();
+        let mut b = input.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // No sentence overtakes one more than `skew` older than it.
+        for (pos, (t, _)) in out.iter().enumerate() {
+            for (t_later, _) in &out[pos + 1..] {
+                assert!(t_later + skew >= *t, "{t_later} then {t} exceeds skew");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_inserts_adjacent_same_time_copies() {
+        let input = stream(300);
+        let (out, stats) = plan(ChaosOp::Duplicate { per_mille: 200 }).apply(&input);
+        assert_eq!(out.len(), input.len() + stats.duplicated as usize);
+        assert!(stats.duplicated > 20, "~60 expected, got {}", stats.duplicated);
+        // Every duplicate is adjacent to its original.
+        for w in out.windows(2) {
+            if w[0] == w[1] {
+                assert_eq!(w[0].0, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_and_gap_remove_sentences() {
+        let input = stream(300);
+        let (out, stats) = plan(ChaosOp::Drop { per_mille: 100 }).apply(&input);
+        assert_eq!(out.len() + stats.dropped as usize, input.len());
+        assert!(stats.dropped > 0);
+
+        let (out, stats) = plan(ChaosOp::GapBurst {
+            start_secs: 1_000,
+            duration_secs: 500,
+        })
+        .apply(&input);
+        assert_eq!(stats.dropped, 50, "timestamps 1000..1500 step 10");
+        assert!(out.iter().all(|(t, _)| !(1_000..1_500).contains(t)));
+    }
+
+    #[test]
+    fn jitter_moves_timestamps_not_order() {
+        let input = stream(100);
+        let (out, stats) = plan(ChaosOp::Jitter { max_secs: 15 }).apply(&input);
+        assert_eq!(out.len(), input.len());
+        assert!(stats.delayed > 0);
+        for ((t_out, l_out), (t_in, l_in)) in out.iter().zip(&input) {
+            assert_eq!(l_out, l_in, "order unchanged");
+            assert!((t_out - t_in).abs() <= 15);
+            assert!(*t_out >= 0);
+        }
+    }
+
+    #[test]
+    fn late_arrival_displaces_forward_keeping_timestamp() {
+        let input = stream(200);
+        let (out, stats) = plan(ChaosOp::LateArrival {
+            per_mille: 100,
+            delay_secs: 300,
+        })
+        .apply(&input);
+        assert_eq!(out.len(), input.len());
+        assert!(stats.delayed > 0);
+        let mut a = out.clone();
+        let mut b = input.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "multiset preserved, timestamps untouched");
+        assert_ne!(out, input, "but arrival order changed");
+    }
+
+    #[test]
+    fn truncate_and_corrupt_damage_real_sentences() {
+        use maritime_ais::types::{AisMessageType, PositionReport};
+        use maritime_ais::Mmsi;
+        use maritime_geo::GeoPoint;
+        let lines: Vec<StreamLine> = (0..200)
+            .map(|i| {
+                let report = PositionReport {
+                    mmsi: Mmsi(237_000_001 + i),
+                    msg_type: AisMessageType::PositionReportClassA,
+                    position: GeoPoint::new(24.0 + f64::from(i) * 0.001, 37.5),
+                    sog_knots: Some(8.0),
+                    cog_deg: Some(45.0),
+                    timestamp: Timestamp(i64::from(i) * 10),
+                };
+                (i64::from(i) * 10, nmea::encode_report(&report))
+            })
+            .collect();
+
+        let (out, stats) = plan(ChaosOp::Truncate { per_mille: 300 }).apply(&lines);
+        assert!(stats.corrupted > 20);
+        let shorter = out
+            .iter()
+            .zip(&lines)
+            .filter(|((_, a), (_, b))| a.len() < b.len())
+            .count();
+        assert_eq!(shorter as u64, stats.corrupted);
+
+        let (out, stats) = plan(ChaosOp::Corrupt { per_mille: 300 }).apply(&lines);
+        assert!(stats.corrupted > 20);
+        // Every corrupted sentence must be rejected by the parser (stale
+        // checksum), never silently accepted as different data.
+        let mut rejected = 0;
+        for ((_, damaged), (_, original)) in out.iter().zip(&lines) {
+            if damaged != original {
+                assert!(nmea::parse_sentence(damaged).is_err(), "{damaged}");
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, stats.corrupted);
+    }
+
+    #[test]
+    fn drop_vessels_silences_by_identity() {
+        use maritime_ais::types::{AisMessageType, PositionReport};
+        use maritime_ais::Mmsi;
+        use maritime_geo::GeoPoint;
+        let lines: Vec<StreamLine> = (0..300)
+            .map(|i| {
+                let report = PositionReport {
+                    mmsi: Mmsi(237_000_001 + (i % 10)),
+                    msg_type: AisMessageType::PositionReportClassA,
+                    position: GeoPoint::new(24.5, 37.5),
+                    sog_knots: Some(8.0),
+                    cog_deg: Some(45.0),
+                    timestamp: Timestamp(i64::from(i) * 10),
+                };
+                (i64::from(i) * 10, nmea::encode_report(&report))
+            })
+            .collect();
+        let (out, stats) = plan(ChaosOp::DropVessels { per_mille: 400 }).apply(&lines);
+        assert!(!stats.dropped_vessels.is_empty(), "~4 of 10 vessels");
+        assert!(stats.dropped_vessels.len() < 10, "not everyone");
+        assert_eq!(
+            stats.dropped as usize,
+            stats.dropped_vessels.len() * 30,
+            "30 reports per silenced vessel"
+        );
+        for (_, line) in &out {
+            let mmsi = line_mmsi(line).expect("all lines are position reports");
+            assert!(!stats.dropped_vessels.contains(&mmsi));
+        }
+    }
+
+    #[test]
+    fn ops_compose_in_order() {
+        let p = ChaosPlan::new(
+            5,
+            vec![
+                ChaosOp::Duplicate { per_mille: 100 },
+                ChaosOp::Drop { per_mille: 100 },
+                ChaosOp::Reorder { skew_secs: 40 },
+            ],
+        );
+        let input = stream(200);
+        let (out, stats) = p.apply(&input);
+        assert_eq!(stats.ops_applied, 3);
+        assert_eq!(
+            out.len(),
+            input.len() + stats.duplicated as usize - stats.dropped as usize
+        );
+    }
+}

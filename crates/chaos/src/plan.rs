@@ -1,0 +1,321 @@
+//! Chaos plans: a seed plus a list of perturbation ops.
+//!
+//! A [`ChaosPlan`] is the unit of fault injection, of failure
+//! reproduction, and of shrinking: everything the perturbation layer does
+//! is a pure function of `(plan, input stream)`, and the plan serializes
+//! to JSON so a CI failure can ship its exact fault schedule as an
+//! artifact. Rates are expressed in integer per-mille (`per_mille`)
+//! rather than floats so plans are `Eq`, hashable in spirit, and
+//! round-trip JSON exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::{mix64, ChaosRng};
+
+/// One stream perturbation. Ops apply in plan order, each with its own
+/// deterministic RNG stream, so removing an op (shrinking) never changes
+/// what the remaining ops do.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosOp {
+    /// Permute arrival order with timestamp displacement ≤ `skew_secs`
+    /// (report timestamps are untouched — only *when* sentences show up
+    /// changes). With skew within the admission window this is the
+    /// bounded-reorder metamorphic transformation: CE output must be
+    /// byte-identical.
+    Reorder {
+        /// Maximum arrival displacement, seconds.
+        skew_secs: i64,
+    },
+    /// Re-send ~`per_mille`/1000 of sentences immediately after the
+    /// original, at the same arrival time. The duplicate-idempotence
+    /// transformation: CE output must be byte-identical.
+    Duplicate {
+        /// Duplication rate, per mille.
+        per_mille: u32,
+    },
+    /// Discard ~`per_mille`/1000 of sentences uniformly.
+    Drop {
+        /// Drop rate, per mille.
+        per_mille: u32,
+    },
+    /// Discard every position report of ~`per_mille`/1000 of vessels
+    /// (selected by MMSI hash, not stream position). The
+    /// gap-monotonicity transformation: surviving vessels' CEs must be
+    /// preserved, and nothing new may appear.
+    DropVessels {
+        /// Fraction of vessels silenced, per mille.
+        per_mille: u32,
+    },
+    /// A burst communication gap: every sentence arriving in
+    /// `[start_secs, start_secs + duration_secs)` is lost, as when a
+    /// base station goes down.
+    GapBurst {
+        /// Gap start, stream seconds.
+        start_secs: i64,
+        /// Gap length, seconds.
+        duration_secs: i64,
+    },
+    /// Shift each sentence's *arrival* time by a uniform offset in
+    /// `[-max_secs, max_secs]` without re-sorting — modelling receiver
+    /// clock wobble. Displacements beyond the admission skew surface as
+    /// late admissions.
+    Jitter {
+        /// Maximum absolute displacement, seconds.
+        max_secs: i64,
+    },
+    /// Cut ~`per_mille`/1000 of sentences short mid-transmission.
+    Truncate {
+        /// Truncation rate, per mille.
+        per_mille: u32,
+    },
+    /// Flip a payload byte in ~`per_mille`/1000 of sentences (the
+    /// checksum is left stale, so the scanner must reject them).
+    Corrupt {
+        /// Corruption rate, per mille.
+        per_mille: u32,
+    },
+    /// Delay ~`per_mille`/1000 of sentences by `delay_secs` of *arrival*
+    /// time, keeping their report timestamps — genuine late arrivals,
+    /// the trigger for the incremental engine's full-recompute fallback.
+    LateArrival {
+        /// Fraction of sentences delayed, per mille.
+        per_mille: u32,
+        /// Arrival delay, seconds.
+        delay_secs: i64,
+    },
+}
+
+impl ChaosOp {
+    /// Short stable name, used in logs and stats.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosOp::Reorder { .. } => "reorder",
+            ChaosOp::Duplicate { .. } => "duplicate",
+            ChaosOp::Drop { .. } => "drop",
+            ChaosOp::DropVessels { .. } => "drop_vessels",
+            ChaosOp::GapBurst { .. } => "gap_burst",
+            ChaosOp::Jitter { .. } => "jitter",
+            ChaosOp::Truncate { .. } => "truncate",
+            ChaosOp::Corrupt { .. } => "corrupt",
+            ChaosOp::LateArrival { .. } => "late_arrival",
+        }
+    }
+
+    /// A per-variant constant folded into the op's RNG seed so two
+    /// different ops at the same plan position draw unrelated streams.
+    #[must_use]
+    pub(crate) fn tag(&self) -> u64 {
+        match self {
+            ChaosOp::Reorder { .. } => 0x01,
+            ChaosOp::Duplicate { .. } => 0x02,
+            ChaosOp::Drop { .. } => 0x03,
+            ChaosOp::DropVessels { .. } => 0x04,
+            ChaosOp::GapBurst { .. } => 0x05,
+            ChaosOp::Jitter { .. } => 0x06,
+            ChaosOp::Truncate { .. } => 0x07,
+            ChaosOp::Corrupt { .. } => 0x08,
+            ChaosOp::LateArrival { .. } => 0x09,
+        }
+    }
+
+    /// Whether this op is CE-preserving by construction — safe to use in
+    /// equivalence (byte-identical) plans. Only adjacent same-time
+    /// duplication and admission-window reordering qualify: every other
+    /// op removes, damages, or re-times information the recognizer sees.
+    #[must_use]
+    pub fn preserves_ces(&self, admission_skew_secs: i64) -> bool {
+        match self {
+            ChaosOp::Duplicate { .. } => true,
+            ChaosOp::Reorder { skew_secs } => *skew_secs <= admission_skew_secs,
+            _ => false,
+        }
+    }
+}
+
+/// A replayable fault schedule: `seed` drives every op's randomness, and
+/// `ops` apply in order. Serializes to JSON for CI artifacts and golden
+/// fixtures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// Master seed; each op derives its own stream from it.
+    pub seed: u64,
+    /// Perturbations, applied in order.
+    pub ops: Vec<ChaosOp>,
+}
+
+impl ChaosPlan {
+    /// A plan from parts.
+    #[must_use]
+    pub fn new(seed: u64, ops: Vec<ChaosOp>) -> Self {
+        Self { seed, ops }
+    }
+
+    /// Serializes to JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plan serializes")
+    }
+
+    /// Parses a plan from JSON (e.g. a CI failure artifact).
+    ///
+    /// # Errors
+    /// If the JSON is not a valid plan.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The RNG for op number `index` of this plan. Seeded independently
+    /// per position *and* per variant, so shrinking the op list never
+    /// changes how surviving ops behave relative to their own position.
+    #[must_use]
+    pub fn op_rng(&self, index: usize, op: &ChaosOp) -> ChaosRng {
+        ChaosRng::new(mix64(self.seed ^ (index as u64).wrapping_mul(0x9E37) ^ op.tag()))
+    }
+
+    /// Generates a CE-preserving plan (1–3 ops drawn from duplication and
+    /// admission-window reordering): the input to the
+    /// duplicate-idempotence and bounded-reorder equivalence oracles.
+    #[must_use]
+    pub fn equivalence(seed: u64, admission_skew_secs: i64) -> Self {
+        let mut rng = ChaosRng::new(mix64(seed ^ 0xE9));
+        let n = 1 + rng.below(3) as usize;
+        let ops = (0..n)
+            .map(|_| {
+                if rng.chance(500) {
+                    ChaosOp::Duplicate {
+                        per_mille: 10 + rng.below(90) as u32,
+                    }
+                } else {
+                    ChaosOp::Reorder {
+                        skew_secs: rng.range_i64(1, admission_skew_secs.max(1)),
+                    }
+                }
+            })
+            .collect();
+        Self::new(seed, ops)
+    }
+
+    /// Generates a hostile plan (2–4 ops of any kind): the input to the
+    /// cross-engine agreement oracle, which demands that all engines
+    /// degrade *identically*, whatever the damage.
+    #[must_use]
+    pub fn hostile(seed: u64) -> Self {
+        let mut rng = ChaosRng::new(mix64(seed ^ 0xA0));
+        let n = 2 + rng.below(3) as usize;
+        let ops = (0..n)
+            .map(|_| match rng.below(8) {
+                0 => ChaosOp::Reorder {
+                    skew_secs: rng.range_i64(30, 600),
+                },
+                1 => ChaosOp::Duplicate {
+                    per_mille: 10 + rng.below(150) as u32,
+                },
+                2 => ChaosOp::Drop {
+                    per_mille: 10 + rng.below(150) as u32,
+                },
+                3 => ChaosOp::GapBurst {
+                    start_secs: rng.range_i64(600, 10_000),
+                    duration_secs: rng.range_i64(300, 3_600),
+                },
+                4 => ChaosOp::Jitter {
+                    max_secs: rng.range_i64(5, 300),
+                },
+                5 => ChaosOp::Truncate {
+                    per_mille: 5 + rng.below(60) as u32,
+                },
+                6 => ChaosOp::Corrupt {
+                    per_mille: 5 + rng.below(60) as u32,
+                },
+                _ => ChaosOp::LateArrival {
+                    per_mille: 5 + rng.below(50) as u32,
+                    delay_secs: rng.range_i64(300, 3_600),
+                },
+            })
+            .collect();
+        Self::new(seed, ops)
+    }
+
+    /// Generates a vessel-silencing plan: the input to the
+    /// gap-monotonicity oracle.
+    #[must_use]
+    pub fn vessel_drop(seed: u64) -> Self {
+        let mut rng = ChaosRng::new(mix64(seed ^ 0xD0));
+        Self::new(
+            seed,
+            vec![ChaosOp::DropVessels {
+                per_mille: 100 + rng.below(250) as u32,
+            }],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_every_variant() {
+        let plan = ChaosPlan::new(
+            0xDEAD_BEEF,
+            vec![
+                ChaosOp::Reorder { skew_secs: 60 },
+                ChaosOp::Duplicate { per_mille: 50 },
+                ChaosOp::Drop { per_mille: 20 },
+                ChaosOp::DropVessels { per_mille: 200 },
+                ChaosOp::GapBurst {
+                    start_secs: 3_600,
+                    duration_secs: 900,
+                },
+                ChaosOp::Jitter { max_secs: 30 },
+                ChaosOp::Truncate { per_mille: 10 },
+                ChaosOp::Corrupt { per_mille: 10 },
+                ChaosOp::LateArrival {
+                    per_mille: 15,
+                    delay_secs: 1_800,
+                },
+            ],
+        );
+        let json = plan.to_json();
+        let back = ChaosPlan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_bounded() {
+        for seed in 0..50u64 {
+            let a = ChaosPlan::equivalence(seed, 120);
+            let b = ChaosPlan::equivalence(seed, 120);
+            assert_eq!(a, b);
+            assert!((1..=3).contains(&a.ops.len()));
+            assert!(a.ops.iter().all(|op| op.preserves_ces(120)), "{a:?}");
+
+            let h = ChaosPlan::hostile(seed);
+            assert_eq!(h, ChaosPlan::hostile(seed));
+            assert!((2..=4).contains(&h.ops.len()));
+
+            let v = ChaosPlan::vessel_drop(seed);
+            assert_eq!(v.ops.len(), 1);
+            assert!(matches!(v.ops[0], ChaosOp::DropVessels { .. }));
+        }
+    }
+
+    #[test]
+    fn op_rng_is_position_and_variant_specific() {
+        let plan = ChaosPlan::new(1, vec![]);
+        let a = ChaosPlan::op_rng(&plan, 0, &ChaosOp::Drop { per_mille: 10 }).next_u64();
+        let b = ChaosPlan::op_rng(&plan, 1, &ChaosOp::Drop { per_mille: 10 }).next_u64();
+        let c = ChaosPlan::op_rng(&plan, 0, &ChaosOp::Truncate { per_mille: 10 }).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn preserves_ces_is_strict() {
+        assert!(ChaosOp::Duplicate { per_mille: 999 }.preserves_ces(60));
+        assert!(ChaosOp::Reorder { skew_secs: 60 }.preserves_ces(60));
+        assert!(!ChaosOp::Reorder { skew_secs: 61 }.preserves_ces(60));
+        assert!(!ChaosOp::Drop { per_mille: 1 }.preserves_ces(60));
+        assert!(!ChaosOp::Corrupt { per_mille: 1 }.preserves_ces(60));
+    }
+}

@@ -1,0 +1,121 @@
+//! Delta-debugging shrinker for failing chaos plans.
+//!
+//! A hostile plan that provokes an oracle violation usually carries ops
+//! that have nothing to do with the failure. [`shrink_plan`] runs classic
+//! ddmin over the op list: try removing chunks (halves, then quarters, …)
+//! and keep any removal that still reproduces the violation, until no
+//! single op can be removed. Op RNGs ([`crate::ChaosPlan::op_rng`]) are
+//! keyed on the op's *current* index, so removing an op can shift the
+//! behaviour of the ops after it. That is fine: the shrinker's contract
+//! is only that the *returned* plan fails the predicate, which it
+//! re-checks at every step.
+
+use crate::plan::ChaosPlan;
+
+/// Minimizes `plan.ops` while `fails` keeps returning `true`.
+///
+/// `fails` must be deterministic for a given plan (chaos runs are). The
+/// returned plan is 1-minimal: removing any single remaining op makes the
+/// predicate pass. If the input plan does not fail, it is returned
+/// unchanged.
+pub fn shrink_plan(plan: &ChaosPlan, mut fails: impl FnMut(&ChaosPlan) -> bool) -> ChaosPlan {
+    if !fails(plan) || plan.ops.len() <= 1 {
+        return plan.clone();
+    }
+    let mut ops = plan.ops.clone();
+    let mut granularity = 2usize;
+    while ops.len() >= 2 {
+        let chunk = ops.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < ops.len() && ops.len() >= 2 {
+            let end = (start + chunk).min(ops.len());
+            let mut candidate_ops = ops.clone();
+            candidate_ops.drain(start..end);
+            if candidate_ops.is_empty() {
+                start = end;
+                continue;
+            }
+            let candidate = ChaosPlan {
+                seed: plan.seed,
+                ops: candidate_ops,
+            };
+            if fails(&candidate) {
+                ops = candidate.ops;
+                reduced = true;
+                // Re-test from the same offset: the chunk now holds
+                // different ops.
+            } else {
+                start = end;
+            }
+        }
+        if ops.len() < 2 {
+            break;
+        }
+        if reduced {
+            granularity = granularity.max(2).min(ops.len());
+        } else if granularity >= ops.len() {
+            break; // 1-minimal: no single op can be removed.
+        } else {
+            granularity = (granularity * 2).min(ops.len());
+        }
+    }
+    ChaosPlan {
+        seed: plan.seed,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChaosOp;
+
+    fn benign() -> ChaosOp {
+        ChaosOp::Duplicate { per_mille: 50 }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_op() {
+        let mut ops: Vec<ChaosOp> = (0..11).map(|_| benign()).collect();
+        ops.insert(6, ChaosOp::GapBurst { start_secs: 100, duration_secs: 200 });
+        let plan = ChaosPlan { seed: 7, ops };
+        let shrunk = shrink_plan(&plan, |p| {
+            p.ops.iter().any(|op| matches!(op, ChaosOp::GapBurst { .. }))
+        });
+        assert_eq!(shrunk.ops.len(), 1);
+        assert!(matches!(shrunk.ops[0], ChaosOp::GapBurst { .. }));
+        assert_eq!(shrunk.seed, 7);
+    }
+
+    #[test]
+    fn shrinks_conjunction_to_the_minimal_pair() {
+        let mut ops: Vec<ChaosOp> = (0..10).map(|_| benign()).collect();
+        ops.insert(2, ChaosOp::Jitter { max_secs: 30 });
+        ops.insert(9, ChaosOp::Corrupt { per_mille: 10 });
+        let plan = ChaosPlan { seed: 1, ops };
+        // Fails only when BOTH the jitter and the corruption survive.
+        let shrunk = shrink_plan(&plan, |p| {
+            p.ops.iter().any(|op| matches!(op, ChaosOp::Jitter { .. }))
+                && p.ops.iter().any(|op| matches!(op, ChaosOp::Corrupt { .. }))
+        });
+        assert_eq!(shrunk.ops.len(), 2);
+    }
+
+    #[test]
+    fn passing_plan_is_returned_unchanged() {
+        let plan = ChaosPlan { seed: 3, ops: vec![benign(), benign()] };
+        let shrunk = shrink_plan(&plan, |_| false);
+        assert_eq!(shrunk, plan);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Predicate: fails while at least 3 ops remain. ddmin must land on
+        // exactly 3 (removing any one more passes).
+        let ops: Vec<ChaosOp> = (0..12).map(|_| benign()).collect();
+        let plan = ChaosPlan { seed: 9, ops };
+        let shrunk = shrink_plan(&plan, |p| p.ops.len() >= 3);
+        assert_eq!(shrunk.ops.len(), 3);
+    }
+}

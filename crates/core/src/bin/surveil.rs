@@ -81,6 +81,9 @@ fn parse_args() -> Options {
     if args.first().map(String::as_str) == Some("explain") {
         cmd_explain(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("chaos") {
+        cmd_chaos(&args[1..]);
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -139,7 +142,9 @@ fn parse_args() -> Options {
                      [--metrics-every N-SLIDES] [--no-metrics] \
                      [--trace | --trace-ce FILE] [--trace-out FILE] \
                      [--flight-dump FILE] [--deadline-ms N]\n       \
-                     surveil explain [CE-ID] [--chains FILE]"
+                     surveil explain [CE-ID] [--chains FILE]\n       \
+                     surveil chaos [--seed N] [--plans N] [--vessels N] \
+                     [--hours N] [--skew SECS] [--plan FILE] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -206,6 +211,124 @@ fn cmd_explain(args: &[String]) -> ! {
             std::process::exit(0);
         }
     }
+}
+
+/// `surveil chaos`: generate seeded fault-injection plans, apply each to
+/// the deterministic chaos world, and hold the recognized CEs to the
+/// metamorphic oracles. On the first violation the op list is
+/// delta-debugged to a minimal reproducing plan, written (with a flight
+/// recorder dump) to the artifact directory, and the process exits 1 —
+/// `surveil chaos --plan <artifact>` replays it.
+fn cmd_chaos(args: &[String]) -> ! {
+    use maritime::chaos::ChaosHarness;
+    use maritime_chaos::{shrink_plan, ChaosPlan};
+
+    let mut harness = ChaosHarness::default();
+    let mut seed = harness.seed;
+    let mut plans = 6usize;
+    let mut replay: Option<String> = None;
+    let mut out_dir = "chaos-artifacts".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        // Seeds are echoed in hex, so accept them back in hex too.
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => v.parse().ok(),
+                })
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a number");
+                    std::process::exit(2);
+                })
+        };
+        match a.as_str() {
+            "--seed" => seed = num("--seed"),
+            "--plans" => plans = num("--plans") as usize,
+            "--vessels" => harness.vessels = num("--vessels") as usize,
+            "--hours" => harness.hours = num("--hours") as i64,
+            "--skew" => harness.admission_skew_secs = num("--skew") as i64,
+            "--plan" => replay = it.next().cloned(),
+            "--out" => out_dir = it.next().cloned().unwrap_or(out_dir),
+            other => {
+                eprintln!("chaos: unexpected argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    flight::install_panic_hook();
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {out_dir}: {e}");
+        std::process::exit(1);
+    });
+    flight::arm_dump(format!("{out_dir}/flight.json"));
+
+    let fail = |plan: &ChaosPlan, violation: &maritime_chaos::OracleViolation| -> ! {
+        eprintln!("VIOLATION: {violation}");
+        eprintln!("shrinking {}-op plan to a minimal reproduction...", plan.ops.len());
+        let shrunk = shrink_plan(plan, |p| harness.check_plan(p).is_err());
+        let plan_path = format!("{out_dir}/minimized-plan.json");
+        std::fs::write(&plan_path, shrunk.to_json()).expect("write minimized plan");
+        let dump = flight::trigger_dump("chaos oracle violation");
+        eprintln!(
+            "minimized to {} op(s): {}\nreplay with: surveil chaos --plan {plan_path}{}",
+            shrunk.ops.len(),
+            shrunk.to_json(),
+            dump.map_or(String::new(), |p| format!("\nflight dump: {}", p.display())),
+        );
+        std::process::exit(1);
+    };
+
+    if let Some(path) = replay {
+        let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        // Accept both a bare plan (the minimized-plan.json artifact) and
+        // the golden fixture's `{"plan": ..., "fingerprint_fnv64": ...}`
+        // wrapper.
+        let plan = ChaosPlan::from_json(&body)
+            .or_else(|outer| -> Result<ChaosPlan, String> {
+                let v: serde_json::Value =
+                    serde_json::from_str(&body).map_err(|_| outer.to_string())?;
+                let inner = v.get("plan").ok_or_else(|| outer.to_string())?;
+                let inner = serde_json::to_string(inner).map_err(|e| e.to_string())?;
+                ChaosPlan::from_json(&inner).map_err(|e| e.to_string())
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("{path} is not a chaos plan: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("replaying {}-op plan from {path}", plan.ops.len());
+        match harness.check_plan(&plan) {
+            Ok(()) => {
+                eprintln!("plan passes every applicable oracle");
+                std::process::exit(0);
+            }
+            Err(v) => fail(&plan, &v),
+        }
+    }
+
+    eprintln!(
+        "chaos: {plans} plan batches, seed {seed:#x}, {} vessels x {} h, skew {} s",
+        harness.vessels, harness.hours, harness.admission_skew_secs
+    );
+    for i in 0..plans as u64 {
+        let batch = [
+            ChaosPlan::equivalence(seed ^ i, harness.admission_skew_secs),
+            ChaosPlan::hostile(seed ^ i),
+            ChaosPlan::vessel_drop(seed ^ i),
+        ];
+        for plan in &batch {
+            if let Err(v) = harness.check_plan(plan) {
+                fail(plan, &v);
+            }
+        }
+        eprintln!("batch {}/{plans}: equivalence+hostile+vessel-drop ok", i + 1);
+    }
+    eprintln!("all oracles held on {} plans", plans * 3);
+    std::process::exit(0);
 }
 
 /// Builds a demo NMEA log: the synthetic fleet's position reports plus a

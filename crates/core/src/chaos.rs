@@ -1,0 +1,292 @@
+//! Chaos harness: runs perturbed sentence streams through the full
+//! pipeline under every engine configuration and applies the metamorphic
+//! oracles from `maritime-chaos`.
+//!
+//! The crate split keeps dependencies one-directional: `maritime-chaos`
+//! knows how to perturb streams and compare [`CeObservation`]s but
+//! nothing about pipelines; this module knows how to turn a sentence
+//! stream into an observation. A chaos run is
+//!
+//! ```text
+//! demo_sentences → ChaosPlan::apply → AdmissionBuffer → DataScanner
+//!                → SurveillancePipeline (per engine) → CeObservation
+//! ```
+//!
+//! and the oracle helpers ([`ChaosHarness::check_plan`] and friends) are
+//! shared verbatim by the `surveil chaos` subcommand and the root-level
+//! `chaos_*` integration tests, so a plan minimized in CI replays under
+//! exactly the machinery the tests exercise.
+
+use maritime_ais::{DataScanner, PositionTuple, ScanStats};
+use maritime_cer::VesselInfo;
+use maritime_chaos::oracle::{check_agreement, check_identical, check_vessel_projection};
+use maritime_chaos::{demo_sentences, CeObservation, ChaosPlan, OracleViolation, StreamLine};
+use maritime_geo::aegean::{generate_areas, AreaGenConfig};
+use maritime_geo::Area;
+use maritime_rtec::IncrementalStats;
+use maritime_stream::{AdmissionBuffer, AdmissionStats, Duration, Timestamp, WindowSpec};
+
+use crate::config::{SurveillanceConfig, TraceMode};
+use crate::pipeline::SurveillancePipeline;
+
+/// The engine configurations the cross-engine agreement oracle compares.
+/// All four must produce byte-identical [`CeObservation`]s on *any*
+/// stream, perturbed or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEngine {
+    /// Single-threaded tracker, from-scratch recognition.
+    Serial,
+    /// Sharded parallel tracker (4 shards).
+    Sharded,
+    /// Checkpointed incremental recognition.
+    Incremental,
+    /// Full provenance capture ([`TraceMode::Full`]).
+    Traced,
+}
+
+impl ChaosEngine {
+    /// Every engine configuration, in comparison order.
+    pub const ALL: [ChaosEngine; 4] = [
+        ChaosEngine::Serial,
+        ChaosEngine::Sharded,
+        ChaosEngine::Incremental,
+        ChaosEngine::Traced,
+    ];
+
+    /// Stable label used in oracle violations and CI artifacts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosEngine::Serial => "serial",
+            ChaosEngine::Sharded => "sharded",
+            ChaosEngine::Incremental => "incremental",
+            ChaosEngine::Traced => "traced",
+        }
+    }
+
+    fn configure(self, config: &mut SurveillanceConfig) {
+        match self {
+            ChaosEngine::Serial => {}
+            ChaosEngine::Sharded => config.parallelism.tracker_shards = 4,
+            ChaosEngine::Incremental => config.incremental_recognition = true,
+            ChaosEngine::Traced => config.trace = TraceMode::Full,
+        }
+    }
+}
+
+/// Everything one engine produced from one (possibly perturbed) stream.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Recognized complex events, canonically rendered.
+    pub observation: CeObservation,
+    /// Decode-layer accounting (includes `fragments_truncated`).
+    pub scan: ScanStats,
+    /// Admission-layer accounting (includes strictly-late arrivals).
+    pub admission: AdmissionStats,
+    /// Incremental-evaluation accounting; the late-arrival coverage test
+    /// asserts `full` grows when late events force a window recompute.
+    pub incremental: IncrementalStats,
+}
+
+/// A self-contained chaos world: a deterministic fleet, its areas, and
+/// the pipeline/window parameters every engine run shares.
+#[derive(Debug, Clone)]
+pub struct ChaosHarness {
+    /// Fleet seed (also the default stream seed).
+    pub seed: u64,
+    /// Fleet size.
+    pub vessels: usize,
+    /// Simulated stream duration, hours.
+    pub hours: i64,
+    /// Admission-buffer skew bound, seconds. Reorders within this bound
+    /// must be invisible ([`ChaosPlan::equivalence`] generates exactly
+    /// such plans).
+    pub admission_skew_secs: i64,
+    /// Recognition bands (1 = single recognizer). The late-arrival
+    /// coverage test raises this to check per-band fallback accounting.
+    pub recognition_bands: usize,
+}
+
+impl Default for ChaosHarness {
+    fn default() -> Self {
+        Self {
+            // 40 rogue vessels over 12 hours: small enough that one
+            // engine run takes ~0.1 s, large enough that the clean run
+            // recognizes both durative CEs and instantaneous alerts —
+            // the oracles are meaningless on a stream that recognizes
+            // nothing.
+            seed: 0xC4A05,
+            vessels: 40,
+            hours: 12,
+            admission_skew_secs: 120,
+            recognition_bands: 1,
+        }
+    }
+}
+
+impl ChaosHarness {
+    /// A harness with the default world but a caller-chosen seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// The deterministic baseline stream and the fleet's static facts.
+    #[must_use]
+    pub fn baseline(&self) -> (Vec<StreamLine>, Vec<VesselInfo>) {
+        demo_sentences(self.seed, self.vessels, self.hours)
+    }
+
+    fn areas(&self) -> Vec<Area> {
+        generate_areas(&AreaGenConfig::default())
+    }
+
+    /// The shared pipeline configuration: windows fast enough that a
+    /// five-hour stream crosses several recognition boundaries, slides
+    /// aligned per [`SurveillanceConfig::validate`].
+    #[must_use]
+    pub fn config(&self, engine: ChaosEngine) -> SurveillanceConfig {
+        let mut config = SurveillanceConfig {
+            tracking_window: WindowSpec::new(Duration::minutes(30), Duration::minutes(5))
+                .expect("valid chaos tracking window"),
+            recognition_window: WindowSpec::new(Duration::hours(2), Duration::minutes(30))
+                .expect("valid chaos recognition window"),
+            ..SurveillanceConfig::default()
+        };
+        config.parallelism.recognition_bands = self.recognition_bands;
+        engine.configure(&mut config);
+        config
+    }
+
+    /// Runs one sentence stream through one engine: admission reordering
+    /// repair, decode, tracking, recognition. Scanner truncation and
+    /// admission lateness are reported alongside the observation so tests
+    /// can assert the fault actually reached the layer under test.
+    ///
+    /// # Panics
+    /// If the pipeline configuration fails validation (a harness bug, not
+    /// an input property).
+    #[must_use]
+    pub fn run(&self, lines: &[StreamLine], vessels: &[VesselInfo], engine: ChaosEngine) -> EngineRun {
+        let config = self.config(engine);
+        let mut pipeline = SurveillancePipeline::new(&config, vessels.to_vec(), self.areas())
+            .expect("chaos harness config must validate");
+
+        let mut admission: AdmissionBuffer<String> =
+            AdmissionBuffer::new(Duration::secs(self.admission_skew_secs));
+        let mut scanner = DataScanner::new();
+        let mut tuples: Vec<PositionTuple> = Vec::new();
+        let scan_admitted = |scanner: &mut DataScanner,
+                             tuples: &mut Vec<PositionTuple>,
+                             batch: Vec<(Timestamp, String)>| {
+            for (t, line) in batch {
+                if let Some(tuple) = scanner.scan(&line, t) {
+                    tuples.push(tuple);
+                }
+            }
+        };
+        let mut last_t = Timestamp::ZERO;
+        for (t, line) in lines {
+            let t = Timestamp(*t);
+            last_t = last_t.max(t);
+            let released = admission.push(t, line.clone());
+            scan_admitted(&mut scanner, &mut tuples, released);
+        }
+        scan_admitted(&mut scanner, &mut tuples, admission.flush());
+        scanner.finish(last_t);
+
+        let mut observation = CeObservation::new();
+        pipeline.run_with_observer(tuples, |outcome| {
+            if let Some(summary) = &outcome.recognition {
+                observation.record_summary(summary);
+            }
+        });
+        EngineRun {
+            observation,
+            scan: scanner.stats(),
+            admission: admission.stats(),
+            incremental: pipeline.incremental_stats(),
+        }
+    }
+
+    /// Oracle 1 & 2 — duplicate-idempotence / bounded-reorder
+    /// equivalence: a CE-preserving plan (every op passes
+    /// [`maritime_chaos::ChaosOp::preserves_ces`]) must leave the serial
+    /// engine's observation byte-identical.
+    ///
+    /// # Errors
+    /// The violation, when the perturbed observation differs.
+    pub fn check_equivalence_plan(&self, plan: &ChaosPlan) -> Result<(), OracleViolation> {
+        let (lines, vessels) = self.baseline();
+        let base = self.run(&lines, &vessels, ChaosEngine::Serial);
+        let (perturbed, _) = plan.apply(&lines);
+        let got = self.run(&perturbed, &vessels, ChaosEngine::Serial);
+        check_identical(
+            "stream-equivalence",
+            &base.observation,
+            &got.observation,
+        )
+    }
+
+    /// Oracle 4 — cross-engine agreement: all four engines must agree on
+    /// the plan's perturbed stream. Returns each engine's run (label,
+    /// run) so callers can additionally inspect scan/admission stats.
+    ///
+    /// # Errors
+    /// The violation naming the first disagreeing engine.
+    pub fn check_agreement_plan(
+        &self,
+        plan: &ChaosPlan,
+    ) -> Result<Vec<(&'static str, EngineRun)>, OracleViolation> {
+        let (lines, vessels) = self.baseline();
+        let (perturbed, _) = plan.apply(&lines);
+        let runs: Vec<(&'static str, EngineRun)> = ChaosEngine::ALL
+            .iter()
+            .map(|&e| (e.label(), self.run(&perturbed, &vessels, e)))
+            .collect();
+        let labelled: Vec<(&'static str, &CeObservation)> =
+            runs.iter().map(|(l, r)| (*l, &r.observation)).collect();
+        check_agreement(&labelled)?;
+        Ok(runs)
+    }
+
+    /// Oracle 3 — gap-monotonicity: silencing vessels (a
+    /// [`maritime_chaos::ChaosOp::DropVessels`] plan) never *creates* CE
+    /// evidence — surviving vessels' alerts are exact, durative intervals
+    /// only shrink.
+    ///
+    /// # Errors
+    /// The violation, when dropping positions created or grew a CE.
+    pub fn check_monotonicity_plan(&self, plan: &ChaosPlan) -> Result<(), OracleViolation> {
+        let (lines, vessels) = self.baseline();
+        let base = self.run(&lines, &vessels, ChaosEngine::Serial);
+        let (thinned, stats) = plan.apply(&lines);
+        let got = self.run(&thinned, &vessels, ChaosEngine::Serial);
+        check_vessel_projection(&base.observation, &got.observation, &stats.dropped_vessels)
+    }
+
+    /// Applies every oracle the plan is eligible for: equivalence when
+    /// all ops are CE-preserving, vessel projection when the plan drops
+    /// vessels, and cross-engine agreement always. This is the predicate
+    /// the shrinker minimizes against.
+    ///
+    /// # Errors
+    /// The first violation found.
+    pub fn check_plan(&self, plan: &ChaosPlan) -> Result<(), OracleViolation> {
+        if plan
+            .ops
+            .iter()
+            .all(|op| op.preserves_ces(self.admission_skew_secs))
+        {
+            self.check_equivalence_plan(plan)?;
+        }
+        if plan
+            .ops
+            .iter()
+            .any(|op| matches!(op, maritime_chaos::ChaosOp::DropVessels { .. }))
+        {
+            self.check_monotonicity_plan(plan)?;
+        }
+        self.check_agreement_plan(plan).map(|_| ())
+    }
+}

@@ -52,11 +52,13 @@
 #![warn(missing_docs)]
 
 pub mod alerts;
+pub mod chaos;
 pub mod config;
 pub mod pipeline;
 pub mod trace;
 
 pub use alerts::{AlertRecord, AlertLog};
+pub use chaos::{ChaosEngine, ChaosHarness, EngineRun};
 pub use config::{MetricsMode, Parallelism, SurveillanceConfig, TraceMode};
 pub use pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
 pub use trace::{SentenceIndex, TraceLog};

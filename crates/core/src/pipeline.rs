@@ -216,6 +216,13 @@ impl RecognizerBackend {
             Self::Partitioned(p) => p.take_chains(),
         }
     }
+
+    fn incremental_stats(&self) -> maritime_rtec::IncrementalStats {
+        match self {
+            Self::Single(r) => r.incremental_stats(),
+            Self::Partitioned(p) => p.incremental_stats(),
+        }
+    }
 }
 
 /// Longitude extent for uniform recognition bands: the monitored areas'
@@ -342,6 +349,17 @@ impl SurveillancePipeline {
     #[must_use]
     pub fn archive_stats(&self) -> ArchiveStats {
         ArchiveStats::compute(&self.store, &self.staging)
+    }
+
+    /// How recognition queries have been evaluated so far (checkpointed
+    /// delta path vs. full recompute), summed across recognition bands;
+    /// all zeros unless incremental recognition is configured. Lets tests
+    /// assert that a scenario actually exercised — or fell back from —
+    /// the incremental path (e.g. the chaos harness's late-arrival
+    /// coverage check).
+    #[must_use]
+    pub fn incremental_stats(&self) -> maritime_rtec::IncrementalStats {
+        self.recognizer.incremental_stats()
     }
 
     /// Executes one window slide over a time-ordered positional batch

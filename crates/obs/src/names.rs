@@ -8,8 +8,8 @@
 //!
 //! Naming follows Prometheus conventions: `snake_case`, a stage prefix
 //! (`ais_`, `tracker_`, `shard_`, `stream_`, `geo_`, `modstore_`, `rtec_`,
-//! `cer_`, `pipeline_`, `trace_`), `_total` suffix on counters, `_ns`
-//! suffix on nanosecond histograms.
+//! `cer_`, `pipeline_`, `trace_`, `chaos_`), `_total` suffix on counters,
+//! `_ns` suffix on nanosecond histograms.
 
 use crate::registry::{Descriptor, MetricKind};
 
@@ -25,6 +25,8 @@ pub const AIS_MALFORMED: &str = "ais_malformed_total";
 pub const AIS_BAD_CHECKSUM: &str = "ais_bad_checksum_total";
 /// Static/voyage declarations (message type 5) decoded.
 pub const AIS_VOYAGE_DECLARATIONS: &str = "ais_voyage_declarations_total";
+/// Multi-fragment messages abandoned with fragments missing (truncated).
+pub const AIS_TRUNCATED_FRAGMENTS: &str = "ais_truncated_fragments_total";
 
 // ---- Trajectory tracker --------------------------------------------------
 
@@ -62,6 +64,8 @@ pub const STREAM_WINDOW_SLIDES: &str = "stream_window_slides_total";
 pub const STREAM_WINDOW_EVICTIONS: &str = "stream_window_evictions_total";
 /// Input batches formed by the slide batcher.
 pub const STREAM_BATCHES: &str = "stream_batches_total";
+/// Items admitted past the watermark by the admission buffer (late).
+pub const STREAM_LATE_ADMISSIONS: &str = "stream_late_admissions_total";
 
 // ---- Geo spatial index ---------------------------------------------------
 
@@ -131,6 +135,23 @@ pub const TRACE_TIMELINE_SPANS: &str = "trace_timeline_spans_total";
 /// CE provenance chains assembled by traced recognition.
 pub const TRACE_PROVENANCE_CHAINS: &str = "trace_provenance_chains_total";
 
+// ---- Chaos harness -------------------------------------------------------
+
+/// Perturbation ops applied to sentence streams by the chaos harness.
+pub const CHAOS_OPS_APPLIED: &str = "chaos_ops_applied_total";
+/// Sentences removed by drop / gap / vessel-drop perturbations.
+pub const CHAOS_SENTENCES_DROPPED: &str = "chaos_sentences_dropped_total";
+/// Sentences re-sent by the duplication perturbation.
+pub const CHAOS_SENTENCES_DUPLICATED: &str = "chaos_sentences_duplicated_total";
+/// Sentences damaged by truncation or payload corruption.
+pub const CHAOS_SENTENCES_CORRUPTED: &str = "chaos_sentences_corrupted_total";
+/// Sentences displaced in arrival time (reorder, jitter, late arrival).
+pub const CHAOS_SENTENCES_DELAYED: &str = "chaos_sentences_delayed_total";
+/// Metamorphic oracle checks evaluated.
+pub const CHAOS_ORACLE_CHECKS: &str = "chaos_oracle_checks_total";
+/// Metamorphic oracle checks that found a violation.
+pub const CHAOS_ORACLE_FAILURES: &str = "chaos_oracle_failures_total";
+
 /// One catalog row.
 const fn c(name: &'static str, unit: &'static str, help: &'static str) -> Descriptor {
     Descriptor {
@@ -169,6 +190,7 @@ pub const CATALOG: &[Descriptor] = &[
     c(AIS_MALFORMED, "sentences", "Sentences rejected as structurally malformed"),
     c(AIS_BAD_CHECKSUM, "sentences", "Sentences rejected on NMEA checksum mismatch"),
     c(AIS_VOYAGE_DECLARATIONS, "messages", "Static/voyage declarations (type 5) decoded"),
+    c(AIS_TRUNCATED_FRAGMENTS, "messages", "Multi-fragment messages abandoned incomplete"),
     // Tracker
     c(TRACKER_POINTS_INGESTED, "points", "Raw position updates ingested by the tracker"),
     c(TRACKER_CRITICAL_POINTS, "points", "Critical points emitted (compressed synopsis)"),
@@ -186,6 +208,7 @@ pub const CATALOG: &[Descriptor] = &[
     c(STREAM_WINDOW_SLIDES, "slides", "Window slide operations across sliding windows"),
     c(STREAM_WINDOW_EVICTIONS, "items", "Items evicted from sliding windows"),
     c(STREAM_BATCHES, "batches", "Input batches formed by the slide batcher"),
+    c(STREAM_LATE_ADMISSIONS, "items", "Items admitted past the watermark (late)"),
     // Geo
     c(GEO_GRID_LOOKUPS, "lookups", "Neighbour-candidate lookups on the grid index"),
     // Store
@@ -217,6 +240,14 @@ pub const CATALOG: &[Descriptor] = &[
     c(TRACE_FLIGHT_DUMPS, "dumps", "Flight-recorder JSON dumps written"),
     c(TRACE_TIMELINE_SPANS, "spans", "Stage spans collected onto the Chrome-trace timeline"),
     c(TRACE_PROVENANCE_CHAINS, "chains", "CE provenance chains assembled by traced recognition"),
+    // Chaos harness
+    c(CHAOS_OPS_APPLIED, "ops", "Perturbation ops applied to sentence streams"),
+    c(CHAOS_SENTENCES_DROPPED, "sentences", "Sentences removed by drop perturbations"),
+    c(CHAOS_SENTENCES_DUPLICATED, "sentences", "Sentences re-sent by duplication"),
+    c(CHAOS_SENTENCES_CORRUPTED, "sentences", "Sentences truncated or payload-corrupted"),
+    c(CHAOS_SENTENCES_DELAYED, "sentences", "Sentences displaced in arrival time"),
+    c(CHAOS_ORACLE_CHECKS, "checks", "Metamorphic oracle checks evaluated"),
+    c(CHAOS_ORACLE_FAILURES, "checks", "Metamorphic oracle checks that found a violation"),
 ];
 
 #[cfg(test)]
@@ -236,7 +267,7 @@ mod tests {
     fn catalog_follows_conventions() {
         let prefixes = [
             "ais_", "tracker_", "shard_", "stream_", "geo_", "modstore_", "rtec_", "cer_",
-            "pipeline_", "trace_",
+            "pipeline_", "trace_", "chaos_",
         ];
         for d in CATALOG {
             assert!(

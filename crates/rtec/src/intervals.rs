@@ -283,6 +283,31 @@ impl IntervalList {
         IntervalList { items }
     }
 
+    /// Interval containment: whether `inner` lies wholly within one of the
+    /// list's maximal intervals. Since maximal intervals are disjoint and
+    /// non-adjacent, a continuous period of the fluent holding can only be
+    /// covered by a *single* maximal interval — this is the containment
+    /// check the chaos harness's gap-monotonicity oracle uses: removing
+    /// input must only ever shrink or split CE intervals, so every
+    /// interval recognized on the thinned stream must sit inside one
+    /// recognized on the full stream.
+    #[must_use]
+    pub fn covers(&self, inner: &Interval) -> bool {
+        if inner.is_empty() {
+            return true;
+        }
+        let idx = self.items.partition_point(|i| i.since <= inner.since);
+        // Candidate: the last interval starting at or before inner.since.
+        let Some(outer) = idx.checked_sub(1).map(|i| self.items[i]) else {
+            return false;
+        };
+        match (outer.until, inner.until) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => b <= a,
+        }
+    }
+
     /// Total closed duration in seconds (open intervals contribute zero).
     #[must_use]
     pub fn total_duration_secs(&self) -> i64 {
@@ -461,6 +486,34 @@ mod tests {
             Interval::open(t(50)),
         ]);
         assert_eq!(a.total_duration_secs(), 25);
+    }
+
+    #[test]
+    fn covers_requires_single_maximal_interval() {
+        let il = IntervalList::from_intervals(vec![
+            Interval::closed(t(10), t(30)),
+            Interval::closed(t(50), t(70)),
+            Interval::open(t(90)),
+        ]);
+        // Inside one maximal interval, including exact match and shared
+        // endpoints.
+        assert!(il.covers(&Interval::closed(t(10), t(30))));
+        assert!(il.covers(&Interval::closed(t(15), t(25))));
+        assert!(il.covers(&Interval::closed(t(50), t(55))));
+        // Spanning the gap between two intervals is not containment.
+        assert!(!il.covers(&Interval::closed(t(20), t(60))));
+        // Starting before the interval opens is not containment.
+        assert!(!il.covers(&Interval::closed(t(5), t(20))));
+        // Entirely inside a gap.
+        assert!(!il.covers(&Interval::closed(t(35), t(45))));
+        // An open outer interval swallows both closed and open inners.
+        assert!(il.covers(&Interval::closed(t(95), t(1_000))));
+        assert!(il.covers(&Interval::open(t(95))));
+        // An open inner is never covered by a closed outer.
+        assert!(!il.covers(&Interval::open(t(15))));
+        // Empty inners are vacuously covered; empty lists cover nothing.
+        assert!(il.covers(&Interval::closed(t(40), t(40))));
+        assert!(!IntervalList::new().covers(&Interval::closed(t(0), t(1))));
     }
 
     #[test]

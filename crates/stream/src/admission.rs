@@ -1,0 +1,233 @@
+//! Bounded-disorder admission for out-of-order streams.
+//!
+//! Real AIS feeds are not time-sorted: radio relays, satellite hops, and
+//! store-and-forward base stations deliver sentences displaced from their
+//! report timestamps. The pipeline's windowing, however, is cheapest on a
+//! (mostly) sorted stream. [`AdmissionBuffer`] reconciles the two with the
+//! classic watermark scheme: items are buffered and released in timestamp
+//! order once the watermark (the maximum timestamp seen) has advanced past
+//! them by more than the configured `skew`, while items arriving *later*
+//! than the skew allows are admitted immediately, flagged as late, and
+//! left for downstream consumers to handle (the tracker ignores stale
+//! per-vessel fixes; the recognizer treats them as genuine late arrivals).
+//!
+//! The central guarantee, which the chaos harness's bounded-reorder oracle
+//! is built on: **any arrival-order permutation whose timestamp
+//! displacement is at most `skew` produces byte-identical output** — the
+//! canonical `(timestamp, item)` order of the input multiset. Duplicates
+//! are preserved (the buffer keys a multiplicity map, not a set), so
+//! duplicate-idempotence is decided downstream, where it belongs.
+
+use std::collections::BTreeMap;
+
+use maritime_obs::{names, LazyCounter};
+
+use crate::time::{Duration, Timestamp};
+
+/// Sentences admitted past the watermark (see `OBSERVABILITY.md`).
+static OBS_LATE: LazyCounter = LazyCounter::new(names::STREAM_LATE_ADMISSIONS);
+
+/// Counters describing what the buffer saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Items pushed in.
+    pub pushed: u64,
+    /// Items released (in order or late); equals `pushed` after `flush`.
+    pub released: u64,
+    /// Items admitted immediately because they arrived later than the
+    /// skew allows (their timestamp was below the watermark minus skew).
+    pub late: u64,
+    /// Largest number of items buffered at once.
+    pub peak_buffered: usize,
+}
+
+/// Reorders a stream with bounded timestamp skew into canonical
+/// `(timestamp, item)` order; see the module docs for the contract.
+#[derive(Debug)]
+pub struct AdmissionBuffer<T> {
+    skew: Duration,
+    /// Multiplicity map: identical `(timestamp, item)` pairs are counted,
+    /// not collapsed, so duplicates survive admission untouched.
+    buffered: BTreeMap<(Timestamp, T), usize>,
+    buffered_count: usize,
+    watermark: Option<Timestamp>,
+    stats: AdmissionStats,
+}
+
+impl<T: Ord + Clone> AdmissionBuffer<T> {
+    /// A buffer tolerating arrival displacement up to `skew`.
+    #[must_use]
+    pub fn new(skew: Duration) -> Self {
+        Self {
+            skew,
+            buffered: BTreeMap::new(),
+            buffered_count: 0,
+            watermark: None,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// The configured skew tolerance.
+    #[must_use]
+    pub fn skew(&self) -> Duration {
+        self.skew
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+
+    /// Items currently held back.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buffered_count
+    }
+
+    /// Pushes one item, returning everything releasable now, in canonical
+    /// order. A late item (timestamp strictly below watermark − skew) is
+    /// returned immediately — out of order, by construction — and counted.
+    pub fn push(&mut self, t: Timestamp, item: T) -> Vec<(Timestamp, T)> {
+        self.stats.pushed += 1;
+        if let Some(w) = self.watermark {
+            if t < w - self.skew {
+                self.stats.late += 1;
+                self.stats.released += 1;
+                OBS_LATE.inc();
+                return vec![(t, item)];
+            }
+        }
+        *self.buffered.entry((t, item)).or_insert(0) += 1;
+        self.buffered_count += 1;
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.buffered_count);
+        if self.watermark.is_none_or(|w| t > w) {
+            self.watermark = Some(t);
+        }
+        self.release()
+    }
+
+    /// Releases everything still buffered, in canonical order. Call at
+    /// end of stream.
+    pub fn flush(&mut self) -> Vec<(Timestamp, T)> {
+        let mut out = Vec::with_capacity(self.buffered_count);
+        for ((t, item), n) in std::mem::take(&mut self.buffered) {
+            for _ in 0..n {
+                out.push((t, item.clone()));
+            }
+        }
+        self.buffered_count = 0;
+        self.stats.released += out.len() as u64;
+        out
+    }
+
+    /// Pops every buffered entry whose timestamp has fallen behind the
+    /// watermark by more than the skew.
+    fn release(&mut self) -> Vec<(Timestamp, T)> {
+        let Some(w) = self.watermark else {
+            return Vec::new();
+        };
+        let bound = w - self.skew;
+        let mut out = Vec::new();
+        while let Some(((t, _), _)) = self.buffered.first_key_value() {
+            if *t >= bound {
+                break;
+            }
+            let ((t, item), n) = self.buffered.pop_first().expect("non-empty");
+            self.buffered_count -= n;
+            for _ in 0..n {
+                out.push((t, item.clone()));
+            }
+        }
+        self.stats.released += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(buf: &mut AdmissionBuffer<u32>, input: &[(i64, u32)]) -> Vec<(i64, u32)> {
+        let mut out = Vec::new();
+        for &(t, x) in input {
+            out.extend(buf.push(Timestamp(t), x));
+        }
+        out.extend(buf.flush());
+        out.into_iter().map(|(t, x)| (t.as_secs(), x)).collect()
+    }
+
+    #[test]
+    fn sorted_stream_passes_through_in_order() {
+        let mut buf = AdmissionBuffer::new(Duration::secs(60));
+        let input: Vec<(i64, u32)> = (0..20).map(|i| (i * 10, i as u32)).collect();
+        assert_eq!(drain(&mut buf, &input), input);
+        assert_eq!(buf.stats().late, 0);
+        assert_eq!(buf.stats().pushed, 20);
+        assert_eq!(buf.stats().released, 20);
+    }
+
+    #[test]
+    fn bounded_disorder_is_fully_repaired() {
+        // Displacements of up to 60 s; skew 60 s: output must be the
+        // canonical sort of the input multiset.
+        let mut buf = AdmissionBuffer::new(Duration::secs(60));
+        let input = vec![(30, 1u32), (0, 0), (60, 3), (40, 2), (100, 5), (70, 4)];
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(drain(&mut buf, &input), expect);
+        assert_eq!(buf.stats().late, 0);
+    }
+
+    #[test]
+    fn duplicates_are_preserved_with_multiplicity() {
+        let mut buf = AdmissionBuffer::new(Duration::secs(10));
+        let input = vec![(5, 7u32), (5, 7), (5, 7), (50, 1)];
+        let out = drain(&mut buf, &input);
+        assert_eq!(out, vec![(5, 7), (5, 7), (5, 7), (50, 1)]);
+    }
+
+    #[test]
+    fn late_items_are_admitted_immediately_and_counted() {
+        let mut buf = AdmissionBuffer::new(Duration::secs(30));
+        assert!(buf.push(Timestamp(0), 0u32).is_empty());
+        // Watermark 100: everything below 70 is now late.
+        let released = buf.push(Timestamp(100), 1);
+        assert_eq!(released, vec![(Timestamp(0), 0)]);
+        let late = buf.push(Timestamp(10), 2);
+        assert_eq!(late, vec![(Timestamp(10), 2)], "late item emitted at once");
+        assert_eq!(buf.stats().late, 1);
+        // A borderline item (exactly watermark − skew) is NOT late.
+        assert!(buf.push(Timestamp(70), 3).is_empty());
+        assert_eq!(buf.stats().late, 1);
+        let rest = buf.flush();
+        assert_eq!(rest, vec![(Timestamp(70), 3), (Timestamp(100), 1)]);
+        assert_eq!(buf.stats().pushed, buf.stats().released);
+    }
+
+    #[test]
+    fn watermark_never_regresses() {
+        let mut buf = AdmissionBuffer::new(Duration::secs(10));
+        buf.push(Timestamp(100), 0u32);
+        buf.push(Timestamp(95), 1); // within skew: buffered, watermark stays 100
+        let out = buf.push(Timestamp(101), 2);
+        assert!(out.is_empty(), "nothing below 91 yet: {out:?}");
+        let rest = buf.flush();
+        assert_eq!(
+            rest,
+            vec![(Timestamp(95), 1), (Timestamp(100), 0), (Timestamp(101), 2)]
+        );
+    }
+
+    #[test]
+    fn peak_buffered_tracks_high_water_mark() {
+        let mut buf = AdmissionBuffer::new(Duration::secs(1_000));
+        for i in 0..50 {
+            buf.push(Timestamp(i), i as u32);
+        }
+        assert_eq!(buf.buffered(), 50);
+        assert_eq!(buf.stats().peak_buffered, 50);
+        buf.flush();
+        assert_eq!(buf.buffered(), 0);
+    }
+}

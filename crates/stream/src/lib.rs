@@ -8,17 +8,20 @@
 //! This crate provides the time model ([`Timestamp`], [`Duration`]), window
 //! specifications ([`WindowSpec`]), a per-item sliding buffer
 //! ([`SlidingWindow`]), a batch replayer that turns a recorded stream into
-//! per-slide batches ([`SlideBatches`]), and arrival-rate rescaling used by
-//! the stress test of Figure 7 ([`rate`]).
+//! per-slide batches ([`SlideBatches`]), arrival-rate rescaling used by
+//! the stress test of Figure 7 ([`rate`]), and a bounded-disorder
+//! admission buffer for out-of-order feeds ([`AdmissionBuffer`]).
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod rate;
 pub mod shard;
 pub mod slider;
 pub mod time;
 pub mod window;
 
+pub use admission::{AdmissionBuffer, AdmissionStats};
 pub use shard::ShardRouter;
 pub use slider::SlideBatches;
 pub use time::{Duration, Timestamp};

@@ -1,0 +1,75 @@
+//! Golden chaos replay: a pinned hostile plan, replayed from its JSON
+//! fixture, must perturb the pinned world to the same recognition output
+//! forever. This freezes (1) plan JSON decoding, (2) every perturbation
+//! op's RNG derivation, and (3) the pipeline's behaviour under the
+//! perturbed stream — a change to any of them shows up as a fingerprint
+//! mismatch here before it silently invalidates archived CI artifacts.
+//!
+//! To bless a deliberate change: `CHAOS_BLESS=1 cargo test -p maritime
+//! --test chaos_golden`, then commit the rewritten fixture (see
+//! `TESTING.md`).
+
+use std::fs;
+use std::path::Path;
+
+use maritime::chaos::{ChaosEngine, ChaosHarness};
+use maritime_chaos::ChaosPlan;
+
+/// Relative to this test binary's CWD (`crates/core`).
+const FIXTURE: &str = "../../tests/golden/chaos_plan.json";
+
+/// FNV-1a 64-bit — tiny, dependency-free, and stable; collision
+/// resistance is irrelevant for a regression pin.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn observed_fingerprint(plan: &ChaosPlan) -> u64 {
+    let h = ChaosHarness::default();
+    let (lines, vessels) = h.baseline();
+    let (perturbed, _) = plan.apply(&lines);
+    let run = h.run(&perturbed, &vessels, ChaosEngine::Serial);
+    fnv1a64(run.observation.fingerprint().as_bytes())
+}
+
+#[test]
+fn golden_plan_replays_to_the_pinned_fingerprint() {
+    let fixture = Path::new(FIXTURE);
+    if std::env::var_os("CHAOS_BLESS").is_some() {
+        let plan = ChaosPlan::hostile(0x601D);
+        let fp = observed_fingerprint(&plan);
+        let body = format!(
+            "{{\n  \"plan\": {},\n  \"fingerprint_fnv64\": \"{fp:#018x}\"\n}}\n",
+            plan.to_json()
+        );
+        fs::write(fixture, body).expect("write golden fixture");
+        return;
+    }
+
+    let body = fs::read_to_string(fixture)
+        .expect("golden fixture missing — run once with CHAOS_BLESS=1");
+    let value: serde_json::Value = serde_json::from_str(&body).expect("fixture is JSON");
+    let plan_json = serde_json::to_string(value.get("plan").expect("fixture has a plan"))
+        .expect("plan subtree re-serializes");
+    let plan = ChaosPlan::from_json(&plan_json).expect("fixture plan decodes");
+    assert!(!plan.ops.is_empty(), "golden plan has no ops");
+
+    let pinned = match value.get("fingerprint_fnv64") {
+        Some(serde_json::Value::String(s)) => s.clone(),
+        other => panic!("fixture fingerprint missing or not a string: {other:?}"),
+    };
+    let pinned = u64::from_str_radix(pinned.trim_start_matches("0x"), 16)
+        .expect("fingerprint is hex");
+
+    let got = observed_fingerprint(&plan);
+    assert_eq!(
+        got, pinned,
+        "golden chaos replay diverged (got {got:#018x}); if intentional, \
+         re-bless with CHAOS_BLESS=1 (see TESTING.md)"
+    );
+}

@@ -1,0 +1,61 @@
+//! Late-arrival fallback coverage: injected late events must drive the
+//! incremental recognizer down its full-recompute path (the correctness
+//! escape hatch for `t ≤ checkpoint` arrivals), observable through
+//! [`maritime::SurveillancePipeline::incremental_stats`]. A calm fleet is
+//! used deliberately: the default rogue fleet's backdated gap events
+//! already force recomputes and would mask the injected effect.
+
+use maritime::chaos::{ChaosEngine, ChaosHarness};
+use maritime_chaos::{calm_sentences, ChaosOp, ChaosPlan};
+
+fn late_plan() -> ChaosPlan {
+    ChaosPlan {
+        seed: 0x1A7E,
+        // 40-minute delays: past the 2-minute admission skew (so the
+        // buffer must release them late rather than repair them) and past
+        // the 30-minute recognition slide (so they land at or before a
+        // checkpoint and void it).
+        ops: vec![ChaosOp::LateArrival { per_mille: 150, delay_secs: 2_400 }],
+    }
+}
+
+fn fallback_counts(bands: usize) -> (u64, u64) {
+    let h = ChaosHarness { recognition_bands: bands, ..ChaosHarness::default() };
+    let (lines, vessels) = calm_sentences(h.seed, h.vessels, h.hours);
+    let clean = h.run(&lines, &vessels, ChaosEngine::Incremental);
+    let (perturbed, stats) = late_plan().apply(&lines);
+    assert!(stats.delayed > 0, "plan delayed nothing — vacuous");
+    let late = h.run(&perturbed, &vessels, ChaosEngine::Incremental);
+    assert!(
+        late.admission.late > 0,
+        "no arrival was strictly late at admission — the fault never \
+         reached the layer under test"
+    );
+    // Sanity: every query is answered exactly once per band, by one path
+    // or the other.
+    let clean_total = clean.incremental.incremental + clean.incremental.full;
+    let late_total = late.incremental.incremental + late.incremental.full;
+    assert_eq!(clean_total, late_total, "query count changed under lateness");
+    (clean.incremental.full as u64, late.incremental.full as u64)
+}
+
+#[test]
+fn late_arrivals_force_full_recomputes_single_band() {
+    let (clean_full, late_full) = fallback_counts(1);
+    assert!(
+        late_full > clean_full,
+        "late arrivals did not increase full recomputes: {clean_full} -> {late_full}"
+    );
+}
+
+#[test]
+fn late_arrivals_force_full_recomputes_per_band() {
+    // With two longitude bands the fallback is accounted per band; the
+    // partitioned sum must still grow under injected lateness.
+    let (clean_full, late_full) = fallback_counts(2);
+    assert!(
+        late_full > clean_full,
+        "late arrivals did not increase per-band full recomputes: \
+         {clean_full} -> {late_full}"
+    );
+}

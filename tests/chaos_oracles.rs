@@ -1,0 +1,132 @@
+//! Metamorphic oracle suite: 20 fixed-seed chaos plans across the four
+//! oracles and the four engine configurations (`ISSUE`: chaos harness
+//! acceptance). Every plan here must pass forever — a failure means a
+//! perturbation the pipeline is contractually required to absorb changed
+//! recognition output, and `surveil chaos` will minimize it.
+
+use std::sync::OnceLock;
+
+use maritime::chaos::{ChaosEngine, ChaosHarness, EngineRun};
+use maritime_cer::VesselInfo;
+use maritime_chaos::oracle::{check_agreement, check_identical, check_vessel_projection};
+use maritime_chaos::{CeObservation, ChaosPlan, StreamLine};
+
+fn harness() -> ChaosHarness {
+    ChaosHarness::default()
+}
+
+fn world() -> &'static (Vec<StreamLine>, Vec<VesselInfo>) {
+    static WORLD: OnceLock<(Vec<StreamLine>, Vec<VesselInfo>)> = OnceLock::new();
+    WORLD.get_or_init(|| harness().baseline())
+}
+
+fn baseline() -> &'static EngineRun {
+    static BASE: OnceLock<EngineRun> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let (lines, vessels) = world();
+        harness().run(lines, vessels, ChaosEngine::Serial)
+    })
+}
+
+#[test]
+fn baseline_world_recognizes_nontrivially() {
+    // Every oracle below is vacuous if the clean stream recognizes
+    // nothing; pin that it recognizes both alerts and durative CEs.
+    let base = &baseline().observation;
+    assert!(base.ce_total > 0, "no complex events in the chaos world");
+    assert!(!base.alerts.is_empty(), "no instantaneous alerts");
+    let durative: usize = base
+        .queries
+        .iter()
+        .map(|q| q.suspicious.len() + q.illegal_fishing.len())
+        .sum();
+    assert!(durative > 0, "no durative CE intervals");
+}
+
+#[test]
+fn equivalence_plans_are_invisible_to_recognition() {
+    // Oracles 1 & 2 (duplicate-idempotence, bounded-reorder equivalence)
+    // on ten fixed-seed CE-preserving plans.
+    let h = harness();
+    let (lines, vessels) = world();
+    for seed in 0..10u64 {
+        let plan = ChaosPlan::equivalence(seed, h.admission_skew_secs);
+        assert!(
+            plan.ops.iter().all(|op| op.preserves_ces(h.admission_skew_secs)),
+            "equivalence generator produced a non-preserving op: {plan:?}"
+        );
+        let (perturbed, stats) = plan.apply(lines);
+        assert!(
+            stats.ops_applied > 0,
+            "seed {seed}: plan did not touch the stream"
+        );
+        let got = h.run(&perturbed, vessels, ChaosEngine::Serial);
+        if let Err(v) = check_identical(
+            "stream-equivalence",
+            &baseline().observation,
+            &got.observation,
+        ) {
+            panic!("seed {seed}, plan {}: {v}", plan.to_json());
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_hostile_plans() {
+    // Oracle 4 on five fixed-seed hostile plans: drops, gaps, jitter,
+    // corruption, late arrivals. Engines may produce different CEs than
+    // the clean baseline — but never different CEs from each other.
+    let h = harness();
+    let (lines, vessels) = world();
+    let mut damage = 0u64;
+    for seed in 0..5u64 {
+        let plan = ChaosPlan::hostile(seed);
+        let (perturbed, stats) = plan.apply(lines);
+        damage += stats.dropped + stats.duplicated + stats.corrupted + stats.delayed;
+        let runs: Vec<(&'static str, CeObservation)> = ChaosEngine::ALL
+            .iter()
+            .map(|&e| (e.label(), h.run(&perturbed, vessels, e).observation))
+            .collect();
+        let labelled: Vec<(&'static str, &CeObservation)> =
+            runs.iter().map(|(l, o)| (*l, o)).collect();
+        if let Err(v) = check_agreement(&labelled) {
+            panic!("seed {seed}, plan {}: {v}", plan.to_json());
+        }
+    }
+    assert!(damage > 0, "hostile plans did no damage — test is vacuous");
+}
+
+#[test]
+fn engines_agree_on_the_clean_stream() {
+    let h = harness();
+    let (lines, vessels) = world();
+    let runs: Vec<(&'static str, CeObservation)> = ChaosEngine::ALL
+        .iter()
+        .map(|&e| (e.label(), h.run(lines, vessels, e).observation))
+        .collect();
+    let labelled: Vec<(&'static str, &CeObservation)> =
+        runs.iter().map(|(l, o)| (*l, o)).collect();
+    check_agreement(&labelled).expect("clean-stream agreement");
+}
+
+#[test]
+fn silencing_vessels_never_creates_ce_evidence() {
+    // Oracle 3 (gap-monotonicity) on five fixed-seed vessel-drop plans.
+    let h = harness();
+    let (lines, vessels) = world();
+    let mut silenced_total = 0usize;
+    for seed in 0..5u64 {
+        let plan = ChaosPlan::vessel_drop(seed);
+        let (thinned, stats) = plan.apply(lines);
+        silenced_total += stats.dropped_vessels.len();
+        let got = h.run(&thinned, vessels, ChaosEngine::Serial);
+        if let Err(v) = check_vessel_projection(
+            &baseline().observation,
+            &got.observation,
+            &stats.dropped_vessels,
+        ) {
+            panic!("seed {seed}, plan {}: {v}", plan.to_json());
+        }
+    }
+    assert!(silenced_total > 0, "no vessel was ever silenced — vacuous");
+}
