@@ -9,7 +9,7 @@ use maritime_geo::GeoPoint;
 use maritime_stream::Timestamp;
 
 use crate::mmsi::Mmsi;
-use crate::sixbit::{BitReader, BitWriter};
+use crate::sixbit::{BitCursor, BitWriter};
 use crate::types::{AisMessageType, PositionReport};
 
 /// Longitude/latitude wire resolution: 1/10000 arc-minute.
@@ -35,6 +35,55 @@ pub struct AivdmSentence {
     pub payload: String,
     /// Fill bits in the final six-bit group.
     pub fill_bits: u8,
+}
+
+impl AivdmSentence {
+    /// The borrowed view of this sentence, for APIs on the zero-copy path.
+    #[must_use]
+    pub fn as_fragment(&self) -> AivdmFragment<'_> {
+        AivdmFragment {
+            total: self.total,
+            number: self.number,
+            seq_id: self.seq_id,
+            channel: self.channel,
+            payload: &self.payload,
+            fill_bits: self.fill_bits,
+        }
+    }
+}
+
+/// A parsed `!AIVDM` fragment borrowing its payload from the input line —
+/// the zero-copy form the scanner hot path consumes. [`AivdmSentence`] is
+/// the owned counterpart for callers that outlive the line buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AivdmFragment<'a> {
+    /// Total number of fragments in the message.
+    pub total: u8,
+    /// This fragment's 1-based index.
+    pub number: u8,
+    /// Sequential message id for multi-fragment messages (empty for single).
+    pub seq_id: Option<u8>,
+    /// Radio channel, 'A' or 'B'.
+    pub channel: char,
+    /// Armoured payload, borrowed from the input line.
+    pub payload: &'a str,
+    /// Fill bits in the final six-bit group.
+    pub fill_bits: u8,
+}
+
+impl AivdmFragment<'_> {
+    /// Copies into the owned sentence form.
+    #[must_use]
+    pub fn to_sentence(&self) -> AivdmSentence {
+        AivdmSentence {
+            total: self.total,
+            number: self.number,
+            seq_id: self.seq_id,
+            channel: self.channel,
+            payload: self.payload.to_string(),
+            fill_bits: self.fill_bits,
+        }
+    }
 }
 
 /// Errors from sentence parsing or payload decoding.
@@ -93,8 +142,11 @@ pub fn checksum(body: &str) -> u8 {
     body.bytes().fold(0, |acc, b| acc ^ b)
 }
 
-/// Parses one `!AIVDM,...*hh` sentence, validating the checksum.
-pub fn parse_sentence(line: &str) -> Result<AivdmSentence, NmeaError> {
+/// Parses one `!AIVDM,...*hh` sentence into a borrowed fragment,
+/// validating the checksum. Performs no heap allocation: the payload is a
+/// slice of `line`, and the six comma-separated fields are walked with a
+/// split iterator instead of being collected.
+pub fn parse_fragment(line: &str) -> Result<AivdmFragment<'_>, NmeaError> {
     let line = line.trim_end();
     let rest = line
         .strip_prefix("!AIVDM,")
@@ -110,27 +162,39 @@ pub fn parse_sentence(line: &str) -> Result<AivdmSentence, NmeaError> {
         return Err(NmeaError::ChecksumMismatch { computed, declared });
     }
 
-    let fields: Vec<&str> = body.split(',').collect();
-    if fields.len() != 6 {
-        return Err(NmeaError::BadFieldCount(fields.len()));
-    }
-    let total: u8 = fields[0].parse().map_err(|_| NmeaError::BadField("total"))?;
-    let number: u8 = fields[1].parse().map_err(|_| NmeaError::BadField("number"))?;
-    let seq_id = if fields[2].is_empty() {
+    let mut fields = body.split(',');
+    let (
+        (Some(f_total), Some(f_number), Some(f_seq)),
+        (Some(f_channel), Some(f_payload), Some(f_fill), None),
+    ) = (
+        (fields.next(), fields.next(), fields.next()),
+        (fields.next(), fields.next(), fields.next(), fields.next()),
+    )
+    else {
+        return Err(NmeaError::BadFieldCount(body.split(',').count()));
+    };
+    let total: u8 = f_total.parse().map_err(|_| NmeaError::BadField("total"))?;
+    let number: u8 = f_number.parse().map_err(|_| NmeaError::BadField("number"))?;
+    let seq_id = if f_seq.is_empty() {
         None
     } else {
-        Some(fields[2].parse().map_err(|_| NmeaError::BadField("seq_id"))?)
+        Some(f_seq.parse().map_err(|_| NmeaError::BadField("seq_id"))?)
     };
-    let channel = fields[3].chars().next().unwrap_or('A');
-    let fill_bits: u8 = fields[5].parse().map_err(|_| NmeaError::BadField("fill"))?;
-    Ok(AivdmSentence {
+    let channel = f_channel.chars().next().unwrap_or('A');
+    let fill_bits: u8 = f_fill.parse().map_err(|_| NmeaError::BadField("fill"))?;
+    Ok(AivdmFragment {
         total,
         number,
         seq_id,
         channel,
-        payload: fields[4].to_string(),
+        payload: f_payload,
         fill_bits,
     })
+}
+
+/// Parses one `!AIVDM,...*hh` sentence, validating the checksum.
+pub fn parse_sentence(line: &str) -> Result<AivdmSentence, NmeaError> {
+    parse_fragment(line).map(|f| f.to_sentence())
 }
 
 /// Renders a payload as a single `!AIVDM` sentence with a valid checksum.
@@ -214,13 +278,74 @@ pub fn encode_report(report: &PositionReport) -> String {
 /// Decodes an armoured payload into a [`PositionReport`].
 ///
 /// `received_at` supplies the stream timestamp τ, since the wire format
-/// carries only a UTC-second hint.
+/// carries only a UTC-second hint. Decoding reads bit fields directly off
+/// the payload bytes via [`BitCursor`] — no heap allocation; the
+/// `#[cfg(test)]` twin `decode_payload_reference` runs the same layout
+/// through the reference [`crate::sixbit::BitReader`] as the differential
+/// oracle.
 pub fn decode_payload(
     payload: &str,
     fill_bits: u8,
     received_at: Timestamp,
 ) -> Result<PositionReport, NmeaError> {
-    let mut r = BitReader::from_payload(payload, fill_bits).ok_or(NmeaError::BadPayload)?;
+    let mut r = BitCursor::new(payload.as_bytes(), fill_bits).ok_or(NmeaError::BadPayload)?;
+    let type_raw = r.get_u32(6).ok_or(NmeaError::BadPayload)? as u8;
+    let msg_type =
+        AisMessageType::from_u8(type_raw).ok_or(NmeaError::UnsupportedType(type_raw))?;
+    r.skip(2).ok_or(NmeaError::BadPayload)?; // repeat indicator
+    let mmsi_raw = r.get_u32(30).ok_or(NmeaError::BadPayload)?;
+    let mmsi = Mmsi::try_new(mmsi_raw).map_err(|e| NmeaError::BadMmsi(e.0))?;
+
+    let (sog_raw, lon_raw, lat_raw, cog_raw) = match msg_type {
+        AisMessageType::PositionReportClassA
+        | AisMessageType::PositionReportClassAAssigned
+        | AisMessageType::PositionReportClassAResponse => {
+            r.skip(4 + 8).ok_or(NmeaError::BadPayload)?; // status + ROT
+            let sog = r.get_u32(10).ok_or(NmeaError::BadPayload)?;
+            r.skip(1).ok_or(NmeaError::BadPayload)?; // accuracy
+            let lon = r.get_i32(28).ok_or(NmeaError::BadPayload)?;
+            let lat = r.get_i32(27).ok_or(NmeaError::BadPayload)?;
+            let cog = r.get_u32(12).ok_or(NmeaError::BadPayload)?;
+            (sog, lon, lat, cog)
+        }
+        AisMessageType::StandardClassB | AisMessageType::ExtendedClassB => {
+            r.skip(8).ok_or(NmeaError::BadPayload)?; // reserved
+            let sog = r.get_u32(10).ok_or(NmeaError::BadPayload)?;
+            r.skip(1).ok_or(NmeaError::BadPayload)?;
+            let lon = r.get_i32(28).ok_or(NmeaError::BadPayload)?;
+            let lat = r.get_i32(27).ok_or(NmeaError::BadPayload)?;
+            let cog = r.get_u32(12).ok_or(NmeaError::BadPayload)?;
+            (sog, lon, lat, cog)
+        }
+    };
+
+    if lon_raw == LON_NA || lat_raw == LAT_NA {
+        return Err(NmeaError::PositionUnavailable);
+    }
+    let position = GeoPoint::try_new(lon_raw as f64 / COORD_SCALE, lat_raw as f64 / COORD_SCALE)
+        .map_err(|_| NmeaError::PositionUnavailable)?;
+
+    Ok(PositionReport {
+        mmsi,
+        msg_type,
+        position,
+        sog_knots: (sog_raw != SOG_NA).then(|| f64::from(sog_raw) / 10.0),
+        cog_deg: (cog_raw != COG_NA).then(|| f64::from(cog_raw) / 10.0),
+        timestamp: received_at,
+    })
+}
+
+/// Reference decode: identical layout walk through the reference
+/// [`BitReader`](crate::sixbit::BitReader). Compiled only for tests, where
+/// it serves as the oracle of the decoder differential suite.
+#[cfg(test)]
+pub fn decode_payload_reference(
+    payload: &str,
+    fill_bits: u8,
+    received_at: Timestamp,
+) -> Result<PositionReport, NmeaError> {
+    let mut r = crate::sixbit::BitReader::from_payload(payload, fill_bits)
+        .ok_or(NmeaError::BadPayload)?;
     let type_raw = r.get_u32(6).ok_or(NmeaError::BadPayload)? as u8;
     let msg_type =
         AisMessageType::from_u8(type_raw).ok_or(NmeaError::UnsupportedType(type_raw))?;
@@ -410,6 +535,46 @@ mod tests {
         assert_eq!(parsed.number, 1);
         assert_eq!(parsed.seq_id, None);
         assert_eq!(parsed.channel, 'A');
+    }
+
+    #[test]
+    fn fragment_parse_matches_sentence_parse() {
+        let sentence = encode_report(&sample_report(AisMessageType::PositionReportClassA));
+        let frag = parse_fragment(&sentence).unwrap();
+        let owned = parse_sentence(&sentence).unwrap();
+        assert_eq!(frag.to_sentence(), owned);
+        assert_eq!(owned.as_fragment(), frag);
+        // The fragment payload is a slice of the input, not a copy.
+        let line_range = sentence.as_ptr() as usize..sentence.as_ptr() as usize + sentence.len();
+        assert!(line_range.contains(&(frag.payload.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn cursor_decode_matches_reference_on_fixtures() {
+        // Clean payloads of every supported type, plus malformed ones:
+        // the production cursor decoder and the reference BitReader
+        // decoder must agree byte-for-byte, including on the error.
+        let mut cases: Vec<(String, u8)> = Vec::new();
+        for t in [
+            AisMessageType::PositionReportClassA,
+            AisMessageType::PositionReportClassAAssigned,
+            AisMessageType::PositionReportClassAResponse,
+            AisMessageType::StandardClassB,
+            AisMessageType::ExtendedClassB,
+        ] {
+            let parsed = parse_sentence(&encode_report(&sample_report(t))).unwrap();
+            cases.push((parsed.payload, parsed.fill_bits));
+        }
+        cases.push((String::new(), 0)); // empty payload
+        cases.push((String::new(), 3)); // fill exceeding payload bits
+        cases.push(("1".into(), 0)); // truncated after message type
+        cases.push(("1 3".into(), 0)); // invalid armour char
+        cases.push(("5".repeat(20), 2)); // unsupported type 5
+        for (payload, fill) in cases {
+            let fast = decode_payload(&payload, fill, Timestamp(7));
+            let slow = decode_payload_reference(&payload, fill, Timestamp(7));
+            assert_eq!(fast, slow, "payload {payload:?} fill {fill}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use maritime_stream::Timestamp;
 
 use crate::nmea::{self, NmeaError};
 use crate::types::PositionTuple;
-use crate::voyage::{decode_static_voyage, Defragmenter, VoyageRegistry};
+use crate::voyage::{decode_static_voyage, Defragged, Defragmenter, VoyageRegistry};
 
 /// Global decode metrics (see `OBSERVABILITY.md`). The per-scanner
 /// [`ScanStats`] stay authoritative for the report; these feed the live
@@ -94,10 +94,16 @@ impl DataScanner {
     /// Scans one line received at `received_at`. Returns the positional
     /// tuple, or `None` when the line is discarded, buffered as a fragment,
     /// or recorded as a voyage declaration (all counted in stats).
+    ///
+    /// The steady-state path is allocation-free: the sentence is parsed
+    /// into a borrowed [`crate::nmea::AivdmFragment`] whose payload is a
+    /// slice of `line`, and single-fragment messages are decoded in place
+    /// via the table-driven bit cursor. Only genuinely multi-part messages
+    /// (type-5 declarations) touch the defragmenter's heap buffers.
     pub fn scan(&mut self, line: &str, received_at: Timestamp) -> Option<PositionTuple> {
         self.stats.total += 1;
         OBS_SENTENCES.inc();
-        let sentence = match nmea::parse_sentence(line) {
+        let fragment = match nmea::parse_fragment(line) {
             Ok(s) => s,
             Err(e @ NmeaError::ChecksumMismatch { .. }) => {
                 self.stats.bad_checksum += 1;
@@ -117,14 +123,18 @@ impl DataScanner {
             }
         };
         let evicted_before = self.defrag.evicted_incomplete();
-        let pushed = self.defrag.push(&sentence);
+        let pushed = self.defrag.push_fragment(&fragment);
         let truncated = self.defrag.evicted_incomplete() - evicted_before;
         if truncated > 0 {
             self.note_truncated(truncated, received_at);
         }
-        let Some((payload, fill_bits)) = pushed else {
-            self.stats.fragments_pending += 1;
-            return None;
+        let (payload, fill_bits): (&str, u8) = match &pushed {
+            Defragged::Single(payload, fill) => (payload, *fill),
+            Defragged::Pending => {
+                self.stats.fragments_pending += 1;
+                return None;
+            }
+            Defragged::Complete(payload, fill) => (payload.as_str(), *fill),
         };
         // Peek the message type (first six-bit character).
         let msg_type = payload
@@ -133,7 +143,7 @@ impl DataScanner {
             .and_then(crate::sixbit::unarmor)
             .unwrap_or(0);
         if msg_type == 5 {
-            match decode_static_voyage(&payload, fill_bits) {
+            match decode_static_voyage(payload, fill_bits) {
                 Ok(data) => {
                     self.stats.voyage_declarations += 1;
                     OBS_VOYAGE_DECLARATIONS.inc();
@@ -148,7 +158,7 @@ impl DataScanner {
             }
             return None;
         }
-        match nmea::decode_payload(&payload, fill_bits, received_at) {
+        match nmea::decode_payload(payload, fill_bits, received_at) {
             Ok(report) => {
                 self.stats.accepted += 1;
                 OBS_POSITIONS.inc();
@@ -180,10 +190,47 @@ impl DataScanner {
         &mut self,
         lines: impl IntoIterator<Item = (&'a str, Timestamp)>,
     ) -> Vec<PositionTuple> {
-        lines
-            .into_iter()
-            .filter_map(|(line, t)| self.scan(line, t))
-            .collect()
+        let mut out = Vec::new();
+        self.scan_batch_into(lines, &mut out);
+        out
+    }
+
+    /// Scans a batch of `(line, received_at)` pairs, appending clean tuples
+    /// to `out` — the caller's reusable arena. Once `out` has grown to the
+    /// batch high-water mark, repeated batches allocate nothing.
+    pub fn scan_batch_into<'a>(
+        &mut self,
+        lines: impl IntoIterator<Item = (&'a str, Timestamp)>,
+        out: &mut Vec<PositionTuple>,
+    ) {
+        for (line, t) in lines {
+            if let Some(tuple) = self.scan(line, t) {
+                out.push(tuple);
+            }
+        }
+    }
+
+    /// Scans a newline-delimited buffer, slicing each sentence out of
+    /// `buf` in place — no per-sentence copies. `stamp(i)` supplies the
+    /// receive timestamp of the `i`-th non-empty line; clean tuples are
+    /// appended to `out`. Returns the number of lines scanned.
+    pub fn scan_buffer(
+        &mut self,
+        buf: &str,
+        mut stamp: impl FnMut(usize) -> Timestamp,
+        out: &mut Vec<PositionTuple>,
+    ) -> usize {
+        let mut scanned = 0;
+        for line in buf.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(tuple) = self.scan(line, stamp(scanned)) {
+                out.push(tuple);
+            }
+            scanned += 1;
+        }
+        scanned
     }
 
     /// Counters accumulated so far.

@@ -17,14 +17,35 @@ pub fn armor(value: u8) -> u8 {
     }
 }
 
+/// Sentinel marking a byte outside the armour alphabet in [`UNARMOR`].
+pub const INVALID_SIXBIT: u8 = 0xFF;
+
+/// Armour-alphabet lookup table: `UNARMOR[b]` is the six-bit value of the
+/// ASCII byte `b`, or [`INVALID_SIXBIT`] for bytes outside the alphabet.
+/// One indexed load replaces the two range branches of the match-based
+/// decoder on the hot path.
+pub static UNARMOR: [u8; 256] = build_unarmor_table();
+
+const fn build_unarmor_table() -> [u8; 256] {
+    let mut table = [INVALID_SIXBIT; 256];
+    let mut ch = 48usize; // '0'..='W' -> 0..=39
+    while ch <= 87 {
+        table[ch] = (ch - 48) as u8;
+        ch += 1;
+    }
+    let mut ch = 96usize; // '`'..='w' -> 40..=63
+    while ch <= 119 {
+        table[ch] = (ch - 56) as u8;
+        ch += 1;
+    }
+    table
+}
+
 /// Decodes an armour character back to its six-bit value.
 #[must_use]
 pub fn unarmor(ch: u8) -> Option<u8> {
-    match ch {
-        48..=87 => Some(ch - 48),  // '0'..='W' -> 0..=39
-        96..=119 => Some(ch - 56), // '`'..='w' -> 40..=63
-        _ => None,
-    }
+    let v = UNARMOR[usize::from(ch)];
+    (v != INVALID_SIXBIT).then_some(v)
 }
 
 /// Writes a bit string most-significant-bit first, producing an armoured
@@ -98,7 +119,101 @@ fn mask(width: usize) -> u32 {
     }
 }
 
+/// Zero-copy bit-field reader over an armoured payload.
+///
+/// The production decoder of the hot path: where [`BitReader`] unpacks the
+/// payload into a `Vec<bool>` (one heap allocation plus a byte per bit),
+/// the cursor validates the armour alphabet in one pass over [`UNARMOR`]
+/// and then reads MSB-first bit fields straight off the borrowed payload
+/// bytes. [`BitReader`] is retained as the reference decoder; the unit and
+/// integration differential suites (`tests/decoder_differential.rs`) hold
+/// the two byte-identical over arbitrary payloads, fill counts, and read
+/// scripts.
+#[derive(Debug)]
+pub struct BitCursor<'a> {
+    payload: &'a [u8],
+    /// Readable bits: payload bits minus fill bits.
+    bit_len: usize,
+    pos: usize,
+}
+
+impl<'a> BitCursor<'a> {
+    /// Positions a cursor over `payload`, discarding `fill_bits` trailing
+    /// pad bits. Fails on characters outside the armour alphabet — the
+    /// whole payload is validated eagerly so that a corrupt character
+    /// anywhere fails the decode exactly as the reference decoder does,
+    /// even if no read ever touches its bits.
+    pub fn new(payload: &'a [u8], fill_bits: u8) -> Option<Self> {
+        for &b in payload {
+            if UNARMOR[usize::from(b)] == INVALID_SIXBIT {
+                return None;
+            }
+        }
+        let total = payload.len() * 6;
+        let fill = usize::from(fill_bits.min(5));
+        if fill > total {
+            return None;
+        }
+        Some(Self {
+            payload,
+            bit_len: total - fill,
+            pos: 0,
+        })
+    }
+
+    /// Remaining unread bits.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bit_len - self.pos
+    }
+
+    /// The six-bit value whose `bit`-th payload bit (MSB-first) is queried.
+    #[inline]
+    fn bit(&self, bit: usize) -> u32 {
+        let v = UNARMOR[usize::from(self.payload[bit / 6])];
+        u32::from((v >> (5 - bit % 6)) & 1)
+    }
+
+    /// Reads `width` bits as an unsigned value, MSB first.
+    pub fn get_u32(&mut self, width: usize) -> Option<u32> {
+        assert!(width <= 32);
+        if self.remaining() < width {
+            return None;
+        }
+        let mut v = 0u32;
+        for i in 0..width {
+            v = (v << 1) | self.bit(self.pos + i);
+        }
+        self.pos += width;
+        Some(v)
+    }
+
+    /// Reads `width` bits as a two's-complement signed value.
+    pub fn get_i32(&mut self, width: usize) -> Option<i32> {
+        let raw = self.get_u32(width)?;
+        let sign_bit = 1u32 << (width - 1);
+        Some(if raw & sign_bit != 0 {
+            (raw | !mask(width)) as i32
+        } else {
+            raw as i32
+        })
+    }
+
+    /// Skips `width` bits.
+    pub fn skip(&mut self, width: usize) -> Option<()> {
+        if self.remaining() < width {
+            return None;
+        }
+        self.pos += width;
+        Some(())
+    }
+}
+
 /// Reads bit fields from an armoured payload.
+///
+/// This is the *reference* decoder: simple enough to audit against ITU-R
+/// M.1371 by eye, and kept as the differential oracle for [`BitCursor`].
+/// Production paths use the cursor; tests compare the two.
 #[derive(Debug)]
 pub struct BitReader {
     bits: Vec<bool>,
@@ -248,6 +363,82 @@ mod tests {
     #[test]
     fn bad_payload_char_fails_decode() {
         assert!(BitReader::from_payload("1 2", 0).is_none());
+    }
+
+    #[test]
+    fn unarmor_table_matches_match_decoder() {
+        for b in 0..=255u8 {
+            let expected = match b {
+                48..=87 => Some(b - 48),
+                96..=119 => Some(b - 56),
+                _ => None,
+            };
+            assert_eq!(unarmor(b), expected, "byte {b}");
+            assert_eq!(
+                UNARMOR[usize::from(b)],
+                expected.unwrap_or(INVALID_SIXBIT),
+                "table byte {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_matches_reader_on_roundtrip_fields() {
+        let mut w = BitWriter::new();
+        w.put_u32(1, 6);
+        w.put_u32(237_001_234, 30);
+        w.put_i32(-123_456, 28);
+        w.put_u32(0b1011, 4);
+        let (payload, fill) = w.finish();
+        let mut r = BitReader::from_payload(&payload, fill).unwrap();
+        let mut c = BitCursor::new(payload.as_bytes(), fill).unwrap();
+        assert_eq!(c.remaining(), r.remaining());
+        for width in [6, 30] {
+            assert_eq!(c.get_u32(width), r.get_u32(width));
+        }
+        assert_eq!(c.get_i32(28), r.get_i32(28));
+        assert_eq!(c.get_u32(4), r.get_u32(4));
+        assert_eq!(c.remaining(), 0);
+        assert_eq!(c.get_u32(1), None);
+        assert_eq!(r.get_u32(1), None);
+    }
+
+    #[test]
+    fn cursor_rejects_invalid_chars_even_in_unread_tail() {
+        // The bad byte sits past where any read will look; eager
+        // validation must still fail construction, like the reference.
+        let payload = b"11 ";
+        assert!(BitCursor::new(payload, 0).is_none());
+        assert!(BitReader::from_payload("11 ", 0).is_none());
+    }
+
+    #[test]
+    fn cursor_fill_bit_semantics_match_reader() {
+        // fill > 5 is clamped; fill exceeding total bits fails (only
+        // reachable for an empty payload after clamping).
+        for fill in 0..=7u8 {
+            let c = BitCursor::new(b"5", fill);
+            let r = BitReader::from_payload("5", fill);
+            assert_eq!(c.is_some(), r.is_some(), "fill {fill}");
+            if let (Some(c), Some(r)) = (c, r) {
+                assert_eq!(c.remaining(), r.remaining(), "fill {fill}");
+            }
+            let c = BitCursor::new(b"", fill);
+            let r = BitReader::from_payload("", fill);
+            assert_eq!(c.is_some(), r.is_some(), "empty payload, fill {fill}");
+        }
+    }
+
+    #[test]
+    fn cursor_skip_advances_like_reader() {
+        let mut w = BitWriter::new();
+        w.put_u32(0xFF, 8);
+        w.put_u32(0b101, 3);
+        let (payload, fill) = w.finish();
+        let mut c = BitCursor::new(payload.as_bytes(), fill).unwrap();
+        c.skip(8).unwrap();
+        assert_eq!(c.get_u32(3), Some(0b101));
+        assert!(c.skip(64).is_none());
     }
 
     #[test]

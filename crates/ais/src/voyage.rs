@@ -16,8 +16,8 @@ use maritime_stream::Timestamp;
 use serde::{Deserialize, Serialize};
 
 use crate::mmsi::Mmsi;
-use crate::nmea::{checksum, AivdmSentence, NmeaError};
-use crate::sixbit::{BitReader, BitWriter};
+use crate::nmea::{checksum, AivdmFragment, AivdmSentence, NmeaError};
+use crate::sixbit::{BitCursor, BitWriter};
 
 /// Decoded static & voyage data (message type 5).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,7 +54,7 @@ fn put_text(w: &mut BitWriter, text: &str, chars: usize) {
 
 /// Reads a six-bit-ASCII text field of `chars` characters, trimming the
 /// `@` padding and trailing spaces.
-fn get_text(r: &mut BitReader, chars: usize) -> Option<String> {
+fn get_text(r: &mut BitCursor<'_>, chars: usize) -> Option<String> {
     let mut out = String::with_capacity(chars);
     for _ in 0..chars {
         let v = r.get_u32(6)? as u8;
@@ -118,7 +118,7 @@ pub fn encode_static_voyage(data: &StaticVoyageData, seq_id: u8) -> [String; 2] 
 
 /// Decodes a reassembled type-5 payload.
 pub fn decode_static_voyage(payload: &str, fill_bits: u8) -> Result<StaticVoyageData, NmeaError> {
-    let mut r = BitReader::from_payload(payload, fill_bits).ok_or(NmeaError::BadPayload)?;
+    let mut r = BitCursor::new(payload.as_bytes(), fill_bits).ok_or(NmeaError::BadPayload)?;
     let msg_type = r.get_u32(6).ok_or(NmeaError::BadPayload)?;
     if msg_type != 5 {
         return Err(NmeaError::UnsupportedType(msg_type as u8));
@@ -171,6 +171,22 @@ struct PendingMessage {
     last_touch: u64,
 }
 
+/// Outcome of feeding one fragment to the [`Defragmenter`].
+///
+/// The common case — a single-fragment message — borrows its payload from
+/// the input line, so the steady-state scanner path never copies it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Defragged<'a> {
+    /// A complete single-fragment message: `(payload, fill_bits)`, the
+    /// payload borrowed straight from the parsed line.
+    Single(&'a str, u8),
+    /// Fragment buffered (or dropped as malformed); message not complete.
+    Pending,
+    /// The final fragment of a multi-part message arrived: the reassembled
+    /// `(payload, fill_bits of the last fragment)`.
+    Complete(String, u8),
+}
+
 impl Default for Defragmenter {
     fn default() -> Self {
         Self::new(64)
@@ -194,12 +210,25 @@ impl Defragmenter {
     /// immediately; fragments of multi-part messages are buffered until
     /// complete, then the concatenated `(payload, fill_bits)` is returned.
     pub fn push(&mut self, sentence: &AivdmSentence) -> Option<(String, u8)> {
+        match self.push_fragment(&sentence.as_fragment()) {
+            Defragged::Single(payload, fill) => Some((payload.to_string(), fill)),
+            Defragged::Pending => None,
+            Defragged::Complete(payload, fill) => Some((payload, fill)),
+        }
+    }
+
+    /// Feeds one parsed fragment — the zero-copy form of
+    /// [`Defragmenter::push`]. A single-fragment message is handed back as
+    /// [`Defragged::Single`] borrowing the input payload; only fragments
+    /// of genuinely multi-part messages are copied into the pending
+    /// buffer.
+    pub fn push_fragment<'a>(&mut self, sentence: &AivdmFragment<'a>) -> Defragged<'a> {
         self.clock += 1;
         if sentence.total <= 1 {
-            return Some((sentence.payload.clone(), sentence.fill_bits));
+            return Defragged::Single(sentence.payload, sentence.fill_bits);
         }
         if sentence.number == 0 || sentence.number > sentence.total {
-            return None; // malformed fragment index
+            return Defragged::Pending; // malformed fragment index
         }
         let key = (
             sentence.seq_id.unwrap_or(0),
@@ -217,7 +246,7 @@ impl Defragmenter {
         if entry.fragments[idx].is_none() {
             entry.arrived += 1;
         }
-        entry.fragments[idx] = Some((sentence.payload.clone(), sentence.fill_bits));
+        entry.fragments[idx] = Some((sentence.payload.to_string(), sentence.fill_bits));
         entry.last_touch = clock;
 
         if entry.arrived == total {
@@ -228,10 +257,10 @@ impl Defragmenter {
                 payload.push_str(&frag.0);
                 fill = frag.1; // fill bits of the final fragment apply
             }
-            return Some((payload, fill));
+            return Defragged::Complete(payload, fill);
         }
         self.evict_if_needed();
-        None
+        Defragged::Pending
     }
 
     /// Partial messages currently buffered.

@@ -1,0 +1,139 @@
+//! Proof that the steady-state decode path allocates nothing.
+//!
+//! The batch scanner slices each sentence out of the input buffer,
+//! parses it into a borrowed fragment, and decodes bit fields straight
+//! off the armored bytes through the `UNARMOR` table — no per-sentence
+//! `String`, no intermediate `Vec`. This test pins that down with a
+//! counting global allocator (the `crates/geo/tests/no_alloc.rs` idiom)
+//! so a per-message allocation cannot sneak back into the hot path.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! `#[global_allocator]`, which must not leak into other test binaries.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+use maritime_ais::nmea::encode_report;
+use maritime_ais::{AisMessageType, DataScanner, Mmsi, PositionReport, PositionTuple};
+use maritime_geo::GeoPoint;
+use maritime_stream::Timestamp;
+
+struct CountingAlloc;
+
+// Per-thread counter: the libtest harness thread allocates concurrently
+// with the test thread, so a process-global count would be flaky. A
+// const-initialized `Cell<usize>` has no destructor and no lazy init, so
+// touching it from inside the allocator cannot recurse.
+std::thread_local! {
+    static THREAD_ALLOCATIONS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = THREAD_ALLOCATIONS.with(std::cell::Cell::get);
+    let result = f();
+    (THREAD_ALLOCATIONS.with(std::cell::Cell::get) - before, result)
+}
+
+/// A batch of clean single-fragment position sentences across message
+/// types and vessels.
+fn sample_sentences() -> Vec<String> {
+    let types = [
+        AisMessageType::PositionReportClassA,
+        AisMessageType::StandardClassB,
+        AisMessageType::ExtendedClassB,
+    ];
+    (0..60)
+        .map(|i| {
+            encode_report(&PositionReport {
+                mmsi: Mmsi(237_000_001 + (i % 7)),
+                msg_type: types[i as usize % types.len()],
+                position: GeoPoint::new(23.6 + f64::from(i) * 0.001, 37.9),
+                sog_knots: Some(12.0),
+                cog_deg: Some(90.0),
+                timestamp: Timestamp(i64::from(i) * 10),
+            })
+        })
+        .collect()
+}
+
+// One #[test] for both scenarios: the harness runs tests in the same
+// binary concurrently, and a second thread's allocations would bleed
+// into the counted window.
+#[test]
+fn steady_state_scan_allocates_nothing() {
+    per_sentence_scan();
+    buffer_scan();
+}
+
+fn per_sentence_scan() {
+    let sentences = sample_sentences();
+    let mut scanner = DataScanner::new();
+
+    // Warm up: registers the lazy metric counters and exercises every
+    // branch of the clean path once before counting.
+    for (i, s) in sentences.iter().enumerate() {
+        let tuple = scanner.scan(s, Timestamp(i as i64 * 10));
+        assert!(tuple.is_some(), "fixture sentence must decode cleanly");
+    }
+
+    let (allocs, accepted) = allocations(|| {
+        let mut accepted = 0usize;
+        for round in 0..20i64 {
+            for (i, s) in sentences.iter().enumerate() {
+                if scanner.scan(s, Timestamp((round * 600) + i as i64 * 10)).is_some() {
+                    accepted += 1;
+                }
+            }
+        }
+        accepted
+    });
+    assert_eq!(accepted, 20 * sentences.len());
+    assert_eq!(allocs, 0, "per-sentence scan path must not touch the heap");
+}
+
+fn buffer_scan() {
+    let sentences = sample_sentences();
+    let mut buf = String::new();
+    for s in &sentences {
+        buf.push_str(s);
+        buf.push('\n');
+    }
+    let mut scanner = DataScanner::new();
+    let mut out: Vec<PositionTuple> = Vec::new();
+
+    // Warm up: grows `out` to the batch high-water mark and registers
+    // the lazy metric counters.
+    scanner.scan_buffer(&buf, |i| Timestamp(i as i64 * 10), &mut out);
+    assert_eq!(out.len(), sentences.len());
+
+    let (allocs, scanned) = allocations(|| {
+        let mut scanned = 0usize;
+        for round in 0..20i64 {
+            out.clear();
+            scanned +=
+                scanner.scan_buffer(&buf, |i| Timestamp(round * 600 + i as i64 * 10), &mut out);
+        }
+        scanned
+    });
+    assert_eq!(scanned, 20 * sentences.len());
+    assert_eq!(out.len(), sentences.len());
+    assert_eq!(allocs, 0, "batch scan into a grown arena must not allocate");
+}

@@ -40,7 +40,7 @@ fn main() {
     }
     let all = [
         "fig6", "fig7", "fig8", "fig9", "fig10", "table4", "fig11", "baselines", "sharded",
-        "incremental", "chaos",
+        "incremental", "chaos", "hotpath",
     ];
     let run_list: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -76,6 +76,7 @@ fn main() {
             "sharded" => sharded(&workload),
             "incremental" => incremental(&workload),
             "chaos" => chaos(),
+            "hotpath" => hotpath(&workload, scale),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -724,4 +725,123 @@ fn chaos() {
     println!("{}", table.render());
     println!("expected shape: hostile streams cost within ~2x of clean — fault\nabsorption is bookkeeping, not recomputation; discarded/late counts are\nnonzero exactly on the perturbed rows.\n");
     save_json("chaos", &serde_json::Value::Array(json));
+}
+
+/// Extension: raw-speed measurement of the decode→track hot path — the
+/// trajectory entry behind the `BENCH_hotpath.json` perf gate. Three
+/// legs, each on the fixed workload at the selected scale:
+///
+/// * **decode** — the zero-copy batch scanner over a pre-rendered NMEA
+///   buffer (table-driven six-bit cursor, no per-sentence allocation);
+/// * **track** — the mobility tracker alone over the decoded tuples,
+///   critical points appended to one reused buffer;
+/// * **e2e** — the serial windowed run (ω = 1 h, β = 30 min), identical
+///   to the `sharded` experiment's serial baseline so the speedup is
+///   comparable against the EXPERIMENTS.md table.
+fn hotpath(w: &Workload, scale: Scale) {
+    use maritime_ais::nmea::encode_report;
+
+    println!("== Hot path: decode / track / end-to-end throughput ==");
+    let scale_label = match scale {
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Large => "large",
+    };
+    let positions = w.stream.len() as f64;
+
+    // ---- decode-only: scanner over a pre-rendered sentence buffer ------
+    let reports = w.sim.generate();
+    let mut buf = String::new();
+    for r in &reports {
+        buf.push_str(&encode_report(r));
+        buf.push('\n');
+    }
+    let run_decode = || {
+        let mut scanner = DataScanner::new();
+        let mut out = Vec::with_capacity(reports.len());
+        let t0 = Instant::now();
+        scanner.scan_buffer(&buf, |i| reports[i].timestamp, &mut out);
+        scanner.finish(reports.last().map_or(Timestamp::ZERO, |r| r.timestamp));
+        (t0.elapsed().as_secs_f64(), out.len())
+    };
+    let _ = run_decode(); // warm-up
+    let (decode_secs, decoded) = run_decode();
+
+    // ---- track-only: mobility tracker over decoded tuples --------------
+    let tuples = w.tuples();
+    let run_track = || {
+        let mut tracker = MobilityTracker::new(TrackerParams::default());
+        let mut out = Vec::new();
+        let t0 = Instant::now();
+        tracker.process_batch_into(tuples.iter(), &mut out);
+        let critical = out.len() + tracker.finish().len();
+        (t0.elapsed().as_secs_f64(), critical)
+    };
+    let _ = run_track();
+    let (track_secs, track_critical) = run_track();
+
+    // ---- end-to-end: serial windowed run (the EXPERIMENTS.md baseline) -
+    let spec = WindowSpec::new(Duration::hours(1), Duration::minutes(30)).unwrap();
+    let run_e2e = || {
+        let mut wt = WindowedTracker::new(TrackerParams::default(), spec);
+        let t0 = Instant::now();
+        let mut critical = 0usize;
+        for batch in SlideBatches::new(w.stream.iter().cloned(), spec, Timestamp::ZERO) {
+            let tuples: Vec<PositionTuple> = batch.items.into_iter().map(|(_, t)| t).collect();
+            critical += wt.slide(batch.query_time, &tuples).fresh_critical.len();
+        }
+        critical += wt.finish().0.len();
+        (t0.elapsed().as_secs_f64(), critical)
+    };
+    let _ = run_e2e();
+    let (e2e_secs, e2e_critical) = run_e2e();
+
+    let mut table = TextTable::new(&["leg", "items", "total (s)", "pos/s"]);
+    table.row(vec![
+        "decode".to_string(),
+        format!("{} sentences", reports.len()),
+        format!("{decode_secs:.3}"),
+        format!("{:.0}", decoded as f64 / decode_secs),
+    ]);
+    table.row(vec![
+        "track".to_string(),
+        format!("{} critical", track_critical),
+        format!("{track_secs:.3}"),
+        format!("{:.0}", positions / track_secs),
+    ]);
+    table.row(vec![
+        "e2e".to_string(),
+        format!("{} critical", e2e_critical),
+        format!("{e2e_secs:.3}"),
+        format!("{:.0}", positions / e2e_secs),
+    ]);
+    println!("{}", table.render());
+    println!("expected shape: decode and track each run well above the e2e rate
+(the e2e leg pays for both plus windowing); the critical-point counts are
+workload invariants, so any drift there is a correctness bug, not noise.
+");
+
+    save_json(
+        "hotpath",
+        &serde_json::json!({
+            "scale": scale_label,
+            "positions": w.stream.len(),
+            "decode": {
+                "sentences": reports.len(),
+                "accepted": decoded,
+                "secs": decode_secs,
+                "pos_per_sec": decoded as f64 / decode_secs,
+            },
+            "track": {
+                "critical": track_critical,
+                "secs": track_secs,
+                "pos_per_sec": positions / track_secs,
+            },
+            "e2e": {
+                "critical": e2e_critical,
+                "secs": e2e_secs,
+                "pos_per_sec": positions / e2e_secs,
+            },
+        }),
+    );
 }

@@ -1,0 +1,169 @@
+//! Hot-path throughput regression gate.
+//!
+//! Compares the most recent `figures hotpath` run
+//! (`bench-results/hotpath.json`) against the committed floor trajectory
+//! (`BENCH_hotpath.json` at the repo root) and fails if throughput fell
+//! below the floor by more than the tolerance band.
+//!
+//! ```text
+//! cargo run --release -p maritime-bench --bin figures -- hotpath
+//! cargo run --release -p maritime-bench --bin perf_gate
+//! PERF_BLESS=1 cargo run --release -p maritime-bench --bin perf_gate
+//! ```
+//!
+//! Semantics:
+//!
+//! * **No committed floor yet** — the current run becomes the floor, a
+//!   warning is printed, and the gate passes (warn-only first run). Commit
+//!   the created `BENCH_hotpath.json` to arm the gate.
+//! * **Floor present** — each leg's `pos_per_sec` must be at least
+//!   `floor × tolerance`. The tolerance band (default 0.70) absorbs
+//!   runner-class variance between CI hosts while still failing a change
+//!   that gives back the headline speedup. The end-to-end critical-point
+//!   count is compared *exactly*: it is a workload invariant, independent
+//!   of machine speed, so any drift is a correctness regression and fails
+//!   the gate regardless of throughput.
+//! * **`PERF_BLESS=1`** — append the current run as a new trajectory entry
+//!   (the new floor) instead of comparing. Use after an intentional
+//!   performance change; see TESTING.md.
+
+use std::process::ExitCode;
+
+use serde_json::{json, Value};
+
+const FLOOR_PATH: &str = "BENCH_hotpath.json";
+const RESULT_PATH: &str = "bench-results/hotpath.json";
+const DEFAULT_TOLERANCE: f64 = 0.70;
+const LEGS: [&str; 3] = ["decode", "track", "e2e"];
+
+fn read_json(path: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn write_json(path: &str, value: &Value) {
+    let text = serde_json::to_string_pretty(value).unwrap();
+    std::fs::write(path, text + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+/// Numeric field, whatever integer/float shape the writer chose.
+fn num(v: Option<&Value>) -> Option<f64> {
+    match v? {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn text(v: Option<&Value>) -> Option<&str> {
+    match v? {
+        Value::String(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn pos_per_sec(entry: &Value, leg: &str) -> f64 {
+    num(entry.get(leg).and_then(|l| l.get("pos_per_sec"))).unwrap_or(0.0)
+}
+
+fn e2e_critical(entry: &Value) -> Option<f64> {
+    num(entry.get("e2e").and_then(|l| l.get("critical")))
+}
+
+fn main() -> ExitCode {
+    let Some(current) = read_json(RESULT_PATH) else {
+        eprintln!("perf gate: no {RESULT_PATH} — run `figures hotpath` first");
+        return ExitCode::FAILURE;
+    };
+    let scale = text(current.get("scale")).unwrap_or("?").to_string();
+
+    let floor_file = read_json(FLOOR_PATH);
+    let bless = std::env::var("PERF_BLESS").is_ok_and(|v| v == "1");
+
+    let Some(mut floor_file) = floor_file else {
+        // First run: create the floor, warn, pass.
+        write_json(
+            FLOOR_PATH,
+            &json!({ "tolerance": DEFAULT_TOLERANCE, "entries": [current] }),
+        );
+        println!(
+            "perf gate: no committed floor — created {FLOOR_PATH} from this run \
+             (warn-only). Commit it to arm the gate."
+        );
+        return ExitCode::SUCCESS;
+    };
+
+    if bless {
+        let Value::Object(fields) = &mut floor_file else {
+            eprintln!("perf gate: {FLOOR_PATH} is not a JSON object");
+            return ExitCode::FAILURE;
+        };
+        let Some(Value::Array(entries)) =
+            fields.iter_mut().find(|(k, _)| k == "entries").map(|(_, v)| v)
+        else {
+            eprintln!("perf gate: {FLOOR_PATH} has no `entries` array");
+            return ExitCode::FAILURE;
+        };
+        entries.push(current);
+        write_json(FLOOR_PATH, &floor_file);
+        println!("perf gate: PERF_BLESS=1 — appended this run to {FLOOR_PATH} as the new floor");
+        return ExitCode::SUCCESS;
+    }
+
+    let tolerance = num(floor_file.get("tolerance")).unwrap_or(DEFAULT_TOLERANCE);
+    let entries: &[Value] = match floor_file.get("entries") {
+        Some(Value::Array(a)) => a,
+        _ => &[],
+    };
+    let Some(floor) = entries
+        .iter()
+        .rev()
+        .find(|e| text(e.get("scale")) == Some(scale.as_str()))
+    else {
+        println!("perf gate: no floor entry at scale `{scale}` — passing (warn-only)");
+        return ExitCode::SUCCESS;
+    };
+
+    let mut ok = true;
+    println!("perf gate: scale `{scale}`, tolerance {tolerance:.2}");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>6}",
+        "leg", "floor pos/s", "min pos/s", "now pos/s", ""
+    );
+    for leg in LEGS {
+        let f = pos_per_sec(floor, leg);
+        let min = f * tolerance;
+        let now = pos_per_sec(&current, leg);
+        let pass = now >= min;
+        ok &= pass;
+        println!(
+            "{leg:<8} {f:>14.0} {min:>14.0} {now:>14.0} {:>6}",
+            if pass { "ok" } else { "FAIL" }
+        );
+    }
+
+    // Machine-independent invariant: the e2e critical-point count.
+    let want = e2e_critical(floor);
+    let got = e2e_critical(&current);
+    if want != got {
+        ok = false;
+        println!(
+            "e2e critical-point count changed: floor {want:?}, now {got:?} — \
+             this is a correctness regression, not noise"
+        );
+    } else {
+        println!("e2e critical points: {} (exact match)", got.unwrap_or(0.0));
+    }
+
+    if ok {
+        println!("perf gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "perf gate: FAIL — if this throughput change is intentional, re-bless \
+             the floor with PERF_BLESS=1 (see TESTING.md)"
+        );
+        ExitCode::FAILURE
+    }
+}

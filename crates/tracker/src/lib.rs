@@ -11,6 +11,8 @@
 //!
 //! * [`params`] — the calibrated thresholds of Table 3;
 //! * [`velocity`] — instantaneous velocity vectors from consecutive fixes;
+//! * [`history`] — struct-of-arrays ring of recent fixes with cached pair
+//!   distances (the hot-path layout behind the outlier test);
 //! * [`events`] — critical-point annotations and movement events;
 //! * [`vessel`] — the per-vessel detection state machine (instantaneous
 //!   events, long-lasting events, outlier filtering);
@@ -32,6 +34,7 @@ pub mod accuracy;
 pub mod baselines;
 pub mod compression;
 pub mod events;
+pub mod history;
 pub mod params;
 pub mod sharded;
 pub mod synopsis;
@@ -43,6 +46,6 @@ pub mod window;
 pub use events::{Annotation, CriticalPoint, MovementEventKind};
 pub use params::TrackerParams;
 pub use sharded::{canonical_order, ShardedSlideReport, ShardedTracker};
-pub use tracker::MobilityTracker;
+pub use tracker::{MmsiHashBuilder, MobilityTracker};
 pub use velocity::VelocityVector;
 pub use window::{SlideReport, WindowedTracker};

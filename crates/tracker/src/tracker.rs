@@ -6,6 +6,7 @@
 //! tuples out to them.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use maritime_ais::{Mmsi, PositionTuple};
 use maritime_obs::{names, LazyCounter};
@@ -14,6 +15,40 @@ use maritime_stream::Timestamp;
 use crate::events::CriticalPoint;
 use crate::params::TrackerParams;
 use crate::vessel::{VesselStats, VesselTracker};
+
+/// Finalizer-style hasher for `Mmsi` keys (splitmix64). MMSIs are
+/// nine-digit identifiers already spread over their domain, and the fleet
+/// map is probed once per position — DoS-resistant SipHash buys nothing
+/// here and costs measurably on the hot path. Safe for determinism:
+/// everything that iterates the vessel map ([`MobilityTracker::sweep_gaps`],
+/// [`MobilityTracker::finish`]) sorts by MMSI first, and the stats sums
+/// are order-independent.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MmsiHasher(u64);
+
+impl Hasher for MmsiHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (not taken by `Mmsi`, whose derived Hash writes one
+        // u32): FNV-1a fold.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        let mut x = self.0 ^ u64::from(v);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = x ^ (x >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash-state builder for the fleet map.
+pub type MmsiHashBuilder = BuildHasherDefault<MmsiHasher>;
 
 /// Global tracking metrics (see `OBSERVABILITY.md`). Counters sum exactly
 /// across the MMSI-sharded workers because shards partition the fleet.
@@ -53,7 +88,7 @@ impl FleetStats {
 #[derive(Debug)]
 pub struct MobilityTracker {
     params: TrackerParams,
-    vessels: HashMap<Mmsi, VesselTracker>,
+    vessels: HashMap<Mmsi, VesselTracker, MmsiHashBuilder>,
 }
 
 impl MobilityTracker {
@@ -62,7 +97,7 @@ impl MobilityTracker {
     pub fn new(params: TrackerParams) -> Self {
         Self {
             params,
-            vessels: HashMap::new(),
+            vessels: HashMap::default(),
         }
     }
 
@@ -82,6 +117,17 @@ impl MobilityTracker {
         out
     }
 
+    /// Processes one positional tuple, appending its critical points to
+    /// `out` — the allocation-free form of [`MobilityTracker::process`]
+    /// for callers that reuse one buffer across a batch.
+    pub fn process_into(&mut self, tuple: PositionTuple, out: &mut Vec<CriticalPoint>) {
+        OBS_INGESTED.inc();
+        let before = out.len();
+        self.vessel_mut(tuple.mmsi)
+            .process_into(tuple.position, tuple.timestamp, out);
+        OBS_CRITICAL.add((out.len() - before) as u64);
+    }
+
     /// Processes a time-ordered batch, concatenating all critical points in
     /// detection order.
     pub fn process_batch<'a>(
@@ -89,14 +135,28 @@ impl MobilityTracker {
         tuples: impl IntoIterator<Item = &'a PositionTuple>,
     ) -> Vec<CriticalPoint> {
         let mut out = Vec::new();
+        self.process_batch_into(tuples, &mut out);
+        out
+    }
+
+    /// Processes a time-ordered batch, appending all critical points to
+    /// `out` in detection order. With a buffer grown to the batch
+    /// high-water mark, steady-state batches perform no tracker-side heap
+    /// allocation.
+    pub fn process_batch_into<'a>(
+        &mut self,
+        tuples: impl IntoIterator<Item = &'a PositionTuple>,
+        out: &mut Vec<CriticalPoint>,
+    ) {
+        let before = out.len();
         let mut admitted = 0u64;
         for t in tuples {
             admitted += 1;
-            out.extend(self.vessel_mut(t.mmsi).process(t.position, t.timestamp));
+            self.vessel_mut(t.mmsi)
+                .process_into(t.position, t.timestamp, out);
         }
         OBS_INGESTED.add(admitted);
-        OBS_CRITICAL.add(out.len() as u64);
-        out
+        OBS_CRITICAL.add((out.len() - before) as u64);
     }
 
     /// Checks every tracked vessel for a communication gap at time `now`:
@@ -110,7 +170,7 @@ impl MobilityTracker {
         let mut vessels: Vec<_> = self.vessels.values_mut().collect();
         vessels.sort_by_key(|v| v.mmsi());
         for v in vessels {
-            out.extend(v.sweep_gap(now));
+            v.sweep_gap_into(now, &mut out);
         }
         OBS_CRITICAL.add(out.len() as u64);
         out
@@ -122,7 +182,7 @@ impl MobilityTracker {
         let mut vessels: Vec<_> = self.vessels.values_mut().collect();
         vessels.sort_by_key(|v| v.mmsi());
         for v in vessels {
-            out.extend(v.finish());
+            v.finish_into(&mut out);
         }
         OBS_CRITICAL.add(out.len() as u64);
         out

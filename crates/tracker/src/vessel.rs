@@ -18,8 +18,9 @@ use crate::events::{Annotation, CriticalPoint};
 
 /// Off-course fixes discarded by the noise filter, fleet-wide.
 static OBS_NOISE_DROPS: LazyCounter = LazyCounter::new(names::TRACKER_NOISE_DROPS);
+use crate::history::HistoryRing;
 use crate::params::TrackerParams;
-use crate::velocity::{mean_speed_knots, VelocityVector};
+use crate::velocity::VelocityVector;
 
 /// One accepted fix with its derived motion attributes.
 #[derive(Debug, Clone, Copy)]
@@ -99,8 +100,9 @@ pub struct VesselTracker {
     params: TrackerParams,
     /// Most recent accepted fix.
     last: Option<Fix>,
-    /// Recent accepted fixes (≤ m), for mean-velocity and median queries.
-    history: VecDeque<(GeoPoint, Timestamp)>,
+    /// Recent accepted fixes (≤ m) in a struct-of-arrays ring with cached
+    /// pair distances, for the mean-velocity query of the outlier test.
+    history: HistoryRing,
     /// Signed heading deltas of the last ≤ m−1 steps, for smooth turns.
     turn_deltas: VecDeque<f64>,
     stop: Option<StopRun>,
@@ -119,7 +121,7 @@ impl VesselTracker {
             mmsi,
             params,
             last: None,
-            history: VecDeque::with_capacity(params.m + 1),
+            history: HistoryRing::new(params.m),
             turn_deltas: VecDeque::with_capacity(params.m),
             stop: None,
             slow: None,
@@ -143,15 +145,24 @@ impl VesselTracker {
     /// Processes one positional tuple, returning any critical points it
     /// triggers (possibly none — most raw positions are superfluous).
     pub fn process(&mut self, position: GeoPoint, t: Timestamp) -> Vec<CriticalPoint> {
-        self.stats.raw += 1;
         let mut out = Vec::new();
+        self.process_into(position, t, &mut out);
+        out
+    }
+
+    /// Processes one positional tuple, appending any critical points it
+    /// triggers to `out` — the allocation-free form of
+    /// [`VesselTracker::process`] for callers that reuse one buffer across
+    /// a whole batch. Emission order is identical.
+    pub fn process_into(&mut self, position: GeoPoint, t: Timestamp, out: &mut Vec<CriticalPoint>) {
+        self.stats.raw += 1;
 
         let Some(last) = self.last else {
             // First fix ever: anchor the trajectory.
             let v = VelocityVector::stationary();
             self.accept(position, t, v, false);
             out.push(self.point(position, t, Annotation::TrackStart, v));
-            return out;
+            return;
         };
 
         if t <= last.timestamp {
@@ -159,7 +170,7 @@ impl VesselTracker {
             // at tracker level are ignored (windowing upstream reorders
             // mildly-late tuples already).
             self.stats.stale += 1;
-            return out;
+            return;
         }
 
         // ---- Communication gap (long-lasting, O(1)) --------------------
@@ -171,8 +182,8 @@ impl VesselTracker {
             } else {
                 // Close any open durative states at the silence point: the
                 // course is unknown during the gap.
-                self.close_stop(&mut out, last.timestamp, last.position, last.velocity);
-                self.close_slow(&mut out, last.timestamp, last.position, last.velocity);
+                self.close_stop(out, last.timestamp, last.position, last.velocity);
+                self.close_slow(out, last.timestamp, last.position, last.velocity);
                 out.push(self.point(
                     last.position,
                     last.timestamp,
@@ -185,7 +196,7 @@ impl VesselTracker {
             self.reset_motion_state();
             self.accept(position, t, v, false);
             out.push(self.point(position, t, Annotation::GapEnd, v));
-            return out;
+            return;
         }
         if self.gap_open {
             // A sweep reported a gap, but this (late-arriving) fix shows
@@ -196,7 +207,7 @@ impl VesselTracker {
                 .expect("t > last.timestamp");
             self.accept(position, t, v, true);
             out.push(self.point(position, t, Annotation::GapEnd, v));
-            return out;
+            return;
         }
 
         let v_now = VelocityVector::between(last.position, last.timestamp, position, t)
@@ -209,7 +220,7 @@ impl VesselTracker {
         if self.is_outlier(v_now, last.velocity, last.velocity_known) {
             self.stats.outliers += 1;
             OBS_NOISE_DROPS.inc();
-            return out;
+            return;
         }
 
         // ---- Instantaneous events ---------------------------------------
@@ -248,12 +259,12 @@ impl VesselTracker {
                 _ => {
                     // Starting a new run (or drifted out of the old circle:
                     // close it if confirmed, then restart).
-                    self.close_stop(&mut out, t, position, v_now);
+                    self.close_stop(out, t, position, v_now);
                     self.stop = Some(StopRun::new(position, t));
                 }
             }
         } else {
-            self.close_stop(&mut out, t, position, v_now);
+            self.close_stop(out, t, position, v_now);
         }
 
         // ---- Slow motion (low-speed run along a path) -------------------
@@ -275,7 +286,7 @@ impl VesselTracker {
                 out.push(self.point(mp, mt, Annotation::SlowMotionStart, v_now));
             }
         } else {
-            self.close_slow(&mut out, t, position, v_now);
+            self.close_slow(out, t, position, v_now);
         }
 
         // ---- Turns -------------------------------------------------------
@@ -321,7 +332,6 @@ impl VesselTracker {
         }
 
         self.accept(position, t, v_now, true);
-        out
     }
 
     /// Flushes open durative states at end of stream (or vessel removal)
@@ -330,9 +340,15 @@ impl VesselTracker {
     /// leg of the voyage.
     pub fn finish(&mut self) -> Vec<CriticalPoint> {
         let mut out = Vec::new();
+        self.finish_into(&mut out);
+        out
+    }
+
+    /// Buffer-reusing form of [`VesselTracker::finish`].
+    pub fn finish_into(&mut self, out: &mut Vec<CriticalPoint>) {
         if let Some(last) = self.last.take() {
-            self.close_stop(&mut out, last.timestamp, last.position, last.velocity);
-            self.close_slow(&mut out, last.timestamp, last.position, last.velocity);
+            self.close_stop(out, last.timestamp, last.position, last.velocity);
+            self.close_slow(out, last.timestamp, last.position, last.velocity);
             out.push(self.point(
                 last.position,
                 last.timestamp,
@@ -340,7 +356,6 @@ impl VesselTracker {
                 last.velocity,
             ));
         }
-        out
     }
 
     /// Reports a communication gap for a vessel that has been silent for
@@ -353,14 +368,20 @@ impl VesselTracker {
     /// matching [`Annotation::GapEnd`] instead of a duplicate start.
     pub fn sweep_gap(&mut self, now: Timestamp) -> Vec<CriticalPoint> {
         let mut out = Vec::new();
+        self.sweep_gap_into(now, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of [`VesselTracker::sweep_gap`].
+    pub fn sweep_gap_into(&mut self, now: Timestamp, out: &mut Vec<CriticalPoint>) {
         let Some(last) = self.last else {
-            return out;
+            return;
         };
         if self.gap_open || (now - last.timestamp) <= self.params.gap_period {
-            return out;
+            return;
         }
-        self.close_stop(&mut out, last.timestamp, last.position, last.velocity);
-        self.close_slow(&mut out, last.timestamp, last.position, last.velocity);
+        self.close_stop(out, last.timestamp, last.position, last.velocity);
+        self.close_slow(out, last.timestamp, last.position, last.velocity);
         out.push(self.point(
             last.position,
             last.timestamp,
@@ -369,7 +390,6 @@ impl VesselTracker {
         ));
         self.reset_motion_state();
         self.gap_open = true;
-        out
     }
 
     /// Whether a communication gap is currently open (reported by a sweep
@@ -397,8 +417,10 @@ impl VesselTracker {
         if self.history.len() < 3 {
             return false;
         }
-        let track: Vec<_> = self.history.iter().copied().collect();
-        let Some(mean) = mean_speed_knots(&track) else {
+        // Bounded sum over cached pair distances — bit-identical to the
+        // former collect-and-recompute over `velocity::mean_speed_knots`,
+        // without the allocation and the m−1 Haversine evaluations.
+        let Some(mean) = self.history.mean_speed_knots() else {
             return false;
         };
         // Hard speed explosion: no plausible vessel motion.
@@ -426,10 +448,7 @@ impl VesselTracker {
             velocity: v,
             velocity_known,
         });
-        if self.history.len() == self.params.m {
-            self.history.pop_front();
-        }
-        self.history.push_back((position, t));
+        self.history.push(position, t);
     }
 
     fn reset_motion_state(&mut self) {

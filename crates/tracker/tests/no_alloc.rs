@@ -1,0 +1,114 @@
+//! Proof that the steady-state tracking path allocates nothing.
+//!
+//! Per incoming fix the vessel tracker used to copy its history deque
+//! into a scratch `Vec` for the mean-speed outlier test and return a
+//! fresh `Vec` of critical points — two heap allocations per position.
+//! The struct-of-arrays [`HistoryRing`] and the `*_into` buffer-reuse
+//! APIs removed both; this test pins that down with a counting global
+//! allocator (the `crates/geo/tests/no_alloc.rs` idiom).
+//!
+//! This lives in its own integration-test binary because it installs a
+//! `#[global_allocator]`, which must not leak into other test binaries.
+//!
+//! [`HistoryRing`]: maritime_tracker::history::HistoryRing
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+use maritime_ais::{Mmsi, PositionTuple};
+use maritime_geo::GeoPoint;
+use maritime_stream::Timestamp;
+use maritime_tracker::{CriticalPoint, MobilityTracker, TrackerParams};
+
+struct CountingAlloc;
+
+// Per-thread counter: the libtest harness thread allocates concurrently
+// with the test thread, so a process-global count would be flaky. A
+// const-initialized `Cell<usize>` has no destructor and no lazy init, so
+// touching it from inside the allocator cannot recurse.
+std::thread_local! {
+    static THREAD_ALLOCATIONS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = THREAD_ALLOCATIONS.with(std::cell::Cell::get);
+    let result = f();
+    (THREAD_ALLOCATIONS.with(std::cell::Cell::get) - before, result)
+}
+
+/// Straight constant-speed cruise for a small fleet: after the initial
+/// transient (track start, speed stabilization) the steady state emits
+/// nothing and must allocate nothing.
+fn cruise(fleet: u32, start: i64, fixes: i64) -> Vec<PositionTuple> {
+    let mut out = Vec::new();
+    for step in 0..fixes {
+        for v in 0..fleet {
+            let t = start + step;
+            // ~0.0005 deg of longitude per 10 s tick at lat 37.9 is a
+            // steady ~8.5 kn — comfortably inside the normal-motion band.
+            out.push(PositionTuple {
+                mmsi: Mmsi(237_000_001 + v),
+                position: GeoPoint::new(
+                    23.0 + f64::from(v) * 0.5 + t as f64 * 0.000_5,
+                    37.9 + f64::from(v) * 0.1,
+                ),
+                timestamp: Timestamp(t * 10),
+            });
+        }
+    }
+    out
+}
+
+#[test]
+fn steady_state_tracking_allocates_nothing() {
+    let params = TrackerParams::default();
+    let mut tracker = MobilityTracker::new(params);
+    let mut out: Vec<CriticalPoint> = Vec::new();
+
+    // Warm up: creates the per-vessel trackers (MMSI map inserts, history
+    // rings), registers the lazy metric counters, and rides out the
+    // track-start transient.
+    let warm = cruise(5, 0, 200);
+    tracker.process_batch_into(warm.iter(), &mut out);
+    let transient = out.len();
+    assert!(transient >= 5, "each vessel must at least emit a track start");
+    out.clear();
+
+    // Measured: the same fleet continues the same cruise.
+    let steady = cruise(5, 200, 200);
+    let (allocs, ()) = allocations(|| {
+        tracker.process_batch_into(steady.iter(), &mut out);
+    });
+    assert_eq!(allocs, 0, "steady-state tracking must not touch the heap");
+
+    // And one-at-a-time processing is equally clean.
+    let more = cruise(5, 400, 50);
+    let (allocs, ()) = allocations(|| {
+        for tuple in &more {
+            tracker.process_into(*tuple, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "per-tuple tracking must not touch the heap");
+
+    let stats = tracker.stats();
+    assert_eq!(stats.raw, (warm.len() + steady.len() + more.len()) as u64);
+    assert_eq!(stats.outliers, 0, "the cruise must not trip the outlier filter");
+}

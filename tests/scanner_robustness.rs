@@ -1,0 +1,195 @@
+//! Fuzz-shaped robustness suite for the batch scanner.
+//!
+//! The zero-copy scanner slices sentences out of the input buffer and
+//! reads bit fields straight off the armored bytes — which means framing
+//! damage now hits pointer arithmetic instead of `String` machinery.
+//! This suite feeds it deliberately damaged streams (the `maritime-chaos`
+//! Corrupt/Truncate ops over several seeds, plus hand-built interleaved
+//! and truncated multi-fragment messages) and demands that it never
+//! panics and that every discarded sentence lands in exactly one
+//! [`ScanStats`] bucket — the ledger invariant
+//! `total == accepted + malformed + bad_checksum + bad_payload +
+//! bad_position + voyage_declarations + fragments_pending`.
+
+use maritime_ais::voyage::{encode_static_voyage, StaticVoyageData};
+use maritime_ais::{DataScanner, Mmsi, ScanStats};
+use maritime_chaos::{demo_sentences, ChaosOp, ChaosPlan};
+use maritime_stream::Timestamp;
+
+/// Every scan call increments `total` and exactly one outcome bucket.
+fn assert_ledger(stats: &ScanStats) {
+    let buckets = stats.accepted
+        + stats.malformed
+        + stats.bad_checksum
+        + stats.bad_payload
+        + stats.bad_position
+        + stats.voyage_declarations
+        + stats.fragments_pending;
+    assert_eq!(
+        stats.total, buckets,
+        "scan outcomes must partition the sentence count: {stats:?}"
+    );
+}
+
+fn scan_all(lines: &[(i64, String)]) -> (ScanStats, usize) {
+    let mut scanner = DataScanner::new();
+    let mut accepted = 0usize;
+    let mut last = Timestamp::ZERO;
+    for (t, line) in lines {
+        last = Timestamp(*t);
+        if scanner.scan(line, last).is_some() {
+            accepted += 1;
+        }
+    }
+    scanner.finish(last);
+    let stats = scanner.stats();
+    assert_ledger(&stats);
+    assert_eq!(stats.accepted as usize, accepted);
+    (stats, accepted)
+}
+
+#[test]
+fn corrupt_and_truncated_streams_never_panic_and_balance_the_ledger() {
+    let (clean, _) = demo_sentences(0xC0FFEE, 20, 2);
+    let (clean_stats, clean_accepted) = scan_all(&clean);
+    assert_eq!(clean_stats.bad_checksum, 0, "clean stream must scan clean");
+    assert_eq!(clean_stats.malformed, 0);
+    assert!(clean_accepted > 1_000, "demo stream too small to be probative");
+
+    for seed in [1u64, 7, 42, 0xDEAD_BEEF] {
+        let plan = ChaosPlan::new(
+            seed,
+            vec![
+                ChaosOp::Corrupt { per_mille: 120 },
+                ChaosOp::Truncate { per_mille: 120 },
+            ],
+        );
+        let (damaged, pstats) = plan.apply(&clean);
+        assert!(pstats.corrupted > 0, "seed {seed} damaged nothing");
+        let (stats, accepted) = scan_all(&damaged);
+
+        // Damage only ever removes positions — and each damaged sentence
+        // must land in a rejection bucket, not vanish.
+        assert!(accepted <= clean_accepted, "seed {seed} gained positions");
+        assert_eq!(stats.total as usize, damaged.len());
+        let rejected = stats.bad_checksum + stats.malformed + stats.bad_payload;
+        assert!(
+            rejected > 0,
+            "seed {seed}: {} damaged sentences, none rejected",
+            pstats.corrupted
+        );
+    }
+}
+
+fn voyage(mmsi: u32, seq_id: u8) -> [String; 2] {
+    encode_static_voyage(
+        &StaticVoyageData {
+            mmsi: Mmsi(mmsi),
+            imo: 9_100_000 + mmsi % 1000,
+            callsign: format!("RB{seq_id:02}"),
+            name: format!("ROBUSTNESS {mmsi}"),
+            ship_type: 70,
+            draught_m: 6.5,
+            destination: "PIRAEUS".to_string(),
+        },
+        seq_id,
+    )
+}
+
+#[test]
+fn interleaved_multi_fragment_messages_reassemble_with_pinned_stats() {
+    // Two type-5 messages with *different* sequence ids interleaved:
+    // A1 B1 A2 B2. Both must reassemble — four scans, two pending
+    // fragments, two voyage declarations.
+    let [a1, a2] = voyage(237_000_001, 1);
+    let [b1, b2] = voyage(237_000_002, 2);
+    let mut scanner = DataScanner::new();
+    for line in [&a1, &b1, &a2, &b2] {
+        assert!(scanner.scan(line, Timestamp(0)).is_none());
+    }
+    let stats = scanner.stats();
+    assert_ledger(&stats);
+    assert_eq!(stats.total, 4);
+    assert_eq!(stats.fragments_pending, 2);
+    assert_eq!(stats.voyage_declarations, 2);
+    assert_eq!(stats.fragments_truncated, 0);
+    assert_eq!(scanner.voyages().len(), 2);
+}
+
+#[test]
+fn colliding_sequence_ids_count_the_squeezed_out_message_as_truncated() {
+    // Two messages *sharing* a sequence id interleaved: A1 B1 B2 A2.
+    // B1 overwrites A1's slot in the shared reassembly entry, so B
+    // completes (with B's payload intact) and message A is lost; A's
+    // orphan second fragment starts a new pending entry that can never
+    // complete. Pinned deltas: 4 scans — 3 pending fragments (A1, B1,
+    // A2), 1 declaration (B) — then draining at finish counts exactly
+    // one abandoned message (A's orphan) as truncated.
+    let [a1, a2] = voyage(237_000_001, 3);
+    let [b1, b2] = voyage(237_000_002, 3);
+    let mut scanner = DataScanner::new();
+    for line in [&a1, &b1, &b2, &a2] {
+        assert!(scanner.scan(line, Timestamp(5)).is_none());
+    }
+    let mid = scanner.stats();
+    assert_ledger(&mid);
+    assert_eq!(mid.total, 4);
+    assert_eq!(mid.fragments_pending, 3);
+    assert_eq!(mid.voyage_declarations, 1, "only B fully reassembles");
+    assert_eq!(mid.fragments_truncated, 0, "the loss is invisible until drained");
+    assert_eq!(scanner.voyages().len(), 1);
+
+    let abandoned = scanner.finish(Timestamp(60));
+    assert_eq!(abandoned, 1, "exactly one message (A) was squeezed out");
+    let stats = scanner.stats();
+    assert_ledger(&stats);
+    assert_eq!(stats.fragments_truncated, 1);
+    assert_eq!(scanner.voyages().len(), 1);
+}
+
+#[test]
+fn truncated_final_fragment_is_flushed_at_finish() {
+    // A first fragment whose sibling never arrives: invisible until the
+    // defragmenter is drained, then counted as truncated.
+    let [a1, _a2] = voyage(237_000_003, 4);
+    let mut scanner = DataScanner::new();
+    assert!(scanner.scan(&a1, Timestamp(0)).is_none());
+    let before = scanner.stats();
+    assert_eq!(before.fragments_pending, 1);
+    assert_eq!(before.fragments_truncated, 0);
+    let abandoned = scanner.finish(Timestamp(60));
+    assert_eq!(abandoned, 1);
+    let stats = scanner.stats();
+    assert_ledger(&stats);
+    assert_eq!(stats.fragments_truncated, 1);
+    assert_eq!(scanner.voyages().len(), 0);
+}
+
+#[test]
+fn mangled_fragment_headers_never_panic() {
+    // Header damage targeted at the multi-fragment fields themselves:
+    // fragment counts of 0, fragment numbers out of range, non-numeric
+    // counts, missing fields — all must be rejected or buffered, never
+    // panic, and keep the ledger balanced.
+    let [a1, a2] = voyage(237_000_004, 5);
+    let broken: Vec<String> = vec![
+        a1.replace(",2,1,", ",0,1,"),
+        a1.replace(",2,1,", ",2,9,"),
+        a1.replace(",2,1,", ",x,1,"),
+        a1.replace(",2,1,", ",2,,"),
+        a1.chars().take(10).collect(),
+        a2.replace(",2,2,", ",2,2"),
+        String::new(),
+        "!AIVDM".to_string(),
+    ];
+    let mut scanner = DataScanner::new();
+    for line in &broken {
+        let _ = scanner.scan(line, Timestamp(0));
+    }
+    scanner.finish(Timestamp(60));
+    let stats = scanner.stats();
+    assert_ledger(&stats);
+    assert_eq!(stats.total, broken.len() as u64);
+    assert_eq!(stats.accepted, 0);
+    assert_eq!(scanner.voyages().len(), 0);
+}
