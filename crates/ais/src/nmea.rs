@@ -142,6 +142,42 @@ pub fn checksum(body: &str) -> u8 {
     body.bytes().fold(0, |acc, b| acc ^ b)
 }
 
+/// Hex-digit values for the `*hh` checksum suffix, `-1` for non-hex
+/// bytes. A 256-entry const table turns the declared-checksum decode
+/// into two indexed loads on the zero-copy scan path, replacing the
+/// generic radix parser (which also tolerated `+` signs and arbitrary
+/// digit counts that NMEA 0183 does not allow).
+const HEX_VAL: [i8; 256] = {
+    let mut t = [-1i8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        t[b] = match b as u8 {
+            b'0'..=b'9' => (b as u8 - b'0') as i8,
+            b'a'..=b'f' => (b as u8 - b'a' + 10) as i8,
+            b'A'..=b'F' => (b as u8 - b'A' + 10) as i8,
+            _ => -1,
+        };
+        b += 1;
+    }
+    t
+};
+
+/// Decodes the two-hex-digit declared checksum, table-driven. `None` for
+/// anything but exactly two hex digits (NMEA 0183 `*hh`).
+#[inline]
+#[must_use]
+fn declared_checksum(field: &str) -> Option<u8> {
+    let [hi, lo] = field.as_bytes() else {
+        return None;
+    };
+    let (hi, lo) = (HEX_VAL[usize::from(*hi)], HEX_VAL[usize::from(*lo)]);
+    if hi < 0 || lo < 0 {
+        return None;
+    }
+    #[allow(clippy::cast_sign_loss)] // both verified non-negative above
+    Some(((hi as u8) << 4) | lo as u8)
+}
+
 /// Parses one `!AIVDM,...*hh` sentence into a borrowed fragment,
 /// validating the checksum. Performs no heap allocation: the payload is a
 /// slice of `line`, and the six comma-separated fields are walked with a
@@ -153,8 +189,7 @@ pub fn parse_fragment(line: &str) -> Result<AivdmFragment<'_>, NmeaError> {
         .or_else(|| line.strip_prefix("!AIVDO,"))
         .ok_or(NmeaError::BadPrefix)?;
     let (body, declared) = rest.rsplit_once('*').ok_or(NmeaError::MissingChecksum)?;
-    let declared =
-        u8::from_str_radix(declared, 16).map_err(|_| NmeaError::MissingChecksum)?;
+    let declared = declared_checksum(declared).ok_or(NmeaError::MissingChecksum)?;
     // The checksum covers everything between '!' and '*': "AIVDM," + body.
     let prefix = &line[1..7]; // "AIVDM," or "AIVDO,"
     let computed = checksum(prefix) ^ checksum(body);
@@ -456,6 +491,24 @@ mod tests {
     #[test]
     fn wrong_prefix_rejected() {
         assert_eq!(parse_sentence("$GPGGA,foo*00"), Err(NmeaError::BadPrefix));
+    }
+
+    #[test]
+    fn checksum_suffix_must_be_two_hex_digits() {
+        let sentence = encode_report(&sample_report(AisMessageType::PositionReportClassA));
+        let (body, hex) = sentence.rsplit_once('*').unwrap();
+        // Lowercase hex is valid NMEA and must verify.
+        assert!(parse_sentence(&format!("{body}*{}", hex.to_lowercase())).is_ok());
+        // Anything but exactly two hex digits is a malformed suffix; the
+        // old radix parser tolerated some of these (`+` signs, one digit).
+        for bad in [String::new(), "7".into(), format!("+{hex}"), format!("0{hex}"), "G0".into()]
+        {
+            assert_eq!(
+                parse_sentence(&format!("{body}*{bad}")),
+                Err(NmeaError::MissingChecksum),
+                "suffix {bad:?}"
+            );
+        }
     }
 
     #[test]

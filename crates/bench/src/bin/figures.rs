@@ -40,7 +40,7 @@ fn main() {
     }
     let all = [
         "fig6", "fig7", "fig8", "fig9", "fig10", "table4", "fig11", "baselines", "sharded",
-        "incremental", "chaos", "hotpath",
+        "incremental", "chaos", "hotpath", "recognition",
     ];
     let run_list: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -77,6 +77,7 @@ fn main() {
             "incremental" => incremental(&workload),
             "chaos" => chaos(),
             "hotpath" => hotpath(&workload, scale),
+            "recognition" => recognition(&workload, scale),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -842,6 +843,180 @@ workload invariants, so any drift there is a correctness bug, not noise.
                 "secs": e2e_secs,
                 "pos_per_sec": positions / e2e_secs,
             },
+        }),
+    );
+}
+
+/// Extension: raw-speed measurement of the CE recognition stage — the
+/// trajectory entry behind the `BENCH_recognition.json` perf gate, the
+/// recognition counterpart of [`hotpath`]. All legs replay the Figure 11
+/// geometry (ω = 6 h, β = 1 h) as a streaming run: events are fed up to
+/// each query time, then the window is recognized — the cadence an online
+/// pipeline runs at.
+///
+/// * **ondemand / facts** — the Figure 11(a)/(b) spatial ablation,
+///   each measured from scratch and incrementally;
+/// * **bands1/2/4** — the Figure 11 parallel axis: longitude-band
+///   partitioned recognition over balanced quantile boundaries.
+///
+/// Every leg reports an exact CE count next to its throughput; the perf
+/// gate pins those counts, so a speedup that changes recognition output
+/// fails CI even if it is faster.
+fn recognition(w: &Workload, scale: Scale) {
+    use maritime_cer::EvalStrategy;
+
+    println!("== Recognition hot path: CE stage throughput ==");
+    let scale_label = match scale {
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Large => "large",
+    };
+    // In-order replay, as in the `incremental` experiment: the tracker
+    // stamps a few MEs retroactively, and feeding those after a query is
+    // a genuine late arrival that would force uninformative fallbacks.
+    let mut me_stream = w.me_stream(TrackerParams::default());
+    me_stream.sort_by_key(|(t, _)| *t);
+    let mes = me_stream.len();
+    println!(
+        "  ME stream: {mes} critical movement events from {} raw positions",
+        w.stream.len()
+    );
+    let spec = WindowSpec::new(Duration::hours(6), Duration::hours(1)).unwrap();
+    let span_end = Timestamp::ZERO + w.span();
+    let queries = spec.query_times(Timestamp::ZERO, span_end);
+
+    // Per-leg passes are a few tens of milliseconds, where scheduler noise
+    // swings a single measurement by ±40%. Each leg therefore runs one
+    // warm-up pass plus `FIG_REPS` timed passes (default 5) and reports
+    // the fastest — the standard minimum-of-N estimator for the leg's
+    // noise-free cost. The CE count must be identical across passes.
+    let reps: usize = std::env::var("FIG_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(5);
+    let best_of = move |run: &dyn Fn() -> (f64, usize)| {
+        let _ = run(); // warm-up
+        let (mut best, ces) = run();
+        for _ in 1..reps {
+            let (secs, c) = run();
+            assert_eq!(c, ces, "CE count varied across timed passes");
+            best = best.min(secs);
+        }
+        (best, ces)
+    };
+
+    // Streaming single-engine leg.
+    let serial = |mode: SpatialMode, strategy: EvalStrategy| {
+        let events = match mode {
+            SpatialMode::Precomputed => {
+                let kb = Knowledge::standard(w.vessels.iter().copied(), w.areas.clone());
+                let mut annotated = me_stream.clone();
+                spatial::annotate_with_spatial_facts(&mut annotated, &kb);
+                annotated
+            }
+            _ => me_stream.clone(),
+        };
+        let run = || {
+            let kb =
+                Knowledge::new(w.vessels.iter().copied(), w.areas.clone(), 2_000.0, mode);
+            let mut recognizer = MaritimeRecognizer::with_strategy(kb, spec, strategy);
+            let mut fed = 0usize;
+            let mut ces = 0usize;
+            let t0 = Instant::now();
+            for q in &queries {
+                while fed < events.len() && events[fed].0 <= *q {
+                    recognizer.add_events([events[fed].clone()]);
+                    fed += 1;
+                }
+                ces += recognizer.recognize_and_summarize(*q).ce_count;
+            }
+            (t0.elapsed().as_secs_f64(), ces)
+        };
+        best_of(&run)
+    };
+
+    // Partitioned leg: n longitude bands over the whole stream, the
+    // Figure 11 two-processor axis extended to four.
+    let banded = |n: usize| {
+        let partitioner = partition::GeoPartitioner::balanced(n, &me_stream);
+        let run = || {
+            let t0 = Instant::now();
+            let merged = partition::recognize_partitioned(
+                &partitioner,
+                &w.vessels,
+                &w.areas,
+                &me_stream,
+                spec,
+                &queries,
+                SpatialMode::OnDemand,
+            );
+            let ces: usize = merged.iter().map(partition::MergedSummary::ce_count).sum();
+            (t0.elapsed().as_secs_f64(), ces)
+        };
+        best_of(&run)
+    };
+
+    let legs: Vec<(&str, f64, usize)> = vec![
+        {
+            let (s, c) = serial(SpatialMode::OnDemand, EvalStrategy::FromScratch);
+            ("ondemand_scratch", s, c)
+        },
+        {
+            let (s, c) = serial(SpatialMode::OnDemand, EvalStrategy::Incremental);
+            ("ondemand_incremental", s, c)
+        },
+        {
+            let (s, c) = serial(SpatialMode::Precomputed, EvalStrategy::FromScratch);
+            ("facts_scratch", s, c)
+        },
+        {
+            let (s, c) = serial(SpatialMode::Precomputed, EvalStrategy::Incremental);
+            ("facts_incremental", s, c)
+        },
+        {
+            let (s, c) = banded(1);
+            ("bands1", s, c)
+        },
+        {
+            let (s, c) = banded(2);
+            ("bands2", s, c)
+        },
+        {
+            let (s, c) = banded(4);
+            ("bands4", s, c)
+        },
+    ];
+
+    let mut table = TextTable::new(&["leg", "CEs", "total (s)", "ms/query", "ME/s"]);
+    let mut json_legs: Vec<(String, serde_json::Value)> = Vec::new();
+    for (name, secs, ces) in &legs {
+        table.row(vec![
+            (*name).to_string(),
+            ces.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.3}", secs / queries.len().max(1) as f64 * 1_000.0),
+            format!("{:.0}", mes as f64 / secs),
+        ]);
+        json_legs.push((
+            (*name).to_string(),
+            serde_json::json!({
+                "ce_count": ces,
+                "secs": secs,
+                "me_per_sec": mes as f64 / secs,
+            }),
+        ));
+    }
+    println!("{}", table.render());
+    println!("expected shape: incremental beats from-scratch at this overlap (ω ≫ β);\nprecomputed facts beat on-demand; bands scale like Figure 11's processors.\nThe CE counts are workload invariants pinned by the perf gate.\n");
+
+    save_json(
+        "recognition",
+        &serde_json::json!({
+            "scale": scale_label,
+            "mes": mes,
+            "queries": queries.len(),
+            "legs": serde_json::Value::Object(json_legs),
         }),
     );
 }

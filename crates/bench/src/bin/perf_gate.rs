@@ -1,28 +1,32 @@
 //! Hot-path throughput regression gate.
 //!
-//! Compares the most recent `figures hotpath` run
-//! (`bench-results/hotpath.json`) against the committed floor trajectory
-//! (`BENCH_hotpath.json` at the repo root) and fails if throughput fell
-//! below the floor by more than the tolerance band.
+//! Compares the most recent `figures` runs against every committed floor
+//! trajectory (`BENCH_<name>.json` at the repo root, one per gated
+//! benchmark) and fails if throughput fell below a floor by more than the
+//! tolerance band. Two benchmarks are gated today: `hotpath` (the
+//! decode→track stage, `figures hotpath`) and `recognition` (the CE
+//! stage, `figures recognition`).
 //!
 //! ```text
 //! cargo run --release -p maritime-bench --bin figures -- hotpath
+//! cargo run --release -p maritime-bench --bin figures -- recognition
 //! cargo run --release -p maritime-bench --bin perf_gate
 //! PERF_BLESS=1 cargo run --release -p maritime-bench --bin perf_gate
 //! ```
 //!
-//! Semantics:
+//! Semantics, per benchmark:
 //!
 //! * **No committed floor yet** — the current run becomes the floor, a
 //!   warning is printed, and the gate passes (warn-only first run). Commit
-//!   the created `BENCH_hotpath.json` to arm the gate.
-//! * **Floor present** — each leg's `pos_per_sec` must be at least
-//!   `floor × tolerance`. The tolerance band (default 0.70) absorbs
+//!   the created `BENCH_<name>.json` to arm the gate.
+//! * **Floor present** — the floor entry matching the current run's scale
+//!   is compared field by field: every numeric field ending in `_per_sec`
+//!   must be at least `floor × tolerance` (default 0.70 — absorbs
 //!   runner-class variance between CI hosts while still failing a change
-//!   that gives back the headline speedup. The end-to-end critical-point
-//!   count is compared *exactly*: it is a workload invariant, independent
-//!   of machine speed, so any drift is a correctness regression and fails
-//!   the gate regardless of throughput.
+//!   that gives back the headline speedup), and every `critical` /
+//!   `ce_count` field must match *exactly* — counts are workload
+//!   invariants, independent of machine speed, so any drift is a
+//!   correctness regression and fails the gate regardless of throughput.
 //! * **`PERF_BLESS=1`** — append the current run as a new trajectory entry
 //!   (the new floor) instead of comparing. Use after an intentional
 //!   performance change; see TESTING.md.
@@ -31,10 +35,10 @@ use std::process::ExitCode;
 
 use serde_json::{json, Value};
 
-const FLOOR_PATH: &str = "BENCH_hotpath.json";
-const RESULT_PATH: &str = "bench-results/hotpath.json";
+/// Gated benchmarks: floor `BENCH_<name>.json`, result
+/// `bench-results/<name>.json`, both produced by `figures <name>`.
+const BENCHES: [&str; 2] = ["hotpath", "recognition"];
 const DEFAULT_TOLERANCE: f64 = 0.70;
-const LEGS: [&str; 3] = ["decode", "track", "e2e"];
 
 fn read_json(path: &str) -> Option<Value> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -63,52 +67,97 @@ fn text(v: Option<&Value>) -> Option<&str> {
     }
 }
 
-fn pos_per_sec(entry: &Value, leg: &str) -> f64 {
-    num(entry.get(leg).and_then(|l| l.get("pos_per_sec"))).unwrap_or(0.0)
+/// Recursively compares a floor entry against the current run.
+///
+/// The walk follows the floor's object structure, so the gate needs no
+/// per-benchmark schema: `*_per_sec` leaves are throughput floors
+/// (`current ≥ floor × tolerance`), `critical`/`ce_count` leaves are
+/// exact workload invariants, and everything else is informational.
+fn check_entry(prefix: &str, floor: &Value, current: &Value, tolerance: f64, ok: &mut bool) {
+    let Value::Object(fields) = floor else {
+        return;
+    };
+    for (name, fval) in fields {
+        let label = if prefix.is_empty() {
+            name.clone()
+        } else {
+            format!("{prefix}.{name}")
+        };
+        match fval {
+            Value::Object(_) => {
+                let cur = current.get(name).cloned().unwrap_or(Value::Null);
+                check_entry(&label, fval, &cur, tolerance, ok);
+            }
+            _ if name.ends_with("_per_sec") => {
+                let f = num(Some(fval)).unwrap_or(0.0);
+                let min = f * tolerance;
+                let now = num(current.get(name)).unwrap_or(0.0);
+                let pass = now >= min;
+                *ok &= pass;
+                println!(
+                    "  {label:<34} floor {f:>12.0}  min {min:>12.0}  now {now:>12.0}  {}",
+                    if pass { "ok" } else { "FAIL" }
+                );
+            }
+            _ if name == "critical" || name == "ce_count" => {
+                let want = num(Some(fval));
+                let got = num(current.get(name));
+                if want == got {
+                    println!("  {label:<34} {} (exact match)", want.unwrap_or(0.0));
+                } else {
+                    *ok = false;
+                    println!(
+                        "  {label:<34} changed: floor {want:?}, now {got:?} — this is a \
+                         correctness regression, not noise"
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
-fn e2e_critical(entry: &Value) -> Option<f64> {
-    num(entry.get("e2e").and_then(|l| l.get("critical")))
-}
-
-fn main() -> ExitCode {
-    let Some(current) = read_json(RESULT_PATH) else {
-        eprintln!("perf gate: no {RESULT_PATH} — run `figures hotpath` first");
-        return ExitCode::FAILURE;
+/// Gates one benchmark; returns false on failure.
+fn gate(name: &str, bless: bool) -> bool {
+    let floor_path = format!("BENCH_{name}.json");
+    let result_path = format!("bench-results/{name}.json");
+    let Some(current) = read_json(&result_path) else {
+        eprintln!("perf gate [{name}]: no {result_path} — run `figures {name}` first");
+        return false;
     };
     let scale = text(current.get("scale")).unwrap_or("?").to_string();
 
-    let floor_file = read_json(FLOOR_PATH);
-    let bless = std::env::var("PERF_BLESS").is_ok_and(|v| v == "1");
-
-    let Some(mut floor_file) = floor_file else {
+    let Some(mut floor_file) = read_json(&floor_path) else {
         // First run: create the floor, warn, pass.
         write_json(
-            FLOOR_PATH,
+            &floor_path,
             &json!({ "tolerance": DEFAULT_TOLERANCE, "entries": [current] }),
         );
         println!(
-            "perf gate: no committed floor — created {FLOOR_PATH} from this run \
-             (warn-only). Commit it to arm the gate."
+            "perf gate [{name}]: no committed floor — created {floor_path} from this \
+             run (warn-only). Commit it to arm the gate."
         );
-        return ExitCode::SUCCESS;
+        return true;
     };
 
     if bless {
         let Value::Object(fields) = &mut floor_file else {
-            eprintln!("perf gate: {FLOOR_PATH} is not a JSON object");
-            return ExitCode::FAILURE;
+            eprintln!("perf gate [{name}]: {floor_path} is not a JSON object");
+            return false;
         };
         let Some(Value::Array(entries)) =
             fields.iter_mut().find(|(k, _)| k == "entries").map(|(_, v)| v)
         else {
-            eprintln!("perf gate: {FLOOR_PATH} has no `entries` array");
-            return ExitCode::FAILURE;
+            eprintln!("perf gate [{name}]: {floor_path} has no `entries` array");
+            return false;
         };
         entries.push(current);
-        write_json(FLOOR_PATH, &floor_file);
-        println!("perf gate: PERF_BLESS=1 — appended this run to {FLOOR_PATH} as the new floor");
-        return ExitCode::SUCCESS;
+        write_json(&floor_path, &floor_file);
+        println!(
+            "perf gate [{name}]: PERF_BLESS=1 — appended this run to {floor_path} as \
+             the new floor"
+        );
+        return true;
     }
 
     let tolerance = num(floor_file.get("tolerance")).unwrap_or(DEFAULT_TOLERANCE);
@@ -121,41 +170,22 @@ fn main() -> ExitCode {
         .rev()
         .find(|e| text(e.get("scale")) == Some(scale.as_str()))
     else {
-        println!("perf gate: no floor entry at scale `{scale}` — passing (warn-only)");
-        return ExitCode::SUCCESS;
+        println!("perf gate [{name}]: no floor entry at scale `{scale}` — passing (warn-only)");
+        return true;
     };
 
     let mut ok = true;
-    println!("perf gate: scale `{scale}`, tolerance {tolerance:.2}");
-    println!(
-        "{:<8} {:>14} {:>14} {:>14} {:>6}",
-        "leg", "floor pos/s", "min pos/s", "now pos/s", ""
-    );
-    for leg in LEGS {
-        let f = pos_per_sec(floor, leg);
-        let min = f * tolerance;
-        let now = pos_per_sec(&current, leg);
-        let pass = now >= min;
-        ok &= pass;
-        println!(
-            "{leg:<8} {f:>14.0} {min:>14.0} {now:>14.0} {:>6}",
-            if pass { "ok" } else { "FAIL" }
-        );
-    }
+    println!("perf gate [{name}]: scale `{scale}`, tolerance {tolerance:.2}");
+    check_entry("", floor, &current, tolerance, &mut ok);
+    ok
+}
 
-    // Machine-independent invariant: the e2e critical-point count.
-    let want = e2e_critical(floor);
-    let got = e2e_critical(&current);
-    if want != got {
-        ok = false;
-        println!(
-            "e2e critical-point count changed: floor {want:?}, now {got:?} — \
-             this is a correctness regression, not noise"
-        );
-    } else {
-        println!("e2e critical points: {} (exact match)", got.unwrap_or(0.0));
+fn main() -> ExitCode {
+    let bless = std::env::var("PERF_BLESS").is_ok_and(|v| v == "1");
+    let mut ok = true;
+    for name in BENCHES {
+        ok &= gate(name, bless);
     }
-
     if ok {
         println!("perf gate: PASS");
         ExitCode::SUCCESS

@@ -17,7 +17,7 @@
 
 use maritime_ais::Mmsi;
 use maritime_geo::{AreaId, AreaKind};
-use maritime_rtec::{DerivedEventDef, EventDescription, FluentDef, Trigger, View};
+use maritime_rtec::{DerivedEventDef, EventDescription, FluentDef, Trigger, TriggerKinds, View};
 use serde::{Deserialize, Serialize};
 
 use crate::input::{InputEvent, InputKind};
@@ -90,11 +90,11 @@ type MTrigger<'a> = Trigger<'a, InputEvent, FluentKey>;
 /// Stratum 0: `stopped(V)` from the tracker's stop markers.
 fn stopped() -> MDef {
     FluentDef::new("stopped")
-        .initiated(|_, _, trig: MTrigger<'_>, _| match trig.input() {
+        .initiated_on(TriggerKinds::INPUT, |_, _, trig: MTrigger<'_>, _| match trig.input() {
             Some(e) if e.kind == InputKind::StopStart => vec![FluentKey::Stopped(e.mmsi)],
             _ => vec![],
         })
-        .terminated(|_, _, trig: MTrigger<'_>, _| match trig.input() {
+        .terminated_on(TriggerKinds::INPUT, |_, _, trig: MTrigger<'_>, _| match trig.input() {
             // A gap also ends certainty about the stop: the tracker closes
             // stops before gaps, but a lone GapStart (e.g. stop markers
             // delayed beyond the window) must not leave the fluent open.
@@ -108,13 +108,13 @@ fn stopped() -> MDef {
 /// Stratum 1: `slowMotion(V)` — the paper's `lowSpeed` durative ME.
 fn slow_motion() -> MDef {
     FluentDef::new("slowMotion")
-        .initiated(|_, _, trig: MTrigger<'_>, _| match trig.input() {
+        .initiated_on(TriggerKinds::INPUT, |_, _, trig: MTrigger<'_>, _| match trig.input() {
             Some(e) if e.kind == InputKind::SlowMotionStart => {
                 vec![FluentKey::SlowMotion(e.mmsi)]
             }
             _ => vec![],
         })
-        .terminated(|_, _, trig: MTrigger<'_>, _| match trig.input() {
+        .terminated_on(TriggerKinds::INPUT, |_, _, trig: MTrigger<'_>, _| match trig.input() {
             Some(e) if matches!(e.kind, InputKind::SlowMotionEnd | InputKind::GapStart) => {
                 vec![FluentKey::SlowMotion(e.mmsi)]
             }
@@ -125,23 +125,26 @@ fn slow_motion() -> MDef {
 /// Stratum 2: `stoppedNear(V, A)` for monitored areas.
 fn stopped_near() -> MDef {
     FluentDef::new("stoppedNear")
-        .initiated(|kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
-            Some(e) if e.kind == InputKind::StopStart => kb
-                .close_areas_for(e)
-                .into_iter()
-                .filter(|id| kb.monitored_for_suspicious(*id))
-                .map(|id| FluentKey::StoppedNear(e.mmsi, id))
-                .collect(),
+        .initiated_on(TriggerKinds::INPUT, |kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
+            Some(e) if e.kind == InputKind::StopStart => {
+                let mut out = Vec::new();
+                kb.for_each_close_area(e, |id| {
+                    if kb.monitored_for_suspicious(id) {
+                        out.push(FluentKey::StoppedNear(e.mmsi, id));
+                    }
+                });
+                out
+            }
             _ => vec![],
         })
-        .terminated(|kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
+        .terminated_on(TriggerKinds::INPUT, |kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
             // Terminate for every monitored area: the vessel may have
             // drifted, so we cannot rely on recomputing proximity at the
             // end marker matching the start marker exactly.
             Some(e) if matches!(e.kind, InputKind::StopEnd | InputKind::GapStart) => kb
-                .areas()
-                .filter(|a| kb.monitored_for_suspicious(a.id))
-                .map(|a| FluentKey::StoppedNear(e.mmsi, a.id))
+                .monitored_area_ids()
+                .iter()
+                .map(|id| FluentKey::StoppedNear(e.mmsi, *id))
                 .collect(),
             _ => vec![],
         })
@@ -151,32 +154,31 @@ fn stopped_near() -> MDef {
 /// fishing (stopped or slow) close to a forbidden-fishing area.
 fn fishing_near() -> MDef {
     FluentDef::new("fishingNear")
-        .initiated(|kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
+        .initiated_on(TriggerKinds::INPUT, |kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
             Some(e)
                 if matches!(e.kind, InputKind::StopStart | InputKind::SlowMotionStart)
                     && kb.fishing(e.mmsi) =>
             {
-                kb.close_areas_for(e)
-                    .into_iter()
-                    .filter(|id| {
-                        kb.area(*id)
-                            .is_some_and(|a| a.kind == AreaKind::ForbiddenFishing)
-                    })
-                    .map(|id| FluentKey::FishingNear(e.mmsi, id))
-                    .collect()
+                let mut out = Vec::new();
+                kb.for_each_close_area(e, |id| {
+                    if kb.area(id).is_some_and(|a| a.kind == AreaKind::ForbiddenFishing) {
+                        out.push(FluentKey::FishingNear(e.mmsi, id));
+                    }
+                });
+                out
             }
             _ => vec![],
         })
-        .terminated(|kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
+        .terminated_on(TriggerKinds::INPUT, |kb: &Knowledge, _, trig: MTrigger<'_>, _| match trig.input() {
             Some(e)
                 if matches!(
                     e.kind,
                     InputKind::StopEnd | InputKind::SlowMotionEnd | InputKind::GapStart
                 ) && kb.fishing(e.mmsi) =>
             {
-                kb.areas()
-                    .filter(|a| a.kind == AreaKind::ForbiddenFishing)
-                    .map(|a| FluentKey::FishingNear(e.mmsi, a.id))
+                kb.forbidden_fishing_area_ids()
+                    .iter()
+                    .map(|id| FluentKey::FishingNear(e.mmsi, *id))
                     .collect()
             }
             _ => vec![],
@@ -188,7 +190,7 @@ fn fishing_near() -> MDef {
 /// to it; terminated when one leaves and fewer than the threshold remain.
 fn suspicious() -> MDef {
     FluentDef::new("suspicious")
-        .initiated(|kb: &Knowledge, view: &View<'_, FluentKey>, trig: MTrigger<'_>, t| {
+        .initiated_on(TriggerKinds::START, |kb: &Knowledge, view: &View<'_, FluentKey>, trig: MTrigger<'_>, t| {
             match trig.started() {
                 Some(FluentKey::StoppedNear(_, area)) => {
                     // Count at the instant after T: the just-started
@@ -206,7 +208,7 @@ fn suspicious() -> MDef {
                 _ => vec![],
             }
         })
-        .terminated(|kb: &Knowledge, view: &View<'_, FluentKey>, trig: MTrigger<'_>, t| {
+        .terminated_on(TriggerKinds::END, |kb: &Knowledge, view: &View<'_, FluentKey>, trig: MTrigger<'_>, t| {
             match trig.ended() {
                 Some(FluentKey::StoppedNear(_, area)) => {
                     let probe = t + maritime_rtec::Duration::secs(1);
@@ -229,11 +231,11 @@ fn suspicious() -> MDef {
 /// vessel remains there with fishing-compatible movement.
 fn illegal_fishing() -> MDef {
     FluentDef::new("illegalFishing")
-        .initiated(|_, _, trig: MTrigger<'_>, _| match trig.started() {
+        .initiated_on(TriggerKinds::START, |_, _, trig: MTrigger<'_>, _| match trig.started() {
             Some(FluentKey::FishingNear(_, area)) => vec![FluentKey::IllegalFishing(*area)],
             _ => vec![],
         })
-        .terminated(|_, view: &View<'_, FluentKey>, trig: MTrigger<'_>, t| {
+        .terminated_on(TriggerKinds::END, |_, view: &View<'_, FluentKey>, trig: MTrigger<'_>, t| {
             match trig.ended() {
                 Some(FluentKey::FishingNear(_, area)) => {
                     let probe = t + maritime_rtec::Duration::secs(1);
@@ -254,18 +256,21 @@ fn illegal_fishing() -> MDef {
 /// Rule 5: `illegalShipping(A)` on a communication gap close to a
 /// protected area.
 fn illegal_shipping() -> MEvent {
-    DerivedEventDef::new("illegalShipping").rule(|kb: &Knowledge, _, trig: MTrigger<'_>, _| {
+    DerivedEventDef::new("illegalShipping").rule_on(TriggerKinds::INPUT, |kb: &Knowledge, _, trig: MTrigger<'_>, _| {
         match trig.input() {
-            Some(e) if e.kind == InputKind::GapStart => kb
-                .close_areas_for(e)
-                .into_iter()
-                .filter(|id| kb.area(*id).is_some_and(|a| a.kind == AreaKind::Protected))
-                .map(|area| Alert {
-                    kind: AlertKind::IllegalShipping,
-                    vessel: e.mmsi,
-                    area,
-                })
-                .collect(),
+            Some(e) if e.kind == InputKind::GapStart => {
+                let mut out = Vec::new();
+                kb.for_each_close_area(e, |area| {
+                    if kb.area(area).is_some_and(|a| a.kind == AreaKind::Protected) {
+                        out.push(Alert {
+                            kind: AlertKind::IllegalShipping,
+                            vessel: e.mmsi,
+                            area,
+                        });
+                    }
+                });
+                out
+            }
             _ => vec![],
         }
     })
@@ -274,18 +279,21 @@ fn illegal_shipping() -> MEvent {
 /// Rule 6: `dangerousShipping(A)` on slow motion in waters too shallow for
 /// the vessel's draft.
 fn dangerous_shipping() -> MEvent {
-    DerivedEventDef::new("dangerousShipping").rule(|kb: &Knowledge, _, trig: MTrigger<'_>, _| {
+    DerivedEventDef::new("dangerousShipping").rule_on(TriggerKinds::INPUT, |kb: &Knowledge, _, trig: MTrigger<'_>, _| {
         match trig.input() {
-            Some(e) if e.kind == InputKind::SlowMotionStart => kb
-                .close_areas_for(e)
-                .into_iter()
-                .filter(|id| kb.shallow(*id, e.mmsi))
-                .map(|area| Alert {
-                    kind: AlertKind::DangerousShipping,
-                    vessel: e.mmsi,
-                    area,
-                })
-                .collect(),
+            Some(e) if e.kind == InputKind::SlowMotionStart => {
+                let mut out = Vec::new();
+                kb.for_each_close_area(e, |area| {
+                    if kb.shallow(area, e.mmsi) {
+                        out.push(Alert {
+                            kind: AlertKind::DangerousShipping,
+                            vessel: e.mmsi,
+                            area,
+                        });
+                    }
+                });
+                out
+            }
             _ => vec![],
         }
     })

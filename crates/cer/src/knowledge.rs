@@ -9,6 +9,7 @@ use std::collections::{HashMap, HashSet};
 
 use maritime_ais::{Mmsi, VesselProfile};
 use maritime_geo::{Area, AreaId, AreaKind, GeoPoint, GridIndex};
+use maritime_rtec::intern::FxBuildHasher;
 use serde::{Deserialize, Serialize};
 
 use crate::input::InputEvent;
@@ -52,9 +53,16 @@ impl From<&VesselProfile> for VesselInfo {
 
 /// The CER knowledge base: vessels, areas, spatial index, thresholds.
 pub struct Knowledge {
-    vessels: HashMap<Mmsi, VesselInfo>,
-    areas_by_id: HashMap<AreaId, Area>,
+    vessels: HashMap<Mmsi, VesselInfo, FxBuildHasher>,
+    areas_by_id: HashMap<AreaId, Area, FxBuildHasher>,
     grid: GridIndex,
+    /// Ids of areas monitored for `suspicious`, precomputed in area order —
+    /// the termination rules scan this every `StopEnd`/`GapStart` event, so
+    /// it must not be recomputed per trigger.
+    monitored_ids: Vec<AreaId>,
+    /// Ids of forbidden-fishing areas, precomputed in area order (the
+    /// `fishingNear` termination scan).
+    forbidden_fishing_ids: Vec<AreaId>,
     /// Under-keel clearance added to a vessel's draft when deciding whether
     /// waters are "too shallow" (rule 6).
     pub ukc_margin_m: f64,
@@ -82,20 +90,45 @@ impl Knowledge {
         close_threshold_m: f64,
         spatial_mode: SpatialMode,
     ) -> Self {
-        let vessels: HashMap<Mmsi, VesselInfo> =
+        let vessels: HashMap<Mmsi, VesselInfo, FxBuildHasher> =
             vessels.into_iter().map(|v| (v.mmsi, v)).collect();
         let areas_by_id = areas.iter().map(|a| (a.id, a.clone())).collect();
         let grid = GridIndex::build(areas, 0.2, close_threshold_m);
-        Self {
+        let mut kb = Self {
             vessels,
             areas_by_id,
             grid,
+            monitored_ids: Vec::new(),
+            forbidden_fishing_ids: Vec::new(),
             ukc_margin_m: 1.0,
             spatial_mode: SpatialMode::OnDemand,
             suspicious_min_vessels: 4,
             suspicious_watchlist: None,
         }
-        .with_mode(spatial_mode)
+        .with_mode(spatial_mode);
+        kb.rebuild_area_lists();
+        kb
+    }
+
+    /// Recomputes the precomputed per-kind area-id lists. Kept in the same
+    /// order as [`Knowledge::areas`] so rules that switched from an area
+    /// scan to the precomputed list emit keys in the identical order
+    /// (provenance logs record emission order).
+    fn rebuild_area_lists(&mut self) {
+        self.monitored_ids = self
+            .grid
+            .areas()
+            .iter()
+            .map(|a| a.id)
+            .filter(|id| self.monitored_for_suspicious(*id))
+            .collect();
+        self.forbidden_fishing_ids = self
+            .grid
+            .areas()
+            .iter()
+            .filter(|a| a.kind == AreaKind::ForbiddenFishing)
+            .map(|a| a.id)
+            .collect();
     }
 
     /// Standard configuration: 2 km proximity threshold, on-demand mode.
@@ -116,7 +149,20 @@ impl Knowledge {
     #[must_use]
     pub fn with_suspicious_watchlist(mut self, areas: impl IntoIterator<Item = AreaId>) -> Self {
         self.suspicious_watchlist = Some(areas.into_iter().collect());
+        self.rebuild_area_lists();
         self
+    }
+
+    /// Ids of the areas monitored for `suspicious`, in area order.
+    #[must_use]
+    pub fn monitored_area_ids(&self) -> &[AreaId] {
+        &self.monitored_ids
+    }
+
+    /// Ids of the forbidden-fishing areas, in area order.
+    #[must_use]
+    pub fn forbidden_fishing_area_ids(&self) -> &[AreaId] {
+        &self.forbidden_fishing_ids
     }
 
     /// Whether the `suspicious` fluent is computed for this area.
@@ -191,12 +237,44 @@ impl Knowledge {
         }
     }
 
+    /// [`Knowledge::close_areas_for`] without materialising a `Vec`: calls
+    /// `f` once per close area, in the same order. In `Precomputed` mode
+    /// this reads the event's facts in place instead of cloning them.
+    pub fn for_each_close_area(&self, event: &InputEvent, mut f: impl FnMut(AreaId)) {
+        match self.spatial_mode {
+            SpatialMode::Precomputed => {
+                for id in event.close_areas.as_deref().unwrap_or(&[]) {
+                    f(*id);
+                }
+            }
+            SpatialMode::OnDemand => {
+                let threshold = self.grid.threshold_m();
+                for a in self.grid.areas() {
+                    if a.is_close(event.position, threshold) {
+                        f(a.id);
+                    }
+                }
+            }
+            SpatialMode::OnDemandIndexed => {
+                for a in self.grid.close_areas(event.position) {
+                    f(a.id);
+                }
+            }
+        }
+    }
+
     /// On-demand `close/3` through the grid index: ids of areas within the
     /// proximity threshold (used for spatial-fact precomputation and by
     /// [`SpatialMode::OnDemandIndexed`]).
     #[must_use]
     pub fn close_area_ids(&self, p: GeoPoint) -> Vec<AreaId> {
         self.grid.close_area_ids(p)
+    }
+
+    /// [`Knowledge::close_area_ids`] into a caller-owned buffer (cleared
+    /// and refilled) — a warm buffer makes the lookup allocation-free.
+    pub fn close_area_ids_into(&self, p: GeoPoint, out: &mut Vec<AreaId>) {
+        self.grid.close_area_ids_into(p, out);
     }
 
     /// The proximity threshold of the `close` predicate, meters.

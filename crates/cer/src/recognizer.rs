@@ -94,6 +94,9 @@ pub struct MaritimeRecognizer {
     engine: Engine<Knowledge, InputEvent, FluentKey, Alert>,
     /// Chains assembled by the most recent traced query.
     chains: Vec<CeChain>,
+    /// Reusable recognition buffer: on a steady stream the per-query maps
+    /// and vectors keep their capacity instead of reallocating.
+    scratch: Recognition<FluentKey, Alert>,
 }
 
 impl MaritimeRecognizer {
@@ -110,6 +113,7 @@ impl MaritimeRecognizer {
         Self {
             engine: Engine::new(knowledge, maritime_description(), spec).with_strategy(strategy),
             chains: Vec::new(),
+            scratch: Recognition::default(),
         }
     }
 
@@ -177,8 +181,8 @@ impl MaritimeRecognizer {
     /// Runs recognition and summarizes the complex events. With
     /// provenance on, also rebuilds the per-CE chains.
     pub fn recognize_and_summarize(&mut self, q: Timestamp) -> RecognitionSummary {
-        let recognition = self.recognize_at(q);
-        let summary = summarize(&recognition);
+        self.engine.recognize_into(q, &mut self.scratch);
+        let summary = summarize(&self.scratch);
         OBS_CE_RECOGNIZED.add(summary.ce_count as u64);
         OBS_ALERTS.add(summary.alerts.len() as u64);
         if let Some(prov) = self.engine.take_provenance() {

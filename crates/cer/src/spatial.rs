@@ -10,6 +10,7 @@
 //! Haversine distance during recognition, trading a larger input stream for
 //! cheaper per-rule evaluation.
 
+use maritime_geo::AreaId;
 use maritime_stream::Timestamp;
 
 use crate::input::InputEvent;
@@ -23,10 +24,17 @@ pub fn annotate_with_spatial_facts(
     knowledge: &Knowledge,
 ) -> usize {
     let mut facts = 0;
+    // Grid lookups land in one reusable buffer; each event then gets an
+    // owned copy sized exactly to its fact count. Most open-sea positions
+    // are close to nothing, and `Vec::new()` never touches the heap, so
+    // the common empty case attaches `Some` facts without allocating
+    // (pinned by `tests/no_alloc.rs`).
+    let mut scratch: Vec<AreaId> = Vec::new();
     for (_, ev) in events.iter_mut() {
-        let close = knowledge.close_area_ids(ev.position);
-        facts += close.len();
-        ev.close_areas = Some(close);
+        knowledge.close_area_ids_into(ev.position, &mut scratch);
+        facts += scratch.len();
+        ev.close_areas =
+            Some(if scratch.is_empty() { Vec::new() } else { scratch.clone() });
     }
     facts
 }

@@ -1,0 +1,109 @@
+//! Proof that spatial-fact annotation is allocation-free when no areas
+//! are close.
+//!
+//! `annotate_with_spatial_facts` resolves each event's `close/3` facts
+//! through one reusable scratch buffer and attaches `Some(Vec::new())`
+//! in the (dominant, open-sea) empty case — an empty `Vec` never touches
+//! the heap. This test pins that down with a counting global allocator
+//! (the `crates/ais/tests/no_alloc.rs` idiom) so a per-event allocation
+//! cannot sneak back into the Figure 11(b) preprocessing path.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! `#[global_allocator]`, which must not leak into other test binaries.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+use maritime_ais::Mmsi;
+use maritime_cer::input::{InputEvent, InputKind};
+use maritime_cer::knowledge::{Knowledge, VesselInfo};
+use maritime_cer::spatial::annotate_with_spatial_facts;
+use maritime_geo::{Area, AreaId, AreaKind, GeoPoint, Polygon};
+use maritime_stream::Timestamp;
+
+struct CountingAlloc;
+
+// Per-thread counter: the libtest harness thread allocates concurrently
+// with the test thread, so a process-global count would be flaky. A
+// const-initialized `Cell<usize>` has no destructor and no lazy init, so
+// touching it from inside the allocator cannot recurse.
+std::thread_local! {
+    static THREAD_ALLOCATIONS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = THREAD_ALLOCATIONS.with(std::cell::Cell::get);
+    let result = f();
+    (THREAD_ALLOCATIONS.with(std::cell::Cell::get) - before, result)
+}
+
+fn knowledge() -> Knowledge {
+    Knowledge::standard(
+        vec![VesselInfo { mmsi: Mmsi(1), draft_m: 5.0, is_fishing: true }],
+        vec![Area::new(
+            AreaId(0),
+            "zone",
+            AreaKind::ForbiddenFishing,
+            Polygon::rectangle(GeoPoint::new(24.0, 37.0), GeoPoint::new(24.2, 37.2)),
+        )],
+    )
+}
+
+/// A batch of events all far from every area of interest.
+fn far_events() -> Vec<(Timestamp, InputEvent)> {
+    (0..64)
+        .map(|i| {
+            (
+                Timestamp(i64::from(i) * 10),
+                InputEvent {
+                    mmsi: Mmsi(1),
+                    kind: InputKind::SlowMotionStart,
+                    position: GeoPoint::new(10.0 + f64::from(i) * 0.01, 45.0),
+                    close_areas: None,
+                },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn annotating_far_events_allocates_nothing() {
+    let kb = knowledge();
+    let mut events = far_events();
+
+    // Warm up: registers the lazy grid-lookup metric counters and
+    // exercises every branch of the empty path once before counting.
+    let facts = annotate_with_spatial_facts(&mut events, &kb);
+    assert_eq!(facts, 0, "fixture events must be far from every area");
+
+    let (allocs, facts) = allocations(|| {
+        let mut facts = 0usize;
+        for _ in 0..20 {
+            facts += annotate_with_spatial_facts(&mut events, &kb);
+        }
+        facts
+    });
+    assert_eq!(facts, 0);
+    // Every event still carries `Some` facts — the empty case is
+    // represented, not skipped.
+    assert!(events.iter().all(|(_, ev)| ev.close_areas.as_deref() == Some(&[][..])));
+    assert_eq!(allocs, 0, "empty spatial-fact annotation must not touch the heap");
+}

@@ -97,6 +97,14 @@ impl GridIndex {
         self.close_areas(p).map(|a| a.id).collect()
     }
 
+    /// [`GridIndex::close_area_ids`] into a caller-owned buffer: `out` is
+    /// cleared and refilled, so a warm buffer makes the lookup
+    /// allocation-free.
+    pub fn close_area_ids_into(&self, p: GeoPoint, out: &mut Vec<AreaId>) {
+        out.clear();
+        out.extend(self.close_areas(p).map(|a| a.id));
+    }
+
     /// Areas that *contain* `p` (strict containment, not proximity).
     pub fn containing_areas(&self, p: GeoPoint) -> impl Iterator<Item = &Area> + '_ {
         self.candidates(p)
@@ -121,11 +129,21 @@ impl GridIndex {
     /// the index-vs-scan ablation bench.
     #[must_use]
     pub fn close_area_ids_linear(&self, p: GeoPoint) -> Vec<AreaId> {
-        self.areas
-            .iter()
-            .filter(|a| a.is_close(p, self.threshold_m))
-            .map(|a| a.id)
-            .collect()
+        let mut out = Vec::new();
+        self.close_area_ids_linear_into(p, &mut out);
+        out
+    }
+
+    /// [`GridIndex::close_area_ids_linear`] into a caller-owned buffer
+    /// (cleared and refilled).
+    pub fn close_area_ids_linear_into(&self, p: GeoPoint, out: &mut Vec<AreaId>) {
+        out.clear();
+        out.extend(
+            self.areas
+                .iter()
+                .filter(|a| a.is_close(p, self.threshold_m))
+                .map(|a| a.id),
+        );
     }
 }
 

@@ -132,6 +132,12 @@ impl Polygon {
 
     /// The `close/3` predicate of §4.1: is the Haversine distance between the
     /// point and the area below `threshold_m`? Inside counts as close.
+    ///
+    /// Equivalent to `distance_m(p) < threshold_m` but without computing
+    /// the full minimum: the segment scan exits on the first segment
+    /// within threshold (`min < t ⇔ ∃ segment < t`), which for the common
+    /// clearly-close case costs one segment distance instead of a whole
+    /// perimeter of Haversine evaluations.
     #[must_use]
     pub fn is_close(&self, p: GeoPoint, threshold_m: f64) -> bool {
         // Quick rejection: a degree of latitude is ~111 km, so a point whose
@@ -140,8 +146,66 @@ impl Polygon {
         if !self.bbox.inflated(margin_deg).contains(p) {
             return false;
         }
-        self.distance_m(p) < threshold_m
+        if self.contains(p) {
+            return true;
+        }
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            if segment_within_m(p, self.vertices[j], self.vertices[i], threshold_m) {
+                return true;
+            }
+            j = i;
+        }
+        false
     }
+}
+
+/// Meters per degree of great-circle arc on the spherical Earth model.
+const METERS_PER_DEG: f64 = std::f64::consts::PI * crate::haversine::EARTH_RADIUS_M / 180.0;
+
+/// `segment_distance_m(p, a, b) < threshold_m`, decided without the final
+/// Haversine evaluation whenever a cheap planar bound is conclusive.
+///
+/// The planar estimate measures the equirectangular distance to the same
+/// projected closest point that [`segment_distance_m`] uses. Within the
+/// gated domain (latitudes below 70°, all points within 1° of latitude and
+/// 5° of longitude of `a` — comfortably covering surveillance-area
+/// geometry), the Haversine distance to that point differs from the
+/// estimate by at most ~5%: the dominant term is the fixed `cos(a.lat)`
+/// longitude scale versus the true `cos φ` factors (≤ `tan(71°)·1°` ≈
+/// 5.1%); small-angle and arc-vs-chord terms are orders of magnitude
+/// smaller. A 7% margin therefore makes the accept/reject guards sound;
+/// only distances within the margin of the threshold — or points outside
+/// the gate — pay for the exact evaluation.
+#[inline]
+fn segment_within_m(p: GeoPoint, a: GeoPoint, b: GeoPoint, threshold_m: f64) -> bool {
+    const EPS: f64 = 0.07;
+    if a.lat.abs() <= 70.0
+        && (p.lat - a.lat).abs() <= 1.0
+        && (b.lat - a.lat).abs() <= 1.0
+        && (p.lon - a.lon).abs() <= 5.0
+        && (b.lon - a.lon).abs() <= 5.0
+    {
+        let k = a.lat.to_radians().cos();
+        let (px, py) = ((p.lon - a.lon) * k, p.lat - a.lat);
+        let (bx, by) = ((b.lon - a.lon) * k, b.lat - a.lat);
+        let len2 = bx * bx + by * by;
+        let t = if len2 == 0.0 {
+            0.0
+        } else {
+            ((px * bx + py * by) / len2).clamp(0.0, 1.0)
+        };
+        let (dx, dy) = (px - bx * t, py - by * t);
+        let d_planar = (dx * dx + dy * dy).sqrt() * METERS_PER_DEG;
+        if d_planar * (1.0 + EPS) < threshold_m {
+            return true;
+        }
+        if d_planar * (1.0 - EPS) >= threshold_m {
+            return false;
+        }
+    }
+    segment_distance_m(p, a, b) < threshold_m
 }
 
 /// Distance from point `p` to the segment `a`–`b`, in meters.
@@ -262,6 +326,34 @@ mod tests {
         assert!(sq.is_close(p, 2_000.0));
         assert!(!sq.is_close(p, 500.0));
         assert!(sq.is_close(GeoPoint::new(0.5, 0.5), 1.0), "inside is close");
+    }
+
+    #[test]
+    fn is_close_matches_exact_distance_reference() {
+        // The guarded planar fast path must agree with the exact
+        // definition `distance_m < threshold` everywhere, including
+        // distances straddling the threshold where only the Haversine
+        // fallback can decide.
+        let shapes = [
+            Polygon::circle(GeoPoint::new(24.5, 38.5), 5_000.0, 16),
+            Polygon::rectangle(GeoPoint::new(24.0, 37.0), GeoPoint::new(24.3, 37.2)),
+        ];
+        for poly in &shapes {
+            let c = poly.centroid();
+            for step in 0..72 {
+                let bearing = 5.0 * f64::from(step);
+                for dist in [100.0, 1_900.0, 1_999.0, 2_001.0, 4_000.0, 7_000.0, 20_000.0] {
+                    let p = crate::haversine::destination(c, bearing, dist);
+                    for t in [500.0, 2_000.0, 5_000.0] {
+                        assert_eq!(
+                            poly.is_close(p, t),
+                            poly.distance_m(p) < t,
+                            "poly@{c:?} p={p:?} t={t}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -95,6 +95,8 @@ pub const RTEC_CACHE_INVALIDATIONS: &str = "rtec_cache_invalidations_total";
 pub const RTEC_QUERY_NS: &str = "rtec_query_ns";
 /// Events resident in the engine's working memory (window).
 pub const RTEC_WORKING_MEMORY_EVENTS: &str = "rtec_working_memory_events";
+/// Distinct fluent keys interned in engine symbol tables.
+pub const RTEC_INTERNED_KEYS: &str = "rtec_interned_keys";
 
 // ---- Complex event recognition -------------------------------------------
 
@@ -222,6 +224,7 @@ pub const CATALOG: &[Descriptor] = &[
     c(RTEC_CACHE_INVALIDATIONS, "entries", "Cached entries invalidated and re-evaluated"),
     h(RTEC_QUERY_NS, "ns", "Wall time per recognition query"),
     g(RTEC_WORKING_MEMORY_EVENTS, "events", "Events resident in engine working memory"),
+    g(RTEC_INTERNED_KEYS, "keys", "Distinct fluent keys interned in engine symbol tables"),
     // CER
     c(CER_INPUT_EVENTS, "events", "Low-level events fed into the maritime recognizer"),
     c(CER_CE_RECOGNIZED, "intervals", "Composite-event intervals recognized"),

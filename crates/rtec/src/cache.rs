@@ -61,12 +61,18 @@
 //!
 //! A non-monotone query time also falls back to the from-scratch path.
 //!
+//! Cached state refers to fluent keys by their interned [`KeyId`]s (see
+//! [`crate::intern`]): ids are stable for the engine's lifetime — a
+//! fallback drops the cache, never the symbol table — so entries stay
+//! valid across any number of window slides. Only [`ProbeLog`]s may carry
+//! owned keys, for probes of keys that had not been interned when the
+//! probe ran.
+//!
 //! [`ProbeLog`]: crate::view::ProbeLog
-
-use std::collections::HashMap;
 
 use maritime_stream::Timestamp;
 
+use crate::intern::{IdMap, KeyId};
 use crate::intervals::IntervalList;
 use crate::view::ProbeLog;
 
@@ -91,11 +97,11 @@ pub enum EvalStrategy {
 pub struct PointEntry<K> {
     /// The trigger time; emissions are points at this time.
     pub t: Timestamp,
-    /// Fluent keys initiated at `t`.
-    pub inits: Vec<K>,
+    /// Fluent keys initiated at `t`, interned.
+    pub inits: Vec<KeyId>,
     /// Fluent keys terminated at `t` (before the rule-(2) expansion,
     /// which is recomputed from the merged initiations at every query).
-    pub terms: Vec<K>,
+    pub terms: Vec<KeyId>,
     /// Every view probe the rules made; replay is valid only while these
     /// answers are unchanged.
     pub probes: ProbeLog<K>,
@@ -121,30 +127,30 @@ pub struct StratumCache<K> {
     /// each list sorted and deduplicated. These replay wholesale: the
     /// next query evicts the points at or before its window start and
     /// appends the delta — no per-trigger work for the retained prefix.
-    pub ev_inits: HashMap<K, Vec<Timestamp>>,
+    pub ev_inits: IdMap<Vec<Timestamp>>,
     /// Termination points per key from non-probing input-event triggers.
-    pub ev_terms: HashMap<K, Vec<Timestamp>>,
+    pub ev_terms: IdMap<Vec<Timestamp>>,
     /// Materialised event-trigger entries, `(snapshot index, entry)` in
     /// index order — only triggers whose rules probed the view, which
     /// are the only ones that can change their mind.
     pub events: Vec<(usize, PointEntry<K>)>,
     /// Sparse boundary-trigger entries in the boundary list's
     /// `(t, is_end, key)` order; identity is that tuple.
-    pub boundary: Vec<(bool, K, PointEntry<K>)>,
+    pub boundary: Vec<(bool, KeyId, PointEntry<K>)>,
     /// The stratum's interval lists as computed at the checkpoint, used
     /// to detect changed keys after the next query's rebuild.
-    pub fluents: HashMap<K, IntervalList>,
+    pub fluents: IdMap<IntervalList>,
 }
 
 // Manual impl: the derive would demand `K: Default` for no reason.
 impl<K> Default for StratumCache<K> {
     fn default() -> Self {
         Self {
-            ev_inits: HashMap::new(),
-            ev_terms: HashMap::new(),
+            ev_inits: IdMap::default(),
+            ev_terms: IdMap::default(),
             events: Vec::new(),
             boundary: Vec::new(),
-            fluents: HashMap::new(),
+            fluents: IdMap::default(),
         }
     }
 }
@@ -165,7 +171,7 @@ pub struct EngineCache<K, D> {
     pub derived_events: Vec<(usize, DerivedEntry<K, D>)>,
     /// Sparse derived-phase entries per boundary trigger (all strata), in
     /// the boundary list's `(t, is_end, key)` order.
-    pub derived_boundary: Vec<(bool, K, DerivedEntry<K, D>)>,
+    pub derived_boundary: Vec<(bool, KeyId, DerivedEntry<K, D>)>,
 }
 
 /// Counters describing how queries were actually evaluated; useful for

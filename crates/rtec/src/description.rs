@@ -78,6 +78,71 @@ pub type PointRule<Ctx, E, K> =
 pub type EventRule<Ctx, E, K, D> =
     Box<dyn Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<D> + Send + Sync>;
 
+/// The trigger kinds a rule declares it can respond to.
+///
+/// This is a *contract*, not a filter: by registering a rule under a mask
+/// the author promises that for any trigger outside the mask the rule
+/// returns no emissions and consults no fluents. The engine is then free
+/// to skip the call — or a whole evaluation pass — without changing the
+/// recognised output. Rules registered through the plain builders
+/// ([`FluentDef::initiated`], [`FluentDef::terminated`],
+/// [`DerivedEventDef::rule`]) default to [`TriggerKinds::ALL`], which is
+/// always sound.
+///
+/// In the maritime description most rules pattern-match one trigger kind
+/// and fall through to `vec![]` otherwise; declaring that shape lets the
+/// engine skip, e.g., every derived-rule invocation on interval-boundary
+/// triggers and every lower-stratum rule on `start`/`end` triggers —
+/// a large share of the per-query rule calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerKinds(u8);
+
+impl TriggerKinds {
+    /// Input events from the stream ([`Trigger::Input`]).
+    pub const INPUT: Self = Self(0b001);
+    /// `start(F=V)` interval boundaries ([`Trigger::Start`]).
+    pub const START: Self = Self(0b010);
+    /// `end(F=V)` interval boundaries ([`Trigger::End`]).
+    pub const END: Self = Self(0b100);
+    /// Both boundary kinds.
+    pub const BOUNDARY: Self = Self(0b110);
+    /// Every trigger kind (the default; always sound).
+    pub const ALL: Self = Self(0b111);
+    /// No trigger kind — the identity for [`TriggerKinds::union`].
+    pub const NONE: Self = Self(0b000);
+
+    /// The union of two masks.
+    #[must_use]
+    pub const fn union(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+
+    /// Whether the two masks share any kind.
+    #[must_use]
+    pub const fn intersects(self, other: Self) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether this mask admits the given trigger.
+    #[must_use]
+    pub fn admits<E, K>(self, trigger: &Trigger<'_, E, K>) -> bool {
+        let kind = match trigger {
+            Trigger::Input(_) => Self::INPUT,
+            Trigger::Start(_) => Self::START,
+            Trigger::End(_) => Self::END,
+        };
+        self.intersects(kind)
+    }
+}
+
+/// A rule paired with the trigger kinds it responds to.
+pub struct MaskedRule<R> {
+    /// The declared trigger kinds (see [`TriggerKinds`]).
+    pub on: TriggerKinds,
+    /// The rule closure.
+    pub run: R,
+}
+
 /// Grouping function implementing rule (2): keys mapping to the same group
 /// are values of the same fluent instance, so initiating one terminates
 /// the others. `None` disables cross-value termination (Boolean fluents).
@@ -88,9 +153,9 @@ pub struct FluentDef<Ctx, E, K, G = ()> {
     /// Human-readable name, for debugging and reports.
     pub name: &'static str,
     /// `initiatedAt` rules.
-    pub initiated_at: Vec<PointRule<Ctx, E, K>>,
+    pub initiated_at: Vec<MaskedRule<PointRule<Ctx, E, K>>>,
     /// `terminatedAt` rules.
-    pub terminated_at: Vec<PointRule<Ctx, E, K>>,
+    pub terminated_at: Vec<MaskedRule<PointRule<Ctx, E, K>>>,
     /// Optional value-group function (rule (2)).
     pub group: Option<GroupFn<K, G>>,
 }
@@ -107,30 +172,67 @@ impl<Ctx, E, K, G> FluentDef<Ctx, E, K, G> {
         }
     }
 
-    /// Adds an `initiatedAt` rule.
+    /// Adds an `initiatedAt` rule responding to every trigger kind.
     #[must_use]
-    pub fn initiated<Fun>(mut self, rule: Fun) -> Self
+    pub fn initiated<Fun>(self, rule: Fun) -> Self
     where
         Fun: Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<K>
             + Send
             + Sync
             + 'static,
     {
-        self.initiated_at.push(Box::new(rule));
+        self.initiated_on(TriggerKinds::ALL, rule)
+    }
+
+    /// Adds an `initiatedAt` rule with a declared trigger mask: the rule
+    /// promises to emit nothing and probe nothing for triggers outside
+    /// `on`, and the engine may skip calling it for those.
+    #[must_use]
+    pub fn initiated_on<Fun>(mut self, on: TriggerKinds, rule: Fun) -> Self
+    where
+        Fun: Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<K>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.initiated_at.push(MaskedRule { on, run: Box::new(rule) });
         self
     }
 
-    /// Adds a `terminatedAt` rule.
+    /// Adds a `terminatedAt` rule responding to every trigger kind.
     #[must_use]
-    pub fn terminated<Fun>(mut self, rule: Fun) -> Self
+    pub fn terminated<Fun>(self, rule: Fun) -> Self
     where
         Fun: Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<K>
             + Send
             + Sync
             + 'static,
     {
-        self.terminated_at.push(Box::new(rule));
+        self.terminated_on(TriggerKinds::ALL, rule)
+    }
+
+    /// Adds a `terminatedAt` rule with a declared trigger mask (see
+    /// [`FluentDef::initiated_on`]).
+    #[must_use]
+    pub fn terminated_on<Fun>(mut self, on: TriggerKinds, rule: Fun) -> Self
+    where
+        Fun: Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<K>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.terminated_at.push(MaskedRule { on, run: Box::new(rule) });
         self
+    }
+
+    /// The union of every rule's trigger mask — the kinds for which this
+    /// stratum needs to be consulted at all.
+    #[must_use]
+    pub fn trigger_kinds(&self) -> TriggerKinds {
+        self.initiated_at
+            .iter()
+            .chain(self.terminated_at.iter())
+            .fold(TriggerKinds::NONE, |acc, r| acc.union(r.on))
     }
 
     /// Declares the value group (rule (2) cross-value termination).
@@ -149,7 +251,7 @@ pub struct DerivedEventDef<Ctx, E, K, D> {
     /// Human-readable name.
     pub name: &'static str,
     /// `happensAt` rules producing the derived events.
-    pub rules: Vec<EventRule<Ctx, E, K, D>>,
+    pub rules: Vec<MaskedRule<EventRule<Ctx, E, K, D>>>,
 }
 
 impl<Ctx, E, K, D> DerivedEventDef<Ctx, E, K, D> {
@@ -162,17 +264,36 @@ impl<Ctx, E, K, D> DerivedEventDef<Ctx, E, K, D> {
         }
     }
 
-    /// Adds a `happensAt` rule.
+    /// Adds a `happensAt` rule responding to every trigger kind.
     #[must_use]
-    pub fn rule<Fun>(mut self, rule: Fun) -> Self
+    pub fn rule<Fun>(self, rule: Fun) -> Self
     where
         Fun: Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<D>
             + Send
             + Sync
             + 'static,
     {
-        self.rules.push(Box::new(rule));
+        self.rule_on(TriggerKinds::ALL, rule)
+    }
+
+    /// Adds a `happensAt` rule with a declared trigger mask (see
+    /// [`FluentDef::initiated_on`]).
+    #[must_use]
+    pub fn rule_on<Fun>(mut self, on: TriggerKinds, rule: Fun) -> Self
+    where
+        Fun: Fn(&Ctx, &View<'_, K>, Trigger<'_, E, K>, Timestamp) -> Vec<D>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.rules.push(MaskedRule { on, run: Box::new(rule) });
         self
+    }
+
+    /// The union of every rule's trigger mask.
+    #[must_use]
+    pub fn trigger_kinds(&self) -> TriggerKinds {
+        self.rules.iter().fold(TriggerKinds::NONE, |acc, r| acc.union(r.on))
     }
 }
 

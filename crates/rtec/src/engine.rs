@@ -19,9 +19,23 @@
 //! interval clipped by window eviction. Late arrivals and non-monotone
 //! queries fall back to the from-scratch path. See [`crate::cache`] for
 //! the correctness model; output is bit-identical either way.
+//!
+//! # Hot-path layout
+//!
+//! Internally the evaluation loop never touches the user's fluent key
+//! type `K`: every emitted key is interned into the engine's
+//! [`KeyTable`] on first sight and the point maps, boundary lists, and
+//! cache entries all move 4-byte [`KeyId`]s hashed with the table's
+//! splitmix64 hasher (see [`crate::intern`]). Real keys are materialised
+//! only at the emission boundaries — [`Recognition`] and the provenance
+//! log — so the public output is byte-identical to the key-addressed
+//! implementation. All per-query scratch state lives in a per-engine
+//! `EvalArena` reused across queries ([`Engine::recognize_into`]
+//! additionally reuses the caller's output buffers), so a warm engine
+//! evaluates a slid window without allocating.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use maritime_obs::{names, LazyCounter, LazyGauge};
 use maritime_stream::{SlidingWindow, Timestamp, WindowSpec};
@@ -29,8 +43,9 @@ use maritime_stream::{SlidingWindow, Timestamp, WindowSpec};
 use crate::cache::{
     DerivedEntry, EngineCache, EvalStrategy, IncrementalStats, PointEntry, StratumCache,
 };
-use crate::description::{EventDescription, FluentDef, Trigger};
-use crate::intervals::IntervalList;
+use crate::description::{EventDescription, FluentDef, Trigger, TriggerKinds};
+use crate::intern::{FxBuildHasher, IdMap, IdSet, KeyId, KeyTable};
+use crate::intervals::{Interval, IntervalList};
 use crate::provenance::{ProvTrigger, ProvenanceLog, RuleKind, RuleRef};
 use crate::view::{ProbeLog, View};
 
@@ -45,6 +60,7 @@ static OBS_RULE_EVALS: LazyCounter = LazyCounter::new(names::RTEC_RULE_EVALUATIO
 static OBS_CACHE_REPLAYS: LazyCounter = LazyCounter::new(names::RTEC_CACHE_REPLAYS);
 static OBS_CACHE_INVALIDATIONS: LazyCounter = LazyCounter::new(names::RTEC_CACHE_INVALIDATIONS);
 static OBS_WORKING_MEMORY: LazyGauge = LazyGauge::new(names::RTEC_WORKING_MEMORY_EVENTS);
+static OBS_INTERNED_KEYS: LazyGauge = LazyGauge::new(names::RTEC_INTERNED_KEYS);
 
 /// The result of one recognition query.
 #[derive(Debug, Clone)]
@@ -53,11 +69,23 @@ pub struct Recognition<K, D> {
     pub query_time: Timestamp,
     /// Maximal intervals per fluent key. Open intervals (`until == None`)
     /// are ongoing at `query_time`.
-    pub fluents: HashMap<K, IntervalList>,
+    pub fluents: HashMap<K, IntervalList, FxBuildHasher>,
     /// Derived events, in time order.
     pub events: Vec<(Timestamp, D)>,
     /// Input events considered in this query (the working-memory size).
     pub working_memory: usize,
+}
+
+// Manual impl: the derive would demand `K: Default + D: Default`.
+impl<K, D> Default for Recognition<K, D> {
+    fn default() -> Self {
+        Self {
+            query_time: Timestamp(0),
+            fluents: HashMap::default(),
+            events: Vec::new(),
+            working_memory: 0,
+        }
+    }
 }
 
 /// The probe recorder and optional rule-firing collector shared by every
@@ -71,12 +99,8 @@ struct EvalSinks<'a, E, K> {
 }
 
 /// `holdsAt` over an optional interval list: absent keys never hold.
-fn holds<K: Eq + std::hash::Hash>(
-    fluents: &HashMap<K, IntervalList>,
-    key: &K,
-    t: Timestamp,
-) -> bool {
-    fluents.get(key).is_some_and(|il| il.holds_at(t))
+fn holds(fluents: &IdMap<IntervalList>, id: KeyId, t: Timestamp) -> bool {
+    fluents.get(&id).is_some_and(|il| il.holds_at(t))
 }
 
 /// Whether replaying a memoised evaluation could go wrong: true when some
@@ -84,12 +108,16 @@ fn holds<K: Eq + std::hash::Hash>(
 /// `changed` holds every key whose list differs from the checkpointed one,
 /// so keys outside it answer identically everywhere; for point and
 /// aggregate probes the old and new answers at the probed time are
-/// compared exactly.
+/// compared exactly. Probes of keys that were unknown (never interned)
+/// when recorded answered "holds nowhere"; they can only answer
+/// differently if the key has been interned *and* changed since, so they
+/// are re-resolved through the table.
 fn probes_affected<K: Eq + std::hash::Hash>(
     probes: &ProbeLog<K>,
-    changed: &HashSet<K>,
-    old: &HashMap<K, IntervalList>,
-    new: &HashMap<K, IntervalList>,
+    changed: &IdSet,
+    old: &IdMap<IntervalList>,
+    new: &IdMap<IntervalList>,
+    table: &KeyTable<K>,
 ) -> bool {
     if changed.is_empty() {
         return false;
@@ -97,53 +125,63 @@ fn probes_affected<K: Eq + std::hash::Hash>(
     if probes.scan_all {
         return true;
     }
-    if probes.lists.iter().any(|k| changed.contains(k)) {
+    if probes.lists.iter().any(|id| changed.contains(id)) {
+        return true;
+    }
+    if probes
+        .unknown_lists
+        .iter()
+        .any(|k| table.lookup(k).is_some_and(|id| changed.contains(&id)))
+    {
         return true;
     }
     if probes
         .points
         .iter()
-        .any(|(k, t)| changed.contains(k) && holds(old, k, *t) != holds(new, k, *t))
+        .any(|(id, t)| changed.contains(id) && holds(old, *id, *t) != holds(new, *id, *t))
     {
+        return true;
+    }
+    if probes.unknown_points.iter().any(|(k, t)| {
+        table.lookup(k).is_some_and(|id| {
+            changed.contains(&id) && holds(old, id, *t) != holds(new, id, *t)
+        })
+    }) {
         return true;
     }
     probes
         .scans
         .iter()
-        .any(|t| changed.iter().any(|k| holds(old, k, *t) != holds(new, k, *t)))
+        .any(|t| changed.iter().any(|id| holds(old, *id, *t) != holds(new, *id, *t)))
 }
 
-/// Merges two `(t, is_end, key)`-sorted boundary lists. Appending one
+/// Merges two `(t, is_end, key)`-sorted boundary lists into `out`
+/// (cleared first). Key order is the *key's* `Ord`, resolved through the
+/// table — [`KeyId`]s order by interning, not by key. Appending one
 /// stratum's boundaries costs a sort of the new chunk plus a linear
 /// merge, instead of re-sorting the whole accumulated list per stratum.
-fn merge_boundaries<K: Ord>(
-    a: Vec<(Timestamp, bool, K)>,
-    b: Vec<(Timestamp, bool, K)>,
-) -> Vec<(Timestamp, bool, K)> {
-    if a.is_empty() {
-        return b;
-    }
-    if b.is_empty() {
-        return a;
-    }
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let mut ia = a.into_iter().peekable();
-    let mut ib = b.into_iter().peekable();
-    loop {
-        match (ia.peek(), ib.peek()) {
-            (Some(x), Some(y)) => {
-                if (x.0, x.1, &x.2) <= (y.0, y.1, &y.2) {
-                    out.push(ia.next().expect("peeked"));
-                } else {
-                    out.push(ib.next().expect("peeked"));
-                }
-            }
-            (Some(_), None) => out.push(ia.next().expect("peeked")),
-            (None, Some(_)) => out.push(ib.next().expect("peeked")),
-            (None, None) => break,
+fn merge_boundaries_into<K: Ord>(
+    a: &[(Timestamp, bool, KeyId)],
+    b: &[(Timestamp, bool, KeyId)],
+    out: &mut Vec<(Timestamp, bool, KeyId)>,
+    table: &KeyTable<K>,
+) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let x = &a[i];
+        let y = &b[j];
+        if (x.0, x.1, table.key(x.2)) <= (y.0, y.1, table.key(y.2)) {
+            out.push(*x);
+            i += 1;
+        } else {
+            out.push(*y);
+            j += 1;
         }
     }
-    out
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 /// The built-in trigger for one boundary-list entry.
@@ -156,16 +194,16 @@ fn boundary_trigger<E, K>(is_end: bool, key: &K) -> Trigger<'_, E, K> {
 }
 
 /// Merges one entry's emissions into the per-key point maps.
-fn fold_points<K: Clone + Eq + std::hash::Hash>(
+fn fold_points<K>(
     entry: &PointEntry<K>,
-    initiations: &mut HashMap<K, Vec<Timestamp>>,
-    terminations: &mut HashMap<K, Vec<Timestamp>>,
+    initiations: &mut IdMap<Vec<Timestamp>>,
+    terminations: &mut IdMap<Vec<Timestamp>>,
 ) {
-    for k in &entry.inits {
-        initiations.entry(k.clone()).or_default().push(entry.t);
+    for &k in &entry.inits {
+        initiations.entry(k).or_default().push(entry.t);
     }
-    for k in &entry.terms {
-        terminations.entry(k.clone()).or_default().push(entry.t);
+    for &k in &entry.terms {
+        terminations.entry(k).or_default().push(entry.t);
     }
 }
 
@@ -173,13 +211,13 @@ fn fold_points<K: Clone + Eq + std::hash::Hash>(
 /// list and its per-query extra list, as a sorted deduplicated slice.
 /// When only one side has points it is borrowed directly; otherwise the
 /// two are merged into `buf`.
-fn merged_slice<'a, K: Eq + std::hash::Hash>(
-    base: &'a HashMap<K, Vec<Timestamp>>,
-    extra: &'a HashMap<K, Vec<Timestamp>>,
-    key: &K,
+fn merged_slice<'a>(
+    base: &'a IdMap<Vec<Timestamp>>,
+    extra: &'a IdMap<Vec<Timestamp>>,
+    key: KeyId,
     buf: &'a mut Vec<Timestamp>,
 ) -> &'a [Timestamp] {
-    match (base.get(key), extra.get(key)) {
+    match (base.get(&key), extra.get(&key)) {
         (Some(b), None) => b,
         (None, Some(e)) => e,
         (None, None) => &[],
@@ -210,24 +248,29 @@ fn merged_slice<'a, K: Eq + std::hash::Hash>(
 }
 
 /// Emits one interval list's start/end boundary triggers.
-fn push_boundaries<K: Clone>(
-    il: &IntervalList,
-    key: &K,
-    out: &mut Vec<(Timestamp, bool, K)>,
-) {
+fn push_boundaries(il: &IntervalList, key: KeyId, out: &mut Vec<(Timestamp, bool, KeyId)>) {
     for iv in il.intervals() {
-        out.push((iv.since, false, key.clone()));
+        out.push((iv.since, false, key));
         if let Some(u) = iv.until {
-            out.push((u, true, key.clone()));
+            out.push((u, true, key));
         }
+    }
+}
+
+/// Merges buffered derived emissions into the per-definition lists.
+fn fold_emits<D: Clone>(
+    t: Timestamp,
+    emits: &[(usize, Vec<D>)],
+    per_def: &mut [Vec<(Timestamp, D)>],
+) {
+    for (di, ds) in emits {
+        per_def[*di].extend(ds.iter().map(|d| (t, d.clone())));
     }
 }
 
 /// Merges one derived entry's emissions into the per-definition lists.
 fn fold_derived<K, D: Clone>(entry: &DerivedEntry<K, D>, per_def: &mut [Vec<(Timestamp, D)>]) {
-    for (di, ds) in &entry.emits {
-        per_def[*di].extend(ds.iter().map(|d| (entry.t, d.clone())));
-    }
+    fold_emits(entry.t, &entry.emits, per_def);
 }
 
 /// Whether an entry need not be cached: no emissions and no probes means
@@ -251,10 +294,123 @@ fn owned_trigger<E: Clone, K: Clone>(trigger: Trigger<'_, E, K>) -> ProvTrigger<
     }
 }
 
-/// Everything one query evaluation produces.
+/// Takes the probes one evaluation recorded, leaving the recorder empty
+/// for the next run. Without memoisation the recorder is never written
+/// and the default is free (six empty vectors, no allocation).
+fn take_probes<K>(recorder: &RefCell<ProbeLog<K>>, want_cache: bool) -> ProbeLog<K> {
+    if want_cache {
+        std::mem::take(&mut *recorder.borrow_mut())
+    } else {
+        ProbeLog::default()
+    }
+}
+
+/// Interns buffered rule emissions into a cacheable [`PointEntry`],
+/// attaching the probes the evaluation recorded. The emissions arrive in
+/// the rule's own `K` type: keeping the rule run (immutable table borrow,
+/// the view reads it) separate from interning (mutable borrow) is what
+/// splits the borrow on the hot path.
+fn intern_entry<K: Clone + Eq + std::hash::Hash>(
+    table: &mut KeyTable<K>,
+    t: Timestamp,
+    inits: &[K],
+    terms: &[K],
+    probes: ProbeLog<K>,
+) -> PointEntry<K> {
+    PointEntry {
+        t,
+        inits: inits.iter().map(|k| table.intern(k)).collect(),
+        terms: terms.iter().map(|k| table.intern(k)).collect(),
+        probes,
+    }
+}
+
+/// Per-engine scratch state reused across queries: every map, list, and
+/// buffer the evaluation loop needs, kept at its high-water capacity so
+/// a warm engine answers a query without allocating. Cleared (not
+/// shrunk) at the start of each evaluation.
+struct EvalArena<K, D> {
+    /// Emission buffer for one rule run's initiations, in the rule's own
+    /// key type. Cleared and refilled by every `run_point_rules` call so
+    /// the per-trigger hot path moves no freshly allocated vectors.
+    raw_inits: Vec<K>,
+    /// Emission buffer for one rule run's terminations.
+    raw_terms: Vec<K>,
+    /// Fluent intervals computed so far this query, all strata; drained
+    /// into the caller's [`Recognition`] afterwards.
+    computed: IdMap<IntervalList>,
+    /// The checkpointed intervals, accumulated stratum by stratum, so
+    /// recorded probes can be re-answered against the old state.
+    old_computed: IdMap<IntervalList>,
+    /// Keys whose interval list differs structurally from the checkpoint.
+    changed: IdSet,
+    /// start/end triggers: (timestamp, is_end, key), sorted that way
+    /// (key order via the table).
+    boundary: Vec<(Timestamp, bool, KeyId)>,
+    /// Merge scratch for appending one stratum's boundaries.
+    merge_buf: Vec<(Timestamp, bool, KeyId)>,
+    /// One stratum's freshly emitted boundaries, pre-merge.
+    new_bounds: Vec<(Timestamp, bool, KeyId)>,
+    /// Per-query initiation points (probing entries, boundary triggers,
+    /// cross-terminations) merged with the base maps on the fly.
+    extra_inits: IdMap<Vec<Timestamp>>,
+    /// Per-query termination points.
+    extra_terms: IdMap<Vec<Timestamp>>,
+    /// Keys whose base lists took mid-prefix points and need re-sorting.
+    resort: Vec<KeyId>,
+    /// Sorted key worklist of the stratum being built.
+    keys: Vec<KeyId>,
+    /// Merge buffer for initiation point lists.
+    ibuf: Vec<Timestamp>,
+    /// Merge buffer for termination point lists.
+    tbuf: Vec<Timestamp>,
+    /// Derived emissions per definition, definition-major; drained into
+    /// the caller's [`Recognition`] afterwards.
+    per_def: Vec<Vec<(Timestamp, D)>>,
+    /// Emission buffer for one derived-rule run, definition-indexed.
+    raw_emits: Vec<(usize, Vec<D>)>,
+    /// Recycled interval storage: the previous query's result vectors,
+    /// harvested on the next `recognize_into` and reused by
+    /// `IntervalList::from_points_in` — steady state computes every
+    /// fluent's intervals without touching the allocator.
+    il_pool: Vec<Vec<Interval>>,
+    /// Recycled checkpoint-snapshot maps: each stratum's old `fluents`
+    /// map, emptied into `old_computed` during change detection, comes
+    /// back here to hold the next checkpoint's snapshot — so assembling
+    /// an incremental checkpoint is allocation-free too.
+    il_maps: Vec<IdMap<IntervalList>>,
+}
+
+// Manual impl: the derive would demand `K: Default, D: Default` for no
+// reason.
+impl<K, D> Default for EvalArena<K, D> {
+    fn default() -> Self {
+        Self {
+            raw_inits: Vec::new(),
+            raw_terms: Vec::new(),
+            computed: IdMap::default(),
+            old_computed: IdMap::default(),
+            changed: IdSet::default(),
+            boundary: Vec::new(),
+            merge_buf: Vec::new(),
+            new_bounds: Vec::new(),
+            extra_inits: IdMap::default(),
+            extra_terms: IdMap::default(),
+            resort: Vec::new(),
+            keys: Vec::new(),
+            ibuf: Vec::new(),
+            tbuf: Vec::new(),
+            per_def: Vec::new(),
+            raw_emits: Vec::new(),
+            il_pool: Vec::new(),
+            il_maps: Vec::new(),
+        }
+    }
+}
+
+/// Everything one query evaluation produces besides the arena-held
+/// fluents and derived events.
 struct Evaluated<E, K, D> {
-    computed: HashMap<K, IntervalList>,
-    derived: Vec<(Timestamp, D)>,
     provenance: Option<ProvenanceLog<E, K>>,
     cache: Option<EngineCache<K, D>>,
     triggers_evaluated: usize,
@@ -310,6 +466,11 @@ pub struct Engine<Ctx, E, K, D, G = ()> {
     /// the next query must recompute from scratch (Figure 5).
     stale: bool,
     stats: IncrementalStats,
+    /// The fluent-key symbol table. Never reset: cached entries refer to
+    /// keys by id across window slides.
+    table: KeyTable<K>,
+    /// Reusable per-query scratch state.
+    arena: EvalArena<K, D>,
 }
 
 impl<Ctx, E, K, D, G> Engine<Ctx, E, K, D, G>
@@ -332,6 +493,8 @@ where
             cache: None,
             stale: false,
             stats: IncrementalStats::default(),
+            table: KeyTable::default(),
+            arena: EvalArena::default(),
         }
     }
 
@@ -386,6 +549,12 @@ where
         self.stats
     }
 
+    /// Number of distinct fluent keys interned so far (the engine's key
+    /// universe — roughly vessels × areas in the maritime description).
+    pub fn interned_keys(&self) -> usize {
+        self.table.len()
+    }
+
     /// The static knowledge.
     pub fn ctx(&self) -> &Ctx {
         &self.ctx
@@ -413,8 +582,18 @@ where
     /// checkpointed evaluations when the incremental strategy is active
     /// and safe.
     pub fn recognize_at(&mut self, q: Timestamp) -> Recognition<K, D> {
+        let mut out = Recognition::default();
+        self.recognize_into(q, &mut out);
+        out
+    }
+
+    /// [`Engine::recognize_at`], writing into a caller-owned result. The
+    /// output's maps and vectors are cleared and refilled, so feeding the
+    /// same `Recognition` back query after query reuses their capacity —
+    /// a warm engine on a steady stream answers without allocating.
+    pub fn recognize_into(&mut self, q: Timestamp, out: &mut Recognition<K, D>) {
         let _span = maritime_obs::span!(names::RTEC_QUERY_NS);
-        self.window.slide_to(q);
+        self.window.slide_to_discarding(q);
         self.last_query = Some(q);
 
         // A tumbling window (β = ω) evicts the entire snapshot at every
@@ -429,18 +608,41 @@ where
             && !self.provenance;
         let use_cache =
             want_cache && !self.stale && self.cache.as_ref().is_some_and(|c| c.checkpoint <= q);
-        let cache = if use_cache { self.cache.take() } else { None };
+        // Always detach the cache, even when unusable: a query must not
+        // leave a checkpoint behind that does not describe its outcome.
+        let cache = self.cache.take().filter(|_| use_cache);
 
-        let (evaluated, working_memory) = {
-            // Working-memory snapshot, time-ordered: only events inside
-            // (q - ω, q]. Events with later timestamps may already sit in
-            // the buffer (batch pre-loading, out-of-order delivery) but
-            // have not "happened" yet at this query time and must not
-            // participate.
-            let events: Vec<(Timestamp, &E)> =
-                self.window.iter().take_while(|(t, _)| *t <= q).collect();
-            (self.evaluate(q, &events, cache, want_cache), events.len())
-        };
+        // Detach the window, symbol table, and arena so `evaluate` can
+        // borrow the rules (`&self`) alongside them. Restored below; the
+        // placeholder window allocates nothing.
+        let mut window = std::mem::replace(&mut self.window, SlidingWindow::new(spec));
+        let mut table = std::mem::take(&mut self.table);
+        let mut arena = std::mem::take(&mut self.arena);
+
+        // Recycle the previous result's interval storage (the caller's
+        // buffers are cleared before refilling below anyway): steady-state
+        // queries rebuild every fluent's intervals allocation-free.
+        for (_, il) in out.fluents.drain() {
+            arena.il_pool.push(il.into_storage());
+        }
+
+        // Working-memory snapshot, time-ordered and zero-copy: only
+        // events inside (q - ω, q]. Events with later timestamps may
+        // already sit in the buffer (batch pre-loading, out-of-order
+        // delivery) but have not "happened" yet at this query time and
+        // must not participate.
+        let events_all = window.contiguous();
+        let working_memory = events_all.partition_point(|(t, _)| *t <= q);
+        let evaluated = self.evaluate(
+            q,
+            &events_all[..working_memory],
+            cache,
+            want_cache,
+            &mut table,
+            &mut arena,
+        );
+        self.window = window;
+
         OBS_QUERIES.inc();
         if use_cache {
             self.stats.incremental += 1;
@@ -454,33 +656,57 @@ where
         OBS_CACHE_REPLAYS.add(evaluated.triggers_reused as u64);
         OBS_CACHE_INVALIDATIONS.add(evaluated.invalidated as u64);
         OBS_WORKING_MEMORY.set(working_memory as i64);
+        OBS_INTERNED_KEYS.set(table.len() as i64);
         self.stale = false;
         self.cache = evaluated.cache;
         self.last_provenance = evaluated.provenance;
 
-        Recognition {
-            query_time: q,
-            fluents: evaluated.computed,
-            events: evaluated.derived,
-            working_memory,
+        // Materialise the id-addressed results into the caller's buffers.
+        out.query_time = q;
+        out.working_memory = working_memory;
+        out.fluents.clear();
+        out.fluents.reserve(arena.computed.len());
+        for (id, il) in arena.computed.drain() {
+            out.fluents.insert(table.key(id).clone(), il);
         }
+        out.events.clear();
+        for emitted in &mut arena.per_def {
+            out.events.append(emitted);
+        }
+        // Stable: emissions at the same timestamp keep definition order,
+        // exactly as the per-definition full pass yields them.
+        out.events.sort_by_key(|(t, _)| *t);
+
+        self.table = table;
+        self.arena = arena;
     }
 
-    /// Runs one stratum's point rules for one trigger, capturing emissions
-    /// and (when memoising) the probes they made.
+    /// Runs one stratum's point rules for one trigger, filling the
+    /// caller's emission buffers (in the rule's own key type — the caller
+    /// interns them). Probes, when memoising, accumulate in the sinks'
+    /// recorder for the caller to take; nothing is returned by value, so
+    /// the per-trigger hot path moves no structs.
+    #[allow(clippy::too_many_arguments)]
     fn run_point_rules(
         &self,
         stratum: &FluentDef<Ctx, E, K, G>,
-        view: &View<'_, K>,
+        table: &KeyTable<K>,
+        fluents: &IdMap<IntervalList>,
         sinks: &EvalSinks<'_, E, K>,
         trigger: Trigger<'_, E, K>,
         t: Timestamp,
-    ) -> PointEntry<K> {
+        inits: &mut Vec<K>,
+        terms: &mut Vec<K>,
+    ) {
         let EvalSinks { recorder, want_cache, prov } = *sinks;
-        let mut inits = Vec::new();
-        let mut terms = Vec::new();
+        let view = View::interned(table, fluents, want_cache.then_some(recorder));
+        inits.clear();
+        terms.clear();
         for (ri, rule) in stratum.initiated_at.iter().enumerate() {
-            let out = rule(&self.ctx, view, trigger, t);
+            if !rule.on.admits(&trigger) {
+                continue;
+            }
+            let out = (rule.run)(&self.ctx, &view, trigger, t);
             if let Some(prov) = prov.filter(|_| !out.is_empty()) {
                 let rule = RuleRef { name: stratum.name, kind: RuleKind::Initiated, index: ri };
                 let mut log = prov.borrow_mut();
@@ -491,7 +717,10 @@ where
             inits.extend(out);
         }
         for (ri, rule) in stratum.terminated_at.iter().enumerate() {
-            let out = rule(&self.ctx, view, trigger, t);
+            if !rule.on.admits(&trigger) {
+                continue;
+            }
+            let out = (rule.run)(&self.ctx, &view, trigger, t);
             if let Some(prov) = prov.filter(|_| !out.is_empty()) {
                 let rule = RuleRef { name: stratum.name, kind: RuleKind::Terminated, index: ri };
                 let mut log = prov.borrow_mut();
@@ -501,34 +730,31 @@ where
             }
             terms.extend(out);
         }
-        let probes = if want_cache {
-            std::mem::take(&mut *recorder.borrow_mut())
-        } else {
-            ProbeLog::default()
-        };
-        PointEntry {
-            t,
-            inits,
-            terms,
-            probes,
-        }
     }
 
-    /// Runs every derived-event definition for one trigger, capturing
-    /// per-definition emissions and (when memoising) the probes made.
+    /// Runs every derived-event definition for one trigger, filling the
+    /// caller's definition-indexed emission buffer. Probes, when
+    /// memoising, accumulate in the sinks' recorder for the caller to
+    /// take.
     fn run_derived_rules(
         &self,
-        view: &View<'_, K>,
+        table: &KeyTable<K>,
+        fluents: &IdMap<IntervalList>,
         sinks: &EvalSinks<'_, E, K>,
         trigger: Trigger<'_, E, K>,
         t: Timestamp,
-    ) -> DerivedEntry<K, D> {
+        emits: &mut Vec<(usize, Vec<D>)>,
+    ) {
         let EvalSinks { recorder, want_cache, prov } = *sinks;
-        let mut emits: Vec<(usize, Vec<D>)> = Vec::new();
+        let view = View::interned(table, fluents, want_cache.then_some(recorder));
+        emits.clear();
         for (di, def) in self.description.events.iter().enumerate() {
             let mut out: Vec<D> = Vec::new();
             for (ri, rule) in def.rules.iter().enumerate() {
-                let emitted = rule(&self.ctx, view, trigger, t);
+                if !rule.on.admits(&trigger) {
+                    continue;
+                }
+                let emitted = (rule.run)(&self.ctx, &view, trigger, t);
                 if let Some(prov) = prov.filter(|_| !emitted.is_empty()) {
                     let rule = RuleRef { name: def.name, kind: RuleKind::Emitted, index: ri };
                     prov.borrow_mut()
@@ -540,32 +766,30 @@ where
                 emits.push((di, out));
             }
         }
-        let probes = if want_cache {
-            std::mem::take(&mut *recorder.borrow_mut())
-        } else {
-            ProbeLog::default()
-        };
-        DerivedEntry { t, emits, probes }
     }
 
     /// One query evaluation over the window snapshot `events`. With
     /// `cache` present, retained triggers replay their memoised entries
     /// unless a probed fluent changed; without it, every trigger runs
     /// from scratch. `want_cache` controls whether a new checkpoint is
-    /// assembled for the next query.
+    /// assembled for the next query. Results land in `arena` (fluents in
+    /// `computed`, derived events in `per_def`), addressed by the ids of
+    /// `table`.
     fn evaluate(
         &self,
         q: Timestamp,
-        events: &[(Timestamp, &E)],
+        events: &[(Timestamp, E)],
         cache: Option<EngineCache<K, D>>,
         want_cache: bool,
+        table: &mut KeyTable<K>,
+        arena: &mut EvalArena<K, D>,
     ) -> Evaluated<E, K, D> {
         // The new window start: slide_to has evicted events at t ≤ cutoff,
         // so cached entries in that region are dropped — which retracts
         // their initiation/termination points, exactly the truncation the
         // rebuild needs.
         let cutoff = q - self.window.spec().range;
-        let (checkpoint, old_snapshot_len, old_strata, old_derived_events, old_derived_boundary) =
+        let (checkpoint, old_snapshot_len, mut strata_vec, old_derived_events, old_derived_boundary) =
             match cache {
                 Some(c) => (
                     Some(c.checkpoint),
@@ -584,18 +808,36 @@ where
         debug_assert!(delta_from <= old_snapshot_len || checkpoint.is_none());
         let evicted = old_snapshot_len.saturating_sub(delta_from);
 
-        let mut computed: HashMap<K, IntervalList> = HashMap::new();
-        // The previous query's interval lists, accumulated stratum by
-        // stratum, so recorded probes can be re-answered against the old
-        // state.
-        let mut old_computed: HashMap<K, IntervalList> = HashMap::new();
-        // Keys whose interval list is not structurally identical to the
-        // checkpointed one (clipped by eviction or re-shaped by the
-        // delta). Probes of unchanged keys answer identically everywhere.
-        let mut changed: HashSet<K> = HashSet::new();
-        // start/end triggers: (timestamp, is_end, key), sorted that way.
-        let mut boundary: Vec<(Timestamp, bool, K)> = Vec::new();
-        let mut new_strata: Vec<StratumCache<K>> = Vec::new();
+        let EvalArena {
+            raw_inits,
+            raw_terms,
+            computed,
+            old_computed,
+            changed,
+            boundary,
+            merge_buf,
+            new_bounds,
+            extra_inits,
+            extra_terms,
+            resort,
+            keys,
+            ibuf,
+            tbuf,
+            per_def,
+            raw_emits,
+            il_pool,
+            il_maps,
+        } = arena;
+        computed.clear();
+        // The previous checkpoint's snapshot lists are dead now — their
+        // storage feeds this query's interval building.
+        for (_, il) in old_computed.drain() {
+            il_pool.push(il.into_storage());
+        }
+        changed.clear();
+        boundary.clear();
+        merge_buf.clear();
+
         let recorder = RefCell::new(ProbeLog::default());
         // Rule-firing collector for traced queries. `None` keeps the
         // untraced path free of any per-rule bookkeeping.
@@ -611,20 +853,19 @@ where
         let mut n_reused = 0usize;
         let mut n_invalidated = 0usize;
 
-        let mut old_strata_iter = old_strata.into_iter();
-        for stratum in &self.description.fluents {
+        for (si, stratum) in self.description.fluents.iter().enumerate() {
+            // Union of the stratum's declared trigger masks: a kind no
+            // rule admits can skip its whole evaluation pass — the rules
+            // contract to emit and probe nothing for it, so the skipped
+            // pass is observationally an all-empty, elidable run.
+            let smask = stratum.trigger_kinds();
             let StratumCache {
                 ev_inits: mut base_inits,
                 ev_terms: mut base_terms,
                 events: old_events,
                 boundary: old_boundary,
-                fluents: old_fluents,
-            } = old_strata_iter.next().unwrap_or_default();
-            let view = if want_cache {
-                View::recorded(&computed, &recorder)
-            } else {
-                View::new(&computed)
-            };
+                fluents: mut old_fluents,
+            } = strata_vec.get_mut(si).map(std::mem::take).unwrap_or_default();
 
             // Evict checkpointed base points at or before the new window
             // start — their events just left the window, and this is the
@@ -642,8 +883,8 @@ where
 
             // Emissions that must be re-merged every query: probing event
             // entries, boundary triggers, rule-(2) cross-terminations.
-            let mut extra_inits: HashMap<K, Vec<Timestamp>> = HashMap::new();
-            let mut extra_terms: HashMap<K, Vec<Timestamp>> = HashMap::new();
+            extra_inits.clear();
+            extra_terms.clear();
 
             // Input-event triggers. Only *probing* evaluations are kept as
             // entries (replayed, or re-run when a probe was invalidated);
@@ -652,7 +893,7 @@ where
             // retained prefix replays with no per-trigger work at all.
             // The delta past the checkpoint always runs.
             let mut sparse_events: Vec<(usize, PointEntry<K>)> = Vec::new();
-            let mut resort: Vec<K> = Vec::new();
+            resort.clear();
             for (idx, entry) in old_events {
                 if idx < evicted {
                     debug_assert!(entry.t <= cutoff, "evicted entry after cutoff");
@@ -661,16 +902,22 @@ where
                 let new_idx = idx - evicted;
                 debug_assert!(new_idx < delta_from, "cached entry past the checkpoint");
                 debug_assert_eq!(events[new_idx].0, entry.t, "cached entry misaligned");
-                let entry = if probes_affected(&entry.probes, &changed, &old_computed, &computed) {
+                let entry = if probes_affected(&entry.probes, changed, old_computed, computed, table)
+                {
                     n_evaluated += 1;
                     n_invalidated += 1;
                     self.run_point_rules(
                         stratum,
-                        &view,
+                        table,
+                        computed,
                         &sinks,
-                        Trigger::Input(events[new_idx].1),
+                        Trigger::Input(&events[new_idx].1),
                         entry.t,
-                    )
+                        raw_inits,
+                        raw_terms,
+                    );
+                    let probes = take_probes(&recorder, want_cache);
+                    intern_entry(table, entry.t, raw_inits, raw_terms, probes)
                 } else {
                     n_reused += 1;
                     entry
@@ -680,48 +927,58 @@ where
                     // the base maps. The points land mid-prefix, so the
                     // touched keys need a re-sort below.
                     for k in entry.inits {
-                        resort.push(k.clone());
+                        resort.push(k);
                         base_inits.entry(k).or_default().push(entry.t);
                     }
                     for k in entry.terms {
-                        resort.push(k.clone());
+                        resort.push(k);
                         base_terms.entry(k).or_default().push(entry.t);
                     }
                 } else {
-                    fold_points(&entry, &mut extra_inits, &mut extra_terms);
+                    fold_points(&entry, extra_inits, extra_terms);
                     sparse_events.push((new_idx, entry));
                 }
             }
-            for (i, &(t, ev)) in events.iter().enumerate().skip(delta_from) {
+            // A stratum with no input-admitting rule skips the event pass.
+            let delta_skip =
+                if smask.intersects(TriggerKinds::INPUT) { delta_from } else { events.len() };
+            for (i, (t, ev)) in events.iter().enumerate().skip(delta_skip) {
+                let t = *t;
                 n_evaluated += 1;
-                let entry = self.run_point_rules(
+                self.run_point_rules(
                     stratum,
-                    &view,
+                    table,
+                    computed,
                     &sinks,
                     Trigger::Input(ev),
                     t,
+                    raw_inits,
+                    raw_terms,
                 );
-                if entry.probes.is_empty() {
+                if !want_cache || recorder.borrow().is_empty() {
                     // Appends arrive in time order; skipping a same-time
-                    // duplicate keeps the lists canonical.
-                    for k in entry.inits {
-                        let v = base_inits.entry(k).or_default();
+                    // duplicate keeps the lists canonical. Interning here
+                    // is the hot path: one u64 hash per emitted key.
+                    for k in raw_inits.iter() {
+                        let v = base_inits.entry(table.intern(k)).or_default();
                         if v.last() != Some(&t) {
                             v.push(t);
                         }
                     }
-                    for k in entry.terms {
-                        let v = base_terms.entry(k).or_default();
+                    for k in raw_terms.iter() {
+                        let v = base_terms.entry(table.intern(k)).or_default();
                         if v.last() != Some(&t) {
                             v.push(t);
                         }
                     }
                 } else {
-                    fold_points(&entry, &mut extra_inits, &mut extra_terms);
+                    let probes = take_probes(&recorder, want_cache);
+                    let entry = intern_entry(table, t, raw_inits, raw_terms, probes);
+                    fold_points(&entry, extra_inits, extra_terms);
                     sparse_events.push((i, entry));
                 }
             }
-            for k in resort {
+            for k in resort.drain(..) {
                 if let Some(v) = base_inits.get_mut(&k) {
                     v.sort_unstable();
                     v.dedup();
@@ -733,57 +990,83 @@ where
             }
 
             // Boundary triggers of the strata below, matched by identity
-            // (t, is_end, key) against the freshly rebuilt boundary list.
-            // A miss on a changed key means the boundary is new or moved
-            // (straddled eviction, a delta termination splitting an
-            // interval, …) and is evaluated; a miss on an unchanged key
-            // means the boundary existed identically at the checkpoint
-            // with a stable empty outcome, which replays implicitly.
-            let mut boundary_entries: Vec<(bool, K, PointEntry<K>)> = Vec::new();
+            // (t, is_end, key) against the freshly rebuilt boundary list —
+            // id equality is key equality, so no key materialisation is
+            // needed for the match. A miss on a changed key means the
+            // boundary is new or moved (straddled eviction, a delta
+            // termination splitting an interval, …) and is evaluated; a
+            // miss on an unchanged key means the boundary existed
+            // identically at the checkpoint with a stable empty outcome,
+            // which replays implicitly.
+            let mut boundary_entries: Vec<(bool, KeyId, PointEntry<K>)> = Vec::new();
             let mut old_bounds = old_boundary.into_iter().peekable();
-            for (t, is_end, key) in &boundary {
+            // Boundary kinds no rule admits are skipped outright; a rule
+            // masked to only one kind (e.g. `initiated_on(START, …)`)
+            // still gets the other kind filtered inside run_point_rules.
+            let bound_iter = if smask.intersects(TriggerKinds::BOUNDARY) {
+                boundary.iter()
+            } else {
+                [].iter()
+            };
+            for &(t, is_end, key) in bound_iter {
+                let kind = if is_end { TriggerKinds::END } else { TriggerKinds::START };
+                if !smask.intersects(kind) {
+                    continue;
+                }
                 // Cached entries sorting before this boundary belong to
-                // boundaries that no longer exist: drop them.
+                // boundaries that no longer exist: drop them. The order is
+                // the boundary list's (t, is_end, key-order) — resolved
+                // through the table, since ids order by interning.
                 while old_bounds
                     .peek()
-                    .is_some_and(|(oe, ok, e)| (e.t, *oe, ok) < (*t, *is_end, key))
+                    .is_some_and(|(oe, ok, e)| (e.t, *oe, table.key(*ok)) < (t, is_end, table.key(key)))
                 {
                     old_bounds.next();
                 }
                 let hit = old_bounds
                     .peek()
-                    .is_some_and(|(oe, ok, e)| e.t == *t && *oe == *is_end && ok == key);
+                    .is_some_and(|(oe, ok, e)| e.t == t && *oe == is_end && *ok == key);
                 let entry = if hit {
                     let (_, _, e) = old_bounds.next().expect("peeked above");
-                    if probes_affected(&e.probes, &changed, &old_computed, &computed) {
+                    if probes_affected(&e.probes, changed, old_computed, computed, table) {
                         n_evaluated += 1;
                         n_invalidated += 1;
                         self.run_point_rules(
                             stratum,
-                            &view,
+                            table,
+                            computed,
                             &sinks,
-                            boundary_trigger(*is_end, key),
-                            *t,
-                        )
+                            boundary_trigger(is_end, table.key(key)),
+                            t,
+                            raw_inits,
+                            raw_terms,
+                        );
+                        let probes = take_probes(&recorder, want_cache);
+                        intern_entry(table, t, raw_inits, raw_terms, probes)
                     } else {
                         n_reused += 1;
                         e
                     }
-                } else if checkpoint.is_none() || changed.contains(key) {
+                } else if checkpoint.is_none() || changed.contains(&key) {
                     n_evaluated += 1;
                     self.run_point_rules(
                         stratum,
-                        &view,
+                        table,
+                        computed,
                         &sinks,
-                        boundary_trigger(*is_end, key),
-                        *t,
-                    )
+                        boundary_trigger(is_end, table.key(key)),
+                        t,
+                        raw_inits,
+                        raw_terms,
+                    );
+                    let probes = take_probes(&recorder, want_cache);
+                    intern_entry(table, t, raw_inits, raw_terms, probes)
                 } else {
                     continue;
                 };
-                fold_points(&entry, &mut extra_inits, &mut extra_terms);
+                fold_points(&entry, extra_inits, extra_terms);
                 if want_cache && !point_entry_elidable(&entry) {
-                    boundary_entries.push((*is_end, key.clone(), entry));
+                    boundary_entries.push((is_end, key, entry));
                 }
             }
 
@@ -795,8 +1078,12 @@ where
             }
 
             // Build maximal intervals per key and emit boundary triggers.
-            let mut stratum_fluents: HashMap<K, IntervalList> = HashMap::new();
-            let mut new_bounds: Vec<(Timestamp, bool, K)> = Vec::new();
+            // The snapshot map comes from the recycling pool: warm engines
+            // checkpoint into retained capacity.
+            let mut stratum_fluents: IdMap<IntervalList> =
+                il_maps.pop().unwrap_or_default();
+            new_bounds.clear();
+            keys.clear();
             if let Some(group_fn) = &stratum.group {
                 // Grouped stratum: rule (2) — initiating one value of a
                 // grouped fluent instance terminates every other value of
@@ -806,37 +1093,31 @@ where
                 // strata are rare, so materialising the merged maps (a
                 // clone of the base) is acceptable.
                 let mut initiations = base_inits.clone();
-                for (k, v) in &extra_inits {
-                    initiations
-                        .entry(k.clone())
-                        .or_default()
-                        .extend(v.iter().copied());
+                for (k, v) in extra_inits.iter() {
+                    initiations.entry(*k).or_default().extend(v.iter().copied());
                 }
                 let mut terminations = base_terms.clone();
-                for (k, v) in &extra_terms {
-                    terminations
-                        .entry(k.clone())
-                        .or_default()
-                        .extend(v.iter().copied());
+                for (k, v) in extra_terms.iter() {
+                    terminations.entry(*k).or_default().extend(v.iter().copied());
                 }
                 for points in initiations.values_mut().chain(terminations.values_mut()) {
                     points.sort_unstable();
                     points.dedup();
                 }
-                let mut groups: HashMap<G, Vec<K>> = HashMap::new();
+                let mut groups: HashMap<G, Vec<KeyId>, FxBuildHasher> = HashMap::default();
                 for key in initiations.keys() {
-                    groups.entry(group_fn(key)).or_default().push(key.clone());
+                    groups.entry(group_fn(table.key(*key))).or_default().push(*key);
                 }
-                let mut cross: Vec<(K, Timestamp, K)> = Vec::new();
+                let mut cross: Vec<(KeyId, Timestamp, KeyId)> = Vec::new();
                 for members in groups.values() {
                     if members.len() < 2 {
                         continue;
                     }
-                    for initiator in members {
-                        for t in &initiations[initiator] {
-                            for other in members {
+                    for &initiator in members {
+                        for &t in &initiations[&initiator] {
+                            for &other in members {
                                 if other != initiator {
-                                    cross.push((other.clone(), *t, initiator.clone()));
+                                    cross.push((other, t, initiator));
                                 }
                             }
                         }
@@ -848,29 +1129,35 @@ where
                         // synthetic rule ref; the trigger names the group
                         // sibling whose initiation forced this termination.
                         prov.borrow_mut().note_point(
-                            key.clone(),
+                            table.key(key).clone(),
                             t,
                             RuleRef {
                                 name: stratum.name,
                                 kind: RuleKind::CrossTerminated,
                                 index: 0,
                             },
-                            ProvTrigger::Start(initiator),
+                            ProvTrigger::Start(table.key(initiator).clone()),
                         );
                     }
                     terminations.entry(key).or_default().push(t);
                 }
-                let mut keys: Vec<K> = initiations.keys().cloned().collect();
-                keys.sort_unstable();
-                for key in keys {
+                keys.extend(initiations.keys().copied());
+                keys.sort_unstable_by(|a, b| table.key(*a).cmp(table.key(*b)));
+                for &key in keys.iter() {
                     let inits = initiations.remove(&key).unwrap_or_default();
                     let mut terms = terminations.remove(&key).unwrap_or_default();
                     terms.sort_unstable();
                     terms.dedup();
-                    let il = IntervalList::from_points(&inits, &terms, None);
-                    push_boundaries(&il, &key, &mut new_bounds);
+                    let il = IntervalList::from_points_in(
+                        il_pool.pop().unwrap_or_default(),
+                        &inits,
+                        &terms,
+                        None,
+                    );
+                    push_boundaries(&il, key, new_bounds);
                     if want_cache {
-                        stratum_fluents.insert(key.clone(), il.clone());
+                        stratum_fluents
+                            .insert(key, il.clone_in(il_pool.pop().unwrap_or_default()));
                     }
                     computed.insert(key, il);
                 }
@@ -879,27 +1166,40 @@ where
                 // the union of the (already canonical) base list and the
                 // small per-query extra list — merged on the fly into a
                 // reusable buffer, with no materialised merged maps.
-                let mut keys: Vec<K> = base_inits.keys().cloned().collect();
-                keys.extend(extra_inits.keys().cloned());
-                keys.sort_unstable();
+                keys.extend(base_inits.keys().copied());
+                keys.extend(extra_inits.keys().copied());
+                keys.sort_unstable_by(|a, b| table.key(*a).cmp(table.key(*b)));
                 keys.dedup();
-                let mut ibuf: Vec<Timestamp> = Vec::new();
-                let mut tbuf: Vec<Timestamp> = Vec::new();
-                for key in keys {
+                for &key in keys.iter() {
                     let il = {
-                        let inits = merged_slice(&base_inits, &extra_inits, &key, &mut ibuf);
-                        let terms = merged_slice(&base_terms, &extra_terms, &key, &mut tbuf);
-                        IntervalList::from_points(inits, terms, None)
+                        let inits = merged_slice(&base_inits, extra_inits, key, ibuf);
+                        let terms = merged_slice(&base_terms, extra_terms, key, tbuf);
+                        IntervalList::from_points_in(
+                            il_pool.pop().unwrap_or_default(),
+                            inits,
+                            terms,
+                            None,
+                        )
                     };
-                    push_boundaries(&il, &key, &mut new_bounds);
+                    push_boundaries(&il, key, new_bounds);
                     if want_cache {
-                        stratum_fluents.insert(key.clone(), il.clone());
+                        stratum_fluents
+                            .insert(key, il.clone_in(il_pool.pop().unwrap_or_default()));
                     }
                     computed.insert(key, il);
                 }
             }
-            new_bounds.sort_unstable_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
-            boundary = merge_boundaries(boundary, new_bounds);
+            new_bounds.sort_unstable_by(|a, b| {
+                (a.0, a.1)
+                    .cmp(&(b.0, b.1))
+                    .then_with(|| table.key(a.2).cmp(table.key(b.2)))
+            });
+            if boundary.is_empty() {
+                std::mem::swap(boundary, new_bounds);
+            } else if !new_bounds.is_empty() {
+                merge_boundaries_into(boundary, new_bounds, merge_buf, table);
+                std::mem::swap(boundary, merge_buf);
+            }
 
             // Change detection for the strata above: any structural
             // difference from the checkpointed list makes the key
@@ -907,25 +1207,37 @@ where
             if checkpoint.is_some() {
                 for (k, il) in &stratum_fluents {
                     if old_fluents.get(k) != Some(il) {
-                        changed.insert(k.clone());
+                        changed.insert(*k);
                     }
                 }
                 for k in old_fluents.keys() {
                     if !stratum_fluents.contains_key(k) {
-                        changed.insert(k.clone());
+                        changed.insert(*k);
                     }
                 }
             }
-            old_computed.extend(old_fluents);
+            old_computed.extend(old_fluents.drain());
+            il_maps.push(old_fluents);
 
             if want_cache {
-                new_strata.push(StratumCache {
+                let sc = StratumCache {
                     ev_inits: base_inits,
                     ev_terms: base_terms,
                     events: sparse_events,
                     boundary: boundary_entries,
                     fluents: stratum_fluents,
-                });
+                };
+                // Write back in place: the strata vector is reused across
+                // queries, so a steady-state engine never regrows it.
+                if si < strata_vec.len() {
+                    strata_vec[si] = sc;
+                } else {
+                    strata_vec.push(sc);
+                }
+            } else {
+                // No checkpoint wanted: the (empty) snapshot map goes
+                // straight back to the pool.
+                il_maps.push(stratum_fluents);
             }
         }
 
@@ -933,22 +1245,17 @@ where
         // the emissions are re-concatenated definition-major and stably
         // sorted by time — reproducing the from-scratch order exactly
         // (within one definition, same-time input-event emissions precede
-        // boundary ones, the chronology tie rule).
-        let (derived, derived_events, derived_boundary) = if self.description.events.is_empty() {
-            (Vec::new(), Vec::new(), Vec::new())
+        // boundary ones, the chronology tie rule). The fold lands in the
+        // arena's per-definition lists; the caller flattens and sorts.
+        per_def.iter_mut().for_each(Vec::clear);
+        per_def.resize_with(self.description.events.len(), Vec::new);
+        let (derived_events, derived_boundary) = if self.description.events.is_empty() {
+            (Vec::new(), Vec::new())
         } else {
-            let view = if want_cache {
-                View::recorded(&computed, &recorder)
-            } else {
-                View::new(&computed)
-            };
             // Emissions are folded per definition as the triggers are
             // walked: retained + delta events in snapshot order first,
             // then every boundary in list order — so the final stable
             // sort by time reproduces the from-scratch order exactly.
-            let mut per_def: Vec<Vec<(Timestamp, D)>> =
-                vec![Vec::new(); self.description.events.len()];
-
             let mut derived_events: Vec<(usize, DerivedEntry<K, D>)> = Vec::new();
             for (idx, entry) in old_derived_events {
                 if idx < evicted {
@@ -958,99 +1265,129 @@ where
                 let new_idx = idx - evicted;
                 debug_assert!(new_idx < delta_from, "cached entry past the checkpoint");
                 debug_assert_eq!(events[new_idx].0, entry.t, "cached entry misaligned");
-                let entry = if probes_affected(&entry.probes, &changed, &old_computed, &computed) {
+                let entry = if probes_affected(&entry.probes, changed, old_computed, computed, table)
+                {
                     n_evaluated += 1;
                     n_invalidated += 1;
                     self.run_derived_rules(
-                        &view,
+                        table,
+                        computed,
                         &sinks,
-                        Trigger::Input(events[new_idx].1),
+                        Trigger::Input(&events[new_idx].1),
                         entry.t,
-                    )
+                        raw_emits,
+                    );
+                    let probes = take_probes(&recorder, want_cache);
+                    DerivedEntry { t: entry.t, emits: std::mem::take(raw_emits), probes }
                 } else {
                     n_reused += 1;
                     entry
                 };
-                fold_derived(&entry, &mut per_def);
+                fold_derived(&entry, per_def);
                 if want_cache && !derived_entry_elidable(&entry) {
                     derived_events.push((new_idx, entry));
                 }
             }
-            for (i, &(t, ev)) in events.iter().enumerate().skip(delta_from) {
+            // Trigger kinds no derived rule admits skip the whole pass,
+            // mirroring the per-stratum gating above.
+            let dmask = self
+                .description
+                .events
+                .iter()
+                .fold(TriggerKinds::NONE, |acc, d| acc.union(d.trigger_kinds()));
+            let delta_skip =
+                if dmask.intersects(TriggerKinds::INPUT) { delta_from } else { events.len() };
+            for (i, (t, ev)) in events.iter().enumerate().skip(delta_skip) {
                 n_evaluated += 1;
-                let entry = self.run_derived_rules(
-                    &view,
+                self.run_derived_rules(
+                    table,
+                    computed,
                     &sinks,
                     Trigger::Input(ev),
-                    t,
+                    *t,
+                    raw_emits,
                 );
-                fold_derived(&entry, &mut per_def);
-                if want_cache && !derived_entry_elidable(&entry) {
-                    derived_events.push((i, entry));
+                fold_emits(*t, raw_emits, per_def);
+                if want_cache {
+                    let probes = take_probes(&recorder, true);
+                    if !(raw_emits.is_empty() && probes.is_empty()) {
+                        let emits = std::mem::take(raw_emits);
+                        derived_events.push((i, DerivedEntry { t: *t, emits, probes }));
+                    }
                 }
             }
 
-            let mut derived_boundary: Vec<(bool, K, DerivedEntry<K, D>)> = Vec::new();
+            let mut derived_boundary: Vec<(bool, KeyId, DerivedEntry<K, D>)> = Vec::new();
             let mut old_bounds = old_derived_boundary.into_iter().peekable();
-            for (t, is_end, key) in &boundary {
+            let bound_iter = if dmask.intersects(TriggerKinds::BOUNDARY) {
+                boundary.iter()
+            } else {
+                [].iter()
+            };
+            for &(t, is_end, key) in bound_iter {
+                let kind = if is_end { TriggerKinds::END } else { TriggerKinds::START };
+                if !dmask.intersects(kind) {
+                    continue;
+                }
                 while old_bounds
                     .peek()
-                    .is_some_and(|(oe, ok, e)| (e.t, *oe, ok) < (*t, *is_end, key))
+                    .is_some_and(|(oe, ok, e)| (e.t, *oe, table.key(*ok)) < (t, is_end, table.key(key)))
                 {
                     old_bounds.next();
                 }
                 let hit = old_bounds
                     .peek()
-                    .is_some_and(|(oe, ok, e)| e.t == *t && *oe == *is_end && ok == key);
+                    .is_some_and(|(oe, ok, e)| e.t == t && *oe == is_end && *ok == key);
                 let entry = if hit {
                     let (_, _, e) = old_bounds.next().expect("peeked above");
-                    if probes_affected(&e.probes, &changed, &old_computed, &computed) {
+                    if probes_affected(&e.probes, changed, old_computed, computed, table) {
                         n_evaluated += 1;
                         n_invalidated += 1;
                         self.run_derived_rules(
-                            &view,
+                            table,
+                            computed,
                             &sinks,
-                            boundary_trigger(*is_end, key),
-                            *t,
-                        )
+                            boundary_trigger(is_end, table.key(key)),
+                            t,
+                            raw_emits,
+                        );
+                        let probes = take_probes(&recorder, want_cache);
+                        DerivedEntry { t, emits: std::mem::take(raw_emits), probes }
                     } else {
                         n_reused += 1;
                         e
                     }
-                } else if checkpoint.is_none() || changed.contains(key) {
+                } else if checkpoint.is_none() || changed.contains(&key) {
                     n_evaluated += 1;
                     self.run_derived_rules(
-                        &view,
+                        table,
+                        computed,
                         &sinks,
-                        boundary_trigger(*is_end, key),
-                        *t,
-                    )
+                        boundary_trigger(is_end, table.key(key)),
+                        t,
+                        raw_emits,
+                    );
+                    let probes = take_probes(&recorder, want_cache);
+                    DerivedEntry { t, emits: std::mem::take(raw_emits), probes }
                 } else {
                     continue;
                 };
-                fold_derived(&entry, &mut per_def);
+                fold_derived(&entry, per_def);
                 if want_cache && !derived_entry_elidable(&entry) {
-                    derived_boundary.push((*is_end, key.clone(), entry));
+                    derived_boundary.push((is_end, key, entry));
                 }
             }
-
-            let mut derived: Vec<(Timestamp, D)> = per_def.into_iter().flatten().collect();
-            // Stable: emissions at the same timestamp keep definition
-            // order, exactly as the per-definition full pass yields them.
-            derived.sort_by_key(|(t, _)| *t);
-            (derived, derived_events, derived_boundary)
+            (derived_events, derived_boundary)
         };
 
         let new_cache = want_cache.then(|| EngineCache {
             checkpoint: q,
             snapshot_len: events.len(),
-            strata: new_strata,
+            strata: std::mem::take(&mut strata_vec),
             derived_events,
             derived_boundary,
         });
         Evaluated {
-            computed,
-            derived,
             provenance: prov_cell.map(RefCell::into_inner),
             cache: new_cache,
             triggers_evaluated: n_evaluated,

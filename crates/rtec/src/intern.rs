@@ -1,0 +1,213 @@
+//! Per-engine fluent-key interning.
+//!
+//! Composite fluent keys (`stoppedNear(Vessel, Area)`, …) are `Eq + Hash +
+//! Ord` values that the evaluation loop used to clone into every point
+//! map, boundary entry, and cache record — and hash through SipHash on
+//! every probe. A [`KeyTable`] assigns each distinct key a dense [`KeyId`]
+//! the first time it is emitted; from then on the engine moves and hashes
+//! 4-byte ids, materialising the real key only at the emission and
+//! provenance boundaries ([`Recognition`](crate::Recognition),
+//! [`ProvenanceLog`](crate::ProvenanceLog)) so the public output is
+//! unchanged.
+//!
+//! Ids are never recycled: a key interned once keeps its id for the
+//! engine's lifetime, which is what lets checkpointed cache entries keep
+//! referring to keys across window slides. The table therefore grows with
+//! the *distinct key universe* (roughly vessels × areas in the maritime
+//! description), not with the stream.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Dense handle of an interned fluent key: index into the engine's
+/// [`KeyTable`]. Equality of ids is equality of keys *within one engine*;
+/// the derived `Ord` is interning order, **not** the key's `Ord` — sorts
+/// that must honour key order go through [`KeyTable::key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyId(pub u32);
+
+/// A splitmix64-finalising [`Hasher`] — the same zero-dependency idiom as
+/// the tracker's fleet-map hasher. Integer writes dominate the engine's
+/// maps (`KeyId` keys and small `Copy` fluent keys), where one
+/// multiply-xor round beats SipHash by a wide margin while scrambling the
+/// low bits well enough for `HashMap`'s power-of-two masking.
+#[derive(Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        let mut z = (self.state ^ v).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.state = z ^ (z >> 31);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf) ^ chunk.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by [`KeyId`] with the fast hasher.
+pub type IdMap<V> = HashMap<KeyId, V, FxBuildHasher>;
+
+/// A `HashSet` of [`KeyId`]s with the fast hasher.
+pub type IdSet = HashSet<KeyId, FxBuildHasher>;
+
+/// The engine's symbol table: key → id (interning) and id → key
+/// (materialisation). Keys are cloned exactly once, on first sight.
+#[derive(Debug, Clone)]
+pub struct KeyTable<K> {
+    keys: Vec<K>,
+    index: HashMap<K, KeyId, FxBuildHasher>,
+}
+
+// Manual impl: the derive would demand `K: Default` for no reason.
+impl<K> Default for KeyTable<K> {
+    fn default() -> Self {
+        Self {
+            keys: Vec::new(),
+            index: HashMap::default(),
+        }
+    }
+}
+
+impl<K: Clone + Eq + std::hash::Hash> KeyTable<K> {
+    /// The id of `key`, interning it (two clones: the `keys` slot and the
+    /// `index` entry) the first time it is seen.
+    pub fn intern(&mut self, key: &K) -> KeyId {
+        if let Some(id) = self.index.get(key) {
+            return *id;
+        }
+        let id = KeyId(u32::try_from(self.keys.len()).expect("more than u32::MAX distinct keys"));
+        self.keys.push(key.clone());
+        self.index.insert(key.clone(), id);
+        id
+    }
+}
+
+impl<K: Eq + std::hash::Hash> KeyTable<K> {
+    /// The id of `key` if it has been interned, without interning it.
+    #[must_use]
+    pub fn lookup(&self, key: &K) -> Option<KeyId> {
+        self.index.get(key).copied()
+    }
+}
+
+impl<K> KeyTable<K> {
+    /// The key behind `id`. Panics on an id from a different table.
+    #[must_use]
+    pub fn key(&self, id: KeyId) -> &K {
+        &self.keys[id.0 as usize]
+    }
+
+    /// Number of distinct keys interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no key has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let mut table: KeyTable<(u32, u8)> = KeyTable::default();
+        let a = table.intern(&(7, 1));
+        let b = table.intern(&(9, 2));
+        assert_eq!(a, KeyId(0));
+        assert_eq!(b, KeyId(1));
+        // Re-interning returns the same id; lookup agrees.
+        assert_eq!(table.intern(&(7, 1)), a);
+        assert_eq!(table.lookup(&(9, 2)), Some(b));
+        assert_eq!(table.lookup(&(1, 1)), None);
+        assert_eq!(table.key(a), &(7, 1));
+        assert_eq!(table.key(b), &(9, 2));
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn id_equality_is_key_equality() {
+        let mut table: KeyTable<&'static str> = KeyTable::default();
+        let ids: Vec<KeyId> = ["a", "b", "a", "c", "b"].iter().map(|k| table.intern(k)).collect();
+        assert_eq!(ids[0], ids[2]);
+        assert_eq!(ids[1], ids[4]);
+        assert_ne!(ids[0], ids[3]);
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn hasher_is_deterministic_and_spreads() {
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        // Consecutive ids must not collide in the low bits HashMap masks.
+        let low: HashSet<u64> = (0..1024).map(|v| hash(v) & 0x3ff).collect();
+        assert!(low.len() > 512, "low-bit spread too poor: {}", low.len());
+    }
+
+    #[test]
+    fn byte_writes_hash_consistently() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"stopped"), hash(b"stopped"));
+        assert_ne!(hash(b"stopped"), hash(b"stopped "));
+        assert_ne!(hash(b""), hash(b"\0"));
+    }
+}

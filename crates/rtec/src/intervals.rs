@@ -118,11 +118,23 @@ impl IntervalList {
     pub fn from_points(
         initiations: &[Timestamp],
         terminations: &[Timestamp],
+        horizon: Option<Timestamp>,
+    ) -> Self {
+        Self::from_points_in(Vec::new(), initiations, terminations, horizon)
+    }
+
+    /// [`IntervalList::from_points`] reusing `items` as the backing
+    /// storage (cleared first): the engine recycles interval vectors from
+    /// the previous query's result instead of allocating fresh ones.
+    pub(crate) fn from_points_in(
+        mut items: Vec<Interval>,
+        initiations: &[Timestamp],
+        terminations: &[Timestamp],
         _horizon: Option<Timestamp>,
     ) -> Self {
+        items.clear();
         debug_assert!(initiations.windows(2).all(|w| w[0] <= w[1]));
         debug_assert!(terminations.windows(2).all(|w| w[0] <= w[1]));
-        let mut items = Vec::new();
         let mut ti = 0usize;
         let mut open_since: Option<Timestamp> = None;
         for &ts in initiations {
@@ -173,6 +185,21 @@ impl IntervalList {
     #[must_use]
     pub fn intervals(&self) -> &[Interval] {
         &self.items
+    }
+
+    /// Takes the backing storage for recycling via
+    /// [`IntervalList::from_points_in`].
+    pub(crate) fn into_storage(self) -> Vec<Interval> {
+        self.items
+    }
+
+    /// `Clone` into recycled backing storage (cleared first): the engine
+    /// copies each fluent's list into its checkpoint snapshot without
+    /// allocating on a warm arena.
+    pub(crate) fn clone_in(&self, mut storage: Vec<Interval>) -> Self {
+        storage.clear();
+        storage.extend_from_slice(&self.items);
+        Self { items: storage }
     }
 
     /// Number of maximal intervals.

@@ -32,13 +32,15 @@
 pub mod cache;
 pub mod description;
 pub mod engine;
+pub mod intern;
 pub mod intervals;
 pub mod provenance;
 pub mod view;
 
 pub use cache::{EvalStrategy, IncrementalStats};
-pub use description::{DerivedEventDef, EventDescription, FluentDef, Trigger};
+pub use description::{DerivedEventDef, EventDescription, FluentDef, MaskedRule, Trigger, TriggerKinds};
 pub use engine::{Engine, Recognition};
+pub use intern::{KeyId, KeyTable};
 pub use intervals::{Interval, IntervalList};
 pub use maritime_stream::{Duration, Timestamp, WindowSpec};
 pub use provenance::{ProvEmission, ProvFire, ProvTrigger, ProvenanceLog, RuleKind, RuleRef};

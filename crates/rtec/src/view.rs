@@ -5,9 +5,15 @@
 //! Table 1, plus the aggregate count used by `vesselsStoppedIn(Area)` in
 //! rule-set (3).
 //!
-//! Under the incremental strategy the engine wraps the view in a *probe
-//! recorder*: every query a rule makes is logged into a [`ProbeLog`], so
-//! the evaluation can be memoised and replayed at the next window slide as
+//! The engine's internal fluent state is keyed by interned [`KeyId`]s
+//! (see [`crate::intern`]); the view translates the rule's `&K` probes
+//! through the engine's [`KeyTable`] so rule code never sees ids. A view
+//! over a plain `HashMap<K, IntervalList>` ([`View::new`]) is still
+//! available for tests and external callers.
+//!
+//! Under the incremental strategy the engine attaches a *probe recorder*:
+//! every query a rule makes is logged into a [`ProbeLog`], so the
+//! evaluation can be memoised and replayed at the next window slide as
 //! long as each recorded probe would still observe the same answer.
 
 use std::cell::RefCell;
@@ -15,6 +21,7 @@ use std::collections::HashMap;
 
 use maritime_stream::Timestamp;
 
+use crate::intern::{IdMap, KeyId, KeyTable};
 use crate::intervals::IntervalList;
 
 /// A record of every probe one rule evaluation made against the view.
@@ -23,13 +30,22 @@ use crate::intervals::IntervalList;
 /// against the newly computed fluents yields the same answer it observed
 /// when the rules actually ran; the engine checks that per entry instead
 /// of re-running the rules.
+///
+/// Probes of keys already interned at record time are stored as
+/// [`KeyId`]s; probes of keys the engine has never emitted (which
+/// therefore hold nowhere) are stored as owned keys and re-resolved at
+/// replay time — they only matter if the key has been interned since.
 #[derive(Debug, Clone)]
 pub struct ProbeLog<K> {
     /// `(key, time)` pairs observed through [`View::holds_at`].
-    pub points: Vec<(K, Timestamp)>,
+    pub points: Vec<(KeyId, Timestamp)>,
     /// Keys whose full interval list was read through [`View::holds_for`];
     /// replay requires the list to be structurally unchanged.
-    pub lists: Vec<K>,
+    pub lists: Vec<KeyId>,
+    /// `holds_at` probes of keys not yet interned when the probe ran.
+    pub unknown_points: Vec<(K, Timestamp)>,
+    /// `holds_for` probes of keys not yet interned when the probe ran.
+    pub unknown_lists: Vec<K>,
     /// Times of [`View::count_holding_at`] aggregates. The predicate is an
     /// opaque closure, so every key counts as probed at that time.
     pub scans: Vec<Timestamp>,
@@ -43,6 +59,8 @@ impl<K> Default for ProbeLog<K> {
         Self {
             points: Vec::new(),
             lists: Vec::new(),
+            unknown_points: Vec::new(),
+            unknown_lists: Vec::new(),
             scans: Vec::new(),
             scan_all: false,
         }
@@ -54,15 +72,30 @@ impl<K> ProbeLog<K> {
     /// pattern-match the trigger and never consult the view).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty() && self.lists.is_empty() && self.scans.is_empty() && !self.scan_all
+        self.points.is_empty()
+            && self.lists.is_empty()
+            && self.unknown_points.is_empty()
+            && self.unknown_lists.is_empty()
+            && self.scans.is_empty()
+            && !self.scan_all
     }
 }
 
 /// A read-only snapshot of fluent intervals computed so far in the current
 /// recognition pass.
 pub struct View<'a, K> {
-    fluents: &'a HashMap<K, IntervalList>,
-    recorder: Option<&'a RefCell<ProbeLog<K>>>,
+    inner: Inner<'a, K>,
+}
+
+enum Inner<'a, K> {
+    /// A plain key-addressed map ([`View::new`]) — no probe recording.
+    Direct(&'a HashMap<K, IntervalList>),
+    /// The engine's id-addressed state, translated through its key table.
+    Interned {
+        table: &'a KeyTable<K>,
+        fluents: &'a IdMap<IntervalList>,
+        recorder: Option<&'a RefCell<ProbeLog<K>>>,
+    },
 }
 
 impl<'a, K: std::hash::Hash + Eq + Clone> View<'a, K> {
@@ -70,61 +103,160 @@ impl<'a, K: std::hash::Hash + Eq + Clone> View<'a, K> {
     #[must_use]
     pub fn new(fluents: &'a HashMap<K, IntervalList>) -> Self {
         Self {
-            fluents,
-            recorder: None,
+            inner: Inner::Direct(fluents),
         }
     }
 
-    /// Wraps a computed-fluent map and logs every probe into `recorder`.
-    pub(crate) fn recorded(
-        fluents: &'a HashMap<K, IntervalList>,
-        recorder: &'a RefCell<ProbeLog<K>>,
+    /// Wraps the engine's interned fluent state, optionally logging every
+    /// probe into `recorder`.
+    pub(crate) fn interned(
+        table: &'a KeyTable<K>,
+        fluents: &'a IdMap<IntervalList>,
+        recorder: Option<&'a RefCell<ProbeLog<K>>>,
     ) -> Self {
         Self {
-            fluents,
-            recorder: Some(recorder),
+            inner: Inner::Interned {
+                table,
+                fluents,
+                recorder,
+            },
         }
     }
 
     /// `holdsFor(F=V, I)`: the maximal intervals of `key`, empty if the
     /// fluent was never initiated.
     #[must_use]
-    pub fn holds_for(&self, key: &K) -> &IntervalList {
+    pub fn holds_for(&self, key: &K) -> &'a IntervalList {
         static EMPTY: once_empty::Empty = once_empty::Empty;
-        if let Some(log) = self.recorder {
-            log.borrow_mut().lists.push(key.clone());
+        match &self.inner {
+            Inner::Direct(fluents) => fluents.get(key).unwrap_or(EMPTY.get()),
+            Inner::Interned {
+                table,
+                fluents,
+                recorder,
+            } => match table.lookup(key) {
+                Some(id) => {
+                    if let Some(log) = recorder {
+                        log.borrow_mut().lists.push(id);
+                    }
+                    fluents.get(&id).unwrap_or(EMPTY.get())
+                }
+                None => {
+                    if let Some(log) = recorder {
+                        log.borrow_mut().unknown_lists.push(key.clone());
+                    }
+                    EMPTY.get()
+                }
+            },
         }
-        self.fluents.get(key).unwrap_or(EMPTY.get())
     }
 
     /// `holdsAt(F=V, T)`.
     #[must_use]
     pub fn holds_at(&self, key: &K, t: Timestamp) -> bool {
-        if let Some(log) = self.recorder {
-            log.borrow_mut().points.push((key.clone(), t));
+        match &self.inner {
+            Inner::Direct(fluents) => fluents.get(key).is_some_and(|il| il.holds_at(t)),
+            Inner::Interned {
+                table,
+                fluents,
+                recorder,
+            } => match table.lookup(key) {
+                Some(id) => {
+                    if let Some(log) = recorder {
+                        log.borrow_mut().points.push((id, t));
+                    }
+                    fluents.get(&id).is_some_and(|il| il.holds_at(t))
+                }
+                None => {
+                    if let Some(log) = recorder {
+                        log.borrow_mut().unknown_points.push((key.clone(), t));
+                    }
+                    false
+                }
+            },
         }
-        self.fluents.get(key).is_some_and(|il| il.holds_at(t))
     }
 
     /// Counts the keys satisfying `pred` whose fluent holds at `t` — the
     /// aggregate behind `vesselsStoppedIn(Area)=N`.
     #[must_use]
     pub fn count_holding_at(&self, t: Timestamp, mut pred: impl FnMut(&K) -> bool) -> usize {
-        if let Some(log) = self.recorder {
-            log.borrow_mut().scans.push(t);
+        match &self.inner {
+            Inner::Direct(fluents) => fluents
+                .iter()
+                .filter(|(k, il)| pred(k) && il.holds_at(t))
+                .count(),
+            Inner::Interned {
+                table,
+                fluents,
+                recorder,
+            } => {
+                if let Some(log) = recorder {
+                    log.borrow_mut().scans.push(t);
+                }
+                fluents
+                    .iter()
+                    .filter(|(id, il)| pred(table.key(**id)) && il.holds_at(t))
+                    .count()
+            }
         }
-        self.fluents
-            .iter()
-            .filter(|(k, il)| pred(k) && il.holds_at(t))
-            .count()
     }
 
     /// Iterates over all computed `(key, intervals)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&'a K, &'a IntervalList)> {
-        if let Some(log) = self.recorder {
-            log.borrow_mut().scan_all = true;
+    pub fn iter(&self) -> ViewIter<'a, K> {
+        match &self.inner {
+            Inner::Direct(fluents) => ViewIter {
+                inner: IterInner::Direct(fluents.iter()),
+            },
+            Inner::Interned {
+                table,
+                fluents,
+                recorder,
+            } => {
+                if let Some(log) = recorder {
+                    log.borrow_mut().scan_all = true;
+                }
+                ViewIter {
+                    inner: IterInner::Interned {
+                        table,
+                        iter: fluents.iter(),
+                    },
+                }
+            }
         }
-        self.fluents.iter()
+    }
+}
+
+/// Iterator over a view's `(key, intervals)` pairs; see [`View::iter`].
+pub struct ViewIter<'a, K> {
+    inner: IterInner<'a, K>,
+}
+
+enum IterInner<'a, K> {
+    Direct(std::collections::hash_map::Iter<'a, K, IntervalList>),
+    Interned {
+        table: &'a KeyTable<K>,
+        iter: std::collections::hash_map::Iter<'a, KeyId, IntervalList>,
+    },
+}
+
+impl<'a, K> Iterator for ViewIter<'a, K> {
+    type Item = (&'a K, &'a IntervalList);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            IterInner::Direct(iter) => iter.next(),
+            IterInner::Interned { table, iter } => {
+                iter.next().map(|(id, il)| (table.key(*id), il))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            IterInner::Direct(iter) => iter.size_hint(),
+            IterInner::Interned { iter, .. } => iter.size_hint(),
+        }
     }
 }
 
@@ -197,22 +329,46 @@ mod tests {
     }
 
     #[test]
-    fn recorded_view_logs_every_probe_kind() {
-        let mut map = HashMap::new();
+    fn interned_view_reads_through_the_table() {
+        let mut table: KeyTable<&str> = KeyTable::default();
+        let stopped = table.intern(&"stopped(v1)");
+        let mut map: IdMap<IntervalList> = IdMap::default();
         map.insert(
-            "stopped(v1)",
+            stopped,
+            IntervalList::from_intervals(vec![Interval::closed(t(10), t(20))]),
+        );
+        let view = View::interned(&table, &map, None);
+        assert!(view.holds_at(&"stopped(v1)", t(15)));
+        assert!(!view.holds_at(&"stopped(v1)", t(25)));
+        // A key the engine never emitted: holds nowhere, empty list.
+        assert!(!view.holds_at(&"moored(v9)", t(15)));
+        assert!(view.holds_for(&"moored(v9)").is_empty());
+        assert_eq!(view.count_holding_at(t(15), |_| true), 1);
+        let pairs: Vec<_> = view.iter().collect();
+        assert_eq!(pairs, vec![(&"stopped(v1)", view.holds_for(&"stopped(v1)"))]);
+    }
+
+    #[test]
+    fn recorded_view_logs_every_probe_kind() {
+        let mut table: KeyTable<&str> = KeyTable::default();
+        let stopped = table.intern(&"stopped(v1)");
+        let mut map: IdMap<IntervalList> = IdMap::default();
+        map.insert(
+            stopped,
             IntervalList::from_intervals(vec![Interval::closed(t(10), t(20))]),
         );
         let log = RefCell::new(ProbeLog::default());
-        let view = View::recorded(&map, &log);
+        let view = View::interned(&table, &map, Some(&log));
         assert!(log.borrow().is_empty());
         let _ = view.holds_at(&"stopped(v1)", t(15));
         let _ = view.holds_for(&"moored(v9)");
         let _ = view.count_holding_at(t(12), |_| true);
         let _ = view.iter().count();
         let log = log.into_inner();
-        assert_eq!(log.points, vec![("stopped(v1)", t(15))]);
-        assert_eq!(log.lists, vec!["moored(v9)"]);
+        assert_eq!(log.points, vec![(stopped, t(15))]);
+        assert!(log.lists.is_empty());
+        assert_eq!(log.unknown_lists, vec!["moored(v9)"]);
+        assert!(log.unknown_points.is_empty());
         assert_eq!(log.scans, vec![t(12)]);
         assert!(log.scan_all);
         assert!(!log.is_empty());

@@ -1,0 +1,292 @@
+//! Interning-equivalence property: the engine moves `KeyId(u32)`s through
+//! its evaluation loop and materialises real keys only at emission and
+//! provenance boundaries, so its output must be byte-identical to a
+//! direct *uninterned* evaluation that never leaves the composite key
+//! type.
+//!
+//! For random two-stratum fluent programs (input-toggled `Active`,
+//! boundary-triggered `Calm`, one derived event, with the
+//! trigger-polarity choices randomised) over random event streams and
+//! window specs, every engine variant — serial from-scratch, incremental
+//! (replaying checkpoints across slid windows), traced (provenance
+//! capture on), and sharded (the key space split across two engines) —
+//! must produce identical `IntervalList`s and derived-event streams, and
+//! the traced run's provenance must name exactly the initiation and
+//! termination points the uninterned reference derives.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use maritime_rtec::{
+    DerivedEventDef, Duration, Engine, EvalStrategy, EventDescription, FluentDef, Interval,
+    IntervalList, Timestamp, Trigger, WindowSpec,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    On(u8),
+    Off(u8),
+    /// An event no rule responds to.
+    Ping(u8),
+}
+
+impl Ev {
+    fn id(&self) -> u8 {
+        match self {
+            Ev::On(id) | Ev::Off(id) | Ev::Ping(id) => *id,
+        }
+    }
+}
+
+/// Composite fluent keys, kept un-interned in the reference evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Key {
+    Active(u8),
+    Calm(u8),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Out {
+    Started(u8),
+}
+
+/// The random program: `Active(id)` toggled by `On`/`Off` input events;
+/// `Calm(id)` driven by `Active(id)` boundary triggers with the polarity
+/// chosen by `calm_on_end`; one derived event emitted at `Active` starts
+/// or ends per `derive_on_end`.
+fn description(calm_on_end: bool, derive_on_end: bool) -> EventDescription<(), Ev, Key, Out> {
+    let active = FluentDef::new("active")
+        .initiated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+            Some(Ev::On(id)) => vec![Key::Active(*id)],
+            _ => vec![],
+        })
+        .terminated(|_, _, trig: Trigger<'_, Ev, Key>, _| match trig.input() {
+            Some(Ev::Off(id)) => vec![Key::Active(*id)],
+            _ => vec![],
+        });
+    let calm_init = move |trig: &Trigger<'_, Ev, Key>| -> Vec<Key> {
+        let hit = if calm_on_end { trig.ended() } else { trig.started() };
+        match hit {
+            Some(Key::Active(id)) => vec![Key::Calm(*id)],
+            _ => vec![],
+        }
+    };
+    let calm_term = move |trig: &Trigger<'_, Ev, Key>| -> Vec<Key> {
+        let hit = if calm_on_end { trig.started() } else { trig.ended() };
+        match hit {
+            Some(Key::Active(id)) => vec![Key::Calm(*id)],
+            _ => vec![],
+        }
+    };
+    let calm = FluentDef::new("calm")
+        .initiated(move |_, _, trig: Trigger<'_, Ev, Key>, _| calm_init(&trig))
+        .terminated(move |_, _, trig: Trigger<'_, Ev, Key>, _| calm_term(&trig));
+    let started = DerivedEventDef::new("started")
+        .rule(move |_, _, trig: Trigger<'_, Ev, Key>, _| {
+            let hit = if derive_on_end { trig.ended() } else { trig.started() };
+            match hit {
+                Some(Key::Active(id)) => vec![Out::Started(*id)],
+                _ => vec![],
+            }
+        });
+    EventDescription::new().fluent(active).fluent(calm).event(started)
+}
+
+/// What one query must produce, computed without any interning.
+struct Expected {
+    fluents: BTreeMap<Key, Vec<Interval>>,
+    events: Vec<(Timestamp, Out)>,
+    inits: BTreeSet<(Key, Timestamp)>,
+    terms: BTreeSet<(Key, Timestamp)>,
+}
+
+/// Direct evaluation over the window snapshot with plain keyed maps:
+/// per-key sorted deduplicated point lists folded through the same
+/// public `IntervalList::from_points` the engine uses, strata in order,
+/// boundary triggers taken from the literal interval lists.
+fn reference(
+    events: &[(i64, Ev)],
+    q: i64,
+    range: i64,
+    calm_on_end: bool,
+    derive_on_end: bool,
+) -> Expected {
+    let mut window: Vec<&(i64, Ev)> =
+        events.iter().filter(|(t, _)| *t > q - range && *t <= q).collect();
+    window.sort_by_key(|(t, _)| *t);
+
+    let mut inits: BTreeMap<Key, Vec<Timestamp>> = BTreeMap::new();
+    let mut terms: BTreeMap<Key, Vec<Timestamp>> = BTreeMap::new();
+    let push = |map: &mut BTreeMap<Key, Vec<Timestamp>>, key: Key, t: i64| {
+        let v = map.entry(key).or_default();
+        if v.last() != Some(&Timestamp(t)) {
+            v.push(Timestamp(t));
+        }
+    };
+    for (t, ev) in &window {
+        match ev {
+            Ev::On(id) => push(&mut inits, Key::Active(*id), *t),
+            Ev::Off(id) => push(&mut terms, Key::Active(*id), *t),
+            Ev::Ping(_) => {}
+        }
+    }
+
+    // Stratum 1: Active intervals — only initiated keys materialise.
+    let mut fluents = BTreeMap::new();
+    for (key, key_inits) in &inits {
+        let key_terms = terms.get(key).map_or(&[][..], Vec::as_slice);
+        let il = IntervalList::from_points(key_inits, key_terms, None);
+        fluents.insert(key.clone(), il.intervals().to_vec());
+    }
+
+    // Stratum 2: Calm points from Active boundaries, polarity per flag.
+    for (key, intervals) in fluents.clone() {
+        let Key::Active(id) = key else { unreachable!() };
+        let starts: Vec<Timestamp> = intervals.iter().map(|iv| iv.since).collect();
+        let ends: Vec<Timestamp> = intervals.iter().filter_map(|iv| iv.until).collect();
+        let (calm_inits, calm_terms) =
+            if calm_on_end { (ends, starts) } else { (starts, ends) };
+        for &t in &calm_inits {
+            push(&mut inits, Key::Calm(id), t.0);
+        }
+        for &t in &calm_terms {
+            push(&mut terms, Key::Calm(id), t.0);
+        }
+        if !calm_inits.is_empty() {
+            let il = IntervalList::from_points(&calm_inits, &calm_terms, None);
+            fluents.insert(Key::Calm(id), il.intervals().to_vec());
+        }
+    }
+
+    // Derived events at the chosen Active boundary, ordered by
+    // (time, key) exactly as the boundary list walks them.
+    let mut emissions: Vec<(Timestamp, Out)> = Vec::new();
+    for (key, intervals) in &fluents {
+        let Key::Active(id) = key else { continue };
+        for iv in intervals {
+            let at = if derive_on_end { iv.until } else { Some(iv.since) };
+            if let Some(t) = at {
+                emissions.push((t, Out::Started(*id)));
+            }
+        }
+    }
+    emissions.sort();
+
+    Expected {
+        fluents,
+        events: emissions,
+        inits: inits
+            .iter()
+            .flat_map(|(k, ts)| ts.iter().map(move |t| (k.clone(), *t)))
+            .collect(),
+        terms: terms
+            .iter()
+            .flat_map(|(k, ts)| ts.iter().map(move |t| (k.clone(), *t)))
+            .collect(),
+    }
+}
+
+type Snapshot = (BTreeMap<Key, Vec<Interval>>, Vec<(Timestamp, Out)>);
+
+fn snapshot(r: &maritime_rtec::Recognition<Key, Out>) -> Snapshot {
+    (
+        r.fluents.iter().map(|(k, il)| (k.clone(), il.intervals().to_vec())).collect(),
+        r.events.clone(),
+    )
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<(i64, Ev)>> {
+    prop::collection::vec(
+        (0i64..400, 0u8..4, 0u8..3).prop_map(|(t, id, kind)| {
+            let ev = match kind {
+                0 => Ev::On(id),
+                1 => Ev::Off(id),
+                _ => Ev::Ping(id),
+            };
+            (t, ev)
+        }),
+        0..50,
+    )
+}
+
+fn arb_queries() -> impl Strategy<Value = Vec<i64>> {
+    (50i64..300, prop::collection::vec(1i64..80, 1..6)).prop_map(|(q0, steps)| {
+        steps
+            .iter()
+            .scan(q0, |q, s| {
+                *q += s;
+                Some(*q)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn interned_engines_match_uninterned_reference(
+        events in arb_events(),
+        queries in arb_queries(),
+        range in 30i64..200,
+        slide_frac in 1i64..30,
+        calm_on_end in any::<bool>(),
+        derive_on_end in any::<bool>(),
+    ) {
+        let slide = (range / slide_frac).max(1);
+        let spec = WindowSpec::new(Duration::secs(range), Duration::secs(slide)).unwrap();
+        let desc = || description(calm_on_end, derive_on_end);
+        let stamped =
+            |evs: &[(i64, Ev)]| evs.iter().map(|(t, e)| (Timestamp(*t), e.clone())).collect::<Vec<_>>();
+
+        let mut scratch = Engine::new((), desc(), spec)
+            .with_strategy(EvalStrategy::FromScratch);
+        let mut incremental = Engine::new((), desc(), spec)
+            .with_strategy(EvalStrategy::Incremental);
+        let mut traced = Engine::new((), desc(), spec).with_provenance(true);
+        // Sharded: the key space split by vessel-id parity across two
+        // engines, each fed only its shard's events (the strata are
+        // per-id independent, mirroring the geographic partitioner).
+        let mut shards = [Engine::new((), desc(), spec), Engine::new((), desc(), spec)];
+
+        scratch.add_events(stamped(&events));
+        incremental.add_events(stamped(&events));
+        traced.add_events(stamped(&events));
+        for shard in 0..2u8 {
+            let part: Vec<(i64, Ev)> =
+                events.iter().filter(|(_, e)| e.id() % 2 == shard).cloned().collect();
+            shards[shard as usize].add_events(stamped(&part));
+        }
+
+        for &q in &queries {
+            let expected = reference(&events, q, range, calm_on_end, derive_on_end);
+
+            let base = snapshot(&scratch.recognize_at(Timestamp(q)));
+            prop_assert_eq!(&base.0, &expected.fluents, "scratch fluents at q={}", q);
+            prop_assert_eq!(&base.1, &expected.events, "scratch events at q={}", q);
+
+            let inc = snapshot(&incremental.recognize_at(Timestamp(q)));
+            prop_assert_eq!(&inc, &base, "incremental diverged at q={}", q);
+
+            let tr = snapshot(&traced.recognize_at(Timestamp(q)));
+            prop_assert_eq!(&tr, &base, "traced diverged at q={}", q);
+
+            let log = traced.take_provenance().expect("traced engine records provenance");
+            let noted_inits: BTreeSet<(Key, Timestamp)> =
+                log.initiations.keys().cloned().collect();
+            let noted_terms: BTreeSet<(Key, Timestamp)> =
+                log.terminations.keys().cloned().collect();
+            prop_assert_eq!(&noted_inits, &expected.inits, "initiation provenance at q={}", q);
+            prop_assert_eq!(&noted_terms, &expected.terms, "termination provenance at q={}", q);
+            let emitted: usize = log.emissions.iter().map(|e| e.count).sum();
+            prop_assert_eq!(emitted, expected.events.len(), "emission provenance at q={}", q);
+
+            let mut merged: Snapshot = Default::default();
+            for engine in &mut shards {
+                let part = snapshot(&engine.recognize_at(Timestamp(q)));
+                merged.0.extend(part.0);
+                merged.1.extend(part.1);
+            }
+            merged.1.sort();
+            prop_assert_eq!(&merged, &base, "sharded merge diverged at q={}", q);
+        }
+    }
+}

@@ -153,9 +153,35 @@ impl<T> SlidingWindow<T> {
         evicted
     }
 
+    /// [`SlidingWindow::slide_to`] for callers that do not forward the
+    /// expired items: drops them in place and returns only their count,
+    /// so a steadily sliding window evicts without allocating.
+    pub fn slide_to_discarding(&mut self, q: Timestamp) -> usize {
+        let cutoff = q - self.spec.range;
+        let mut evicted = 0;
+        while self.items.front().is_some_and(|(t, _)| *t <= cutoff) {
+            self.items.pop_front();
+            evicted += 1;
+        }
+        OBS_SLIDES.inc();
+        OBS_EVICTIONS.add(evicted as u64);
+        evicted
+    }
+
     /// Items currently in the window, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = (Timestamp, &T)> {
         self.items.iter().map(|(t, item)| (*t, item))
+    }
+
+    /// The buffered items as one contiguous time-ordered slice, oldest
+    /// first. Rearranges the ring buffer in place if it has wrapped (no
+    /// allocation), so repeated calls on a steadily sliding window are
+    /// O(1) amortised — this is the zero-copy working-memory snapshot the
+    /// recognition engine evaluates over, replacing a per-query
+    /// `Vec<(Timestamp, &T)>` collect.
+    pub fn contiguous(&mut self) -> &[(Timestamp, T)] {
+        self.items.make_contiguous();
+        self.items.as_slices().0
     }
 
     /// Items with timestamp strictly greater than `after`, oldest first.
@@ -251,6 +277,23 @@ mod tests {
         w.insert(Timestamp(10), "second");
         let order: Vec<_> = w.iter().map(|(_, s)| *s).collect();
         assert_eq!(order, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn contiguous_matches_iter_after_wraparound() {
+        let mut w = SlidingWindow::new(spec(60, 20));
+        for t in 0..30 {
+            w.insert(Timestamp(t * 10), t);
+        }
+        // Slide enough that the VecDeque head has moved, then refill so
+        // the ring wraps; contiguous() must still see everything in order.
+        w.slide_to(Timestamp(200));
+        for t in 30..40 {
+            w.insert(Timestamp(t * 10), t);
+        }
+        let from_iter: Vec<(Timestamp, i64)> = w.iter().map(|(t, v)| (t, *v)).collect();
+        assert_eq!(w.contiguous(), &from_iter[..]);
+        assert!(w.contiguous().windows(2).all(|p| p[0].0 <= p[1].0));
     }
 
     #[test]
