@@ -101,6 +101,21 @@ impl DataScanner {
     /// via the table-driven bit cursor. Only genuinely multi-part messages
     /// (type-5 declarations) touch the defragmenter's heap buffers.
     pub fn scan(&mut self, line: &str, received_at: Timestamp) -> Option<PositionTuple> {
+        self.scan_from(0, line, received_at)
+    }
+
+    /// Scans one line received from the physical feed `source` — the
+    /// multi-feed form of [`DataScanner::scan`] used by `surveil serve`,
+    /// where one scanner drains many TCP/UDP sources. The source id keys
+    /// the defragmenter so interleaved multi-part messages from different
+    /// feeds cannot cross-assemble; everything else (stats, metrics,
+    /// voyage registry) is shared across sources.
+    pub fn scan_from(
+        &mut self,
+        source: u32,
+        line: &str,
+        received_at: Timestamp,
+    ) -> Option<PositionTuple> {
         self.stats.total += 1;
         OBS_SENTENCES.inc();
         let fragment = match nmea::parse_fragment(line) {
@@ -123,7 +138,7 @@ impl DataScanner {
             }
         };
         let evicted_before = self.defrag.evicted_incomplete();
-        let pushed = self.defrag.push_fragment(&fragment);
+        let pushed = self.defrag.push_fragment_from(source, &fragment);
         let truncated = self.defrag.evicted_incomplete() - evicted_before;
         if truncated > 0 {
             self.note_truncated(truncated, received_at);
@@ -367,6 +382,35 @@ mod tests {
         assert_eq!(rec.name, "MINOAN SPIRIT");
         // Position reports still flow normally afterwards.
         assert!(scanner.scan(&good_sentence(), Timestamp(12)).is_some());
+    }
+
+    #[test]
+    fn scan_from_keeps_sources_from_cross_assembling() {
+        use crate::voyage::{encode_static_voyage, StaticVoyageData};
+        let mk = |mmsi: u32, name: &str, dest: &str| StaticVoyageData {
+            mmsi: Mmsi(mmsi),
+            imo: 0,
+            callsign: String::new(),
+            name: name.into(),
+            ship_type: 70,
+            draught_m: 4.0,
+            destination: dest.into(),
+        };
+        // Same sequence id on both feeds — interleaved over scan_from they
+        // must still assemble per source and both land in the registry.
+        let [a1, a2] = encode_static_voyage(&mk(237_000_001, "ALPHA", "CHIOS"), 5);
+        let [b1, b2] = encode_static_voyage(&mk(237_000_002, "BRAVO", "SYROS"), 5);
+        let mut scanner = DataScanner::new();
+        assert!(scanner.scan_from(10, &a1, Timestamp(1)).is_none());
+        assert!(scanner.scan_from(20, &b1, Timestamp(2)).is_none());
+        assert!(scanner.scan_from(10, &a2, Timestamp(3)).is_none());
+        assert!(scanner.scan_from(20, &b2, Timestamp(4)).is_none());
+        assert_eq!(scanner.stats().voyage_declarations, 2);
+        assert_eq!(scanner.stats().bad_payload, 0);
+        let a = scanner.voyages().latest(Mmsi(237_000_001)).unwrap();
+        let b = scanner.voyages().latest(Mmsi(237_000_002)).unwrap();
+        assert_eq!((a.name.as_str(), a.destination.as_str()), ("ALPHA", "CHIOS"));
+        assert_eq!((b.name.as_str(), b.destination.as_str()), ("BRAVO", "SYROS"));
     }
 
     #[test]

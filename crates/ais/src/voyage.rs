@@ -147,13 +147,19 @@ pub fn decode_static_voyage(payload: &str, fill_bits: u8) -> Result<StaticVoyage
 
 /// Reassembles multi-fragment AIVDM messages.
 ///
-/// Fragments are keyed by `(sequence id, channel, total)`; a message is
-/// released once all its fragments have arrived. Stale partial messages
-/// are evicted after `max_pending` distinct keys accumulate (radio loss
-/// means some fragments never arrive).
+/// Fragments are keyed by `(source, sequence id, channel, total)`; a
+/// message is released once all its fragments have arrived. The source
+/// dimension matters whenever one scanner drains several physical feeds
+/// (TCP connections, UDP peers): NMEA sequence ids are 1 digit and every
+/// receiver counts from zero, so two sources interleaving type-5 pairs
+/// collide on `(seq, channel, total)` alone and would cross-assemble into
+/// a garbled payload. Single-feed callers use [`Defragmenter::push_fragment`],
+/// which pins source 0. Stale partial messages are evicted after
+/// `max_pending` distinct keys accumulate (radio loss means some fragments
+/// never arrive).
 #[derive(Debug)]
 pub struct Defragmenter {
-    pending: HashMap<(u8, char, u8), PendingMessage>,
+    pending: HashMap<(u32, u8, char, u8), PendingMessage>,
     /// Arrival counter for LRU-ish eviction.
     clock: u64,
     max_pending: usize,
@@ -223,6 +229,19 @@ impl Defragmenter {
     /// of genuinely multi-part messages are copied into the pending
     /// buffer.
     pub fn push_fragment<'a>(&mut self, sentence: &AivdmFragment<'a>) -> Defragged<'a> {
+        self.push_fragment_from(0, sentence)
+    }
+
+    /// Feeds one parsed fragment received from the physical feed `source`.
+    /// Fragments only assemble with siblings from the *same* source:
+    /// interleaved multi-part messages from two TCP connections that happen
+    /// to share a sequence id and channel stay separate instead of
+    /// cross-assembling.
+    pub fn push_fragment_from<'a>(
+        &mut self,
+        source: u32,
+        sentence: &AivdmFragment<'a>,
+    ) -> Defragged<'a> {
         self.clock += 1;
         if sentence.total <= 1 {
             return Defragged::Single(sentence.payload, sentence.fill_bits);
@@ -231,6 +250,7 @@ impl Defragmenter {
             return Defragged::Pending; // malformed fragment index
         }
         let key = (
+            source,
             sentence.seq_id.unwrap_or(0),
             sentence.channel,
             sentence.total,
@@ -335,6 +355,54 @@ mod tests {
         let decoded = decode_static_voyage(&payload, fill).unwrap();
         assert_eq!(decoded, data);
         assert_eq!(defrag.pending(), 0);
+    }
+
+    #[test]
+    fn interleaved_sources_never_cross_assemble() {
+        // Two feeds, both transmitting a type-5 pair with the SAME sequence
+        // id and channel — exactly what two independent receivers produce,
+        // since every receiver numbers its own sequences from zero. The
+        // fragments interleave: a1, b1, a2, b2. Keyed per source, each pair
+        // assembles with its own sibling; keyed only by (seq, channel,
+        // total) the second first-fragment would overwrite the first and
+        // source A's message would complete with source B's opening half.
+        let a = sample();
+        let b = StaticVoyageData {
+            mmsi: Mmsi(239_111_222),
+            imo: 9_999_999,
+            callsign: "SW0XY".into(),
+            name: "AEGEAN GHOST".into(),
+            ship_type: 30, // fishing
+            draught_m: 2.4,
+            destination: "KALYMNOS".into(),
+        };
+        let [a1, a2] = encode_static_voyage(&a, 7);
+        let [b1, b2] = encode_static_voyage(&b, 7);
+        let sentences: Vec<_> = [&a1, &b1, &a2, &b2]
+            .into_iter()
+            .map(|s| parse_sentence(s).unwrap())
+            .collect();
+        let mut defrag = Defragmenter::default();
+        assert_eq!(
+            defrag.push_fragment_from(1, &sentences[0].as_fragment()),
+            Defragged::Pending
+        );
+        assert_eq!(
+            defrag.push_fragment_from(2, &sentences[1].as_fragment()),
+            Defragged::Pending
+        );
+        let done_a = defrag.push_fragment_from(1, &sentences[2].as_fragment());
+        let done_b = defrag.push_fragment_from(2, &sentences[3].as_fragment());
+        let Defragged::Complete(pa, fa) = done_a else {
+            panic!("source 1 pair must complete: {done_a:?}");
+        };
+        let Defragged::Complete(pb, fb) = done_b else {
+            panic!("source 2 pair must complete: {done_b:?}");
+        };
+        assert_eq!(decode_static_voyage(&pa, fa).unwrap(), a);
+        assert_eq!(decode_static_voyage(&pb, fb).unwrap(), b);
+        assert_eq!(defrag.pending(), 0);
+        assert_eq!(defrag.evicted_incomplete(), 0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ fn main() {
     }
     let all = [
         "fig6", "fig7", "fig8", "fig9", "fig10", "table4", "fig11", "baselines", "sharded",
-        "incremental", "chaos", "hotpath", "recognition",
+        "incremental", "chaos", "hotpath", "recognition", "ingest",
     ];
     let run_list: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -78,6 +78,7 @@ fn main() {
             "chaos" => chaos(),
             "hotpath" => hotpath(&workload, scale),
             "recognition" => recognition(&workload, scale),
+            "ingest" => ingest(scale),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -1017,6 +1018,112 @@ fn recognition(w: &Workload, scale: Scale) {
             "mes": mes,
             "queries": queries.len(),
             "legs": serde_json::Value::Object(json_legs),
+        }),
+    );
+}
+
+/// Sustained live-ingestion throughput: the `surveil serve` driver path
+/// (source mux → admission buffer → data scanner → live batcher →
+/// pipeline → wire encoder) driven from raw NMEA lines as fast as one
+/// thread can push them. This is the serve counterpart of `hotpath`:
+/// where `hotpath` times the batch legs in isolation, `ingest` times the
+/// resident server's whole per-line cost, sockets excluded.
+///
+/// Lines round-robin over three sources, and a slice of them is
+/// re-offered on a second source to exercise the cross-source duplicate
+/// suppression the server runs on every sentence. The wire event count
+/// must be identical across timed passes — a throughput number that
+/// changed recognition output is a bug, not a speedup.
+fn ingest(scale: Scale) {
+    use maritime::serve::LiveIngest;
+    use maritime_chaos::demo_sentences;
+    use maritime_stream::SourceId;
+
+    println!("== Live ingestion: `surveil serve` driver-path throughput ==");
+    let (scale_label, vessels_n, hours) = match scale {
+        Scale::Small => ("small", 30, 8),
+        Scale::Medium => ("medium", 40, 12),
+        Scale::Large => ("large", 80, 24),
+    };
+    let (lines, vessels) = demo_sentences(0xC4A05, vessels_n, hours);
+    let areas = generate_areas(&AreaGenConfig::default());
+    // The serve end-to-end test's windows: fast enough that the log
+    // crosses several recognition queries and emits CEs on the wire.
+    let config = SurveillanceConfig {
+        tracking_window: WindowSpec::new(Duration::minutes(30), Duration::minutes(5)).unwrap(),
+        recognition_window: WindowSpec::new(Duration::hours(2), Duration::minutes(30)).unwrap(),
+        ..SurveillanceConfig::default()
+    };
+    println!(
+        "  demo log: {} sentences, {} vessels over {hours} h",
+        lines.len(),
+        vessels.len()
+    );
+
+    // Every 64th line is re-offered on another source: two receivers
+    // relaying the same transponder, the dedup window's everyday case.
+    let run = || {
+        let mut live = LiveIngest::new(
+            &config,
+            vessels.clone(),
+            areas.clone(),
+            Duration::secs(120),
+            Duration::secs(10),
+        )
+        .expect("serve config validates");
+        let mut events = 0usize;
+        let t0 = Instant::now();
+        for (i, (t, line)) in lines.iter().enumerate() {
+            let src = SourceId((i % 3) as u32);
+            events += live.push_line(src, Timestamp(*t), line).len();
+            if i % 64 == 0 {
+                events += live.push_line(SourceId(3), Timestamp(*t), line).len();
+            }
+        }
+        events += live.flush().len();
+        let secs = t0.elapsed().as_secs_f64();
+        (secs, events, live.stats())
+    };
+
+    let reps: usize = std::env::var("FIG_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(5);
+    let _ = run(); // warm-up
+    let (mut best, events, stats) = run();
+    for _ in 1..reps {
+        let (secs, e, _) = run();
+        assert_eq!(e, events, "wire event count varied across timed passes");
+        best = best.min(secs);
+    }
+
+    let fed = stats.lines;
+    let lps = fed as f64 / best;
+    let mut table = TextTable::new(&["fed", "accepted", "deduped", "wire events", "CEs", "total (s)", "lines/s"]);
+    table.row(vec![
+        fed.to_string(),
+        stats.accepted.to_string(),
+        stats.duplicates.to_string(),
+        events.to_string(),
+        stats.ce_total.to_string(),
+        format!("{best:.3}"),
+        format!("{lps:.0}"),
+    ]);
+    println!("{}", table.render());
+    println!("expected shape: sustained lines/s far above any real AIS receiver's\nrate (the demo fleet averages a few lines/s of wall-clock time); every\nre-offered duplicate is dropped by the mux, and the wire event count is\na workload invariant across passes.\n");
+
+    save_json(
+        "ingest",
+        &serde_json::json!({
+            "scale": scale_label,
+            "lines_fed": fed,
+            "accepted": stats.accepted,
+            "duplicates": stats.duplicates,
+            "wire_events": events,
+            "ce_count": stats.ce_total,
+            "secs": best,
+            "lines_per_sec": lps,
         }),
     );
 }

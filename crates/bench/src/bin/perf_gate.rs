@@ -3,13 +3,15 @@
 //! Compares the most recent `figures` runs against every committed floor
 //! trajectory (`BENCH_<name>.json` at the repo root, one per gated
 //! benchmark) and fails if throughput fell below a floor by more than the
-//! tolerance band. Two benchmarks are gated today: `hotpath` (the
-//! decode→track stage, `figures hotpath`) and `recognition` (the CE
-//! stage, `figures recognition`).
+//! tolerance band. Three benchmarks are gated today: `hotpath` (the
+//! decode→track stage, `figures hotpath`), `recognition` (the CE
+//! stage, `figures recognition`), and `ingest` (the `surveil serve`
+//! driver path, `figures ingest`).
 //!
 //! ```text
 //! cargo run --release -p maritime-bench --bin figures -- hotpath
 //! cargo run --release -p maritime-bench --bin figures -- recognition
+//! cargo run --release -p maritime-bench --bin figures -- ingest
 //! cargo run --release -p maritime-bench --bin perf_gate
 //! PERF_BLESS=1 cargo run --release -p maritime-bench --bin perf_gate
 //! ```
@@ -37,7 +39,7 @@ use serde_json::{json, Value};
 
 /// Gated benchmarks: floor `BENCH_<name>.json`, result
 /// `bench-results/<name>.json`, both produced by `figures <name>`.
-const BENCHES: [&str; 2] = ["hotpath", "recognition"];
+const BENCHES: [&str; 3] = ["hotpath", "recognition", "ingest"];
 const DEFAULT_TOLERANCE: f64 = 0.70;
 
 fn read_json(path: &str) -> Option<Value> {

@@ -56,6 +56,74 @@ pub fn calm_sentences(seed: u64, vessels: usize, hours: i64) -> (Vec<StreamLine>
     })
 }
 
+/// Builds the demo stream of [`demo_sentences`] *tagged by physical
+/// source*: vessel `i`'s declaration and every one of its reports arrive
+/// on source `1 + (i % n_sources)`, so each multi-fragment declaration
+/// stays on one connection and silencing a source silences a known vessel
+/// set. Returns the sourced stream (connection ids per
+/// [`crate::socket::SOURCE_STRIDE`]), the fleet's static facts, and the
+/// MMSIs carried by each source (index 0 = source 1).
+///
+/// Stripping the source tags yields exactly the [`demo_sentences`] stream
+/// — the sourced world is the same world, observed through `n` sockets.
+#[must_use]
+pub fn sourced_demo_sentences(
+    seed: u64,
+    vessels: usize,
+    hours: i64,
+    n_sources: u32,
+) -> (
+    Vec<crate::socket::SourcedLine>,
+    Vec<VesselInfo>,
+    Vec<std::collections::BTreeSet<u32>>,
+) {
+    use crate::socket::SOURCE_STRIDE;
+    let n = n_sources.max(1);
+    // Rebuild the demo world line by line, tagging each at construction —
+    // the streams stay identical because the sort key is the same.
+    let sim = FleetSimulator::new(FleetConfig {
+        vessels,
+        duration: Duration::hours(hours),
+        seed,
+        rogue_fraction: 1.0,
+        fishing_fraction: 0.5,
+        ..FleetConfig::default()
+    });
+    let mut lines: Vec<crate::socket::SourcedLine> = Vec::new();
+    let mut mmsi_by_source: Vec<std::collections::BTreeSet<u32>> =
+        vec![std::collections::BTreeSet::new(); n as usize];
+    let mut source_by_mmsi: std::collections::HashMap<u32, u32> =
+        std::collections::HashMap::new();
+    for (i, profile) in sim.profiles().iter().enumerate() {
+        let source = 1 + (i as u32 % n);
+        mmsi_by_source[(source - 1) as usize].insert(profile.mmsi.0);
+        source_by_mmsi.insert(profile.mmsi.0, source);
+        let data = StaticVoyageData {
+            mmsi: profile.mmsi,
+            imo: 9_000_000 + i as u32,
+            callsign: format!("SV{i:04}"),
+            name: format!("CHAOS VESSEL {i}"),
+            ship_type: if profile.is_fishing { 30 } else { 70 },
+            draught_m: profile.draft_m,
+            destination: String::new(),
+        };
+        let [s1, s2] = encode_static_voyage(&data, (i % 10) as u8);
+        lines.push((source * SOURCE_STRIDE, i as i64, s1));
+        lines.push((source * SOURCE_STRIDE, i as i64, s2));
+    }
+    for report in sim.generate() {
+        let source = source_by_mmsi[&report.mmsi.0];
+        lines.push((
+            source * SOURCE_STRIDE,
+            report.timestamp.as_secs(),
+            encode_report(&report),
+        ));
+    }
+    lines.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.2.cmp(&b.2)));
+    let infos = sim.profiles().iter().map(VesselInfo::from).collect();
+    (lines, infos, mmsi_by_source)
+}
+
 fn sentences_for(config: FleetConfig) -> (Vec<StreamLine>, Vec<VesselInfo>) {
     let sim = FleetSimulator::new(config);
     let mut lines: Vec<StreamLine> = Vec::new();
@@ -95,6 +163,27 @@ mod tests {
         assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
         // 16 declaration fragments plus a healthy report volume.
         assert!(a.len() > 100, "{} lines", a.len());
+    }
+
+    #[test]
+    fn sourced_stream_is_the_demo_stream_with_tags() {
+        let (sourced, vessels, mmsis) = sourced_demo_sentences(0xF1EE7, 12, 2, 3);
+        let (plain, _) = demo_sentences(0xF1EE7, 12, 2);
+        let stripped: Vec<StreamLine> =
+            sourced.iter().map(|(_, t, l)| (*t, l.clone())).collect();
+        assert_eq!(stripped, plain, "same world, observed through sockets");
+        assert_eq!(vessels.len(), 12);
+        assert_eq!(mmsis.len(), 3);
+        assert_eq!(mmsis.iter().map(std::collections::BTreeSet::len).sum::<usize>(), 12);
+        // Every fragment pair rides one connection: scanning per source
+        // must assemble all twelve declarations with nothing pending.
+        let mut scanner = maritime_ais::DataScanner::new();
+        for (conn, t, line) in &sourced {
+            scanner.scan_from(*conn, line, maritime_stream::Timestamp(*t));
+        }
+        assert_eq!(scanner.stats().voyage_declarations, 12);
+        // Nothing left half-assembled at end of stream.
+        assert_eq!(scanner.finish(maritime_stream::Timestamp(i64::MAX)), 0);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //! When an oracle fails, [`shrink`] bisects the op list (delta debugging)
 //! to a minimal reproducing plan. The `surveil chaos` subcommand drives
 //! the whole loop; `TESTING.md` documents how to replay its artifacts.
+//!
+//! The [`socket`] module extends the same discipline to transport faults:
+//! mid-sentence disconnects, half-open sources, and reconnect storms over
+//! a multi-connection stream (`surveil serve`'s input shape), judged by
+//! the same oracles via the core crate's sourced chaos runner.
 
 #![warn(missing_docs)]
 
@@ -34,10 +39,12 @@ pub mod perturb;
 pub mod plan;
 pub mod rng;
 pub mod shrink;
+pub mod socket;
 
-pub use gen::{calm_sentences, demo_sentences};
+pub use gen::{calm_sentences, demo_sentences, sourced_demo_sentences};
 pub use oracle::{CeObservation, OracleViolation, QuerySnapshot};
 pub use perturb::{Perturbation, PerturbStats, StreamLine};
 pub use plan::{ChaosOp, ChaosPlan};
 pub use rng::ChaosRng;
 pub use shrink::shrink_plan;
+pub use socket::{SocketOp, SocketPlan, SocketStats, SourcedLine};

@@ -1,0 +1,483 @@
+//! Socket-level fault injection: the transport hostilities a resident
+//! `surveil serve` ingests through, modelled deterministically.
+//!
+//! The stream perturbations in [`crate::perturb`] damage *sentences*; the
+//! ops here damage *connections*. A sourced stream is a list of
+//! `(connection_id, arrival_secs, sentence)` triples — the shape the
+//! server's listener layer hands to admission — and every op is a pure
+//! function of its parameters plus the plan seed, so a socket fault
+//! schedule replays bit-exact just like a [`crate::ChaosPlan`].
+//!
+//! The op semantics mirror what the real listener does (see `SERVING.md`):
+//!
+//! * a **mid-sentence cut** leaves a partial line in the read buffer; the
+//!   server discards it, so the model removes that line and re-tags the
+//!   source's later lines with a fresh connection id (defragmenter state
+//!   does not survive a reconnect);
+//! * a **half-open** source goes silent without closing — its remaining
+//!   lines are simply lost;
+//! * a **reconnect storm** cuts on clean line boundaries and retransmits
+//!   the last few lines after each reconnect, producing exactly the
+//!   cross-connection duplicates the per-source dedup layer must absorb;
+//! * a **bounded reorder** models per-connection receive scheduling: the
+//!   kernel may interleave concurrent sources' deliveries within the
+//!   admission skew.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::{mix64, ChaosRng};
+
+/// One `(connection_id, arrival_secs, sentence)` element of a sourced
+/// stream. Connection ids encode their physical source: source `s`'s
+/// first connection is `s * SOURCE_STRIDE`, and each reconnect bumps the
+/// id by one, so `id / SOURCE_STRIDE` always recovers the source.
+pub type SourcedLine = (u32, i64, String);
+
+/// Connection-id stride per physical source (room for reconnects).
+pub const SOURCE_STRIDE: u32 = 1000;
+
+/// The physical source behind a connection id.
+#[must_use]
+pub fn source_of(connection: u32) -> u32 {
+    connection / SOURCE_STRIDE
+}
+
+/// One socket-level fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SocketOp {
+    /// Cut source `source`'s connection mid-sentence at the given stream
+    /// fraction: the in-flight line loses its tail (the server discards
+    /// the partial), and the source reconnects as a fresh connection.
+    CutMidSentence {
+        /// The physical source to cut.
+        source: u32,
+        /// Cut position as a per-mille fraction of the source's lines.
+        at_per_mille: u32,
+    },
+    /// The source goes silent at the given fraction without ever closing
+    /// the socket; everything it would have sent afterwards is lost.
+    /// `at_per_mille: 0` silences the source entirely — the socket
+    /// analogue of [`crate::ChaosOp::DropVessels`] when sources are
+    /// distributed by vessel.
+    HalfOpen {
+        /// The physical source that goes half-open.
+        source: u32,
+        /// Silence position as a per-mille fraction of the source's lines.
+        at_per_mille: u32,
+    },
+    /// `times` evenly spaced clean disconnects; after each, the source
+    /// reconnects (fresh connection id) and retransmits its last `resend`
+    /// lines. Loses nothing, duplicates plenty — CE-preserving.
+    ReconnectStorm {
+        /// The physical source that flaps.
+        source: u32,
+        /// Number of disconnect/reconnect cycles.
+        times: u32,
+        /// Lines retransmitted after each reconnect.
+        resend: u32,
+    },
+    /// Permute arrival order across all sources with displacement at most
+    /// `skew_secs` (the sourced analogue of [`crate::ChaosOp::Reorder`]):
+    /// within the admission skew this must be invisible.
+    Reorder {
+        /// Maximum arrival displacement, seconds.
+        skew_secs: i64,
+    },
+}
+
+impl SocketOp {
+    /// Short stable name, used in logs and stats.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SocketOp::CutMidSentence { .. } => "cut_mid_sentence",
+            SocketOp::HalfOpen { .. } => "half_open",
+            SocketOp::ReconnectStorm { .. } => "reconnect_storm",
+            SocketOp::Reorder { .. } => "reorder",
+        }
+    }
+
+    fn tag(&self) -> u64 {
+        match self {
+            SocketOp::CutMidSentence { .. } => 0x11,
+            SocketOp::HalfOpen { .. } => 0x12,
+            SocketOp::ReconnectStorm { .. } => 0x13,
+            SocketOp::Reorder { .. } => 0x14,
+        }
+    }
+
+    /// Whether this op is CE-preserving: it loses no sentence and keeps
+    /// arrival displacement within the admission skew. Only clean-boundary
+    /// reconnect storms (pure duplication) and bounded reorders qualify.
+    #[must_use]
+    pub fn preserves_ces(&self, admission_skew_secs: i64) -> bool {
+        match self {
+            SocketOp::ReconnectStorm { .. } => true,
+            SocketOp::Reorder { skew_secs } => *skew_secs <= admission_skew_secs,
+            _ => false,
+        }
+    }
+
+    /// When this op silences a source from the very first line, returns
+    /// that source — the case where the vessel-projection oracle applies
+    /// (everything the source carried is gone, nothing else is touched).
+    #[must_use]
+    pub fn silences_source(&self) -> Option<u32> {
+        match self {
+            SocketOp::HalfOpen {
+                source,
+                at_per_mille: 0,
+            } => Some(*source),
+            _ => None,
+        }
+    }
+}
+
+/// A replayable socket fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocketPlan {
+    /// Master seed; each op derives its own RNG stream from it.
+    pub seed: u64,
+    /// Faults, applied in order.
+    pub ops: Vec<SocketOp>,
+}
+
+/// What applying a [`SocketPlan`] did to a sourced stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SocketStats {
+    /// Ops applied (the plan length).
+    pub ops_applied: usize,
+    /// Connection cuts (mid-sentence + storm cycles + half-opens).
+    pub cuts: u64,
+    /// Lines lost to a mid-sentence truncation.
+    pub truncated: u64,
+    /// Lines lost to a half-open tail.
+    pub lost: u64,
+    /// Duplicate lines retransmitted after reconnects.
+    pub resent: u64,
+    /// Lines displaced in arrival order by reorders.
+    pub displaced: u64,
+}
+
+impl SocketPlan {
+    /// A plan from parts.
+    #[must_use]
+    pub fn new(seed: u64, ops: Vec<SocketOp>) -> Self {
+        Self { seed, ops }
+    }
+
+    /// Serializes to JSON (CI artifacts).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plan serializes")
+    }
+
+    /// Parses a plan from JSON.
+    ///
+    /// # Errors
+    /// If the JSON is not a valid socket plan.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Whether every op is CE-preserving under the given admission skew.
+    #[must_use]
+    pub fn preserves_ces(&self, admission_skew_secs: i64) -> bool {
+        self.ops
+            .iter()
+            .all(|op| op.preserves_ces(admission_skew_secs))
+    }
+
+    /// Sources silenced from their first line by this plan (see
+    /// [`SocketOp::silences_source`]).
+    #[must_use]
+    pub fn silenced_sources(&self) -> Vec<u32> {
+        self.ops.iter().filter_map(SocketOp::silences_source).collect()
+    }
+
+    /// Generates a CE-preserving plan: 1–2 reconnect storms plus possibly
+    /// a bounded reorder — the socket analogue of
+    /// [`crate::ChaosPlan::equivalence`].
+    #[must_use]
+    pub fn storm(seed: u64, n_sources: u32, admission_skew_secs: i64) -> Self {
+        let mut rng = ChaosRng::new(mix64(seed ^ 0x50C4));
+        let mut ops: Vec<SocketOp> = (0..=rng.below(2))
+            .map(|_| SocketOp::ReconnectStorm {
+                source: 1 + rng.below(u64::from(n_sources.max(1))) as u32,
+                times: 1 + rng.below(3) as u32,
+                resend: 1 + rng.below(4) as u32,
+            })
+            .collect();
+        if rng.chance(500) {
+            ops.push(SocketOp::Reorder {
+                skew_secs: rng.range_i64(1, admission_skew_secs.max(1)),
+            });
+        }
+        Self::new(seed, ops)
+    }
+
+    /// Generates a hostile plan: 2–3 ops of any kind. The input to the
+    /// cross-engine agreement oracle.
+    #[must_use]
+    pub fn hostile(seed: u64, n_sources: u32) -> Self {
+        let mut rng = ChaosRng::new(mix64(seed ^ 0x50C5));
+        let n = 2 + rng.below(2) as usize;
+        let ops = (0..n)
+            .map(|_| {
+                let source = 1 + rng.below(u64::from(n_sources.max(1))) as u32;
+                match rng.below(4) {
+                    0 => SocketOp::CutMidSentence {
+                        source,
+                        at_per_mille: 100 + rng.below(800) as u32,
+                    },
+                    1 => SocketOp::HalfOpen {
+                        source,
+                        at_per_mille: 200 + rng.below(700) as u32,
+                    },
+                    2 => SocketOp::ReconnectStorm {
+                        source,
+                        times: 1 + rng.below(4) as u32,
+                        resend: rng.below(5) as u32,
+                    },
+                    _ => SocketOp::Reorder {
+                        skew_secs: rng.range_i64(30, 600),
+                    },
+                }
+            })
+            .collect();
+        Self::new(seed, ops)
+    }
+
+    /// The RNG for op number `index` — position- and variant-seeded like
+    /// [`crate::ChaosPlan::op_rng`], so shrinking never re-randomizes
+    /// surviving ops.
+    #[must_use]
+    pub fn op_rng(&self, index: usize, op: &SocketOp) -> ChaosRng {
+        ChaosRng::new(mix64(self.seed ^ (index as u64).wrapping_mul(0x9E37) ^ op.tag()))
+    }
+
+    /// Applies every op in order. Pure: same plan + same stream → same
+    /// perturbed stream, forever.
+    #[must_use]
+    pub fn apply(&self, lines: &[SourcedLine]) -> (Vec<SourcedLine>, SocketStats) {
+        let mut out: Vec<SourcedLine> = lines.to_vec();
+        let mut stats = SocketStats::default();
+        for (index, op) in self.ops.iter().enumerate() {
+            let rng = self.op_rng(index, op);
+            out = apply_op(op, rng, out, &mut stats);
+            stats.ops_applied += 1;
+        }
+        (out, stats)
+    }
+}
+
+/// Positions (indices into `lines`) carried by physical source `source`.
+fn positions_of(lines: &[SourcedLine], source: u32) -> Vec<usize> {
+    lines
+        .iter()
+        .enumerate()
+        .filter(|(_, (conn, _, _))| source_of(*conn) == source)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Reconnect: bump the connection generation of every line of `source`
+/// at stream position ≥ `from`.
+fn reconnect_after(lines: &mut [SourcedLine], source: u32, from: usize) {
+    for (conn, _, _) in lines[from..]
+        .iter_mut()
+        .filter(|(conn, _, _)| source_of(*conn) == source)
+    {
+        *conn += 1;
+    }
+}
+
+fn apply_op(
+    op: &SocketOp,
+    mut rng: ChaosRng,
+    mut lines: Vec<SourcedLine>,
+    stats: &mut SocketStats,
+) -> Vec<SourcedLine> {
+    match *op {
+        SocketOp::CutMidSentence { source, at_per_mille } => {
+            let pos = positions_of(&lines, source);
+            if pos.is_empty() {
+                return lines;
+            }
+            let cut = pos[(pos.len() - 1).min(pos.len() * at_per_mille.min(999) as usize / 1000)];
+            // The in-flight line's tail never arrives; the server discards
+            // the partial and the source comes back as a new connection.
+            lines.remove(cut);
+            reconnect_after(&mut lines, source, cut);
+            stats.cuts += 1;
+            stats.truncated += 1;
+            lines
+        }
+        SocketOp::HalfOpen { source, at_per_mille } => {
+            let pos = positions_of(&lines, source);
+            if pos.is_empty() {
+                return lines;
+            }
+            let from = pos.len() * at_per_mille.min(999) as usize / 1000;
+            let dead: std::collections::BTreeSet<usize> = pos[from..].iter().copied().collect();
+            stats.cuts += 1;
+            stats.lost += dead.len() as u64;
+            lines
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| !dead.contains(i))
+                .map(|(_, l)| l)
+                .collect()
+        }
+        SocketOp::ReconnectStorm { source, times, resend } => {
+            for k in 1..=u64::from(times) {
+                let pos = positions_of(&lines, source);
+                if pos.len() < 2 {
+                    break;
+                }
+                // Cut on a clean line boundary at the k-th evenly spaced
+                // position, then retransmit the last `resend` lines on the
+                // fresh connection.
+                let cut_at = pos[(pos.len() as u64 * k / (u64::from(times) + 1)) as usize];
+                reconnect_after(&mut lines, source, cut_at);
+                let replay: Vec<SourcedLine> = pos
+                    .iter()
+                    .rev()
+                    .skip_while(|&&i| i >= cut_at)
+                    .take(resend as usize)
+                    .map(|&i| lines[i].clone())
+                    .collect();
+                let new_conn = lines[cut_at].0;
+                for (offset, (_, t, line)) in replay.into_iter().rev().enumerate() {
+                    lines.insert(cut_at + offset, (new_conn, t, line));
+                    stats.resent += 1;
+                }
+                stats.cuts += 1;
+            }
+            lines
+        }
+        SocketOp::Reorder { skew_secs } => {
+            let mut keyed: Vec<(i64, SourcedLine)> = lines
+                .into_iter()
+                .map(|l| {
+                    let u = rng.range_i64(0, skew_secs.max(0));
+                    if u != 0 {
+                        stats.displaced += 1;
+                    }
+                    (l.1 + u, l)
+                })
+                .collect();
+            keyed.sort_by_key(|(k, _)| *k); // stable: ties keep order
+            keyed.into_iter().map(|(_, l)| l).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n_per_source: usize, sources: u32) -> Vec<SourcedLine> {
+        let mut lines = Vec::new();
+        for i in 0..n_per_source {
+            for s in 1..=sources {
+                lines.push((s * SOURCE_STRIDE, (i * 10) as i64, format!("s{s}-line{i}")));
+            }
+        }
+        lines
+    }
+
+    #[test]
+    fn json_roundtrip_every_variant() {
+        let plan = SocketPlan::new(
+            7,
+            vec![
+                SocketOp::CutMidSentence { source: 1, at_per_mille: 500 },
+                SocketOp::HalfOpen { source: 2, at_per_mille: 0 },
+                SocketOp::ReconnectStorm { source: 1, times: 3, resend: 2 },
+                SocketOp::Reorder { skew_secs: 60 },
+            ],
+        );
+        assert_eq!(SocketPlan::from_json(&plan.to_json()).unwrap(), plan);
+        assert!(!plan.preserves_ces(120));
+        assert_eq!(plan.silenced_sources(), vec![2]);
+    }
+
+    #[test]
+    fn cut_mid_sentence_loses_exactly_one_line_and_reconnects() {
+        let lines = stream(10, 2);
+        let plan = SocketPlan::new(
+            0,
+            vec![SocketOp::CutMidSentence { source: 1, at_per_mille: 500 }],
+        );
+        let (out, stats) = plan.apply(&lines);
+        assert_eq!(out.len(), lines.len() - 1);
+        assert_eq!(stats.truncated, 1);
+        // Source 1's later lines are on a fresh connection; source 2's
+        // untouched.
+        assert!(out.iter().any(|(c, _, _)| *c == SOURCE_STRIDE + 1));
+        assert!(out.iter().all(|(c, _, _)| source_of(*c) != 2 || *c == 2 * SOURCE_STRIDE));
+    }
+
+    #[test]
+    fn half_open_at_zero_silences_the_source() {
+        let lines = stream(10, 2);
+        let plan = SocketPlan::new(0, vec![SocketOp::HalfOpen { source: 2, at_per_mille: 0 }]);
+        let (out, stats) = plan.apply(&lines);
+        assert_eq!(stats.lost, 10);
+        assert!(out.iter().all(|(c, _, _)| source_of(*c) == 1));
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn reconnect_storm_loses_nothing_and_duplicates_cleanly() {
+        let lines = stream(12, 2);
+        let plan = SocketPlan::new(
+            3,
+            vec![SocketOp::ReconnectStorm { source: 1, times: 2, resend: 3 }],
+        );
+        let (out, stats) = plan.apply(&lines);
+        assert_eq!(stats.lost, 0);
+        assert_eq!(stats.truncated, 0);
+        assert_eq!(stats.resent, 6);
+        assert_eq!(out.len(), lines.len() + 6);
+        // Every original sentence survives, in per-source order.
+        let survived: Vec<&str> = out
+            .iter()
+            .filter(|(c, _, _)| source_of(*c) == 1)
+            .map(|(_, _, l)| l.as_str())
+            .collect();
+        for i in 0..12 {
+            assert!(survived.contains(&format!("s1-line{i}").as_str()));
+        }
+        // Retransmits ride the post-reconnect connection id.
+        assert!(out.iter().any(|(c, _, _)| *c > SOURCE_STRIDE && source_of(*c) == 1));
+    }
+
+    #[test]
+    fn reorder_is_bounded_and_deterministic() {
+        let lines = stream(30, 3);
+        let plan = SocketPlan::new(11, vec![SocketOp::Reorder { skew_secs: 15 }]);
+        let (a, _) = plan.apply(&lines);
+        let (b, _) = plan.apply(&lines);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), lines.len());
+        // Same multiset of lines.
+        let mut sa: Vec<_> = a.iter().map(|(_, _, l)| l.clone()).collect();
+        let mut sb: Vec<_> = lines.iter().map(|(_, _, l)| l.clone()).collect();
+        sa.sort();
+        sb.sort();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for seed in 0..20 {
+            assert_eq!(SocketPlan::storm(seed, 3, 120), SocketPlan::storm(seed, 3, 120));
+            assert_eq!(SocketPlan::hostile(seed, 3), SocketPlan::hostile(seed, 3));
+            assert!(SocketPlan::storm(seed, 3, 120).preserves_ces(120));
+            let h = SocketPlan::hostile(seed, 3);
+            assert!((2..=3).contains(&h.ops.len()));
+        }
+    }
+}

@@ -84,6 +84,12 @@ fn parse_args() -> Options {
     if args.first().map(String::as_str) == Some("chaos") {
         cmd_chaos(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        cmd_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("feed") {
+        cmd_feed(&args[1..]);
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -144,7 +150,10 @@ fn parse_args() -> Options {
                      [--flight-dump FILE] [--deadline-ms N]\n       \
                      surveil explain [CE-ID] [--chains FILE]\n       \
                      surveil chaos [--seed N] [--plans N] [--vessels N] \
-                     [--hours N] [--skew SECS] [--plan FILE] [--out DIR]"
+                     [--hours N] [--skew SECS] [--plan FILE] [--out DIR]\n       \
+                     surveil serve [FLAGS]   (see SERVING.md)\n       \
+                     surveil feed (--demo V H | --input FILE | --control NAME) \
+                     --to HOST:PORT [--rate N] [--flush]"
                 );
                 std::process::exit(0);
             }
@@ -328,6 +337,165 @@ fn cmd_chaos(args: &[String]) -> ! {
         eprintln!("batch {}/{plans}: equivalence+hostile+vessel-drop ok", i + 1);
     }
     eprintln!("all oracles held on {} plans", plans * 3);
+    std::process::exit(0);
+}
+
+/// `surveil serve`: the resident live-ingestion server. Binds the flagged
+/// listeners, prints each bound address on stderr, and runs until a
+/// `#shutdown` control line arrives (or `--run-secs` elapses). All
+/// protocol semantics are specified in `SERVING.md`.
+fn cmd_serve(args: &[String]) -> ! {
+    use maritime::serve::cli::{demo_fleet, parse_fleet_json, ServeCli};
+
+    let cli = ServeCli::parse(args).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(2);
+    });
+    let vessels = match (&cli.demo_fleet, &cli.fleet) {
+        (Some(n), _) => {
+            eprintln!("serve: knowledge base = demo fleet of {n} vessel(s)");
+            demo_fleet(*n)
+        }
+        (None, Some(path)) => {
+            let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("serve: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let fleet = parse_fleet_json(&body).unwrap_or_else(|e| {
+                eprintln!("serve: {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("serve: knowledge base = {} vessel(s) from {path}", fleet.len());
+            fleet
+        }
+        (None, None) => {
+            eprintln!(
+                "serve: no --demo-fleet/--fleet; vessel-knowledge predicates \
+                 (shallow, fishing designation) stay inert"
+            );
+            Vec::new()
+        }
+    };
+    let areas = generate_areas(&AreaGenConfig::default());
+    let opts = cli.serve_options(vessels, areas).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(2);
+    });
+    flight::install_panic_hook();
+    let handle = maritime::serve::start(opts).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    });
+    if let Some(addr) = handle.nmea_tcp {
+        eprintln!("serve: nmea-in tcp on {addr}");
+    }
+    if let Some(addr) = handle.nmea_udp {
+        eprintln!("serve: nmea-in udp on {addr}");
+    }
+    if let Some(addr) = handle.subscribe {
+        eprintln!("serve: ce-out subscribers on {addr}");
+    }
+    if let Some(addr) = handle.http {
+        eprintln!("serve: http (/metrics, /sources, /events) on {addr}");
+    }
+    let deadline = cli
+        .run_secs
+        .map(|s| std::time::Instant::now() + std::time::Duration::from_secs(s));
+    while !handle.is_shutdown() {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            eprintln!("serve: --run-secs elapsed, shutting down");
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("serve: draining ({} subscriber(s) connected)", handle.hub().subscriber_count());
+    let stats = handle.ingest_stats();
+    handle.join();
+    eprintln!(
+        "serve: done — {} lines, {} accepted, {} filtered, {} duplicates, {} queries, {} CEs",
+        stats.lines, stats.accepted, stats.filtered, stats.duplicates, stats.queries, stats.ce_total
+    );
+    std::process::exit(0);
+}
+
+/// `surveil feed`: streams an NMEA log (demo or file) to a running server
+/// over TCP in the `<epoch-secs> <sentence>` line format, or sends a bare
+/// control line (`--control flush|shutdown`).
+fn cmd_feed(args: &[String]) -> ! {
+    use maritime::serve::cli::FeedCli;
+    use std::io::Write;
+
+    let cli = FeedCli::parse(args).unwrap_or_else(|e| {
+        eprintln!("feed: {e}");
+        std::process::exit(2);
+    });
+    let addr = cli.to.as_deref().expect("parse enforces --to");
+    // The server may still be binding when a scripted feed starts; retry
+    // briefly before declaring it unreachable.
+    let mut stream = None;
+    for _ in 0..40 {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(250)),
+        }
+    }
+    let Some(stream) = stream else {
+        eprintln!("feed: cannot connect to {addr}");
+        std::process::exit(1);
+    };
+    let mut stream = std::io::BufWriter::new(stream);
+
+    if let Some(name) = &cli.control {
+        let line = match name.as_str() {
+            "flush" => maritime::serve::CONTROL_FLUSH,
+            "shutdown" => maritime::serve::CONTROL_SHUTDOWN,
+            other => {
+                eprintln!("feed: unknown control {other:?} (flush, shutdown)");
+                std::process::exit(2);
+            }
+        };
+        writeln!(stream, "{line}").and_then(|()| stream.flush()).unwrap_or_else(|e| {
+            eprintln!("feed: send failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("feed: sent {line} to {addr}");
+        std::process::exit(0);
+    }
+
+    let lines = match (&cli.demo, &cli.input) {
+        (Some((v, h)), _) => {
+            eprintln!("feed: demo stream, {v} vessels over {h} h");
+            demo_log(*v, *h).0
+        }
+        (None, Some(path)) => read_log(path),
+        (None, None) => unreachable!("parse enforces a source"),
+    };
+    let pause = (cli.rate > 0).then(|| std::time::Duration::from_nanos(1_000_000_000 / cli.rate));
+    let mut sent = 0u64;
+    for (t, sentence) in &lines {
+        if let Err(e) = writeln!(stream, "{t} {sentence}") {
+            eprintln!("feed: connection lost after {sent} lines: {e}");
+            std::process::exit(1);
+        }
+        sent += 1;
+        if let Some(pause) = pause {
+            // BufWriter batching defeats a throttle; flush per line.
+            let _ = stream.flush();
+            std::thread::sleep(pause);
+        }
+    }
+    if cli.flush {
+        let _ = writeln!(stream, "{}", maritime::serve::CONTROL_FLUSH);
+    }
+    stream.flush().unwrap_or_else(|e| {
+        eprintln!("feed: final flush failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("feed: {sent} line(s) sent to {addr}{}", if cli.flush { " + #flush" } else { "" });
     std::process::exit(0);
 }
 

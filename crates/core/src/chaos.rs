@@ -17,14 +17,22 @@
 //! `chaos_*` integration tests, so a plan minimized in CI replays under
 //! exactly the machinery the tests exercise.
 
+use std::collections::BTreeSet;
+
 use maritime_ais::{DataScanner, PositionTuple, ScanStats};
 use maritime_cer::VesselInfo;
 use maritime_chaos::oracle::{check_agreement, check_identical, check_vessel_projection};
-use maritime_chaos::{demo_sentences, CeObservation, ChaosPlan, OracleViolation, StreamLine};
+use maritime_chaos::socket::{SocketPlan, SourcedLine};
+use maritime_chaos::{
+    demo_sentences, sourced_demo_sentences, CeObservation, ChaosPlan, OracleViolation, StreamLine,
+};
 use maritime_geo::aegean::{generate_areas, AreaGenConfig};
 use maritime_geo::Area;
 use maritime_rtec::IncrementalStats;
-use maritime_stream::{AdmissionBuffer, AdmissionStats, Duration, Timestamp, WindowSpec};
+use maritime_stream::{
+    AdmissionBuffer, AdmissionStats, Duration, SourceId, SourceMux, SourceVerdict, Timestamp,
+    WindowSpec,
+};
 
 use crate::config::{SurveillanceConfig, TraceMode};
 use crate::pipeline::SurveillancePipeline;
@@ -105,6 +113,10 @@ pub struct ChaosHarness {
     /// Recognition bands (1 = single recognizer). The late-arrival
     /// coverage test raises this to check per-band fallback accounting.
     pub recognition_bands: usize,
+    /// Cross-source duplicate-suppression window for sourced (socket)
+    /// runs, seconds — mirrors `surveil serve --dedup-secs`. Zero
+    /// disables; the plain single-source runner never dedups.
+    pub dedup_window_secs: i64,
 }
 
 impl Default for ChaosHarness {
@@ -120,6 +132,7 @@ impl Default for ChaosHarness {
             hours: 12,
             admission_skew_secs: 120,
             recognition_bands: 1,
+            dedup_window_secs: 10,
         }
     }
 }
@@ -207,6 +220,128 @@ impl ChaosHarness {
             admission: admission.stats(),
             incremental: pipeline.incremental_stats(),
         }
+    }
+
+    /// The deterministic baseline stream observed through `n_sources`
+    /// sockets (vessels distributed round-robin), plus the fleet facts
+    /// and each source's MMSI set — the world socket plans perturb.
+    #[must_use]
+    pub fn sourced_baseline(
+        &self,
+        n_sources: u32,
+    ) -> (Vec<SourcedLine>, Vec<VesselInfo>, Vec<BTreeSet<u32>>) {
+        sourced_demo_sentences(self.seed, self.vessels, self.hours, n_sources)
+    }
+
+    /// Runs one *sourced* stream through one engine, mirroring the
+    /// `surveil serve` data path exactly: per-source syntactic filtering
+    /// and cross-source dedup ([`SourceMux`]), admission reordering repair
+    /// over `(line, connection)` pairs, and per-connection defragmenter
+    /// keying ([`DataScanner::scan_from`]). The batch runner and the live
+    /// server must recognize identically — this is the harness half of
+    /// that contract (the server half is the end-to-end serve test).
+    ///
+    /// # Panics
+    /// If the pipeline configuration fails validation (a harness bug, not
+    /// an input property).
+    #[must_use]
+    pub fn run_sourced(
+        &self,
+        lines: &[SourcedLine],
+        vessels: &[VesselInfo],
+        engine: ChaosEngine,
+    ) -> EngineRun {
+        let config = self.config(engine);
+        let mut pipeline = SurveillancePipeline::new(&config, vessels.to_vec(), self.areas())
+            .expect("chaos harness config must validate");
+
+        let mut mux = SourceMux::new(Duration::secs(self.dedup_window_secs));
+        let mut admission: AdmissionBuffer<(String, u32)> =
+            AdmissionBuffer::new(Duration::secs(self.admission_skew_secs));
+        let mut scanner = DataScanner::new();
+        let mut tuples: Vec<PositionTuple> = Vec::new();
+        let scan_admitted = |scanner: &mut DataScanner,
+                             tuples: &mut Vec<PositionTuple>,
+                             batch: Vec<(Timestamp, (String, u32))>| {
+            for (t, (line, conn)) in batch {
+                if let Some(tuple) = scanner.scan_from(conn, &line, t) {
+                    tuples.push(tuple);
+                }
+            }
+        };
+        let mut last_t = Timestamp::ZERO;
+        for (conn, t, line) in lines {
+            let t = Timestamp(*t);
+            if mux.admit(SourceId(*conn), t, line) != SourceVerdict::Accepted {
+                continue;
+            }
+            last_t = last_t.max(t);
+            let released = admission.push(t, (line.clone(), *conn));
+            scan_admitted(&mut scanner, &mut tuples, released);
+        }
+        scan_admitted(&mut scanner, &mut tuples, admission.flush());
+        scanner.finish(last_t);
+
+        let mut observation = CeObservation::new();
+        pipeline.run_with_observer(tuples, |outcome| {
+            if let Some(summary) = &outcome.recognition {
+                observation.record_summary(summary);
+            }
+        });
+        EngineRun {
+            observation,
+            scan: scanner.stats(),
+            admission: admission.stats(),
+            incremental: pipeline.incremental_stats(),
+        }
+    }
+
+    /// Applies every oracle a socket plan is eligible for, over the
+    /// `n_sources`-socket world:
+    ///
+    /// * **equivalence** when every op is CE-preserving (reconnect storms,
+    ///   bounded reorders) — the sourced run must match the plain
+    ///   single-source baseline byte for byte;
+    /// * **vessel projection** when the plan silences whole sources from
+    ///   their first line — exactly those sources' vessels may disappear,
+    ///   nothing may appear;
+    /// * **cross-engine agreement** always — all four engines must degrade
+    ///   identically through socket faults.
+    ///
+    /// # Errors
+    /// The first violation found.
+    pub fn check_socket_plan(
+        &self,
+        plan: &SocketPlan,
+        n_sources: u32,
+    ) -> Result<(), OracleViolation> {
+        let (sourced, vessels, mmsis) = self.sourced_baseline(n_sources);
+        let (perturbed, _) = plan.apply(&sourced);
+        if plan.preserves_ces(self.admission_skew_secs) {
+            let (plain, _) = self.baseline();
+            let base = self.run(&plain, &vessels, ChaosEngine::Serial);
+            let got = self.run_sourced(&perturbed, &vessels, ChaosEngine::Serial);
+            check_identical("socket-equivalence", &base.observation, &got.observation)?;
+        }
+        let silenced = plan.silenced_sources();
+        if !silenced.is_empty() {
+            let dropped: BTreeSet<u32> = silenced
+                .iter()
+                .filter_map(|s| mmsis.get(*s as usize - 1))
+                .flatten()
+                .copied()
+                .collect();
+            let base = self.run_sourced(&sourced, &vessels, ChaosEngine::Serial);
+            let got = self.run_sourced(&perturbed, &vessels, ChaosEngine::Serial);
+            check_vessel_projection(&base.observation, &got.observation, &dropped)?;
+        }
+        let runs: Vec<(&'static str, EngineRun)> = ChaosEngine::ALL
+            .iter()
+            .map(|&e| (e.label(), self.run_sourced(&perturbed, &vessels, e)))
+            .collect();
+        let labelled: Vec<(&'static str, &CeObservation)> =
+            runs.iter().map(|(l, r)| (*l, &r.observation)).collect();
+        check_agreement(&labelled)
     }
 
     /// Oracle 1 & 2 — duplicate-idempotence / bounded-reorder

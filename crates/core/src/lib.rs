@@ -55,12 +55,14 @@ pub mod alerts;
 pub mod chaos;
 pub mod config;
 pub mod pipeline;
+pub mod serve;
 pub mod trace;
 
 pub use alerts::{AlertRecord, AlertLog};
 pub use chaos::{ChaosEngine, ChaosHarness, EngineRun};
 pub use config::{MetricsMode, Parallelism, SurveillanceConfig, TraceMode};
 pub use pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
+pub use serve::{BroadcastHub, LiveIngest, ServeOptions, ServerHandle, WireEncoder};
 pub use trace::{SentenceIndex, TraceLog};
 
 /// Convenient re-exports of the whole system surface.

@@ -1,0 +1,351 @@
+//! The socket-free core of `surveil serve`: raw line in, wire events out.
+//!
+//! [`LiveIngest`] is the whole serving data path minus the network —
+//! per-source filter/dedup ([`SourceMux`]), bounded-disorder repair
+//! ([`AdmissionBuffer`]), decode ([`DataScanner::scan_from`]), and a
+//! [`LiveBatcher`] that mirrors the batch replayer's
+//! [`SlideBatches`](maritime_stream::SlideBatches) semantics exactly, so
+//! a live run and a batch run over the same sentences produce
+//! byte-identical wire events. The listener layer owns the sockets and
+//! calls [`LiveIngest::push_line`]; the bench's sustained-ingest leg and
+//! the differential tests call it directly.
+//!
+//! # Watermark-driven sliding
+//!
+//! Batch mode knows the stream is over when the file ends; a live feed
+//! never ends. Here the window slides when the *event-time watermark*
+//! advances: the admission buffer releases tuples once they are `skew`
+//! old relative to the newest arrival, and each released tuple whose
+//! timestamp crosses the next query boundary triggers the pending slides
+//! (including empty ones across quiet gaps — the window keeps pace with
+//! reported time, §5 of the paper). End of stream becomes an explicit
+//! `#flush` control line: drain the admission buffer, run the final
+//! recognition pass, emit the `flushed` marker.
+
+use maritime_ais::{DataScanner, PositionTuple, ScanStats};
+use maritime_cer::VesselInfo;
+use maritime_geo::Area;
+use maritime_obs::{names, LazyCounter};
+use maritime_stream::{
+    AdmissionBuffer, AdmissionStats, Duration, SourceId, SourceMux, SourceStats, SourceVerdict,
+    Timestamp, WindowSpec,
+};
+
+use crate::config::SurveillanceConfig;
+use crate::pipeline::{SlideOutcome, SurveillancePipeline};
+use crate::serve::wire::WireEncoder;
+
+static OBS_BATCHES: LazyCounter = LazyCounter::new(names::STREAM_BATCHES);
+static OBS_SENTENCES: LazyCounter = LazyCounter::new(names::SERVE_SENTENCES);
+static OBS_FILTERED: LazyCounter = LazyCounter::new(names::SERVE_FILTERED_LINES);
+static OBS_DEDUP: LazyCounter = LazyCounter::new(names::SERVE_DEDUP_DROPS);
+static OBS_FLUSHES: LazyCounter = LazyCounter::new(names::SERVE_FLUSHES);
+
+/// Re-creates [`maritime_stream::SlideBatches`] batching for a push-driven
+/// stream: tuples arrive one at a time, and every crossing of a query
+/// boundary `Qᵢ = origin + i·β` closes the batch `(Qᵢ₋₁, Qᵢ]` —
+/// including empty batches across gaps. Feeding the same time-ordered
+/// tuples through this and through `SlideBatches` yields the same
+/// `(query_time, items)` sequence; a unit test below locks that down.
+#[derive(Debug)]
+pub struct LiveBatcher {
+    next_q: Timestamp,
+    slide: Duration,
+    acc: Vec<PositionTuple>,
+}
+
+impl LiveBatcher {
+    /// Starts batching from `origin`: the first batch closes at
+    /// `origin + slide`.
+    #[must_use]
+    pub fn new(spec: WindowSpec, origin: Timestamp) -> Self {
+        Self {
+            next_q: origin + spec.slide,
+            slide: spec.slide,
+            acc: Vec::new(),
+        }
+    }
+
+    /// Accepts the next tuple (time-ordered), invoking `slide(q, batch)`
+    /// for every query boundary the tuple's timestamp crosses.
+    pub fn push(
+        &mut self,
+        tuple: PositionTuple,
+        mut slide: impl FnMut(Timestamp, Vec<PositionTuple>),
+    ) {
+        while tuple.timestamp > self.next_q {
+            let batch = std::mem::take(&mut self.acc);
+            OBS_BATCHES.inc();
+            slide(self.next_q, batch);
+            self.next_q = self.next_q + self.slide;
+        }
+        self.acc.push(tuple);
+    }
+
+    /// Ends the stream: closes the final (possibly empty) batch at the
+    /// current boundary and returns that boundary — the query time the
+    /// pipeline's `finish` must run at, exactly as batch mode's replayer
+    /// does.
+    pub fn finish(&mut self, mut slide: impl FnMut(Timestamp, Vec<PositionTuple>)) -> Timestamp {
+        let batch = std::mem::take(&mut self.acc);
+        OBS_BATCHES.inc();
+        slide(self.next_q, batch);
+        self.next_q
+    }
+
+    /// The next query boundary to close.
+    #[must_use]
+    pub fn next_query(&self) -> Timestamp {
+        self.next_q
+    }
+}
+
+/// Counters describing what the live ingest path has seen so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStats {
+    /// Raw lines pushed (pre-filter).
+    pub lines: u64,
+    /// Lines past filter + dedup, handed to admission/decode.
+    pub accepted: u64,
+    /// Lines dropped by the syntactic filter.
+    pub filtered: u64,
+    /// Lines dropped as cross-source duplicates.
+    pub duplicates: u64,
+    /// Window slides executed.
+    pub slides: u64,
+    /// Recognition queries answered.
+    pub queries: u64,
+    /// Complex events recognized (intervals + alerts), total.
+    pub ce_total: u64,
+}
+
+/// The complete live serving data path, sockets excluded. See the module
+/// docs for the layer diagram and `SERVING.md` for operator semantics.
+pub struct LiveIngest {
+    mux: SourceMux,
+    admission: AdmissionBuffer<(String, u32)>,
+    scanner: DataScanner,
+    batcher: LiveBatcher,
+    pipeline: SurveillancePipeline,
+    encoder: WireEncoder,
+    stats: IngestStats,
+    last_t: Timestamp,
+    flushed: bool,
+}
+
+impl LiveIngest {
+    /// Builds the path: `skew` bounds admission disorder, `dedup_window`
+    /// suppresses cross-source duplicate sentences (zero disables).
+    ///
+    /// # Errors
+    /// The configuration error, if `config` fails validation.
+    pub fn new(
+        config: &SurveillanceConfig,
+        vessels: Vec<VesselInfo>,
+        areas: Vec<Area>,
+        skew: Duration,
+        dedup_window: Duration,
+    ) -> Result<Self, crate::config::ConfigError> {
+        let pipeline = SurveillancePipeline::new(config, vessels, areas)?;
+        Ok(Self {
+            mux: SourceMux::new(dedup_window),
+            admission: AdmissionBuffer::new(skew),
+            scanner: DataScanner::new(),
+            batcher: LiveBatcher::new(config.tracking_window, Timestamp::ZERO),
+            pipeline,
+            encoder: WireEncoder::new(),
+            stats: IngestStats::default(),
+            last_t: Timestamp::ZERO,
+            flushed: false,
+        })
+    }
+
+    /// Feeds one raw line from `source` with event time `t`; returns the
+    /// wire events (possibly none) its processing produced. Lines arriving
+    /// after a flush are counted but dropped — the stream has ended.
+    pub fn push_line(&mut self, source: SourceId, t: Timestamp, line: &str) -> Vec<String> {
+        self.stats.lines += 1;
+        OBS_SENTENCES.inc();
+        if self.flushed {
+            self.stats.filtered += 1;
+            OBS_FILTERED.inc();
+            return Vec::new();
+        }
+        match self.mux.admit(source, t, line) {
+            SourceVerdict::Filtered => {
+                self.stats.filtered += 1;
+                OBS_FILTERED.inc();
+                return Vec::new();
+            }
+            SourceVerdict::Duplicate => {
+                self.stats.duplicates += 1;
+                OBS_DEDUP.inc();
+                return Vec::new();
+            }
+            SourceVerdict::Accepted => {}
+        }
+        self.stats.accepted += 1;
+        self.last_t = self.last_t.max(t);
+        let released = self.admission.push(t, (line.to_string(), source.0));
+        self.process_released(released)
+    }
+
+    /// Drains everything still buffered — admission, defragmenter, the
+    /// open batch — runs the pipeline's final recognition pass, and
+    /// returns its events plus the `flushed` marker. Idempotent: a second
+    /// flush returns nothing.
+    pub fn flush(&mut self) -> Vec<String> {
+        if self.flushed {
+            return Vec::new();
+        }
+        self.flushed = true;
+        OBS_FLUSHES.inc();
+        let released = self.admission.flush();
+        let mut events = self.process_released(released);
+        self.scanner.finish(self.last_t);
+        let mut outcomes: Vec<SlideOutcome> = Vec::new();
+        let pipeline = &mut self.pipeline;
+        let final_q = self.batcher.finish(|q, batch| {
+            outcomes.push(pipeline.slide(q, &batch));
+        });
+        outcomes.push(pipeline.finish(final_q));
+        for outcome in &outcomes {
+            self.note_outcome(outcome);
+            events.extend(self.encoder.encode_outcome(outcome));
+        }
+        events.push(WireEncoder::flushed_marker(final_q.as_secs()));
+        events
+    }
+
+    fn process_released(&mut self, released: Vec<(Timestamp, (String, u32))>) -> Vec<String> {
+        let mut events = Vec::new();
+        for (t, (line, source)) in released {
+            let Some(tuple) = self.scanner.scan_from(source, &line, t) else {
+                continue;
+            };
+            let pipeline = &mut self.pipeline;
+            let mut outcomes: Vec<SlideOutcome> = Vec::new();
+            self.batcher.push(tuple, |q, batch| {
+                outcomes.push(pipeline.slide(q, &batch));
+            });
+            for outcome in &outcomes {
+                self.note_outcome(outcome);
+                events.extend(self.encoder.encode_outcome(outcome));
+            }
+        }
+        events
+    }
+
+    fn note_outcome(&mut self, outcome: &SlideOutcome) {
+        self.stats.slides += 1;
+        if let Some(summary) = &outcome.recognition {
+            self.stats.queries += 1;
+            self.stats.ce_total += summary.ce_count as u64;
+        }
+    }
+
+    /// Whether `#flush` has ended the stream.
+    #[must_use]
+    pub fn flushed(&self) -> bool {
+        self.flushed
+    }
+
+    /// Live-path counters.
+    #[must_use]
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Decode-layer counters.
+    #[must_use]
+    pub fn scan_stats(&self) -> ScanStats {
+        self.scanner.stats()
+    }
+
+    /// Admission-layer counters.
+    #[must_use]
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// Per-source mux counters, for the `/sources` endpoint.
+    pub fn sources(&self) -> impl Iterator<Item = (SourceId, &SourceStats)> {
+        self.mux.sources()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_stream::SlideBatches;
+
+    fn tuple_at(t: i64) -> PositionTuple {
+        PositionTuple {
+            mmsi: maritime_ais::Mmsi(237_000_001),
+            position: maritime_geo::GeoPoint::new(24.0, 37.0),
+            timestamp: Timestamp(t),
+        }
+    }
+
+    fn spec(range_s: i64, slide_s: i64) -> WindowSpec {
+        WindowSpec::new(Duration::secs(range_s), Duration::secs(slide_s)).unwrap()
+    }
+
+    /// The push-driven batcher must reproduce the pull-driven replayer's
+    /// batch sequence on the same stream — boundaries, empty gap batches,
+    /// final batch, and the finish query time.
+    #[test]
+    fn live_batcher_matches_slide_batches() {
+        let times: &[i64] = &[1, 9, 10, 11, 35, 36, 70, 95];
+        let spec = spec(30, 10);
+
+        let replayed: Vec<(i64, Vec<i64>)> = SlideBatches::new(
+            times.iter().map(|&t| (Timestamp(t), tuple_at(t))),
+            spec,
+            Timestamp::ZERO,
+        )
+        .map(|b| {
+            (
+                b.query_time.as_secs(),
+                b.items.iter().map(|(t, _)| t.as_secs()).collect(),
+            )
+        })
+        .collect();
+
+        let mut live: Vec<(i64, Vec<i64>)> = Vec::new();
+        let mut batcher = LiveBatcher::new(spec, Timestamp::ZERO);
+        for &t in times {
+            batcher.push(tuple_at(t), |q, batch| {
+                live.push((
+                    q.as_secs(),
+                    batch.iter().map(|p| p.timestamp.as_secs()).collect(),
+                ));
+            });
+        }
+        let final_q = batcher.finish(|q, batch| {
+            live.push((
+                q.as_secs(),
+                batch.iter().map(|p| p.timestamp.as_secs()).collect(),
+            ));
+        });
+
+        assert_eq!(live, replayed);
+        assert_eq!(
+            final_q.as_secs(),
+            replayed.last().unwrap().0,
+            "finish runs at the final batch's query time, like batch mode"
+        );
+    }
+
+    #[test]
+    fn empty_stream_still_emits_one_batch() {
+        let mut batcher = LiveBatcher::new(spec(30, 10), Timestamp::ZERO);
+        let mut batches = 0;
+        let q = batcher.finish(|_, b| {
+            assert!(b.is_empty());
+            batches += 1;
+        });
+        assert_eq!(batches, 1);
+        assert_eq!(q, Timestamp(10));
+    }
+}

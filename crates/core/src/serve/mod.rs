@@ -1,0 +1,390 @@
+//! `surveil serve`: the resident live-ingestion and alert fan-out server.
+//!
+//! ```text
+//!  NMEA sources                    driver thread                subscribers
+//!  ───────────                ─────────────────────             ───────────
+//!  TCP conn ──┐                ┌─> SourceMux (filter/dedup)     TCP writer ──> nc
+//!  TCP conn ──┼─> ingest ──────┤   AdmissionBuffer (skew)       TCP writer ──> app
+//!  UDP peer ──┘    channel     │   DataScanner (per-source)     SSE writer ──> curl
+//!                  (bounded)   │   LiveBatcher ─> pipeline
+//!                              └─> WireEncoder ─> BroadcastHub ──^
+//!                                                 (bounded queues, eviction)
+//!  HTTP: /metrics /metrics.json /sources /healthz /events
+//! ```
+//!
+//! One driver thread owns the whole recognition path ([`LiveIngest`]);
+//! listener threads own their sockets and talk to the driver through one
+//! bounded channel; subscriber writer threads own their sockets and drain
+//! bounded queues fed by the [`BroadcastHub`]. No recognition state is
+//! ever shared across threads — the hot path is exactly the batch
+//! pipeline's, which is why serve output is byte-identical to batch
+//! output on the same sentences (a differential test pins this).
+//!
+//! `SERVING.md` at the repository root is the operator handbook: flags,
+//! wire protocols, backpressure/eviction semantics, worked transcripts —
+//! every example there is pinned by a test against this module.
+
+pub mod cli;
+pub mod hub;
+pub mod live;
+mod net;
+pub mod wire;
+
+pub use hub::BroadcastHub;
+pub use live::{IngestStats, LiveBatcher, LiveIngest};
+pub use wire::{sse_frame, WireEncoder, CONTROL_FLUSH, CONTROL_SHUTDOWN};
+
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use maritime_cer::VesselInfo;
+use maritime_geo::Area;
+use maritime_obs::{names, LazyCounter};
+use maritime_stream::Duration;
+use parking_lot::Mutex;
+
+use crate::config::{ConfigError, SurveillanceConfig};
+
+static OBS_INGEST_STALLS: LazyCounter = LazyCounter::new(names::SERVE_INGEST_STALLS);
+
+/// Everything `serve` needs to start; see `SERVING.md` for the operator
+/// view of each knob.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Pipeline configuration (windows, shards, bands, incremental...).
+    pub config: SurveillanceConfig,
+    /// Static vessel facts for the recognizer's knowledge base.
+    pub vessels: Vec<VesselInfo>,
+    /// Monitored areas.
+    pub areas: Vec<Area>,
+    /// Address to bind every listener on.
+    pub bind: String,
+    /// NMEA-in TCP port (`None` disables; `Some(0)` picks a free port).
+    pub nmea_tcp_port: Option<u16>,
+    /// NMEA-in UDP port.
+    pub nmea_udp_port: Option<u16>,
+    /// CE-out line-delimited JSON TCP port.
+    pub subscribe_port: Option<u16>,
+    /// HTTP port for `/metrics`, `/sources`, `/healthz`, `/events` (SSE).
+    pub http_port: Option<u16>,
+    /// Admission-buffer disorder bound.
+    pub skew: Duration,
+    /// Cross-source duplicate suppression window (zero disables).
+    pub dedup_window: Duration,
+    /// Per-subscriber event queue bound; a subscriber lagging past it is
+    /// evicted.
+    pub queue_bound: usize,
+    /// Ingest channel bound — how many raw lines may wait for the driver
+    /// before sources block (backpressure).
+    pub ingest_bound: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            config: SurveillanceConfig::default(),
+            vessels: Vec::new(),
+            areas: Vec::new(),
+            bind: "127.0.0.1".to_string(),
+            nmea_tcp_port: Some(0),
+            nmea_udp_port: None,
+            subscribe_port: Some(0),
+            http_port: Some(0),
+            skew: Duration::secs(120),
+            dedup_window: Duration::secs(10),
+            queue_bound: 1024,
+            ingest_bound: 4096,
+        }
+    }
+}
+
+/// One message from a listener thread to the driver.
+#[derive(Debug)]
+pub(crate) enum Ingest {
+    /// A raw line from a source, stamped with its event time.
+    Line {
+        /// Source that delivered the line.
+        source: u32,
+        /// Event time, seconds.
+        t: i64,
+        /// The sentence (framing already stripped).
+        line: String,
+    },
+    /// `#flush`: end of stream — drain and run the final recognition.
+    Flush,
+    /// `#shutdown`: stop the server.
+    Shutdown,
+}
+
+/// Sends one ingest message, counting (and then riding out) backpressure
+/// when the driver is behind. Returns `false` when the driver is gone.
+pub(crate) fn send_ingest(tx: &SyncSender<Ingest>, msg: Ingest) -> bool {
+    match tx.try_send(msg) {
+        Ok(()) => true,
+        Err(TrySendError::Full(msg)) => {
+            OBS_INGEST_STALLS.inc();
+            tx.send(msg).is_ok()
+        }
+        Err(TrySendError::Disconnected(_)) => false,
+    }
+}
+
+/// A running `surveil serve` instance. Dropping the handle does *not*
+/// stop the server; call [`ServerHandle::shutdown`] then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    /// Bound NMEA-in TCP address, when enabled.
+    pub nmea_tcp: Option<SocketAddr>,
+    /// Bound NMEA-in UDP address, when enabled.
+    pub nmea_udp: Option<SocketAddr>,
+    /// Bound CE-out subscriber address, when enabled.
+    pub subscribe: Option<SocketAddr>,
+    /// Bound HTTP address, when enabled.
+    pub http: Option<SocketAddr>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    hub: Arc<BroadcastHub>,
+    live: Arc<Mutex<LiveIngest>>,
+    /// Keeps the ingest channel open even with no socket listeners, so
+    /// in-process tests can inject via [`ServerHandle::inject`].
+    ingest_tx: SyncSender<Ingest>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown; listener and driver threads exit at their next
+    /// poll (≤ ~100 ms).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (by this handle or a
+    /// `#shutdown` control line).
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for every server thread to exit. Call after
+    /// [`ServerHandle::shutdown`].
+    pub fn join(mut self) {
+        drop(self.ingest_tx);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.hub.close();
+    }
+
+    /// The broadcast hub, for in-process subscribers and tests.
+    #[must_use]
+    pub fn hub(&self) -> &Arc<BroadcastHub> {
+        &self.hub
+    }
+
+    /// Live-path counters (snapshot under the driver's lock).
+    #[must_use]
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.live.lock().stats()
+    }
+
+    /// Injects one raw line as if a socket source had delivered it —
+    /// the in-process test path. Returns `false` once the driver is gone.
+    pub fn inject(&self, source: u32, t: i64, line: &str) -> bool {
+        send_ingest(
+            &self.ingest_tx,
+            Ingest::Line {
+                source,
+                t,
+                line: line.to_string(),
+            },
+        )
+    }
+
+    /// Injects the `#flush` control (end of stream).
+    pub fn inject_flush(&self) -> bool {
+        send_ingest(&self.ingest_tx, Ingest::Flush)
+    }
+}
+
+/// Starts the server: binds every enabled listener, spawns the driver and
+/// listener threads, and returns the handle with the bound addresses
+/// (useful with port 0).
+///
+/// # Errors
+/// A [`ServeError`] when the pipeline configuration fails validation or a
+/// listener cannot bind.
+pub fn start(opts: ServeOptions) -> Result<ServerHandle, ServeError> {
+    let live = LiveIngest::new(
+        &opts.config,
+        opts.vessels.clone(),
+        opts.areas.clone(),
+        opts.skew,
+        opts.dedup_window,
+    )
+    .map_err(ServeError::Config)?;
+    let live = Arc::new(Mutex::new(live));
+    let hub = BroadcastHub::new(opts.queue_bound);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let next_source = Arc::new(AtomicU32::new(1));
+    let (ingest_tx, ingest_rx) = std::sync::mpsc::sync_channel(opts.ingest_bound.max(1));
+
+    let mut threads = Vec::new();
+    let mut bind_tcp = |port: u16| -> Result<TcpListener, ServeError> {
+        let l = TcpListener::bind((opts.bind.as_str(), port)).map_err(ServeError::Bind)?;
+        l.set_nonblocking(true).map_err(ServeError::Bind)?;
+        Ok(l)
+    };
+
+    let nmea_tcp = opts.nmea_tcp_port.map(&mut bind_tcp).transpose()?;
+    let subscribe = opts.subscribe_port.map(&mut bind_tcp).transpose()?;
+    let http = opts.http_port.map(&mut bind_tcp).transpose()?;
+    let nmea_udp = opts
+        .nmea_udp_port
+        .map(|port| -> Result<UdpSocket, ServeError> {
+            let s = UdpSocket::bind((opts.bind.as_str(), port)).map_err(ServeError::Bind)?;
+            s.set_read_timeout(Some(std::time::Duration::from_millis(100)))
+                .map_err(ServeError::Bind)?;
+            Ok(s)
+        })
+        .transpose()?;
+
+    let handle_addrs = (
+        nmea_tcp.as_ref().and_then(|l| l.local_addr().ok()),
+        nmea_udp.as_ref().and_then(|s| s.local_addr().ok()),
+        subscribe.as_ref().and_then(|l| l.local_addr().ok()),
+        http.as_ref().and_then(|l| l.local_addr().ok()),
+    );
+
+    // Driver: the single owner of the recognition path.
+    {
+        let live = Arc::clone(&live);
+        let hub = Arc::clone(&hub);
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-driver".into())
+                .spawn(move || driver_loop(&ingest_rx, &live, &hub, &shutdown))
+                .map_err(ServeError::Spawn)?,
+        );
+    }
+    if let Some(listener) = nmea_tcp {
+        let tx = ingest_tx.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let next_source = Arc::clone(&next_source);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-nmea-tcp".into())
+                .spawn(move || net::tcp_ingest_loop(&listener, &tx, &shutdown, &next_source))
+                .map_err(ServeError::Spawn)?,
+        );
+    }
+    if let Some(socket) = nmea_udp {
+        let tx = ingest_tx.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let next_source = Arc::clone(&next_source);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-nmea-udp".into())
+                .spawn(move || net::udp_ingest_loop(&socket, &tx, &shutdown, &next_source))
+                .map_err(ServeError::Spawn)?,
+        );
+    }
+    if let Some(listener) = subscribe {
+        let hub = Arc::clone(&hub);
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-subscribers".into())
+                .spawn(move || net::subscriber_loop(&listener, &hub, &shutdown))
+                .map_err(ServeError::Spawn)?,
+        );
+    }
+    if let Some(listener) = http {
+        let hub = Arc::clone(&hub);
+        let live = Arc::clone(&live);
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-http".into())
+                .spawn(move || net::http_loop(&listener, &hub, &live, &shutdown))
+                .map_err(ServeError::Spawn)?,
+        );
+    }
+
+    Ok(ServerHandle {
+        nmea_tcp: handle_addrs.0,
+        nmea_udp: handle_addrs.1,
+        subscribe: handle_addrs.2,
+        http: handle_addrs.3,
+        shutdown,
+        threads,
+        hub,
+        live,
+        ingest_tx,
+    })
+}
+
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The pipeline configuration failed validation.
+    Config(ConfigError),
+    /// A listener could not bind its address.
+    Bind(std::io::Error),
+    /// A server thread could not be spawned.
+    Spawn(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(e) => write!(f, "invalid configuration: {e}"),
+            ServeError::Bind(e) => write!(f, "cannot bind listener: {e}"),
+            ServeError::Spawn(e) => write!(f, "cannot spawn server thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The driver loop: drains the ingest channel into the live path and fans
+/// resulting wire events out through the hub.
+fn driver_loop(
+    rx: &Receiver<Ingest>,
+    live: &Mutex<LiveIngest>,
+    hub: &BroadcastHub,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+            Ok(Ingest::Line { source, t, line }) => {
+                let events = live.lock().push_line(
+                    maritime_stream::SourceId(source),
+                    maritime_stream::Timestamp(t),
+                    &line,
+                );
+                for event in &events {
+                    hub.broadcast(event);
+                }
+            }
+            Ok(Ingest::Flush) => {
+                let events = live.lock().flush();
+                for event in &events {
+                    hub.broadcast(event);
+                }
+            }
+            Ok(Ingest::Shutdown) => {
+                shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    hub.close();
+}

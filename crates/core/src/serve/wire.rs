@@ -1,0 +1,179 @@
+//! The CE-out wire protocol: line-delimited JSON events and SSE framing.
+//!
+//! One encoder renders recognition results for *both* the live server and
+//! the batch pipeline, so "serve output equals batch output" is a
+//! byte-equality test, not a semantic argument. The protocol is documented
+//! (and golden-pinned) in `SERVING.md`; change it there and here together
+//! or the doc tests fail.
+//!
+//! Three event types flow to subscribers, each one JSON object per line:
+//!
+//! * `alert` — an instantaneous alert, emitted once per distinct
+//!   `(time, kind, vessel, area)` no matter how many overlapping
+//!   recognition windows re-derive it.
+//! * `query` — one per recognition query, carrying the canonical
+//!   recognition summary (the same rendering the differential and chaos
+//!   harnesses compare on).
+//! * `flushed` — the end-of-stream marker emitted after a `#flush`
+//!   control line has drained the pipeline.
+
+use std::collections::BTreeSet;
+
+use maritime_cer::{AlertKind, RecognitionSummary};
+
+use crate::pipeline::SlideOutcome;
+
+/// Control line a source sends to drain the admission buffer and run the
+/// final recognition pass (end of stream).
+pub const CONTROL_FLUSH: &str = "#flush";
+
+/// Control line a source sends to stop the server.
+pub const CONTROL_SHUTDOWN: &str = "#shutdown";
+
+/// Stable wire name of an alert kind.
+#[must_use]
+pub fn alert_kind_name(kind: AlertKind) -> &'static str {
+    match kind {
+        AlertKind::IllegalShipping => "illegal_shipping",
+        AlertKind::DangerousShipping => "dangerous_shipping",
+    }
+}
+
+/// Renders recognition results as wire events, de-duplicating alerts
+/// across overlapping recognition windows. Deterministic: the same
+/// sequence of [`SlideOutcome`]s yields the same bytes, which is the
+/// contract the serve-vs-batch differential tests pin.
+#[derive(Debug, Default)]
+pub struct WireEncoder {
+    /// Alerts already emitted, keyed `(at, kind, mmsi, area)`.
+    seen: BTreeSet<(i64, u8, u32, u32)>,
+}
+
+impl WireEncoder {
+    /// A fresh encoder with no alerts emitted yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events for one pipeline slide: nothing when recognition did not
+    /// run, otherwise any *new* `alert` events (in summary order) followed
+    /// by the `query` event.
+    pub fn encode_outcome(&mut self, outcome: &SlideOutcome) -> Vec<String> {
+        outcome
+            .recognition
+            .as_ref()
+            .map_or_else(Vec::new, |summary| self.encode_summary(summary))
+    }
+
+    /// Events for one recognition summary; see [`Self::encode_outcome`].
+    pub fn encode_summary(&mut self, summary: &RecognitionSummary) -> Vec<String> {
+        let mut out = Vec::new();
+        for (at, alert) in &summary.alerts {
+            let key = (
+                at.as_secs(),
+                alert.kind as u8,
+                alert.vessel.0,
+                alert.area.0,
+            );
+            if self.seen.insert(key) {
+                out.push(format!(
+                    "{{\"type\":\"alert\",\"at\":{},\"kind\":\"{}\",\"mmsi\":{},\"area\":{}}}",
+                    at.as_secs(),
+                    alert_kind_name(alert.kind),
+                    alert.vessel.0,
+                    alert.area.0,
+                ));
+            }
+        }
+        out.push(format!(
+            "{{\"type\":\"query\",\"at\":{},\"ce_count\":{},\"alerts\":{},\"summary\":{}}}",
+            summary.query_time.as_secs(),
+            summary.ce_count,
+            summary.alerts.len(),
+            summary.canonical_json(),
+        ));
+        out
+    }
+
+    /// The end-of-stream marker, emitted once the `#flush` control line
+    /// has drained the pipeline through its final recognition pass.
+    #[must_use]
+    pub fn flushed_marker(at_secs: i64) -> String {
+        format!("{{\"type\":\"flushed\",\"at\":{at_secs}}}")
+    }
+}
+
+/// The `type` field of a wire event line, used as the SSE event name.
+#[must_use]
+pub fn event_type(line: &str) -> &str {
+    line.strip_prefix("{\"type\":\"")
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or("message")
+}
+
+/// Wraps one wire event line as a Server-Sent Events frame: the event
+/// name is the wire `type`, the data is the JSON line verbatim.
+#[must_use]
+pub fn sse_frame(line: &str) -> String {
+    format!("event: {}\ndata: {line}\n\n", event_type(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maritime_cer::Alert;
+    use maritime_geo::AreaId;
+    use maritime_stream::Timestamp;
+
+    fn summary_with_alert(q: i64, at: i64) -> RecognitionSummary {
+        RecognitionSummary {
+            query_time: Timestamp(q),
+            suspicious: Vec::new(),
+            illegal_fishing: Vec::new(),
+            alerts: vec![(
+                Timestamp(at),
+                Alert {
+                    kind: AlertKind::IllegalShipping,
+                    vessel: maritime_ais::Mmsi(237_000_001),
+                    area: AreaId(7),
+                },
+            )],
+            ce_count: 1,
+            working_memory: 42,
+        }
+    }
+
+    #[test]
+    fn alerts_emit_once_across_overlapping_windows() {
+        let mut enc = WireEncoder::new();
+        let first = enc.encode_summary(&summary_with_alert(7200, 5400));
+        assert_eq!(first.len(), 2, "alert + query");
+        assert!(first[0].contains("\"type\":\"alert\""));
+        assert!(first[1].contains("\"type\":\"query\""));
+        // The next window re-derives the same alert: only the query event.
+        let second = enc.encode_summary(&summary_with_alert(9000, 5400));
+        assert_eq!(second.len(), 1);
+        assert!(second[0].contains("\"type\":\"query\""));
+    }
+
+    #[test]
+    fn every_event_is_one_json_object_per_line() {
+        let mut enc = WireEncoder::new();
+        for line in enc.encode_summary(&summary_with_alert(7200, 5400)) {
+            let v: serde_json::Value = serde_json::from_str(&line).expect("valid JSON");
+            assert!(v.get("type").is_some());
+            assert!(!line.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn sse_frames_carry_the_wire_type_as_event_name() {
+        let mut enc = WireEncoder::new();
+        let lines = enc.encode_summary(&summary_with_alert(7200, 5400));
+        let frame = sse_frame(&lines[0]);
+        assert!(frame.starts_with("event: alert\ndata: {\"type\":\"alert\""));
+        assert!(frame.ends_with("\n\n"));
+        assert_eq!(event_type(&WireEncoder::flushed_marker(3600)), "flushed");
+    }
+}

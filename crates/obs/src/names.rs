@@ -8,8 +8,8 @@
 //!
 //! Naming follows Prometheus conventions: `snake_case`, a stage prefix
 //! (`ais_`, `tracker_`, `shard_`, `stream_`, `geo_`, `modstore_`, `rtec_`,
-//! `cer_`, `pipeline_`, `trace_`, `chaos_`), `_total` suffix on counters,
-//! `_ns` suffix on nanosecond histograms.
+//! `cer_`, `pipeline_`, `trace_`, `chaos_`, `serve_`), `_total` suffix on
+//! counters, `_ns` suffix on nanosecond histograms.
 
 use crate::registry::{Descriptor, MetricKind};
 
@@ -154,6 +154,35 @@ pub const CHAOS_ORACLE_CHECKS: &str = "chaos_oracle_checks_total";
 /// Metamorphic oracle checks that found a violation.
 pub const CHAOS_ORACLE_FAILURES: &str = "chaos_oracle_failures_total";
 
+// ---- Live server (`surveil serve`) ---------------------------------------
+
+/// NMEA sources (TCP connections / UDP peers) currently connected.
+pub const SERVE_SOURCES_CONNECTED: &str = "serve_sources_connected";
+/// NMEA sources ever accepted since server start.
+pub const SERVE_SOURCES: &str = "serve_sources_total";
+/// Raw lines received across all sources (pre-filter).
+pub const SERVE_SENTENCES: &str = "serve_sentences_total";
+/// Lines dropped by the per-source syntactic filter.
+pub const SERVE_FILTERED_LINES: &str = "serve_filtered_lines_total";
+/// Lines dropped as cross-source duplicates within the dedup window.
+pub const SERVE_DEDUP_DROPS: &str = "serve_dedup_drops_total";
+/// Ingest-channel sends that blocked on a full pipeline (backpressure).
+pub const SERVE_INGEST_STALLS: &str = "serve_ingest_stalls_total";
+/// CE subscribers (TCP + SSE) currently connected.
+pub const SERVE_SUBSCRIBERS_CONNECTED: &str = "serve_subscribers_connected";
+/// CE subscribers ever accepted since server start.
+pub const SERVE_SUBSCRIBERS: &str = "serve_subscribers_total";
+/// Events enqueued to subscriber queues (one per event per subscriber).
+pub const SERVE_EVENTS_BROADCAST: &str = "serve_events_broadcast_total";
+/// Subscribers evicted for not draining their bounded queue.
+pub const SERVE_SLOW_EVICTIONS: &str = "serve_slow_evictions_total";
+/// Events discarded because a subscriber was evicted mid-stream.
+pub const SERVE_DROPPED_EVENTS: &str = "serve_dropped_events_total";
+/// HTTP requests answered by the metrics/SSE endpoint.
+pub const SERVE_HTTP_REQUESTS: &str = "serve_http_requests_total";
+/// End-of-stream flushes processed (`#flush` control lines).
+pub const SERVE_FLUSHES: &str = "serve_flushes_total";
+
 /// One catalog row.
 const fn c(name: &'static str, unit: &'static str, help: &'static str) -> Descriptor {
     Descriptor {
@@ -251,6 +280,20 @@ pub const CATALOG: &[Descriptor] = &[
     c(CHAOS_SENTENCES_DELAYED, "sentences", "Sentences displaced in arrival time"),
     c(CHAOS_ORACLE_CHECKS, "checks", "Metamorphic oracle checks evaluated"),
     c(CHAOS_ORACLE_FAILURES, "checks", "Metamorphic oracle checks that found a violation"),
+    // Live server
+    g(SERVE_SOURCES_CONNECTED, "sources", "NMEA sources currently connected"),
+    c(SERVE_SOURCES, "sources", "NMEA sources ever accepted since server start"),
+    c(SERVE_SENTENCES, "lines", "Raw lines received across all sources (pre-filter)"),
+    c(SERVE_FILTERED_LINES, "lines", "Lines dropped by the per-source syntactic filter"),
+    c(SERVE_DEDUP_DROPS, "lines", "Lines dropped as cross-source duplicates"),
+    c(SERVE_INGEST_STALLS, "sends", "Ingest sends that blocked on a full pipeline"),
+    g(SERVE_SUBSCRIBERS_CONNECTED, "subscribers", "CE subscribers currently connected"),
+    c(SERVE_SUBSCRIBERS, "subscribers", "CE subscribers ever accepted since server start"),
+    c(SERVE_EVENTS_BROADCAST, "events", "Events enqueued to subscriber queues"),
+    c(SERVE_SLOW_EVICTIONS, "subscribers", "Subscribers evicted for not draining their queue"),
+    c(SERVE_DROPPED_EVENTS, "events", "Events discarded because a subscriber was evicted"),
+    c(SERVE_HTTP_REQUESTS, "requests", "HTTP requests answered by the metrics endpoint"),
+    c(SERVE_FLUSHES, "flushes", "End-of-stream flushes processed (#flush control)"),
 ];
 
 #[cfg(test)]
@@ -270,7 +313,7 @@ mod tests {
     fn catalog_follows_conventions() {
         let prefixes = [
             "ais_", "tracker_", "shard_", "stream_", "geo_", "modstore_", "rtec_", "cer_",
-            "pipeline_", "trace_", "chaos_",
+            "pipeline_", "trace_", "chaos_", "serve_",
         ];
         for d in CATALOG {
             assert!(

@@ -14,7 +14,7 @@ const HANDBOOK: &str = include_str!("../../../OBSERVABILITY.md");
 
 const PREFIXES: &[&str] = &[
     "ais_", "tracker_", "shard_", "stream_", "geo_", "modstore_", "rtec_", "cer_", "pipeline_",
-    "trace_", "chaos_",
+    "trace_", "chaos_", "serve_",
 ];
 
 /// Identifier-shaped tokens in the handbook that carry a stage prefix.

@@ -9,8 +9,10 @@
 //! specifications ([`WindowSpec`]), a per-item sliding buffer
 //! ([`SlidingWindow`]), a batch replayer that turns a recorded stream into
 //! per-slide batches ([`SlideBatches`]), arrival-rate rescaling used by
-//! the stress test of Figure 7 ([`rate`]), and a bounded-disorder
-//! admission buffer for out-of-order feeds ([`AdmissionBuffer`]).
+//! the stress test of Figure 7 ([`rate`]), a bounded-disorder
+//! admission buffer for out-of-order feeds ([`AdmissionBuffer`]), and a
+//! multi-feed line mux with per-source accounting and cross-source
+//! duplicate suppression for live serving ([`SourceMux`]).
 
 #![warn(missing_docs)]
 
@@ -18,11 +20,13 @@ pub mod admission;
 pub mod rate;
 pub mod shard;
 pub mod slider;
+pub mod source;
 pub mod time;
 pub mod window;
 
 pub use admission::{AdmissionBuffer, AdmissionStats};
 pub use shard::ShardRouter;
+pub use source::{SourceId, SourceMux, SourceStats, SourceVerdict};
 pub use slider::SlideBatches;
 pub use time::{Duration, Timestamp};
 pub use window::{SlidingWindow, WindowSpec, WindowSpecError};

@@ -1,0 +1,138 @@
+//! Socket-level chaos: transport faults (mid-sentence cuts, half-open
+//! sources, reconnect storms, cross-source reorder) over a multi-source
+//! stream, judged by the same metamorphic oracles as the sentence-level
+//! chaos suite (`ISSUE` 8: socket chaos mode).
+//!
+//! The world is the default chaos fleet observed through 3 sockets
+//! (vessels distributed round-robin), and the runner is
+//! [`ChaosHarness::run_sourced`] — the exact `surveil serve` data path:
+//! per-source filter/dedup, admission over `(line, connection)` pairs,
+//! per-connection defragmenter keying.
+
+use std::sync::OnceLock;
+
+use maritime::chaos::{ChaosEngine, ChaosHarness};
+use maritime_cer::VesselInfo;
+use maritime_chaos::oracle::check_identical;
+use maritime_chaos::socket::{SocketOp, SocketPlan, SourcedLine};
+
+const N_SOURCES: u32 = 3;
+
+fn harness() -> ChaosHarness {
+    ChaosHarness::default()
+}
+
+/// The sourced baseline world: lines tagged with sources, the fleet, and
+/// each source's set of MMSIs.
+type SourcedWorld = (
+    Vec<SourcedLine>,
+    Vec<VesselInfo>,
+    Vec<std::collections::BTreeSet<u32>>,
+);
+
+fn sourced_world() -> &'static SourcedWorld {
+    static WORLD: OnceLock<SourcedWorld> = OnceLock::new();
+    WORLD.get_or_init(|| harness().sourced_baseline(N_SOURCES))
+}
+
+/// The identity at the bottom of every socket oracle: the same world
+/// observed through 3 clean sockets recognizes exactly what the
+/// single-source batch runner recognizes.
+#[test]
+fn clean_sourced_run_matches_plain_run() {
+    let h = harness();
+    let (sourced, vessels, _) = sourced_world();
+    let (plain, plain_vessels) = h.baseline();
+    assert_eq!(vessels, &plain_vessels, "same fleet facts");
+    let base = h.run(&plain, vessels, ChaosEngine::Serial);
+    let got = h.run_sourced(sourced, vessels, ChaosEngine::Serial);
+    check_identical("sourced-identity", &base.observation, &got.observation)
+        .expect("clean sourced run must equal the plain run");
+    assert!(
+        base.observation.ce_total > 0,
+        "the socket world must recognize nontrivially or every oracle below is vacuous"
+    );
+}
+
+/// CE-preserving socket plans — reconnect storms (pure clean-boundary
+/// duplication, absorbed by per-source dedup) plus bounded reorders —
+/// must be invisible: equivalence, projection (vacuously), and
+/// cross-engine agreement all green.
+#[test]
+fn reconnect_storms_are_invisible_to_recognition() {
+    let h = harness();
+    for seed in 0..3u64 {
+        let plan = SocketPlan::storm(seed, N_SOURCES, h.admission_skew_secs);
+        assert!(plan.preserves_ces(h.admission_skew_secs), "storm generator contract");
+        let (sourced, _, _) = sourced_world();
+        let (_, stats) = plan.apply(sourced);
+        assert!(stats.cuts > 0, "plan {seed} must actually cut: {plan:?}");
+        h.check_socket_plan(&plan, N_SOURCES)
+            .unwrap_or_else(|v| panic!("storm plan {seed} violated an oracle: {v}"));
+    }
+}
+
+/// Hostile plans (cuts, half-opens, storms, reorders mixed) may lose
+/// sentences — but all four engines must degrade *identically* through
+/// the damage.
+#[test]
+fn engines_agree_under_hostile_socket_faults() {
+    let h = harness();
+    for seed in [7u64, 23] {
+        let plan = SocketPlan::hostile(seed, N_SOURCES);
+        h.check_socket_plan(&plan, N_SOURCES)
+            .unwrap_or_else(|v| panic!("hostile plan {seed} violated an oracle: {v}"));
+    }
+}
+
+/// A source that is half-open from its first line silences exactly its
+/// own vessels: their CEs may disappear, every other vessel's CEs are
+/// byte-identical, and nothing new appears (the vessel-projection
+/// oracle, driven by the known per-source MMSI sets).
+#[test]
+fn dead_source_only_loses_its_own_vessels() {
+    let h = harness();
+    let plan = SocketPlan::new(
+        0xDEAD,
+        vec![SocketOp::HalfOpen { source: 2, at_per_mille: 0 }],
+    );
+    assert_eq!(plan.silenced_sources(), vec![2]);
+    let (_, _, mmsis) = sourced_world();
+    assert!(!mmsis[1].is_empty(), "source 2 must carry vessels");
+    h.check_socket_plan(&plan, N_SOURCES)
+        .unwrap_or_else(|v| panic!("dead-source plan violated an oracle: {v}"));
+}
+
+/// A mid-sentence cut loses at most the one in-flight sentence and
+/// resets the source's defragmenter; recognition survives and the
+/// engines still agree. (Byte-equivalence is *not* claimed — one
+/// sentence is genuinely gone.)
+#[test]
+fn mid_sentence_cut_degrades_gracefully() {
+    let h = harness();
+    let plan = SocketPlan::new(
+        0xC07,
+        vec![
+            SocketOp::CutMidSentence { source: 1, at_per_mille: 300 },
+            SocketOp::CutMidSentence { source: 3, at_per_mille: 700 },
+        ],
+    );
+    let (sourced, vessels, _) = sourced_world();
+    let (perturbed, stats) = plan.apply(sourced);
+    assert_eq!(stats.truncated, 2);
+    let got = h.run_sourced(&perturbed, vessels, ChaosEngine::Serial);
+    assert!(got.observation.ce_total > 0, "recognition must survive the cuts");
+    h.check_socket_plan(&plan, N_SOURCES)
+        .unwrap_or_else(|v| panic!("cut plan violated an oracle: {v}"));
+}
+
+/// Socket plans replay bit-exact from their JSON artifact, like sentence
+/// plans — the CI-replay contract.
+#[test]
+fn socket_plans_replay_from_json() {
+    let plan = SocketPlan::hostile(99, N_SOURCES);
+    let replayed = SocketPlan::from_json(&plan.to_json()).expect("round-trip");
+    assert_eq!(replayed, plan);
+    let (sourced, _, _) = sourced_world();
+    assert_eq!(plan.apply(sourced), replayed.apply(sourced));
+}

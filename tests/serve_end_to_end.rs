@@ -1,0 +1,265 @@
+//! End-to-end `surveil serve`: real TCP sockets, live watermark-driven
+//! sliding, broadcast fan-out — differentially pinned against the batch
+//! pipeline (`ISSUE` 8 acceptance).
+//!
+//! The contract under test: streaming sentences over a socket into a
+//! resident server yields the *byte-identical* wire event sequence that
+//! the batch pipeline produces from the same log, a subscriber joining
+//! mid-stream receives exactly a suffix of that sequence, `/metrics`
+//! answers over HTTP while the server runs, and a connection cut
+//! mid-sentence is discarded without disturbing recognition.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration as StdDuration, Instant};
+
+use maritime::serve::{self, ServeOptions, WireEncoder};
+use maritime::{SurveillanceConfig, SurveillancePipeline};
+use maritime_ais::{DataScanner, PositionTuple};
+use maritime_cer::VesselInfo;
+use maritime_chaos::{demo_sentences, StreamLine};
+use maritime_geo::aegean::{generate_areas, AreaGenConfig};
+use maritime_stream::{AdmissionBuffer, Duration, Timestamp, WindowSpec};
+
+/// A small but nontrivial world: badly behaved vessels whose stream
+/// raises alerts as well as durative CEs (asserted below).
+fn world() -> (Vec<StreamLine>, Vec<VesselInfo>) {
+    demo_sentences(0xC4A05, 30, 8)
+}
+
+/// Windows fast enough that 6 hours cross several recognition queries.
+fn config() -> SurveillanceConfig {
+    SurveillanceConfig {
+        tracking_window: WindowSpec::new(Duration::minutes(30), Duration::minutes(5))
+            .expect("valid tracking window"),
+        recognition_window: WindowSpec::new(Duration::hours(2), Duration::minutes(30))
+            .expect("valid recognition window"),
+        ..SurveillanceConfig::default()
+    }
+}
+
+fn options(vessels: Vec<VesselInfo>) -> ServeOptions {
+    ServeOptions {
+        config: config(),
+        vessels,
+        areas: generate_areas(&AreaGenConfig::default()),
+        ..ServeOptions::default()
+    }
+}
+
+/// The batch side of the differential: admission → scan → pipeline →
+/// the same `WireEncoder`, exactly what `surveil` batch mode renders.
+fn batch_events(lines: &[StreamLine], vessels: &[VesselInfo]) -> Vec<String> {
+    let mut pipeline = SurveillancePipeline::new(
+        &config(),
+        vessels.to_vec(),
+        generate_areas(&AreaGenConfig::default()),
+    )
+    .expect("batch config validates");
+    let mut admission: AdmissionBuffer<String> = AdmissionBuffer::new(Duration::secs(120));
+    let mut scanner = DataScanner::new();
+    let mut tuples: Vec<PositionTuple> = Vec::new();
+    let drain = |scanner: &mut DataScanner,
+                     tuples: &mut Vec<PositionTuple>,
+                     batch: Vec<(Timestamp, String)>| {
+        for (t, line) in batch {
+            if let Some(tuple) = scanner.scan(&line, t) {
+                tuples.push(tuple);
+            }
+        }
+    };
+    for (t, line) in lines {
+        let released = admission.push(Timestamp(*t), line.clone());
+        drain(&mut scanner, &mut tuples, released);
+    }
+    drain(&mut scanner, &mut tuples, admission.flush());
+
+    let mut encoder = WireEncoder::new();
+    let mut events = Vec::new();
+    pipeline.run_with_observer(tuples, |outcome| {
+        events.extend(encoder.encode_outcome(outcome));
+    });
+    events
+}
+
+/// Connects a CE-out subscriber and waits until the hub has registered it
+/// (registration happens on a server thread after accept).
+fn subscribe(handle: &maritime::ServerHandle, expect_count: usize) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(handle.subscribe.expect("subscribe port enabled"))
+        .expect("subscriber connects");
+    stream
+        .set_read_timeout(Some(StdDuration::from_secs(60)))
+        .expect("read timeout");
+    let deadline = Instant::now() + StdDuration::from_secs(10);
+    while handle.hub().subscriber_count() < expect_count {
+        assert!(Instant::now() < deadline, "hub never registered subscriber {expect_count}");
+        std::thread::sleep(StdDuration::from_millis(5));
+    }
+    BufReader::new(stream)
+}
+
+/// Reads wire events until (and including) the `flushed` marker.
+fn read_until_flushed(reader: &mut BufReader<TcpStream>) -> Vec<String> {
+    let mut events = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("subscriber read");
+        assert!(n > 0, "stream ended before the flushed marker: {} events", events.len());
+        let line = line.trim_end().to_string();
+        let done = line.starts_with("{\"type\":\"flushed\"");
+        events.push(line);
+        if done {
+            return events;
+        }
+    }
+}
+
+fn feed_lines(addr: std::net::SocketAddr, lines: &[StreamLine]) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("feed connects");
+    let mut buf = String::new();
+    for (t, line) in lines {
+        buf.push_str(&format!("{t} {line}\n"));
+    }
+    stream.write_all(buf.as_bytes()).expect("feed writes");
+    stream.flush().expect("feed flushes");
+    stream
+}
+
+#[test]
+fn tcp_streamed_sentences_match_the_batch_pipeline_byte_for_byte() {
+    let (lines, vessels) = world();
+    let expected = batch_events(&lines, &vessels);
+    assert!(!expected.is_empty(), "batch run must produce events");
+    assert!(
+        expected.iter().any(|e| e.starts_with("{\"type\":\"alert\"")),
+        "world must raise at least one alert or the test is vacuous"
+    );
+
+    let handle = serve::start(options(vessels)).expect("server starts");
+    let mut sub = subscribe(&handle, 1);
+
+    // A connection that dies mid-sentence before the real feed: the
+    // unterminated partial must be discarded, never recognized.
+    {
+        let mut cut = TcpStream::connect(handle.nmea_tcp.unwrap()).expect("cut connects");
+        cut.write_all(b"0 !AIVDM,1,1,,A,13u?etPv2;0n:dDPwUM1U1Cb069D").expect("partial write");
+        cut.flush().expect("partial flush");
+    } // dropped without a newline — a mid-sentence cut
+
+    let mut feed = feed_lines(handle.nmea_tcp.unwrap(), &lines);
+    feed.write_all(b"#flush\n").expect("flush control");
+    feed.flush().expect("feed flush");
+
+    let got = read_until_flushed(&mut sub);
+    let (flushed, events) = got.split_last().expect("at least the marker");
+    assert!(flushed.starts_with("{\"type\":\"flushed\",\"at\":"));
+    assert_eq!(
+        events,
+        &expected[..],
+        "live serve output must equal batch output byte for byte"
+    );
+
+    // /metrics answers over HTTP while the server is live, in both
+    // encodings, and has seen the partial-line discard.
+    let text = http_get(handle.http.unwrap(), "/metrics");
+    assert!(text.contains("# TYPE serve_sentences_total counter"), "prometheus text:\n{text}");
+    assert!(metric_value(&text, "serve_filtered_lines_total") >= 1, "partial line counted");
+    assert!(metric_value(&text, "cer_ce_recognized_total") >= 1, "CEs visible live");
+    let json = http_get(handle.http.unwrap(), "/metrics.json");
+    assert!(json.contains("\"serve_sentences_total\""), "json encoding:\n{json}");
+    assert!(http_get(handle.http.unwrap(), "/healthz").contains("ok"));
+    let sources = http_get(handle.http.unwrap(), "/sources");
+    assert!(sources.contains("\"accepted\""), "per-source stats:\n{sources}");
+
+    let stats = handle.ingest_stats();
+    assert_eq!(stats.lines, lines.len() as u64, "every fed sentence reached the driver");
+    assert_eq!(
+        stats.accepted + stats.duplicates,
+        lines.len() as u64,
+        "sentences are either admitted or deduped (never silently lost)"
+    );
+    assert!(stats.queries > 0 && stats.ce_total > 0);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn mid_stream_subscriber_receives_exactly_the_subsequent_events() {
+    let (lines, vessels) = world();
+    let handle = serve::start(options(vessels)).expect("server starts");
+    let mut first = subscribe(&handle, 1);
+
+    let split = lines.len() / 2;
+    let _feed_a = feed_lines(handle.nmea_tcp.unwrap(), &lines[..split]);
+
+    // Wait until the first half produced at least one event, so the late
+    // subscriber verifiably joins mid-stream.
+    let mut head = String::new();
+    first.read_line(&mut head).expect("first event for early subscriber");
+    assert!(head.starts_with("{\"type\":\""), "got: {head}");
+
+    let mut second = subscribe(&handle, 2);
+    let mut feed_b = feed_lines(handle.nmea_tcp.unwrap(), &lines[split..]);
+    feed_b.write_all(b"#flush\n").expect("flush control");
+    feed_b.flush().expect("feed flush");
+
+    let mut early = vec![head.trim_end().to_string()];
+    early.extend(read_until_flushed(&mut first));
+    let late = read_until_flushed(&mut second);
+
+    assert!(late.len() >= 2, "late subscriber saw the tail: {late:?}");
+    assert!(
+        late.len() < early.len(),
+        "late subscriber joined mid-stream ({} vs {} events)",
+        late.len(),
+        early.len()
+    );
+    assert!(
+        early.ends_with(&late),
+        "a mid-stream join receives exactly a suffix of the full stream;\nearly tail: {:?}\nlate: {:?}",
+        &early[early.len().saturating_sub(3)..],
+        &late[..late.len().min(3)]
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_control_line_stops_the_server() {
+    let (_, vessels) = world();
+    let handle = serve::start(options(vessels)).expect("server starts");
+    let mut feed = TcpStream::connect(handle.nmea_tcp.unwrap()).expect("feed connects");
+    feed.write_all(b"#shutdown\n").expect("control write");
+    feed.flush().expect("control flush");
+    let deadline = Instant::now() + StdDuration::from_secs(10);
+    while !handle.is_shutdown() {
+        assert!(Instant::now() < deadline, "#shutdown never took effect");
+        std::thread::sleep(StdDuration::from_millis(10));
+    }
+    handle.join();
+}
+
+/// Minimal HTTP/1.0 GET, enough for the server's own endpoint surface.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("http connects");
+    stream
+        .set_read_timeout(Some(StdDuration::from_secs(10)))
+        .expect("read timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nhost: test\r\n\r\n").as_bytes())
+        .expect("http request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("http response");
+    assert!(body.starts_with("HTTP/1.0 200"), "{path} failed:\n{body}");
+    body
+}
+
+/// The value of a counter in Prometheus text exposition.
+fn metric_value(text: &str, name: &str) -> i64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map_or(-1, |v| v as i64)
+}

@@ -1,0 +1,154 @@
+//! Keeps `SERVING.md` honest (`ISSUE` 8: operator handbook pinned by
+//! tests).
+//!
+//! Three contracts:
+//!
+//! 1. **Flags, two-way**: every `surveil serve` / `surveil feed` flag in
+//!    the binary's flag tables is documented, and every `--flag` the
+//!    handbook mentions exists — an undocumented flag and a documented
+//!    phantom both fail.
+//! 2. **Wire protocol, golden**: the example event lines in the handbook
+//!    are not prose — they are re-generated here from the real
+//!    [`WireEncoder`] and must match byte for byte.
+//! 3. **Controls, framing, endpoints**: the `#flush` / `#shutdown`
+//!    control lines, the `<epoch-secs> <sentence>` framing template, and
+//!    every HTTP route the server answers must appear.
+
+use std::collections::BTreeSet;
+
+use maritime::serve::cli::{FEED_FLAGS, SERVE_FLAGS};
+use maritime::serve::{sse_frame, WireEncoder, CONTROL_FLUSH, CONTROL_SHUTDOWN};
+use maritime_cer::{Alert, AlertKind, RecognitionSummary};
+use maritime_geo::AreaId;
+use maritime_stream::Timestamp;
+
+const HANDBOOK: &str = include_str!("../SERVING.md");
+
+/// Backticked `--flag` tokens in the handbook.
+fn documented_flags() -> BTreeSet<String> {
+    let mut found = BTreeSet::new();
+    for span in HANDBOOK.split('`').skip(1).step_by(2) {
+        if span.starts_with("--") {
+            let name: String = span
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '-')
+                .collect();
+            if name.len() > 2 {
+                found.insert(name);
+            }
+        }
+    }
+    found
+}
+
+fn table_flags() -> BTreeSet<String> {
+    SERVE_FLAGS
+        .iter()
+        .chain(FEED_FLAGS)
+        .map(|f| f.name.to_string())
+        .collect()
+}
+
+#[test]
+fn every_cli_flag_is_documented() {
+    let documented = documented_flags();
+    let missing: Vec<String> = table_flags()
+        .into_iter()
+        .filter(|f| !documented.contains(f))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "flags the binary accepts but SERVING.md does not document: {missing:?}"
+    );
+}
+
+#[test]
+fn every_documented_flag_exists() {
+    let tables = table_flags();
+    let phantom: Vec<String> = documented_flags()
+        .into_iter()
+        .filter(|f| !tables.contains(f))
+        .collect();
+    assert!(
+        phantom.is_empty(),
+        "SERVING.md documents flags the binary does not accept: {phantom:?}"
+    );
+}
+
+/// The worked protocol example in the handbook, regenerated from the
+/// real encoder.
+fn example_events() -> Vec<String> {
+    let summary = RecognitionSummary {
+        query_time: Timestamp(7200),
+        suspicious: Vec::new(),
+        illegal_fishing: Vec::new(),
+        alerts: vec![(
+            Timestamp(6505),
+            Alert {
+                kind: AlertKind::IllegalShipping,
+                vessel: maritime_ais::Mmsi(237_000_001),
+                area: AreaId(29),
+            },
+        )],
+        ce_count: 1,
+        working_memory: 42,
+    };
+    let mut events = WireEncoder::new().encode_summary(&summary);
+    events.push(WireEncoder::flushed_marker(28_800));
+    events
+}
+
+#[test]
+fn wire_protocol_examples_are_golden() {
+    for line in example_events() {
+        assert!(
+            HANDBOOK.contains(&line),
+            "SERVING.md protocol example is stale; the encoder now emits:\n{line}"
+        );
+    }
+}
+
+#[test]
+fn sse_example_is_golden() {
+    let alert_line = example_events().remove(0);
+    let frame = sse_frame(&alert_line);
+    assert!(
+        HANDBOOK.contains(&frame),
+        "SERVING.md SSE example is stale; the encoder now frames:\n{frame}"
+    );
+}
+
+#[test]
+fn control_lines_and_framing_are_documented() {
+    for needle in [CONTROL_FLUSH, CONTROL_SHUTDOWN, "<epoch-secs> <sentence>"] {
+        assert!(
+            HANDBOOK.contains(&format!("`{needle}`")),
+            "SERVING.md must document `{needle}`"
+        );
+    }
+}
+
+#[test]
+fn every_http_endpoint_is_documented() {
+    // The route list of `serve`'s HTTP surface; extending the server
+    // without extending the handbook fails here.
+    for route in ["/metrics", "/metrics.json", "/sources", "/healthz", "/events"] {
+        assert!(
+            HANDBOOK.contains(&format!("`{route}`")),
+            "SERVING.md must document the `{route}` endpoint"
+        );
+    }
+}
+
+#[test]
+fn the_demo_transcript_commands_parse() {
+    use maritime::serve::cli::{FeedCli, ServeCli};
+    // The quick-start commands in SERVING.md, re-parsed with the real
+    // parsers so the transcript cannot rot.
+    let serve = ["--demo-fleet", "20", "--run-secs", "60"].map(String::from);
+    ServeCli::parse(&serve).expect("quick-start serve command parses");
+    let feed = ["--demo", "20", "6", "--to", "127.0.0.1:10110", "--flush"].map(String::from);
+    FeedCli::parse(&feed).expect("quick-start feed command parses");
+    let control = ["--control", "shutdown", "--to", "127.0.0.1:10110"].map(String::from);
+    FeedCli::parse(&control).expect("quick-start control command parses");
+}
