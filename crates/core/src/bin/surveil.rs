@@ -9,6 +9,7 @@
 //! surveil --demo 60 24 --trace         # provenance chains -> ce-chains.json
 //! surveil explain 'suspicious/area3@7200'   # proof tree for one CE
 //! surveil --demo 60 24 --trace-out trace.json --flight-dump flight.json
+//! surveil watch --http 127.0.0.1:9090       # live vitals of a server
 //! ```
 //!
 //! Log format: one message per line, `<epoch-seconds> <!AIVDM sentence>`.
@@ -90,6 +91,9 @@ fn parse_args() -> Options {
     if args.first().map(String::as_str) == Some("feed") {
         cmd_feed(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("watch") {
+        cmd_watch(&args[1..]);
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -153,7 +157,8 @@ fn parse_args() -> Options {
                      [--hours N] [--skew SECS] [--plan FILE] [--out DIR]\n       \
                      surveil serve [FLAGS]   (see SERVING.md)\n       \
                      surveil feed (--demo V H | --input FILE | --control NAME) \
-                     --to HOST:PORT [--rate N] [--flush]"
+                     --to HOST:PORT [--rate N] [--flush]\n       \
+                     surveil watch --http HOST:PORT [--interval-ms MS] [--samples N]"
                 );
                 std::process::exit(0);
             }
@@ -396,7 +401,7 @@ fn cmd_serve(args: &[String]) -> ! {
         eprintln!("serve: ce-out subscribers on {addr}");
     }
     if let Some(addr) = handle.http {
-        eprintln!("serve: http (/metrics, /sources, /events) on {addr}");
+        eprintln!("serve: http (/metrics, /metrics/history, /dashboard, /events) on {addr}");
     }
     let deadline = cli
         .run_secs
@@ -417,6 +422,140 @@ fn cmd_serve(args: &[String]) -> ! {
         stats.lines, stats.accepted, stats.filtered, stats.duplicates, stats.queries, stats.ce_total
     );
     std::process::exit(0);
+}
+
+/// `surveil watch`: a terminal vitals loop over a running server's HTTP
+/// endpoint. Each poll fetches `/metrics/history` and `/healthz` and
+/// prints one line: the health state, the newest sample's sequence
+/// number, per-second rates derived from the last two ring samples, and
+/// the current connection/buffer levels. `--samples N` bounds the run
+/// for scripting; the default polls until interrupted.
+fn cmd_watch(args: &[String]) -> ! {
+    use maritime::serve::cli::WatchCli;
+
+    let cli = WatchCli::parse(args).unwrap_or_else(|e| {
+        eprintln!("watch: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "watch: polling http://{} every {} ms{}",
+        cli.http,
+        cli.interval_ms,
+        if cli.samples > 0 { format!(" for {} sample(s)", cli.samples) } else { String::new() }
+    );
+    let interval = std::time::Duration::from_millis(cli.interval_ms);
+    let mut polls = 0u64;
+    let mut failures = 0u32;
+    loop {
+        match watch_vitals_line(&cli.http) {
+            Ok(line) => {
+                failures = 0;
+                println!("{line}");
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("watch: {e}");
+                // A restarting server deserves patience; a dead one does not.
+                if failures >= 5 {
+                    eprintln!("watch: {failures} consecutive failures, giving up");
+                    std::process::exit(1);
+                }
+            }
+        }
+        polls += 1;
+        if cli.samples > 0 && polls >= cli.samples {
+            std::process::exit(0);
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Per-second rate of a named counter, derived from the last two samples.
+type RateFn<'a> = Box<dyn Fn(&str) -> f64 + 'a>;
+
+/// One vitals line from the server: health state + derived rates/levels.
+fn watch_vitals_line(addr: &str) -> Result<String, String> {
+    use serde_json::Value;
+
+    let history = watch_http_get(addr, "/metrics/history")?;
+    let v: Value = serde_json::from_str(&history)
+        .map_err(|e| format!("/metrics/history is not JSON: {e}"))?;
+    let Some(Value::Array(samples)) = v.get("samples") else {
+        return Err("/metrics/history has no samples array".to_string());
+    };
+    let metric = |sample: &Value, name: &str| -> f64 {
+        watch_num(sample.get("metrics").and_then(|m| m.get(name)).and_then(|m| m.get("value")))
+    };
+    let (cur, rate): (&Value, RateFn) = match samples.len() {
+        0 => return Err("/metrics/history is empty".to_string()),
+        1 => (&samples[0], Box::new(|_| 0.0)),
+        n => {
+            let (prev, cur) = (&samples[n - 2], &samples[n - 1]);
+            let dt = (watch_num(cur.get("at_ns")) - watch_num(prev.get("at_ns"))) / 1e9;
+            let rate = move |name: &str| {
+                if dt > 0.0 {
+                    ((metric(cur, name) - metric(prev, name)).max(0.0)) / dt
+                } else {
+                    0.0
+                }
+            };
+            (cur, Box::new(rate))
+        }
+    };
+    // /healthz answers 503 when critical; the state is still in the body.
+    let state = watch_http_get(addr, "/healthz")
+        .unwrap_or_else(|_| "unreachable".to_string())
+        .lines()
+        .next()
+        .unwrap_or("unreachable")
+        .to_string();
+    Ok(format!(
+        "health={state} seq={} | lines/s={:.1} positions/s={:.1} CE/s={:.2} alerts/s={:.2} \
+         | sources={} subscribers={} buffered={} vessels={}",
+        watch_num(cur.get("seq")) as u64,
+        rate("serve_sentences_total"),
+        rate("ais_positions_total"),
+        rate("cer_ce_recognized_total"),
+        rate("cer_alerts_total"),
+        metric(cur, "serve_sources_connected"),
+        metric(cur, "serve_subscribers_connected"),
+        metric(cur, "stream_admission_buffered"),
+        metric(cur, "tracker_active_vessels"),
+    ))
+}
+
+/// A JSON number as `f64`; 0 for absent or non-numeric values.
+fn watch_num(v: Option<&serde_json::Value>) -> f64 {
+    use serde_json::Value;
+    match v {
+        Some(Value::Int(i)) => *i as f64,
+        Some(Value::UInt(u)) => *u as f64,
+        Some(Value::Float(f)) => *f,
+        _ => 0.0,
+    }
+}
+
+/// Minimal HTTP/1.0 GET returning the response body. The watch loop only
+/// talks to `surveil serve`'s own endpoint surface, so a hand-rolled
+/// client keeps the binary dependency-free.
+fn watch_http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nhost: watch\r\n\r\n").as_bytes())
+        .map_err(|e| format!("{path}: send failed: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{path}: read failed: {e}"))?;
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| format!("{path}: malformed HTTP response"))
 }
 
 /// `surveil feed`: streams an NMEA log (demo or file) to a running server

@@ -46,6 +46,20 @@ pub const SERVE_FLAGS: &[FlagSpec] = &[
     flag("--demo-fleet", Some("N"), "vessel facts for the N-vessel demo fleet (matches 'surveil feed --demo N H')"),
     flag("--fleet", Some("FILE"), "vessel facts from a JSON array of {mmsi, draft_m, is_fishing}"),
     flag("--run-secs", Some("N"), "self-shutdown after N wall-clock seconds (default: run until #shutdown)"),
+    flag("--sample-secs", Some("SECS"), "telemetry sampling interval for /metrics/history and SLO health (default 2)"),
+    flag("--history-cap", Some("N"), "samples retained by the telemetry ring (default 256)"),
+    flag("--slo-stale", Some("N"), "silent intervals with sources connected before rate_collapse breaches (default 3)"),
+    flag("--slo-max-evictions", Some("N"), "subscriber evictions tolerated per interval (default 0)"),
+    flag("--slo-error-ratio", Some("X"), "decode-error ratio tolerated per interval (default 0.5)"),
+    flag("--slo-max-lag-ms", Some("MS"), "mean admission-to-alert latency tolerated (default 5000)"),
+    flag("--slo-critical-after", Some("N"), "consecutive breaching evaluations before critical (default 5)"),
+];
+
+/// Every `surveil watch` flag.
+pub const WATCH_FLAGS: &[FlagSpec] = &[
+    flag("--http", Some("HOST:PORT"), "the server's HTTP address (required)"),
+    flag("--interval-ms", Some("MS"), "poll interval (default 1000)"),
+    flag("--samples", Some("N"), "stop after N polls; 0 runs until interrupted (default 0)"),
 ];
 
 /// Every `surveil feed` flag.
@@ -95,6 +109,12 @@ pub struct ServeCli {
     pub fleet: Option<String>,
     /// Self-shutdown deadline, seconds.
     pub run_secs: Option<u64>,
+    /// Telemetry sampling interval, seconds.
+    pub sample_secs: u64,
+    /// Telemetry ring capacity.
+    pub history_cap: usize,
+    /// SLO bounds for the health engine.
+    pub slo: crate::serve::SloThresholds,
 }
 
 impl Default for ServeCli {
@@ -117,6 +137,9 @@ impl Default for ServeCli {
             demo_fleet: None,
             fleet: None,
             run_secs: None,
+            sample_secs: 2,
+            history_cap: 256,
+            slo: crate::serve::SloThresholds::default(),
         }
     }
 }
@@ -207,6 +230,41 @@ impl ServeCli {
                             .map_err(|_| "--run-secs needs seconds".to_string())?,
                     );
                 }
+                "--sample-secs" => {
+                    cli.sample_secs = value(a, &mut it)?
+                        .parse()
+                        .map_err(|_| "--sample-secs needs seconds".to_string())?;
+                }
+                "--history-cap" => {
+                    cli.history_cap = value(a, &mut it)?
+                        .parse()
+                        .map_err(|_| "--history-cap needs a positive integer".to_string())?;
+                }
+                "--slo-stale" => {
+                    cli.slo.stale_intervals = value(a, &mut it)?
+                        .parse()
+                        .map_err(|_| "--slo-stale needs an interval count".to_string())?;
+                }
+                "--slo-max-evictions" => {
+                    cli.slo.max_evictions = value(a, &mut it)?
+                        .parse()
+                        .map_err(|_| "--slo-max-evictions needs a count".to_string())?;
+                }
+                "--slo-error-ratio" => {
+                    cli.slo.error_ratio = value(a, &mut it)?
+                        .parse()
+                        .map_err(|_| "--slo-error-ratio needs a ratio in [0,1]".to_string())?;
+                }
+                "--slo-max-lag-ms" => {
+                    cli.slo.max_lag_ms = value(a, &mut it)?
+                        .parse()
+                        .map_err(|_| "--slo-max-lag-ms needs milliseconds".to_string())?;
+                }
+                "--slo-critical-after" => {
+                    cli.slo.critical_after = value(a, &mut it)?
+                        .parse()
+                        .map_err(|_| "--slo-critical-after needs a count".to_string())?;
+                }
                 other => return Err(format!("unknown serve flag: {other}")),
             }
         }
@@ -258,6 +316,56 @@ impl ServeCli {
             dedup_window: Duration::secs(self.dedup_secs),
             queue_bound: self.queue,
             ingest_bound: self.ingest_queue,
+            sample_interval: std::time::Duration::from_secs(self.sample_secs.max(1)),
+            history_capacity: self.history_cap,
+            slo: self.slo,
+        })
+    }
+}
+
+/// Parsed `surveil watch` invocation.
+#[derive(Debug, Clone)]
+pub struct WatchCli {
+    /// The server's HTTP address.
+    pub http: String,
+    /// Poll interval, milliseconds.
+    pub interval_ms: u64,
+    /// Polls before exiting (0 = until interrupted).
+    pub samples: u64,
+}
+
+impl WatchCli {
+    /// Parses `surveil watch` arguments (without the leading `watch`).
+    ///
+    /// # Errors
+    /// A human-readable message naming the offending flag or value.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut http = None;
+        let mut interval_ms = 1000u64;
+        let mut samples = 0u64;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--http" => http = it.next().cloned(),
+                "--interval-ms" => {
+                    interval_ms = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--interval-ms needs milliseconds")?;
+                }
+                "--samples" => {
+                    samples = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--samples needs a count")?;
+                }
+                other => return Err(format!("unknown watch flag: {other}")),
+            }
+        }
+        Ok(Self {
+            http: http.ok_or("watch needs --http HOST:PORT")?,
+            interval_ms: interval_ms.max(50),
+            samples,
         })
     }
 }
@@ -428,6 +536,40 @@ mod tests {
             }
             FeedCli::parse(&argv(&parts)).unwrap_or_else(|e| panic!("{} rejected: {e}", f.name));
         }
+    }
+
+    #[test]
+    fn every_watch_flag_is_parsed() {
+        for f in WATCH_FLAGS {
+            let mut parts: Vec<&str> = vec!["--http", "127.0.0.1:9090"];
+            if f.name != "--http" {
+                parts.extend([f.name, "500"]);
+            }
+            WatchCli::parse(&argv(&parts)).unwrap_or_else(|e| panic!("{} rejected: {e}", f.name));
+        }
+        assert!(WatchCli::parse(&[]).is_err(), "--http is required");
+        assert!(WatchCli::parse(&argv(&["--http", "x:1", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn slo_flags_reach_the_thresholds() {
+        let cli = ServeCli::parse(&argv(&[
+            "--sample-secs", "1", "--history-cap", "32", "--slo-stale", "2",
+            "--slo-max-evictions", "4", "--slo-error-ratio", "0.9",
+            "--slo-max-lag-ms", "250", "--slo-critical-after", "3",
+        ]))
+        .unwrap();
+        assert_eq!(cli.sample_secs, 1);
+        assert_eq!(cli.history_cap, 32);
+        assert_eq!(cli.slo.stale_intervals, 2);
+        assert_eq!(cli.slo.max_evictions, 4);
+        assert!((cli.slo.error_ratio - 0.9).abs() < 1e-9);
+        assert_eq!(cli.slo.max_lag_ms, 250);
+        assert_eq!(cli.slo.critical_after, 3);
+        let opts = cli.serve_options(Vec::new(), Vec::new()).unwrap();
+        assert_eq!(opts.sample_interval, std::time::Duration::from_secs(1));
+        assert_eq!(opts.history_capacity, 32);
+        assert_eq!(opts.slo.critical_after, 3);
     }
 
     #[test]

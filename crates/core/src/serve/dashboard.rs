@@ -1,0 +1,192 @@
+//! The `/dashboard` operator page: one self-contained HTML document.
+//!
+//! Zero dependencies end to end — the page is a single server-rendered
+//! string with inline CSS and inline JavaScript that polls
+//! `/metrics/history` and `/healthz` and draws SVG sparklines from the
+//! sample ring. The health state is rendered *server-side* into the
+//! initial document (the `health: <state>` line), so `curl /dashboard`
+//! shows the verdict without executing any script — which is exactly how
+//! the CI smoke test asserts it.
+
+use super::health::ServeTelemetry;
+
+/// Counter series the dashboard charts as per-interval rates.
+const RATE_SERIES: &[(&str, &str)] = &[
+    ("serve_sentences_total", "lines/s"),
+    ("ais_positions_total", "positions/s"),
+    ("pipeline_slides_total", "slides/s"),
+    ("cer_ce_recognized_total", "CE/s"),
+    ("cer_alerts_total", "alerts/s"),
+    ("serve_events_broadcast_total", "events/s"),
+];
+
+/// Gauge series the dashboard charts as levels.
+const LEVEL_SERIES: &[(&str, &str)] = &[
+    ("serve_sources_connected", "sources"),
+    ("serve_subscribers_connected", "subscribers"),
+    ("stream_admission_buffered", "buffered"),
+    ("tracker_active_vessels", "vessels"),
+];
+
+/// Renders the dashboard document for the current telemetry state.
+pub(crate) fn render(telemetry: &ServeTelemetry) -> String {
+    let state = telemetry.state();
+    let healthz = telemetry.healthz_body();
+    let detail: String = healthz
+        .lines()
+        .skip(1)
+        .map(|l| format!("{}\n", html_escape(l)))
+        .collect();
+    let rate_json = series_json(RATE_SERIES);
+    let level_json = series_json(LEVEL_SERIES);
+    format!(
+        r#"<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>surveil serve — live telemetry</title>
+<style>
+  body {{ font: 14px/1.5 ui-monospace, monospace; background: #0d1117; color: #c9d1d9;
+         margin: 2rem auto; max-width: 72rem; padding: 0 1rem; }}
+  h1 {{ font-size: 1.2rem; color: #e6edf3; }}
+  .state {{ font-size: 1.1rem; font-weight: bold; }}
+  .state.ok {{ color: #3fb950; }}
+  .state.degraded {{ color: #d29922; }}
+  .state.critical {{ color: #f85149; }}
+  pre.detail {{ color: #d29922; white-space: pre-wrap; }}
+  .cards {{ display: grid; grid-template-columns: repeat(auto-fill, minmax(20rem, 1fr));
+            gap: 1rem; margin-top: 1rem; }}
+  .card {{ background: #161b22; border: 1px solid #30363d; border-radius: 6px;
+           padding: .6rem .8rem; }}
+  .card .name {{ color: #8b949e; font-size: .8rem; }}
+  .card .value {{ font-size: 1.3rem; color: #e6edf3; }}
+  .card svg {{ width: 100%; height: 3rem; }}
+  .card polyline {{ fill: none; stroke: #58a6ff; stroke-width: 1.5; }}
+  footer {{ color: #484f58; margin-top: 2rem; font-size: .8rem; }}
+</style>
+</head>
+<body>
+<h1>surveil serve — live telemetry</h1>
+<p class="state {state_class}" id="state">health: {state_name}</p>
+<pre class="detail" id="detail">{detail}</pre>
+<div class="cards" id="cards"></div>
+<footer>samples from <code>/metrics/history</code>, refreshed every 2 s;
+health from <code>/healthz</code>. Full catalog: <code>/metrics</code>.</footer>
+<script>
+const RATES = {rate_json};
+const LEVELS = {level_json};
+
+function spark(points) {{
+  if (points.length < 2) return '<svg viewBox="0 0 100 30"></svg>';
+  const max = Math.max(...points, 1e-9);
+  const step = 100 / (points.length - 1);
+  const pts = points
+    .map((v, i) => (i * step).toFixed(1) + ',' + (28 - 26 * (v / max)).toFixed(1))
+    .join(' ');
+  return '<svg viewBox="0 0 100 30" preserveAspectRatio="none">' +
+         '<polyline points="' + pts + '"/></svg>';
+}}
+
+function card(name, unit, value, points) {{
+  return '<div class="card"><div class="name">' + name + '</div>' +
+         '<div class="value">' + value + ' <small>' + unit + '</small></div>' +
+         spark(points) + '</div>';
+}}
+
+async function refresh() {{
+  try {{
+    const hist = await (await fetch('/metrics/history')).json();
+    const samples = hist.samples || [];
+    let html = '';
+    for (const [name, unit] of RATES) {{
+      const pts = [];
+      for (let i = 1; i < samples.length; i++) {{
+        const prev = samples[i - 1], cur = samples[i];
+        const a = (prev.metrics[name] || {{}}).value || 0;
+        const b = (cur.metrics[name] || {{}}).value || 0;
+        const dt = (cur.at_ns - prev.at_ns) / 1e9;
+        pts.push(dt > 0 ? Math.max(b - a, 0) / dt : 0);
+      }}
+      const last = pts.length ? pts[pts.length - 1].toFixed(1) : '0.0';
+      html += card(name, unit, last, pts);
+    }}
+    for (const [name, unit] of LEVELS) {{
+      const pts = samples.map(s => (s.metrics[name] || {{}}).value || 0);
+      const last = pts.length ? pts[pts.length - 1] : 0;
+      html += card(name, unit, last, pts);
+    }}
+    document.getElementById('cards').innerHTML = html;
+    const health = await (await fetch('/healthz')).text();
+    const lines = health.trim().split('\n');
+    const state = lines[0] || 'ok';
+    const el = document.getElementById('state');
+    el.textContent = 'health: ' + state;
+    el.className = 'state ' + state;
+    document.getElementById('detail').textContent = lines.slice(1).join('\n');
+  }} catch (e) {{ /* server going away mid-poll is fine */ }}
+}}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"#,
+        state_class = state.as_str(),
+        state_name = state.as_str(),
+        detail = detail,
+        rate_json = rate_json,
+        level_json = level_json,
+    )
+}
+
+/// `[["name","unit"],...]` for the inline script.
+fn series_json(series: &[(&str, &str)]) -> String {
+    let rows: Vec<String> = series
+        .iter()
+        .map(|(name, unit)| format!("[\"{name}\",\"{unit}\"]"))
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::health::{Breach, HealthState};
+
+    #[test]
+    fn dashboard_renders_health_server_side() {
+        let telemetry = ServeTelemetry::new(8);
+        let page = render(&telemetry);
+        assert!(page.starts_with("<!doctype html>"));
+        assert!(page.contains("health: ok"), "curl-greppable state line");
+        assert!(page.contains("/metrics/history"));
+        // Self-contained: no external fetches besides our own endpoints.
+        assert!(!page.contains("http://") && !page.contains("https://"));
+
+        telemetry.set_state(
+            HealthState::Critical,
+            &[Breach {
+                rule: "rate_collapse",
+                detail: "rate_collapse: 2 source(s) <silent>".to_string(),
+            }],
+        );
+        let page = render(&telemetry);
+        assert!(page.contains("health: critical"));
+        assert!(page.contains("&lt;silent&gt;"), "detail is HTML-escaped");
+    }
+
+    #[test]
+    fn charted_series_exist_in_the_catalog() {
+        use maritime_obs::names;
+        for (name, _) in RATE_SERIES.iter().chain(LEVEL_SERIES) {
+            assert!(
+                names::CATALOG.iter().any(|d| d.name == *name),
+                "dashboard charts unknown metric {name}"
+            );
+        }
+    }
+}

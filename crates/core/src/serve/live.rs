@@ -22,24 +22,27 @@
 //! `#flush` control line: drain the admission buffer, run the final
 //! recognition pass, emit the `flushed` marker.
 
+use std::time::Instant;
+
 use maritime_ais::{DataScanner, PositionTuple, ScanStats};
-use maritime_cer::VesselInfo;
+use maritime_cer::{AlertKind, RecognitionSummary, VesselInfo};
 use maritime_geo::Area;
-use maritime_obs::{names, LazyCounter};
+use maritime_obs::{names, LazyCounter, LazyHistogram, MetricsRegistry};
 use maritime_stream::{
     AdmissionBuffer, AdmissionStats, Duration, SourceId, SourceMux, SourceStats, SourceVerdict,
     Timestamp, WindowSpec,
 };
 
 use crate::config::SurveillanceConfig;
-use crate::pipeline::{SlideOutcome, SurveillancePipeline};
-use crate::serve::wire::WireEncoder;
+use crate::pipeline::{PhaseTimings, SlideOutcome, SurveillancePipeline};
+use crate::serve::wire::{alert_kind_name, WireEncoder};
 
 static OBS_BATCHES: LazyCounter = LazyCounter::new(names::STREAM_BATCHES);
 static OBS_SENTENCES: LazyCounter = LazyCounter::new(names::SERVE_SENTENCES);
 static OBS_FILTERED: LazyCounter = LazyCounter::new(names::SERVE_FILTERED_LINES);
 static OBS_DEDUP: LazyCounter = LazyCounter::new(names::SERVE_DEDUP_DROPS);
 static OBS_FLUSHES: LazyCounter = LazyCounter::new(names::SERVE_FLUSHES);
+static OBS_E2E: LazyHistogram = LazyHistogram::new(names::SERVE_E2E_LATENCY_NS);
 
 /// Re-creates [`maritime_stream::SlideBatches`] batching for a push-driven
 /// stream: tuples arrive one at a time, and every crossing of a query
@@ -123,7 +126,10 @@ pub struct IngestStats {
 /// docs for the layer diagram and `SERVING.md` for operator semantics.
 pub struct LiveIngest {
     mux: SourceMux,
-    admission: AdmissionBuffer<(String, u32)>,
+    /// Buffered `(line, source, admission stamp ns)` triples; the stamp
+    /// is wall-clock nanoseconds since `origin`, carried through the
+    /// buffer so end-to-end latency can be measured at alert emission.
+    admission: AdmissionBuffer<(String, u32, u64)>,
     scanner: DataScanner,
     batcher: LiveBatcher,
     pipeline: SurveillancePipeline,
@@ -131,6 +137,11 @@ pub struct LiveIngest {
     stats: IngestStats,
     last_t: Timestamp,
     flushed: bool,
+    /// Wall-clock origin for admission stamps.
+    origin: Instant,
+    /// Oldest admission stamp among tuples fed to the batcher since the
+    /// last recognition query — the numerator of `serve_e2e_latency_ns`.
+    pending_oldest: Option<u64>,
 }
 
 impl LiveIngest {
@@ -157,6 +168,8 @@ impl LiveIngest {
             stats: IngestStats::default(),
             last_t: Timestamp::ZERO,
             flushed: false,
+            origin: Instant::now(),
+            pending_oldest: None,
         })
     }
 
@@ -186,7 +199,8 @@ impl LiveIngest {
         }
         self.stats.accepted += 1;
         self.last_t = self.last_t.max(t);
-        let released = self.admission.push(t, (line.to_string(), source.0));
+        let stamp = self.origin.elapsed().as_nanos() as u64;
+        let released = self.admission.push(t, (line.to_string(), source.0, stamp));
         self.process_released(released)
     }
 
@@ -217,12 +231,13 @@ impl LiveIngest {
         events
     }
 
-    fn process_released(&mut self, released: Vec<(Timestamp, (String, u32))>) -> Vec<String> {
+    fn process_released(&mut self, released: Vec<(Timestamp, (String, u32, u64))>) -> Vec<String> {
         let mut events = Vec::new();
-        for (t, (line, source)) in released {
+        for (t, (line, source, stamp)) in released {
             let Some(tuple) = self.scanner.scan_from(source, &line, t) else {
                 continue;
             };
+            self.pending_oldest = Some(self.pending_oldest.map_or(stamp, |s| s.min(stamp)));
             let pipeline = &mut self.pipeline;
             let mut outcomes: Vec<SlideOutcome> = Vec::new();
             self.batcher.push(tuple, |q, batch| {
@@ -241,6 +256,14 @@ impl LiveIngest {
         if let Some(summary) = &outcome.recognition {
             self.stats.queries += 1;
             self.stats.ce_total += summary.ce_count as u64;
+            note_rules(summary, &outcome.timings);
+            // Admission-to-emission latency of the oldest sentence this
+            // recognition pass consumed; the stamp set resets at every
+            // query so a quiet stretch cannot inflate the next reading.
+            if let Some(stamp) = self.pending_oldest.take() {
+                let now = self.origin.elapsed().as_nanos() as u64;
+                OBS_E2E.record(now.saturating_sub(stamp));
+            }
         }
     }
 
@@ -271,6 +294,48 @@ impl LiveIngest {
     /// Per-source mux counters, for the `/sources` endpoint.
     pub fn sources(&self) -> impl Iterator<Item = (SourceId, &SourceStats)> {
         self.mux.sources()
+    }
+}
+
+/// Mirrors one recognition summary into the per-rule labeled families:
+/// `cer_rule_recognized_total{rule=...}` counts what each CE rule
+/// produced, and `cer_rule_latency_ns{rule=...}` attributes the slide's
+/// recognition wall time to every rule that fired. Runs once per
+/// recognition query, never per sentence.
+fn note_rules(summary: &RecognitionSummary, timings: &PhaseTimings) {
+    let registry = MetricsRegistry::global();
+    let mut fired: Vec<&'static str> = Vec::new();
+    let suspicious: u64 = summary.suspicious.iter().map(|(_, il)| il.len() as u64).sum();
+    if suspicious > 0 {
+        registry
+            .labeled_counter(&names::CER_RULE_RECOGNIZED, "suspicious")
+            .add(suspicious);
+        fired.push("suspicious");
+    }
+    let fishing: u64 = summary
+        .illegal_fishing
+        .iter()
+        .map(|(_, il)| il.len() as u64)
+        .sum();
+    if fishing > 0 {
+        registry
+            .labeled_counter(&names::CER_RULE_RECOGNIZED, "illegal_fishing")
+            .add(fishing);
+        fired.push("illegal_fishing");
+    }
+    for kind in [AlertKind::IllegalShipping, AlertKind::DangerousShipping] {
+        let n = summary.alerts.iter().filter(|(_, a)| a.kind == kind).count() as u64;
+        if n > 0 {
+            let rule = alert_kind_name(kind);
+            registry.labeled_counter(&names::CER_RULE_RECOGNIZED, rule).add(n);
+            fired.push(rule);
+        }
+    }
+    let recognition_ns = timings.recognition.as_nanos() as u64;
+    for rule in fired {
+        registry
+            .labeled_histogram(&names::CER_RULE_LATENCY_NS, rule)
+            .record(recognition_ns);
     }
 }
 

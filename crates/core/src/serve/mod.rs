@@ -9,7 +9,8 @@
 //!                  (bounded)   │   LiveBatcher ─> pipeline
 //!                              └─> WireEncoder ─> BroadcastHub ──^
 //!                                                 (bounded queues, eviction)
-//!  HTTP: /metrics /metrics.json /sources /healthz /events
+//!  HTTP: /metrics /metrics.json /metrics/history /sources /healthz
+//!        /dashboard /events
 //! ```
 //!
 //! One driver thread owns the whole recognition path ([`LiveIngest`]);
@@ -25,30 +26,37 @@
 //! every example there is pinned by a test against this module.
 
 pub mod cli;
+mod dashboard;
+pub mod health;
 pub mod hub;
 pub mod live;
 mod net;
 pub mod wire;
 
+pub use health::{HealthEngine, HealthState, ServeTelemetry, SloThresholds, SLO_RULES};
 pub use hub::BroadcastHub;
 pub use live::{IngestStats, LiveBatcher, LiveIngest};
 pub use wire::{sse_frame, WireEncoder, CONTROL_FLUSH, CONTROL_SHUTDOWN};
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use maritime_cer::VesselInfo;
 use maritime_geo::Area;
-use maritime_obs::{names, LazyCounter};
+use maritime_obs::{flight, names, Counter, FlightKind, LazyCounter, MetricsRegistry};
 use maritime_stream::Duration;
 use parking_lot::Mutex;
 
 use crate::config::{ConfigError, SurveillanceConfig};
 
 static OBS_INGEST_STALLS: LazyCounter = LazyCounter::new(names::SERVE_INGEST_STALLS);
+static OBS_SAMPLES: LazyCounter = LazyCounter::new(names::SERVE_SAMPLES);
+static OBS_OPS_ALERTS: LazyCounter = LazyCounter::new(names::SERVE_OPS_ALERTS);
 
 /// Everything `serve` needs to start; see `SERVING.md` for the operator
 /// view of each knob.
@@ -80,6 +88,14 @@ pub struct ServeOptions {
     /// Ingest channel bound — how many raw lines may wait for the driver
     /// before sources block (backpressure).
     pub ingest_bound: usize,
+    /// How often the driver samples the metric registry into the
+    /// telemetry ring (and evaluates the SLO health rules).
+    pub sample_interval: std::time::Duration,
+    /// How many samples the telemetry ring retains for
+    /// `/metrics/history` and the dashboard.
+    pub history_capacity: usize,
+    /// SLO bounds the health engine judges each interval against.
+    pub slo: SloThresholds,
 }
 
 impl Default for ServeOptions {
@@ -97,6 +113,9 @@ impl Default for ServeOptions {
             dedup_window: Duration::secs(10),
             queue_bound: 1024,
             ingest_bound: 4096,
+            sample_interval: std::time::Duration::from_secs(2),
+            history_capacity: 256,
+            slo: SloThresholds::default(),
         }
     }
 }
@@ -148,6 +167,7 @@ pub struct ServerHandle {
     threads: Vec<JoinHandle<()>>,
     hub: Arc<BroadcastHub>,
     live: Arc<Mutex<LiveIngest>>,
+    telemetry: Arc<ServeTelemetry>,
     /// Keeps the ingest channel open even with no socket listeners, so
     /// in-process tests can inject via [`ServerHandle::inject`].
     ingest_tx: SyncSender<Ingest>,
@@ -181,6 +201,12 @@ impl ServerHandle {
     #[must_use]
     pub fn hub(&self) -> &Arc<BroadcastHub> {
         &self.hub
+    }
+
+    /// The telemetry ring and health verdict the driver maintains.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<ServeTelemetry> {
+        &self.telemetry
     }
 
     /// Live-path counters (snapshot under the driver's lock).
@@ -226,6 +252,7 @@ pub fn start(opts: ServeOptions) -> Result<ServerHandle, ServeError> {
     .map_err(ServeError::Config)?;
     let live = Arc::new(Mutex::new(live));
     let hub = BroadcastHub::new(opts.queue_bound);
+    let telemetry = Arc::new(ServeTelemetry::new(opts.history_capacity));
     let shutdown = Arc::new(AtomicBool::new(false));
     let next_source = Arc::new(AtomicU32::new(1));
     let (ingest_tx, ingest_rx) = std::sync::mpsc::sync_channel(opts.ingest_bound.max(1));
@@ -262,10 +289,15 @@ pub fn start(opts: ServeOptions) -> Result<ServerHandle, ServeError> {
         let live = Arc::clone(&live);
         let hub = Arc::clone(&hub);
         let shutdown = Arc::clone(&shutdown);
+        let telemetry = Arc::clone(&telemetry);
+        let sample_interval = opts.sample_interval;
+        let slo = opts.slo;
         threads.push(
             std::thread::Builder::new()
                 .name("serve-driver".into())
-                .spawn(move || driver_loop(&ingest_rx, &live, &hub, &shutdown))
+                .spawn(move || {
+                    driver_loop(&ingest_rx, &live, &hub, &shutdown, &telemetry, sample_interval, slo);
+                })
                 .map_err(ServeError::Spawn)?,
         );
     }
@@ -305,10 +337,11 @@ pub fn start(opts: ServeOptions) -> Result<ServerHandle, ServeError> {
         let hub = Arc::clone(&hub);
         let live = Arc::clone(&live);
         let shutdown = Arc::clone(&shutdown);
+        let telemetry = Arc::clone(&telemetry);
         threads.push(
             std::thread::Builder::new()
                 .name("serve-http".into())
-                .spawn(move || net::http_loop(&listener, &hub, &live, &shutdown))
+                .spawn(move || net::http_loop(&listener, &hub, &live, &telemetry, &shutdown))
                 .map_err(ServeError::Spawn)?,
         );
     }
@@ -322,6 +355,7 @@ pub fn start(opts: ServeOptions) -> Result<ServerHandle, ServeError> {
         threads,
         hub,
         live,
+        telemetry,
         ingest_tx,
     })
 }
@@ -349,14 +383,24 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// The driver loop: drains the ingest channel into the live path and fans
-/// resulting wire events out through the hub.
+/// The driver loop: drains the ingest channel into the live path, fans
+/// resulting wire events out through the hub, and — every
+/// `sample_interval` — records a telemetry sample and evaluates the SLO
+/// health rules.
 fn driver_loop(
     rx: &Receiver<Ingest>,
     live: &Mutex<LiveIngest>,
     hub: &BroadcastHub,
     shutdown: &AtomicBool,
+    telemetry: &ServeTelemetry,
+    sample_interval: std::time::Duration,
+    slo: SloThresholds,
 ) {
+    let mut sampler = Sampler::new(slo);
+    // Seed the ring immediately so /metrics/history and the dashboard are
+    // never empty, even on a freshly started server.
+    sampler.tick(live, telemetry, hub);
+    let mut last_sample = Instant::now();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -385,6 +429,100 @@ fn driver_loop(
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
+        if last_sample.elapsed() >= sample_interval {
+            sampler.tick(live, telemetry, hub);
+            last_sample = Instant::now();
+        }
     }
     hub.close();
+}
+
+/// Last-mirrored per-source counters (lines, accepted, filtered,
+/// duplicates) plus whether the source had traffic in the last interval.
+struct MirroredSource {
+    counters: [&'static Counter; 4],
+    last: [u64; 4],
+    was_active: bool,
+}
+
+/// The driver's telemetry tick: mirror per-source mux counters into the
+/// `serve_source_*` labeled families, record one full-registry sample
+/// into the ring, and run the health engine over the newest interval.
+/// Runs on the driver thread between ingest batches — never on the
+/// per-sentence hot path.
+struct Sampler {
+    engine: HealthEngine,
+    prev: Option<Arc<maritime_obs::Sample>>,
+    mirrored: HashMap<u32, MirroredSource>,
+}
+
+impl Sampler {
+    fn new(slo: SloThresholds) -> Self {
+        Self {
+            engine: HealthEngine::new(slo),
+            prev: None,
+            mirrored: HashMap::new(),
+        }
+    }
+
+    fn tick(&mut self, live: &Mutex<LiveIngest>, telemetry: &ServeTelemetry, hub: &BroadcastHub) {
+        self.mirror_sources(live);
+        let snapshot = maritime_obs::snapshot();
+        telemetry.ring().record(snapshot);
+        OBS_SAMPLES.inc();
+        let cur = telemetry
+            .ring()
+            .latest()
+            .expect("ring non-empty after record");
+        if let Some(prev) = self.prev.take() {
+            let eval = self.engine.evaluate(&prev, &cur);
+            telemetry.set_state(eval.state, &eval.breaches);
+            if let Some(line) = eval.ops_alert {
+                OBS_OPS_ALERTS.inc();
+                hub.broadcast(&line);
+            }
+        }
+        self.prev = Some(cur);
+    }
+
+    /// Copies per-source [`SourceMux`](maritime_stream::SourceMux) deltas
+    /// into the labeled counter families, so per-source rates show up in
+    /// `/metrics` and the ring without touching the per-sentence path.
+    /// A previously active source going silent lands in the flight
+    /// recorder — the per-feed death marker.
+    fn mirror_sources(&mut self, live: &Mutex<LiveIngest>) {
+        let stats: Vec<(u32, [u64; 4])> = {
+            let live = live.lock();
+            live.sources()
+                .map(|(id, s)| (id.0, [s.lines, s.accepted, s.filtered, s.duplicates]))
+                .collect()
+        };
+        let registry = MetricsRegistry::global();
+        for (id, now) in stats {
+            let entry = self.mirrored.entry(id).or_insert_with(|| {
+                let value = id.to_string();
+                MirroredSource {
+                    counters: [
+                        registry.labeled_counter(&names::SERVE_SOURCE_LINES, &value),
+                        registry.labeled_counter(&names::SERVE_SOURCE_ACCEPTED, &value),
+                        registry.labeled_counter(&names::SERVE_SOURCE_FILTERED, &value),
+                        registry.labeled_counter(&names::SERVE_SOURCE_DUPLICATES, &value),
+                    ],
+                    last: [0; 4],
+                    was_active: false,
+                }
+            });
+            let line_delta = now[0].saturating_sub(entry.last[0]);
+            for (i, counter) in entry.counters.iter().enumerate() {
+                counter.add(now[i].saturating_sub(entry.last[i]));
+            }
+            entry.last = now;
+            if entry.was_active && line_delta == 0 {
+                flight::record(FlightKind::Note, move || {
+                    format!("source {id} went silent this sampling interval")
+                });
+            }
+            entry.was_active = line_delta > 0;
+        }
+    }
 }

@@ -20,10 +20,11 @@ use std::time::Instant;
 use maritime_obs::{names, LazyCounter, LazyGauge};
 use parking_lot::Mutex;
 
+use super::health::ServeTelemetry;
 use super::hub::BroadcastHub;
 use super::live::LiveIngest;
 use super::wire::{sse_frame, CONTROL_FLUSH, CONTROL_SHUTDOWN};
-use super::{send_ingest, Ingest};
+use super::{dashboard, send_ingest, Ingest};
 
 static OBS_SOURCES_CONNECTED: LazyGauge = LazyGauge::new(names::SERVE_SOURCES_CONNECTED);
 static OBS_SOURCES: LazyCounter = LazyCounter::new(names::SERVE_SOURCES);
@@ -231,12 +232,15 @@ pub(crate) fn subscriber_loop(
 }
 
 /// Serves the HTTP surface: `/metrics` (Prometheus text), `/metrics.json`,
-/// `/sources` (per-source mux counters), `/healthz`, and `/events` (SSE
-/// stream of the same wire events TCP subscribers get).
+/// `/metrics/history` (the telemetry ring), `/sources` (per-source mux
+/// counters), `/healthz` (SLO verdict), `/dashboard` (the operator page),
+/// and `/events` (SSE stream of the same wire events TCP subscribers
+/// get).
 pub(crate) fn http_loop(
     listener: &TcpListener,
     hub: &Arc<BroadcastHub>,
     live: &Arc<Mutex<LiveIngest>>,
+    telemetry: &Arc<ServeTelemetry>,
     shutdown: &Arc<AtomicBool>,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
@@ -244,9 +248,10 @@ pub(crate) fn http_loop(
             Ok((stream, _peer)) => {
                 let hub = Arc::clone(hub);
                 let live = Arc::clone(live);
+                let telemetry = Arc::clone(telemetry);
                 let _ = std::thread::Builder::new()
                     .name("serve-http-conn".into())
-                    .spawn(move || http_connection(stream, &hub, &live));
+                    .spawn(move || http_connection(stream, &hub, &live, &telemetry));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
             Err(_) => std::thread::sleep(ACCEPT_POLL),
@@ -254,7 +259,12 @@ pub(crate) fn http_loop(
     }
 }
 
-fn http_connection(mut stream: TcpStream, hub: &Arc<BroadcastHub>, live: &Mutex<LiveIngest>) {
+fn http_connection(
+    mut stream: TcpStream,
+    hub: &Arc<BroadcastHub>,
+    live: &Mutex<LiveIngest>,
+    telemetry: &ServeTelemetry,
+) {
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let Some(path) = read_request_path(&mut stream) else {
@@ -270,7 +280,23 @@ fn http_connection(mut stream: TcpStream, hub: &Arc<BroadcastHub>, live: &Mutex<
             let body = maritime_obs::encode::json(&maritime_obs::snapshot());
             respond(&mut stream, "200 OK", "application/json", &body);
         }
-        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/metrics/history" => {
+            let body = maritime_obs::timeseries::history_json(telemetry.ring());
+            respond(&mut stream, "200 OK", "application/json", &body);
+        }
+        "/healthz" => {
+            let state = telemetry.state();
+            respond(
+                &mut stream,
+                state.http_status(),
+                "text/plain",
+                &telemetry.healthz_body(),
+            );
+        }
+        "/dashboard" => {
+            let body = dashboard::render(telemetry);
+            respond(&mut stream, "200 OK", "text/html; charset=utf-8", &body);
+        }
         "/sources" => {
             let body = sources_json(live);
             respond(&mut stream, "200 OK", "application/json", &body);

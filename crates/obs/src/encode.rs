@@ -15,38 +15,74 @@ use std::fmt::Write as _;
 
 use crate::registry::{MetricValue, Snapshot};
 
+/// Splits a labeled-family member name (`base{label="v"}`) into its base
+/// and label part; a plain name has no label part.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
 /// Encodes a snapshot in the Prometheus text exposition format (version
 /// 0.0.4). Counters and gauges map directly; histograms are exposed as
-/// summaries with `quantile` labels.
+/// summaries with `quantile` labels. Labeled-family members (names of the
+/// form `base{label="v"}`, which sort adjacently) share one `# HELP` /
+/// `# TYPE` block per base name, and histogram members merge `quantile`
+/// into their existing label set — so the output stays parseable by a
+/// real Prometheus scraper.
 #[must_use]
 pub fn prometheus_text(snapshot: &Snapshot) -> String {
     let mut out = String::new();
+    let mut last_base: Option<&str> = None;
     for e in &snapshot.entries {
         let d = e.descriptor;
-        if !d.help.is_empty() {
-            let unit = if d.unit.is_empty() {
-                String::new()
-            } else {
-                format!(" [{}]", d.unit)
+        let (base, labels) = split_labels(d.name);
+        if last_base != Some(base) {
+            last_base = Some(base);
+            if !d.help.is_empty() {
+                let unit = if d.unit.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", d.unit)
+                };
+                let _ = writeln!(out, "# HELP {base} {}{unit}", d.help);
+            }
+            let ty = match e.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "summary",
             };
-            let _ = writeln!(out, "# HELP {} {}{unit}", d.name, d.help);
+            let _ = writeln!(out, "# TYPE {base} {ty}");
         }
         match e.value {
             MetricValue::Counter(v) => {
-                let _ = writeln!(out, "# TYPE {} counter", d.name);
                 let _ = writeln!(out, "{} {v}", d.name);
             }
             MetricValue::Gauge(v) => {
-                let _ = writeln!(out, "# TYPE {} gauge", d.name);
                 let _ = writeln!(out, "{} {v}", d.name);
             }
             MetricValue::Histogram(h) => {
-                let _ = writeln!(out, "# TYPE {} summary", d.name);
-                let _ = writeln!(out, "{}{{quantile=\"0.5\"}} {}", d.name, h.p50);
-                let _ = writeln!(out, "{}{{quantile=\"0.9\"}} {}", d.name, h.p90);
-                let _ = writeln!(out, "{}{{quantile=\"0.99\"}} {}", d.name, h.p99);
-                let _ = writeln!(out, "{}_sum {}", d.name, h.sum);
-                let _ = writeln!(out, "{}_count {}", d.name, h.count);
+                for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                    match labels {
+                        Some(l) => {
+                            let _ = writeln!(out, "{base}{{{l},quantile=\"{q}\"}} {v}");
+                        }
+                        None => {
+                            let _ = writeln!(out, "{base}{{quantile=\"{q}\"}} {v}");
+                        }
+                    }
+                }
+                match labels {
+                    Some(l) => {
+                        let _ = writeln!(out, "{base}_sum{{{l}}} {}", h.sum);
+                        let _ = writeln!(out, "{base}_count{{{l}}} {}", h.count);
+                    }
+                    None => {
+                        let _ = writeln!(out, "{base}_sum {}", h.sum);
+                        let _ = writeln!(out, "{base}_count {}", h.count);
+                    }
+                }
             }
         }
     }
@@ -178,6 +214,42 @@ mod tests {
         assert!(text.ends_with("}\n"));
         // No trailing comma before the closing brace.
         assert!(!text.contains(",\n}"));
+    }
+
+    #[test]
+    fn labeled_families_share_one_help_type_block() {
+        use crate::registry::FamilyDescriptor;
+        let reg = MetricsRegistry::new();
+        let lines = FamilyDescriptor {
+            name: "serve_source_lines_total",
+            label: "source",
+            kind: MetricKind::Counter,
+            unit: "lines",
+            help: "Raw lines per source",
+        };
+        let lat = FamilyDescriptor {
+            name: "cer_rule_latency_ns",
+            label: "rule",
+            kind: MetricKind::Histogram,
+            unit: "ns",
+            help: "Recognition latency by rule",
+        };
+        reg.labeled_counter(&lines, "0").add(4);
+        reg.labeled_counter(&lines, "1").add(9);
+        reg.labeled_histogram(&lat, "suspicious").record(1000);
+        let text = prometheus_text(&reg.snapshot());
+        assert_eq!(
+            text.matches("# TYPE serve_source_lines_total counter").count(),
+            1,
+            "one TYPE block for the whole family:\n{text}"
+        );
+        assert!(text.contains("serve_source_lines_total{source=\"0\"} 4"));
+        assert!(text.contains("serve_source_lines_total{source=\"1\"} 9"));
+        // Histogram members merge quantile into the label set and suffix
+        // _sum/_count on the base name.
+        assert!(text.contains("cer_rule_latency_ns{rule=\"suspicious\",quantile=\"0.99\"}"));
+        assert!(text.contains("cer_rule_latency_ns_sum{rule=\"suspicious\"} 1000"));
+        assert!(text.contains("cer_rule_latency_ns_count{rule=\"suspicious\"} 1"));
     }
 
     #[test]

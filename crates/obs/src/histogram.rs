@@ -137,6 +137,46 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// What was recorded *since* `base` was snapshotted: a windowed
+    /// read-out that never resets the cumulative state, so any number of
+    /// independent samplers can window the same histogram.
+    ///
+    /// `count` and `sum` in the returned snapshot are interval-exact
+    /// (saturating at a counter reset, so never negative), which makes
+    /// [`HistogramSnapshot::mean`] of the delta the exact per-interval
+    /// mean — the figure the telemetry sampler reports as a rate. `min`,
+    /// `max`, and the percentiles cannot be reconstructed for the
+    /// interval from two summaries alone; they are carried over from the
+    /// *cumulative* distribution as conservative bounds (and zeroed when
+    /// the interval recorded nothing). A property test pins the additive
+    /// contract: cumulative `count`/`sum` ≡ the sum of deltas over any
+    /// partition of the recording sequence.
+    #[must_use]
+    pub fn delta_since(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        let cur = self.snapshot();
+        let count = cur.count.saturating_sub(base.count);
+        if count == 0 {
+            return HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+            };
+        }
+        HistogramSnapshot {
+            count,
+            sum: cur.sum.saturating_sub(base.sum),
+            min: cur.min,
+            max: cur.max,
+            p50: cur.p50,
+            p90: cur.p90,
+            p99: cur.p99,
+        }
+    }
+
     /// A point-in-time summary of the distribution.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -268,6 +308,30 @@ mod tests {
         close(s.p50, 500);
         close(s.p90, 900);
         close(s.p99, 990);
+    }
+
+    #[test]
+    fn delta_since_windows_without_resetting() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let base = h.snapshot();
+        for v in [100u64, 200] {
+            h.record(v);
+        }
+        let d = h.delta_since(&base);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 300);
+        assert!((d.mean() - 150.0).abs() < 1e-9);
+        // Cumulative state untouched.
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 360);
+        // An empty interval reads as all zeros.
+        let quiet = h.delta_since(&h.snapshot());
+        assert_eq!(quiet.count, 0);
+        assert_eq!(quiet.sum, 0);
+        assert_eq!(quiet.max, 0);
     }
 
     #[test]

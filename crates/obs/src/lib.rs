@@ -44,15 +44,17 @@ pub mod metric;
 pub mod names;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metric::{Counter, Gauge};
 pub use registry::{
-    Descriptor, LazyCounter, LazyGauge, LazyHistogram, MetricKind, MetricValue, MetricsRegistry,
-    Snapshot, SnapshotEntry,
+    Descriptor, FamilyDescriptor, LazyCounter, LazyGauge, LazyHistogram, MetricKind, MetricValue,
+    MetricsRegistry, Snapshot, SnapshotEntry,
 };
 pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use span::SpanTimer;
+pub use timeseries::{GaugeWindow, RatePoint, Sample, SampleRing};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -11,7 +11,13 @@
 //! `cer_`, `pipeline_`, `trace_`, `chaos_`, `serve_`), `_total` suffix on
 //! counters, `_ns` suffix on nanosecond histograms.
 
-use crate::registry::{Descriptor, MetricKind};
+//!
+//! Labeled families ([`FAMILIES`]) follow the same conventions on their
+//! base name; members carry the label in braces
+//! (`serve_source_lines_total{source="3"}`) and inherit the family's
+//! unit/help.
+
+use crate::registry::{Descriptor, FamilyDescriptor, MetricKind};
 
 // ---- AIS decode ----------------------------------------------------------
 
@@ -66,6 +72,11 @@ pub const STREAM_WINDOW_EVICTIONS: &str = "stream_window_evictions_total";
 pub const STREAM_BATCHES: &str = "stream_batches_total";
 /// Items admitted past the watermark by the admission buffer (late).
 pub const STREAM_LATE_ADMISSIONS: &str = "stream_late_admissions_total";
+/// Event-time lag (watermark minus item timestamp) of items released by
+/// the admission buffer, in nanoseconds of event time.
+pub const STREAM_ADMISSION_LAG_NS: &str = "stream_admission_lag_ns";
+/// Items currently held back by the admission buffer.
+pub const STREAM_ADMISSION_BUFFERED: &str = "stream_admission_buffered";
 
 // ---- Geo spatial index ---------------------------------------------------
 
@@ -182,6 +193,73 @@ pub const SERVE_DROPPED_EVENTS: &str = "serve_dropped_events_total";
 pub const SERVE_HTTP_REQUESTS: &str = "serve_http_requests_total";
 /// End-of-stream flushes processed (`#flush` control lines).
 pub const SERVE_FLUSHES: &str = "serve_flushes_total";
+/// Wall-clock latency from sentence admission to alert emission, per
+/// recognizing slide.
+pub const SERVE_E2E_LATENCY_NS: &str = "serve_e2e_latency_ns";
+/// Current SLO health state (0 = ok, 1 = degraded, 2 = critical).
+pub const SERVE_HEALTH_STATE: &str = "serve_health_state";
+/// SLO health state transitions since server start.
+pub const SERVE_HEALTH_TRANSITIONS: &str = "serve_health_transitions_total";
+/// Telemetry ring samples recorded by the serve driver.
+pub const SERVE_SAMPLES: &str = "serve_samples_total";
+/// Machine-readable ops alerts broadcast on health transitions.
+pub const SERVE_OPS_ALERTS: &str = "serve_ops_alerts_total";
+
+// ---- Labeled families ----------------------------------------------------
+
+/// Raw lines received per source (`source` label).
+pub const SERVE_SOURCE_LINES: FamilyDescriptor = fc(
+    "serve_source_lines_total",
+    "source",
+    "lines",
+    "Raw lines received from one source (pre-filter)",
+);
+/// Lines accepted past filter and dedup per source.
+pub const SERVE_SOURCE_ACCEPTED: FamilyDescriptor = fc(
+    "serve_source_accepted_total",
+    "source",
+    "lines",
+    "Lines from one source accepted past filter and dedup",
+);
+/// Lines dropped by the syntactic filter per source.
+pub const SERVE_SOURCE_FILTERED: FamilyDescriptor = fc(
+    "serve_source_filtered_total",
+    "source",
+    "lines",
+    "Lines from one source dropped by the syntactic filter",
+);
+/// Lines dropped as cross-source duplicates per source.
+pub const SERVE_SOURCE_DUPLICATES: FamilyDescriptor = fc(
+    "serve_source_duplicates_total",
+    "source",
+    "lines",
+    "Lines from one source dropped as cross-source duplicates",
+);
+/// Complex events recognized per CE rule (`rule` label).
+pub const CER_RULE_RECOGNIZED: FamilyDescriptor = fc(
+    "cer_rule_recognized_total",
+    "rule",
+    "events",
+    "Complex events recognized, by CE rule",
+);
+/// Recognition-phase wall time of slides in which the rule fired.
+pub const CER_RULE_LATENCY_NS: FamilyDescriptor = fh(
+    "cer_rule_latency_ns",
+    "rule",
+    "ns",
+    "Recognition-phase wall time of slides in which one rule fired",
+);
+
+/// Every labeled family the pipeline can emit. Families register members
+/// on first use, so a snapshot lists only the label values actually seen.
+pub const FAMILIES: &[FamilyDescriptor] = &[
+    SERVE_SOURCE_LINES,
+    SERVE_SOURCE_ACCEPTED,
+    SERVE_SOURCE_FILTERED,
+    SERVE_SOURCE_DUPLICATES,
+    CER_RULE_RECOGNIZED,
+    CER_RULE_LATENCY_NS,
+];
 
 /// One catalog row.
 const fn c(name: &'static str, unit: &'static str, help: &'static str) -> Descriptor {
@@ -207,6 +285,38 @@ const fn g(name: &'static str, unit: &'static str, help: &'static str) -> Descri
 const fn h(name: &'static str, unit: &'static str, help: &'static str) -> Descriptor {
     Descriptor {
         name,
+        kind: MetricKind::Histogram,
+        unit,
+        help,
+    }
+}
+
+/// One counter family.
+const fn fc(
+    name: &'static str,
+    label: &'static str,
+    unit: &'static str,
+    help: &'static str,
+) -> FamilyDescriptor {
+    FamilyDescriptor {
+        name,
+        label,
+        kind: MetricKind::Counter,
+        unit,
+        help,
+    }
+}
+
+/// One histogram family.
+const fn fh(
+    name: &'static str,
+    label: &'static str,
+    unit: &'static str,
+    help: &'static str,
+) -> FamilyDescriptor {
+    FamilyDescriptor {
+        name,
+        label,
         kind: MetricKind::Histogram,
         unit,
         help,
@@ -240,6 +350,8 @@ pub const CATALOG: &[Descriptor] = &[
     c(STREAM_WINDOW_EVICTIONS, "items", "Items evicted from sliding windows"),
     c(STREAM_BATCHES, "batches", "Input batches formed by the slide batcher"),
     c(STREAM_LATE_ADMISSIONS, "items", "Items admitted past the watermark (late)"),
+    h(STREAM_ADMISSION_LAG_NS, "ns", "Event-time lag of items released by admission"),
+    g(STREAM_ADMISSION_BUFFERED, "items", "Items currently held back by admission"),
     // Geo
     c(GEO_GRID_LOOKUPS, "lookups", "Neighbour-candidate lookups on the grid index"),
     // Store
@@ -294,6 +406,11 @@ pub const CATALOG: &[Descriptor] = &[
     c(SERVE_DROPPED_EVENTS, "events", "Events discarded because a subscriber was evicted"),
     c(SERVE_HTTP_REQUESTS, "requests", "HTTP requests answered by the metrics endpoint"),
     c(SERVE_FLUSHES, "flushes", "End-of-stream flushes processed (#flush control)"),
+    h(SERVE_E2E_LATENCY_NS, "ns", "Admission-to-alert wall latency per recognizing slide"),
+    g(SERVE_HEALTH_STATE, "state", "SLO health state (0 ok, 1 degraded, 2 critical)"),
+    c(SERVE_HEALTH_TRANSITIONS, "transitions", "SLO health state transitions"),
+    c(SERVE_SAMPLES, "samples", "Telemetry ring samples recorded by the serve driver"),
+    c(SERVE_OPS_ALERTS, "alerts", "Machine-readable ops alerts broadcast on transitions"),
 ];
 
 #[cfg(test)]
@@ -339,6 +456,50 @@ mod tests {
                 ),
             }
             assert!(!d.help.is_empty() && !d.unit.is_empty());
+        }
+    }
+
+    #[test]
+    fn families_follow_conventions() {
+        let prefixes = [
+            "ais_", "tracker_", "shard_", "stream_", "geo_", "modstore_", "rtec_", "cer_",
+            "pipeline_", "trace_", "chaos_", "serve_",
+        ];
+        let mut seen = HashSet::new();
+        for f in FAMILIES {
+            assert!(seen.insert(f.name), "duplicate family name {}", f.name);
+            assert!(
+                CATALOG.iter().all(|d| d.name != f.name),
+                "family {} collides with a plain catalog metric",
+                f.name
+            );
+            assert!(
+                prefixes.iter().any(|p| f.name.starts_with(p)),
+                "{} lacks a stage prefix",
+                f.name
+            );
+            match f.kind {
+                MetricKind::Counter => assert!(
+                    f.name.ends_with("_total"),
+                    "counter family {} must end in _total",
+                    f.name
+                ),
+                MetricKind::Histogram => assert!(
+                    f.name.ends_with("_ns"),
+                    "histogram family {} must end in _ns",
+                    f.name
+                ),
+                MetricKind::Gauge => assert!(
+                    !f.name.ends_with("_total"),
+                    "gauge family {} must not end in _total",
+                    f.name
+                ),
+            }
+            assert!(!f.help.is_empty() && !f.unit.is_empty() && !f.label.is_empty());
+            assert_eq!(
+                f.member_name("7"),
+                format!("{}{{{}=\"7\"}}", f.name, f.label)
+            );
         }
     }
 

@@ -41,6 +41,41 @@ pub struct Descriptor {
     pub help: &'static str,
 }
 
+/// Static description of a *labeled metric family*: a small
+/// fixed-cardinality set of metrics sharing one base name, one label key,
+/// and one unit/help — e.g. `serve_source_lines_total{source="3"}`.
+///
+/// Families layer on the plain registry instead of replacing it: each
+/// `(family, label value)` pair registers an ordinary metric whose name
+/// carries the label (`base{label="value"}`), so snapshots, both
+/// encoders, and the time-series ring see family members with zero new
+/// machinery — and the hot-path cost model is untouched, because a
+/// member, once resolved, is the same `&'static` atomic as any other
+/// metric. Cardinality is the caller's contract: label values must come
+/// from a small bounded set (source ids, CE rule names), never from
+/// unbounded input.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyDescriptor {
+    /// Base name, following the same conventions as plain metrics.
+    pub name: &'static str,
+    /// The single label key (`source`, `rule`).
+    pub label: &'static str,
+    /// Counter, gauge, or histogram — every member has this kind.
+    pub kind: MetricKind,
+    /// Unit shared by every member.
+    pub unit: &'static str,
+    /// Help line shared by every member.
+    pub help: &'static str,
+}
+
+impl FamilyDescriptor {
+    /// The full member name for `value`: `base{label="value"}`.
+    #[must_use]
+    pub fn member_name(&self, value: &str) -> String {
+        format!("{}{{{}=\"{}\"}}", self.name, self.label, value)
+    }
+}
+
 enum Metric {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
@@ -145,6 +180,84 @@ impl MetricsRegistry {
             Metric::Histogram(h) => h,
             _ => panic!("metric {name} is not a histogram"),
         }
+    }
+
+    /// The counter member of `family` for label `value`, registering it on
+    /// first use with the family's unit/help. Panics if the name is
+    /// already registered with a different kind.
+    pub fn labeled_counter(&self, family: &FamilyDescriptor, value: &str) -> &'static Counter {
+        match self.labeled(family, value, MetricKind::Counter) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("labeled() checked the kind"),
+        }
+    }
+
+    /// The gauge member of `family` for label `value` (see
+    /// [`MetricsRegistry::labeled_counter`]).
+    pub fn labeled_gauge(&self, family: &FamilyDescriptor, value: &str) -> &'static Gauge {
+        match self.labeled(family, value, MetricKind::Gauge) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("labeled() checked the kind"),
+        }
+    }
+
+    /// The histogram member of `family` for label `value` (see
+    /// [`MetricsRegistry::labeled_counter`]).
+    pub fn labeled_histogram(&self, family: &FamilyDescriptor, value: &str) -> &'static Histogram {
+        match self.labeled(family, value, MetricKind::Histogram) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("labeled() checked the kind"),
+        }
+    }
+
+    /// Resolves (registering on first use) one family member. The member
+    /// name is leaked exactly once per `(family, value)` pair; callers on
+    /// repeating paths should cache the returned reference.
+    fn labeled(&self, family: &FamilyDescriptor, value: &str, kind: MetricKind) -> Metric {
+        assert!(
+            family.kind == kind,
+            "family {} is a {:?}, requested as {kind:?}",
+            family.name,
+            family.kind
+        );
+        let full = family.member_name(value);
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(r) = map.get(full.as_str()) {
+            assert!(
+                r.metric.kind() == kind,
+                "metric {full} is a {:?}, requested as {kind:?}",
+                r.metric.kind()
+            );
+            return match &r.metric {
+                Metric::Counter(c) => Metric::Counter(c),
+                Metric::Gauge(g) => Metric::Gauge(g),
+                Metric::Histogram(h) => Metric::Histogram(h),
+            };
+        }
+        let name: &'static str = Box::leak(full.into_boxed_str());
+        let metric = match kind {
+            MetricKind::Counter => Metric::Counter(Box::leak(Box::new(Counter::new()))),
+            MetricKind::Gauge => Metric::Gauge(Box::leak(Box::new(Gauge::new()))),
+            MetricKind::Histogram => Metric::Histogram(Box::leak(Box::new(Histogram::new()))),
+        };
+        let out = match &metric {
+            Metric::Counter(c) => Metric::Counter(c),
+            Metric::Gauge(g) => Metric::Gauge(g),
+            Metric::Histogram(h) => Metric::Histogram(h),
+        };
+        map.insert(
+            name,
+            Registered {
+                descriptor: Descriptor {
+                    name,
+                    kind,
+                    unit: family.unit,
+                    help: family.help,
+                },
+                metric,
+            },
+        );
+        out
     }
 
     fn ensure(&self, name: &'static str, kind: MetricKind) {
@@ -426,6 +539,44 @@ mod tests {
     fn kind_mismatch_panics() {
         let reg = MetricsRegistry::with_catalog(crate::names::CATALOG);
         let _ = reg.gauge(crate::names::AIS_SENTENCES);
+    }
+
+    #[test]
+    fn labeled_family_members_register_with_shared_metadata() {
+        let reg = MetricsRegistry::new();
+        let fam = FamilyDescriptor {
+            name: "serve_source_lines_total",
+            label: "source",
+            kind: MetricKind::Counter,
+            unit: "lines",
+            help: "Raw lines per source",
+        };
+        let a = reg.labeled_counter(&fam, "0");
+        let b = reg.labeled_counter(&fam, "1");
+        let a_again = reg.labeled_counter(&fam, "0");
+        assert!(std::ptr::eq(a, a_again), "same member resolves once");
+        a.add(3);
+        b.add(5);
+        let s = reg.snapshot();
+        assert_eq!(s.counter("serve_source_lines_total{source=\"0\"}"), 3);
+        assert_eq!(s.counter("serve_source_lines_total{source=\"1\"}"), 5);
+        let e = s.get("serve_source_lines_total{source=\"0\"}").unwrap();
+        assert_eq!(e.descriptor.unit, "lines");
+        assert_eq!(e.descriptor.help, "Raw lines per source");
+    }
+
+    #[test]
+    #[should_panic(expected = "requested as")]
+    fn labeled_kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let fam = FamilyDescriptor {
+            name: "serve_source_lines_total",
+            label: "source",
+            kind: MetricKind::Counter,
+            unit: "lines",
+            help: "Raw lines per source",
+        };
+        let _ = reg.labeled_gauge(&fam, "0");
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Time-series telemetry: a fixed-capacity ring of periodic registry
+//! samples, with rate/delta derivation for counters and windowed min/max
+//! for gauges.
+//!
+//! A cumulative snapshot answers "how many lines ever"; an operator wants
+//! "lines per second over the last five minutes". [`SampleRing`] closes
+//! that gap in-process: the serve driver records a full registry
+//! [`Snapshot`] every sampling interval (each watermark slide / idle
+//! tick), the ring keeps the newest `capacity` of them, and the
+//! derivation helpers ([`counter_rate`], [`gauge_window`]) turn any two
+//! adjacent samples into per-interval deltas and rates without ever
+//! resetting the underlying cumulative metrics.
+//!
+//! Concurrency: the ring is single-writer (the serve driver), any-reader
+//! (HTTP handlers, the health engine, `surveil watch`). A slot exchange
+//! is one `Arc` pointer swap under a per-slot mutex held for nanoseconds —
+//! the expensive work (taking the snapshot, encoding JSON) happens
+//! entirely outside the ring, and the ingest hot path never touches the
+//! ring at all. Readers never block the writer for more than a pointer
+//! swap, and a torn read is impossible: a slot always holds either the
+//! old sample or the new one, never a mixture.
+//!
+//! Counter deltas are monotone by construction: if a counter reads
+//! *lower* than in the previous sample (a process restart mid-scrape, or
+//! a test resetting state), the delta is clamped to the new reading
+//! instead of going negative — the standard Prometheus `rate()` restart
+//! heuristic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::registry::{MetricValue, Snapshot};
+
+/// One periodic sample: a monotone sequence number, a monotonic clock
+/// stamp (nanoseconds since the ring was created), and the full registry
+/// snapshot taken at that instant.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Sample number since the ring was created (0-based, never reused).
+    pub seq: u64,
+    /// Nanoseconds since ring creation, from a monotonic clock.
+    pub at_ns: u64,
+    /// The registry at that instant.
+    pub snapshot: Snapshot,
+}
+
+/// A fixed-capacity ring of [`Sample`]s. See the module docs for the
+/// concurrency contract.
+pub struct SampleRing {
+    slots: Box<[Mutex<Option<Arc<Sample>>>]>,
+    /// Total samples ever recorded (the next sequence number).
+    head: AtomicU64,
+    origin: Instant,
+}
+
+impl std::fmt::Debug for SampleRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampleRing")
+            .field("capacity", &self.slots.len())
+            .field("total", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SampleRing {
+    /// An empty ring keeping the newest `capacity` samples (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots: Vec<Mutex<Option<Arc<Sample>>>> =
+            (0..capacity).map(|_| Mutex::new(None)).collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            origin: Instant::now(),
+        }
+    }
+
+    /// How many samples the ring retains.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total samples ever recorded (≥ the number currently retained).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Samples currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (self.total() as usize).min(self.capacity())
+    }
+
+    /// Whether no sample has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Records `snapshot` as the next sample, overwriting the oldest once
+    /// the ring is full. Returns the sample's sequence number.
+    pub fn record(&self, snapshot: Snapshot) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::AcqRel);
+        let sample = Arc::new(Sample {
+            seq,
+            at_ns: self.origin.elapsed().as_nanos() as u64,
+            snapshot,
+        });
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().expect("sample ring slot poisoned") = Some(sample);
+        seq
+    }
+
+    /// The most recent sample, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<Arc<Sample>> {
+        self.samples().pop()
+    }
+
+    /// All retained samples, oldest first.
+    #[must_use]
+    pub fn samples(&self) -> Vec<Arc<Sample>> {
+        let mut out: Vec<Arc<Sample>> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().expect("sample ring slot poisoned").clone())
+            .collect();
+        out.sort_unstable_by_key(|s| s.seq);
+        out
+    }
+}
+
+/// One derived per-interval point for a counter: the delta between two
+/// adjacent samples and the implied rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePoint {
+    /// Stamp of the interval's closing sample (ns since ring creation).
+    pub at_ns: u64,
+    /// Interval length in nanoseconds.
+    pub interval_ns: u64,
+    /// Counter increase across the interval (clamped at restarts, never
+    /// negative).
+    pub delta: u64,
+    /// `delta` normalized to events per second (0.0 for an empty
+    /// interval).
+    pub per_sec: f64,
+}
+
+/// Per-interval deltas and rates for counter `name` across `samples`
+/// (oldest first, as [`SampleRing::samples`] returns them). One point per
+/// adjacent pair; fewer than two samples yield no points.
+#[must_use]
+pub fn counter_rate(samples: &[Arc<Sample>], name: &str) -> Vec<RatePoint> {
+    samples
+        .windows(2)
+        .map(|w| {
+            let (prev, cur) = (&w[0], &w[1]);
+            let delta = counter_delta(prev.snapshot.counter(name), cur.snapshot.counter(name));
+            let interval_ns = cur.at_ns.saturating_sub(prev.at_ns);
+            let per_sec = if interval_ns == 0 {
+                0.0
+            } else {
+                delta as f64 * 1e9 / interval_ns as f64
+            };
+            RatePoint {
+                at_ns: cur.at_ns,
+                interval_ns,
+                delta,
+                per_sec,
+            }
+        })
+        .collect()
+}
+
+/// Monotone counter delta with the Prometheus restart heuristic: a
+/// reading below the previous one is treated as a counter reset, so the
+/// delta is the new reading rather than a negative value.
+#[must_use]
+pub fn counter_delta(prev: u64, cur: u64) -> u64 {
+    if cur >= prev {
+        cur - prev
+    } else {
+        cur
+    }
+}
+
+/// Windowed summary of a gauge across a run of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeWindow {
+    /// Smallest reading in the window.
+    pub min: i64,
+    /// Largest reading in the window.
+    pub max: i64,
+    /// The newest reading.
+    pub last: i64,
+}
+
+/// Min/max/last for gauge `name` across `samples`; `None` when the gauge
+/// appears in no sample (or `samples` is empty).
+#[must_use]
+pub fn gauge_window(samples: &[Arc<Sample>], name: &str) -> Option<GaugeWindow> {
+    let mut window: Option<GaugeWindow> = None;
+    for s in samples {
+        let Some(MetricValue::Gauge(v)) = s.snapshot.get(name).map(|e| e.value) else {
+            continue;
+        };
+        window = Some(match window {
+            None => GaugeWindow {
+                min: v,
+                max: v,
+                last: v,
+            },
+            Some(w) => GaugeWindow {
+                min: w.min.min(v),
+                max: w.max.max(v),
+                last: v,
+            },
+        });
+    }
+    window
+}
+
+/// Encodes the retained samples as one JSON document — the
+/// `/metrics/history` payload. Shape:
+///
+/// ```json
+/// {"capacity":256,"total":9,"samples":[
+///   {"seq":1,"at_ns":2000371,"metrics":{ ...same shape as /metrics.json... }},
+///   ...
+/// ]}
+/// ```
+#[must_use]
+pub fn history_json(ring: &SampleRing) -> String {
+    let samples = ring.samples();
+    let mut out = format!(
+        "{{\"capacity\":{},\"total\":{},\"samples\":[\n",
+        ring.capacity(),
+        ring.total()
+    );
+    for (i, s) in samples.iter().enumerate() {
+        let metrics = crate::encode::json(&s.snapshot);
+        out.push_str(&format!(
+            "{{\"seq\":{},\"at_ns\":{},\"metrics\":{}}}{}\n",
+            s.seq,
+            s.at_ns,
+            metrics.trim_end(),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Descriptor, MetricKind, SnapshotEntry};
+
+    fn counter_entry(name: &'static str, v: u64) -> SnapshotEntry {
+        SnapshotEntry {
+            descriptor: Descriptor {
+                name,
+                kind: MetricKind::Counter,
+                unit: "items",
+                help: "test",
+            },
+            value: MetricValue::Counter(v),
+        }
+    }
+
+    fn gauge_entry(name: &'static str, v: i64) -> SnapshotEntry {
+        SnapshotEntry {
+            descriptor: Descriptor {
+                name,
+                kind: MetricKind::Gauge,
+                unit: "items",
+                help: "test",
+            },
+            value: MetricValue::Gauge(v),
+        }
+    }
+
+    /// A snapshot with one counter `c` and one gauge `g` (sorted order).
+    fn snap(c: u64, g: i64) -> Snapshot {
+        Snapshot {
+            entries: vec![counter_entry("c", c), gauge_entry("g", g)],
+        }
+    }
+
+    #[test]
+    fn empty_ring_has_no_samples_and_valid_json() {
+        let ring = SampleRing::new(4);
+        assert!(ring.is_empty());
+        assert_eq!(ring.len(), 0);
+        assert!(ring.latest().is_none());
+        assert!(ring.samples().is_empty());
+        let json = history_json(&ring);
+        assert!(json.contains("\"total\":0"));
+        assert!(json.contains("\"samples\":[\n]}"));
+        assert!(counter_rate(&ring.samples(), "c").is_empty());
+        assert!(gauge_window(&ring.samples(), "g").is_none());
+    }
+
+    #[test]
+    fn single_sample_yields_no_rate_points() {
+        let ring = SampleRing::new(4);
+        ring.record(snap(10, 1));
+        assert_eq!(ring.len(), 1);
+        assert!(counter_rate(&ring.samples(), "c").is_empty());
+        // ...but the gauge window is already meaningful.
+        assert_eq!(
+            gauge_window(&ring.samples(), "g"),
+            Some(GaugeWindow {
+                min: 1,
+                max: 1,
+                last: 1
+            })
+        );
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_capacity_samples_in_order() {
+        let ring = SampleRing::new(4);
+        for i in 0..10u64 {
+            let seq = ring.record(snap(i * 100, i as i64));
+            assert_eq!(seq, i);
+        }
+        assert_eq!(ring.total(), 10);
+        assert_eq!(ring.len(), 4);
+        let samples = ring.samples();
+        let seqs: Vec<u64> = samples.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first, newest 4 survive");
+        assert_eq!(ring.latest().unwrap().seq, 9);
+        // Stamps are monotone.
+        assert!(samples.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn counter_rates_are_never_negative_even_across_restarts() {
+        let ring = SampleRing::new(8);
+        // Monotone growth, then a restart (counter falls back to 5), then
+        // growth again.
+        for c in [0u64, 100, 250, 5, 30] {
+            ring.record(snap(c, 0));
+        }
+        let rates = counter_rate(&ring.samples(), "c");
+        assert_eq!(rates.len(), 4);
+        let deltas: Vec<u64> = rates.iter().map(|r| r.delta).collect();
+        assert_eq!(deltas, vec![100, 150, 5, 25], "restart clamps to new reading");
+        assert!(rates.iter().all(|r| r.per_sec >= 0.0));
+    }
+
+    #[test]
+    fn gauge_window_tracks_min_max_last() {
+        let ring = SampleRing::new(8);
+        for g in [3i64, -2, 7, 4] {
+            ring.record(snap(0, g));
+        }
+        assert_eq!(
+            gauge_window(&ring.samples(), "g"),
+            Some(GaugeWindow {
+                min: -2,
+                max: 7,
+                last: 4
+            })
+        );
+        assert!(gauge_window(&ring.samples(), "absent").is_none());
+    }
+
+    #[test]
+    fn history_json_dumps_every_retained_sample() {
+        let ring = SampleRing::new(2);
+        ring.record(snap(1, 1));
+        ring.record(snap(2, 2));
+        ring.record(snap(3, 3));
+        let json = history_json(&ring);
+        assert!(json.contains("\"capacity\":2"));
+        assert!(json.contains("\"total\":3"));
+        assert_eq!(json.matches("\"seq\":").count(), 2, "ring holds 2 of 3");
+        assert!(json.contains("\"seq\":1"));
+        assert!(json.contains("\"seq\":2"));
+        assert!(!json.contains("\"seq\":0"));
+        assert!(json.contains("\"metrics\":{"));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn unknown_counter_reads_as_zero_rate() {
+        let ring = SampleRing::new(4);
+        ring.record(snap(1, 0));
+        ring.record(snap(2, 0));
+        let rates = counter_rate(&ring.samples(), "not_registered");
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].delta, 0);
+        assert_eq!(rates[0].per_sec, 0.0);
+    }
+}

@@ -1,14 +1,15 @@
 //! Keeps `OBSERVABILITY.md` and the metric catalog in lockstep.
 //!
-//! Every metric in [`maritime_obs::names::CATALOG`] must be documented in
-//! the handbook, and every identifier in the handbook that *looks like* a
-//! metric name (stage prefix + snake_case) must exist in the catalog —
-//! so renames, additions, and removals all fail this test until the
-//! handbook is updated.
+//! Every metric in [`maritime_obs::names::CATALOG`] and every labeled
+//! family in [`maritime_obs::names::FAMILIES`] must be documented in the
+//! handbook, and every identifier in the handbook that *looks like* a
+//! metric name (stage prefix + snake_case) must exist in the catalog or
+//! the family list — so renames, additions, and removals all fail this
+//! test until the handbook is updated.
 
 use std::collections::BTreeSet;
 
-use maritime_obs::names::CATALOG;
+use maritime_obs::names::{CATALOG, FAMILIES};
 
 const HANDBOOK: &str = include_str!("../../../OBSERVABILITY.md");
 
@@ -35,12 +36,21 @@ fn documented_names() -> BTreeSet<String> {
     names
 }
 
+/// Catalog metrics plus labeled-family base names: everything the
+/// registry can emit, and everything the handbook must cover.
+fn known_names() -> BTreeSet<&'static str> {
+    CATALOG
+        .iter()
+        .map(|d| d.name)
+        .chain(FAMILIES.iter().map(|f| f.name))
+        .collect()
+}
+
 #[test]
 fn every_catalog_metric_is_documented() {
     let documented = documented_names();
-    let missing: Vec<&str> = CATALOG
-        .iter()
-        .map(|d| d.name)
+    let missing: Vec<&str> = known_names()
+        .into_iter()
         .filter(|n| !documented.contains(*n))
         .collect();
     assert!(
@@ -51,10 +61,10 @@ fn every_catalog_metric_is_documented() {
 
 #[test]
 fn every_documented_metric_exists() {
-    let catalog: BTreeSet<&str> = CATALOG.iter().map(|d| d.name).collect();
+    let known = known_names();
     let phantom: Vec<String> = documented_names()
         .into_iter()
-        .filter(|n| !catalog.contains(n.as_str()))
+        .filter(|n| !known.contains(n.as_str()))
         .collect();
     assert!(
         phantom.is_empty(),

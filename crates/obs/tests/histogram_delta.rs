@@ -1,0 +1,73 @@
+//! Property test for [`Histogram::delta_since`]: windowed read-out must
+//! be *additive* — over any partition of a recording sequence into
+//! intervals, the cumulative `count` and `sum` equal the sum of the
+//! per-interval deltas, and no delta is ever negative. This is the
+//! contract the telemetry sampler depends on: any number of samplers can
+//! window the same histogram concurrently without resetting it and
+//! without double- or under-counting.
+
+use maritime_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cumulative_equals_sum_of_deltas(
+        // Values to record, in order, with cut points partitioning them
+        // into sampling intervals.
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        cuts in prop::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let h = Histogram::new();
+        let mut cut_at: Vec<usize> = cuts
+            .iter()
+            .map(|&i| (i as usize) % (values.len() + 1))
+            .collect();
+        cut_at.push(values.len());
+        cut_at.sort_unstable();
+        cut_at.dedup();
+
+        let mut base = h.snapshot();
+        let mut next = 0usize;
+        let mut delta_count = 0u64;
+        let mut delta_sum = 0u64;
+        for &cut in &cut_at {
+            while next < cut {
+                h.record(values[next]);
+                next += 1;
+            }
+            let d = h.delta_since(&base);
+            delta_count += d.count;
+            delta_sum += d.sum;
+            // Per-interval exactness, not just additivity in aggregate.
+            let interval = &values[cut - (d.count as usize)..cut];
+            prop_assert_eq!(d.sum, interval.iter().sum::<u64>());
+            if d.count > 0 {
+                let mean = d.mean();
+                let lo = *interval.iter().min().unwrap() as f64;
+                let hi = *interval.iter().max().unwrap() as f64;
+                prop_assert!(mean >= lo && mean <= hi, "mean {mean} outside [{lo}, {hi}]");
+            }
+            base = h.snapshot();
+        }
+
+        prop_assert_eq!(delta_count, values.len() as u64);
+        prop_assert_eq!(delta_sum, values.iter().sum::<u64>());
+        prop_assert_eq!(h.count(), delta_count);
+        prop_assert_eq!(h.sum(), delta_sum);
+    }
+
+    #[test]
+    fn empty_intervals_read_as_zero(values in prop::collection::vec(0u64..10_000, 0..50)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let quiet = h.delta_since(&h.snapshot());
+        prop_assert_eq!(
+            quiet,
+            HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, p50: 0, p90: 0, p99: 0 }
+        );
+    }
+}

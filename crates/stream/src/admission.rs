@@ -20,12 +20,24 @@
 
 use std::collections::BTreeMap;
 
-use maritime_obs::{names, LazyCounter};
+use maritime_obs::{names, LazyCounter, LazyGauge, LazyHistogram};
 
 use crate::time::{Duration, Timestamp};
 
 /// Sentences admitted past the watermark (see `OBSERVABILITY.md`).
 static OBS_LATE: LazyCounter = LazyCounter::new(names::STREAM_LATE_ADMISSIONS);
+/// Event-time lag (watermark − timestamp) of each released item, in ns of
+/// event time — the live watermark-lag distribution.
+static OBS_LAG: LazyHistogram = LazyHistogram::new(names::STREAM_ADMISSION_LAG_NS);
+/// Items currently held back waiting for the watermark.
+static OBS_BUFFERED: LazyGauge = LazyGauge::new(names::STREAM_ADMISSION_BUFFERED);
+
+/// Event-time seconds to nanoseconds, saturating (lag is never negative
+/// by construction, but a clamp keeps hostile inputs harmless).
+fn lag_ns(watermark: Timestamp, t: Timestamp) -> u64 {
+    let secs = watermark.as_secs().saturating_sub(t.as_secs()).max(0);
+    (secs as u64).saturating_mul(1_000_000_000)
+}
 
 /// Counters describing what the buffer saw.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -95,6 +107,7 @@ impl<T: Ord + Clone> AdmissionBuffer<T> {
                 self.stats.late += 1;
                 self.stats.released += 1;
                 OBS_LATE.inc();
+                OBS_LAG.record(lag_ns(w, t));
                 return vec![(t, item)];
             }
         }
@@ -104,19 +117,26 @@ impl<T: Ord + Clone> AdmissionBuffer<T> {
         if self.watermark.is_none_or(|w| t > w) {
             self.watermark = Some(t);
         }
-        self.release()
+        let out = self.release();
+        OBS_BUFFERED.set(self.buffered_count as i64);
+        out
     }
 
     /// Releases everything still buffered, in canonical order. Call at
     /// end of stream.
     pub fn flush(&mut self) -> Vec<(Timestamp, T)> {
         let mut out = Vec::with_capacity(self.buffered_count);
+        let w = self.watermark;
         for ((t, item), n) in std::mem::take(&mut self.buffered) {
             for _ in 0..n {
+                if let Some(w) = w {
+                    OBS_LAG.record(lag_ns(w, t));
+                }
                 out.push((t, item.clone()));
             }
         }
         self.buffered_count = 0;
+        OBS_BUFFERED.set(0);
         self.stats.released += out.len() as u64;
         out
     }
@@ -136,6 +156,7 @@ impl<T: Ord + Clone> AdmissionBuffer<T> {
             let ((t, item), n) = self.buffered.pop_first().expect("non-empty");
             self.buffered_count -= n;
             for _ in 0..n {
+                OBS_LAG.record(lag_ns(w, t));
                 out.push((t, item.clone()));
             }
         }

@@ -16,7 +16,7 @@
 
 use std::collections::BTreeSet;
 
-use maritime::serve::cli::{FEED_FLAGS, SERVE_FLAGS};
+use maritime::serve::cli::{FEED_FLAGS, SERVE_FLAGS, WATCH_FLAGS};
 use maritime::serve::{sse_frame, WireEncoder, CONTROL_FLUSH, CONTROL_SHUTDOWN};
 use maritime_cer::{Alert, AlertKind, RecognitionSummary};
 use maritime_geo::AreaId;
@@ -45,6 +45,7 @@ fn table_flags() -> BTreeSet<String> {
     SERVE_FLAGS
         .iter()
         .chain(FEED_FLAGS)
+        .chain(WATCH_FLAGS)
         .map(|f| f.name.to_string())
         .collect()
 }
@@ -132,7 +133,15 @@ fn control_lines_and_framing_are_documented() {
 fn every_http_endpoint_is_documented() {
     // The route list of `serve`'s HTTP surface; extending the server
     // without extending the handbook fails here.
-    for route in ["/metrics", "/metrics.json", "/sources", "/healthz", "/events"] {
+    for route in [
+        "/metrics",
+        "/metrics.json",
+        "/metrics/history",
+        "/sources",
+        "/healthz",
+        "/dashboard",
+        "/events",
+    ] {
         assert!(
             HANDBOOK.contains(&format!("`{route}`")),
             "SERVING.md must document the `{route}` endpoint"
