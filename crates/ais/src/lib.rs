@@ -30,4 +30,4 @@ pub use mmsi::Mmsi;
 pub use scanner::{DataScanner, ScanStats};
 pub use synthetic::{FleetConfig, FleetSimulator, VesselClass, VesselProfile};
 pub use types::{AisMessageType, PositionReport, PositionTuple};
-pub use voyage::{Defragged, Defragmenter, StaticVoyageData, VoyageRegistry};
+pub use voyage::{Defragged, Defragmenter, PendingFragments, StaticVoyageData, VoyageRegistry};

@@ -266,6 +266,23 @@ impl DataScanner {
         truncated
     }
 
+    /// Snapshots the partial multi-fragment messages still buffered, for
+    /// a checkpoint taken mid-stream. Unlike [`DataScanner::finish`],
+    /// nothing is abandoned or counted as truncated: restoring the
+    /// snapshot into a fresh scanner lets the in-flight message complete
+    /// exactly once when its remaining fragments arrive.
+    #[must_use]
+    pub fn export_defrag_pending(&self) -> crate::voyage::PendingFragments {
+        self.defrag.export_pending()
+    }
+
+    /// Restores the partial-message snapshot captured by
+    /// [`DataScanner::export_defrag_pending`], replacing any current
+    /// pending fragments.
+    pub fn restore_defrag_pending(&mut self, state: crate::voyage::PendingFragments) {
+        self.defrag.restore_pending(state);
+    }
+
     /// Counts `n` truncated multi-fragment messages and surfaces them on
     /// the flight recorder as decode errors.
     fn note_truncated(&mut self, n: u64, at: Timestamp) {
@@ -438,6 +455,49 @@ mod tests {
         // Idempotent once drained.
         assert_eq!(scanner.finish(Timestamp(100)), 0);
         assert_eq!(scanner.stats().fragments_truncated, 1);
+    }
+
+    #[test]
+    fn mid_fragment_checkpoint_neither_drops_nor_duplicates() {
+        use crate::voyage::{encode_static_voyage, StaticVoyageData};
+        let data = StaticVoyageData {
+            mmsi: Mmsi(237_000_042),
+            imo: 12345,
+            callsign: "SV9AB".into(),
+            name: "MINOAN SPIRIT".into(),
+            ship_type: 70,
+            draught_m: 6.2,
+            destination: "RHODES".into(),
+        };
+        let [s1, s2] = encode_static_voyage(&data, 4);
+        let mut scanner = DataScanner::new();
+        assert!(scanner.scan(&s1, Timestamp(10)).is_none());
+        // Checkpoint mid-fragment: the partial message must survive, not
+        // be drained as truncated.
+        let snapshot = scanner.export_defrag_pending();
+        assert_eq!(snapshot.messages.len(), 1);
+        assert_eq!(scanner.stats().fragments_truncated, 0);
+
+        // Restore into a fresh scanner and deliver the second fragment:
+        // the message completes exactly once.
+        let mut restored = DataScanner::new();
+        restored.restore_defrag_pending(snapshot.clone());
+        assert!(restored.scan(&s2, Timestamp(11)).is_none());
+        assert_eq!(restored.stats().voyage_declarations, 1);
+        assert_eq!(restored.stats().fragments_truncated, 0);
+        let rec = restored.voyages().latest(Mmsi(237_000_042)).unwrap();
+        assert_eq!(rec.destination, "RHODES");
+        // Nothing left pending; finish finds nothing to abandon.
+        assert_eq!(restored.finish(Timestamp(99)), 0);
+
+        // Exporting the same state twice is deterministic, and a second
+        // restore of the same snapshot does not resurrect the fragment in
+        // the original scanner's replacement either (no duplication).
+        let mut again = DataScanner::new();
+        again.restore_defrag_pending(snapshot.clone());
+        assert_eq!(again.export_defrag_pending(), snapshot);
+        assert!(again.scan(&s2, Timestamp(11)).is_none());
+        assert_eq!(again.stats().voyage_declarations, 1);
     }
 
     #[test]

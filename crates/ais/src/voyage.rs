@@ -177,6 +177,23 @@ struct PendingMessage {
     last_touch: u64,
 }
 
+/// Plain-data snapshot of a [`Defragmenter`]'s in-flight partial messages,
+/// produced by [`Defragmenter::export_pending`] for checkpointing.
+///
+/// Each entry is `(key, fragment slots, last_touch)` where the key is
+/// `(source, sequence id, channel, total)` and the slots hold
+/// `(payload, fill_bits)` for fragments that have arrived. Entries are
+/// sorted by key so two checkpoints of the same state encode identically.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PendingFragments {
+    /// The still-incomplete messages, sorted by key.
+    pub messages: Vec<((u32, u8, char, u8), Vec<Option<(String, u8)>>, u64)>,
+    /// The defragmenter's LRU arrival clock.
+    pub clock: u64,
+    /// Running count of partial messages abandoned so far.
+    pub evicted_incomplete: u64,
+}
+
 /// Outcome of feeding one fragment to the [`Defragmenter`].
 ///
 /// The common case — a single-fragment message — borrows its payload from
@@ -305,6 +322,50 @@ impl Defragmenter {
         self.pending.clear();
         self.evicted_incomplete += dropped;
         dropped
+    }
+
+    /// Snapshots the in-flight partial messages for checkpointing —
+    /// unlike [`Defragmenter::drain_pending`], nothing is abandoned or
+    /// counted as truncated, so a checkpoint taken mid-fragment can be
+    /// restored and the reassembled sentence still completes exactly
+    /// once. Messages are sorted by key for a deterministic encoding.
+    #[must_use]
+    pub fn export_pending(&self) -> PendingFragments {
+        let mut messages: Vec<_> = self
+            .pending
+            .iter()
+            .map(|(key, p)| (*key, p.fragments.clone(), p.last_touch))
+            .collect();
+        messages.sort_by_key(|(key, _, _)| *key);
+        PendingFragments {
+            messages,
+            clock: self.clock,
+            evicted_incomplete: self.evicted_incomplete,
+        }
+    }
+
+    /// Restores the partial-message state captured by
+    /// [`Defragmenter::export_pending`], replacing any current pending
+    /// state. The per-message arrival counts are recomputed from the
+    /// fragment slots.
+    pub fn restore_pending(&mut self, state: PendingFragments) {
+        self.pending = state
+            .messages
+            .into_iter()
+            .map(|(key, fragments, last_touch)| {
+                let arrived = fragments.iter().filter(|f| f.is_some()).count();
+                (
+                    key,
+                    PendingMessage {
+                        fragments,
+                        arrived,
+                        last_touch,
+                    },
+                )
+            })
+            .collect();
+        self.clock = state.clock;
+        self.evicted_incomplete = state.evicted_incomplete;
     }
 
     fn evict_if_needed(&mut self) {
@@ -505,6 +566,38 @@ mod tests {
         // Lowercase is uppercased; exotic characters degrade to '@'.
         assert_eq!(sixbit_to_char(char_to_sixbit('a')), 'A');
         assert_eq!(sixbit_to_char(char_to_sixbit('ß')), '@');
+    }
+
+    #[test]
+    fn export_restore_pending_roundtrips_partial_state() {
+        let [s1, s2] = encode_static_voyage(&sample(), 6);
+        let mut defrag = Defragmenter::new(8);
+        assert!(defrag.push(&parse_sentence(&s1).unwrap()).is_none());
+        let snapshot = defrag.export_pending();
+        assert_eq!(snapshot.messages.len(), 1);
+
+        // A restored defragmenter completes the message from the snapshot
+        // alone, and its re-export matches the original byte for byte.
+        let mut restored = Defragmenter::new(8);
+        restored.restore_pending(snapshot.clone());
+        assert_eq!(restored.export_pending(), snapshot);
+        assert_eq!(restored.pending(), 1);
+        let (p, f) = restored.push(&parse_sentence(&s2).unwrap()).unwrap();
+        let decoded = decode_static_voyage(&p, f).unwrap();
+        assert_eq!(decoded.mmsi, sample().mmsi);
+        assert_eq!(restored.pending(), 0);
+        assert_eq!(restored.evicted_incomplete(), 0);
+
+        // The eviction counter rides along so link-quality stats survive a
+        // checkpoint too.
+        let mut lossy = Defragmenter::new(8);
+        lossy.push(&parse_sentence(&s1).unwrap());
+        assert_eq!(lossy.drain_pending(), 1);
+        let state = lossy.export_pending();
+        assert_eq!(state.evicted_incomplete, 1);
+        let mut carried = Defragmenter::new(8);
+        carried.restore_pending(state);
+        assert_eq!(carried.evicted_incomplete(), 1);
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! Compares the most recent `figures` runs against every committed floor
 //! trajectory (`BENCH_<name>.json` at the repo root, one per gated
 //! benchmark) and fails if throughput fell below a floor by more than the
-//! tolerance band. Four benchmarks are gated today: `hotpath` (the
+//! tolerance band. Five benchmarks are gated today: `hotpath` (the
 //! decode→track stage, `figures hotpath`), `recognition` (the CE
 //! stage, `figures recognition`), `ingest` (the `surveil serve`
-//! driver path, `figures ingest`), and `telemetry` (the sampler +
-//! health-engine overhead leg, `figures telemetry`).
+//! driver path, `figures ingest`), `telemetry` (the sampler +
+//! health-engine overhead leg, `figures telemetry`), and `partition`
+//! (the coordinated multi-band scale table + checkpoint round trip,
+//! `figures partition`).
 //!
 //! ```text
 //! cargo run --release -p maritime-bench --bin figures -- hotpath
@@ -40,7 +42,7 @@ use serde_json::{json, Value};
 
 /// Gated benchmarks: floor `BENCH_<name>.json`, result
 /// `bench-results/<name>.json`, both produced by `figures <name>`.
-const BENCHES: [&str; 4] = ["hotpath", "recognition", "ingest", "telemetry"];
+const BENCHES: [&str; 5] = ["hotpath", "recognition", "ingest", "telemetry", "partition"];
 const DEFAULT_TOLERANCE: f64 = 0.70;
 
 fn read_json(path: &str) -> Option<Value> {

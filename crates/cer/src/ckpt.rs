@@ -1,0 +1,274 @@
+//! Checkpoint codecs for the maritime vocabulary.
+//!
+//! [`maritime_rtec::ckpt`] defines the zero-dependency binary format and
+//! the [`Codec`] impls for its own engine state; this module supplies the
+//! impls for the cer-owned types an engine checkpoint embeds — the input
+//! events in the window and the interned fluent/alert keys. Foreign
+//! newtype fields ([`Mmsi`], [`AreaId`], [`GeoPoint`]) are encoded field
+//! by field, so no impl is needed (or possible, orphan rules) upstream.
+//!
+//! Every enum is encoded as a `u8` tag in declaration order; decoding an
+//! unknown tag is a [`CkptError::Corrupt`], never a panic. Tags are part
+//! of the on-disk format: appending variants is fine, reordering or
+//! removing them needs a `maritime_rtec::ckpt::VERSION` bump.
+
+use maritime_ais::Mmsi;
+use maritime_geo::{AreaId, GeoPoint};
+use maritime_rtec::{CkptError, Codec, Reader, Writer};
+
+use crate::extensions::Loitering;
+use crate::fluents::{Alert, AlertKind, FluentKey};
+use crate::input::{InputEvent, InputKind};
+
+fn put_mmsi(w: &mut Writer, m: Mmsi) {
+    w.put_u32(m.0);
+}
+
+fn take_mmsi(r: &mut Reader<'_>) -> Result<Mmsi, CkptError> {
+    Ok(Mmsi(r.take_u32()?))
+}
+
+fn put_area(w: &mut Writer, a: AreaId) {
+    w.put_u32(a.0);
+}
+
+fn take_area(r: &mut Reader<'_>) -> Result<AreaId, CkptError> {
+    Ok(AreaId(r.take_u32()?))
+}
+
+fn put_point(w: &mut Writer, p: GeoPoint) {
+    w.put_f64(p.lon);
+    w.put_f64(p.lat);
+}
+
+fn take_point(r: &mut Reader<'_>) -> Result<GeoPoint, CkptError> {
+    let lon = r.take_f64()?;
+    let lat = r.take_f64()?;
+    Ok(GeoPoint { lon, lat })
+}
+
+impl Codec for InputKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            Self::GapStart => 0,
+            Self::GapEnd => 1,
+            Self::StopStart => 2,
+            Self::StopEnd => 3,
+            Self::SlowMotionStart => 4,
+            Self::SlowMotionEnd => 5,
+            Self::SpeedChange => 6,
+            Self::Turn => 7,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok(match r.take_u8()? {
+            0 => Self::GapStart,
+            1 => Self::GapEnd,
+            2 => Self::StopStart,
+            3 => Self::StopEnd,
+            4 => Self::SlowMotionStart,
+            5 => Self::SlowMotionEnd,
+            6 => Self::SpeedChange,
+            7 => Self::Turn,
+            _ => return Err(CkptError::Corrupt("unknown InputKind tag")),
+        })
+    }
+}
+
+impl Codec for InputEvent {
+    fn encode(&self, w: &mut Writer) {
+        put_mmsi(w, self.mmsi);
+        self.kind.encode(w);
+        put_point(w, self.position);
+        match &self.close_areas {
+            None => w.put_u8(0),
+            Some(ids) => {
+                w.put_u8(1);
+                w.put_len(ids.len());
+                for id in ids {
+                    put_area(w, *id);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        let mmsi = take_mmsi(r)?;
+        let kind = InputKind::decode(r)?;
+        let position = take_point(r)?;
+        let close_areas = match r.take_u8()? {
+            0 => None,
+            1 => {
+                let n = r.take_len()?;
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(take_area(r)?);
+                }
+                Some(ids)
+            }
+            _ => return Err(CkptError::Corrupt("bad close_areas tag")),
+        };
+        Ok(Self { mmsi, kind, position, close_areas })
+    }
+}
+
+impl Codec for FluentKey {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Self::Stopped(m) => {
+                w.put_u8(0);
+                put_mmsi(w, *m);
+            }
+            Self::SlowMotion(m) => {
+                w.put_u8(1);
+                put_mmsi(w, *m);
+            }
+            Self::StoppedNear(m, a) => {
+                w.put_u8(2);
+                put_mmsi(w, *m);
+                put_area(w, *a);
+            }
+            Self::FishingNear(m, a) => {
+                w.put_u8(3);
+                put_mmsi(w, *m);
+                put_area(w, *a);
+            }
+            Self::Suspicious(a) => {
+                w.put_u8(4);
+                put_area(w, *a);
+            }
+            Self::IllegalFishing(a) => {
+                w.put_u8(5);
+                put_area(w, *a);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok(match r.take_u8()? {
+            0 => Self::Stopped(take_mmsi(r)?),
+            1 => Self::SlowMotion(take_mmsi(r)?),
+            2 => Self::StoppedNear(take_mmsi(r)?, take_area(r)?),
+            3 => Self::FishingNear(take_mmsi(r)?, take_area(r)?),
+            4 => Self::Suspicious(take_area(r)?),
+            5 => Self::IllegalFishing(take_area(r)?),
+            _ => return Err(CkptError::Corrupt("unknown FluentKey tag")),
+        })
+    }
+}
+
+impl Codec for AlertKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            Self::IllegalShipping => 0,
+            Self::DangerousShipping => 1,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok(match r.take_u8()? {
+            0 => Self::IllegalShipping,
+            1 => Self::DangerousShipping,
+            _ => return Err(CkptError::Corrupt("unknown AlertKind tag")),
+        })
+    }
+}
+
+impl Codec for Alert {
+    fn encode(&self, w: &mut Writer) {
+        self.kind.encode(w);
+        put_mmsi(w, self.vessel);
+        put_area(w, self.area);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        let kind = AlertKind::decode(r)?;
+        let vessel = take_mmsi(r)?;
+        let area = take_area(r)?;
+        Ok(Self { kind, vessel, area })
+    }
+}
+
+impl Codec for Loitering {
+    fn encode(&self, w: &mut Writer) {
+        put_mmsi(w, self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        Ok(Self(take_mmsi(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut w = Writer::new();
+        v.encode(&mut w);
+        let bytes = w.into_payload();
+        let mut r = Reader::new(&bytes);
+        let back = T::decode(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn vocabulary_roundtrips() {
+        for kind in [
+            InputKind::GapStart,
+            InputKind::GapEnd,
+            InputKind::StopStart,
+            InputKind::StopEnd,
+            InputKind::SlowMotionStart,
+            InputKind::SlowMotionEnd,
+            InputKind::SpeedChange,
+            InputKind::Turn,
+        ] {
+            roundtrip(&kind);
+        }
+        roundtrip(&InputEvent {
+            mmsi: Mmsi(9),
+            kind: InputKind::StopStart,
+            position: GeoPoint::new(24.5, 38.25),
+            close_areas: None,
+        });
+        roundtrip(&InputEvent {
+            mmsi: Mmsi(10),
+            kind: InputKind::GapStart,
+            position: GeoPoint::new(-1.25, 0.0),
+            close_areas: Some(vec![AreaId(3), AreaId(7)]),
+        });
+        roundtrip(&FluentKey::Stopped(Mmsi(1)));
+        roundtrip(&FluentKey::SlowMotion(Mmsi(2)));
+        roundtrip(&FluentKey::StoppedNear(Mmsi(3), AreaId(4)));
+        roundtrip(&FluentKey::FishingNear(Mmsi(5), AreaId(6)));
+        roundtrip(&FluentKey::Suspicious(AreaId(7)));
+        roundtrip(&FluentKey::IllegalFishing(AreaId(8)));
+        roundtrip(&Alert {
+            kind: AlertKind::DangerousShipping,
+            vessel: Mmsi(11),
+            area: AreaId(2),
+        });
+        roundtrip(&Loitering(Mmsi(12)));
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        for bytes in [[8u8].as_slice(), &[9], &[255]] {
+            assert!(InputKind::decode(&mut Reader::new(bytes)).is_err());
+            assert!(FluentKey::decode(&mut Reader::new(bytes)).is_err());
+        }
+        assert!(AlertKind::decode(&mut Reader::new(&[2])).is_err());
+        // A close_areas tag other than 0/1 is corrupt, not a bool-ish truthy.
+        let mut w = Writer::new();
+        w.put_u32(1);
+        InputKind::Turn.encode(&mut w);
+        w.put_f64(0.0);
+        w.put_f64(0.0);
+        w.put_u8(2);
+        let bytes = w.into_payload();
+        assert!(InputEvent::decode(&mut Reader::new(&bytes)).is_err());
+    }
+}

@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
+pub mod coordinator;
 pub mod extensions;
 pub mod fluents;
 pub mod input;
@@ -34,6 +36,7 @@ pub mod provenance;
 pub mod recognizer;
 pub mod spatial;
 
+pub use coordinator::CoordinatedRecognizer;
 pub use extensions::{ExtendedRecognizer, ExtensionReport, Rendezvous};
 pub use fluents::{Alert, AlertKind, FluentKey};
 pub use input::{InputEvent, InputKind};

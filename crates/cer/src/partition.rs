@@ -80,6 +80,21 @@ impl GeoPartitioner {
         }
     }
 
+    /// Rebuilds a partitioner from saved interior boundaries (checkpoint
+    /// restore path).
+    ///
+    /// # Panics
+    /// If the boundaries are not finite and strictly ascending.
+    #[must_use]
+    pub fn from_boundaries(boundaries: Vec<f64>) -> Self {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1])
+                && boundaries.iter().all(|b| b.is_finite()),
+            "band boundaries must be finite and strictly ascending"
+        );
+        Self { boundaries }
+    }
+
     /// Number of partitions.
     #[must_use]
     pub fn partitions(&self) -> usize {
@@ -377,7 +392,7 @@ impl PartitionedRecognizer {
 /// Merges per-band summaries of one query into a single summary. Bands
 /// own disjoint area sets, so the per-area interval lists never collide;
 /// they are concatenated and sorted by area for determinism.
-fn merge_band_summaries(
+pub(crate) fn merge_band_summaries(
     q: Timestamp,
     summaries: Vec<RecognitionSummary>,
 ) -> RecognitionSummary {

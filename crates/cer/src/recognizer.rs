@@ -178,6 +178,48 @@ impl MaritimeRecognizer {
         self.engine.recognize_at(q)
     }
 
+    /// Serializes the engine state into a framed checkpoint (see
+    /// [`maritime_rtec::ckpt`]). The knowledge base is static
+    /// configuration and is *not* included — [`Self::restore`] takes it
+    /// back as an argument.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        self.engine.checkpoint()
+    }
+
+    /// [`Self::checkpoint`] without the frame, for callers embedding
+    /// several recognizers in one frame.
+    pub fn checkpoint_into(&self, w: &mut maritime_rtec::Writer) {
+        self.engine.checkpoint_into(w);
+    }
+
+    /// Restores a recognizer from a [`Self::checkpoint`]. `knowledge`
+    /// must be the same static knowledge the checkpointed recognizer was
+    /// built with. Provenance chains and the scratch buffer are per-query
+    /// state and start empty.
+    pub fn restore(
+        knowledge: Knowledge,
+        bytes: &[u8],
+    ) -> Result<Self, maritime_rtec::CkptError> {
+        Ok(Self {
+            engine: Engine::restore(knowledge, maritime_description(), bytes)?,
+            chains: Vec::new(),
+            scratch: Recognition::default(),
+        })
+    }
+
+    /// [`Self::restore`] from an already-unframed payload position.
+    pub fn restore_from(
+        knowledge: Knowledge,
+        r: &mut maritime_rtec::Reader<'_>,
+    ) -> Result<Self, maritime_rtec::CkptError> {
+        Ok(Self {
+            engine: Engine::restore_from(knowledge, maritime_description(), r)?,
+            chains: Vec::new(),
+            scratch: Recognition::default(),
+        })
+    }
+
     /// Runs recognition and summarizes the complex events. With
     /// provenance on, also rebuilds the per-CE chains.
     pub fn recognize_and_summarize(&mut self, q: Timestamp) -> RecognitionSummary {

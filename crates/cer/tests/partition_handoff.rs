@@ -1,0 +1,348 @@
+//! Handoff/border differential tests: voyages that repeatedly cross
+//! band boundaries — including rendezvous pairs meeting exactly on a
+//! border — must produce CE sets identical to the serial recognizer.
+//! A golden fixture pins one migration-heavy trace (re-bless with
+//! `CKPT_BLESS=1`, see TESTING.md).
+
+use maritime_ais::Mmsi;
+use maritime_cer::coordinator::CoordinatedRecognizer;
+use maritime_cer::{
+    ExtendedRecognizer, GeoPartitioner, InputEvent, InputKind, Knowledge, MaritimeRecognizer,
+    SpatialMode, VesselInfo,
+};
+use maritime_geo::{Area, AreaId, AreaKind, GeoPoint, Polygon};
+use maritime_rtec::{Duration, EvalStrategy, Timestamp, WindowSpec};
+use proptest::prelude::*;
+
+const LON_MIN: f64 = 20.0;
+const LON_MAX: f64 = 28.0;
+
+fn t(v: i64) -> Timestamp {
+    Timestamp(v)
+}
+
+fn spec() -> WindowSpec {
+    WindowSpec::new(Duration::hours(6), Duration::hours(1)).unwrap()
+}
+
+fn vessels(n: u32) -> Vec<VesselInfo> {
+    (0..n)
+        .map(|i| VesselInfo {
+            mmsi: Mmsi(100 + i),
+            draft_m: if i % 2 == 0 { 8.0 } else { 3.0 },
+            is_fishing: i % 3 == 0,
+        })
+        .collect()
+}
+
+/// Areas deliberately placed on and around the 2- and 4-band boundaries
+/// of a uniform [20, 28] split (boundaries at 22, 24, 26).
+fn areas() -> Vec<Area> {
+    vec![
+        Area::new(
+            AreaId(0),
+            "west-park",
+            AreaKind::Protected,
+            Polygon::rectangle(GeoPoint::new(20.9, 37.0), GeoPoint::new(21.1, 37.2)),
+        ),
+        Area::new(
+            AreaId(1),
+            "straddle-22",
+            AreaKind::Protected,
+            Polygon::rectangle(GeoPoint::new(21.9, 38.0), GeoPoint::new(22.1, 38.2)),
+        ),
+        Area::new(
+            AreaId(2),
+            "straddle-24",
+            AreaKind::ForbiddenFishing,
+            Polygon::rectangle(GeoPoint::new(23.9, 37.5), GeoPoint::new(24.1, 37.7)),
+        ),
+        Area::new(
+            AreaId(3),
+            "straddle-26",
+            AreaKind::Shallow { depth_m: 4.0 },
+            Polygon::rectangle(GeoPoint::new(25.92, 38.4), GeoPoint::new(26.08, 38.6)),
+        ),
+        Area::new(
+            AreaId(4),
+            "east-no-fish",
+            AreaKind::ForbiddenFishing,
+            Polygon::rectangle(GeoPoint::new(27.0, 38.0), GeoPoint::new(27.2, 38.2)),
+        ),
+    ]
+}
+
+fn ev(mmsi: u32, kind: InputKind, lon: f64, lat: f64) -> InputEvent {
+    InputEvent {
+        mmsi: Mmsi(mmsi),
+        kind,
+        position: GeoPoint::new(lon, lat),
+        close_areas: None,
+    }
+}
+
+/// Runs the serial recognizer and the coordinator over the same stream,
+/// comparing canonical CE output at every query.
+fn assert_matches_serial(
+    events: &[(Timestamp, InputEvent)],
+    queries: &[Timestamp],
+    bands: usize,
+    mode: SpatialMode,
+    strategy: EvalStrategy,
+) {
+    let vs = vessels(12);
+    let ars = areas();
+    let mut serial = MaritimeRecognizer::with_strategy(
+        Knowledge::new(vs.iter().copied(), ars.clone(), 2_000.0, mode),
+        spec(),
+        strategy,
+    );
+    let mut coord = CoordinatedRecognizer::with_strategy(
+        GeoPartitioner::uniform(bands, LON_MIN, LON_MAX),
+        &vs,
+        &ars,
+        2_000.0,
+        mode,
+        spec(),
+        strategy,
+    );
+    let mut fed = 0;
+    for q in queries {
+        let new: Vec<_> = events
+            .iter()
+            .filter(|(et, _)| *et <= *q)
+            .skip(fed)
+            .cloned()
+            .collect();
+        fed += new.len();
+        // The serial engine gets full-knowledge spatial facts in
+        // precomputed mode; the coordinator annotates per band itself.
+        let mut serial_batch = new.clone();
+        if mode == SpatialMode::Precomputed {
+            maritime_cer::spatial::annotate_with_spatial_facts(
+                &mut serial_batch,
+                serial.knowledge(),
+            );
+        }
+        serial.add_events(serial_batch);
+        coord.add_events(new);
+        let a = serial.recognize_and_summarize(*q);
+        let b = coord.recognize_and_summarize(*q);
+        assert_eq!(
+            a.canonical_json(),
+            b.canonical_json(),
+            "bands={bands} mode={mode:?} strategy={strategy:?} q={q:?}"
+        );
+    }
+}
+
+/// A deterministic migration-heavy trace: vessels shuttling across all
+/// three interior boundaries while stopping/slowing near the straddling
+/// areas, with gaps and closings fired from the far side of each line.
+fn migration_heavy_trace() -> Vec<(Timestamp, InputEvent)> {
+    let mut out = Vec::new();
+    let legs = [
+        // (mmsi, start lon, end lon) — each crosses at least one boundary.
+        (100u32, 21.0, 24.3),
+        (101, 24.3, 21.8),
+        (102, 23.8, 26.2),
+        (103, 26.2, 23.9),
+        (104, 21.9, 22.2),
+        (105, 25.9, 26.1),
+    ];
+    for (i, (mmsi, from, to)) in legs.iter().enumerate() {
+        let base = 200 + 300 * i as i64;
+        let lat = 37.6 + 0.2 * (i as f64 % 3.0);
+        // Stop near the start, cross, slow near the end, close, gap.
+        out.push((t(base), ev(*mmsi, InputKind::StopStart, *from, lat)));
+        out.push((t(base + 2_000), ev(*mmsi, InputKind::StopEnd, *from, lat)));
+        let mid = (from + to) / 2.0;
+        out.push((t(base + 2_500), ev(*mmsi, InputKind::Turn, mid, lat)));
+        out.push((
+            t(base + 3_000),
+            ev(*mmsi, InputKind::SlowMotionStart, *to, lat),
+        ));
+        out.push((
+            t(base + 6_000),
+            ev(*mmsi, InputKind::SlowMotionEnd, *to, lat),
+        ));
+        out.push((t(base + 6_500), ev(*mmsi, InputKind::GapStart, *to, lat)));
+        out.push((t(base + 7_000), ev(*mmsi, InputKind::GapEnd, *to, lat)));
+    }
+    // Four vessels stop inside the 24-straddling no-fish zone from both
+    // sides of the line (suspicious needs four; 100 and 103 are fishing).
+    for (k, (mmsi, lon)) in [(106u32, 23.95), (107, 24.05), (108, 23.98), (109, 24.02)]
+        .iter()
+        .enumerate()
+    {
+        out.push((
+            t(3_000 + 10 * k as i64),
+            ev(*mmsi, InputKind::StopStart, *lon, 37.6),
+        ));
+    }
+    out.sort_by_key(|(et, _)| *et);
+    out
+}
+
+#[test]
+fn migration_heavy_trace_matches_serial_everywhere() {
+    let events = migration_heavy_trace();
+    let queries: Vec<Timestamp> = (1..=8).map(|i| t(i * 3_600)).collect();
+    for bands in [1, 2, 4] {
+        for mode in [SpatialMode::OnDemand, SpatialMode::Precomputed] {
+            for strategy in [EvalStrategy::FromScratch, EvalStrategy::Incremental] {
+                assert_matches_serial(&events, &queries, bands, mode, strategy);
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_migration_heavy_fixture_is_stable() {
+    let events = migration_heavy_trace();
+    let queries: Vec<Timestamp> = (1..=8).map(|i| t(i * 3_600)).collect();
+    let mut coord = CoordinatedRecognizer::with_strategy(
+        GeoPartitioner::uniform(4, LON_MIN, LON_MAX),
+        &vessels(12),
+        &areas(),
+        2_000.0,
+        SpatialMode::OnDemand,
+        spec(),
+        EvalStrategy::Incremental,
+    );
+    let mut fed = 0;
+    let mut lines = String::new();
+    for q in &queries {
+        let new: Vec<_> = events
+            .iter()
+            .filter(|(et, _)| *et <= *q)
+            .skip(fed)
+            .cloned()
+            .collect();
+        fed += new.len();
+        coord.add_events(new);
+        lines.push_str(&coord.recognize_and_summarize(*q).canonical_json());
+        lines.push('\n');
+    }
+    lines.push_str(&format!("migrations={}\n", coord.migrations()));
+    assert!(coord.migrations() >= 4, "trace must be migration-heavy");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/migration_heavy.jsonl"
+    );
+    if std::env::var("CKPT_BLESS").as_deref() == Ok("1") {
+        std::fs::write(path, &lines).expect("bless golden fixture");
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden fixture missing — bless with CKPT_BLESS=1 (see TESTING.md)");
+    assert_eq!(lines, golden, "re-bless with CKPT_BLESS=1 if intended");
+}
+
+#[test]
+fn rendezvous_pair_meeting_exactly_on_a_border_matches_serial() {
+    // Pairs astride each interior boundary of the 4-band split.
+    for boundary in [22.0, 24.0, 26.0] {
+        let events = vec![
+            (t(100), ev(110, InputKind::StopStart, boundary - 0.003, 38.8)),
+            (t(300), ev(111, InputKind::SlowMotionStart, boundary + 0.003, 38.8)),
+            (t(4_000), ev(110, InputKind::StopEnd, boundary - 0.003, 38.8)),
+            (t(4_500), ev(111, InputKind::SlowMotionEnd, boundary + 0.003, 38.8)),
+        ];
+        let vs: Vec<VesselInfo> = (110..112)
+            .map(|i| VesselInfo {
+                mmsi: Mmsi(i),
+                draft_m: 4.0,
+                is_fishing: false,
+            })
+            .collect();
+        let ars = areas();
+        let mut serial = ExtendedRecognizer::new(
+            Knowledge::new(vs.iter().copied(), ars.clone(), 2_000.0, SpatialMode::OnDemand),
+            spec(),
+        );
+        serial.add_events(events.iter().cloned());
+        let want = serial.recognize_at(t(7_200));
+
+        let mut coord = CoordinatedRecognizer::new(
+            GeoPartitioner::uniform(4, LON_MIN, LON_MAX),
+            &vs,
+            &ars,
+            2_000.0,
+            SpatialMode::OnDemand,
+            spec(),
+        )
+        .with_extensions();
+        coord.add_events(events);
+        let got = coord.recognize_extensions(t(7_200));
+
+        assert_eq!(got.loitering, want.loitering, "boundary {boundary}");
+        assert_eq!(got.rendezvous.len(), 1, "boundary {boundary}");
+        assert_eq!(got.rendezvous, want.rendezvous, "boundary {boundary}");
+    }
+}
+
+/// One random voyage: a vessel wandering in longitude, emitting paired
+/// durative markers and instantaneous events.
+fn voyage_strategy() -> impl Strategy<Value = Vec<(i64, u32, u8, f64)>> {
+    // (time offset, vessel index, kind tag, longitude)
+    prop::collection::vec(
+        (
+            0i64..20_000,
+            0u32..12,
+            0u8..7,
+            LON_MIN + 0.01..LON_MAX - 0.01,
+        ),
+        1..80,
+    )
+}
+
+fn decode_kind(tag: u8) -> InputKind {
+    match tag {
+        0 => InputKind::StopStart,
+        1 => InputKind::StopEnd,
+        2 => InputKind::SlowMotionStart,
+        3 => InputKind::SlowMotionEnd,
+        4 => InputKind::GapStart,
+        5 => InputKind::GapEnd,
+        _ => InputKind::Turn,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random boundary-crossing voyages: coordinator CE output equals
+    /// the serial recognizer's, across band counts and strategies.
+    #[test]
+    fn prop_random_crossing_voyages_match_serial(
+        raw in voyage_strategy(),
+        four_bands in any::<bool>(),
+        incremental in any::<bool>(),
+    ) {
+        let mut events: Vec<(Timestamp, InputEvent)> = raw
+            .into_iter()
+            .map(|(dt, v, kind, lon)| {
+                // Pull a third of positions toward boundary lines so
+                // crossings and near-border rule firings are common.
+                let lon = match v % 3 {
+                    0 => {
+                        let b = [22.0, 24.0, 26.0][(v as usize / 3) % 3];
+                        b + (lon - 24.0) * 0.01
+                    }
+                    _ => lon,
+                };
+                (t(dt), ev(100 + v, decode_kind(kind), lon, 37.0 + f64::from(v % 4) * 0.5))
+            })
+            .collect();
+        events.sort_by_key(|(et, _)| *et);
+        let queries: Vec<Timestamp> = (1..=6).map(|i| t(i * 3_600)).collect();
+        let strategy = if incremental {
+            EvalStrategy::Incremental
+        } else {
+            EvalStrategy::FromScratch
+        };
+        let bands = if four_bands { 4 } else { 2 };
+        assert_matches_serial(&events, &queries, bands, SpatialMode::OnDemand, strategy);
+    }
+}

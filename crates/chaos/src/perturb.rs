@@ -263,6 +263,9 @@ fn apply_op(
             out.extend(held.into_iter().map(|(_, item)| item));
             out
         }
+        // A process-level fault: the harness interprets the kill schedule;
+        // the stream itself is untouched.
+        ChaosOp::KillPartition { .. } => lines,
     }
 }
 

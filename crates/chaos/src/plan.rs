@@ -83,6 +83,19 @@ pub enum ChaosOp {
         /// Arrival delay, seconds.
         delay_secs: i64,
     },
+    /// Crash one recognition partition at stream time `at_secs`: the
+    /// band's engine is checkpointed, dropped, and restored from the
+    /// checkpoint before the next query. A process-level fault, not a
+    /// stream perturbation — the stream passes through untouched, and the
+    /// harness interprets the schedule. Kill/restore must be transparent
+    /// (checkpoints are exact), so this op is CE-preserving; the oracles
+    /// prove it.
+    KillPartition {
+        /// Crash time, stream seconds.
+        at_secs: i64,
+        /// The band to kill (modulo the engine's band count).
+        band: u32,
+    },
 }
 
 impl ChaosOp {
@@ -99,6 +112,7 @@ impl ChaosOp {
             ChaosOp::Truncate { .. } => "truncate",
             ChaosOp::Corrupt { .. } => "corrupt",
             ChaosOp::LateArrival { .. } => "late_arrival",
+            ChaosOp::KillPartition { .. } => "kill_partition",
         }
     }
 
@@ -116,6 +130,7 @@ impl ChaosOp {
             ChaosOp::Truncate { .. } => 0x07,
             ChaosOp::Corrupt { .. } => 0x08,
             ChaosOp::LateArrival { .. } => 0x09,
+            ChaosOp::KillPartition { .. } => 0x0A,
         }
     }
 
@@ -126,7 +141,7 @@ impl ChaosOp {
     #[must_use]
     pub fn preserves_ces(&self, admission_skew_secs: i64) -> bool {
         match self {
-            ChaosOp::Duplicate { .. } => true,
+            ChaosOp::Duplicate { .. } | ChaosOp::KillPartition { .. } => true,
             ChaosOp::Reorder { skew_secs } => *skew_secs <= admission_skew_secs,
             _ => false,
         }
@@ -236,6 +251,32 @@ impl ChaosPlan {
         Self::new(seed, ops)
     }
 
+    /// Generates a crash/restore plan: one to three [`ChaosOp::KillPartition`]
+    /// faults at random points inside `horizon_secs` of stream time,
+    /// sometimes mixed with a CE-preserving duplicate op so restore is
+    /// also exercised under concurrent stream-level chaos. Every op is
+    /// CE-preserving, so the plan feeds the equivalence oracle: a run
+    /// that crashes and restores at arbitrary points must match the
+    /// uninterrupted baseline byte for byte.
+    #[must_use]
+    pub fn kill_restore(seed: u64, horizon_secs: i64) -> Self {
+        let mut rng = ChaosRng::new(mix64(seed ^ 0x1C));
+        let horizon = horizon_secs.max(1_200);
+        let n = 1 + rng.below(3) as usize;
+        let mut ops: Vec<ChaosOp> = (0..n)
+            .map(|_| ChaosOp::KillPartition {
+                at_secs: rng.range_i64(600, horizon),
+                band: rng.below(4) as u32,
+            })
+            .collect();
+        if rng.chance(400) {
+            ops.push(ChaosOp::Duplicate {
+                per_mille: 10 + rng.below(90) as u32,
+            });
+        }
+        Self::new(seed, ops)
+    }
+
     /// Generates a vessel-silencing plan: the input to the
     /// gap-monotonicity oracle.
     #[must_use]
@@ -273,6 +314,10 @@ mod tests {
                 ChaosOp::LateArrival {
                     per_mille: 15,
                     delay_secs: 1_800,
+                },
+                ChaosOp::KillPartition {
+                    at_secs: 7_200,
+                    band: 1,
                 },
             ],
         );

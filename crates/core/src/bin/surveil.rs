@@ -333,15 +333,19 @@ fn cmd_chaos(args: &[String]) -> ! {
             ChaosPlan::equivalence(seed ^ i, harness.admission_skew_secs),
             ChaosPlan::hostile(seed ^ i),
             ChaosPlan::vessel_drop(seed ^ i),
+            ChaosPlan::kill_restore(seed ^ i, harness.hours * 3_600),
         ];
         for plan in &batch {
             if let Err(v) = harness.check_plan(plan) {
                 fail(plan, &v);
             }
         }
-        eprintln!("batch {}/{plans}: equivalence+hostile+vessel-drop ok", i + 1);
+        eprintln!(
+            "batch {}/{plans}: equivalence+hostile+vessel-drop+kill-restore ok",
+            i + 1
+        );
     }
-    eprintln!("all oracles held on {} plans", plans * 3);
+    eprintln!("all oracles held on {} plans", plans * 4);
     std::process::exit(0);
 }
 

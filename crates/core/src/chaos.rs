@@ -30,8 +30,8 @@ use maritime_geo::aegean::{generate_areas, AreaGenConfig};
 use maritime_geo::Area;
 use maritime_rtec::IncrementalStats;
 use maritime_stream::{
-    AdmissionBuffer, AdmissionStats, Duration, SourceId, SourceMux, SourceVerdict, Timestamp,
-    WindowSpec,
+    AdmissionBuffer, AdmissionStats, Duration, SlideBatches, SourceId, SourceMux, SourceVerdict,
+    Timestamp, WindowSpec,
 };
 
 use crate::config::{SurveillanceConfig, TraceMode};
@@ -181,6 +181,30 @@ impl ChaosHarness {
     /// an input property).
     #[must_use]
     pub fn run(&self, lines: &[StreamLine], vessels: &[VesselInfo], engine: ChaosEngine) -> EngineRun {
+        self.run_with_kills(lines, vessels, engine, &[])
+    }
+
+    /// [`Self::run`] under a crash schedule: before the first slide whose
+    /// query time reaches each `(at_secs, band)`, the recognition band is
+    /// checkpointed, dropped, and rebuilt from its own bytes in place
+    /// ([`SurveillancePipeline::kill_partition`]). `KillPartition` is a
+    /// *process* fault, not a stream perturbation — the stream passes
+    /// through untouched and the harness interprets the schedule here, so
+    /// the equivalence oracle directly proves crash/restore invisibility.
+    /// Kills scheduled past the last slide fire before the final flush.
+    ///
+    /// # Panics
+    /// If the pipeline configuration fails validation, or a kill's
+    /// checkpoint round-trip fails to decode (a format bug, not an input
+    /// property — the oracle suite must fail loudly on it).
+    #[must_use]
+    pub fn run_with_kills(
+        &self,
+        lines: &[StreamLine],
+        vessels: &[VesselInfo],
+        engine: ChaosEngine,
+        kills: &[(i64, u32)],
+    ) -> EngineRun {
         let config = self.config(engine);
         let mut pipeline = SurveillancePipeline::new(&config, vessels.to_vec(), self.areas())
             .expect("chaos harness config must validate");
@@ -208,12 +232,43 @@ impl ChaosHarness {
         scan_admitted(&mut scanner, &mut tuples, admission.flush());
         scanner.finish(last_t);
 
+        let mut schedule: Vec<(i64, u32)> = kills.to_vec();
+        schedule.sort_unstable();
+        let mut next_kill = 0usize;
+        let mut kill_due = |pipeline: &mut SurveillancePipeline, up_to: Option<i64>| {
+            while next_kill < schedule.len()
+                && up_to.map_or(true, |q| schedule[next_kill].0 <= q)
+            {
+                pipeline
+                    .kill_partition(schedule[next_kill].1)
+                    .expect("kill/restore checkpoint round-trip must decode");
+                next_kill += 1;
+            }
+        };
+
+        // Mirrors `SurveillancePipeline::run_with_observer` (same batcher,
+        // same origin, same final flush) with kills interleaved between
+        // slides — a crash can only land on a consistent state boundary,
+        // which is exactly where a real checkpoint would be taken.
         let mut observation = CeObservation::new();
-        pipeline.run_with_observer(tuples, |outcome| {
+        let keyed = tuples.into_iter().map(|t| (t.timestamp, t));
+        let batches = SlideBatches::new(keyed, config.tracking_window, Timestamp::ZERO);
+        let mut last_q = Timestamp::ZERO;
+        for batch in batches {
+            kill_due(&mut pipeline, Some(batch.query_time.as_secs()));
+            let batch_tuples: Vec<PositionTuple> =
+                batch.items.into_iter().map(|(_, t)| t).collect();
+            let outcome = pipeline.slide(batch.query_time, &batch_tuples);
             if let Some(summary) = &outcome.recognition {
                 observation.record_summary(summary);
             }
-        });
+            last_q = batch.query_time;
+        }
+        kill_due(&mut pipeline, None);
+        let final_outcome = pipeline.finish(last_q);
+        if let Some(summary) = &final_outcome.recognition {
+            observation.record_summary(summary);
+        }
         EngineRun {
             observation,
             scan: scanner.stats(),
@@ -347,7 +402,10 @@ impl ChaosHarness {
     /// Oracle 1 & 2 — duplicate-idempotence / bounded-reorder
     /// equivalence: a CE-preserving plan (every op passes
     /// [`maritime_chaos::ChaosOp::preserves_ces`]) must leave the serial
-    /// engine's observation byte-identical.
+    /// engine's observation byte-identical. `KillPartition` ops are
+    /// interpreted as a crash schedule on the perturbed run only — the
+    /// clean baseline never crashes, so the comparison proves the
+    /// crash/restore cycle is recognition-invisible.
     ///
     /// # Errors
     /// The violation, when the perturbed observation differs.
@@ -355,7 +413,12 @@ impl ChaosHarness {
         let (lines, vessels) = self.baseline();
         let base = self.run(&lines, &vessels, ChaosEngine::Serial);
         let (perturbed, _) = plan.apply(&lines);
-        let got = self.run(&perturbed, &vessels, ChaosEngine::Serial);
+        let got = self.run_with_kills(
+            &perturbed,
+            &vessels,
+            ChaosEngine::Serial,
+            &kill_schedule(plan),
+        );
         check_identical(
             "stream-equivalence",
             &base.observation,
@@ -375,9 +438,10 @@ impl ChaosHarness {
     ) -> Result<Vec<(&'static str, EngineRun)>, OracleViolation> {
         let (lines, vessels) = self.baseline();
         let (perturbed, _) = plan.apply(&lines);
+        let kills = kill_schedule(plan);
         let runs: Vec<(&'static str, EngineRun)> = ChaosEngine::ALL
             .iter()
-            .map(|&e| (e.label(), self.run(&perturbed, &vessels, e)))
+            .map(|&e| (e.label(), self.run_with_kills(&perturbed, &vessels, e, &kills)))
             .collect();
         let labelled: Vec<(&'static str, &CeObservation)> =
             runs.iter().map(|(l, r)| (*l, &r.observation)).collect();
@@ -424,4 +488,22 @@ impl ChaosHarness {
         }
         self.check_agreement_plan(plan).map(|_| ())
     }
+}
+
+/// The crash schedule a plan encodes: every
+/// [`maritime_chaos::ChaosOp::KillPartition`] op as `(at_secs, band)`,
+/// sorted by crash time. The op's stream perturbation is the identity;
+/// [`ChaosHarness::run_with_kills`] interprets the schedule instead.
+#[must_use]
+pub fn kill_schedule(plan: &ChaosPlan) -> Vec<(i64, u32)> {
+    let mut kills: Vec<(i64, u32)> = plan
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            maritime_chaos::ChaosOp::KillPartition { at_secs, band } => Some((*at_secs, *band)),
+            _ => None,
+        })
+        .collect();
+    kills.sort_unstable();
+    kills
 }

@@ -59,7 +59,7 @@ pub mod serve;
 pub mod trace;
 
 pub use alerts::{AlertRecord, AlertLog};
-pub use chaos::{ChaosEngine, ChaosHarness, EngineRun};
+pub use chaos::{kill_schedule, ChaosEngine, ChaosHarness, EngineRun};
 pub use config::{MetricsMode, Parallelism, SurveillanceConfig, TraceMode};
 pub use pipeline::{RunReport, SlideOutcome, SurveillancePipeline};
 pub use serve::{BroadcastHub, LiveIngest, ServeOptions, ServerHandle, WireEncoder};
@@ -76,8 +76,8 @@ pub mod prelude {
         VesselClass, VesselProfile,
     };
     pub use maritime_cer::{
-        render_proof_tree, Alert, AlertKind, CeChain, EvalStrategy, GeoPartitioner,
-        IncrementalStats, InputEvent, InputKind, Knowledge, MaritimeRecognizer,
+        render_proof_tree, Alert, AlertKind, CeChain, CoordinatedRecognizer, EvalStrategy,
+        GeoPartitioner, IncrementalStats, InputEvent, InputKind, Knowledge, MaritimeRecognizer,
         PartitionedRecognizer, SpatialMode, VesselInfo,
     };
     pub use maritime_geo::aegean::{generate_areas, ports, AreaGenConfig};

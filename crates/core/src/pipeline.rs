@@ -10,8 +10,8 @@ use std::time::{Duration as StdDuration, Instant};
 
 use maritime_ais::PositionTuple;
 use maritime_cer::{
-    spatial, CeChain, EvalStrategy, GeoPartitioner, InputEvent, Knowledge, MaritimeRecognizer,
-    PartitionedRecognizer, SpatialMode, VesselInfo,
+    spatial, CeChain, CoordinatedRecognizer, EvalStrategy, GeoPartitioner, InputEvent, Knowledge,
+    MaritimeRecognizer, SpatialMode, VesselInfo,
 };
 use maritime_geo::Area;
 use maritime_modstore::{ArchiveStats, StagingArea, TrajectoryStore, TripReconstructor};
@@ -171,12 +171,15 @@ impl TrackerBackend {
 }
 
 /// The recognition backend: a single recognizer, or one per longitude
-/// band running on scoped threads (§5.2's two-processor setup).
+/// band running on scoped threads (§5.2's two-processor setup). The
+/// banded case runs under the partition coordinator, which migrates
+/// vessels across band boundaries and replicates border-strip events so
+/// the merged output matches the serial recognizer exactly.
 enum RecognizerBackend {
     /// Boxed: a recognizer's working memory dwarfs the partitioned
     /// handle, and the backend lives inside the long-lived pipeline.
     Single(Box<MaritimeRecognizer>),
-    Partitioned(PartitionedRecognizer),
+    Partitioned(Box<CoordinatedRecognizer>),
 }
 
 impl RecognizerBackend {
@@ -255,6 +258,11 @@ pub struct SurveillancePipeline {
     /// Admission-ordinal index of AIS sentences, kept only under
     /// [`TraceMode::Full`] so untraced runs pay nothing.
     sentences: Option<SentenceIndex>,
+    /// Static vessel facts and monitored areas, retained so the knowledge
+    /// bases can be rebuilt when a recognizer checkpoint is restored
+    /// (static configuration is deliberately not serialized).
+    vessel_infos: Vec<VesselInfo>,
+    areas: Vec<Area>,
 }
 
 impl SurveillancePipeline {
@@ -285,7 +293,7 @@ impl SurveillancePipeline {
         };
         let recognizer = if config.parallelism.recognition_bands > 1 {
             let (lon_min, lon_max) = band_extent(&areas);
-            RecognizerBackend::Partitioned(PartitionedRecognizer::with_strategy(
+            RecognizerBackend::Partitioned(Box::new(CoordinatedRecognizer::with_strategy(
                 GeoPartitioner::uniform(config.parallelism.recognition_bands, lon_min, lon_max),
                 &vessels,
                 &areas,
@@ -293,10 +301,10 @@ impl SurveillancePipeline {
                 config.spatial_mode,
                 config.recognition_window,
                 strategy,
-            ))
+            )))
         } else {
             let knowledge = Knowledge::new(
-                vessels,
+                vessels.clone(),
                 areas.clone(),
                 config.close_threshold_m,
                 config.spatial_mode,
@@ -324,6 +332,8 @@ impl SurveillancePipeline {
             alert_log: AlertLog::new(),
             origin: Timestamp::ZERO,
             sentences,
+            vessel_infos: vessels,
+            areas,
         })
     }
 
@@ -360,6 +370,115 @@ impl SurveillancePipeline {
     #[must_use]
     pub fn incremental_stats(&self) -> maritime_rtec::IncrementalStats {
         self.recognizer.incremental_stats()
+    }
+
+    /// Vessels migrated between recognition bands so far; zero when the
+    /// single-recognizer backend is running.
+    #[must_use]
+    pub fn partition_migrations(&self) -> u64 {
+        match &self.recognizer {
+            RecognizerBackend::Single(_) => 0,
+            RecognizerBackend::Partitioned(p) => p.migrations(),
+        }
+    }
+
+    /// Serializes the recognition backend — every band engine plus the
+    /// coordinator's vessel/routing state — into one framed checkpoint.
+    /// Static configuration (vessel facts, areas, window geometry) is not
+    /// included; [`Self::restore_recognizer`] rebuilds it from the live
+    /// pipeline, which must therefore be configured identically.
+    #[must_use]
+    pub fn checkpoint_recognizer(&self) -> Vec<u8> {
+        let mut w = maritime_rtec::Writer::new();
+        match &self.recognizer {
+            RecognizerBackend::Single(r) => {
+                w.put_u8(0);
+                let bytes = r.checkpoint();
+                w.put_len(bytes.len());
+                w.put_bytes(&bytes);
+            }
+            RecognizerBackend::Partitioned(p) => {
+                w.put_u8(1);
+                let bytes = p.checkpoint();
+                w.put_len(bytes.len());
+                w.put_bytes(&bytes);
+            }
+        }
+        w.into_frame()
+    }
+
+    /// Drops the current recognition backend and replaces it with the
+    /// state captured by [`Self::checkpoint_recognizer`]. Knowledge bases
+    /// are rebuilt from this pipeline's configuration; the checkpoint must
+    /// come from an identically configured pipeline (same band count,
+    /// spatial mode, vessel facts and areas), and a backend-kind mismatch
+    /// is rejected as corruption. Provenance capture is re-armed when the
+    /// pipeline traces.
+    pub fn restore_recognizer(&mut self, bytes: &[u8]) -> Result<(), maritime_rtec::CkptError> {
+        use maritime_rtec::CkptError;
+        let payload = maritime_rtec::ckpt::unframe(bytes)?;
+        let mut r = maritime_rtec::Reader::new(payload);
+        let tag = r.take_u8()?;
+        let n = r.take_len()?;
+        let inner = r.take_bytes(n)?;
+        let restored = match (tag, &self.recognizer) {
+            (0, RecognizerBackend::Single(_)) => {
+                let knowledge = Knowledge::new(
+                    self.vessel_infos.clone(),
+                    self.areas.clone(),
+                    self.config.close_threshold_m,
+                    self.config.spatial_mode,
+                );
+                RecognizerBackend::Single(Box::new(MaritimeRecognizer::restore(
+                    knowledge, inner,
+                )?))
+            }
+            (1, RecognizerBackend::Partitioned(_)) => RecognizerBackend::Partitioned(Box::new(
+                CoordinatedRecognizer::restore(&self.vessel_infos, &self.areas, inner)?,
+            )),
+            (0 | 1, _) => {
+                return Err(CkptError::Corrupt(
+                    "checkpoint backend kind does not match pipeline configuration",
+                ))
+            }
+            _ => return Err(CkptError::Corrupt("unknown recognizer backend tag")),
+        };
+        r.finish()?;
+        self.recognizer = restored;
+        if self.sentences.is_some() {
+            self.recognizer.set_provenance(true);
+        }
+        Ok(())
+    }
+
+    /// Crash-and-restore one recognition band in place (the chaos
+    /// harness's `KillPartition` fault): the band engine round-trips
+    /// through the checkpoint codec with no recognition-visible effect.
+    /// On the single-recognizer backend the whole recognizer restarts
+    /// and `band` is ignored; on the partitioned backend `band` is taken
+    /// modulo the band count.
+    ///
+    /// # Errors
+    /// Propagates [`maritime_rtec::CkptError`] if the serialized engine
+    /// fails to decode — a checkpoint-format bug, not bad input.
+    pub fn kill_partition(&mut self, band: u32) -> Result<(), maritime_rtec::CkptError> {
+        match &mut self.recognizer {
+            RecognizerBackend::Single(r) => {
+                let bytes = r.checkpoint();
+                let knowledge = Knowledge::new(
+                    self.vessel_infos.clone(),
+                    self.areas.clone(),
+                    self.config.close_threshold_m,
+                    self.config.spatial_mode,
+                );
+                **r = MaritimeRecognizer::restore(knowledge, &bytes)?;
+            }
+            RecognizerBackend::Partitioned(p) => p.kill_band(band)?,
+        }
+        if self.sentences.is_some() {
+            self.recognizer.set_provenance(true);
+        }
+        Ok(())
     }
 
     /// Executes one window slide over a time-ordered positional batch

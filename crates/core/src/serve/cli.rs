@@ -46,6 +46,8 @@ pub const SERVE_FLAGS: &[FlagSpec] = &[
     flag("--demo-fleet", Some("N"), "vessel facts for the N-vessel demo fleet (matches 'surveil feed --demo N H')"),
     flag("--fleet", Some("FILE"), "vessel facts from a JSON array of {mmsi, draft_m, is_fishing}"),
     flag("--run-secs", Some("N"), "self-shutdown after N wall-clock seconds (default: run until #shutdown)"),
+    flag("--checkpoint-dir", Some("DIR"), "write recognition-state checkpoints to DIR/serve.ckpt and restore from it on boot (default off)"),
+    flag("--checkpoint-every", Some("N"), "recognition queries between checkpoint writes (default 1)"),
     flag("--sample-secs", Some("SECS"), "telemetry sampling interval for /metrics/history and SLO health (default 2)"),
     flag("--history-cap", Some("N"), "samples retained by the telemetry ring (default 256)"),
     flag("--slo-stale", Some("N"), "silent intervals with sources connected before rate_collapse breaches (default 3)"),
@@ -109,6 +111,10 @@ pub struct ServeCli {
     pub fleet: Option<String>,
     /// Self-shutdown deadline, seconds.
     pub run_secs: Option<u64>,
+    /// Checkpoint directory (`None` = checkpointing off).
+    pub checkpoint_dir: Option<String>,
+    /// Recognition queries between checkpoint writes.
+    pub checkpoint_every: u64,
     /// Telemetry sampling interval, seconds.
     pub sample_secs: u64,
     /// Telemetry ring capacity.
@@ -137,6 +143,8 @@ impl Default for ServeCli {
             demo_fleet: None,
             fleet: None,
             run_secs: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
             sample_secs: 2,
             history_cap: 256,
             slo: crate::serve::SloThresholds::default(),
@@ -223,6 +231,12 @@ impl ServeCli {
                     );
                 }
                 "--fleet" => cli.fleet = Some(value(a, &mut it)?),
+                "--checkpoint-dir" => cli.checkpoint_dir = Some(value(a, &mut it)?),
+                "--checkpoint-every" => {
+                    cli.checkpoint_every = value(a, &mut it)?
+                        .parse()
+                        .map_err(|_| "--checkpoint-every needs a query count".to_string())?;
+                }
                 "--run-secs" => {
                     cli.run_secs = Some(
                         value(a, &mut it)?
@@ -319,6 +333,8 @@ impl ServeCli {
             sample_interval: std::time::Duration::from_secs(self.sample_secs.max(1)),
             history_capacity: self.history_cap,
             slo: self.slo,
+            checkpoint_dir: self.checkpoint_dir.clone().map(std::path::PathBuf::from),
+            checkpoint_every: self.checkpoint_every.max(1),
         })
     }
 }

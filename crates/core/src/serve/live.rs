@@ -267,6 +267,152 @@ impl LiveIngest {
         }
     }
 
+    /// Serializes the live path's recognition state into one framed
+    /// checkpoint: the recognizer backend (every band engine plus the
+    /// coordinator's vessel/routing state), the defragmenter's in-flight
+    /// partial messages (so a checkpoint taken mid-fragment neither drops
+    /// nor duplicates the reassembled sentence), the batcher boundary and
+    /// its open batch, and the ingest counters. Mobility-tracking window
+    /// state is deliberately excluded — it refills from the live stream
+    /// within one tracking window, while the recognition window (hours)
+    /// resumes exactly.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        use maritime_rtec::Codec;
+        let mut w = maritime_rtec::Writer::new();
+        for n in [
+            self.stats.lines,
+            self.stats.accepted,
+            self.stats.filtered,
+            self.stats.duplicates,
+            self.stats.slides,
+            self.stats.queries,
+            self.stats.ce_total,
+        ] {
+            w.put_u64(n);
+        }
+        w.put_i64(self.last_t.as_secs());
+        w.put_bool(self.flushed);
+        w.put_i64(self.batcher.next_q.as_secs());
+        w.put_len(self.batcher.acc.len());
+        for tuple in &self.batcher.acc {
+            w.put_u32(tuple.mmsi.0);
+            w.put_f64(tuple.position.lon);
+            w.put_f64(tuple.position.lat);
+            w.put_i64(tuple.timestamp.as_secs());
+        }
+        let pending = self.scanner.export_defrag_pending();
+        w.put_len(pending.messages.len());
+        for ((source, seq, channel, total), fragments, last_touch) in &pending.messages {
+            w.put_u32(*source);
+            w.put_u8(*seq);
+            w.put_u32(*channel as u32);
+            w.put_u8(*total);
+            w.put_len(fragments.len());
+            for slot in fragments {
+                match slot {
+                    None => w.put_u8(0),
+                    Some((payload, fill)) => {
+                        w.put_u8(1);
+                        payload.encode(&mut w);
+                        w.put_u8(*fill);
+                    }
+                }
+            }
+            w.put_u64(*last_touch);
+        }
+        w.put_u64(pending.clock);
+        w.put_u64(pending.evicted_incomplete);
+        let recognizer = self.pipeline.checkpoint_recognizer();
+        w.put_len(recognizer.len());
+        w.put_bytes(&recognizer);
+        w.into_frame()
+    }
+
+    /// Restores the state captured by [`LiveIngest::checkpoint`] into this
+    /// freshly built path; the pipeline configuration, fleet facts and
+    /// areas must match the checkpointing server's.
+    ///
+    /// # Errors
+    /// A [`maritime_rtec::CkptError`] when the bytes are truncated,
+    /// corrupt, or from a differently configured server.
+    pub fn restore_checkpoint(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(), maritime_rtec::CkptError> {
+        use maritime_rtec::{Codec, CkptError};
+        let payload = maritime_rtec::ckpt::unframe(bytes)?;
+        let mut r = maritime_rtec::Reader::new(payload);
+        let mut stats = IngestStats::default();
+        for slot in [
+            &mut stats.lines,
+            &mut stats.accepted,
+            &mut stats.filtered,
+            &mut stats.duplicates,
+            &mut stats.slides,
+            &mut stats.queries,
+            &mut stats.ce_total,
+        ] {
+            *slot = r.take_u64()?;
+        }
+        let last_t = Timestamp(r.take_i64()?);
+        let flushed = r.take_bool()?;
+        let next_q = Timestamp(r.take_i64()?);
+        let n = r.take_len()?;
+        let mut acc = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mmsi = maritime_ais::Mmsi(r.take_u32()?);
+            let lon = r.take_f64()?;
+            let lat = r.take_f64()?;
+            let t = Timestamp(r.take_i64()?);
+            acc.push(PositionTuple {
+                mmsi,
+                position: maritime_geo::GeoPoint::new(lon, lat),
+                timestamp: t,
+            });
+        }
+        let n = r.take_len()?;
+        let mut messages = Vec::with_capacity(n);
+        for _ in 0..n {
+            let source = r.take_u32()?;
+            let seq = r.take_u8()?;
+            let channel = char::from_u32(r.take_u32()?)
+                .ok_or(CkptError::Corrupt("invalid fragment channel"))?;
+            let total = r.take_u8()?;
+            let slots = r.take_len()?;
+            let mut fragments = Vec::with_capacity(slots);
+            for _ in 0..slots {
+                fragments.push(match r.take_u8()? {
+                    0 => None,
+                    1 => {
+                        let payload = String::decode(&mut r)?;
+                        let fill = r.take_u8()?;
+                        Some((payload, fill))
+                    }
+                    _ => return Err(CkptError::Corrupt("invalid fragment slot tag")),
+                });
+            }
+            let last_touch = r.take_u64()?;
+            messages.push(((source, seq, channel, total), fragments, last_touch));
+        }
+        let pending = maritime_ais::PendingFragments {
+            messages,
+            clock: r.take_u64()?,
+            evicted_incomplete: r.take_u64()?,
+        };
+        let n = r.take_len()?;
+        let recognizer = r.take_bytes(n)?;
+        self.pipeline.restore_recognizer(recognizer)?;
+        r.finish()?;
+        self.scanner.restore_defrag_pending(pending);
+        self.stats = stats;
+        self.last_t = last_t;
+        self.flushed = flushed;
+        self.batcher.next_q = next_q;
+        self.batcher.acc = acc;
+        Ok(())
+    }
+
     /// Whether `#flush` has ended the stream.
     #[must_use]
     pub fn flushed(&self) -> bool {

@@ -96,6 +96,13 @@ pub struct ServeOptions {
     pub history_capacity: usize,
     /// SLO bounds the health engine judges each interval against.
     pub slo: SloThresholds,
+    /// Directory for recognition-state checkpoints. When set, the driver
+    /// writes `serve.ckpt` there (atomically, via temp-file + rename)
+    /// every [`ServeOptions::checkpoint_every`] recognition queries, and
+    /// [`start`] restores from an existing `serve.ckpt` on boot.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Recognition queries between checkpoint writes (minimum 1).
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServeOptions {
@@ -116,9 +123,15 @@ impl Default for ServeOptions {
             sample_interval: std::time::Duration::from_secs(2),
             history_capacity: 256,
             slo: SloThresholds::default(),
+            checkpoint_dir: None,
+            checkpoint_every: 1,
         }
     }
 }
+
+/// The checkpoint file a serving instance maintains inside
+/// `--checkpoint-dir`.
+pub const CHECKPOINT_FILE: &str = "serve.ckpt";
 
 /// One message from a listener thread to the driver.
 #[derive(Debug)]
@@ -242,7 +255,7 @@ impl ServerHandle {
 /// A [`ServeError`] when the pipeline configuration fails validation or a
 /// listener cannot bind.
 pub fn start(opts: ServeOptions) -> Result<ServerHandle, ServeError> {
-    let live = LiveIngest::new(
+    let mut live = LiveIngest::new(
         &opts.config,
         opts.vessels.clone(),
         opts.areas.clone(),
@@ -250,6 +263,22 @@ pub fn start(opts: ServeOptions) -> Result<ServerHandle, ServeError> {
         opts.dedup_window,
     )
     .map_err(ServeError::Config)?;
+    // Restart-from-checkpoint: a `serve.ckpt` left by a previous instance
+    // resumes the recognition state before any listener accepts a line.
+    if let Some(dir) = &opts.checkpoint_dir {
+        let path = dir.join(CHECKPOINT_FILE);
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                live.restore_checkpoint(&bytes)
+                    .map_err(ServeError::Checkpoint)?;
+                flight::record(FlightKind::Note, || {
+                    format!("restored recognition state from {}", path.display())
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(ServeError::CheckpointIo(e)),
+        }
+    }
     let live = Arc::new(Mutex::new(live));
     let hub = BroadcastHub::new(opts.queue_bound);
     let telemetry = Arc::new(ServeTelemetry::new(opts.history_capacity));
@@ -292,11 +321,24 @@ pub fn start(opts: ServeOptions) -> Result<ServerHandle, ServeError> {
         let telemetry = Arc::clone(&telemetry);
         let sample_interval = opts.sample_interval;
         let slo = opts.slo;
+        let ckpt = opts
+            .checkpoint_dir
+            .clone()
+            .map(|dir| (dir, opts.checkpoint_every.max(1)));
         threads.push(
             std::thread::Builder::new()
                 .name("serve-driver".into())
                 .spawn(move || {
-                    driver_loop(&ingest_rx, &live, &hub, &shutdown, &telemetry, sample_interval, slo);
+                    driver_loop(
+                        &ingest_rx,
+                        &live,
+                        &hub,
+                        &shutdown,
+                        &telemetry,
+                        sample_interval,
+                        slo,
+                        ckpt.as_ref(),
+                    );
                 })
                 .map_err(ServeError::Spawn)?,
         );
@@ -369,6 +411,11 @@ pub enum ServeError {
     Bind(std::io::Error),
     /// A server thread could not be spawned.
     Spawn(std::io::Error),
+    /// The boot checkpoint exists but is corrupt or from a differently
+    /// configured server.
+    Checkpoint(maritime_rtec::CkptError),
+    /// The boot checkpoint exists but could not be read.
+    CheckpointIo(std::io::Error),
 }
 
 impl std::fmt::Display for ServeError {
@@ -377,6 +424,8 @@ impl std::fmt::Display for ServeError {
             ServeError::Config(e) => write!(f, "invalid configuration: {e}"),
             ServeError::Bind(e) => write!(f, "cannot bind listener: {e}"),
             ServeError::Spawn(e) => write!(f, "cannot spawn server thread: {e}"),
+            ServeError::Checkpoint(e) => write!(f, "cannot restore checkpoint: {e}"),
+            ServeError::CheckpointIo(e) => write!(f, "cannot read checkpoint: {e}"),
         }
     }
 }
@@ -387,6 +436,7 @@ impl std::error::Error for ServeError {}
 /// resulting wire events out through the hub, and — every
 /// `sample_interval` — records a telemetry sample and evaluates the SLO
 /// health rules.
+#[allow(clippy::too_many_arguments)]
 fn driver_loop(
     rx: &Receiver<Ingest>,
     live: &Mutex<LiveIngest>,
@@ -395,12 +445,14 @@ fn driver_loop(
     telemetry: &ServeTelemetry,
     sample_interval: std::time::Duration,
     slo: SloThresholds,
+    ckpt: Option<&(std::path::PathBuf, u64)>,
 ) {
     let mut sampler = Sampler::new(slo);
     // Seed the ring immediately so /metrics/history and the dashboard are
     // never empty, even on a freshly started server.
     sampler.tick(live, telemetry, hub);
     let mut last_sample = Instant::now();
+    let mut last_saved_queries = live.lock().stats().queries;
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -429,12 +481,45 @@ fn driver_loop(
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
+        if let Some((dir, every)) = ckpt {
+            let queries = live.lock().stats().queries;
+            if queries.saturating_sub(last_saved_queries) >= *every {
+                write_checkpoint(dir, live);
+                last_saved_queries = queries;
+            }
+        }
         if last_sample.elapsed() >= sample_interval {
             sampler.tick(live, telemetry, hub);
             last_sample = Instant::now();
         }
     }
+    // A final save on the way out, so `#shutdown` leaves a fresh resume
+    // point even when fewer than `every` queries ran since the last one.
+    if let Some((dir, _)) = ckpt {
+        write_checkpoint(dir, live);
+    }
     hub.close();
+}
+
+/// Serializes the live path and writes `serve.ckpt` atomically: the bytes
+/// land in a temp file first and replace the previous checkpoint with one
+/// rename, so a crash mid-write can never leave a truncated checkpoint. A
+/// failed write is reported on the flight recorder — serving continues.
+fn write_checkpoint(dir: &std::path::Path, live: &Mutex<LiveIngest>) {
+    let bytes = live.lock().checkpoint();
+    let path = dir.join(CHECKPOINT_FILE);
+    let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+    let result = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&tmp, &bytes))
+        .and_then(|()| std::fs::rename(&tmp, &path));
+    match result {
+        Ok(()) => flight::record(FlightKind::Note, || {
+            format!("checkpoint: {} bytes -> {}", bytes.len(), path.display())
+        }),
+        Err(e) => flight::record(FlightKind::Note, move || {
+            format!("checkpoint write failed: {e}")
+        }),
+    }
 }
 
 /// Last-mirrored per-source counters (lines, accepted, filtered,

@@ -9,7 +9,6 @@
 //! `#[global_allocator]`, which must not leak into other test binaries.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use maritime_geo::areas::{Area, AreaId, AreaKind};
 use maritime_geo::grid::GridIndex;
@@ -18,11 +17,17 @@ use maritime_geo::polygon::Polygon;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+// Per-thread counter: the libtest harness thread allocates concurrently
+// with the test thread, so a process-global count would be flaky. A
+// const-initialized `Cell<usize>` has no destructor and no lazy init, so
+// touching it from inside the allocator cannot recurse.
+std::thread_local! {
+    static THREAD_ALLOCATIONS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -31,7 +36,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -40,9 +45,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = THREAD_ALLOCATIONS.with(std::cell::Cell::get);
     let result = f();
-    (ALLOCATIONS.load(Ordering::SeqCst) - before, result)
+    (THREAD_ALLOCATIONS.with(std::cell::Cell::get) - before, result)
 }
 
 fn sample_index() -> GridIndex {

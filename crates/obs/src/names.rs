@@ -117,6 +117,14 @@ pub const CER_INPUT_EVENTS: &str = "cer_input_events_total";
 pub const CER_CE_RECOGNIZED: &str = "cer_ce_recognized_total";
 /// Instantaneous alerts raised (illegal shipping, dangerous shipping).
 pub const CER_ALERTS: &str = "cer_alerts_total";
+/// Vessels handed off between longitude bands by the partition coordinator.
+pub const CER_PARTITION_MIGRATIONS: &str = "cer_partition_migrations_total";
+/// Size of the most recent engine checkpoint written, bytes.
+pub const CER_CHECKPOINT_BYTES: &str = "cer_checkpoint_bytes";
+/// Wall time to serialize an engine checkpoint.
+pub const CER_CHECKPOINT_WRITE_NS: &str = "cer_checkpoint_write_ns";
+/// Wall time to restore an engine from a checkpoint.
+pub const CER_CHECKPOINT_RESTORE_NS: &str = "cer_checkpoint_restore_ns";
 
 // ---- Pipeline orchestration ----------------------------------------------
 
@@ -370,6 +378,10 @@ pub const CATALOG: &[Descriptor] = &[
     c(CER_INPUT_EVENTS, "events", "Low-level events fed into the maritime recognizer"),
     c(CER_CE_RECOGNIZED, "intervals", "Composite-event intervals recognized"),
     c(CER_ALERTS, "alerts", "Instantaneous alerts raised"),
+    c(CER_PARTITION_MIGRATIONS, "vessels", "Vessels handed off between longitude bands"),
+    g(CER_CHECKPOINT_BYTES, "bytes", "Size of the most recent engine checkpoint written"),
+    h(CER_CHECKPOINT_WRITE_NS, "ns", "Wall time to serialize an engine checkpoint"),
+    h(CER_CHECKPOINT_RESTORE_NS, "ns", "Wall time to restore an engine from a checkpoint"),
     // Pipeline
     c(PIPELINE_SLIDES, "slides", "Window slides completed by the pipeline"),
     h(PIPELINE_TRACKING_NS, "ns", "Tracking-phase wall time per slide"),

@@ -576,6 +576,133 @@ where
         }
     }
 
+    /// Serializes the engine's between-query state into a framed
+    /// checkpoint (see [`crate::ckpt`]): the window spec and contents,
+    /// the last query time, strategy, staleness flag, stats, the symbol
+    /// table, and the incremental cache. The static knowledge and the
+    /// event description are *not* serialized — the caller reconstructs
+    /// them and passes them to [`Engine::restore`]. Provenance capture
+    /// state is not checkpointed either (a restored engine starts with
+    /// capture off); checkpoint while a trace query is outstanding and
+    /// the pending log is dropped.
+    ///
+    /// A restored engine's subsequent output is byte-identical to the
+    /// uninterrupted engine's: the window is a pure function of the
+    /// re-inserted `(t, event)` sequence (equal-timestamp order is
+    /// preserved by insertion order), interned ids are dense and
+    /// re-interned in id order, and the cache either replays exactly or
+    /// falls back to a full recompute whose output matches by the
+    /// incremental-equivalence invariant.
+    pub fn checkpoint(&self) -> Vec<u8>
+    where
+        E: crate::ckpt::Codec,
+        K: crate::ckpt::Codec,
+        D: crate::ckpt::Codec,
+    {
+        let mut w = crate::ckpt::Writer::new();
+        self.checkpoint_into(&mut w);
+        w.into_frame()
+    }
+
+    /// [`Engine::checkpoint`] without the frame: appends the raw payload
+    /// to `w`, for callers embedding several engines in one frame.
+    pub fn checkpoint_into(&self, w: &mut crate::ckpt::Writer)
+    where
+        E: crate::ckpt::Codec,
+        K: crate::ckpt::Codec,
+        D: crate::ckpt::Codec,
+    {
+        use crate::ckpt::Codec;
+        self.window.spec().encode(w);
+        w.put_len(self.window.len());
+        for (t, e) in self.window.iter() {
+            t.encode(w);
+            e.encode(w);
+        }
+        self.last_query.encode(w);
+        self.strategy.encode(w);
+        w.put_bool(self.stale);
+        self.stats.encode(w);
+        w.put_len(self.table.len());
+        for i in 0..self.table.len() {
+            self.table.key(KeyId(i as u32)).encode(w);
+        }
+        self.cache.encode(w);
+    }
+
+    /// Rebuilds an engine from a framed checkpoint produced by
+    /// [`Engine::checkpoint`]. `ctx` and `description` must match the
+    /// ones the checkpointed engine was built with — the checkpoint
+    /// carries neither.
+    pub fn restore(
+        ctx: Ctx,
+        description: EventDescription<Ctx, E, K, D, G>,
+        bytes: &[u8],
+    ) -> Result<Self, crate::ckpt::CkptError>
+    where
+        E: crate::ckpt::Codec,
+        K: crate::ckpt::Codec,
+        D: crate::ckpt::Codec,
+    {
+        let payload = crate::ckpt::unframe(bytes)?;
+        let mut r = crate::ckpt::Reader::new(payload);
+        let engine = Self::restore_from(ctx, description, &mut r)?;
+        r.finish()?;
+        Ok(engine)
+    }
+
+    /// [`Engine::restore`] from an already-unframed payload position, for
+    /// callers embedding several engines in one frame.
+    pub fn restore_from(
+        ctx: Ctx,
+        description: EventDescription<Ctx, E, K, D, G>,
+        r: &mut crate::ckpt::Reader<'_>,
+    ) -> Result<Self, crate::ckpt::CkptError>
+    where
+        E: crate::ckpt::Codec,
+        K: crate::ckpt::Codec,
+        D: crate::ckpt::Codec,
+    {
+        use crate::ckpt::{CkptError, Codec};
+        let spec = WindowSpec::decode(r)?;
+        let mut engine = Self::new(ctx, description, spec);
+        let n_events = r.take_len()?;
+        for _ in 0..n_events {
+            let t = Timestamp::decode(r)?;
+            let e = E::decode(r)?;
+            // Insertion order reproduces the saved order exactly,
+            // including the relative order of equal timestamps.
+            engine.window.insert(t, e);
+        }
+        engine.last_query = Option::<Timestamp>::decode(r)?;
+        engine.strategy = EvalStrategy::decode(r)?;
+        let stale = r.take_bool()?;
+        engine.stats = IncrementalStats::decode(r)?;
+        let n_keys = r.take_len()?;
+        for i in 0..n_keys {
+            let key = K::decode(r)?;
+            let id = engine.table.intern(&key);
+            if id != KeyId(i as u32) {
+                return Err(CkptError::Corrupt("duplicate interned key"));
+            }
+        }
+        engine.cache = Option::<EngineCache<K, D>>::decode(r)?;
+        if let Some(cache) = &engine.cache {
+            let valid = |id: &KeyId| (id.0 as usize) < n_keys;
+            let cache_ok = cache.strata.iter().all(|s| {
+                s.ev_inits.keys().all(valid)
+                    && s.ev_terms.keys().all(valid)
+                    && s.fluents.keys().all(valid)
+                    && s.boundary.iter().all(|(_, id, _)| valid(id))
+            }) && cache.derived_boundary.iter().all(|(_, id, _)| valid(id));
+            if !cache_ok {
+                return Err(CkptError::Corrupt("cache refers to unknown key id"));
+            }
+        }
+        engine.stale = stale;
+        Ok(engine)
+    }
+
     /// Runs recognition at query time `q`: discards events at or before
     /// `q − ω`, then computes all fluents and derived events from the
     /// remaining working memory — from scratch, or by replaying the

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod ckpt;
 pub mod description;
 pub mod engine;
 pub mod intern;
@@ -38,6 +39,7 @@ pub mod provenance;
 pub mod view;
 
 pub use cache::{EvalStrategy, IncrementalStats};
+pub use ckpt::{Codec, CkptError, Reader, Writer};
 pub use description::{DerivedEventDef, EventDescription, FluentDef, MaskedRule, Trigger, TriggerKinds};
 pub use engine::{Engine, Recognition};
 pub use intern::{KeyId, KeyTable};

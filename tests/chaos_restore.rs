@@ -1,0 +1,136 @@
+//! Crash-at-arbitrary-point restore under the metamorphic oracles
+//! (`ISSUE` satellite: chaos `KillPartition` integration). A
+//! `KillPartition` fault checkpoints a recognition band, drops it, and
+//! rebuilds it from its own bytes mid-run; the oracles demand the cycle
+//! is completely invisible — byte-identical recognition against the
+//! uninterrupted baseline (equivalence) and across all four engine
+//! configurations (agreement).
+
+use std::sync::OnceLock;
+
+use maritime::chaos::{kill_schedule, ChaosEngine, ChaosHarness, EngineRun};
+use maritime_cer::VesselInfo;
+use maritime_chaos::oracle::check_identical;
+use maritime_chaos::{ChaosOp, ChaosPlan, StreamLine};
+
+fn harness() -> ChaosHarness {
+    // Two recognition bands so kills land on real partition engines, not
+    // just the single-recognizer fallback path.
+    ChaosHarness {
+        recognition_bands: 2,
+        ..ChaosHarness::default()
+    }
+}
+
+fn world() -> &'static (Vec<StreamLine>, Vec<VesselInfo>) {
+    static WORLD: OnceLock<(Vec<StreamLine>, Vec<VesselInfo>)> = OnceLock::new();
+    WORLD.get_or_init(|| harness().baseline())
+}
+
+fn baseline() -> &'static EngineRun {
+    static BASE: OnceLock<EngineRun> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let (lines, vessels) = world();
+        harness().run(lines, vessels, ChaosEngine::Serial)
+    })
+}
+
+#[test]
+fn kill_restore_is_invisible_at_fixed_points() {
+    // Hand-placed crashes: early (first recognition boundary), mid-run,
+    // and past the last slide (fires before the final flush), on both
+    // bands and on an out-of-range band index (taken modulo).
+    let h = harness();
+    let (lines, vessels) = world();
+    let plan = ChaosPlan::new(
+        0,
+        vec![
+            ChaosOp::KillPartition { at_secs: 1_800, band: 0 },
+            ChaosOp::KillPartition { at_secs: 6 * 3_600, band: 1 },
+            ChaosOp::KillPartition { at_secs: 9 * 3_600, band: 7 },
+            ChaosOp::KillPartition { at_secs: 400 * 3_600, band: 0 },
+        ],
+    );
+    let kills = kill_schedule(&plan);
+    assert_eq!(kills.len(), 4, "schedule extraction lost a kill");
+    for engine in ChaosEngine::ALL {
+        let got = h.run_with_kills(lines, vessels, engine, &kills);
+        if let Err(v) = check_identical(
+            "kill-restore-equivalence",
+            &baseline().observation,
+            &got.observation,
+        ) {
+            panic!("engine {}: {v}", engine.label());
+        }
+    }
+}
+
+#[test]
+fn seeded_kill_plans_pass_every_oracle() {
+    // The nightly-sweep shape: generated kill_restore plans routed
+    // through the same `check_plan` dispatcher CI and the shrinker use.
+    // Every op is CE-preserving, so this exercises equivalence (baseline
+    // never crashes, perturbed run does) plus four-engine agreement.
+    let h = harness();
+    let horizon = h.hours * 3_600;
+    for seed in 0..6u64 {
+        let plan = ChaosPlan::kill_restore(seed, horizon);
+        assert!(
+            plan.ops.iter().all(|op| op.preserves_ces(h.admission_skew_secs)),
+            "kill_restore generated a non-preserving op: {plan:?}"
+        );
+        assert!(
+            !kill_schedule(&plan).is_empty(),
+            "seed {seed}: plan contains no kills — vacuous"
+        );
+        if let Err(v) = h.check_plan(&plan) {
+            panic!("seed {seed}, plan {}: {v}", plan.to_json());
+        }
+    }
+}
+
+#[test]
+fn kills_compose_with_stream_chaos() {
+    // A crash schedule layered on a hostile stream: engines may diverge
+    // from the clean baseline (the stream is damaged) but all four must
+    // still agree with each other, and with the same hostile stream run
+    // *without* kills — the fault is orthogonal to stream damage.
+    let h = harness();
+    let (lines, vessels) = world();
+    let hostile = ChaosPlan::hostile(3);
+    let (perturbed, stats) = hostile.apply(lines);
+    assert!(stats.ops_applied > 0, "hostile plan did not touch the stream");
+    let kills = [(2 * 3_600, 0u32), (7 * 3_600, 1u32)];
+    let without = h.run(&perturbed, vessels, ChaosEngine::Serial);
+    for engine in ChaosEngine::ALL {
+        let with = h.run_with_kills(&perturbed, vessels, engine, &kills);
+        if let Err(v) = check_identical(
+            "kill-under-stream-chaos",
+            &without.observation,
+            &with.observation,
+        ) {
+            panic!("engine {}: {v}", engine.label());
+        }
+    }
+}
+
+#[test]
+fn single_band_kills_restart_the_whole_recognizer() {
+    // recognition_bands = 1 routes kills through the single-recognizer
+    // backend (whole-engine checkpoint/restore, band index ignored).
+    let h = ChaosHarness::default();
+    assert_eq!(h.recognition_bands, 1);
+    let (lines, vessels) = h.baseline();
+    let base = h.run(&lines, &vessels, ChaosEngine::Serial);
+    let kills = [(3 * 3_600, 5u32)];
+    for engine in [ChaosEngine::Serial, ChaosEngine::Incremental] {
+        let got = h.run_with_kills(&lines, &vessels, engine, &kills);
+        if let Err(v) = check_identical(
+            "single-band-kill",
+            &base.observation,
+            &got.observation,
+        ) {
+            panic!("engine {}: {v}", engine.label());
+        }
+    }
+}
